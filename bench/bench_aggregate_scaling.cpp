@@ -1,0 +1,114 @@
+// Aggregate-formation scaling: cost of alpha[...] versus population size,
+// grouping level and hierarchy fan-out on the synthetic clinical
+// workload. Regenerates the shape expected of the model's central
+// operator: cost grows with facts and with the depth of rollup work, and
+// grouping at TOP degenerates to a single group.
+//
+//   $ ./bench/bench_aggregate_scaling
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/operators.h"
+#include "workload/clinical_generator.h"
+
+namespace {
+
+using namespace mddc;
+
+ClinicalMo BuildWorkload(std::size_t patients, std::size_t fanout_min,
+                         std::size_t fanout_max) {
+  ClinicalWorkloadParams params;
+  params.num_patients = patients;
+  params.num_groups = 4;
+  params.min_fanout = fanout_min;
+  params.max_fanout = fanout_max;
+  return std::move(
+             GenerateClinicalWorkload(params,
+                                      std::make_shared<FactRegistry>()))
+      .ValueOrDie();
+}
+
+AggregateSpec SpecFor(const ClinicalMo& workload, CategoryTypeIndex level) {
+  AggregateSpec spec{AggFunction::SetCount(), {}, ResultDimensionSpec::Auto(),
+                     kNowChronon, true};
+  for (std::size_t i = 0; i < workload.mo.dimension_count(); ++i) {
+    spec.grouping.push_back(i == workload.diagnosis_dim
+                                ? level
+                                : workload.mo.dimension(i).type().top());
+  }
+  return spec;
+}
+
+void BM_AggregateByPatients(benchmark::State& state) {
+  ClinicalMo workload =
+      BuildWorkload(static_cast<std::size_t>(state.range(0)), 5, 10);
+  AggregateSpec spec = SpecFor(workload, workload.group);
+  for (auto _ : state) {
+    auto result = AggregateFormation(workload.mo, spec);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AggregateByPatients)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_AggregateByLevel(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload(400, 5, 10);
+  CategoryTypeIndex level;
+  switch (state.range(0)) {
+    case 0:
+      level = workload.low_level;
+      break;
+    case 1:
+      level = workload.family;
+      break;
+    case 2:
+      level = workload.group;
+      break;
+    default:
+      level = workload.mo.dimension(workload.diagnosis_dim).type().top();
+      break;
+  }
+  AggregateSpec spec = SpecFor(workload, level);
+  for (auto _ : state) {
+    auto result = AggregateFormation(workload.mo, spec);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_AggregateByLevel)
+    ->Arg(0)   // low level
+    ->Arg(1)   // family
+    ->Arg(2)   // group
+    ->Arg(3);  // TOP
+
+void BM_AggregateByFanout(benchmark::State& state) {
+  // Fixed patients; hierarchy width grows with fan-out.
+  std::size_t fanout = static_cast<std::size_t>(state.range(0));
+  ClinicalMo workload = BuildWorkload(400, fanout, fanout);
+  AggregateSpec spec = SpecFor(workload, workload.group);
+  for (auto _ : state) {
+    auto result = AggregateFormation(workload.mo, spec);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_AggregateByFanout)->Arg(5)->Arg(10)->Arg(20);
+
+// Two-dimensional grouping: diagnosis group x residence county.
+void BM_AggregateTwoDimensions(benchmark::State& state) {
+  ClinicalMo workload =
+      BuildWorkload(static_cast<std::size_t>(state.range(0)), 5, 10);
+  AggregateSpec spec = SpecFor(workload, workload.group);
+  spec.grouping[workload.residence_dim] = workload.county;
+  for (auto _ : state) {
+    auto result = AggregateFormation(workload.mo, spec);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_AggregateTwoDimensions)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

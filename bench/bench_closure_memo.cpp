@@ -1,0 +1,89 @@
+// Ablation for the paper's future-work item "efficient implementation
+// using special-purpose algorithms and data structures": the dimension's
+// memoized reachability closure versus recomputing containment per query.
+// Measures characterization, aggregate formation and property checks with
+// the memo on and off.
+//
+//   $ ./bench/bench_closure_memo
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/operators.h"
+#include "core/properties.h"
+#include "workload/clinical_generator.h"
+
+namespace {
+
+using namespace mddc;
+
+ClinicalMo BuildWorkload(std::size_t patients) {
+  ClinicalWorkloadParams params;
+  params.num_patients = patients;
+  params.num_groups = 4;
+  return std::move(
+             GenerateClinicalWorkload(params,
+                                      std::make_shared<FactRegistry>()))
+      .ValueOrDie();
+}
+
+void ConfigureMemo(const ClinicalMo& workload, bool enabled) {
+  for (std::size_t i = 0; i < workload.mo.dimension_count(); ++i) {
+    workload.mo.dimension(i).set_memoization_enabled(enabled);
+  }
+}
+
+void BM_AggregateWithMemo(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload(static_cast<std::size_t>(
+      state.range(0)));
+  ConfigureMemo(workload, state.range(1) == 1);
+  AggregateSpec spec{AggFunction::SetCount(),
+                     {workload.group,
+                      workload.mo.dimension(1).type().top()},
+                     ResultDimensionSpec::Auto(),
+                     kNowChronon,
+                     true};
+  for (auto _ : state) {
+    if (state.range(1) == 0) {
+      // Off: also clear any warmth from previous iterations.
+      ConfigureMemo(workload, false);
+    }
+    auto result = AggregateFormation(workload.mo, spec);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(state.range(1) == 1 ? "memo=on" : "memo=off");
+}
+BENCHMARK(BM_AggregateWithMemo)
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Args({1600, 0})
+    ->Args({1600, 1});
+
+void BM_CharacterizeAllWithMemo(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload(800);
+  ConfigureMemo(workload, state.range(0) == 1);
+  for (auto _ : state) {
+    if (state.range(0) == 0) ConfigureMemo(workload, false);
+    std::size_t total = 0;
+    for (FactId fact : workload.mo.facts()) {
+      total += workload.mo.CharacterizedBy(fact, 0).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetLabel(state.range(0) == 1 ? "memo=on" : "memo=off");
+}
+BENCHMARK(BM_CharacterizeAllWithMemo)->Arg(0)->Arg(1);
+
+void BM_StrictnessCheckWithMemo(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload(400);
+  ConfigureMemo(workload, state.range(0) == 1);
+  for (auto _ : state) {
+    if (state.range(0) == 0) ConfigureMemo(workload, false);
+    benchmark::DoNotOptimize(IsStrict(workload.mo.dimension(0)));
+  }
+  state.SetLabel(state.range(0) == 1 ? "memo=on" : "memo=off");
+}
+BENCHMARK(BM_StrictnessCheckWithMemo)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

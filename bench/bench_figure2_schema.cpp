@@ -1,0 +1,41 @@
+// Regenerates Figure 2 of the paper: the schema of the "Patient" MO — the
+// six dimension-type lattices with their bottom/top elements and multiple
+// hierarchies (Day < Week and Day < Month < Quarter < Year < Decade).
+//
+//   $ ./bench/bench_figure2_schema
+
+#include <cstdlib>
+#include <iostream>
+
+#include "workload/case_study.h"
+
+int main() {
+  auto cs = mddc::BuildCaseStudy();
+  if (!cs.ok()) {
+    std::cerr << "error: " << cs.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "====================================================\n";
+  std::cout << " Figure 2 (ICDE'99): Schema of the Patient case study\n";
+  std::cout << "====================================================\n\n";
+  std::cout << mddc::RenderSchemaLattices(*cs);
+
+  std::cout << "Checks against the figure:\n";
+  const mddc::DimensionType& dob = cs->mo.dimension(cs->dob).type();
+  auto day = dob.Find("Day");
+  std::cout << " * Day has " << dob.Pred(*day).size()
+            << " immediate predecessor categories (Week, Month)\n";
+  const mddc::DimensionType& diagnosis =
+      cs->mo.dimension(cs->diagnosis).type();
+  std::cout << " * Diagnosis chain: "
+            << diagnosis.category(diagnosis.bottom()).name
+            << " < Diagnosis Family < Diagnosis Group < TOP\n";
+  const mddc::DimensionType& name = cs->mo.dimension(cs->name).type();
+  std::cout << " * Name is simple: " << name.category_count()
+            << " categories (Name, TOP)\n";
+  const mddc::DimensionType& age = cs->mo.dimension(cs->age).type();
+  std::cout << " * Age chain: Age < Five-year Group < Ten-year Group < TOP ("
+            << age.category_count() << " categories)\n";
+  return 0;
+}

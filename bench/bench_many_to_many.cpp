@@ -1,0 +1,176 @@
+// Requirement 6 head-to-head: counting patients per diagnosis group with
+// many-to-many fact-dimension relationships.
+//
+//  * extended model: set-count over fact sets — correct by construction;
+//  * star schema: COUNT(*) over duplicated fact rows — fast but WRONG
+//    (double counts);
+//  * star schema repaired: COUNT(DISTINCT patient) — correct counts, but
+//    the same duplication still breaks SUMs.
+//
+// The custom main first prints the correctness comparison (who double
+// counts, by how much), then runs the timing benchmarks.
+//
+//   $ ./bench/bench_many_to_many
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "algebra/operators.h"
+#include "baselines/star_schema.h"
+#include "workload/clinical_generator.h"
+
+namespace {
+
+using namespace mddc;
+using relational::AggregateTerm;
+using relational::Relation;
+using relational::Value;
+
+constexpr std::size_t kPatients = 500;
+
+ClinicalMo BuildWorkload() {
+  ClinicalWorkloadParams params;
+  params.num_patients = kPatients;
+  params.num_groups = 4;
+  params.mean_extra_diagnoses = 3.0;  // strongly many-to-many
+  params.reclassified_rate = 0.0;     // keep the comparison atemporal
+  params.uncertain_rate = 0.0;
+  params.coarse_granularity_rate = 0.0;
+  return std::move(
+             GenerateClinicalWorkload(params,
+                                      std::make_shared<FactRegistry>()))
+      .ValueOrDie();
+}
+
+/// Flattens the clinical MO into a star schema: one fact row per
+/// (patient, diagnosis) pair, one dimension row per (low-level, family,
+/// group) path.
+StarSchemaEngine BuildStar(const ClinicalMo& workload) {
+  StarSchemaEngine engine;
+  Relation diagnosis({"diag_key", "low", "grp"});
+  std::map<std::pair<ValueId, ValueId>, std::int64_t> keys;
+  const Dimension& dimension = workload.mo.dimension(workload.diagnosis_dim);
+  std::int64_t next_key = 1;
+  for (ValueId low : dimension.ValuesIn(workload.low_level)) {
+    for (const auto& c : dimension.AncestorsIn(low, workload.group)) {
+      keys[{low, c.value}] = next_key;
+      (void)diagnosis.Insert(
+          {Value(next_key), Value(static_cast<std::int64_t>(low.raw())),
+           Value(static_cast<std::int64_t>(c.value.raw()))});
+      ++next_key;
+    }
+  }
+  (void)engine.AddDimensionTable("Diagnosis", std::move(diagnosis),
+                                 "diag_key");
+  Relation fact({"patient", "diag_fk"});
+  for (const auto& entry :
+       workload.mo.relation(workload.diagnosis_dim).entries()) {
+    auto term = workload.mo.registry()->Get(entry.fact);
+    for (const auto& c :
+         dimension.AncestorsIn(entry.value, workload.group)) {
+      auto key = keys.find({entry.value, c.value});
+      if (key == keys.end()) continue;
+      (void)fact.Insert({Value(static_cast<std::int64_t>(term->atom)),
+                         Value(key->second)});
+    }
+  }
+  (void)engine.SetFactTable(std::move(fact), {{"Diagnosis", "diag_fk"}});
+  return engine;
+}
+
+AggregateSpec GroupSpec(const ClinicalMo& workload) {
+  AggregateSpec spec{AggFunction::SetCount(), {}, ResultDimensionSpec::Auto(),
+                     kNowChronon, true};
+  for (std::size_t i = 0; i < workload.mo.dimension_count(); ++i) {
+    spec.grouping.push_back(i == workload.diagnosis_dim
+                                ? workload.group
+                                : workload.mo.dimension(i).type().top());
+  }
+  return spec;
+}
+
+void PrintCorrectnessComparison() {
+  ClinicalMo workload = BuildWorkload();
+  StarSchemaEngine star = BuildStar(workload);
+
+  // Ground truth: distinct patients per group from the MO.
+  std::map<std::uint64_t, double> truth;
+  auto aggregated = AggregateFormation(workload.mo, GroupSpec(workload));
+  const std::size_t result_dim = aggregated->dimension_count() - 1;
+  for (FactId fact : aggregated->facts()) {
+    auto group_pairs =
+        aggregated->relation(workload.diagnosis_dim).ForFact(fact);
+    auto count_pairs = aggregated->relation(result_dim).ForFact(fact);
+    if (group_pairs.empty() || count_pairs.empty()) continue;
+    truth[group_pairs.front()->value.raw()] =
+        *aggregated->dimension(result_dim)
+             .NumericValueOf(count_pairs.front()->value);
+  }
+
+  auto star_counts = star.AggregateByLevel(
+      "Diagnosis", "grp", {AggregateTerm::Func::kCountStar, "", "n"});
+
+  std::cout << "Correctness: patients per diagnosis group ("
+            << kPatients << " patients, many-to-many)\n";
+  std::cout << "  group | MD model (correct) | star COUNT(*) | inflation\n";
+  double total_truth = 0.0;
+  double total_star = 0.0;
+  for (const auto& tuple : star_counts->tuples()) {
+    std::uint64_t group = static_cast<std::uint64_t>(*tuple[0].AsInt());
+    double star_count = static_cast<double>(*tuple[1].AsInt());
+    double correct = truth.count(group) ? truth[group] : 0.0;
+    total_truth += correct;
+    total_star += star_count;
+    std::cout << "  " << group % 1000 << "     | " << correct
+              << "              | " << star_count << "          | x"
+              << (correct > 0 ? star_count / correct : 0.0) << "\n";
+  }
+  std::cout << "  TOTAL | " << total_truth << " | " << total_star
+            << " | x" << total_star / total_truth
+            << "  <- the star schema double counts\n\n";
+}
+
+void BM_MdModelSetCount(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload();
+  AggregateSpec spec = GroupSpec(workload);
+  for (auto _ : state) {
+    auto result = AggregateFormation(workload.mo, spec);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MdModelSetCount);
+
+void BM_StarCountStar(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload();
+  StarSchemaEngine star = BuildStar(workload);
+  for (auto _ : state) {
+    auto result = star.AggregateByLevel(
+        "Diagnosis", "grp", {AggregateTerm::Func::kCountStar, "", "n"});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_StarCountStar);
+
+void BM_StarCountDistinct(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload();
+  StarSchemaEngine star = BuildStar(workload);
+  for (auto _ : state) {
+    auto result = star.AggregateByLevel(
+        "Diagnosis", "grp",
+        {AggregateTerm::Func::kCountDistinct, "patient", "n"});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_StarCountDistinct);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCorrectnessComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

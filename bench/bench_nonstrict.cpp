@@ -1,0 +1,111 @@
+// Non-strict hierarchies (requirement 5): the cost and the semantics of
+// aggregation when low-level diagnoses live in several families. Shows
+// (a) the correct once-per-group counting under growing non-strictness,
+// (b) the aggregation-type degradation that blocks unsafe reuse, and
+// (c) the cost trend as non-strictness grows (more groups per fact).
+//
+//   $ ./bench/bench_nonstrict
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "algebra/operators.h"
+#include "core/properties.h"
+#include "workload/clinical_generator.h"
+
+namespace {
+
+using namespace mddc;
+
+ClinicalMo BuildWorkload(double non_strict_rate) {
+  ClinicalWorkloadParams params;
+  params.num_patients = 400;
+  params.num_groups = 4;
+  params.non_strict_rate = non_strict_rate;
+  // Isolate the non-strictness effect: one certain, low-level diagnosis
+  // per patient and no temporal churn, so any count overlap comes from
+  // the hierarchy alone.
+  params.mean_extra_diagnoses = 0.0;
+  params.reclassified_rate = 0.0;
+  params.uncertain_rate = 0.0;
+  params.coarse_granularity_rate = 0.0;
+  return std::move(
+             GenerateClinicalWorkload(params,
+                                      std::make_shared<FactRegistry>()))
+      .ValueOrDie();
+}
+
+AggregateSpec GroupSpec(const ClinicalMo& workload) {
+  AggregateSpec spec{AggFunction::SetCount(), {}, ResultDimensionSpec::Auto(),
+                     kNowChronon, true};
+  for (std::size_t i = 0; i < workload.mo.dimension_count(); ++i) {
+    spec.grouping.push_back(i == workload.diagnosis_dim
+                                ? workload.group
+                                : workload.mo.dimension(i).type().top());
+  }
+  return spec;
+}
+
+void PrintSemanticsSummary() {
+  std::cout << "Semantics under growing non-strictness (400 patients):\n";
+  std::cout << "  rate | strict? | sum of group counts | result agg type\n";
+  for (double rate : {0.0, 0.15, 0.5}) {
+    ClinicalMo workload = BuildWorkload(rate);
+    bool strict = IsStrict(workload.mo.dimension(workload.diagnosis_dim));
+    auto result = AggregateFormation(workload.mo, GroupSpec(workload));
+    double total = 0.0;
+    const std::size_t result_dim = result->dimension_count() - 1;
+    for (FactId fact : result->facts()) {
+      auto pairs = result->relation(result_dim).ForFact(fact);
+      // A fact set may span several groups; add its count once per group
+      // link, mirroring what naive reuse would do.
+      auto group_links =
+          result->relation(workload.diagnosis_dim).ForFact(fact);
+      total += group_links.size() *
+               *result->dimension(result_dim)
+                    .NumericValueOf(pairs.front()->value);
+    }
+    const DimensionType& result_type =
+        result->dimension(result_dim).type();
+    std::cout << "  " << rate << "  | " << (strict ? "yes" : "no ")
+              << "     | " << total << " (patients: "
+              << workload.mo.fact_count() << ")        | "
+              << AggregationTypeName(result_type.AggType(result_type.bottom()))
+              << "\n";
+  }
+  std::cout << "  -> with non-strictness the per-group counts overlap "
+               "(sum > patients), so the result is typed c and cannot be "
+               "re-aggregated.\n\n";
+}
+
+void BM_AggregateNonStrict(benchmark::State& state) {
+  double rate = static_cast<double>(state.range(0)) / 100.0;
+  ClinicalMo workload = BuildWorkload(rate);
+  AggregateSpec spec = GroupSpec(workload);
+  for (auto _ : state) {
+    auto result = AggregateFormation(workload.mo, spec);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AggregateNonStrict)->Arg(0)->Arg(15)->Arg(50);
+
+void BM_StrictnessCheck(benchmark::State& state) {
+  double rate = static_cast<double>(state.range(0)) / 100.0;
+  ClinicalMo workload = BuildWorkload(rate);
+  for (auto _ : state) {
+    bool strict = IsStrict(workload.mo.dimension(workload.diagnosis_dim));
+    benchmark::DoNotOptimize(strict);
+  }
+}
+BENCHMARK(BM_StrictnessCheck)->Arg(0)->Arg(50);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSemanticsSummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Summarizability-guided pre-aggregate reuse (Section 3.4's motivation):
+// answering a coarse query from materialized finer partials versus
+// rescanning the base MO — and the safety valve: non-summarizable
+// materializations (AVG, or c-typed results) are never reused.
+//
+//   $ ./bench/bench_preagg_reuse
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "engine/preagg_cache.h"
+#include "workload/retail_generator.h"
+
+namespace {
+
+using namespace mddc;
+
+RetailMo BuildRetail(std::size_t purchases) {
+  RetailWorkloadParams params;
+  params.num_purchases = purchases;
+  return std::move(
+             GenerateRetailWorkload(params, std::make_shared<FactRegistry>()))
+      .ValueOrDie();
+}
+
+std::vector<CategoryTypeIndex> GroupingAt(const MdObject& mo,
+                                          std::size_t dim,
+                                          CategoryTypeIndex category) {
+  std::vector<CategoryTypeIndex> grouping;
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    grouping.push_back(i == dim ? category : mo.dimension(i).type().top());
+  }
+  return grouping;
+}
+
+void BM_DepartmentSumFromBase(benchmark::State& state) {
+  RetailMo retail = BuildRetail(static_cast<std::size_t>(state.range(0)));
+  auto grouping =
+      GroupingAt(retail.mo, retail.product_dim, retail.department);
+  AggregateSpec spec{AggFunction::Sum(retail.amount_dim), grouping,
+                     ResultDimensionSpec::Auto(), kNowChronon, true};
+  for (auto _ : state) {
+    auto result = AggregateFormation(retail.mo, spec);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DepartmentSumFromBase)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_DepartmentSumFromCategoryPartials(benchmark::State& state) {
+  RetailMo retail = BuildRetail(static_cast<std::size_t>(state.range(0)));
+  PreAggregateCache cache(retail.mo);
+  // Materialize once at Category level (10 categories).
+  (void)cache.Materialize(
+      AggFunction::Sum(retail.amount_dim),
+      GroupingAt(retail.mo, retail.product_dim, retail.category));
+  auto coarse = GroupingAt(retail.mo, retail.product_dim, retail.department);
+  for (auto _ : state) {
+    // A fresh cache per iteration would re-materialize; instead query a
+    // cache that holds only the category partials, clearing the memoized
+    // department entry by using a new cache seeded the same way is
+    // expensive — so measure the roll-up path via a cache whose exact
+    // entry is evicted: simplest honest approach is rebuilding the cache
+    // outside the timed region.
+    state.PauseTiming();
+    PreAggregateCache fresh(retail.mo);
+    (void)fresh.Materialize(
+        AggFunction::Sum(retail.amount_dim),
+        GroupingAt(retail.mo, retail.product_dim, retail.category));
+    state.ResumeTiming();
+    auto result = fresh.Query(AggFunction::Sum(retail.amount_dim), coarse);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DepartmentSumFromCategoryPartials)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000);
+
+void BM_ExactCacheHit(benchmark::State& state) {
+  RetailMo retail = BuildRetail(4000);
+  PreAggregateCache cache(retail.mo);
+  auto grouping =
+      GroupingAt(retail.mo, retail.product_dim, retail.department);
+  (void)cache.Materialize(AggFunction::Sum(retail.amount_dim), grouping);
+  for (auto _ : state) {
+    auto result = cache.Query(AggFunction::Sum(retail.amount_dim), grouping);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExactCacheHit);
+
+void PrintReuseSummary() {
+  RetailMo retail = BuildRetail(4000);
+  PreAggregateCache cache(retail.mo);
+  (void)cache.Materialize(
+      AggFunction::Sum(retail.amount_dim),
+      GroupingAt(retail.mo, retail.product_dim, retail.product));
+  (void)cache.Query(AggFunction::Sum(retail.amount_dim),
+                    GroupingAt(retail.mo, retail.product_dim,
+                               retail.category));
+  (void)cache.Query(AggFunction::Sum(retail.amount_dim),
+                    GroupingAt(retail.mo, retail.product_dim,
+                               retail.department));
+  (void)cache.Query(AggFunction::Avg(retail.price_dim),
+                    GroupingAt(retail.mo, retail.store_dim, retail.city));
+  (void)cache.Query(AggFunction::Avg(retail.price_dim),
+                    GroupingAt(retail.mo, retail.store_dim, retail.region));
+  std::cout << "Reuse summary over a product-hierarchy query sequence:\n"
+            << "  base scans:       " << cache.stats().base_scans
+            << "  (initial materialization + the two AVG queries)\n"
+            << "  rollup reuses:    " << cache.stats().rollup_hits
+            << "  (category and department SUMs from product partials)\n"
+            << "  reuse refusals:   " << cache.stats().reuse_refusals
+            << "  (AVG partials are not distributive -> never merged)\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReuseSummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

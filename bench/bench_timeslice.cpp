@@ -1,0 +1,82 @@
+// Valid-timeslice cost versus data size and temporal churn (the fraction
+// of the diagnosis hierarchy re-coded at the 1980 epoch), plus the cost
+// of analysis across change (characterization through bridge edges).
+//
+//   $ ./bench/bench_timeslice
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/timeslice.h"
+#include "common/date.h"
+#include "workload/clinical_generator.h"
+
+namespace {
+
+using namespace mddc;
+
+ClinicalMo BuildWorkload(std::size_t patients, double churn) {
+  ClinicalWorkloadParams params;
+  params.num_patients = patients;
+  params.num_groups = 4;
+  params.reclassified_rate = churn;
+  return std::move(
+             GenerateClinicalWorkload(params,
+                                      std::make_shared<FactRegistry>()))
+      .ValueOrDie();
+}
+
+void BM_ValidTimeslicePatients(benchmark::State& state) {
+  ClinicalMo workload =
+      BuildWorkload(static_cast<std::size_t>(state.range(0)), 0.2);
+  Chronon at = *ParseDate("15/06/85");
+  for (auto _ : state) {
+    auto sliced = ValidTimeslice(workload.mo, at);
+    benchmark::DoNotOptimize(sliced);
+    if (!sliced.ok()) state.SkipWithError(sliced.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ValidTimeslicePatients)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_ValidTimesliceChurn(benchmark::State& state) {
+  double churn = static_cast<double>(state.range(0)) / 100.0;
+  ClinicalMo workload = BuildWorkload(400, churn);
+  Chronon at = *ParseDate("15/06/75");  // old era: churn decides how much
+                                        // of the hierarchy exists
+  for (auto _ : state) {
+    auto sliced = ValidTimeslice(workload.mo, at);
+    benchmark::DoNotOptimize(sliced);
+    if (!sliced.ok()) state.SkipWithError(sliced.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_ValidTimesliceChurn)->Arg(0)->Arg(20)->Arg(50);
+
+void BM_SliceOldVsNewEra(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload(400, 0.3);
+  Chronon at = state.range(0) == 0 ? *ParseDate("15/06/75")
+                                   : *ParseDate("15/06/95");
+  for (auto _ : state) {
+    auto sliced = ValidTimeslice(workload.mo, at);
+    benchmark::DoNotOptimize(sliced);
+  }
+}
+BENCHMARK(BM_SliceOldVsNewEra)->Arg(0)->Arg(1);
+
+// Cost of characterization through cross-era bridge edges (Example 10's
+// analysis across change) for every patient.
+void BM_CharacterizeAcrossChange(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload(400, 0.3);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (FactId fact : workload.mo.facts()) {
+      total += workload.mo.CharacterizedBy(fact, workload.diagnosis_dim)
+                   .size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_CharacterizeAcrossChange);
+
+}  // namespace
+
+BENCHMARK_MAIN();

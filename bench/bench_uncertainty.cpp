@@ -1,0 +1,107 @@
+// Uncertainty handling (requirement 8): overhead of probabilistic
+// attachments — probability-threshold selection, characterization with
+// probability derivation, and exact count distributions — compared with
+// the crisp equivalents.
+//
+//   $ ./bench/bench_uncertainty
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/operators.h"
+#include "uncertainty/probability.h"
+#include "workload/clinical_generator.h"
+
+namespace {
+
+using namespace mddc;
+
+ClinicalMo BuildWorkload(double uncertain_rate) {
+  ClinicalWorkloadParams params;
+  params.num_patients = 400;
+  params.num_groups = 4;
+  params.uncertain_rate = uncertain_rate;
+  return std::move(
+             GenerateClinicalWorkload(params,
+                                      std::make_shared<FactRegistry>()))
+      .ValueOrDie();
+}
+
+ValueId FirstGroup(const ClinicalMo& workload) {
+  return workload.mo.dimension(workload.diagnosis_dim)
+      .ValuesIn(workload.group)
+      .front();
+}
+
+void BM_CrispSelection(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload(0.0);
+  Predicate predicate =
+      Predicate::CharacterizedBy(workload.diagnosis_dim, FirstGroup(workload));
+  for (auto _ : state) {
+    auto result = Select(workload.mo, predicate);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CrispSelection);
+
+void BM_ProbabilityThresholdSelection(benchmark::State& state) {
+  ClinicalMo workload = BuildWorkload(0.3);
+  Predicate predicate = Predicate::MinProbability(
+      workload.diagnosis_dim, FirstGroup(workload), 0.8);
+  for (auto _ : state) {
+    auto result = Select(workload.mo, predicate);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ProbabilityThresholdSelection);
+
+void BM_CharacterizationWithProbability(benchmark::State& state) {
+  double rate = static_cast<double>(state.range(0)) / 100.0;
+  ClinicalMo workload = BuildWorkload(rate);
+  for (auto _ : state) {
+    double expected = 0.0;
+    for (FactId fact : workload.mo.facts()) {
+      for (const auto& c :
+           workload.mo.CharacterizedBy(fact, workload.diagnosis_dim)) {
+        expected += c.prob;
+      }
+    }
+    benchmark::DoNotOptimize(expected);
+  }
+}
+BENCHMARK(BM_CharacterizationWithProbability)->Arg(0)->Arg(30)->Arg(100);
+
+void BM_CountDistribution(benchmark::State& state) {
+  std::vector<double> probabilities(
+      static_cast<std::size_t>(state.range(0)), 0.7);
+  for (auto _ : state) {
+    auto distribution = CountDistribution(probabilities);
+    benchmark::DoNotOptimize(distribution);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CountDistribution)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_ExpectedCountVsExact(benchmark::State& state) {
+  // Expectation is linear; the full distribution quadratic — the shape
+  // argument for reporting expectations at scale.
+  std::vector<double> probabilities(1024, 0.7);
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ExpectedCount(probabilities));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(CountDistribution(probabilities));
+    }
+  }
+}
+BENCHMARK(BM_ExpectedCountVsExact)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

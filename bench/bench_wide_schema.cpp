@@ -1,0 +1,109 @@
+// The paper's closing future-work question: "how multidimensional models
+// may cope with the hundreds of dimensions found in some applications."
+// This bench builds MOs with up to 512 simple dimensions and measures
+// construction, validation, selection and single-dimension aggregation —
+// showing which costs scale with the dimension count and which stay
+// proportional to the data actually touched.
+//
+//   $ ./bench/bench_wide_schema
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/operators.h"
+#include "common/strings.h"
+#include "core/md_object.h"
+
+namespace {
+
+using namespace mddc;
+
+constexpr std::size_t kFacts = 200;
+constexpr std::size_t kValuesPerDim = 16;
+
+/// Builds an MO with `width` simple dimensions; each fact is related to
+/// one (deterministic) value in every dimension.
+MdObject BuildWide(std::size_t width,
+                   std::shared_ptr<FactRegistry> registry) {
+  std::vector<Dimension> dimensions;
+  dimensions.reserve(width);
+  for (std::size_t d = 0; d < width; ++d) {
+    DimensionTypeBuilder builder(StrCat("D", d));
+    builder.AddCategory("Value", AggregationType::kSum);
+    Dimension dimension(std::move(builder.Build()).ValueOrDie());
+    CategoryTypeIndex bottom = dimension.type().bottom();
+    Representation& rep = dimension.RepresentationFor(bottom, "Value");
+    for (std::size_t v = 0; v < kValuesPerDim; ++v) {
+      ValueId id(d * 1000 + v);
+      (void)dimension.AddValue(bottom, id);
+      (void)rep.Set(id, std::to_string(v));
+    }
+    dimensions.push_back(std::move(dimension));
+  }
+  MdObject mo("Wide", std::move(dimensions), std::move(registry));
+  for (std::size_t f = 0; f < kFacts; ++f) {
+    FactId fact = mo.registry()->Atom(f);
+    (void)mo.AddFact(fact);
+    for (std::size_t d = 0; d < width; ++d) {
+      (void)mo.Relate(d, fact,
+                      ValueId(d * 1000 + (f * (d + 1)) % kValuesPerDim));
+    }
+  }
+  return mo;
+}
+
+void BM_BuildWideMo(benchmark::State& state) {
+  for (auto _ : state) {
+    auto registry = std::make_shared<FactRegistry>();
+    MdObject mo = BuildWide(static_cast<std::size_t>(state.range(0)),
+                            registry);
+    benchmark::DoNotOptimize(mo);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildWideMo)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ValidateWideMo(benchmark::State& state) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo = BuildWide(static_cast<std::size_t>(state.range(0)),
+                          registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mo.Validate());
+  }
+}
+BENCHMARK(BM_ValidateWideMo)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SelectOnOneOfManyDimensions(benchmark::State& state) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo = BuildWide(static_cast<std::size_t>(state.range(0)),
+                          registry);
+  // Predicate touches a single dimension; cost should not grow with the
+  // total width (selection restricts relations per dimension lazily).
+  Predicate predicate = Predicate::CharacterizedBy(0, ValueId(3));
+  for (auto _ : state) {
+    auto result = Select(mo, predicate);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SelectOnOneOfManyDimensions)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_AggregateOneOfManyDimensions(benchmark::State& state) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo = BuildWide(static_cast<std::size_t>(state.range(0)),
+                          registry);
+  AggregateSpec spec{AggFunction::SetCount(), {}, ResultDimensionSpec::Auto(),
+                     kNowChronon, true};
+  spec.grouping.push_back(mo.dimension(0).type().bottom());
+  for (std::size_t d = 1; d < mo.dimension_count(); ++d) {
+    spec.grouping.push_back(mo.dimension(d).type().top());
+  }
+  for (auto _ : state) {
+    auto result = AggregateFormation(mo, spec);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_AggregateOneOfManyDimensions)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// An interactive MDQL shell over the library: query registered MOs, save
+// them to .mddc files and load them back.
+//
+//   $ ./examples/mddc_shell            # starts with 'patients' loaded
+//   mddc> SHOW DIMENSIONS FROM patients
+//   mddc> SELECT COUNT FROM patients BY Diagnosis."Diagnosis Group"
+//   mddc> save patients /tmp/patients.mddc
+//   mddc> load copy /tmp/patients.mddc
+//   mddc> quit
+//
+// Also works non-interactively: echo queries into stdin.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "io/serialize.h"
+#include "mdql/mdql.h"
+#include "workload/case_study.h"
+
+namespace {
+
+using namespace mddc;
+
+/// Splits "cmd name path" into words (path may contain no spaces here;
+/// quote-free convenience parsing for the shell's meta commands).
+std::vector<std::string> Words(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> words;
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+std::string Lower(std::string text) {
+  for (char& c : text) c = static_cast<char>(std::tolower(c));
+  return text;
+}
+
+}  // namespace
+
+int main() {
+  mdql::Session session;
+  auto registry = std::make_shared<FactRegistry>();
+
+  if (auto cs = BuildCaseStudy(); cs.ok()) {
+    (void)session.Register("patients", cs->mo);
+    std::cout << "Loaded the ICDE'99 case study as 'patients'.\n";
+  }
+  std::cout << "MDQL shell — try: SHOW DIMENSIONS FROM patients\n"
+            << "Meta commands: load <name> <path>, save <name> <path>, "
+               "names, quit\n";
+
+  std::string line;
+  while (true) {
+    std::cout << "mddc> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    std::vector<std::string> words = Words(line);
+    std::string command = Lower(words.front());
+    if (command == "quit" || command == "exit") break;
+    if (command == "names") {
+      for (const std::string& name : session.names()) {
+        std::cout << "  " << name << "\n";
+      }
+      continue;
+    }
+    if (command == "save" || command == "load") {
+      if (words.size() != 3) {
+        std::cout << "usage: " << command << " <name> <path>\n";
+        continue;
+      }
+      if (command == "save") {
+        auto mo = session.Get(words[1]);
+        if (!mo.ok()) {
+          std::cout << mo.status() << "\n";
+          continue;
+        }
+        Status saved = io::SaveMoToFile(**mo, words[2]);
+        std::cout << (saved.ok() ? "saved\n" : saved.ToString() + "\n");
+      } else {
+        auto loaded = io::LoadMoFromFile(words[2], registry);
+        if (!loaded.ok()) {
+          std::cout << loaded.status() << "\n";
+          continue;
+        }
+        Status registered = session.Register(words[1], *std::move(loaded));
+        std::cout << (registered.ok() ? "loaded\n"
+                                      : registered.ToString() + "\n");
+      }
+      continue;
+    }
+    auto result = session.Execute(line);
+    if (!result.ok()) {
+      std::cout << "error: " << result.status() << "\n";
+      continue;
+    }
+    std::cout << result->ToString();
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Quickstart: build a small multidimensional object, query it, aggregate
+// it. Walks the core API end to end in ~100 lines.
+//
+//   $ ./examples/quickstart
+
+#include <cstdlib>
+#include <iostream>
+
+#include "algebra/derived.h"
+#include "algebra/operators.h"
+#include "core/md_object.h"
+
+namespace {
+
+using namespace mddc;  // example code; library code never does this
+
+void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  // 1. Declare a dimension type: a lattice of category types. A TOP
+  //    category (the ALL level) is added automatically.
+  DimensionTypeBuilder product_builder("Product");
+  product_builder.AddCategory("Product")
+      .AddCategory("Category")
+      .AddOrder("Product", "Category");
+  auto product_type = Unwrap(product_builder.Build());
+
+  DimensionTypeBuilder amount_builder("Amount");
+  // Sigma: amounts can be summed (and averaged, counted, min/maxed).
+  amount_builder.AddCategory("Amount", AggregationType::kSum);
+  auto amount_type = Unwrap(amount_builder.Build());
+
+  // 2. Populate dimensions: values are surrogates; names and numbers
+  //    attach through representations.
+  Dimension product(product_type);
+  CategoryTypeIndex product_cat = *product_type->Find("Product");
+  CategoryTypeIndex category_cat = *product_type->Find("Category");
+  Representation& product_names =
+      product.RepresentationFor(product_cat, "Name");
+  Representation& category_names =
+      product.RepresentationFor(category_cat, "Name");
+  CheckOk(product.AddValue(category_cat, ValueId(100)));
+  CheckOk(category_names.Set(ValueId(100), "fruit"));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    CheckOk(product.AddValue(product_cat, ValueId(i)));
+    CheckOk(product_names.Set(
+        ValueId(i), i == 0 ? "apple" : (i == 1 ? "pear" : "plum")));
+    CheckOk(product.AddOrder(ValueId(i), ValueId(100)));
+  }
+
+  Dimension amount(amount_type);
+  CategoryTypeIndex amount_cat = amount_type->bottom();
+  Representation& amount_values =
+      amount.RepresentationFor(amount_cat, "Value");
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    CheckOk(amount.AddValue(amount_cat, ValueId(1000 + v)));
+    CheckOk(amount_values.Set(ValueId(1000 + v), std::to_string(v)));
+  }
+
+  // 3. Build the MO: facts are purchases, characterized in both
+  //    dimensions (fact-dimension relations are many-to-many in general).
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject purchases("Purchase", {product, amount}, registry);
+  struct Row {
+    std::uint64_t purchase, product, amount;
+  };
+  for (const Row& row : {Row{1, 0, 3}, Row{2, 0, 5}, Row{3, 1, 2},
+                         Row{4, 2, 7}, Row{5, 1, 4}}) {
+    FactId fact = registry->Atom(row.purchase);
+    CheckOk(purchases.AddFact(fact));
+    CheckOk(purchases.Relate(0, fact, ValueId(row.product)));
+    CheckOk(purchases.Relate(1, fact, ValueId(1000 + row.amount)));
+  }
+  CheckOk(purchases.Validate());
+  std::cout << purchases.ToString() << "\n";
+
+  // 4. Select: purchases of apples (value 0), via the algebra.
+  MdObject apples =
+      Unwrap(Select(purchases, Predicate::CharacterizedBy(0, ValueId(0))));
+  std::cout << "Purchases of apples: " << apples.fact_count() << "\n";
+
+  // 5. Aggregate: SUM(amount) per product category (SQL-like view).
+  auto rows = Unwrap(SqlAggregate(
+      purchases, {SqlGroupBy{0, category_cat, "Name"}}, AggFunction::Sum(1)));
+  for (const SqlRow& row : rows) {
+    std::cout << "category " << row.group[0] << ": total amount "
+              << row.value << "\n";
+  }
+
+  // 6. The aggregation-type guard: averaging product ids is meaningless
+  //    and rejected.
+  AggregateSpec bad{AggFunction::Avg(0),
+                    {category_cat, amount_type->top()},
+                    ResultDimensionSpec::Auto(),
+                    kNowChronon,
+                    true};
+  auto rejected = AggregateFormation(purchases, bad);
+  std::cout << "AVG over products: " << rejected.status() << "\n";
+  return 0;
+}

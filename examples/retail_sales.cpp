@@ -1,0 +1,137 @@
+// The introduction's retail scenario: purchases characterized by product,
+// store, date, amount and price — with amount and price as *dimensions*
+// (the model's symmetric view), a pre-aggregation cache with
+// summarizability-guided reuse, and a comparison against the star-schema
+// baseline.
+//
+//   $ ./examples/retail_sales
+
+#include <cstdlib>
+#include <iostream>
+
+#include "algebra/derived.h"
+#include "baselines/star_schema.h"
+#include "engine/advisor.h"
+#include "engine/preagg_cache.h"
+#include "workload/retail_generator.h"
+
+namespace {
+
+using namespace mddc;
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+std::vector<CategoryTypeIndex> GroupingAt(const MdObject& mo,
+                                          std::size_t dim,
+                                          CategoryTypeIndex category) {
+  std::vector<CategoryTypeIndex> grouping;
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    grouping.push_back(i == dim ? category : mo.dimension(i).type().top());
+  }
+  return grouping;
+}
+
+}  // namespace
+
+int main() {
+  RetailWorkloadParams params;
+  params.num_purchases = 5000;
+  RetailMo retail = Unwrap(
+      GenerateRetailWorkload(params, std::make_shared<FactRegistry>()));
+  std::cout << "Generated " << retail.mo.fact_count() << " purchases over "
+            << params.num_products << " products and " << params.num_stores
+            << " stores.\n\n";
+
+  std::cout << "== SUM(amount) by region ==\n";
+  auto by_region = Unwrap(SqlAggregate(
+      retail.mo, {SqlGroupBy{retail.store_dim, retail.region, "Name"}},
+      AggFunction::Sum(retail.amount_dim)));
+  for (const SqlRow& row : by_region) {
+    std::cout << "  " << row.group[0] << ": " << row.value << "\n";
+  }
+
+  std::cout << "\n== AVG(price) by department ==\n";
+  auto by_department = Unwrap(SqlAggregate(
+      retail.mo, {SqlGroupBy{retail.product_dim, retail.department, "Name"}},
+      AggFunction::Avg(retail.price_dim)));
+  for (const SqlRow& row : by_department) {
+    std::cout << "  department " << row.group[0] << ": " << row.value
+              << "\n";
+  }
+
+  std::cout << "\n== Pre-aggregation cache ==\n";
+  PreAggregateCache cache(retail.mo);
+  // Materialize at Category level; Department and grand total then reuse
+  // the category partials instead of rescanning 5000 purchases.
+  (void)cache.Materialize(
+      AggFunction::Sum(retail.amount_dim),
+      GroupingAt(retail.mo, retail.product_dim, retail.category));
+  (void)cache.Query(AggFunction::Sum(retail.amount_dim),
+                    GroupingAt(retail.mo, retail.product_dim,
+                               retail.department));
+  (void)cache.Query(
+      AggFunction::Sum(retail.amount_dim),
+      GroupingAt(retail.mo, retail.product_dim,
+                 retail.mo.dimension(retail.product_dim).type().top()));
+  std::cout << "  base scans:   " << cache.stats().base_scans << "\n";
+  std::cout << "  rollup reuse: " << cache.stats().rollup_hits << "\n";
+
+  std::cout << "\n== Materialization advisor ==\n";
+  MaterializationAdvisor advisor(retail.mo,
+                                 AggFunction::Sum(retail.amount_dim));
+  std::vector<AdvisorQuery> workload = {
+      {GroupingAt(retail.mo, retail.product_dim, retail.category), 10.0},
+      {GroupingAt(retail.mo, retail.product_dim, retail.department), 4.0},
+      {GroupingAt(retail.mo, retail.store_dim, retail.region), 4.0},
+      {GroupingAt(retail.mo, retail.store_dim, retail.city), 2.0},
+  };
+  AdvisorPlan plan = Unwrap(advisor.Advise(workload, 2));
+  std::cout << plan.ToString(retail.mo);
+  PreAggregateCache advised(retail.mo);
+  (void)advisor.Apply(plan, &advised);
+  advised.ResetStats();
+  for (const AdvisorQuery& query : workload) {
+    (void)advised.Query(AggFunction::Sum(retail.amount_dim),
+                        query.grouping);
+  }
+  std::cout << "  replay: " << advised.stats().exact_hits << " exact hits, "
+            << advised.stats().rollup_hits << " rollup reuses, "
+            << advised.stats().base_scans << " base scans\n";
+
+  std::cout << "\n== Star-schema baseline comparison ==\n";
+  // A purchase of a product that sits in two promotional categories would
+  // double count in a star schema; our model counts it once. Build a tiny
+  // demonstration.
+  StarSchemaEngine star;
+  relational::Relation product({"key", "name", "category"});
+  (void)product.Insert({relational::Value(std::int64_t{1}),
+                        relational::Value(std::string("gift box")),
+                        relational::Value(std::string("food"))});
+  (void)product.Insert({relational::Value(std::int64_t{2}),
+                        relational::Value(std::string("gift box")),
+                        relational::Value(std::string("gifts"))});
+  (void)star.AddDimensionTable("Product", std::move(product), "key");
+  relational::Relation fact({"purchase", "product_fk", "amount"});
+  (void)fact.Insert({relational::Value(std::int64_t{100}),
+                     relational::Value(std::int64_t{1}),
+                     relational::Value(std::int64_t{5})});
+  (void)fact.Insert({relational::Value(std::int64_t{100}),
+                     relational::Value(std::int64_t{2}),
+                     relational::Value(std::int64_t{5})});
+  (void)star.SetFactTable(std::move(fact), {{"Product", "product_fk"}});
+  auto star_total = Unwrap(star.AggregateByLevel(
+      "Product", "name",
+      {relational::AggregateTerm::Func::kSum, "amount", "total"}));
+  std::cout << "  star schema total for 'gift box' (true amount 5):\n"
+            << star_total.ToString();
+  std::cout << "  (the fact row is duplicated per category: classic "
+               "double counting the MD model avoids)\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "algebra/agg_function.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace mddc {
+
+AggFunction AggFunction::SetCount() {
+  return AggFunction(AggregateFunctionKind::kSetCount, {});
+}
+AggFunction AggFunction::Count(std::size_t dim) {
+  return AggFunction(AggregateFunctionKind::kCount, {dim});
+}
+AggFunction AggFunction::Sum(std::size_t dim) {
+  return AggFunction(AggregateFunctionKind::kSum, {dim});
+}
+AggFunction AggFunction::Avg(std::size_t dim) {
+  return AggFunction(AggregateFunctionKind::kAvg, {dim});
+}
+AggFunction AggFunction::Min(std::size_t dim) {
+  return AggFunction(AggregateFunctionKind::kMin, {dim});
+}
+AggFunction AggFunction::Max(std::size_t dim) {
+  return AggFunction(AggregateFunctionKind::kMax, {dim});
+}
+
+std::string AggFunction::name() const {
+  std::string base(AggregateFunctionKindName(kind_));
+  for (std::size_t dim : args_) base += StrCat("_", dim);
+  return base;
+}
+
+Status AggFunction::CheckApplicable(const MdObject& mo) const {
+  for (std::size_t dim : args_) {
+    if (dim >= mo.dimension_count()) {
+      return Status::InvalidArgument(
+          StrCat(name(), " references dimension ", dim, " of a ",
+                 mo.dimension_count(), "-dimensional MO"));
+    }
+    const DimensionType& type = mo.dimension(dim).type();
+    AggregationType agg_type = type.AggType(type.bottom());
+    if (!IsApplicable(kind_, agg_type)) {
+      return Status::IllegalAggregation(
+          StrCat("function ", name(), " is not applicable to dimension '",
+                 type.name(), "' whose bottom category has aggregation type ",
+                 AggregationTypeName(agg_type)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> AggFunction::Evaluate(const MdObject& mo,
+                                     const std::vector<FactId>& group,
+                                     Chronon at) const {
+  if (kind_ == AggregateFunctionKind::kSetCount) {
+    return static_cast<double>(group.size());
+  }
+  const std::size_t dim = args_.front();
+  if (dim >= mo.dimension_count()) {
+    return Status::InvalidArgument(
+        StrCat(name(), " references dimension ", dim, " of a ",
+               mo.dimension_count(), "-dimensional MO"));
+  }
+  const Dimension& dimension = mo.dimension(dim);
+
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min_value = std::numeric_limits<double>::infinity();
+  double max_value = -std::numeric_limits<double>::infinity();
+  for (FactId fact : group) {
+    for (const FactDimRelation::Entry* entry :
+         mo.relation(dim).ForFact(fact)) {
+      if (entry->value == dimension.top_value()) continue;  // unknown
+      if (kind_ == AggregateFunctionKind::kCount) {
+        ++count;
+        continue;
+      }
+      MDDC_ASSIGN_OR_RETURN(double value,
+                            dimension.NumericValueOf(entry->value, at));
+      ++count;
+      sum += value;
+      min_value = std::min(min_value, value);
+      max_value = std::max(max_value, value);
+    }
+  }
+
+  switch (kind_) {
+    case AggregateFunctionKind::kCount:
+      return static_cast<double>(count);
+    case AggregateFunctionKind::kSum:
+      return sum;
+    case AggregateFunctionKind::kAvg:
+      if (count == 0) {
+        return Status::InvalidArgument(
+            StrCat(name(), " over a group with no known values"));
+      }
+      return sum / static_cast<double>(count);
+    case AggregateFunctionKind::kMin:
+      if (count == 0) {
+        return Status::InvalidArgument(
+            StrCat(name(), " over a group with no known values"));
+      }
+      return min_value;
+    case AggregateFunctionKind::kMax:
+      if (count == 0) {
+        return Status::InvalidArgument(
+            StrCat(name(), " over a group with no known values"));
+      }
+      return max_value;
+    case AggregateFunctionKind::kSetCount:
+      break;  // handled above
+  }
+  return Status::InvalidArgument("unknown aggregate function kind");
+}
+
+}  // namespace mddc

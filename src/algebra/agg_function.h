@@ -1,0 +1,65 @@
+#ifndef MDDC_ALGEBRA_AGG_FUNCTION_H_
+#define MDDC_ALGEBRA_AGG_FUNCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/aggregation.h"
+#include "core/md_object.h"
+
+namespace mddc {
+
+/// A member of the paper's family of aggregation functions (Section 4.1,
+/// following Klug): a function g : 2^F -> Dom that "looks up the required
+/// data for the facts in the relevant fact-dimension relations". SUM_i
+/// sums the numeric interpretation of the dimension-i values related to
+/// each fact; SetCount counts the members of a fact set (Example 12) and
+/// takes no argument dimension.
+class AggFunction {
+ public:
+  /// set-count: |group| (Example 12's patient count per diagnosis group).
+  static AggFunction SetCount();
+  /// COUNT_i: number of (fact, value) pairs in R_i for the group's facts,
+  /// top-value pairs excluded (unknown data is not counted).
+  static AggFunction Count(std::size_t dim);
+  static AggFunction Sum(std::size_t dim);
+  static AggFunction Avg(std::size_t dim);
+  static AggFunction Min(std::size_t dim);
+  static AggFunction Max(std::size_t dim);
+
+  AggregateFunctionKind kind() const { return kind_; }
+
+  /// Args(g): the argument dimensions of the function (empty for
+  /// SetCount, {i} for SUM_i etc.).
+  const std::vector<std::size_t>& args() const { return args_; }
+
+  bool distributive() const { return IsDistributive(kind_); }
+
+  /// Display name, e.g. "SUM_2" or "SetCount".
+  std::string name() const;
+
+  /// Checks g's applicability against the aggregation types of the bottom
+  /// categories of its argument dimensions (the paper's condition
+  /// g in min_{j in Args(g)}(AggType(bot_Dij))). Returns
+  /// IllegalAggregation when the data does not support the function —
+  /// e.g. SUM over diagnoses.
+  Status CheckApplicable(const MdObject& mo) const;
+
+  /// Evaluates g over a group of facts of `mo` at valid chronon `at`.
+  /// Numeric data is read through Dimension::NumericValueOf.
+  Result<double> Evaluate(const MdObject& mo,
+                          const std::vector<FactId>& group,
+                          Chronon at = kNowChronon) const;
+
+ private:
+  AggFunction(AggregateFunctionKind kind, std::vector<std::size_t> args)
+      : kind_(kind), args_(std::move(args)) {}
+
+  AggregateFunctionKind kind_;
+  std::vector<std::size_t> args_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_ALGEBRA_AGG_FUNCTION_H_

@@ -1,0 +1,225 @@
+#include "algebra/expression.h"
+
+#include <optional>
+
+#include "common/strings.h"
+
+namespace mddc {
+
+struct Expression::Node {
+  enum class Kind {
+    kLeaf,
+    kSelect,
+    kProject,
+    kRename,
+    kUnion,
+    kDifference,
+    kJoin,
+    kAggregate,
+    kValidSlice,
+    kTransactionSlice,
+  };
+
+  Kind kind = Kind::kLeaf;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+
+  std::optional<MdObject> mo;  // kLeaf
+  std::string label = "M";
+  std::optional<Predicate> predicate;
+  std::vector<std::size_t> dims;
+  std::optional<RenameSpec> rename;
+  JoinPredicate join_predicate = JoinPredicate::kTrue;
+  std::optional<AggregateSpec> aggregate;
+  Chronon slice_at = 0;
+};
+
+namespace {
+
+using Node = Expression::Node;
+
+Result<MdObject> EvaluateNode(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kLeaf:
+      return *node.mo;
+    case Node::Kind::kSelect: {
+      MDDC_ASSIGN_OR_RETURN(MdObject input, EvaluateNode(*node.left));
+      return Select(input, *node.predicate);
+    }
+    case Node::Kind::kProject: {
+      MDDC_ASSIGN_OR_RETURN(MdObject input, EvaluateNode(*node.left));
+      return Project(input, node.dims);
+    }
+    case Node::Kind::kRename: {
+      MDDC_ASSIGN_OR_RETURN(MdObject input, EvaluateNode(*node.left));
+      return Rename(input, *node.rename);
+    }
+    case Node::Kind::kUnion: {
+      MDDC_ASSIGN_OR_RETURN(MdObject left, EvaluateNode(*node.left));
+      MDDC_ASSIGN_OR_RETURN(MdObject right, EvaluateNode(*node.right));
+      return Union(left, right);
+    }
+    case Node::Kind::kDifference: {
+      MDDC_ASSIGN_OR_RETURN(MdObject left, EvaluateNode(*node.left));
+      MDDC_ASSIGN_OR_RETURN(MdObject right, EvaluateNode(*node.right));
+      return Difference(left, right);
+    }
+    case Node::Kind::kJoin: {
+      MDDC_ASSIGN_OR_RETURN(MdObject left, EvaluateNode(*node.left));
+      MDDC_ASSIGN_OR_RETURN(MdObject right, EvaluateNode(*node.right));
+      return Join(left, right, node.join_predicate);
+    }
+    case Node::Kind::kAggregate: {
+      MDDC_ASSIGN_OR_RETURN(MdObject input, EvaluateNode(*node.left));
+      return AggregateFormation(input, *node.aggregate);
+    }
+    case Node::Kind::kValidSlice: {
+      MDDC_ASSIGN_OR_RETURN(MdObject input, EvaluateNode(*node.left));
+      return ValidTimeslice(input, node.slice_at);
+    }
+    case Node::Kind::kTransactionSlice: {
+      MDDC_ASSIGN_OR_RETURN(MdObject input, EvaluateNode(*node.left));
+      return TransactionTimeslice(input, node.slice_at);
+    }
+  }
+  return Status::InvalidArgument("unknown expression node kind");
+}
+
+std::string NodeToString(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kLeaf:
+      return node.label;
+    case Node::Kind::kSelect:
+      return StrCat("sigma[", node.predicate->ToString(), "](",
+                    NodeToString(*node.left), ")");
+    case Node::Kind::kProject: {
+      std::vector<std::string> dims;
+      for (std::size_t d : node.dims) dims.push_back(std::to_string(d));
+      return StrCat("pi[", Join(dims, ","), "](", NodeToString(*node.left),
+                    ")");
+    }
+    case Node::Kind::kRename:
+      return StrCat("rho(", NodeToString(*node.left), ")");
+    case Node::Kind::kUnion:
+      return StrCat("(", NodeToString(*node.left), " u ",
+                    NodeToString(*node.right), ")");
+    case Node::Kind::kDifference:
+      return StrCat("(", NodeToString(*node.left), " \\ ",
+                    NodeToString(*node.right), ")");
+    case Node::Kind::kJoin:
+      return StrCat("(", NodeToString(*node.left), " |x| ",
+                    NodeToString(*node.right), ")");
+    case Node::Kind::kAggregate:
+      return StrCat("alpha[", node.aggregate->function.name(), "](",
+                    NodeToString(*node.left), ")");
+    case Node::Kind::kValidSlice:
+      return StrCat("rho_v[", node.slice_at, "](", NodeToString(*node.left),
+                    ")");
+    case Node::Kind::kTransactionSlice:
+      return StrCat("rho_t[", node.slice_at, "](", NodeToString(*node.left),
+                    ")");
+  }
+  return "?";
+}
+
+std::size_t CountOperators(const Node& node) {
+  std::size_t count = node.kind == Node::Kind::kLeaf ? 0 : 1;
+  if (node.left != nullptr) count += CountOperators(*node.left);
+  if (node.right != nullptr) count += CountOperators(*node.right);
+  return count;
+}
+
+}  // namespace
+
+Expression Expression::Leaf(MdObject mo, std::string label) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kLeaf;
+  node->mo = std::move(mo);
+  node->label = std::move(label);
+  return Expression(node);
+}
+
+Expression Expression::Select(Expression input, Predicate predicate) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kSelect;
+  node->left = input.root_;
+  node->predicate = std::move(predicate);
+  return Expression(node);
+}
+
+Expression Expression::Project(Expression input,
+                               std::vector<std::size_t> dims) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kProject;
+  node->left = input.root_;
+  node->dims = std::move(dims);
+  return Expression(node);
+}
+
+Expression Expression::Rename(Expression input, RenameSpec spec) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kRename;
+  node->left = input.root_;
+  node->rename = std::move(spec);
+  return Expression(node);
+}
+
+Expression Expression::Union(Expression left, Expression right) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kUnion;
+  node->left = left.root_;
+  node->right = right.root_;
+  return Expression(node);
+}
+
+Expression Expression::Difference(Expression left, Expression right) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kDifference;
+  node->left = left.root_;
+  node->right = right.root_;
+  return Expression(node);
+}
+
+Expression Expression::Join(Expression left, Expression right,
+                            JoinPredicate predicate) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kJoin;
+  node->left = left.root_;
+  node->right = right.root_;
+  node->join_predicate = predicate;
+  return Expression(node);
+}
+
+Expression Expression::Aggregate(Expression input, AggregateSpec spec) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAggregate;
+  node->left = input.root_;
+  node->aggregate = std::move(spec);
+  return Expression(node);
+}
+
+Expression Expression::ValidSlice(Expression input, Chronon t) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kValidSlice;
+  node->left = input.root_;
+  node->slice_at = t;
+  return Expression(node);
+}
+
+Expression Expression::TransactionSlice(Expression input, Chronon t) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kTransactionSlice;
+  node->left = input.root_;
+  node->slice_at = t;
+  return Expression(node);
+}
+
+Result<MdObject> Expression::Evaluate() const { return EvaluateNode(*root_); }
+
+std::string Expression::ToString() const { return NodeToString(*root_); }
+
+std::size_t Expression::OperatorCount() const {
+  return CountOperators(*root_);
+}
+
+}  // namespace mddc

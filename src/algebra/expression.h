@@ -1,0 +1,60 @@
+#ifndef MDDC_ALGEBRA_EXPRESSION_H_
+#define MDDC_ALGEBRA_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "algebra/timeslice.h"
+#include "common/result.h"
+#include "core/md_object.h"
+
+namespace mddc {
+
+/// A composable algebra expression over multidimensional objects. Every
+/// node evaluates to an MdObject and every intermediate result is
+/// validated against the MO closure conditions, which demonstrates
+/// Theorem 1 (closure) constructively on each query evaluated through
+/// this interface.
+class Expression {
+ public:
+  /// A constant MO leaf.
+  static Expression Leaf(MdObject mo, std::string label = "M");
+
+  static Expression Select(Expression input, Predicate predicate);
+  static Expression Project(Expression input, std::vector<std::size_t> dims);
+  static Expression Rename(Expression input, RenameSpec spec);
+  static Expression Union(Expression left, Expression right);
+  static Expression Difference(Expression left, Expression right);
+  static Expression Join(Expression left, Expression right,
+                         JoinPredicate predicate);
+  static Expression Aggregate(Expression input, AggregateSpec spec);
+  static Expression ValidSlice(Expression input, Chronon t);
+  static Expression TransactionSlice(Expression input, Chronon t);
+
+  /// Evaluates the expression bottom-up; fails with the first operator
+  /// error. Each operator already validates its output, so a successful
+  /// evaluation witnesses closure for the whole expression tree.
+  Result<MdObject> Evaluate() const;
+
+  /// Algebraic rendering, e.g. "alpha[SetCount](sigma[p](M))".
+  std::string ToString() const;
+
+  /// Number of operator nodes (leaves excluded).
+  std::size_t OperatorCount() const;
+
+  /// Implementation detail (defined in expression.cc); public only so the
+  /// evaluation helpers there can name it.
+  struct Node;
+
+ private:
+  explicit Expression(std::shared_ptr<const Node> root)
+      : root_(std::move(root)) {}
+
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_ALGEBRA_EXPRESSION_H_

@@ -1,0 +1,562 @@
+#include "algebra/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "core/properties.h"
+
+namespace mddc {
+namespace {
+
+Status RequireSharedRegistry(const MdObject& m1, const MdObject& m2,
+                             const char* op) {
+  if (m1.registry() != m2.registry()) {
+    return Status::InvalidArgument(
+        StrCat(op,
+               " requires both MOs to share one fact registry so fact "
+               "identity is comparable"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MdObject> Select(const MdObject& mo, const Predicate& predicate) {
+  std::vector<Dimension> dimensions;
+  dimensions.reserve(mo.dimension_count());
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    dimensions.push_back(mo.dimension(i));
+  }
+  MdObject result(mo.schema().fact_type(), std::move(dimensions),
+                  mo.registry(), mo.temporal_type());
+
+  std::vector<FactId> kept;
+  for (FactId fact : mo.facts()) {
+    MDDC_ASSIGN_OR_RETURN(bool matches, predicate.Evaluate(mo, fact));
+    if (matches) kept.push_back(fact);
+  }
+  for (FactId fact : kept) MDDC_RETURN_NOT_OK(result.AddFact(fact));
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    FactDimRelation restricted = mo.relation(i);
+    restricted.RestrictToFacts(kept);
+    result.relation_mutable(i) = std::move(restricted);
+  }
+  MDDC_RETURN_NOT_OK(result.Validate());
+  return result;
+}
+
+Result<MdObject> Project(const MdObject& mo,
+                         const std::vector<std::size_t>& dims) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("projection onto zero dimensions");
+  }
+  std::set<std::size_t> seen;
+  std::vector<Dimension> dimensions;
+  for (std::size_t dim : dims) {
+    if (dim >= mo.dimension_count()) {
+      return Status::InvalidArgument(
+          StrCat("projection dimension ", dim, " out of range"));
+    }
+    if (!seen.insert(dim).second) {
+      return Status::InvalidArgument(
+          StrCat("projection lists dimension ", dim, " twice"));
+    }
+    dimensions.push_back(mo.dimension(dim));
+  }
+  MdObject result(mo.schema().fact_type(), std::move(dimensions),
+                  mo.registry(), mo.temporal_type());
+  for (FactId fact : mo.facts()) MDDC_RETURN_NOT_OK(result.AddFact(fact));
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    result.relation_mutable(i) = mo.relation(dims[i]);
+  }
+  MDDC_RETURN_NOT_OK(result.Validate());
+  return result;
+}
+
+Result<MdObject> Rename(const MdObject& mo, const RenameSpec& spec) {
+  if (!spec.dimension_names.empty() &&
+      spec.dimension_names.size() != mo.dimension_count()) {
+    return Status::InvalidArgument(
+        StrCat("rename lists ", spec.dimension_names.size(),
+               " dimension names for a ", mo.dimension_count(),
+               "-dimensional MO"));
+  }
+  std::vector<Dimension> dimensions;
+  dimensions.reserve(mo.dimension_count());
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    const std::string* name = spec.dimension_names.empty()
+                                  ? nullptr
+                                  : &spec.dimension_names[i];
+    if (name != nullptr && !name->empty()) {
+      dimensions.push_back(mo.dimension(i).RenamedAs(*name));
+    } else {
+      dimensions.push_back(mo.dimension(i));
+    }
+  }
+  std::string fact_type =
+      spec.fact_type.empty() ? mo.schema().fact_type() : spec.fact_type;
+  MdObject result(std::move(fact_type), std::move(dimensions), mo.registry(),
+                  mo.temporal_type());
+  for (FactId fact : mo.facts()) MDDC_RETURN_NOT_OK(result.AddFact(fact));
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    result.relation_mutable(i) = mo.relation(i);
+  }
+  MDDC_RETURN_NOT_OK(result.Validate());
+  return result;
+}
+
+Result<MdObject> Union(const MdObject& m1, const MdObject& m2) {
+  MDDC_RETURN_NOT_OK(RequireSharedRegistry(m1, m2, "union"));
+  if (!m1.schema().EquivalentTo(m2.schema())) {
+    return Status::SchemaMismatch(
+        "union requires equivalent schemas (use rename to align names)");
+  }
+  std::vector<Dimension> dimensions;
+  for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+    MDDC_ASSIGN_OR_RETURN(
+        Dimension merged,
+        Dimension::UnionWith(m1.dimension(i), m2.dimension(i)));
+    dimensions.push_back(std::move(merged));
+  }
+  MdObject result(m1.schema().fact_type(), std::move(dimensions),
+                  m1.registry(), m1.temporal_type());
+  for (FactId fact : m1.facts()) MDDC_RETURN_NOT_OK(result.AddFact(fact));
+  for (FactId fact : m2.facts()) MDDC_RETURN_NOT_OK(result.AddFact(fact));
+  for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+    MDDC_ASSIGN_OR_RETURN(
+        FactDimRelation merged,
+        FactDimRelation::UnionWith(m1.relation(i), m2.relation(i)));
+    result.relation_mutable(i) = std::move(merged);
+  }
+  MDDC_RETURN_NOT_OK(result.Validate());
+  return result;
+}
+
+Result<MdObject> Difference(const MdObject& m1, const MdObject& m2) {
+  MDDC_RETURN_NOT_OK(RequireSharedRegistry(m1, m2, "difference"));
+  if (!m1.schema().EquivalentTo(m2.schema())) {
+    return Status::SchemaMismatch(
+        "difference requires equivalent schemas");
+  }
+  std::vector<Dimension> dimensions;
+  for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+    dimensions.push_back(m1.dimension(i));  // dimensions of M1 are kept
+  }
+  MdObject result(m1.schema().fact_type(), std::move(dimensions),
+                  m1.registry(), m1.temporal_type());
+
+  if (m1.temporal_type() == TemporalType::kSnapshot) {
+    // Snapshot rule: F' = F1 \ F2, relations restricted.
+    std::vector<FactId> kept;
+    for (FactId fact : m1.facts()) {
+      if (!m2.HasFact(fact)) kept.push_back(fact);
+    }
+    for (FactId fact : kept) MDDC_RETURN_NOT_OK(result.AddFact(fact));
+    for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+      FactDimRelation restricted = m1.relation(i);
+      restricted.RestrictToFacts(kept);
+      result.relation_mutable(i) = std::move(restricted);
+    }
+    MDDC_RETURN_NOT_OK(result.Validate());
+    return result;
+  }
+
+  // Temporal rule (Section 4.2): cut each pair's time by the time the
+  // corresponding pair has in M2; keep pairs with non-empty remaining
+  // time; keep facts that retain a pair in every dimension.
+  std::vector<FactDimRelation> cut(m1.dimension_count());
+  std::map<FactId, std::size_t> coverage;
+  for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+    for (const FactDimRelation::Entry& entry : m1.relation(i).entries()) {
+      TemporalElement other_valid;
+      for (const FactDimRelation::Entry* other :
+           m2.relation(i).ForFact(entry.fact)) {
+        if (other->value == entry.value &&
+            other->life.transaction.Overlaps(entry.life.transaction)) {
+          other_valid = other_valid.Union(other->life.valid);
+        }
+      }
+      Lifespan remaining{entry.life.valid.Subtract(other_valid),
+                         entry.life.transaction};
+      if (remaining.Empty()) continue;
+      MDDC_RETURN_NOT_OK(
+          cut[i].Add(entry.fact, entry.value, remaining, entry.prob));
+    }
+  }
+  for (FactId fact : m1.facts()) {
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+      if (cut[i].HasFact(fact)) ++covered;
+    }
+    if (covered == m1.dimension_count()) {
+      MDDC_RETURN_NOT_OK(result.AddFact(fact));
+    }
+  }
+  for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+    cut[i].RestrictToFacts(result.facts());
+    result.relation_mutable(i) = std::move(cut[i]);
+  }
+  MDDC_RETURN_NOT_OK(result.Validate());
+  return result;
+}
+
+Result<MdObject> Join(const MdObject& m1, const MdObject& m2,
+                      JoinPredicate predicate) {
+  MDDC_RETURN_NOT_OK(RequireSharedRegistry(m1, m2, "join"));
+  // Dimension names must be disjoint; the paper prescribes rename for
+  // self-joins.
+  for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+    for (std::size_t j = 0; j < m2.dimension_count(); ++j) {
+      if (m1.dimension(i).name() == m2.dimension(j).name()) {
+        return Status::InvalidArgument(
+            StrCat("join operands both have a dimension named '",
+                   m1.dimension(i).name(), "'; apply rename first"));
+      }
+    }
+  }
+  std::vector<Dimension> dimensions;
+  for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+    dimensions.push_back(m1.dimension(i));
+  }
+  for (std::size_t j = 0; j < m2.dimension_count(); ++j) {
+    dimensions.push_back(m2.dimension(j));
+  }
+  MdObject result(
+      StrCat("(", m1.schema().fact_type(), ",", m2.schema().fact_type(), ")"),
+      std::move(dimensions), m1.registry(), m1.temporal_type());
+
+  FactRegistry& registry = *m1.registry();
+  std::vector<std::pair<FactId, std::pair<FactId, FactId>>> pairs;
+  for (FactId f1 : m1.facts()) {
+    for (FactId f2 : m2.facts()) {
+      bool matches = false;
+      switch (predicate) {
+        case JoinPredicate::kEqual:
+          matches = f1 == f2;
+          break;
+        case JoinPredicate::kNotEqual:
+          matches = f1 != f2;
+          break;
+        case JoinPredicate::kTrue:
+          matches = true;
+          break;
+      }
+      if (!matches) continue;
+      FactId pair = registry.Pair(f1, f2);
+      MDDC_RETURN_NOT_OK(result.AddFact(pair));
+      pairs.emplace_back(pair, std::make_pair(f1, f2));
+    }
+  }
+
+  const std::size_t n1 = m1.dimension_count();
+  for (const auto& [pair, members] : pairs) {
+    for (std::size_t i = 0; i < n1; ++i) {
+      for (const FactDimRelation::Entry* entry :
+           m1.relation(i).ForFact(members.first)) {
+        MDDC_RETURN_NOT_OK(result.relation_mutable(i).Add(
+            pair, entry->value, entry->life, entry->prob));
+      }
+    }
+    for (std::size_t j = 0; j < m2.dimension_count(); ++j) {
+      for (const FactDimRelation::Entry* entry :
+           m2.relation(j).ForFact(members.second)) {
+        MDDC_RETURN_NOT_OK(result.relation_mutable(n1 + j).Add(
+            pair, entry->value, entry->life, entry->prob));
+      }
+    }
+  }
+  MDDC_RETURN_NOT_OK(result.Validate());
+  return result;
+}
+
+ResultDimensionSpec ResultDimensionSpec::Auto(std::string name) {
+  ResultDimensionSpec spec;
+  spec.auto_name_ = std::move(name);
+  return spec;
+}
+
+ResultDimensionSpec ResultDimensionSpec::Explicit(
+    Dimension prototype, std::function<Result<ValueId>(double)> mapper) {
+  ResultDimensionSpec spec;
+  spec.prototype_ = std::move(prototype);
+  spec.mapper_ = std::move(mapper);
+  return spec;
+}
+
+namespace {
+
+/// The aggregation type of the result dimension's bottom category per the
+/// Section 4.1 rule.
+AggregationType ResultBottomAggType(const MdObject& mo,
+                                    const AggregateSpec& spec) {
+  // The grouping collects characterizations across all time, so the
+  // strictness/partitioning conditions are checked atemporally.
+  SummarizabilityReport report =
+      CheckSummarizability(mo, spec.function.kind(), spec.grouping);
+  if (!report.summarizable) return AggregationType::kConstant;
+  // min over Args(g) of the argument bottoms' aggregation types; an empty
+  // argument list (set-count) yields summable counts.
+  AggregationType agg_type = AggregationType::kSum;
+  for (std::size_t dim : spec.function.args()) {
+    const DimensionType& type = mo.dimension(dim).type();
+    agg_type = MinAggregationType(agg_type, type.AggType(type.bottom()));
+  }
+  return agg_type;
+}
+
+}  // namespace
+
+Result<MdObject> AggregateFormation(const MdObject& mo,
+                                    const AggregateSpec& spec) {
+  if (spec.grouping.size() != mo.dimension_count()) {
+    return Status::InvalidArgument(
+        StrCat("aggregate formation got ", spec.grouping.size(),
+               " grouping categories for a ", mo.dimension_count(),
+               "-dimensional MO"));
+  }
+  for (std::size_t i = 0; i < spec.grouping.size(); ++i) {
+    if (spec.grouping[i] >= mo.dimension(i).type().category_count()) {
+      return Status::InvalidArgument(
+          StrCat("grouping category ", spec.grouping[i],
+                 " out of range for dimension '", mo.dimension(i).name(),
+                 "'"));
+    }
+  }
+  if (spec.enforce_aggregation_types) {
+    MDDC_RETURN_NOT_OK(spec.function.CheckApplicable(mo));
+  }
+
+  // 1. Per fact and dimension: the grouping-category values
+  //    characterizing the fact, with lifespans and probabilities.
+  struct Coordinate {
+    ValueId value;
+    Lifespan life;
+    double prob;
+  };
+  const std::size_t n = mo.dimension_count();
+  std::map<FactId, std::vector<std::vector<Coordinate>>> coordinates;
+  for (FactId fact : mo.facts()) {
+    std::vector<std::vector<Coordinate>> per_dim(n);
+    bool in_all = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Dimension& dimension = mo.dimension(i);
+      if (spec.grouping[i] == dimension.type().top()) {
+        per_dim[i].push_back(Coordinate{dimension.top_value(),
+                                        Lifespan::AlwaysSpan(), 1.0});
+        continue;
+      }
+      for (const MdObject::Characterization& c :
+           mo.CharacterizedBy(fact, i, spec.prob_at)) {
+        auto category = dimension.CategoryOf(c.value);
+        if (category.ok() && *category == spec.grouping[i]) {
+          per_dim[i].push_back(Coordinate{c.value, c.life, c.prob});
+        }
+      }
+      if (per_dim[i].empty()) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) coordinates.emplace(fact, std::move(per_dim));
+  }
+
+  // 2. Build groups: each combination of per-dimension coordinates a fact
+  //    has puts the fact into that combination's group. The group's time
+  //    per dimension is the intersection over members of their
+  //    characterization spans; probabilities multiply over members.
+  struct GroupAccum {
+    std::vector<FactId> members;
+    std::vector<Lifespan> life_per_dim;
+    std::vector<double> prob_per_dim;
+    /// Per member: probability that the member belongs to this group
+    /// (product of its characterization probabilities across dimensions);
+    /// feeds expected counts.
+    std::vector<double> member_probs;
+  };
+  std::map<std::vector<ValueId>, GroupAccum> groups;
+  for (const auto& [fact, per_dim] : coordinates) {
+    // Enumerate the cross product of this fact's coordinate lists.
+    std::vector<std::size_t> cursor(n, 0);
+    while (true) {
+      std::vector<ValueId> key(n);
+      std::vector<Lifespan> lives(n);
+      std::vector<double> probs(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Coordinate& c = per_dim[i][cursor[i]];
+        key[i] = c.value;
+        lives[i] = c.life;
+        probs[i] = c.prob;
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      GroupAccum& group = it->second;
+      if (inserted) {
+        group.life_per_dim.assign(n, Lifespan::AlwaysSpan());
+        group.prob_per_dim.assign(n, 1.0);
+      }
+      group.members.push_back(fact);
+      double member_prob = 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        group.life_per_dim[i] = group.life_per_dim[i].Intersect(lives[i]);
+        group.prob_per_dim[i] *= probs[i];
+        member_prob *= probs[i];
+      }
+      group.member_probs.push_back(member_prob);
+      // Advance the cross-product cursor.
+      std::size_t i = 0;
+      while (i < n && ++cursor[i] == per_dim[i].size()) {
+        cursor[i] = 0;
+        ++i;
+      }
+      if (i == n) break;
+    }
+  }
+
+  // 3. Argument dimensions restricted to the categories at or above the
+  //    grouping categories.
+  std::vector<Dimension> dimensions;
+  dimensions.reserve(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    MDDC_ASSIGN_OR_RETURN(Dimension restricted,
+                          mo.dimension(i).RestrictAbove(spec.grouping[i]));
+    dimensions.push_back(std::move(restricted));
+  }
+
+  // 4. The result dimension.
+  AggregationType bottom_agg = ResultBottomAggType(mo, spec);
+  std::optional<Dimension> result_dimension;
+  CategoryTypeIndex result_bottom = 0;
+  if (spec.result.is_auto()) {
+    DimensionTypeBuilder builder(spec.result.auto_name());
+    builder.AddCategory("Value", bottom_agg);
+    MDDC_ASSIGN_OR_RETURN(auto type, builder.Build());
+    result_dimension.emplace(type);
+    result_bottom = type->bottom();
+  } else {
+    // Apply the typing rule to the prototype: bottom gets the rule's
+    // type; higher categories get min(existing, bottom).
+    const Dimension& prototype = spec.result.prototype();
+    auto type = prototype.type_ptr();
+    auto adjusted = type->WithAggType(type->bottom(), bottom_agg);
+    for (CategoryTypeIndex c = 0; c < adjusted->category_count(); ++c) {
+      if (c == adjusted->bottom()) continue;
+      adjusted = adjusted->WithAggType(
+          c, MinAggregationType(adjusted->AggType(c), bottom_agg));
+    }
+    // Rebuild the prototype's content under the adjusted type: the
+    // lattice is unchanged, so value/edge structure carries over.
+    Dimension rebuilt(adjusted);
+    for (ValueId value : prototype.AllValues()) {
+      if (value == prototype.top_value()) continue;
+      auto category = prototype.CategoryOf(value);
+      auto membership = prototype.MembershipOf(value);
+      MDDC_RETURN_NOT_OK(rebuilt.AddValue(*category, value, *membership));
+    }
+    for (const Dimension::Edge& edge : prototype.edges()) {
+      MDDC_RETURN_NOT_OK(
+          rebuilt.AddOrder(edge.child, edge.parent, edge.life, edge.prob));
+    }
+    for (const auto& [category, rep_name, rep] :
+         prototype.AllRepresentations()) {
+      Representation& target = rebuilt.RepresentationFor(category, rep_name);
+      for (ValueId value : prototype.ValuesIn(category)) {
+        for (const auto& [text, life] : rep->GetAll(value)) {
+          MDDC_RETURN_NOT_OK(target.Set(value, text, life));
+        }
+      }
+    }
+    result_bottom = adjusted->bottom();
+    result_dimension.emplace(std::move(rebuilt));
+  }
+  dimensions.push_back(*result_dimension);
+
+  MdObject result(StrCat("Set-of-", mo.schema().fact_type()),
+                  std::move(dimensions), mo.registry(), mo.temporal_type());
+
+  // 5. Evaluate g per group and populate facts and relations.
+  FactRegistry& registry = *mo.registry();
+  Dimension& out_result_dim = result.dimension_mutable(n);
+  std::map<std::string, ValueId> auto_values;  // keyed by formatted result
+  for (auto& [key, group] : groups) {
+    // member_probs was built in member order; capture the expectation
+    // before members are sorted for canonical set identity.
+    double expected = 0.0;
+    for (double p : group.member_probs) expected += p;
+    std::sort(group.members.begin(), group.members.end());
+    FactId group_fact = registry.Set(group.members);
+    MDDC_RETURN_NOT_OK(result.AddFact(group_fact));
+    double value;
+    if (spec.expected_counts &&
+        spec.function.kind() == AggregateFunctionKind::kSetCount) {
+      value = expected;
+    } else {
+      MDDC_ASSIGN_OR_RETURN(
+          value, spec.function.Evaluate(mo, group.members, spec.prob_at));
+    }
+
+    // Argument-dimension relations: group fact -> grouping value.
+    for (std::size_t i = 0; i < n; ++i) {
+      Lifespan life = group.life_per_dim[i];
+      if (life.Empty()) {
+        // The members' spans do not overlap; the grouping still holds
+        // atemporally (each member was characterized at its own time), so
+        // record the link with the union-of-members semantics instead.
+        life = Lifespan::AlwaysSpan();
+      }
+      MDDC_RETURN_NOT_OK(result.relation_mutable(i).Add(
+          group_fact, key[i], life, group.prob_per_dim[i]));
+    }
+
+    // Result-dimension relation: group fact -> g(group). Per the Section
+    // 4.2 rule, the time is the intersection over the group's members and
+    // g's argument dimensions of the times the member was related to its
+    // data (Always for argument-less functions such as set-count).
+    Lifespan result_life = Lifespan::AlwaysSpan();
+    for (std::size_t dim : spec.function.args()) {
+      if (dim >= n) continue;
+      for (FactId member : group.members) {
+        TemporalElement member_valid;
+        TemporalElement member_transaction;
+        for (const FactDimRelation::Entry* entry :
+             mo.relation(dim).ForFact(member)) {
+          member_valid = member_valid.Union(entry->life.valid);
+          member_transaction =
+              member_transaction.Union(entry->life.transaction);
+        }
+        result_life = result_life.Intersect(
+            Lifespan{member_valid, member_transaction});
+      }
+    }
+    ValueId result_value;
+    if (spec.result.is_auto()) {
+      std::string formatted = FormatDouble(value);
+      auto it = auto_values.find(formatted);
+      if (it == auto_values.end()) {
+        MDDC_ASSIGN_OR_RETURN(result_value,
+                              out_result_dim.AddValueAuto(result_bottom));
+        Representation& rep =
+            out_result_dim.RepresentationFor(result_bottom, "Value");
+        MDDC_RETURN_NOT_OK(rep.Set(result_value, formatted));
+        auto_values.emplace(formatted, result_value);
+      } else {
+        result_value = it->second;
+      }
+    } else {
+      MDDC_ASSIGN_OR_RETURN(result_value, spec.result.Map(value));
+      if (!out_result_dim.HasValue(result_value)) {
+        return Status::InvalidArgument(
+            StrCat("result mapper returned value ", result_value,
+                   " not present in the result dimension prototype"));
+      }
+    }
+    if (result_life.Empty()) result_life = Lifespan::AlwaysSpan();
+    MDDC_RETURN_NOT_OK(result.relation_mutable(n).Add(
+        group_fact, result_value, result_life));
+  }
+
+  MDDC_RETURN_NOT_OK(result.Validate());
+  return result;
+}
+
+}  // namespace mddc

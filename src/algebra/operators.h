@@ -1,0 +1,138 @@
+#ifndef MDDC_ALGEBRA_OPERATORS_H_
+#define MDDC_ALGEBRA_OPERATORS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/agg_function.h"
+#include "algebra/predicate.h"
+#include "common/result.h"
+#include "core/md_object.h"
+
+namespace mddc {
+
+/// The fundamental operators of the algebra (paper Section 4.1). Every
+/// operator consumes and produces MdObjects — the algebra is closed
+/// (Theorem 1); each implementation ends by validating the result's
+/// closure conditions.
+///
+/// Temporal semantics follow Section 4.2: selection/projection/rename do
+/// not change attached times; union unions the chronon sets of common
+/// data; difference cuts times; join inherits times from the relevant
+/// argument; aggregate formation intersects the characterization times of
+/// grouped facts.
+
+/// sigma[p](M): restricts the fact set to facts whose characterizing
+/// values satisfy `predicate`; fact-dimension relations are restricted
+/// accordingly; dimensions and schema are unchanged.
+Result<MdObject> Select(const MdObject& mo, const Predicate& predicate);
+
+/// pi[D_i1..D_ik](M): retains only the given dimensions (by index, in the
+/// given order). The fact set stays the same — "duplicate values" are not
+/// removed.
+Result<MdObject> Project(const MdObject& mo,
+                         const std::vector<std::size_t>& dims);
+
+/// rho[S'](M): returns M under a new, structurally isomorphic schema.
+/// Empty strings keep the old name. Used to disambiguate dimensions
+/// before a self-join.
+struct RenameSpec {
+  std::string fact_type;                    // empty = keep
+  std::vector<std::string> dimension_names; // empty entries = keep
+};
+Result<MdObject> Rename(const MdObject& mo, const RenameSpec& spec);
+
+/// M1 u M2: requires equivalent schemas and a shared fact registry. Facts
+/// and fact-dimension relations are united (times of common pairs union),
+/// dimensions are united with the U_D operator.
+Result<MdObject> Union(const MdObject& m1, const MdObject& m2);
+
+/// M1 \ M2: requires equivalent schemas and a shared fact registry. For
+/// snapshot MOs the fact sets are set-differenced; for temporal MOs the
+/// Section 4.2 rule applies — the time of each pair of M1 is cut by the
+/// time of the corresponding pair in M2 and only facts retaining
+/// non-empty time in every dimension survive. The dimensions of M1 are
+/// kept unchanged.
+Result<MdObject> Difference(const MdObject& m1, const MdObject& m2);
+
+/// The join predicate p(f1, f2) of the identity-based join: equality
+/// gives an equi-join, inequality a non-equi-join, true the Cartesian
+/// product.
+enum class JoinPredicate { kEqual, kNotEqual, kTrue };
+
+/// M1 |x|[p] M2: facts are pairs (f1, f2) satisfying p; the dimension
+/// list is the concatenation of both MOs' dimensions (names must be
+/// disjoint — use Rename first, as the paper prescribes); pair facts
+/// inherit fact-dimension pairs (and their times) from the member facts.
+Result<MdObject> Join(const MdObject& m1, const MdObject& m2,
+                      JoinPredicate predicate);
+
+/// How aggregate formation materializes the result dimension D_{n+1}.
+class ResultDimensionSpec {
+ public:
+  /// Builds a fresh one-category dimension named `name`; each distinct
+  /// aggregate result becomes a value whose "Value" representation is the
+  /// number itself.
+  static ResultDimensionSpec Auto(std::string name = "Result");
+
+  /// Uses a caller-built dimension (e.g. Figure 3's Count < Range
+  /// lattice); `mapper` maps each aggregate result to the bottom-category
+  /// value it should be recorded as.
+  static ResultDimensionSpec Explicit(
+      Dimension prototype, std::function<Result<ValueId>(double)> mapper);
+
+  bool is_auto() const { return !prototype_.has_value(); }
+  const std::string& auto_name() const { return auto_name_; }
+  const Dimension& prototype() const { return *prototype_; }
+  Result<ValueId> Map(double result) const { return mapper_(result); }
+
+ private:
+  ResultDimensionSpec() = default;
+
+  std::string auto_name_ = "Result";
+  std::optional<Dimension> prototype_;
+  std::function<Result<ValueId>(double)> mapper_;
+};
+
+/// Parameters of the aggregate-formation operator
+/// alpha[D_{n+1}, g, C_1..C_n](M).
+struct AggregateSpec {
+  AggFunction function;
+  /// One grouping category per dimension of the argument MO. Use the
+  /// dimension type's top() index for dimensions that should not group
+  /// (the paper's "> categories from the other dimensions").
+  std::vector<CategoryTypeIndex> grouping;
+  ResultDimensionSpec result = ResultDimensionSpec::Auto();
+  /// Chronon at which containment probabilities are evaluated.
+  Chronon prob_at = kNowChronon;
+  /// When true (default), applying a function below the aggregation type
+  /// of its argument data is an IllegalAggregation error — the paper's
+  /// guard against meaningless aggregates.
+  bool enforce_aggregation_types = true;
+  /// Uncertainty semantics for set-count (Section 3.3 / TR-37): when
+  /// true, the result of SetCount is the *expected* group size — the sum
+  /// over members of their membership probability (fact-dimension
+  /// probability times containment probability, multiplied across the
+  /// grouping dimensions) — instead of the crisp cardinality. Only
+  /// affects SetCount.
+  bool expected_counts = false;
+};
+
+/// alpha[D_{n+1}, g, C_1..C_n](M): groups facts by their characterizing
+/// values in the grouping categories, makes each non-empty group a
+/// set-fact, restricts the argument dimensions to the categories at or
+/// above the grouping categories, and appends the result dimension
+/// holding g(group) for each group. Facts characterized by several
+/// values of a grouping category (non-strict hierarchies, many-to-many
+/// relations) appear in several groups but are counted only once per
+/// group. The result dimension's aggregation type follows the
+/// summarizability rule of Section 4.1 (min of argument types when
+/// distributive + strict + partitioning, else c).
+Result<MdObject> AggregateFormation(const MdObject& mo,
+                                    const AggregateSpec& spec);
+
+}  // namespace mddc
+
+#endif  // MDDC_ALGEBRA_OPERATORS_H_

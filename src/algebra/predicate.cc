@@ -1,0 +1,388 @@
+#include "algebra/predicate.h"
+
+#include "common/strings.h"
+
+namespace mddc {
+
+struct Predicate::Node {
+  enum class Kind {
+    kTrue,
+    kAnd,
+    kOr,
+    kNot,
+    kCharacterizedBy,
+    kCharacterizedThroughout,
+    kHasValueInCategory,
+    kNumericCompare,
+    kMinProbability,
+    kSameRepresentedValue,
+  };
+
+  Kind kind = Kind::kTrue;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+
+  std::size_t dim = 0;
+  std::size_t dim_b = 0;
+  ValueId value;
+  CategoryTypeIndex category = 0;
+  TemporalElement element;
+  bool any_time = true;          // kCharacterizedBy: no time restriction
+  Comparison comparison = Comparison::kEq;
+  double bound = 0.0;
+  double threshold = 0.0;
+  Chronon at = kNowChronon;
+  // RepresentationEquals leaves carry the name lookup, resolved against
+  // the MO at evaluation time.
+  bool needs_rep_resolution = false;
+  std::string rep_name;
+  std::string rep_text;
+};
+
+namespace {
+
+using Node = Predicate::Node;
+
+Result<bool> EvaluateNode(const Node& node, const MdObject& mo, FactId fact);
+
+Result<bool> EvaluateCharacterizedBy(const Node& node, const MdObject& mo,
+                                     FactId fact) {
+  if (node.dim >= mo.dimension_count()) {
+    return Status::InvalidArgument(
+        StrCat("predicate references dimension ", node.dim, " of a ",
+               mo.dimension_count(), "-dimensional MO"));
+  }
+  ValueId target = node.value;
+  if (node.needs_rep_resolution) {
+    auto rep =
+        mo.dimension(node.dim).FindRepresentation(node.category, node.rep_name);
+    if (!rep.ok()) return false;  // no such representation: nothing matches
+    auto resolved = (*rep)->Lookup(node.rep_text, node.at);
+    if (!resolved.ok()) return false;  // name denotes no value at that time
+    target = *resolved;
+  }
+  for (const MdObject::Characterization& c :
+       mo.CharacterizedBy(fact, node.dim)) {
+    if (c.value != target) continue;
+    if (node.any_time) return true;
+    if (c.life.valid.Covers(node.element)) return true;
+  }
+  return false;
+}
+
+Result<bool> EvaluateHasValueInCategory(const Node& node, const MdObject& mo,
+                                        FactId fact) {
+  if (node.dim >= mo.dimension_count()) {
+    return Status::InvalidArgument(
+        StrCat("predicate references dimension ", node.dim, " of a ",
+               mo.dimension_count(), "-dimensional MO"));
+  }
+  const Dimension& dimension = mo.dimension(node.dim);
+  for (const MdObject::Characterization& c :
+       mo.CharacterizedBy(fact, node.dim)) {
+    if (c.value == dimension.top_value()) continue;
+    auto category = dimension.CategoryOf(c.value);
+    if (category.ok() && *category == node.category) return true;
+  }
+  return false;
+}
+
+Result<bool> EvaluateNumericCompare(const Node& node, const MdObject& mo,
+                                    FactId fact) {
+  if (node.dim >= mo.dimension_count()) {
+    return Status::InvalidArgument(
+        StrCat("predicate references dimension ", node.dim, " of a ",
+               mo.dimension_count(), "-dimensional MO"));
+  }
+  const Dimension& dimension = mo.dimension(node.dim);
+  for (const FactDimRelation::Entry* entry :
+       mo.relation(node.dim).ForFact(fact)) {
+    if (entry->value == dimension.top_value()) continue;
+    auto value = dimension.NumericValueOf(entry->value, node.at);
+    if (!value.ok()) continue;  // non-numeric characterizations do not match
+    bool matches = false;
+    switch (node.comparison) {
+      case Predicate::Comparison::kLess:
+        matches = *value < node.bound;
+        break;
+      case Predicate::Comparison::kLessEq:
+        matches = *value <= node.bound;
+        break;
+      case Predicate::Comparison::kEq:
+        matches = *value == node.bound;
+        break;
+      case Predicate::Comparison::kGreaterEq:
+        matches = *value >= node.bound;
+        break;
+      case Predicate::Comparison::kGreater:
+        matches = *value > node.bound;
+        break;
+    }
+    if (matches) return true;
+  }
+  return false;
+}
+
+Result<bool> EvaluateMinProbability(const Node& node, const MdObject& mo,
+                                    FactId fact) {
+  for (const MdObject::Characterization& c :
+       mo.CharacterizedBy(fact, node.dim, node.at)) {
+    if (c.value == node.value && c.prob >= node.threshold &&
+        c.life.valid.Contains(node.at)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> EvaluateSameRepresentedValue(const Node& node,
+                                          const MdObject& mo, FactId fact) {
+  if (node.dim >= mo.dimension_count() ||
+      node.dim_b >= mo.dimension_count()) {
+    return Status::InvalidArgument(
+        StrCat("predicate references dimension ", node.dim, " or ",
+               node.dim_b, " of a ", mo.dimension_count(),
+               "-dimensional MO"));
+  }
+  auto texts_of = [&](std::size_t dim) {
+    std::vector<std::string> texts;
+    const Dimension& dimension = mo.dimension(dim);
+    for (const FactDimRelation::Entry* entry :
+         mo.relation(dim).ForFact(fact)) {
+      if (entry->value == dimension.top_value()) continue;
+      auto category = dimension.CategoryOf(entry->value);
+      if (!category.ok()) continue;
+      auto rep = dimension.FindRepresentation(*category, node.rep_name);
+      if (!rep.ok()) continue;
+      auto text = (*rep)->Get(entry->value, node.at);
+      if (text.ok()) texts.push_back(*text);
+    }
+    return texts;
+  };
+  std::vector<std::string> left = texts_of(node.dim);
+  std::vector<std::string> right = texts_of(node.dim_b);
+  for (const std::string& a : left) {
+    for (const std::string& b : right) {
+      if (a == b) return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> EvaluateNode(const Node& node, const MdObject& mo, FactId fact) {
+  switch (node.kind) {
+    case Node::Kind::kTrue:
+      return true;
+    case Node::Kind::kAnd: {
+      MDDC_ASSIGN_OR_RETURN(bool left, EvaluateNode(*node.left, mo, fact));
+      if (!left) return false;
+      return EvaluateNode(*node.right, mo, fact);
+    }
+    case Node::Kind::kOr: {
+      MDDC_ASSIGN_OR_RETURN(bool left, EvaluateNode(*node.left, mo, fact));
+      if (left) return true;
+      return EvaluateNode(*node.right, mo, fact);
+    }
+    case Node::Kind::kNot: {
+      MDDC_ASSIGN_OR_RETURN(bool inner, EvaluateNode(*node.left, mo, fact));
+      return !inner;
+    }
+    case Node::Kind::kCharacterizedBy:
+    case Node::Kind::kCharacterizedThroughout:
+      return EvaluateCharacterizedBy(node, mo, fact);
+    case Node::Kind::kHasValueInCategory:
+      return EvaluateHasValueInCategory(node, mo, fact);
+    case Node::Kind::kNumericCompare:
+      return EvaluateNumericCompare(node, mo, fact);
+    case Node::Kind::kMinProbability:
+      return EvaluateMinProbability(node, mo, fact);
+    case Node::Kind::kSameRepresentedValue:
+      return EvaluateSameRepresentedValue(node, mo, fact);
+  }
+  return Status::InvalidArgument("unknown predicate node kind");
+}
+
+std::string NodeToString(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kTrue:
+      return "true";
+    case Node::Kind::kAnd:
+      return StrCat("(", NodeToString(*node.left), " AND ",
+                    NodeToString(*node.right), ")");
+    case Node::Kind::kOr:
+      return StrCat("(", NodeToString(*node.left), " OR ",
+                    NodeToString(*node.right), ")");
+    case Node::Kind::kNot:
+      return StrCat("NOT ", NodeToString(*node.left));
+    case Node::Kind::kCharacterizedBy:
+      if (node.any_time) return StrCat("char(", node.dim, ",", node.value, ")");
+      return StrCat("char(", node.dim, ",", node.value, "@",
+                    node.element.ToString(), ")");
+    case Node::Kind::kCharacterizedThroughout:
+      return StrCat("char(", node.dim, ",", node.value, " throughout ",
+                    node.element.ToString(), ")");
+    case Node::Kind::kHasValueInCategory:
+      return StrCat("incat(", node.dim, ",", node.category, ")");
+    case Node::Kind::kNumericCompare: {
+      const char* op = "=";
+      switch (node.comparison) {
+        case Predicate::Comparison::kLess:
+          op = "<";
+          break;
+        case Predicate::Comparison::kLessEq:
+          op = "<=";
+          break;
+        case Predicate::Comparison::kEq:
+          op = "=";
+          break;
+        case Predicate::Comparison::kGreaterEq:
+          op = ">=";
+          break;
+        case Predicate::Comparison::kGreater:
+          op = ">";
+          break;
+      }
+      return StrCat("num(", node.dim, " ", op, " ", node.bound, ")");
+    }
+    case Node::Kind::kMinProbability:
+      return StrCat("prob(", node.dim, ",", node.value, " >= ",
+                    node.threshold, ")");
+    case Node::Kind::kSameRepresentedValue:
+      return StrCat("same(", node.dim, ",", node.dim_b, ",", node.rep_name,
+                    ")");
+  }
+  return "?";
+}
+
+}  // namespace
+
+Predicate Predicate::True() {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kTrue;
+  return Predicate(node);
+}
+
+Predicate Predicate::CharacterizedBy(std::size_t dim, ValueId value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kCharacterizedBy;
+  node->dim = dim;
+  node->value = value;
+  node->any_time = true;
+  return Predicate(node);
+}
+
+Predicate Predicate::CharacterizedByAt(std::size_t dim, ValueId value,
+                                       Chronon at) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kCharacterizedBy;
+  node->dim = dim;
+  node->value = value;
+  node->any_time = false;
+  node->element = TemporalElement::At(at);
+  return Predicate(node);
+}
+
+Predicate Predicate::CharacterizedThroughout(std::size_t dim, ValueId value,
+                                             TemporalElement element) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kCharacterizedThroughout;
+  node->dim = dim;
+  node->value = value;
+  node->any_time = false;
+  node->element = std::move(element);
+  return Predicate(node);
+}
+
+Predicate Predicate::HasValueInCategory(std::size_t dim,
+                                        CategoryTypeIndex category) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kHasValueInCategory;
+  node->dim = dim;
+  node->category = category;
+  return Predicate(node);
+}
+
+Predicate Predicate::RepresentationEquals(std::size_t dim,
+                                          CategoryTypeIndex category,
+                                          std::string rep_name,
+                                          std::string text, Chronon at) {
+  // The name -> value resolution needs the MO's dimension, so the lookup
+  // parameters are stored on the node and resolved at evaluation time.
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kCharacterizedBy;
+  node->dim = dim;
+  node->category = category;
+  node->any_time = true;
+  // Encode the unresolved name pair in element/value via a sentinel: the
+  // value is resolved on first evaluation. Simpler and robust: resolve
+  // eagerly is impossible without the MO, so we store the strings.
+  node->rep_name = std::move(rep_name);
+  node->rep_text = std::move(text);
+  node->at = at;
+  node->needs_rep_resolution = true;
+  return Predicate(node);
+}
+
+Predicate Predicate::NumericCompare(std::size_t dim, Comparison comparison,
+                                    double bound) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kNumericCompare;
+  node->dim = dim;
+  node->comparison = comparison;
+  node->bound = bound;
+  return Predicate(node);
+}
+
+Predicate Predicate::MinProbability(std::size_t dim, ValueId value,
+                                    double threshold, Chronon at) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kMinProbability;
+  node->dim = dim;
+  node->value = value;
+  node->threshold = threshold;
+  node->at = at;
+  return Predicate(node);
+}
+
+Predicate Predicate::SameRepresentedValue(std::size_t dim_a,
+                                          std::size_t dim_b,
+                                          std::string rep_name, Chronon at) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kSameRepresentedValue;
+  node->dim = dim_a;
+  node->dim_b = dim_b;
+  node->rep_name = std::move(rep_name);
+  node->at = at;
+  return Predicate(node);
+}
+
+Predicate Predicate::And(Predicate other) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAnd;
+  node->left = root_;
+  node->right = other.root_;
+  return Predicate(node);
+}
+
+Predicate Predicate::Or(Predicate other) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kOr;
+  node->left = root_;
+  node->right = other.root_;
+  return Predicate(node);
+}
+
+Predicate Predicate::Not() const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kNot;
+  node->left = root_;
+  return Predicate(node);
+}
+
+Result<bool> Predicate::Evaluate(const MdObject& mo, FactId fact) const {
+  return EvaluateNode(*root_, mo, fact);
+}
+
+std::string Predicate::ToString() const { return NodeToString(*root_); }
+
+}  // namespace mddc

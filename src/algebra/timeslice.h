@@ -1,0 +1,29 @@
+#ifndef MDDC_ALGEBRA_TIMESLICE_H_
+#define MDDC_ALGEBRA_TIMESLICE_H_
+
+#include "common/result.h"
+#include "core/md_object.h"
+
+namespace mddc {
+
+/// The valid-timeslice operator rho_v(M, t) (paper Section 4.2): returns
+/// the parts of the MO valid at chronon `t` — category memberships, order
+/// relations, representations and fact-dimension pairs whose valid time
+/// contains `t` — with no valid time attached. The temporal type moves
+/// from valid-time to snapshot (or bitemporal to transaction-time).
+Result<MdObject> ValidTimeslice(const MdObject& mo, Chronon t);
+
+/// The transaction-timeslice operator rho_t(M, t): the state the database
+/// recorded at transaction chronon `t`, with no transaction time
+/// attached. Bitemporal becomes valid-time; transaction-time becomes
+/// snapshot.
+Result<MdObject> TransactionTimeslice(const MdObject& mo, Chronon t);
+
+/// Timeslices one dimension on its valid components (used by the MO
+/// operators and exposed for dimension-level analysis).
+Result<Dimension> ValidTimesliceDimension(const Dimension& dimension,
+                                          Chronon t);
+
+}  // namespace mddc
+
+#endif  // MDDC_ALGEBRA_TIMESLICE_H_

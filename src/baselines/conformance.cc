@@ -1,0 +1,613 @@
+#include "baselines/conformance.h"
+
+#include <memory>
+
+#include "algebra/derived.h"
+#include "algebra/operators.h"
+#include "algebra/timeslice.h"
+#include "baselines/data_cube.h"
+#include "baselines/star_schema.h"
+#include "common/date.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "core/properties.h"
+#include "uncertainty/probability.h"
+
+namespace mddc {
+namespace {
+
+using relational::AggregateTerm;
+using relational::Relation;
+using relational::Value;
+
+Chronon Day(const char* text) {
+  auto parsed = ParseDate(text);
+  return parsed.ok() ? *parsed : 0;
+}
+
+Lifespan During(const char* text) {
+  auto interval = Interval::Parse(text);
+  return interval.ok() ? Lifespan::ValidDuring(TemporalElement(*interval))
+                       : Lifespan::AlwaysSpan();
+}
+
+/// A compact clinical scenario: the case-study Diagnosis dimension (two
+/// groups, non-strict), plus an Age dimension, populated with two
+/// patients — patient 2 carries several diagnoses.
+struct Scenario {
+  std::shared_ptr<FactRegistry> registry;
+  MdObject mo;
+  CategoryTypeIndex low = 0;
+  CategoryTypeIndex family = 0;
+  CategoryTypeIndex group = 0;
+  CategoryTypeIndex age = 0;
+  CategoryTypeIndex age_group = 0;
+};
+
+Result<Scenario> BuildScenario() {
+  DimensionTypeBuilder diagnosis_builder("Diagnosis");
+  diagnosis_builder.AddCategory("Low-level Diagnosis")
+      .AddCategory("Diagnosis Family")
+      .AddCategory("Diagnosis Group")
+      .AddOrder("Low-level Diagnosis", "Diagnosis Family")
+      .AddOrder("Diagnosis Family", "Diagnosis Group");
+  MDDC_ASSIGN_OR_RETURN(auto diagnosis_type, diagnosis_builder.Build());
+  Dimension diagnosis(diagnosis_type);
+  CategoryTypeIndex low = *diagnosis_type->Find("Low-level Diagnosis");
+  CategoryTypeIndex family = *diagnosis_type->Find("Diagnosis Family");
+  CategoryTypeIndex group = *diagnosis_type->Find("Diagnosis Group");
+  // Values mirror Table 1's current classification.
+  MDDC_RETURN_NOT_OK(diagnosis.AddValue(low, ValueId(5)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddValue(low, ValueId(6)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddValue(family, ValueId(4)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddValue(family, ValueId(9)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddValue(family, ValueId(10)));
+  MDDC_RETURN_NOT_OK(
+      diagnosis.AddValue(family, ValueId(8), During("[01/10/70-31/12/79]")));
+  MDDC_RETURN_NOT_OK(diagnosis.AddValue(group, ValueId(11)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddValue(group, ValueId(12)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddOrder(ValueId(5), ValueId(4)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddOrder(ValueId(6), ValueId(4)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddOrder(ValueId(5), ValueId(9)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddOrder(ValueId(6), ValueId(10)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddOrder(ValueId(9), ValueId(11)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddOrder(ValueId(10), ValueId(11)));
+  MDDC_RETURN_NOT_OK(diagnosis.AddOrder(ValueId(4), ValueId(12)));
+  MDDC_RETURN_NOT_OK(
+      diagnosis.AddOrder(ValueId(8), ValueId(11), During("[01/01/80-NOW]")));
+
+  DimensionTypeBuilder age_builder("Age");
+  age_builder.AddCategory("Age", AggregationType::kSum)
+      .AddCategory("Ten-year Group")
+      .AddOrder("Age", "Ten-year Group");
+  MDDC_ASSIGN_OR_RETURN(auto age_type, age_builder.Build());
+  Dimension age_dim(age_type);
+  CategoryTypeIndex age = *age_type->Find("Age");
+  CategoryTypeIndex age_group = *age_type->Find("Ten-year Group");
+  Representation& age_rep = age_dim.RepresentationFor(age, "Value");
+  Representation& group_rep = age_dim.RepresentationFor(age_group, "Value");
+  for (std::uint64_t g = 0; g < 10; ++g) {
+    MDDC_RETURN_NOT_OK(age_dim.AddValue(age_group, ValueId(1000 + g)));
+    MDDC_RETURN_NOT_OK(
+        group_rep.Set(ValueId(1000 + g), StrCat(g * 10, "-", g * 10 + 9)));
+  }
+  for (std::uint64_t a = 0; a < 100; ++a) {
+    MDDC_RETURN_NOT_OK(age_dim.AddValue(age, ValueId(a)));
+    MDDC_RETURN_NOT_OK(age_rep.Set(ValueId(a), std::to_string(a)));
+    MDDC_RETURN_NOT_OK(age_dim.AddOrder(ValueId(a), ValueId(1000 + a / 10)));
+  }
+
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo("Patient", {std::move(diagnosis), std::move(age_dim)}, registry,
+              TemporalType::kValidTime);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  MDDC_RETURN_NOT_OK(mo.AddFact(p1));
+  MDDC_RETURN_NOT_OK(mo.AddFact(p2));
+  MDDC_RETURN_NOT_OK(mo.Relate(0, p1, ValueId(9), During("[01/01/89-NOW]")));
+  MDDC_RETURN_NOT_OK(mo.Relate(0, p2, ValueId(5), During("[01/01/82-NOW]")));
+  MDDC_RETURN_NOT_OK(mo.Relate(0, p2, ValueId(9), During("[01/01/82-NOW]")));
+  MDDC_RETURN_NOT_OK(mo.Relate(1, p1, ValueId(29)));
+  MDDC_RETURN_NOT_OK(mo.Relate(1, p2, ValueId(48)));
+  return Scenario{registry, std::move(mo), low, family, group, age,
+                  age_group};
+}
+
+struct ProbeResult {
+  Support support = Support::kNone;
+  std::string evidence;
+};
+
+ProbeResult Fail(const Status& status) {
+  return ProbeResult{Support::kNone,
+                     StrCat("probe failed: ", status.ToString())};
+}
+
+// ---- Probes for the extended model ---------------------------------------
+
+ProbeResult ProbeModelExplicitHierarchies() {
+  auto scenario = BuildScenario();
+  if (!scenario.ok()) return Fail(scenario.status());
+  const Dimension& diagnosis = scenario->mo.dimension(0);
+  // The lattice is explicit metadata: navigate bottom-up.
+  auto above = diagnosis.type().AtOrAbove(diagnosis.type().bottom());
+  if (above.size() != 4) {
+    return ProbeResult{Support::kNone, "lattice navigation failed"};
+  }
+  if (!diagnosis.LessEqAt(ValueId(5), ValueId(11))) {
+    return ProbeResult{Support::kNone, "containment navigation failed"};
+  }
+  return ProbeResult{
+      Support::kFull,
+      "dimension types carry an explicit category lattice; value "
+      "containment (5 <= 11) navigable"};
+}
+
+ProbeResult ProbeModelSymmetricTreatment() {
+  auto scenario = BuildScenario();
+  if (!scenario.ok()) return Fail(scenario.status());
+  // Age as a measure: AVG over the Age dimension.
+  AggregateSpec avg{AggFunction::Avg(1),
+                    {scenario->mo.dimension(0).type().top(),
+                     scenario->mo.dimension(1).type().top()},
+                    ResultDimensionSpec::Auto("AvgAge"),
+                    kNowChronon,
+                    true};
+  auto as_measure = AggregateFormation(scenario->mo, avg);
+  if (!as_measure.ok()) return Fail(as_measure.status());
+  // Age as a dimension: group by ten-year age group.
+  auto as_dimension =
+      RollUp(scenario->mo, 1, scenario->age_group, AggFunction::SetCount());
+  if (!as_dimension.ok()) return Fail(as_dimension.status());
+  return ProbeResult{Support::kFull,
+                     "Age used for AVG (measure) and for ten-year grouping "
+                     "(dimension) in the same MO"};
+}
+
+ProbeResult ProbeModelMultipleHierarchies() {
+  DimensionTypeBuilder builder("DOB");
+  builder.AddCategory("Day")
+      .AddCategory("Week")
+      .AddCategory("Month")
+      .AddCategory("Year")
+      .AddOrder("Day", "Week")
+      .AddOrder("Day", "Month")
+      .AddOrder("Month", "Year");
+  auto type = builder.Build();
+  if (!type.ok()) return Fail(type.status());
+  auto day = (*type)->Find("Day");
+  if (!day.ok()) return Fail(day.status());
+  if ((*type)->Pred(*day).size() != 2) {
+    return ProbeResult{Support::kNone, "Day should have two Pred categories"};
+  }
+  return ProbeResult{Support::kFull,
+                     "Day rolls up into Week and into Month<Year: two "
+                     "aggregation paths in one lattice"};
+}
+
+ProbeResult ProbeModelCorrectAggregation() {
+  auto scenario = BuildScenario();
+  if (!scenario.ok()) return Fail(scenario.status());
+  // Illegal: SUM over diagnoses (aggregation type c).
+  AggregateSpec bad{AggFunction::Sum(0),
+                    {scenario->group, scenario->mo.dimension(1).type().top()},
+                    ResultDimensionSpec::Auto(),
+                    kNowChronon,
+                    true};
+  auto rejected = AggregateFormation(scenario->mo, bad);
+  if (rejected.ok() ||
+      rejected.status().code() != StatusCode::kIllegalAggregation) {
+    return ProbeResult{Support::kNone, "SUM over diagnoses was not rejected"};
+  }
+  // Non-summarizable results degrade to c so they cannot be re-added.
+  auto counted =
+      RollUp(scenario->mo, 0, scenario->group, AggFunction::SetCount());
+  if (!counted.ok()) return Fail(counted.status());
+  const DimensionType& result_type =
+      counted->dimension(counted->dimension_count() - 1).type();
+  if (result_type.AggType(result_type.bottom()) !=
+      AggregationType::kConstant) {
+    return ProbeResult{Support::kNone,
+                       "non-summarizable count not degraded to type c"};
+  }
+  return ProbeResult{Support::kFull,
+                     "SUM over c-typed data rejected; overlapping counts "
+                     "degraded to c, blocking double-counting reuse"};
+}
+
+ProbeResult ProbeModelNonStrict() {
+  auto scenario = BuildScenario();
+  if (!scenario.ok()) return Fail(scenario.status());
+  const Dimension& diagnosis = scenario->mo.dimension(0);
+  auto parents = diagnosis.AncestorsIn(ValueId(5), scenario->family);
+  if (parents.size() != 2) {
+    return ProbeResult{Support::kNone,
+                       "diagnosis 5 should have two families"};
+  }
+  if (IsStrict(diagnosis)) {
+    return ProbeResult{Support::kNone, "hierarchy wrongly considered strict"};
+  }
+  return ProbeResult{Support::kFull,
+                     "diagnosis 5 is in families 4 and 9 simultaneously; "
+                     "strictness checker reports non-strict"};
+}
+
+ProbeResult ProbeModelManyToMany() {
+  auto scenario = BuildScenario();
+  if (!scenario.ok()) return Fail(scenario.status());
+  // Patient 2 has two diagnoses in group 11 — the count per group must
+  // still be one per patient.
+  auto counted =
+      RollUp(scenario->mo, 0, scenario->group, AggFunction::SetCount());
+  if (!counted.ok()) return Fail(counted.status());
+  const std::size_t result_dim = counted->dimension_count() - 1;
+  for (FactId group_fact : counted->facts()) {
+    auto group_pairs = counted->relation(0).ForFact(group_fact);
+    auto count_pairs = counted->relation(result_dim).ForFact(group_fact);
+    if (group_pairs.empty() || count_pairs.empty()) continue;
+    if (group_pairs.front()->value == ValueId(11)) {
+      auto count = counted->dimension(result_dim)
+                       .NumericValueOf(count_pairs.front()->value);
+      if (!count.ok() || *count != 2.0) {
+        return ProbeResult{Support::kNone,
+                           "patient double-counted in diagnosis group 11"};
+      }
+    }
+  }
+  return ProbeResult{Support::kFull,
+                     "patient 2 carries two diagnoses of group 11 yet is "
+                     "counted once (SetCount over fact sets)"};
+}
+
+ProbeResult ProbeModelChangeAndTime() {
+  auto scenario = BuildScenario();
+  if (!scenario.ok()) return Fail(scenario.status());
+  auto in_1999 = ValidTimeslice(scenario->mo, Day("01/06/99"));
+  if (!in_1999.ok()) return Fail(in_1999.status());
+  auto in_1975 = ValidTimeslice(scenario->mo, Day("15/06/75"));
+  if (!in_1975.ok()) return Fail(in_1975.status());
+  if (in_1999->dimension(0).HasValue(ValueId(8)) ||
+      !in_1975->dimension(0).HasValue(ValueId(8))) {
+    return ProbeResult{Support::kNone,
+                       "timeslices do not reflect the classification change"};
+  }
+  return ProbeResult{
+      Support::kFull,
+      "valid-timeslice reconstructs the 1975 and 1999 classifications; "
+      "the 8 <= 11 bridge supports analysis across the change"};
+}
+
+ProbeResult ProbeModelUncertainty() {
+  auto scenario = BuildScenario();
+  if (!scenario.ok()) return Fail(scenario.status());
+  MdObject& mo = scenario->mo;
+  FactId p3 = scenario->registry->Atom(3);
+  if (Status s = mo.AddFact(p3); !s.ok()) return Fail(s);
+  if (Status s = mo.Relate(0, p3, ValueId(6), Lifespan::AlwaysSpan(), 0.9);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = mo.Relate(1, p3, ValueId(55)); !s.ok()) return Fail(s);
+  auto confident = Select(mo, Predicate::MinProbability(0, ValueId(6), 0.95));
+  if (!confident.ok()) return Fail(confident.status());
+  if (confident->fact_count() != 0) {
+    return ProbeResult{Support::kNone, "probability threshold not honored"};
+  }
+  auto likely = Select(mo, Predicate::MinProbability(0, ValueId(6), 0.8));
+  if (!likely.ok()) return Fail(likely.status());
+  if (likely->fact_count() != 1) {
+    return ProbeResult{Support::kNone, "0.9-certain diagnosis not selected"};
+  }
+  double expected = ExpectedCount({0.9});
+  return ProbeResult{
+      Support::kFull,
+      StrCat("90%-certain diagnosis selectable by threshold; expected count ",
+             FormatDouble(expected), " computable")};
+}
+
+ProbeResult ProbeModelGranularity() {
+  auto scenario = BuildScenario();
+  if (!scenario.ok()) return Fail(scenario.status());
+  // Patient 1 is registered at *family* granularity (value 9), not at a
+  // low-level diagnosis, yet participates in group-level analysis.
+  auto facts = scenario->mo.FactsWith(0, ValueId(11));
+  bool found = false;
+  for (const auto& [fact, c] : facts) {
+    (void)c;
+    if (fact == scenario->registry->Atom(1)) found = true;
+  }
+  if (!found) {
+    return ProbeResult{Support::kNone,
+                       "family-granularity fact missing from group rollup"};
+  }
+  return ProbeResult{Support::kFull,
+                     "fact related directly to a Diagnosis Family value "
+                     "participates in Diagnosis Group analysis"};
+}
+
+// ---- Probes for the star-schema baseline ----------------------------------
+
+/// The star schema for the clinical scenario: fact rows are
+/// (patient, diagnosis_key); the diagnosis dimension table is
+/// denormalized (key, low, family, group) — a non-strict child needs one
+/// row per parent.
+StarSchemaEngine BuildStarSchema() {
+  StarSchemaEngine engine;
+  Relation diagnosis({"diag_key", "low", "family", "grp"});
+  // Low-level 5 under family 4 (group 12) and family 9 (group 11): the
+  // denormalization duplicates the row.
+  (void)diagnosis.Insert({Value(std::int64_t{1}), Value(std::string("5")),
+                          Value(std::string("4")), Value(std::string("12"))});
+  (void)diagnosis.Insert({Value(std::int64_t{2}), Value(std::string("5")),
+                          Value(std::string("9")), Value(std::string("11"))});
+  (void)diagnosis.Insert({Value(std::int64_t{3}), Value(std::string("6")),
+                          Value(std::string("10")), Value(std::string("11"))});
+  (void)engine.AddDimensionTable("Diagnosis", std::move(diagnosis),
+                                 "diag_key");
+  Relation fact({"patient", "diag_fk"});
+  // Patient 2 has diagnoses 5 (via key 2, group 11) and 6 (group 11):
+  // two fact rows for one patient.
+  (void)fact.Insert({Value(std::int64_t{2}), Value(std::int64_t{2})});
+  (void)fact.Insert({Value(std::int64_t{2}), Value(std::int64_t{3})});
+  (void)fact.Insert({Value(std::int64_t{1}), Value(std::int64_t{2})});
+  (void)engine.SetFactTable(std::move(fact), {{"Diagnosis", "diag_fk"}});
+  return engine;
+}
+
+ProbeResult ProbeStarManyToMany() {
+  StarSchemaEngine engine = BuildStarSchema();
+  auto counts = engine.AggregateByLevel(
+      "Diagnosis", "grp", {AggregateTerm::Func::kCountStar, "", "n"});
+  if (!counts.ok()) return Fail(counts.status());
+  // Group 11 truly has 2 patients; the star schema counts 3 fact rows.
+  for (const auto& tuple : counts->tuples()) {
+    if (tuple[0] == Value(std::string("11")) &&
+        tuple[1] == Value(std::int64_t{3})) {
+      return ProbeResult{
+          Support::kNone,
+          "demonstrated: COUNT(*) by group returns 3 for 2 patients — "
+          "fact rows are duplicated per diagnosis (no fact-dimension "
+          "many-to-many)"};
+    }
+  }
+  return ProbeResult{Support::kNone,
+                     "many-to-many unsupported (fact row per diagnosis)"};
+}
+
+ProbeResult ProbeStarNonStrict() {
+  StarSchemaEngine engine = BuildStarSchema();
+  auto table = engine.dimension_table("Diagnosis");
+  if (!table.ok()) return Fail(table.status());
+  // Low-level 5 appears in two rows — denormalization cannot express one
+  // child with two parents without duplication.
+  std::size_t rows_for_5 = 0;
+  for (const auto& tuple : (*table)->tuples()) {
+    if (tuple[1] == Value(std::string("5"))) ++rows_for_5;
+  }
+  return ProbeResult{
+      Support::kNone,
+      StrCat("demonstrated: non-strict child '5' needs ", rows_for_5,
+             " dimension rows; roll-ups through it double count")};
+}
+
+ProbeResult ProbeStarChangeAndTime() {
+  // SCD type 2: dimension rows versioned with ValidFrom/ValidTo.
+  StarSchemaEngine engine;
+  Relation diagnosis({"diag_key", "code", "ValidFrom", "ValidTo"});
+  (void)diagnosis.Insert({Value(std::int64_t{8}), Value(std::string("D1")),
+                          Value(*ParseDate("01/01/70")),
+                          Value(*ParseDate("31/12/79"))});
+  (void)diagnosis.Insert({Value(std::int64_t{11}), Value(std::string("E1")),
+                          Value(*ParseDate("01/01/80")),
+                          Value(*ParseDate("31/12/99"))});
+  (void)engine.AddDimensionTable("Diagnosis", std::move(diagnosis),
+                                 "diag_key");
+  Relation fact({"patient", "diag_fk"});
+  (void)engine.SetFactTable(std::move(fact), {{"Diagnosis", "diag_fk"}});
+  auto in_75 = engine.DimensionAsOf("Diagnosis", Day("15/06/75"));
+  if (!in_75.ok()) return Fail(in_75.status());
+  if (in_75->size() != 1) {
+    return ProbeResult{Support::kNone, "SCD-2 versioning failed"};
+  }
+  return ProbeResult{
+      Support::kPartial,
+      "SCD type 2 reconstructs dimension rows as-of a date, but there is "
+      "no cross-version bridge (old Diabetes does not roll into new)"};
+}
+
+// ---- Probes for the data-cube baseline -------------------------------------
+
+Relation CubeSales() {
+  Relation r({"product", "region", "amount"});
+  (void)r.Insert({Value(std::string("apples")), Value(std::string("North")),
+                  Value(std::int64_t{10})});
+  (void)r.Insert({Value(std::string("apples")), Value(std::string("South")),
+                  Value(std::int64_t{20})});
+  (void)r.Insert({Value(std::string("pears")), Value(std::string("North")),
+                  Value(std::int64_t{5})});
+  return r;
+}
+
+ProbeResult ProbeCubeSymmetric() {
+  Relation r = CubeSales();
+  // Any attribute can be grouped or aggregated: group by region, sum
+  // amount; then group by amount, count regions.
+  auto by_region = Cube(r, {"region"},
+                        {AggregateTerm::Func::kSum, "amount", "total"});
+  if (!by_region.ok()) return Fail(by_region.status());
+  auto by_amount = Cube(r, {"amount"},
+                        {AggregateTerm::Func::kCountStar, "", "n"});
+  if (!by_amount.ok()) return Fail(by_amount.status());
+  return ProbeResult{Support::kFull,
+                     "any attribute groups or aggregates (ALL construct)"};
+}
+
+ProbeResult ProbeCubeMultipleHierarchies() {
+  Relation r = CubeSales();
+  auto cube =
+      Cube(r, {"product", "region"},
+           {AggregateTerm::Func::kSum, "amount", "total"});
+  if (!cube.ok()) return Fail(cube.status());
+  // 2^2 groupings materialized: all aggregation paths available.
+  bool has_grand_total = false;
+  for (const auto& tuple : cube->tuples()) {
+    if (IsAllValue(tuple[0]) && IsAllValue(tuple[1]) &&
+        tuple[2] == Value(35.0)) {
+      has_grand_total = true;
+    }
+  }
+  if (!has_grand_total) {
+    return ProbeResult{Support::kNone, "cube grand total missing"};
+  }
+  return ProbeResult{Support::kFull,
+                     "CUBE materializes every grouping combination"};
+}
+
+ProbeResult ProbeCubeCorrectAggregation() {
+  return ProbeResult{
+      Support::kPartial,
+      "super-aggregates are consistent by construction, but nothing "
+      "prevents summing non-additive data or double counting"};
+}
+
+}  // namespace
+
+std::string_view RequirementName(Requirement requirement) {
+  switch (requirement) {
+    case Requirement::kExplicitHierarchies:
+      return "explicit hierarchies";
+    case Requirement::kSymmetricTreatment:
+      return "symmetric dimensions/measures";
+    case Requirement::kMultipleHierarchies:
+      return "multiple hierarchies";
+    case Requirement::kCorrectAggregation:
+      return "correct aggregation";
+    case Requirement::kNonStrictHierarchies:
+      return "non-strict hierarchies";
+    case Requirement::kManyToManyFactDim:
+      return "many-to-many fact-dimension";
+    case Requirement::kChangeAndTime:
+      return "handling change and time";
+    case Requirement::kUncertainty:
+      return "handling uncertainty";
+    case Requirement::kMultipleGranularities:
+      return "different granularities";
+  }
+  return "?";
+}
+
+char SupportSymbol(Support support) {
+  switch (support) {
+    case Support::kNone:
+      return '-';
+    case Support::kPartial:
+      return 'p';
+    case Support::kFull:
+      return 'V';
+  }
+  return '?';
+}
+
+std::vector<ModelRow> PublishedTable2() {
+  const Support F = Support::kFull;
+  const Support P = Support::kPartial;
+  const Support N = Support::kNone;
+  auto row = [](std::string name, std::array<Support, 9> support) {
+    ModelRow r{std::move(name), support, {}};
+    r.evidence.fill("as published (ICDE'99 Table 2)");
+    return r;
+  };
+  return {
+      row("Rafanelli [6]", {F, N, N, F, P, N, N, N, N}),
+      row("Agrawal [5]", {P, F, F, N, P, N, N, N, N}),
+      row("Gray [2]", {N, F, F, P, N, N, N, N, N}),
+      row("Kimball [3]", {N, N, F, P, N, N, P, N, N}),
+      row("Li [10]", {P, N, F, P, N, N, N, N, N}),
+      row("Gyssens [9]", {N, F, F, P, N, N, N, N, N}),
+      row("Datta [13]", {N, F, F, N, P, N, N, N, N}),
+      row("Lehner [11]", {F, N, N, F, N, N, N, N, N}),
+  };
+}
+
+ModelRow ProbeExtendedModel() {
+  ModelRow row{"This paper (probed)", {}, {}};
+  const ProbeResult results[kRequirementCount] = {
+      ProbeModelExplicitHierarchies(), ProbeModelSymmetricTreatment(),
+      ProbeModelMultipleHierarchies(), ProbeModelCorrectAggregation(),
+      ProbeModelNonStrict(),           ProbeModelManyToMany(),
+      ProbeModelChangeAndTime(),       ProbeModelUncertainty(),
+      ProbeModelGranularity()};
+  for (std::size_t i = 0; i < kRequirementCount; ++i) {
+    row.support[i] = results[i].support;
+    row.evidence[i] = results[i].evidence;
+  }
+  return row;
+}
+
+ModelRow ProbeStarSchemaBaseline() {
+  ModelRow row{"Kimball star schema (probed)", {}, {}};
+  row.support = {Support::kNone,    Support::kNone, Support::kFull,
+                 Support::kPartial, Support::kNone, Support::kNone,
+                 Support::kPartial, Support::kNone, Support::kNone};
+  row.evidence.fill("structural: the model cannot express the concept");
+  row.evidence[0] =
+      "hierarchy levels are plain columns without lattice metadata";
+  row.evidence[2] =
+      "several independent level-column sets per dimension table";
+  row.evidence[3] =
+      "additive measures by convention; no aggregation-type safety";
+  ProbeResult non_strict = ProbeStarNonStrict();
+  row.support[4] = non_strict.support;
+  row.evidence[4] = non_strict.evidence;
+  ProbeResult m2m = ProbeStarManyToMany();
+  row.support[5] = m2m.support;
+  row.evidence[5] = m2m.evidence;
+  ProbeResult scd = ProbeStarChangeAndTime();
+  row.support[6] = scd.support;
+  row.evidence[6] = scd.evidence;
+  row.evidence[8] = "fact foreign keys must reference leaf-level rows";
+  return row;
+}
+
+ModelRow ProbeDataCubeBaseline() {
+  ModelRow row{"Gray data cube (probed)", {}, {}};
+  row.support = {Support::kNone, Support::kFull,    Support::kFull,
+                 Support::kPartial, Support::kNone, Support::kNone,
+                 Support::kNone, Support::kNone,    Support::kNone};
+  row.evidence.fill("structural: flat relations with ALL markers only");
+  ProbeResult symmetric = ProbeCubeSymmetric();
+  row.support[1] = symmetric.support;
+  row.evidence[1] = symmetric.evidence;
+  ProbeResult multiple = ProbeCubeMultipleHierarchies();
+  row.support[2] = multiple.support;
+  row.evidence[2] = multiple.evidence;
+  ProbeResult correct = ProbeCubeCorrectAggregation();
+  row.support[3] = correct.support;
+  row.evidence[3] = correct.evidence;
+  return row;
+}
+
+std::string RenderTable2(const std::vector<ModelRow>& rows) {
+  std::vector<std::string> headers = {"Model"};
+  for (std::size_t i = 1; i <= kRequirementCount; ++i) {
+    headers.push_back(std::to_string(i));
+  }
+  TablePrinter printer(std::move(headers));
+  for (const ModelRow& row : rows) {
+    std::vector<std::string> cells = {row.name};
+    for (Support support : row.support) {
+      cells.push_back(std::string(1, SupportSymbol(support)));
+    }
+    printer.AddRow(std::move(cells));
+  }
+  return printer.ToString();
+}
+
+bool MatchesPublishedRow(const ModelRow& probed, const std::string& name) {
+  for (const ModelRow& published : PublishedTable2()) {
+    if (published.name == name) return published.support == probed.support;
+  }
+  return false;
+}
+
+}  // namespace mddc

@@ -1,0 +1,97 @@
+#include "baselines/data_cube.h"
+
+#include "common/strings.h"
+
+namespace mddc {
+
+using relational::AggregateTerm;
+using relational::Relation;
+using relational::Tuple;
+using relational::Value;
+
+Value AllValue() { return Value(std::string("ALL")); }
+
+bool IsAllValue(const Value& value) {
+  return value.is_string() && *value.AsString() == "ALL";
+}
+
+namespace {
+
+/// One grouping with the attributes in `rolled` replaced by ALL.
+Result<Relation> GroupingWithAll(const Relation& r,
+                                 const std::vector<std::string>& group_by,
+                                 const std::vector<bool>& rolled,
+                                 const AggregateTerm& term) {
+  std::vector<std::string> keep;
+  for (std::size_t i = 0; i < group_by.size(); ++i) {
+    if (!rolled[i]) keep.push_back(group_by[i]);
+  }
+  MDDC_ASSIGN_OR_RETURN(Relation grouped,
+                        relational::Aggregate(r, keep, {term}));
+  // Expand back to full arity with ALL markers.
+  std::vector<std::string> attributes = group_by;
+  attributes.push_back(term.result_name);
+  Relation result(std::move(attributes));
+  for (const Tuple& tuple : grouped.tuples()) {
+    Tuple out;
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < group_by.size(); ++i) {
+      if (rolled[i]) {
+        out.push_back(AllValue());
+      } else {
+        out.push_back(tuple[cursor++]);
+      }
+    }
+    out.push_back(tuple[cursor]);
+    MDDC_RETURN_NOT_OK(result.Insert(std::move(out)));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Relation> Cube(const Relation& r,
+                      const std::vector<std::string>& group_by,
+                      const AggregateTerm& term) {
+  if (group_by.size() > 20) {
+    return Status::InvalidArgument("cube over more than 20 attributes");
+  }
+  std::vector<std::string> attributes = group_by;
+  attributes.push_back(term.result_name);
+  Relation result(std::move(attributes));
+  const std::size_t combinations = std::size_t{1} << group_by.size();
+  for (std::size_t mask = 0; mask < combinations; ++mask) {
+    std::vector<bool> rolled(group_by.size());
+    for (std::size_t i = 0; i < group_by.size(); ++i) {
+      rolled[i] = (mask >> i) & 1;
+    }
+    MDDC_ASSIGN_OR_RETURN(Relation grouping,
+                          GroupingWithAll(r, group_by, rolled, term));
+    for (const Tuple& tuple : grouping.tuples()) {
+      MDDC_RETURN_NOT_OK(result.Insert(tuple));
+    }
+  }
+  return result;
+}
+
+Result<Relation> RollUpCube(const Relation& r,
+                            const std::vector<std::string>& group_by,
+                            const AggregateTerm& term) {
+  std::vector<std::string> attributes = group_by;
+  attributes.push_back(term.result_name);
+  Relation result(std::move(attributes));
+  for (std::size_t level = 0; level <= group_by.size(); ++level) {
+    std::vector<bool> rolled(group_by.size(), false);
+    for (std::size_t i = group_by.size() - level; i < group_by.size(); ++i) {
+      rolled[i] = true;
+    }
+    MDDC_ASSIGN_OR_RETURN(Relation grouping,
+                          GroupingWithAll(r, group_by, rolled, term));
+    for (const Tuple& tuple : grouping.tuples()) {
+      MDDC_RETURN_NOT_OK(result.Insert(tuple));
+    }
+  }
+  return result;
+}
+
+}  // namespace mddc

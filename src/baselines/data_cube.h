@@ -1,0 +1,45 @@
+#ifndef MDDC_BASELINES_DATA_CUBE_H_
+#define MDDC_BASELINES_DATA_CUBE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/algebra.h"
+#include "relational/relation.h"
+
+namespace mddc {
+
+/// The CUBE/ROLLUP operators of Gray et al. [ICDE 1996], the second
+/// implemented baseline of Table 2. CUBE generalizes GROUP BY to all 2^n
+/// combinations of the grouping attributes, writing the distinguished
+/// value "ALL" for attributes rolled away — the construct the paper's top
+/// value generalizes ("Value T is similar to the ALL construct of Gray et
+/// al.").
+///
+/// The substrate is flat relations: hierarchies are just more columns, so
+/// the model has no explicit hierarchies (requirement 1 '-' in Table 2),
+/// no non-strict hierarchies, no fact-dimension many-to-many, no temporal
+/// support — each probe in the conformance harness exercises one of these
+/// gaps.
+
+/// The distinguished ALL value.
+relational::Value AllValue();
+
+/// True iff `value` is the ALL marker.
+bool IsAllValue(const relational::Value& value);
+
+/// GROUP BY `group_by` with super-aggregates for every subset (CUBE).
+Result<relational::Relation> Cube(const relational::Relation& r,
+                                  const std::vector<std::string>& group_by,
+                                  const relational::AggregateTerm& term);
+
+/// GROUP BY with super-aggregates along one nesting order (ROLLUP):
+/// (a,b,c), (a,b,ALL), (a,ALL,ALL), (ALL,ALL,ALL).
+Result<relational::Relation> RollUpCube(
+    const relational::Relation& r, const std::vector<std::string>& group_by,
+    const relational::AggregateTerm& term);
+
+}  // namespace mddc
+
+#endif  // MDDC_BASELINES_DATA_CUBE_H_

@@ -1,0 +1,102 @@
+#include "baselines/star_schema.h"
+
+#include "common/strings.h"
+
+namespace mddc {
+
+using relational::AggregateTerm;
+using relational::Condition;
+using relational::Relation;
+using relational::Tuple;
+using relational::Value;
+
+Status StarSchemaEngine::AddDimensionTable(const std::string& name,
+                                           Relation table, std::string key) {
+  if (!table.AttributeIndex(key).ok()) {
+    return Status::InvalidArgument(
+        StrCat("dimension table '", name, "' has no key column '", key,
+               "'"));
+  }
+  if (dimensions_.count(name) != 0) {
+    return Status::InvariantViolation(
+        StrCat("dimension table '", name, "' already registered"));
+  }
+  dimensions_.emplace(name, DimensionInfo{std::move(table), std::move(key)});
+  return Status::OK();
+}
+
+Status StarSchemaEngine::SetFactTable(
+    Relation table, std::map<std::string, std::string> foreign_keys) {
+  for (const auto& [dimension, fk] : foreign_keys) {
+    if (dimensions_.count(dimension) == 0) {
+      return Status::NotFound(
+          StrCat("foreign key references unknown dimension '", dimension,
+                 "'"));
+    }
+    if (!table.AttributeIndex(fk).ok()) {
+      return Status::InvalidArgument(
+          StrCat("fact table has no column '", fk, "'"));
+    }
+  }
+  fact_ = std::move(table);
+  foreign_keys_ = std::move(foreign_keys);
+  return Status::OK();
+}
+
+Result<const Relation*> StarSchemaEngine::dimension_table(
+    const std::string& name) const {
+  auto it = dimensions_.find(name);
+  if (it == dimensions_.end()) {
+    return Status::NotFound(StrCat("no dimension table '", name, "'"));
+  }
+  return &it->second.table;
+}
+
+Result<Relation> StarSchemaEngine::JoinedView(
+    const std::vector<std::string>& dimensions) const {
+  Relation view = fact_;
+  for (const std::string& name : dimensions) {
+    auto it = dimensions_.find(name);
+    if (it == dimensions_.end()) {
+      return Status::NotFound(StrCat("no dimension table '", name, "'"));
+    }
+    auto fk = foreign_keys_.find(name);
+    if (fk == foreign_keys_.end()) {
+      return Status::NotFound(
+          StrCat("fact table has no foreign key for dimension '", name,
+                 "'"));
+    }
+    MDDC_ASSIGN_OR_RETURN(
+        view, relational::EquiJoin(view, it->second.table,
+                                   {{fk->second, it->second.key}}));
+  }
+  return view;
+}
+
+Result<Relation> StarSchemaEngine::AggregateByLevel(
+    const std::string& dimension, const std::string& level,
+    const AggregateTerm& term) const {
+  MDDC_ASSIGN_OR_RETURN(Relation view, JoinedView({dimension}));
+  return relational::Aggregate(view, {level}, {term});
+}
+
+Result<Relation> StarSchemaEngine::DimensionAsOf(const std::string& name,
+                                                 std::int64_t day) const {
+  auto it = dimensions_.find(name);
+  if (it == dimensions_.end()) {
+    return Status::NotFound(StrCat("no dimension table '", name, "'"));
+  }
+  const Relation& table = it->second.table;
+  if (!table.AttributeIndex("ValidFrom").ok() ||
+      !table.AttributeIndex("ValidTo").ok()) {
+    return table;
+  }
+  MDDC_ASSIGN_OR_RETURN(
+      Relation from_ok,
+      relational::Select(
+          table, Condition{"ValidFrom", Condition::Op::kLe, Value(day)}));
+  return relational::Select(
+      from_ok, Condition{"ValidTo", Condition::Op::kGe, Value(day)});
+}
+
+}  // namespace mddc

@@ -1,0 +1,80 @@
+#ifndef MDDC_BASELINES_STAR_SCHEMA_H_
+#define MDDC_BASELINES_STAR_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/algebra.h"
+#include "relational/relation.h"
+
+namespace mddc {
+
+/// A Kimball-style star schema engine [Kimball 1996], one of the two
+/// surveyed models implemented as a baseline for Table 2 and the
+/// benchmarks: a central fact table with one foreign key per dimension
+/// plus measure columns, and one *denormalized* dimension table per
+/// dimension (key column plus one column per hierarchy level).
+///
+/// The engine is faithful to the model's limitations, which is the point:
+///
+///  * each fact row has exactly ONE key per dimension, so many-to-many
+///    fact-dimension relationships (requirement 6) force duplicated fact
+///    rows and double-counted measures;
+///  * each dimension row has exactly one value per level column, so
+///    non-strict hierarchies (requirement 5) force duplicated dimension
+///    rows and double counting on roll-up;
+///  * slowly-changing dimensions (type 2: row versioning with
+///    ValidFrom/ValidTo columns) give only partial support for change
+///    over time (requirement 7), matching the 'p' in Table 2.
+class StarSchemaEngine {
+ public:
+  /// Registers a dimension table. `key` names the surrogate-key column;
+  /// the remaining columns are hierarchy levels (finest first).
+  Status AddDimensionTable(const std::string& name,
+                           relational::Relation table, std::string key);
+
+  /// Sets the fact table. `foreign_keys` maps dimension names to the fact
+  /// table's FK columns.
+  Status SetFactTable(relational::Relation table,
+                      std::map<std::string, std::string> foreign_keys);
+
+  const relational::Relation& fact_table() const { return fact_; }
+  Result<const relational::Relation*> dimension_table(
+      const std::string& name) const;
+
+  /// The star join: fact table joined with the given dimensions.
+  Result<relational::Relation> JoinedView(
+      const std::vector<std::string>& dimensions) const;
+
+  /// Rolls up: group the star join by `level` (a column of dimension
+  /// `dimension`) and apply the aggregate term. This is where the
+  /// baseline's double counting is observable: a patient with two
+  /// diagnoses in one group contributes two rows, and COUNT(*) counts
+  /// both.
+  Result<relational::Relation> AggregateByLevel(
+      const std::string& dimension, const std::string& level,
+      const relational::AggregateTerm& term) const;
+
+  /// Type-2 slowly-changing-dimension lookup: the version of a dimension
+  /// row current at `date`, using ValidFrom/ValidTo columns when present
+  /// (dates as int64 day numbers). Returns all rows when the dimension
+  /// has no validity columns.
+  Result<relational::Relation> DimensionAsOf(const std::string& name,
+                                             std::int64_t day) const;
+
+ private:
+  struct DimensionInfo {
+    relational::Relation table;
+    std::string key;
+  };
+
+  relational::Relation fact_;
+  std::map<std::string, std::string> foreign_keys_;
+  std::map<std::string, DimensionInfo> dimensions_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_BASELINES_STAR_SCHEMA_H_

@@ -1,0 +1,91 @@
+#include "common/date.h"
+
+#include <array>
+#include <cstdio>
+
+namespace mddc {
+namespace {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+// Days from 01/01/0001 (day 0 of the proleptic Gregorian calendar) to
+// 01/01/<year>.
+std::int64_t DaysBeforeYear(int year) {
+  std::int64_t y = year - 1;
+  return y * 365 + y / 4 - y / 100 + y / 400;
+}
+
+constexpr std::int64_t kEpochShift = 693595;  // DaysBeforeYear(1900).
+
+}  // namespace
+
+bool IsValidDate(const CalendarDate& date) {
+  if (date.month < 1 || date.month > 12) return false;
+  if (date.day < 1 || date.day > DaysInMonth(date.year, date.month)) {
+    return false;
+  }
+  return true;
+}
+
+Result<std::int64_t> DateToDayNumber(const CalendarDate& date) {
+  if (!IsValidDate(date)) {
+    return Status::InvalidArgument("invalid calendar date " +
+                                   std::to_string(date.day) + "/" +
+                                   std::to_string(date.month) + "/" +
+                                   std::to_string(date.year));
+  }
+  std::int64_t days = DaysBeforeYear(date.year);
+  for (int m = 1; m < date.month; ++m) days += DaysInMonth(date.year, m);
+  days += date.day - 1;
+  return days - kEpochShift;
+}
+
+CalendarDate DayNumberToDate(std::int64_t day_number) {
+  std::int64_t days = day_number + kEpochShift;
+  // Find the year by estimate-and-correct.
+  int year = static_cast<int>(days / 366) + 1;
+  while (DaysBeforeYear(year + 1) <= days) ++year;
+  days -= DaysBeforeYear(year);
+  int month = 1;
+  while (days >= DaysInMonth(year, month)) {
+    days -= DaysInMonth(year, month);
+    ++month;
+  }
+  return CalendarDate{year, month, static_cast<int>(days) + 1};
+}
+
+Result<std::int64_t> ParseDate(const std::string& text) {
+  int d = 0;
+  int m = 0;
+  int y = 0;
+  char extra = 0;
+  int fields = std::sscanf(text.c_str(), "%d/%d/%d%c", &d, &m, &y, &extra);
+  if (fields != 3) {
+    return Status::InvalidArgument("cannot parse date '" + text +
+                                   "'; expected dd/mm/yy or dd/mm/yyyy");
+  }
+  if (y < 100) {
+    // The case study spans 1969..present; split two-digit years at 30.
+    y += (y >= 30) ? 1900 : 2000;
+  }
+  return DateToDayNumber(CalendarDate{y, m, d});
+}
+
+std::string FormatDate(std::int64_t day_number) {
+  CalendarDate date = DayNumberToDate(day_number);
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%02d/%02d/%04d", date.day,
+                date.month, date.year);
+  return buffer;
+}
+
+}  // namespace mddc

@@ -1,0 +1,48 @@
+#ifndef MDDC_COMMON_DATE_H_
+#define MDDC_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mddc {
+
+/// Calendar date utilities. The paper's running example uses a Day-granule
+/// time domain ("we use interval notation for Tv, with a chronon size of
+/// Day", Example 9). We map dates to day numbers with a proleptic Gregorian
+/// calendar so that day arithmetic is exact and total ordering is cheap.
+///
+/// Day number 0 is 01/01/1900; the case study only uses 20th/21st-century
+/// dates. Negative day numbers (pre-1900) are permitted.
+struct CalendarDate {
+  int year = 1900;   ///< Full year, e.g. 1980.
+  int month = 1;     ///< 1..12.
+  int day = 1;       ///< 1..31.
+
+  friend bool operator==(const CalendarDate&, const CalendarDate&) = default;
+};
+
+/// Returns true iff `date` denotes an actual calendar day (month/day in
+/// range, leap years honored).
+bool IsValidDate(const CalendarDate& date);
+
+/// Converts a calendar date to its day number (days since 01/01/1900).
+/// Returns InvalidArgument for non-existent dates.
+Result<std::int64_t> DateToDayNumber(const CalendarDate& date);
+
+/// Inverse of DateToDayNumber.
+CalendarDate DayNumberToDate(std::int64_t day_number);
+
+/// Parses the paper's "dd/mm/yy" format (two-digit years are 19yy when
+/// yy >= 30 and 20yy otherwise, which covers the case study's 1969..NOW
+/// range) as well as "dd/mm/yyyy". Returns the day number.
+Result<std::int64_t> ParseDate(const std::string& text);
+
+/// Formats a day number as "dd/mm/yyyy".
+std::string FormatDate(std::int64_t day_number);
+
+}  // namespace mddc
+
+#endif  // MDDC_COMMON_DATE_H_

@@ -1,0 +1,70 @@
+#ifndef MDDC_COMMON_ID_H_
+#define MDDC_COMMON_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mddc {
+
+/// A strongly typed surrogate identifier. The paper argues for surrogate
+/// identity of dimension values ("object ids", Section 3.1): names change
+/// over time and may be ambiguous, so values are identified by ids and
+/// names are attached through Representations. `Tag` distinguishes id
+/// spaces at compile time so a FactId cannot be passed where a ValueId is
+/// expected.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint64_t;
+
+  /// An explicitly invalid id; useful as a sentinel before assignment.
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+  constexpr Id() : raw_(kInvalid) {}
+  constexpr explicit Id(underlying_type raw) : raw_(raw) {}
+
+  constexpr underlying_type raw() const { return raw_; }
+  constexpr bool valid() const { return raw_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.raw_ > b.raw_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.raw_ <= b.raw_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.raw_ >= b.raw_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.raw_;
+  }
+
+ private:
+  underlying_type raw_;
+};
+
+struct ValueIdTag {};
+struct FactIdTag {};
+struct CategoryIdTag {};
+
+/// Identifies a dimension value (surrogate, Section 3.1).
+using ValueId = Id<ValueIdTag>;
+/// Identifies a fact. Facts have separate identity in the model; after
+/// aggregate formation facts denote *sets* of argument facts and after an
+/// identity-based join they denote *pairs* (see core/fact.h).
+using FactId = Id<FactIdTag>;
+/// Identifies a category within a dimension.
+using CategoryId = Id<CategoryIdTag>;
+
+}  // namespace mddc
+
+namespace std {
+template <typename Tag>
+struct hash<mddc::Id<Tag>> {
+  size_t operator()(mddc::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.raw());
+  }
+};
+}  // namespace std
+
+#endif  // MDDC_COMMON_ID_H_

@@ -1,0 +1,73 @@
+#ifndef MDDC_COMMON_RESULT_H_
+#define MDDC_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mddc {
+
+/// A value-or-error type in the style of arrow::Result. Holds either a T
+/// (status is OK) or an error Status. Accessing the value of an errored
+/// result aborts with a diagnostic; callers are expected to check ok() or
+/// use MDDC_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!status_.ok()) {
+      std::cerr << "Attempted to access value of errored Result: "
+                << status_.ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_COMMON_RESULT_H_

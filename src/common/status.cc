@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace mddc {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvariantViolation:
+      return "InvariantViolation";
+    case StatusCode::kIllegalAggregation:
+      return "IllegalAggregation";
+    case StatusCode::kSchemaMismatch:
+      return "SchemaMismatch";
+    case StatusCode::kTemporalTypeMismatch:
+      return "TemporalTypeMismatch";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeName(code_));
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace mddc

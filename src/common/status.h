@@ -1,0 +1,118 @@
+#ifndef MDDC_COMMON_STATUS_H_
+#define MDDC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mddc {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of returning status objects instead of throwing exceptions
+/// across public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller supplied an argument that is structurally invalid (e.g., an
+  /// unknown dimension index, a category not in the dimension).
+  kInvalidArgument,
+  /// A referenced entity (value, category, fact, representation) does not
+  /// exist.
+  kNotFound,
+  /// An operation would violate a model invariant (e.g., adding a cycle to
+  /// a dimension partial order, or a duplicate representation value).
+  kInvariantViolation,
+  /// An aggregate function was applied to data whose aggregation type does
+  /// not permit it (the paper's Sigma/phi/c mechanism, Section 3.1).
+  kIllegalAggregation,
+  /// Two schemas that must be equal (union/difference) differ.
+  kSchemaMismatch,
+  /// The operation is not defined for the temporal type of the MO (e.g.,
+  /// valid-timeslice of a snapshot MO).
+  kTemporalTypeMismatch,
+  /// Feature contracted but not implemented.
+  kNotImplemented,
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to construct in the OK case (no
+/// allocation). Modeled on rocksdb::Status / arrow::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvariantViolation(std::string msg) {
+    return Status(StatusCode::kInvariantViolation, std::move(msg));
+  }
+  static Status IllegalAggregation(std::string msg) {
+    return Status(StatusCode::kIllegalAggregation, std::move(msg));
+  }
+  static Status SchemaMismatch(std::string msg) {
+    return Status(StatusCode::kSchemaMismatch, std::move(msg));
+  }
+  static Status TemporalTypeMismatch(std::string msg) {
+    return Status(StatusCode::kTemporalTypeMismatch, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace mddc
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning Status (or Result<T>, which converts from Status).
+#define MDDC_RETURN_NOT_OK(expr)                   \
+  do {                                             \
+    ::mddc::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// Assigns the value of a Result<T> expression to `lhs`, propagating errors.
+#define MDDC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define MDDC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MDDC_ASSIGN_OR_RETURN_NAME(a, b) MDDC_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define MDDC_ASSIGN_OR_RETURN(lhs, expr) \
+  MDDC_ASSIGN_OR_RETURN_IMPL(            \
+      MDDC_ASSIGN_OR_RETURN_NAME(_mddc_result_, __LINE__), lhs, expr)
+
+#endif  // MDDC_COMMON_STATUS_H_

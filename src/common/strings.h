@@ -1,0 +1,32 @@
+#ifndef MDDC_COMMON_STRINGS_H_
+#define MDDC_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mddc {
+
+/// Joins the elements of `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits `text` on `separator`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Streams all arguments into a single string; convenience for building
+/// status messages, e.g. StrCat("value ", id, " not in category ", name).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Formats a double trimming trailing zeros ("2" not "2.000000").
+std::string FormatDouble(double value);
+
+}  // namespace mddc
+
+#endif  // MDDC_COMMON_STRINGS_H_

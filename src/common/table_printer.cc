@@ -1,0 +1,47 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mddc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace mddc

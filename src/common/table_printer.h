@@ -1,0 +1,41 @@
+#ifndef MDDC_COMMON_TABLE_PRINTER_H_
+#define MDDC_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mddc {
+
+/// Renders rows of strings as an aligned ASCII table. Used by the benchmark
+/// harness to print the paper's tables (Table 1, Table 2) and result MOs in
+/// a shape directly comparable to the publication.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; it must have exactly as many cells as there are
+  /// headers (short rows are padded, long rows truncated, so output stays
+  /// well-formed even on misuse).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table, e.g.:
+  ///   ID | Name     | SSN
+  ///   ---+----------+---------
+  ///   1  | John Doe | 12345678
+  void Print(std::ostream& os) const;
+
+  /// Returns the rendered table as a string.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_COMMON_TABLE_PRINTER_H_

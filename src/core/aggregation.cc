@@ -1,0 +1,70 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+
+namespace mddc {
+
+std::string_view AggregationTypeName(AggregationType type) {
+  switch (type) {
+    case AggregationType::kConstant:
+      return "c";
+    case AggregationType::kAverage:
+      return "phi";
+    case AggregationType::kSum:
+      return "Sigma";
+  }
+  return "?";
+}
+
+std::string_view AggregateFunctionKindName(AggregateFunctionKind kind) {
+  switch (kind) {
+    case AggregateFunctionKind::kCount:
+      return "COUNT";
+    case AggregateFunctionKind::kSetCount:
+      return "SetCount";
+    case AggregateFunctionKind::kSum:
+      return "SUM";
+    case AggregateFunctionKind::kAvg:
+      return "AVG";
+    case AggregateFunctionKind::kMin:
+      return "MIN";
+    case AggregateFunctionKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+AggregationType MinAggregationType(AggregationType a, AggregationType b) {
+  return static_cast<int>(a) < static_cast<int>(b) ? a : b;
+}
+
+bool IsApplicable(AggregateFunctionKind kind, AggregationType type) {
+  switch (kind) {
+    case AggregateFunctionKind::kCount:
+    case AggregateFunctionKind::kSetCount:
+      return true;  // c-type data can always be counted.
+    case AggregateFunctionKind::kAvg:
+    case AggregateFunctionKind::kMin:
+    case AggregateFunctionKind::kMax:
+      return type >= AggregationType::kAverage;
+    case AggregateFunctionKind::kSum:
+      return type >= AggregationType::kSum;
+  }
+  return false;
+}
+
+bool IsDistributive(AggregateFunctionKind kind) {
+  switch (kind) {
+    case AggregateFunctionKind::kCount:
+    case AggregateFunctionKind::kSetCount:
+    case AggregateFunctionKind::kSum:
+    case AggregateFunctionKind::kMin:
+    case AggregateFunctionKind::kMax:
+      return true;
+    case AggregateFunctionKind::kAvg:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace mddc

@@ -1,0 +1,54 @@
+#ifndef MDDC_CORE_AGGREGATION_H_
+#define MDDC_CORE_AGGREGATION_H_
+
+#include <string_view>
+
+namespace mddc {
+
+/// The paper's three aggregation types (Section 3.1): Sigma applies to data
+/// that can be added, phi to data usable for average computations, and c to
+/// constant data that can only be counted. They are totally ordered,
+/// c < phi < Sigma; data of a higher type also possesses the
+/// characteristics of the lower types.
+enum class AggregationType {
+  kConstant = 0,  ///< c:     {COUNT}
+  kAverage = 1,   ///< phi:   {COUNT, AVG, MIN, MAX}
+  kSum = 2,       ///< Sigma: {SUM, COUNT, AVG, MIN, MAX}
+};
+
+/// The standard SQL aggregation functions considered by the paper, plus
+/// set-count (Example 12), which counts the members of a fact set.
+enum class AggregateFunctionKind {
+  kCount,
+  kSetCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// Name in the paper's notation: "Sigma", "phi" or "c".
+std::string_view AggregationTypeName(AggregationType type);
+
+/// Name of an aggregate function, e.g. "SUM".
+std::string_view AggregateFunctionKindName(AggregateFunctionKind kind);
+
+/// The smaller (more restrictive) of the two aggregation types; used by
+/// the aggregate-formation typing rule.
+AggregationType MinAggregationType(AggregationType a, AggregationType b);
+
+/// True iff applying `kind` to data with aggregation type `type` is legal
+/// under the paper's rules (e.g. SUM requires Sigma; AVG requires phi or
+/// better; COUNT and SetCount are always legal).
+bool IsApplicable(AggregateFunctionKind kind, AggregationType type);
+
+/// True iff the function is distributive, i.e., partial results can be
+/// combined into totals: g(g(S1),..,g(Sk)) = g(S1 u .. u Sk). SUM, COUNT,
+/// SetCount (over disjoint sets), MIN and MAX are distributive; AVG is not.
+/// Distributivity is one of the three summarizability conditions of
+/// Section 3.4.
+bool IsDistributive(AggregateFunctionKind kind);
+
+}  // namespace mddc
+
+#endif  // MDDC_CORE_AGGREGATION_H_

@@ -1,0 +1,561 @@
+#include "core/dimension.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace mddc {
+namespace {
+
+/// All dimensions share one raw id for their top value; top values never
+/// mix across dimensions, and a shared id makes dimension union trivially
+/// correct.
+constexpr std::uint64_t kTopValueRawId = std::uint64_t{1} << 63;
+
+}  // namespace
+
+Dimension::Dimension(std::shared_ptr<const DimensionType> type)
+    : type_(std::move(type)), top_value_(ValueId(kTopValueRawId)) {
+  members_by_category_.resize(type_->category_count());
+  values_[top_value_] =
+      ValueInfo{type_->top(), Lifespan::AlwaysSpan()};
+  members_by_category_[type_->top()].push_back(top_value_);
+}
+
+Status Dimension::AddValue(CategoryTypeIndex category, ValueId id,
+                           const Lifespan& membership) {
+  if (category >= type_->category_count()) {
+    return Status::InvalidArgument(
+        StrCat("category index ", category, " out of range in dimension '",
+               name(), "'"));
+  }
+  if (category == type_->top()) {
+    return Status::InvalidArgument(
+        StrCat("the TOP category of dimension '", name(),
+               "' holds only the implicit top value"));
+  }
+  if (!id.valid()) {
+    return Status::InvalidArgument("cannot add a value with an invalid id");
+  }
+  if (values_.count(id) != 0) {
+    return Status::InvariantViolation(
+        StrCat("value ", id, " already exists in dimension '", name(), "'"));
+  }
+  if (membership.Empty()) {
+    return Status::InvalidArgument(
+        StrCat("value ", id, " has an empty membership lifespan"));
+  }
+  values_[id] = ValueInfo{category, membership};
+  members_by_category_[category].push_back(id);
+  next_auto_id_ = std::max(next_auto_id_, id.raw() + 1);
+  return Status::OK();
+}
+
+Result<ValueId> Dimension::AddValueAuto(CategoryTypeIndex category,
+                                        const Lifespan& membership) {
+  ValueId id(next_auto_id_);
+  MDDC_RETURN_NOT_OK(AddValue(category, id, membership));
+  return id;
+}
+
+Status Dimension::AddOrder(ValueId child, ValueId parent,
+                           const Lifespan& life, double prob) {
+  auto child_it = values_.find(child);
+  if (child_it == values_.end()) {
+    return Status::NotFound(
+        StrCat("order child ", child, " not in dimension '", name(), "'"));
+  }
+  auto parent_it = values_.find(parent);
+  if (parent_it == values_.end()) {
+    return Status::NotFound(
+        StrCat("order parent ", parent, " not in dimension '", name(), "'"));
+  }
+  CategoryTypeIndex child_cat = child_it->second.category;
+  CategoryTypeIndex parent_cat = parent_it->second.category;
+  if (child_cat == parent_cat || !type_->LessEq(child_cat, parent_cat)) {
+    return Status::InvariantViolation(StrCat(
+        "order edge in dimension '", name(), "' must go from category '",
+        type_->category(child_cat).name, "' to a strictly larger category; '",
+        type_->category(parent_cat).name, "' is not"));
+  }
+  if (prob <= 0.0 || prob > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("containment probability ", prob, " outside (0,1]"));
+  }
+  if (life.Empty()) {
+    return Status::InvalidArgument("order edge with empty lifespan");
+  }
+  // Coalesce with an existing edge for the same pair: the attached time is
+  // the *maximal* chronon set, so repeated assertions union.
+  for (std::size_t index : edges_by_child_[child]) {
+    Edge& edge = edges_[index];
+    if (edge.parent == parent) {
+      if (edge.prob != prob) {
+        return Status::InvariantViolation(
+            StrCat("conflicting probabilities for ", child, " <= ", parent,
+                   " in dimension '", name(), "': ", edge.prob, " vs ",
+                   prob));
+      }
+      edge.life = edge.life.Union(life);
+      up_memo_.clear();
+      down_memo_.clear();
+      return Status::OK();
+    }
+  }
+  edges_by_child_[child].push_back(edges_.size());
+  edges_by_parent_[parent].push_back(edges_.size());
+  edges_.push_back(Edge{child, parent, life, prob});
+  // Reachability changed: drop the memoized closure.
+  up_memo_.clear();
+  down_memo_.clear();
+  return Status::OK();
+}
+
+Representation& Dimension::RepresentationFor(CategoryTypeIndex category,
+                                             const std::string& rep_name) {
+  auto key = std::make_pair(category, rep_name);
+  auto it = representations_.find(key);
+  if (it == representations_.end()) {
+    it = representations_.emplace(key, Representation(rep_name)).first;
+  }
+  return it->second;
+}
+
+Result<const Representation*> Dimension::FindRepresentation(
+    CategoryTypeIndex category, const std::string& rep_name) const {
+  auto it = representations_.find(std::make_pair(category, rep_name));
+  if (it == representations_.end()) {
+    return Status::NotFound(StrCat("no representation '", rep_name,
+                                   "' for category '",
+                                   type_->category(category).name,
+                                   "' of dimension '", name(), "'"));
+  }
+  return &it->second;
+}
+
+std::vector<std::tuple<CategoryTypeIndex, std::string, const Representation*>>
+Dimension::AllRepresentations() const {
+  std::vector<std::tuple<CategoryTypeIndex, std::string, const Representation*>>
+      result;
+  result.reserve(representations_.size());
+  for (const auto& [key, rep] : representations_) {
+    result.emplace_back(key.first, key.second, &rep);
+  }
+  return result;
+}
+
+Result<double> Dimension::NumericValueOf(ValueId id, Chronon at) const {
+  MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category, CategoryOf(id));
+  // Preferred: an explicitly numeric representation named "Value".
+  if (auto named = FindRepresentation(category, "Value"); named.ok()) {
+    auto numeric = (*named)->GetNumeric(id, at);
+    if (numeric.ok()) return numeric;
+  }
+  for (const auto& [rep_category, rep_name, rep] : AllRepresentations()) {
+    if (rep_category != category || rep_name == "Value") continue;
+    auto numeric = rep->GetNumeric(id, at);
+    if (numeric.ok()) return numeric;
+  }
+  return Status::NotFound(
+      StrCat("value ", id, " of dimension '", name(),
+             "' has no numeric representation at the requested time"));
+}
+
+bool Dimension::HasValue(ValueId id) const { return values_.count(id) != 0; }
+
+Result<CategoryTypeIndex> Dimension::CategoryOf(ValueId id) const {
+  auto it = values_.find(id);
+  if (it == values_.end()) {
+    return Status::NotFound(
+        StrCat("value ", id, " not in dimension '", name(), "'"));
+  }
+  return it->second.category;
+}
+
+Result<Lifespan> Dimension::MembershipOf(ValueId id) const {
+  auto it = values_.find(id);
+  if (it == values_.end()) {
+    return Status::NotFound(
+        StrCat("value ", id, " not in dimension '", name(), "'"));
+  }
+  return it->second.membership;
+}
+
+std::vector<ValueId> Dimension::ValuesIn(CategoryTypeIndex category) const {
+  if (category >= members_by_category_.size()) return {};
+  return members_by_category_[category];
+}
+
+std::vector<ValueId> Dimension::AllValues() const {
+  std::vector<ValueId> result;
+  result.reserve(values_.size());
+  for (const auto& [id, info] : values_) result.push_back(id);
+  return result;
+}
+
+Lifespan Dimension::ContainmentSpan(ValueId e1, ValueId e2) const {
+  if (!HasValue(e1) || !HasValue(e2)) return Lifespan{TemporalElement::Never(),
+                                                      TemporalElement::Never()};
+  if (e1 == e2) return values_.at(e1).membership;
+  if (e2 == top_value_) return Lifespan::AlwaysSpan();
+  for (const Containment& c : Reach(e1, /*upward=*/true, kNowChronon)) {
+    if (c.value == e2) return c.life;
+  }
+  return Lifespan{TemporalElement::Never(), TemporalElement::Never()};
+}
+
+bool Dimension::LessEqAt(ValueId e1, ValueId e2, Chronon at) const {
+  return ContainmentSpan(e1, e2).valid.Contains(at);
+}
+
+double Dimension::ContainmentProbAt(ValueId e1, ValueId e2,
+                                    Chronon at) const {
+  if (!HasValue(e1) || !HasValue(e2)) return 0.0;
+  if (e1 == e2) return values_.at(e1).membership.valid.Contains(at) ? 1.0 : 0.0;
+  if (e2 == top_value_) return 1.0;
+  for (const Containment& c : Reach(e1, /*upward=*/true, at)) {
+    if (c.value == e2) return c.life.valid.Contains(at) ? c.prob : 0.0;
+  }
+  return 0.0;
+}
+
+std::vector<Dimension::Containment> Dimension::Ancestors(
+    ValueId e, Chronon prob_at) const {
+  std::vector<Containment> result = Reach(e, /*upward=*/true, prob_at);
+  // Top containment is unconditional; ensure it is present with full span.
+  bool has_top = false;
+  for (Containment& c : result) {
+    if (c.value == top_value_) {
+      c.life = Lifespan::AlwaysSpan();
+      c.prob = 1.0;
+      has_top = true;
+    }
+  }
+  if (!has_top && e != top_value_ && HasValue(e)) {
+    result.push_back(Containment{top_value_, Lifespan::AlwaysSpan(), 1.0});
+  }
+  return result;
+}
+
+std::vector<Dimension::Containment> Dimension::AncestorsIn(
+    ValueId e, CategoryTypeIndex category, Chronon prob_at) const {
+  std::vector<Containment> result;
+  for (Containment& c : Ancestors(e, prob_at)) {
+    auto cat = CategoryOf(c.value);
+    if (cat.ok() && *cat == category) result.push_back(std::move(c));
+  }
+  return result;
+}
+
+std::vector<Dimension::Containment> Dimension::Descendants(
+    ValueId e, Chronon prob_at) const {
+  if (e == top_value_) {
+    // Top contains everything unconditionally.
+    std::vector<Containment> result;
+    for (const auto& [id, info] : values_) {
+      if (id == top_value_) continue;
+      result.push_back(Containment{id, info.membership, 1.0});
+    }
+    return result;
+  }
+  return Reach(e, /*upward=*/false, prob_at);
+}
+
+std::vector<Dimension::Containment> Dimension::DescendantsIn(
+    ValueId e, CategoryTypeIndex category, Chronon prob_at) const {
+  std::vector<Containment> result;
+  for (Containment& c : Descendants(e, prob_at)) {
+    auto cat = CategoryOf(c.value);
+    if (cat.ok() && *cat == category) result.push_back(std::move(c));
+  }
+  return result;
+}
+
+std::vector<const Dimension::Edge*> Dimension::EdgesFromChild(
+    ValueId id) const {
+  std::vector<const Edge*> result;
+  auto it = edges_by_child_.find(id);
+  if (it == edges_by_child_.end()) return result;
+  for (std::size_t index : it->second) result.push_back(&edges_[index]);
+  return result;
+}
+
+std::vector<const Dimension::Edge*> Dimension::EdgesToParent(
+    ValueId id) const {
+  std::vector<const Edge*> result;
+  auto it = edges_by_parent_.find(id);
+  if (it == edges_by_parent_.end()) return result;
+  for (std::size_t index : it->second) result.push_back(&edges_[index]);
+  return result;
+}
+
+std::vector<Dimension::Containment> Dimension::Reach(ValueId start,
+                                                     bool upward,
+                                                     Chronon prob_at) const {
+  (void)prob_at;  // probabilities are atemporal; kept for API stability
+  std::vector<Containment> result;
+  if (!HasValue(start)) return result;
+
+  if (memo_enabled_) {
+    auto& memo = upward ? up_memo_ : down_memo_;
+    auto it = memo.find(start);
+    if (it != memo.end()) return it->second;
+  }
+
+  const auto& forward = upward ? edges_by_child_ : edges_by_parent_;
+
+  // 1. Collect the reachable sub-DAG.
+  std::map<ValueId, std::size_t> pending;  // value -> unprocessed in-edges
+  std::deque<ValueId> frontier = {start};
+  std::map<ValueId, bool> seen;
+  seen[start] = true;
+  std::vector<std::pair<ValueId, const Edge*>> sub_edges;  // (target, edge)
+  while (!frontier.empty()) {
+    ValueId current = frontier.front();
+    frontier.pop_front();
+    auto it = forward.find(current);
+    if (it == forward.end()) continue;
+    for (std::size_t index : it->second) {
+      const Edge& edge = edges_[index];
+      ValueId next = upward ? edge.parent : edge.child;
+      sub_edges.emplace_back(next, &edge);
+      ++pending[next];
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+
+  // 2. Relax in topological order. span accumulates the union over paths
+  //    of the intersection of edge lifespans along each path; not_prob
+  //    accumulates the product of (1 - p_path) factor-wise across
+  //    immediate predecessors (noisy-or).
+  // The start's span is Always: the time of a containment e1 <= e2 is
+  // carried entirely by the order edges (paper Section 3.2), not by the
+  // category membership of e1.
+  std::map<ValueId, Lifespan> span;
+  std::map<ValueId, double> prob;
+  span[start] = Lifespan::AlwaysSpan();
+  prob[start] = 1.0;
+  std::map<ValueId, double> not_prob;  // running product for noisy-or
+
+  std::deque<ValueId> ready = {start};
+  std::map<ValueId, std::vector<std::pair<ValueId, const Edge*>>> out;
+  for (auto& [target, edge] : sub_edges) {
+    ValueId source = upward ? edge->child : edge->parent;
+    out[source].emplace_back(target, edge);
+  }
+  while (!ready.empty()) {
+    ValueId current = ready.front();
+    ready.pop_front();
+    auto it = out.find(current);
+    if (it == out.end()) continue;
+    for (auto& [target, edge] : it->second) {
+      Lifespan via = span[current].Intersect(edge->life);
+      auto span_it = span.find(target);
+      if (span_it == span.end()) {
+        span[target] = via;
+        not_prob[target] = 1.0;
+      } else {
+        span_it->second = span_it->second.Union(via);
+      }
+      // Probabilities are atemporal attachments (paper Section 3.3): the
+      // temporal dimension of a containment is carried by the lifespan,
+      // so the DP multiplies path probabilities regardless of prob_at.
+      not_prob[target] *= 1.0 - prob[current] * edge->prob;
+      if (--pending[target] == 0) {
+        prob[target] = 1.0 - not_prob[target];
+        ready.push_back(target);
+      }
+    }
+  }
+
+  for (auto& [value, life] : span) {
+    if (value == start) continue;
+    // A value reachable only through lifespan-incompatible edges (empty
+    // intersection along every path) is not contained at any time.
+    if (life.Empty()) continue;
+    double p = prob.count(value) != 0 ? prob[value] : 0.0;
+    result.push_back(Containment{value, life, p});
+  }
+  if (memo_enabled_) {
+    auto& memo = upward ? up_memo_ : down_memo_;
+    memo.emplace(start, result);
+  }
+  return result;
+}
+
+Result<Dimension> Dimension::UnionWith(const Dimension& a,
+                                       const Dimension& b) {
+  if (!a.type().EquivalentTo(b.type())) {
+    return Status::SchemaMismatch(
+        StrCat("dimension union requires equivalent types; got '", a.name(),
+               "' and '", b.name(), "' with differing structure"));
+  }
+  Dimension result = a;
+  for (const auto& [id, info] : b.values_) {
+    if (id == b.top_value_) continue;
+    auto it = result.values_.find(id);
+    if (it == result.values_.end()) {
+      MDDC_RETURN_NOT_OK(result.AddValue(info.category, id, info.membership));
+    } else {
+      if (it->second.category != info.category) {
+        return Status::InvariantViolation(
+            StrCat("value ", id, " is in category '",
+                   a.type().category(it->second.category).name, "' in one ",
+                   "dimension and '", b.type().category(info.category).name,
+                   "' in the other"));
+      }
+      it->second.membership = it->second.membership.Union(info.membership);
+    }
+  }
+  for (const Edge& edge : b.edges_) {
+    MDDC_RETURN_NOT_OK(
+        result.AddOrder(edge.child, edge.parent, edge.life, edge.prob));
+  }
+  for (const auto& [key, rep] : b.representations_) {
+    Representation& target =
+        result.RepresentationFor(key.first, key.second);
+    for (const auto& [id, info] : b.values_) {
+      (void)info;
+      for (const auto& [text, life] : rep.GetAll(id)) {
+        MDDC_RETURN_NOT_OK(target.Set(id, text, life));
+      }
+    }
+  }
+  return result;
+}
+
+Result<Dimension> Dimension::Subdimension(
+    const std::vector<CategoryTypeIndex>& keep) const {
+  MDDC_ASSIGN_OR_RETURN(std::shared_ptr<const DimensionType> new_type,
+                        type_->Restrict(keep));
+  Dimension result(new_type);
+
+  // Map old category index -> new index by name.
+  std::map<CategoryTypeIndex, CategoryTypeIndex> old_to_new;
+  for (CategoryTypeIndex i : keep) {
+    MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex new_index,
+                          new_type->Find(type_->category(i).name));
+    old_to_new[i] = new_index;
+  }
+
+  // Values of kept (non-top) categories.
+  for (const auto& [old_cat, new_cat] : old_to_new) {
+    if (new_cat == new_type->top()) continue;
+    for (ValueId id : ValuesIn(old_cat)) {
+      MDDC_RETURN_NOT_OK(
+          result.AddValue(new_cat, id, values_.at(id).membership));
+    }
+    // Carry representations.
+    for (const auto& [key, rep] : representations_) {
+      if (key.first != old_cat) continue;
+      Representation& target = result.RepresentationFor(new_cat, key.second);
+      for (ValueId id : ValuesIn(old_cat)) {
+        for (const auto& [text, life] : rep.GetAll(id)) {
+          MDDC_RETURN_NOT_OK(target.Set(id, text, life));
+        }
+      }
+    }
+  }
+
+  // The restricted order: for each kept value, link to its nearest kept
+  // ancestors (transitive containment, so dropping an intermediate
+  // category keeps lower values connected to higher ones).
+  for (const auto& [old_cat, new_cat] : old_to_new) {
+    if (new_cat == new_type->top()) continue;
+    for (ValueId id : ValuesIn(old_cat)) {
+      for (const Containment& c : Ancestors(id)) {
+        if (c.value == top_value_) continue;
+        auto ancestor_cat = CategoryOf(c.value);
+        if (!ancestor_cat.ok()) continue;
+        auto mapped = old_to_new.find(*ancestor_cat);
+        if (mapped == old_to_new.end()) continue;
+        // Only link to immediate kept parents in the new type to avoid a
+        // quadratic blowup of redundant edges.
+        bool immediate = false;
+        for (CategoryTypeIndex parent : new_type->Pred(new_cat)) {
+          if (parent == mapped->second) {
+            immediate = true;
+            break;
+          }
+        }
+        if (!immediate) continue;
+        double prob = c.prob > 0.0 ? c.prob : 1.0;
+        MDDC_RETURN_NOT_OK(result.AddOrder(id, c.value, c.life, prob));
+      }
+    }
+  }
+  return result;
+}
+
+Result<Dimension> Dimension::RestrictAbove(CategoryTypeIndex new_bottom) const {
+  return Subdimension(type_->AtOrAbove(new_bottom));
+}
+
+Dimension Dimension::RenamedAs(std::string new_name) const {
+  Dimension result = *this;
+  result.type_ = type_->WithName(std::move(new_name));
+  return result;
+}
+
+Status Dimension::Validate() const {
+  for (const Edge& edge : edges_) {
+    auto child = values_.find(edge.child);
+    auto parent = values_.find(edge.parent);
+    if (child == values_.end() || parent == values_.end()) {
+      return Status::InvariantViolation(
+          StrCat("dangling order edge ", edge.child, " <= ", edge.parent,
+                 " in dimension '", name(), "'"));
+    }
+    if (!type_->LessEq(child->second.category, parent->second.category) ||
+        child->second.category == parent->second.category) {
+      return Status::InvariantViolation(
+          StrCat("order edge ", edge.child, " <= ", edge.parent,
+                 " violates the category lattice of dimension '", name(),
+                 "'"));
+    }
+    if (edge.prob <= 0.0 || edge.prob > 1.0) {
+      return Status::InvariantViolation(
+          StrCat("edge probability ", edge.prob, " outside (0,1]"));
+    }
+  }
+  for (const auto& [id, info] : values_) {
+    if (info.membership.Empty()) {
+      return Status::InvariantViolation(
+          StrCat("value ", id, " has empty membership"));
+    }
+    if (info.category >= type_->category_count()) {
+      return Status::InvariantViolation(
+          StrCat("value ", id, " has out-of-range category"));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Dimension::ToString() const {
+  std::string out = StrCat("Dimension ", name(), " (", values_.size(),
+                           " values, ", edges_.size(), " order edges)\n");
+  for (CategoryTypeIndex i : type_->AtOrAbove(type_->bottom())) {
+    out += StrCat("  ", type_->category(i).name, ": {");
+    std::vector<std::string> names;
+    for (ValueId id : ValuesIn(i)) {
+      names.push_back(id == top_value_ ? "T" : std::to_string(id.raw()));
+    }
+    out += Join(names, ",");
+    out += "}\n";
+  }
+  for (const Edge& edge : edges_) {
+    out += StrCat("  ", edge.child, " <= ", edge.parent);
+    if (!(edge.life == Lifespan::AlwaysSpan())) {
+      out += StrCat(" during ", edge.life.ToString());
+    }
+    if (edge.prob != 1.0) out += StrCat(" p=", edge.prob);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mddc

@@ -1,0 +1,244 @@
+#ifndef MDDC_CORE_DIMENSION_H_
+#define MDDC_CORE_DIMENSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/id.h"
+#include "common/result.h"
+#include "core/dimension_type.h"
+#include "core/representation.h"
+#include "temporal/lifespan.h"
+
+namespace mddc {
+
+/// A dimension D = (C, <=) of some dimension type T (paper Section 3.1):
+/// a set of categories, each a set of dimension values with (temporal)
+/// membership, plus a partial order on the union of all values. The
+/// partial order is stored as immediate-containment edges, each carrying
+///
+///  * a Lifespan — the maximal valid/transaction time during which the
+///    containment holds (e1 <=_Tv e2, Section 3.2), and
+///  * a probability — the paper's e1 <=_p e2 (Section 3.3).
+///
+/// `e1 <= e2` then holds (at time t, with probability p) when e2 is
+/// reachable from e1 through edges alive at t; chronon sets intersect
+/// along a path and union across paths, giving exactly the property
+/// e1 <=_{T1} e2 and e2 <=_{T2} e3 implies e1 <=_{T1 n T2} e3.
+///
+/// Every dimension owns a distinguished top value (the ALL-like value of
+/// Gray et al.) that implicitly contains every value at all times.
+class Dimension {
+ public:
+  /// One resolved containment: `value` contains the query value during
+  /// `life` with probability `prob`.
+  struct Containment {
+    ValueId value;
+    Lifespan life;
+    double prob = 1.0;
+  };
+
+  /// An immediate-containment edge child <= parent.
+  struct Edge {
+    ValueId child;
+    ValueId parent;
+    Lifespan life;
+    double prob = 1.0;
+  };
+
+  /// Creates an empty dimension of the given type; the top value is
+  /// allocated automatically.
+  explicit Dimension(std::shared_ptr<const DimensionType> type);
+
+  const DimensionType& type() const { return *type_; }
+  const std::shared_ptr<const DimensionType>& type_ptr() const {
+    return type_;
+  }
+  const std::string& name() const { return type_->name(); }
+
+  /// The distinguished top value; every value is contained in it.
+  ValueId top_value() const { return top_value_; }
+
+  // ---- Population -------------------------------------------------------
+
+  /// Adds a value with an explicit (globally unique) surrogate id to the
+  /// category with index `category`, member during `membership`.
+  Status AddValue(CategoryTypeIndex category, ValueId id,
+                  const Lifespan& membership = Lifespan::AlwaysSpan());
+
+  /// Adds a value with an automatically allocated id; returns the id.
+  Result<ValueId> AddValueAuto(
+      CategoryTypeIndex category,
+      const Lifespan& membership = Lifespan::AlwaysSpan());
+
+  /// Declares child <= parent during `life` with probability `prob`. The
+  /// parent's category must be strictly above the child's in the type
+  /// lattice. Repeated declarations for the same pair are coalesced by
+  /// lifespan union (probabilities must agree).
+  Status AddOrder(ValueId child, ValueId parent,
+                  const Lifespan& life = Lifespan::AlwaysSpan(),
+                  double prob = 1.0);
+
+  /// Returns (creating on first use) the representation `rep_name` of the
+  /// category `category`.
+  Representation& RepresentationFor(CategoryTypeIndex category,
+                                    const std::string& rep_name);
+
+  /// Finds an existing representation. NotFound if never created.
+  Result<const Representation*> FindRepresentation(
+      CategoryTypeIndex category, const std::string& rep_name) const;
+
+  /// All representations as (category, name, representation) tuples, for
+  /// timeslicing and printing.
+  std::vector<std::tuple<CategoryTypeIndex, std::string, const Representation*>>
+  AllRepresentations() const;
+
+  /// The numeric interpretation of a value at chronon `at`, used by
+  /// SUM/AVG/MIN/MAX (symmetric treatment of dimensions and measures,
+  /// requirement 2): the representation named "Value" of the value's
+  /// category is consulted first, then any representation whose text
+  /// parses as a number.
+  Result<double> NumericValueOf(ValueId id, Chronon at = kNowChronon) const;
+
+  // ---- Value queries ----------------------------------------------------
+
+  bool HasValue(ValueId id) const;
+  Result<CategoryTypeIndex> CategoryOf(ValueId id) const;
+  Result<Lifespan> MembershipOf(ValueId id) const;
+
+  /// All values of a category, in insertion order (top category contains
+  /// exactly the top value).
+  std::vector<ValueId> ValuesIn(CategoryTypeIndex category) const;
+
+  /// All values of the dimension, including top.
+  std::vector<ValueId> AllValues() const;
+
+  std::size_t value_count() const { return values_.size(); }
+
+  // ---- Partial order queries --------------------------------------------
+
+  /// The maximal lifespan during which e1 <= e2 (empty when incomparable).
+  /// Reflexive: ContainmentSpan(e, e) is the membership lifespan of e.
+  /// Containment in the top value always holds.
+  Lifespan ContainmentSpan(ValueId e1, ValueId e2) const;
+
+  /// True iff e1 <= e2 at valid chronon `at` (current transaction time).
+  bool LessEqAt(ValueId e1, ValueId e2, Chronon at = kNowChronon) const;
+
+  /// Probability that e1 <= e2 at valid chronon `at`, assuming edge
+  /// independence (probabilities multiply along a path and combine
+  /// noisy-or across alternative immediate parents; exact for trees, the
+  /// standard approximation for DAGs). Returns 0 when incomparable.
+  double ContainmentProbAt(ValueId e1, ValueId e2,
+                           Chronon at = kNowChronon) const;
+
+  /// Every value that contains `e` (transitively, excluding `e` itself but
+  /// including the top value), with the containment lifespan and
+  /// probability (probability evaluated at `prob_at`).
+  std::vector<Containment> Ancestors(ValueId e,
+                                     Chronon prob_at = kNowChronon) const;
+
+  /// Ancestors restricted to one category.
+  std::vector<Containment> AncestorsIn(ValueId e, CategoryTypeIndex category,
+                                       Chronon prob_at = kNowChronon) const;
+
+  /// Every value contained in `e` (transitively, excluding `e`).
+  std::vector<Containment> Descendants(ValueId e,
+                                       Chronon prob_at = kNowChronon) const;
+
+  /// Descendants restricted to one category.
+  std::vector<Containment> DescendantsIn(ValueId e, CategoryTypeIndex category,
+                                         Chronon prob_at = kNowChronon) const;
+
+  /// All immediate-containment edges (for property checks and printing).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Indices into edges() of edges whose child / parent is `id`.
+  std::vector<const Edge*> EdgesFromChild(ValueId id) const;
+  std::vector<const Edge*> EdgesToParent(ValueId id) const;
+
+  // ---- Algebra support ----------------------------------------------------
+
+  /// The union operator on dimensions (paper Section 4.1): categories are
+  /// united per type, the partial orders are united (lifespans of common
+  /// edges union per the Section 4.2 temporal rules). The two dimensions
+  /// must have equivalent types.
+  static Result<Dimension> UnionWith(const Dimension& a, const Dimension& b);
+
+  /// The subdimension obtained by restricting to the given categories
+  /// (paper Example 5). `keep` must contain the top category (use type()
+  /// indices). Values of dropped categories and edges touching them are
+  /// removed; the new order is the restriction of the old.
+  Result<Dimension> Subdimension(
+      const std::vector<CategoryTypeIndex>& keep) const;
+
+  /// The restriction used by aggregate formation: keep the categories at
+  /// or above `new_bottom` but *connect* the new bottom values directly,
+  /// i.e., the retained order is the transitive containment between
+  /// retained values.
+  Result<Dimension> RestrictAbove(CategoryTypeIndex new_bottom) const;
+
+  /// A copy of this dimension under a renamed type (same lattice and
+  /// contents); used by the rename operator to disambiguate dimensions
+  /// before a self-join.
+  Dimension RenamedAs(std::string new_name) const;
+
+  /// Structural validation: edges connect existing values of strictly
+  /// increasing categories, probabilities lie in (0, 1], memberships are
+  /// non-empty.
+  Status Validate() const;
+
+  /// Enables/disables memoization of the reachability closure (the
+  /// "special-purpose data structures" of the paper's future-work list).
+  /// Enabled by default: repeated Ancestors/Descendants/containment
+  /// queries — the hot path of characterization and aggregate formation —
+  /// are answered from a per-value cache that mutation invalidates.
+  /// Disable to measure the unindexed algorithm (see bench_closure_memo).
+  void set_memoization_enabled(bool enabled) const {
+    memo_enabled_ = enabled;
+    if (!enabled) {
+      up_memo_.clear();
+      down_memo_.clear();
+    }
+  }
+  bool memoization_enabled() const { return memo_enabled_; }
+
+  /// Multi-line dump of categories, values and order edges.
+  std::string ToString() const;
+
+ private:
+  struct ValueInfo {
+    CategoryTypeIndex category = 0;
+    Lifespan membership;
+  };
+
+  /// Upward (or downward) reachability with lifespan union across paths
+  /// and probability DP, shared by Ancestors/Descendants.
+  std::vector<Containment> Reach(ValueId start, bool upward,
+                                 Chronon prob_at) const;
+
+  std::shared_ptr<const DimensionType> type_;
+  ValueId top_value_;
+  std::map<ValueId, ValueInfo> values_;
+  std::vector<std::vector<ValueId>> members_by_category_;
+  std::vector<Edge> edges_;
+  std::map<ValueId, std::vector<std::size_t>> edges_by_child_;
+  std::map<ValueId, std::vector<std::size_t>> edges_by_parent_;
+  std::map<std::pair<CategoryTypeIndex, std::string>, Representation>
+      representations_;
+  std::uint64_t next_auto_id_ = 0;
+
+  // Reachability memo (see set_memoization_enabled). Mutable: queries are
+  // logically const. Not thread-safe; external synchronization required
+  // for concurrent readers that might warm the cache.
+  mutable bool memo_enabled_ = true;
+  mutable std::map<ValueId, std::vector<Containment>> up_memo_;
+  mutable std::map<ValueId, std::vector<Containment>> down_memo_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_CORE_DIMENSION_H_

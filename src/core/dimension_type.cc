@@ -1,0 +1,377 @@
+#include "core/dimension_type.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace mddc {
+
+Result<CategoryTypeIndex> DimensionType::Find(
+    const std::string& category_name) const {
+  for (CategoryTypeIndex i = 0; i < categories_.size(); ++i) {
+    if (categories_[i].name == category_name) return i;
+  }
+  return Status::NotFound(StrCat("no category type '", category_name,
+                                 "' in dimension type '", name_, "'"));
+}
+
+bool DimensionType::LessEq(CategoryTypeIndex a, CategoryTypeIndex b) const {
+  if (a == b) return true;
+  std::deque<CategoryTypeIndex> frontier = {a};
+  std::vector<bool> seen(categories_.size(), false);
+  seen[a] = true;
+  while (!frontier.empty()) {
+    CategoryTypeIndex current = frontier.front();
+    frontier.pop_front();
+    for (CategoryTypeIndex parent : parents_[current]) {
+      if (parent == b) return true;
+      if (!seen[parent]) {
+        seen[parent] = true;
+        frontier.push_back(parent);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<CategoryTypeIndex> DimensionType::AtOrAbove(
+    CategoryTypeIndex index) const {
+  std::vector<bool> reachable(categories_.size(), false);
+  std::deque<CategoryTypeIndex> frontier = {index};
+  reachable[index] = true;
+  while (!frontier.empty()) {
+    CategoryTypeIndex current = frontier.front();
+    frontier.pop_front();
+    for (CategoryTypeIndex parent : parents_[current]) {
+      if (!reachable[parent]) {
+        reachable[parent] = true;
+        frontier.push_back(parent);
+      }
+    }
+  }
+  // Emit in a topological (bottom-up) order: repeatedly take reachable
+  // categories whose reachable children are all emitted.
+  std::vector<CategoryTypeIndex> order;
+  std::vector<bool> emitted(categories_.size(), false);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (CategoryTypeIndex i = 0; i < categories_.size(); ++i) {
+      if (!reachable[i] || emitted[i]) continue;
+      bool ready = true;
+      for (CategoryTypeIndex child : children_[i]) {
+        if (reachable[child] && !emitted[child]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        order.push_back(i);
+        emitted[i] = true;
+        progress = true;
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::vector<CategoryTypeIndex>> DimensionType::AggregationPaths(
+    CategoryTypeIndex from) const {
+  std::vector<std::vector<CategoryTypeIndex>> paths;
+  std::vector<CategoryTypeIndex> current = {from};
+  // Depth-first enumeration over Pred edges; the lattice is acyclic.
+  std::function<void(CategoryTypeIndex)> walk = [&](CategoryTypeIndex at) {
+    if (at == top_) {
+      paths.push_back(current);
+      return;
+    }
+    for (CategoryTypeIndex parent : parents_[at]) {
+      current.push_back(parent);
+      walk(parent);
+      current.pop_back();
+    }
+  };
+  if (from < categories_.size()) walk(from);
+  return paths;
+}
+
+bool DimensionType::EquivalentTo(const DimensionType& other) const {
+  if (name_ != other.name_) return false;
+  if (!IsomorphicTo(other)) return false;
+  for (const CategoryType& category : categories_) {
+    auto found = other.Find(category.name);
+    if (!found.ok()) return false;
+    if (other.category(*found).agg_type != category.agg_type) return false;
+  }
+  return true;
+}
+
+bool DimensionType::IsomorphicTo(const DimensionType& other) const {
+  if (categories_.size() != other.categories_.size()) return false;
+  // Map by category name; compare edge sets as name pairs.
+  std::set<std::pair<std::string, std::string>> mine;
+  std::set<std::pair<std::string, std::string>> theirs;
+  for (CategoryTypeIndex i = 0; i < categories_.size(); ++i) {
+    auto found = other.Find(categories_[i].name);
+    if (!found.ok()) return false;
+    for (CategoryTypeIndex parent : parents_[i]) {
+      mine.emplace(categories_[i].name, categories_[parent].name);
+    }
+  }
+  for (CategoryTypeIndex i = 0; i < other.categories_.size(); ++i) {
+    for (CategoryTypeIndex parent : other.parents_[i]) {
+      theirs.emplace(other.categories_[i].name,
+                     other.categories_[parent].name);
+    }
+  }
+  return mine == theirs;
+}
+
+std::shared_ptr<const DimensionType> DimensionType::RestrictAbove(
+    CategoryTypeIndex new_bottom) const {
+  std::vector<CategoryTypeIndex> keep = AtOrAbove(new_bottom);
+  auto restricted = Restrict(keep);
+  // AtOrAbove always contains the top category, so Restrict cannot fail.
+  return std::move(restricted).ValueOrDie();
+}
+
+Result<std::shared_ptr<const DimensionType>> DimensionType::Restrict(
+    const std::vector<CategoryTypeIndex>& keep) const {
+  std::vector<bool> kept(categories_.size(), false);
+  for (CategoryTypeIndex i : keep) {
+    if (i >= categories_.size()) {
+      return Status::InvalidArgument(
+          StrCat("category index ", i, " out of range for dimension type '",
+                 name_, "'"));
+    }
+    kept[i] = true;
+  }
+  if (!kept[top_]) {
+    return Status::InvalidArgument(
+        StrCat("restriction of dimension type '", name_,
+               "' must retain the TOP category"));
+  }
+
+  auto result = std::shared_ptr<DimensionType>(new DimensionType());
+  result->name_ = name_;
+  std::vector<CategoryTypeIndex> old_to_new(categories_.size(),
+                                            static_cast<CategoryTypeIndex>(-1));
+  for (CategoryTypeIndex i = 0; i < categories_.size(); ++i) {
+    if (!kept[i]) continue;
+    old_to_new[i] = result->categories_.size();
+    result->categories_.push_back(categories_[i]);
+  }
+  result->parents_.resize(result->categories_.size());
+  result->children_.resize(result->categories_.size());
+
+  // Restriction of <=_T to the kept set: for each kept i, its new parents
+  // are the minimal kept categories strictly above it.
+  for (CategoryTypeIndex i = 0; i < categories_.size(); ++i) {
+    if (!kept[i]) continue;
+    std::vector<CategoryTypeIndex> ancestors = AtOrAbove(i);
+    std::vector<CategoryTypeIndex> kept_above;
+    for (CategoryTypeIndex a : ancestors) {
+      if (a != i && kept[a]) kept_above.push_back(a);
+    }
+    // Minimal elements among kept_above: no other kept_above below them.
+    for (CategoryTypeIndex candidate : kept_above) {
+      bool minimal = true;
+      for (CategoryTypeIndex other : kept_above) {
+        if (other != candidate && LessEq(other, candidate)) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) {
+        result->parents_[old_to_new[i]].push_back(old_to_new[candidate]);
+        result->children_[old_to_new[candidate]].push_back(old_to_new[i]);
+      }
+    }
+  }
+
+  result->top_ = old_to_new[top_];
+  // The new bottom: the unique category with no kept category below it.
+  // With an arbitrary subset there may be several minimal categories; the
+  // paper's subdimension keeps a down-closed chain so in practice one
+  // minimum exists. Pick the minimal category of smallest element size
+  // (any minimal category below all others if one exists, else the first
+  // minimal one).
+  std::vector<CategoryTypeIndex> minimal;
+  for (CategoryTypeIndex i = 0; i < result->categories_.size(); ++i) {
+    if (result->children_[i].empty()) minimal.push_back(i);
+  }
+  result->bottom_ = minimal.empty() ? result->top_ : minimal.front();
+  return std::shared_ptr<const DimensionType>(result);
+}
+
+std::shared_ptr<const DimensionType> DimensionType::WithName(
+    std::string new_name) const {
+  auto result = std::shared_ptr<DimensionType>(new DimensionType(*this));
+  result->name_ = std::move(new_name);
+  return result;
+}
+
+std::shared_ptr<const DimensionType> DimensionType::WithAggType(
+    CategoryTypeIndex index, AggregationType agg_type) const {
+  auto result = std::shared_ptr<DimensionType>(new DimensionType(*this));
+  result->categories_[index].agg_type = agg_type;
+  return result;
+}
+
+std::string DimensionType::ToString() const {
+  std::string out = StrCat("DimensionType ", name_, ":\n");
+  for (CategoryTypeIndex i : AtOrAbove(bottom_)) {
+    out += StrCat("  ", categories_[i].name, " [",
+                  AggregationTypeName(categories_[i].agg_type), "]");
+    if (!parents_[i].empty()) {
+      std::vector<std::string> parent_names;
+      for (CategoryTypeIndex parent : parents_[i]) {
+        parent_names.push_back(categories_[parent].name);
+      }
+      out += StrCat(" < ", Join(parent_names, ", "));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+DimensionTypeBuilder::DimensionTypeBuilder(std::string name)
+    : name_(std::move(name)) {}
+
+DimensionTypeBuilder& DimensionTypeBuilder::AddCategory(
+    std::string category_name, AggregationType agg_type) {
+  for (const CategoryType& existing : categories_) {
+    if (existing.name == category_name) {
+      deferred_error_ = Status::InvalidArgument(
+          StrCat("duplicate category type '", category_name,
+                 "' in dimension type '", name_, "'"));
+      return *this;
+    }
+  }
+  categories_.push_back(CategoryType{std::move(category_name), agg_type});
+  return *this;
+}
+
+DimensionTypeBuilder& DimensionTypeBuilder::AddOrder(
+    const std::string& smaller, const std::string& larger) {
+  edges_.emplace_back(smaller, larger);
+  return *this;
+}
+
+Result<std::shared_ptr<const DimensionType>> DimensionTypeBuilder::Build() {
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (categories_.empty()) {
+    return Status::InvalidArgument(
+        StrCat("dimension type '", name_, "' has no category types"));
+  }
+
+  auto type = std::shared_ptr<DimensionType>(new DimensionType());
+  type->name_ = name_;
+  type->categories_ = categories_;
+
+  bool has_top = false;
+  for (const CategoryType& category : type->categories_) {
+    if (category.name == kTopCategoryName) has_top = true;
+  }
+  if (!has_top) {
+    type->categories_.push_back(
+        CategoryType{kTopCategoryName, AggregationType::kConstant});
+  }
+  const std::size_t n = type->categories_.size();
+  type->parents_.resize(n);
+  type->children_.resize(n);
+
+  auto find = [&](const std::string& name) -> Result<CategoryTypeIndex> {
+    for (CategoryTypeIndex i = 0; i < n; ++i) {
+      if (type->categories_[i].name == name) return i;
+    }
+    return Status::NotFound(StrCat("order edge references unknown category '",
+                                   name, "' in dimension type '", name_, "'"));
+  };
+
+  for (const auto& [smaller, larger] : edges_) {
+    MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex child, find(smaller));
+    MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex parent, find(larger));
+    if (child == parent) {
+      return Status::InvariantViolation(
+          StrCat("self-edge on category '", smaller, "'"));
+    }
+    type->parents_[child].push_back(parent);
+    type->children_[parent].push_back(child);
+  }
+
+  // Identify TOP and link all otherwise-maximal categories to it.
+  MDDC_ASSIGN_OR_RETURN(type->top_, find(kTopCategoryName));
+  for (CategoryTypeIndex i = 0; i < n; ++i) {
+    if (i == type->top_) continue;
+    if (type->parents_[i].empty()) {
+      type->parents_[i].push_back(type->top_);
+      type->children_[type->top_].push_back(i);
+    }
+  }
+  if (!type->parents_[type->top_].empty()) {
+    return Status::InvariantViolation(
+        StrCat("TOP category of dimension type '", name_,
+               "' must be maximal"));
+  }
+
+  // Acyclicity: Kahn's algorithm over child->parent edges.
+  {
+    std::vector<std::size_t> indegree(n, 0);
+    for (CategoryTypeIndex i = 0; i < n; ++i) {
+      indegree[i] = type->children_[i].size();
+    }
+    std::deque<CategoryTypeIndex> queue;
+    for (CategoryTypeIndex i = 0; i < n; ++i) {
+      if (indegree[i] == 0) queue.push_back(i);
+    }
+    std::size_t visited = 0;
+    while (!queue.empty()) {
+      CategoryTypeIndex current = queue.front();
+      queue.pop_front();
+      ++visited;
+      for (CategoryTypeIndex parent : type->parents_[current]) {
+        if (--indegree[parent] == 0) queue.push_back(parent);
+      }
+    }
+    if (visited != n) {
+      return Status::InvariantViolation(
+          StrCat("dimension type '", name_, "' ordering contains a cycle"));
+    }
+  }
+
+  // Unique bottom: exactly one category with no children.
+  std::vector<CategoryTypeIndex> bottoms;
+  for (CategoryTypeIndex i = 0; i < n; ++i) {
+    if (type->children_[i].empty()) bottoms.push_back(i);
+  }
+  if (bottoms.size() != 1) {
+    std::vector<std::string> names;
+    for (CategoryTypeIndex i : bottoms) {
+      names.push_back(type->categories_[i].name);
+    }
+    return Status::InvariantViolation(
+        StrCat("dimension type '", name_,
+               "' must have exactly one bottom category, found ",
+               bottoms.size(), " (", Join(names, ", "), ")"));
+  }
+  type->bottom_ = bottoms[0];
+
+  // Every category must reach TOP (guaranteed by the maximal-linking pass
+  // plus acyclicity, but verify as defense in depth).
+  for (CategoryTypeIndex i = 0; i < n; ++i) {
+    if (!type->LessEq(i, type->top_)) {
+      return Status::InvariantViolation(
+          StrCat("category '", type->categories_[i].name,
+                 "' does not reach TOP in dimension type '", name_, "'"));
+    }
+  }
+
+  return std::shared_ptr<const DimensionType>(type);
+}
+
+}  // namespace mddc

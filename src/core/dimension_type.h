@@ -1,0 +1,180 @@
+#ifndef MDDC_CORE_DIMENSION_TYPE_H_
+#define MDDC_CORE_DIMENSION_TYPE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/aggregation.h"
+
+namespace mddc {
+
+/// Index of a category type within its dimension type.
+using CategoryTypeIndex = std::size_t;
+
+/// Reserved name of the implicit top category type (the paper's T element
+/// whose single member is the ALL-like value `top`).
+inline constexpr char kTopCategoryName[] = "TOP";
+
+/// A category type C_j of a dimension type: a named level of the dimension
+/// lattice with an aggregation type (the paper's AggType_T function).
+struct CategoryType {
+  std::string name;
+  AggregationType agg_type = AggregationType::kConstant;
+};
+
+/// A dimension type T = (C, <=_T, top_T, bot_T) (paper Section 3.1): a set
+/// of category types with a partial order forming a lattice whose unique
+/// top corresponds to the largest element size and whose unique bottom to
+/// the smallest. Multiple hierarchies (requirement 3) are simply multiple
+/// maximal chains through the lattice (e.g. Day < Week and
+/// Day < Month < Quarter < Year in the Date-of-Birth dimension).
+///
+/// DimensionType is immutable after construction; build instances through
+/// DimensionTypeBuilder. Instances are shared between schemas and
+/// dimensions via shared_ptr<const DimensionType> because algebra operators
+/// (projection, aggregate formation, subdimension) synthesize restricted
+/// types at run time.
+class DimensionType {
+ public:
+  const std::string& name() const { return name_; }
+  const std::vector<CategoryType>& categories() const { return categories_; }
+  std::size_t category_count() const { return categories_.size(); }
+
+  const CategoryType& category(CategoryTypeIndex index) const {
+    return categories_[index];
+  }
+
+  CategoryTypeIndex bottom() const { return bottom_; }
+  CategoryTypeIndex top() const { return top_; }
+
+  /// Finds a category type by name.
+  Result<CategoryTypeIndex> Find(const std::string& category_name) const;
+
+  /// Immediate successors in the ordering: the paper's Pred function giving
+  /// the set of immediate predecessors of C_j — the category types directly
+  /// *containing* C_j (e.g. Pred(Low-level Diagnosis) = {Diagnosis
+  /// Family}). "Predecessor" follows the paper's naming even though these
+  /// are larger category types.
+  const std::vector<CategoryTypeIndex>& Pred(CategoryTypeIndex index) const {
+    return parents_[index];
+  }
+
+  /// Inverse of Pred: the category types immediately contained in C_j.
+  const std::vector<CategoryTypeIndex>& Children(
+      CategoryTypeIndex index) const {
+    return children_[index];
+  }
+
+  /// True iff a <=_T b, i.e., b is reachable from a following Pred edges
+  /// (reflexive).
+  bool LessEq(CategoryTypeIndex a, CategoryTypeIndex b) const;
+
+  /// All category types c with `index` <=_T c, in topological (bottom-up)
+  /// order; includes `index` itself and top.
+  std::vector<CategoryTypeIndex> AtOrAbove(CategoryTypeIndex index) const;
+
+  /// Every maximal aggregation path from `from` to the top category — the
+  /// distinct roll-up routes a UI would offer (requirement 3, multiple
+  /// hierarchies; the DOB lattice of Figure 2 has two: Day<Week<TOP and
+  /// Day<Month<Quarter<Year<Decade<TOP). Each path starts at `from` and
+  /// ends at top(). The path count is exponential in pathological
+  /// lattices; real dimension types have a handful.
+  std::vector<std::vector<CategoryTypeIndex>> AggregationPaths(
+      CategoryTypeIndex from) const;
+
+  /// The aggregation type of a category.
+  AggregationType AggType(CategoryTypeIndex index) const {
+    return categories_[index].agg_type;
+  }
+
+  /// Structural equality: same name, categories (names, agg types, order)
+  /// and edges. Schema equality for union/difference uses this.
+  bool EquivalentTo(const DimensionType& other) const;
+
+  /// True when the two types have the same lattice shape and category
+  /// names (aggregation types may differ); rename-compatibility uses this.
+  bool IsomorphicTo(const DimensionType& other) const;
+
+  /// Builds the restriction of this type to the category types at or above
+  /// `new_bottom` (the paper's aggregate-formation type rule: C'_i =
+  /// {C_ij in T_i | Type(C_i) <=_Ti C_ij}). Category agg types can be
+  /// overridden by the caller afterwards via the returned builder-free
+  /// copy (see RestrictAbove overload in dimension.cc usage).
+  std::shared_ptr<const DimensionType> RestrictAbove(
+      CategoryTypeIndex new_bottom) const;
+
+  /// Builds the restriction of this type to an arbitrary subset of
+  /// categories (subdimension, paper Example 5). The subset must contain
+  /// the top category. Order edges are the transitive reduction of the
+  /// restriction of <=_T to the subset.
+  Result<std::shared_ptr<const DimensionType>> Restrict(
+      const std::vector<CategoryTypeIndex>& keep) const;
+
+  /// Returns a copy with a different name (for rename / join disambiguation).
+  std::shared_ptr<const DimensionType> WithName(std::string new_name) const;
+
+  /// Returns a copy with the aggregation type of one category replaced
+  /// (used by the aggregate-formation typing rule).
+  std::shared_ptr<const DimensionType> WithAggType(
+      CategoryTypeIndex index, AggregationType agg_type) const;
+
+  /// Multi-line description of the lattice, bottom-up.
+  std::string ToString() const;
+
+ private:
+  friend class DimensionTypeBuilder;
+  DimensionType() = default;
+
+  std::string name_;
+  std::vector<CategoryType> categories_;
+  // parents_[j] = immediate containing category types of j (paper's Pred).
+  std::vector<std::vector<CategoryTypeIndex>> parents_;
+  std::vector<std::vector<CategoryTypeIndex>> children_;
+  CategoryTypeIndex bottom_ = 0;
+  CategoryTypeIndex top_ = 0;
+};
+
+/// Incremental builder for DimensionType. Typical use:
+///
+///   DimensionTypeBuilder b("Diagnosis");
+///   b.AddCategory("Low-level Diagnosis", AggregationType::kConstant);
+///   b.AddCategory("Diagnosis Family", AggregationType::kConstant);
+///   b.AddCategory("Diagnosis Group", AggregationType::kConstant);
+///   b.AddOrder("Low-level Diagnosis", "Diagnosis Family");
+///   b.AddOrder("Diagnosis Family", "Diagnosis Group");
+///   auto type = b.Build();  // adds TOP and links maximal categories to it
+///
+/// Build() verifies the lattice conditions: a unique bottom, acyclicity,
+/// and that every category reaches TOP. A TOP category (aggregation type
+/// c) is appended automatically unless one was added explicitly.
+class DimensionTypeBuilder {
+ public:
+  explicit DimensionTypeBuilder(std::string name);
+
+  /// Adds a category type; returns its index. Category names must be
+  /// unique within the dimension type.
+  DimensionTypeBuilder& AddCategory(
+      std::string category_name,
+      AggregationType agg_type = AggregationType::kConstant);
+
+  /// Declares `smaller` <_T `larger` as an immediate containment edge.
+  DimensionTypeBuilder& AddOrder(const std::string& smaller,
+                                 const std::string& larger);
+
+  /// Validates and produces the immutable type.
+  Result<std::shared_ptr<const DimensionType>> Build();
+
+ private:
+  std::string name_;
+  std::vector<CategoryType> categories_;
+  std::vector<std::pair<std::string, std::string>> edges_;
+  Status deferred_error_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_CORE_DIMENSION_TYPE_H_

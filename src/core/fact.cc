@@ -1,0 +1,78 @@
+#include "core/fact.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mddc {
+
+FactId FactRegistry::Atom(std::uint64_t external_key) {
+  auto it = atom_index_.find(external_key);
+  if (it != atom_index_.end()) return it->second;
+  FactTerm term;
+  term.kind = FactTerm::Kind::kAtom;
+  term.atom = external_key;
+  FactId id = Intern(std::move(term));
+  atom_index_.emplace(external_key, id);
+  return id;
+}
+
+FactId FactRegistry::Pair(FactId a, FactId b) {
+  auto key = std::make_pair(a, b);
+  auto it = pair_index_.find(key);
+  if (it != pair_index_.end()) return it->second;
+  FactTerm term;
+  term.kind = FactTerm::Kind::kPair;
+  term.first = a;
+  term.second = b;
+  FactId id = Intern(std::move(term));
+  pair_index_.emplace(key, id);
+  return id;
+}
+
+FactId FactRegistry::Set(std::vector<FactId> members) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  auto it = set_index_.find(members);
+  if (it != set_index_.end()) return it->second;
+  FactTerm term;
+  term.kind = FactTerm::Kind::kSet;
+  term.members = members;
+  FactId id = Intern(std::move(term));
+  set_index_.emplace(std::move(members), id);
+  return id;
+}
+
+Result<FactTerm> FactRegistry::Get(FactId id) const {
+  if (!id.valid() || id.raw() >= terms_.size()) {
+    return Status::NotFound(StrCat("fact id ", id, " not in registry"));
+  }
+  return terms_[id.raw()];
+}
+
+std::string FactRegistry::ToString(FactId id) const {
+  if (!id.valid() || id.raw() >= terms_.size()) return "<unknown>";
+  const FactTerm& term = terms_[id.raw()];
+  switch (term.kind) {
+    case FactTerm::Kind::kAtom:
+      return std::to_string(term.atom);
+    case FactTerm::Kind::kPair:
+      return StrCat("(", ToString(term.first), ",", ToString(term.second),
+                    ")");
+    case FactTerm::Kind::kSet: {
+      std::vector<std::string> parts;
+      parts.reserve(term.members.size());
+      for (FactId member : term.members) parts.push_back(ToString(member));
+      return StrCat("{", Join(parts, ","), "}");
+    }
+  }
+  return "<unknown>";
+}
+
+FactId FactRegistry::Intern(FactTerm term) {
+  FactId id(terms_.size());
+  terms_.push_back(std::move(term));
+  return id;
+}
+
+}  // namespace mddc

@@ -1,0 +1,80 @@
+#ifndef MDDC_CORE_FACT_H_
+#define MDDC_CORE_FACT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/id.h"
+#include "common/result.h"
+
+namespace mddc {
+
+/// The structure of a fact. In the paper, facts are "objects with a
+/// separate identity" (Section 3.1); the identity-based join produces
+/// facts that are *pairs* of argument facts, and aggregate formation
+/// produces facts that are *sets* of argument facts ("the facts are of
+/// type sets of the argument fact type"). FactTerm captures those three
+/// shapes.
+struct FactTerm {
+  enum class Kind { kAtom, kPair, kSet };
+
+  Kind kind = Kind::kAtom;
+  /// kAtom: the external key of the fact (e.g., the patient's surrogate id
+  /// in the case study).
+  std::uint64_t atom = 0;
+  /// kPair: the two components, in order.
+  FactId first;
+  FactId second;
+  /// kSet: the member facts, sorted and deduplicated.
+  std::vector<FactId> members;
+
+  friend bool operator==(const FactTerm&, const FactTerm&) = default;
+};
+
+/// Interns fact terms and hands out dense FactIds so that fact equality is
+/// id equality and fact *sets* have canonical identity (interning the
+/// sorted member list means the same group of facts always maps to the
+/// same FactId — the paper's "the facts of an MO are a set, so we do not
+/// have duplicate facts"). A registry is shared (via shared_ptr) among an
+/// MO and all MOs derived from it by algebra operators, so fact identity
+/// is preserved across operator application.
+class FactRegistry {
+ public:
+  FactRegistry() = default;
+  FactRegistry(const FactRegistry&) = delete;
+  FactRegistry& operator=(const FactRegistry&) = delete;
+
+  /// Interns an atomic fact with the given external key.
+  FactId Atom(std::uint64_t external_key);
+
+  /// Interns the ordered pair (a, b) (identity-based join results).
+  FactId Pair(FactId a, FactId b);
+
+  /// Interns the set of `members` (aggregate formation results). Members
+  /// are sorted and deduplicated; the empty set is a valid term.
+  FactId Set(std::vector<FactId> members);
+
+  /// Looks up the structure of a fact.
+  Result<FactTerm> Get(FactId id) const;
+
+  /// Number of interned terms.
+  std::size_t size() const { return terms_.size(); }
+
+  /// Renders a fact: atoms print their key ("2"), pairs "(1,2)", sets
+  /// "{1,2}".
+  std::string ToString(FactId id) const;
+
+ private:
+  FactId Intern(FactTerm term);
+
+  std::vector<FactTerm> terms_;
+  std::map<std::uint64_t, FactId> atom_index_;
+  std::map<std::pair<FactId, FactId>, FactId> pair_index_;
+  std::map<std::vector<FactId>, FactId> set_index_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_CORE_FACT_H_

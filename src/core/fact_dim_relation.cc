@@ -1,0 +1,103 @@
+#include "core/fact_dim_relation.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mddc {
+
+Status FactDimRelation::Add(FactId fact, ValueId value, const Lifespan& life,
+                            double prob) {
+  if (!fact.valid() || !value.valid()) {
+    return Status::InvalidArgument(
+        "fact-dimension pair with invalid fact or value id");
+  }
+  if (life.Empty()) {
+    return Status::InvalidArgument(
+        StrCat("fact-dimension pair (", fact, ",", value,
+               ") with empty lifespan"));
+  }
+  if (prob <= 0.0 || prob > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("fact-dimension probability ", prob, " outside (0,1]"));
+  }
+  if (auto it = by_fact_.find(fact); it != by_fact_.end()) {
+    for (std::size_t index : it->second) {
+      Entry& entry = entries_[index];
+      if (entry.value != value) continue;
+      if (entry.prob != prob) {
+        return Status::InvariantViolation(
+            StrCat("conflicting probabilities for pair (", fact, ",", value,
+                   "): ", entry.prob, " vs ", prob));
+      }
+      // Coalesce when the union stays a product of two chronon sets: the
+      // component-wise union of two Lifespans only equals the set union
+      // of the bitemporal regions when the operands agree on one axis.
+      // Bitemporal corrections (same pair, different rectangles) keep
+      // separate entries.
+      if (entry.life.valid == life.valid) {
+        entry.life.transaction = entry.life.transaction.Union(life.transaction);
+        return Status::OK();
+      }
+      if (entry.life.transaction == life.transaction) {
+        entry.life.valid = entry.life.valid.Union(life.valid);
+        return Status::OK();
+      }
+    }
+  }
+  by_fact_[fact].push_back(entries_.size());
+  by_value_[value].push_back(entries_.size());
+  entries_.push_back(Entry{fact, value, life, prob});
+  return Status::OK();
+}
+
+void FactDimRelation::RestrictToFacts(const std::vector<FactId>& facts) {
+  std::vector<Entry> kept;
+  kept.reserve(entries_.size());
+  for (Entry& entry : entries_) {
+    if (std::binary_search(facts.begin(), facts.end(), entry.fact)) {
+      kept.push_back(std::move(entry));
+    }
+  }
+  entries_ = std::move(kept);
+  by_fact_.clear();
+  by_value_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    by_fact_[entries_[i].fact].push_back(i);
+    by_value_[entries_[i].value].push_back(i);
+  }
+}
+
+std::vector<const FactDimRelation::Entry*> FactDimRelation::ForFact(
+    FactId fact) const {
+  std::vector<const Entry*> result;
+  auto it = by_fact_.find(fact);
+  if (it == by_fact_.end()) return result;
+  for (std::size_t index : it->second) result.push_back(&entries_[index]);
+  return result;
+}
+
+std::vector<const FactDimRelation::Entry*> FactDimRelation::ForValue(
+    ValueId value) const {
+  std::vector<const Entry*> result;
+  auto it = by_value_.find(value);
+  if (it == by_value_.end()) return result;
+  for (std::size_t index : it->second) result.push_back(&entries_[index]);
+  return result;
+}
+
+bool FactDimRelation::HasFact(FactId fact) const {
+  return by_fact_.count(fact) != 0;
+}
+
+Result<FactDimRelation> FactDimRelation::UnionWith(const FactDimRelation& a,
+                                                   const FactDimRelation& b) {
+  FactDimRelation result = a;
+  for (const Entry& entry : b.entries_) {
+    MDDC_RETURN_NOT_OK(
+        result.Add(entry.fact, entry.value, entry.life, entry.prob));
+  }
+  return result;
+}
+
+}  // namespace mddc

@@ -1,0 +1,74 @@
+#ifndef MDDC_CORE_FACT_DIM_RELATION_H_
+#define MDDC_CORE_FACT_DIM_RELATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/id.h"
+#include "common/result.h"
+#include "temporal/lifespan.h"
+
+namespace mddc {
+
+/// A fact-dimension relation R = {(f, e)} (paper Section 3.1) linking
+/// facts to dimension values. Crucially — and unlike the models the paper
+/// surveys — R is many-to-many (requirement 6) and e may belong to *any*
+/// category, not just the bottom one (requirement 9, different levels of
+/// granularity: "we can relate facts to values in higher-level
+/// categories").
+///
+/// Each pair carries a Lifespan ((f,e) in_Tv R, Section 3.2) and a
+/// probability ((f,e) in_p R, Section 3.3). Pairs are coalesced: adding
+/// the same (f,e) twice unions the attached time, so value-equivalent
+/// pairs never exist.
+class FactDimRelation {
+ public:
+  struct Entry {
+    FactId fact;
+    ValueId value;
+    Lifespan life;
+    double prob = 1.0;
+  };
+
+  FactDimRelation() = default;
+
+  /// Adds (fact, value) during `life` with probability `prob`. Coalesces
+  /// with an existing pair (probabilities must agree).
+  Status Add(FactId fact, ValueId value,
+             const Lifespan& life = Lifespan::AlwaysSpan(),
+             double prob = 1.0);
+
+  /// Removes every pair whose fact is not in the sorted vector `facts`
+  /// (used by selection and difference).
+  void RestrictToFacts(const std::vector<FactId>& facts);
+
+  /// All pairs, in insertion order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The pairs for one fact.
+  std::vector<const Entry*> ForFact(FactId fact) const;
+
+  /// The pairs for one dimension value.
+  std::vector<const Entry*> ForValue(ValueId value) const;
+
+  /// True iff some pair references `fact`.
+  bool HasFact(FactId fact) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Set-union of two relations with pairwise lifespan coalescing (the
+  /// temporal union rule of Section 4.2).
+  static Result<FactDimRelation> UnionWith(const FactDimRelation& a,
+                                           const FactDimRelation& b);
+
+ private:
+  std::vector<Entry> entries_;
+  std::map<FactId, std::vector<std::size_t>> by_fact_;
+  std::map<ValueId, std::vector<std::size_t>> by_value_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_CORE_FACT_DIM_RELATION_H_

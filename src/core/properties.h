@@ -1,0 +1,100 @@
+#ifndef MDDC_CORE_PROPERTIES_H_
+#define MDDC_CORE_PROPERTIES_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/dimension.h"
+#include "core/md_object.h"
+
+namespace mddc {
+
+/// Hierarchy-property checks of paper Section 3.4 (Definitions 2 and 3).
+/// These are the preconditions of summarizability: pre-computed aggregate
+/// results can be reused for higher-level aggregates only when the
+/// aggregate function is distributive, the paths are strict, and the
+/// hierarchies are partitioning.
+
+/// True iff the mapping from category `c1` to category `c2` is strict at
+/// chronon `at`: no value of c1 is contained in two distinct values of c2
+/// (Definition 2). `c2` must be above `c1` in the type lattice.
+bool IsStrictMappingAt(const Dimension& dimension, CategoryTypeIndex c1,
+                       CategoryTypeIndex c2, Chronon at = kNowChronon);
+
+/// True iff every inter-category mapping of the dimension is strict at
+/// chronon `at`.
+bool IsStrictAt(const Dimension& dimension, Chronon at = kNowChronon);
+
+/// True iff the hierarchy is strict at *every* point in time — the
+/// paper's "snapshot strict" (checked at every distinct configuration of
+/// the edge lifespans, i.e., at all interval endpoints).
+bool IsSnapshotStrict(const Dimension& dimension);
+
+/// True iff the hierarchy is strict when time is ignored (all edges
+/// considered simultaneously); stricter than snapshot strict.
+bool IsStrict(const Dimension& dimension);
+
+/// True iff every non-top value has a direct parent in some immediate
+/// predecessor category at chronon `at` (Definition 3, partitioning).
+bool IsPartitioningAt(const Dimension& dimension, Chronon at = kNowChronon);
+
+/// Partitioning at every point in time ("snapshot partitioning").
+bool IsSnapshotPartitioning(const Dimension& dimension);
+
+/// Partitioning ignoring time.
+bool IsPartitioning(const Dimension& dimension);
+
+/// True iff there is a strict path from the fact set of `mo` to category
+/// `category` of dimension `dim`: no fact is characterized by two
+/// distinct values of that category (Definition 2, second part). This is
+/// what fails for patients with several diagnoses in the same diagnosis
+/// group — and why the paper's aggregate formation degrades the result's
+/// aggregation type to `c` in that case.
+///
+/// With `at` set, the path is checked at that instant (data "counted for
+/// one point in time", Section 3.4); with nullopt the check is atemporal
+/// — a fact characterized by two category values at *any* (possibly
+/// different) times breaks strictness, which is the right notion for
+/// aggregate formation's across-all-time grouping.
+bool HasStrictPath(const MdObject& mo, std::size_t dim,
+                   CategoryTypeIndex category,
+                   std::optional<Chronon> at = std::nullopt);
+
+/// The chronons at which the temporal configuration of the dimension's
+/// edges/memberships can change (all interval endpoints, NOW bound to the
+/// given reference); used to verify snapshot properties exhaustively.
+std::vector<Chronon> CriticalChronons(const Dimension& dimension,
+                                      Chronon now_reference = 0);
+
+/// Outcome of a summarizability check (paper Section 3.4: summarizability
+/// is equivalent to the function being distributive, the paths strict and
+/// the hierarchies partitioning).
+struct SummarizabilityReport {
+  bool summarizable = false;
+  bool distributive = false;
+  /// Per requested dimension: strict path from facts to the grouping
+  /// category.
+  std::vector<bool> strict_path;
+  /// Per requested dimension: hierarchy partitioning up to the grouping
+  /// category.
+  std::vector<bool> partitioning;
+
+  std::string ToString() const;
+};
+
+/// Evaluates the three summarizability conditions for aggregating `mo` by
+/// the given grouping category in each dimension with function `kind`.
+/// `at` selects instant (snapshot) versus atemporal checking as for
+/// HasStrictPath; aggregate formation's typing rule uses the atemporal
+/// form.
+SummarizabilityReport CheckSummarizability(
+    const MdObject& mo, AggregateFunctionKind kind,
+    const std::vector<CategoryTypeIndex>& grouping_categories,
+    std::optional<Chronon> at = std::nullopt);
+
+}  // namespace mddc
+
+#endif  // MDDC_CORE_PROPERTIES_H_

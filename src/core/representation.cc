@@ -1,0 +1,112 @@
+#include "core/representation.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace mddc {
+
+Status Representation::Set(ValueId value, const std::string& text,
+                           const Lifespan& life) {
+  if (!value.valid()) {
+    return Status::InvalidArgument("representation for invalid value id");
+  }
+  if (life.Empty()) {
+    return Status::InvalidArgument(
+        StrCat("empty lifespan for representation '", name_, "' of value ",
+               value));
+  }
+  // Re-asserting the same mapping coalesces lifespans (the attached time
+  // is always the maximal chronon set). Distinct overlapping mappings
+  // violate bijectivity.
+  if (auto it = by_value_.find(value); it != by_value_.end()) {
+    for (Entry& entry : it->second) {
+      if (entry.text == text) {
+        entry.life = entry.life.Union(life);
+        for (auto& [other_value, other_life] : by_text_[text]) {
+          if (other_value == value) other_life = entry.life;
+        }
+        return Status::OK();
+      }
+      if (entry.life.valid.Overlaps(life.valid) &&
+          entry.life.transaction.Overlaps(life.transaction)) {
+        return Status::InvariantViolation(
+            StrCat("representation '", name_, "': value ", value,
+                   " already maps to '", entry.text, "' during ",
+                   entry.life.ToString()));
+      }
+    }
+  }
+  if (auto it = by_text_.find(text); it != by_text_.end()) {
+    for (const auto& [other_value, other_life] : it->second) {
+      if (other_value != value && other_life.valid.Overlaps(life.valid) &&
+          other_life.transaction.Overlaps(life.transaction)) {
+        return Status::InvariantViolation(
+            StrCat("representation '", name_, "': text '", text,
+                   "' already denotes value ", other_value, " during ",
+                   other_life.ToString()));
+      }
+    }
+  }
+  by_value_[value].push_back(Entry{text, life});
+  by_text_[text].emplace_back(value, life);
+  return Status::OK();
+}
+
+Result<std::string> Representation::Get(ValueId value, Chronon at) const {
+  auto it = by_value_.find(value);
+  if (it != by_value_.end()) {
+    for (const Entry& entry : it->second) {
+      // NOW-ending valid times contain every concrete chronon at or after
+      // their begin because the NOW sentinel exceeds all concrete values.
+      if (entry.life.valid.Contains(at)) return entry.text;
+    }
+  }
+  return Status::NotFound(StrCat("representation '", name_,
+                                 "' has no mapping for value ", value,
+                                 " at the requested time"));
+}
+
+std::vector<std::pair<std::string, Lifespan>> Representation::GetAll(
+    ValueId value) const {
+  std::vector<std::pair<std::string, Lifespan>> result;
+  auto it = by_value_.find(value);
+  if (it == by_value_.end()) return result;
+  for (const Entry& entry : it->second) {
+    result.emplace_back(entry.text, entry.life);
+  }
+  return result;
+}
+
+Result<ValueId> Representation::Lookup(const std::string& text,
+                                       Chronon at) const {
+  auto it = by_text_.find(text);
+  if (it != by_text_.end()) {
+    for (const auto& [value, life] : it->second) {
+      if (life.valid.Contains(at)) return value;
+    }
+  }
+  return Status::NotFound(StrCat("representation '", name_,
+                                 "' has no value named '", text,
+                                 "' at the requested time"));
+}
+
+Result<double> Representation::GetNumeric(ValueId value, Chronon at) const {
+  MDDC_ASSIGN_OR_RETURN(std::string text, Get(value, at));
+  char* end = nullptr;
+  double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || (end != nullptr && *end != '\0')) {
+    return Status::InvalidArgument(
+        StrCat("representation '", name_, "' value '", text,
+               "' is not numeric"));
+  }
+  return parsed;
+}
+
+std::size_t Representation::size() const {
+  std::size_t total = 0;
+  for (const auto& [value, entries] : by_value_) total += entries.size();
+  return total;
+}
+
+}  // namespace mddc

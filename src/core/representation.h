@@ -1,0 +1,66 @@
+#ifndef MDDC_CORE_REPRESENTATION_H_
+#define MDDC_CORE_REPRESENTATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/id.h"
+#include "common/result.h"
+#include "temporal/lifespan.h"
+
+namespace mddc {
+
+/// A representation of a category (paper Section 3.1): a bijective,
+/// possibly time-varying mapping between dimension values and external
+/// names, Rep(e) =Tv v. A diagnosis value, for example, has a Code and a
+/// Text representation, and the code "D1" maps to value 8 only during
+/// [01/01/70-31/12/79] (Example 9). Bijectivity is enforced per chronon:
+/// at any time, a value has at most one representation string and a string
+/// denotes at most one value.
+class Representation {
+ public:
+  explicit Representation(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds the mapping Rep(value) = text during `life`. Fails with
+  /// InvariantViolation if it would make the mapping non-bijective at some
+  /// chronon (either endpoint already mapped during an overlapping time).
+  Status Set(ValueId value, const std::string& text,
+             const Lifespan& life = Lifespan::AlwaysSpan());
+
+  /// The representation of `value` at valid chronon `at` (and current
+  /// transaction time). NotFound when unmapped at that time.
+  Result<std::string> Get(ValueId value, Chronon at = kNowChronon) const;
+
+  /// All timed representations of `value`.
+  std::vector<std::pair<std::string, Lifespan>> GetAll(ValueId value) const;
+
+  /// The value denoted by `text` at valid chronon `at` (the inverse
+  /// mapping; representations are alternate keys).
+  Result<ValueId> Lookup(const std::string& text,
+                         Chronon at = kNowChronon) const;
+
+  /// Interprets the representation of `value` at `at` as a number, for
+  /// use by SUM/AVG/MIN/MAX aggregate functions over measure-like
+  /// dimensions such as Age.
+  Result<double> GetNumeric(ValueId value, Chronon at = kNowChronon) const;
+
+  /// Number of (value, text, lifespan) entries.
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string text;
+    Lifespan life;
+  };
+
+  std::string name_;
+  std::map<ValueId, std::vector<Entry>> by_value_;
+  std::map<std::string, std::vector<std::pair<ValueId, Lifespan>>> by_text_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_CORE_REPRESENTATION_H_

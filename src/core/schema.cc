@@ -1,0 +1,50 @@
+#include "core/schema.h"
+
+#include "common/strings.h"
+
+namespace mddc {
+
+FactSchema::FactSchema(
+    std::string fact_type,
+    std::vector<std::shared_ptr<const DimensionType>> dimensions)
+    : fact_type_(std::move(fact_type)), dimensions_(std::move(dimensions)) {}
+
+Result<std::size_t> FactSchema::Find(const std::string& dimension_name) const {
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    if (dimensions_[i]->name() == dimension_name) return i;
+  }
+  return Status::NotFound(StrCat("no dimension '", dimension_name,
+                                 "' in schema of fact type '", fact_type_,
+                                 "'"));
+}
+
+bool FactSchema::EquivalentTo(const FactSchema& other) const {
+  if (fact_type_ != other.fact_type_) return false;
+  if (dimensions_.size() != other.dimensions_.size()) return false;
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    if (!dimensions_[i]->EquivalentTo(*other.dimensions_[i])) return false;
+  }
+  return true;
+}
+
+bool FactSchema::IsomorphicTo(const FactSchema& other) const {
+  if (dimensions_.size() != other.dimensions_.size()) return false;
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    if (dimensions_[i]->category_count() !=
+        other.dimensions_[i]->category_count()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FactSchema::ToString() const {
+  std::string out = StrCat("FactSchema ", fact_type_, " (", dimensions_.size(),
+                           " dimensions)\n");
+  for (const auto& dimension : dimensions_) {
+    out += dimension->ToString();
+  }
+  return out;
+}
+
+}  // namespace mddc

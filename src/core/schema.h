@@ -1,0 +1,60 @@
+#ifndef MDDC_CORE_SCHEMA_H_
+#define MDDC_CORE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dimension_type.h"
+
+namespace mddc {
+
+/// An n-dimensional fact schema S = (F, D): a fact type (a name, e.g.
+/// "Patient") and its n dimension types (paper Section 3.1). The schema of
+/// the case study is (Patient, {Diagnosis, DOB, Residence, Name, SSN,
+/// Age}).
+class FactSchema {
+ public:
+  FactSchema(std::string fact_type,
+             std::vector<std::shared_ptr<const DimensionType>> dimensions);
+
+  const std::string& fact_type() const { return fact_type_; }
+  std::size_t dimension_count() const { return dimensions_.size(); }
+
+  const std::vector<std::shared_ptr<const DimensionType>>& dimension_types()
+      const {
+    return dimensions_;
+  }
+  const DimensionType& dimension_type(std::size_t index) const {
+    return *dimensions_[index];
+  }
+  std::shared_ptr<const DimensionType> dimension_type_ptr(
+      std::size_t index) const {
+    return dimensions_[index];
+  }
+
+  /// Finds a dimension type by name.
+  Result<std::size_t> Find(const std::string& dimension_name) const;
+
+  /// Structural equality of schemas (fact type name plus equivalent
+  /// dimension types in order); required by union and difference.
+  bool EquivalentTo(const FactSchema& other) const;
+
+  /// True when the two schemas have isomorphic dimension-type structure
+  /// (names of the fact type/dimensions may differ); this is the
+  /// precondition of the rename operator.
+  bool IsomorphicTo(const FactSchema& other) const;
+
+  /// Multi-line description listing the fact type and each dimension-type
+  /// lattice.
+  std::string ToString() const;
+
+ private:
+  std::string fact_type_;
+  std::vector<std::shared_ptr<const DimensionType>> dimensions_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_CORE_SCHEMA_H_

@@ -1,0 +1,147 @@
+#include "engine/advisor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "core/properties.h"
+
+namespace mddc {
+
+MaterializationAdvisor::MaterializationAdvisor(const MdObject& base,
+                                               AggFunction function)
+    : base_(base), function_(std::move(function)) {}
+
+double MaterializationAdvisor::EstimateSize(
+    const std::vector<CategoryTypeIndex>& grouping) const {
+  double size = 1.0;
+  const double cap = static_cast<double>(base_.fact_count());
+  for (std::size_t i = 0; i < grouping.size() && i < base_.dimension_count();
+       ++i) {
+    const Dimension& dimension = base_.dimension(i);
+    if (grouping[i] == dimension.type().top()) continue;
+    size *= static_cast<double>(
+        std::max<std::size_t>(1, dimension.ValuesIn(grouping[i]).size()));
+    if (size >= cap) return cap;
+  }
+  return std::min(size, cap);
+}
+
+bool MaterializationAdvisor::CanAnswerFrom(
+    const std::vector<CategoryTypeIndex>& source,
+    const std::vector<CategoryTypeIndex>& query) const {
+  if (source.size() != query.size()) return false;
+  bool finer_somewhere = false;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (!base_.dimension(i).type().LessEq(source[i], query[i])) return false;
+    if (source[i] != query[i]) finer_somewhere = true;
+  }
+  if (!finer_somewhere) return true;  // exact match always answers
+  // Rolling further up requires safe re-aggregation: distributive
+  // function and a summarizable source grouping (same rule as
+  // PreAggregateCache).
+  if (!function_.distributive()) return false;
+  SummarizabilityReport report =
+      CheckSummarizability(base_, function_.kind(), source);
+  return report.summarizable;
+}
+
+Result<AdvisorPlan> MaterializationAdvisor::Advise(
+    const std::vector<AdvisorQuery>& queries,
+    std::size_t max_materializations) const {
+  for (const AdvisorQuery& query : queries) {
+    if (query.grouping.size() != base_.dimension_count()) {
+      return Status::InvalidArgument(
+          StrCat("advisor query has ", query.grouping.size(),
+                 " grouping categories for a ", base_.dimension_count(),
+                 "-dimensional MO"));
+    }
+  }
+
+  // Candidate materializations: the distinct query groupings.
+  std::set<std::vector<CategoryTypeIndex>> candidate_set;
+  for (const AdvisorQuery& query : queries) {
+    candidate_set.insert(query.grouping);
+  }
+  std::vector<std::vector<CategoryTypeIndex>> candidates(
+      candidate_set.begin(), candidate_set.end());
+
+  const double base_cost = static_cast<double>(base_.fact_count());
+  // Current best cost per query (starts at a base scan).
+  std::vector<double> best(queries.size(), base_cost);
+
+  AdvisorPlan plan;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    plan.cost_without += queries[q].frequency * base_cost;
+  }
+
+  std::set<std::size_t> chosen;
+  for (std::size_t round = 0;
+       round < max_materializations && chosen.size() < candidates.size();
+       ++round) {
+    double best_benefit = 0.0;
+    std::size_t best_candidate = candidates.size();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (chosen.count(c) != 0) continue;
+      double candidate_size = EstimateSize(candidates[c]);
+      double benefit = 0.0;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        if (!CanAnswerFrom(candidates[c], queries[q].grouping)) continue;
+        double saved = best[q] - candidate_size;
+        if (saved > 0) benefit += queries[q].frequency * saved;
+      }
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best_candidate = c;
+      }
+    }
+    if (best_candidate == candidates.size()) break;  // nothing helps
+    chosen.insert(best_candidate);
+    double candidate_size = EstimateSize(candidates[best_candidate]);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      if (CanAnswerFrom(candidates[best_candidate], queries[q].grouping)) {
+        best[q] = std::min(best[q], candidate_size);
+      }
+    }
+    plan.materialize.push_back(AdvisorChoice{candidates[best_candidate],
+                                             candidate_size, best_benefit});
+  }
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    plan.cost_with += queries[q].frequency * best[q];
+  }
+  return plan;
+}
+
+Status MaterializationAdvisor::Apply(const AdvisorPlan& plan,
+                                     PreAggregateCache* cache) const {
+  for (const AdvisorChoice& choice : plan.materialize) {
+    MDDC_RETURN_NOT_OK(cache->Materialize(function_, choice.grouping));
+  }
+  return Status::OK();
+}
+
+std::string AdvisorPlan::ToString(const MdObject& base) const {
+  std::string out = StrCat("materialize ", materialize.size(),
+                           " grouping(s); projected scan cost ",
+                           FormatDouble(cost_without), " -> ",
+                           FormatDouble(cost_with), "\n");
+  for (const AdvisorChoice& choice : materialize) {
+    std::vector<std::string> levels;
+    for (std::size_t i = 0;
+         i < choice.grouping.size() && i < base.dimension_count(); ++i) {
+      const DimensionType& type = base.dimension(i).type();
+      if (choice.grouping[i] == type.top()) continue;
+      levels.push_back(StrCat(type.name(), ".",
+                              type.category(choice.grouping[i]).name));
+    }
+    out += StrCat("  [", Join(levels, ", "),
+                  "] ~", FormatDouble(choice.estimated_size),
+                  " groups, benefit ",
+                  FormatDouble(choice.estimated_benefit), "\n");
+  }
+  return out;
+}
+
+}  // namespace mddc

@@ -1,0 +1,82 @@
+#ifndef MDDC_ENGINE_ADVISOR_H_
+#define MDDC_ENGINE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "common/result.h"
+#include "core/md_object.h"
+#include "engine/preagg_cache.h"
+
+namespace mddc {
+
+/// A query the advisor optimizes for: an aggregate grouping (one category
+/// per dimension) and its relative frequency.
+struct AdvisorQuery {
+  std::vector<CategoryTypeIndex> grouping;
+  double frequency = 1.0;
+};
+
+/// One recommended materialization.
+struct AdvisorChoice {
+  std::vector<CategoryTypeIndex> grouping;
+  /// Estimated number of groups the materialization holds.
+  double estimated_size = 0.0;
+  /// Total frequency-weighted scan-cost saved by this choice at the time
+  /// it was picked.
+  double estimated_benefit = 0.0;
+};
+
+/// The advisor's output: what to materialize and the projected
+/// frequency-weighted scan costs without/with the recommendation.
+struct AdvisorPlan {
+  std::vector<AdvisorChoice> materialize;
+  double cost_without = 0.0;
+  double cost_with = 0.0;
+
+  std::string ToString(const MdObject& base) const;
+};
+
+/// Greedy materialized-view selection in the style of
+/// Harinarayan/Rajaraman/Ullman (SIGMOD'96), adapted to the paper's
+/// model: a query can be answered from a materialization only when the
+/// roll-up from it is *safe* — the function is distributive and the
+/// materialization's grouping is summarizable (otherwise its result is
+/// c-typed and must not be combined, exactly the PreAggregateCache reuse
+/// rule). Unsafe candidates still benefit the query that matches them
+/// exactly.
+///
+/// Candidates are the distinct query groupings; cost of answering a
+/// query from a source is the source's estimated group count (the base
+/// MO costs its fact count). Greedy selection maximizes total
+/// frequency-weighted savings under a budget of `max_materializations`.
+class MaterializationAdvisor {
+ public:
+  MaterializationAdvisor(const MdObject& base, AggFunction function);
+
+  /// Produces a plan for the workload.
+  Result<AdvisorPlan> Advise(const std::vector<AdvisorQuery>& queries,
+                             std::size_t max_materializations) const;
+
+  /// Materializes the plan's choices into a cache.
+  Status Apply(const AdvisorPlan& plan, PreAggregateCache* cache) const;
+
+  /// Estimated number of groups of a grouping (product of category
+  /// sizes, capped by the fact count; top categories contribute 1).
+  double EstimateSize(const std::vector<CategoryTypeIndex>& grouping) const;
+
+  /// True when a query grouping can be answered from a materialization
+  /// at `source`: component-wise source <= query in the category
+  /// lattices, and either identical or safely re-aggregable.
+  bool CanAnswerFrom(const std::vector<CategoryTypeIndex>& source,
+                     const std::vector<CategoryTypeIndex>& query) const;
+
+ private:
+  const MdObject& base_;
+  AggFunction function_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_ENGINE_ADVISOR_H_

@@ -1,0 +1,220 @@
+#include "engine/preagg_cache.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mddc {
+namespace {
+
+/// Merges two partial results of a distributive function.
+double Merge(AggregateFunctionKind kind, double a, double b) {
+  switch (kind) {
+    case AggregateFunctionKind::kSum:
+    case AggregateFunctionKind::kCount:
+    case AggregateFunctionKind::kSetCount:
+      return a + b;
+    case AggregateFunctionKind::kMin:
+      return std::min(a, b);
+    case AggregateFunctionKind::kMax:
+      return std::max(a, b);
+    case AggregateFunctionKind::kAvg:
+      break;  // not distributive; never merged
+  }
+  return a;
+}
+
+}  // namespace
+
+PreAggregateCache::PreAggregateCache(MdObject base) : base_(std::move(base)) {}
+
+Result<MdObject> PreAggregateCache::Query(
+    const AggFunction& function,
+    const std::vector<CategoryTypeIndex>& grouping) {
+  Key key{function.name(), grouping};
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    ++stats_.exact_hits;
+    return it->second.result;
+  }
+
+  bool refused = false;
+  if (const Entry* reusable = FindReusable(function, grouping, &refused);
+      reusable != nullptr) {
+    auto rolled = RollUpCached(*reusable, function, grouping);
+    if (rolled.ok()) {
+      ++stats_.rollup_hits;
+      Entry entry{grouping, *rolled, AggregationType::kConstant};
+      const DimensionType& result_type =
+          rolled->dimension(rolled->dimension_count() - 1).type();
+      entry.result_agg_type = result_type.AggType(result_type.bottom());
+      entries_.emplace(std::move(key), std::move(entry));
+      return rolled;
+    }
+    // A non-strict step between the cached and requested categories makes
+    // partial-result reuse unsafe; fall through to a base scan.
+    ++stats_.reuse_refusals;
+  } else if (refused) {
+    ++stats_.reuse_refusals;
+  }
+
+  AggregateSpec spec{function, grouping, ResultDimensionSpec::Auto(),
+                     kNowChronon, true};
+  MDDC_ASSIGN_OR_RETURN(MdObject result, AggregateFormation(base_, spec));
+  ++stats_.base_scans;
+  Entry entry{grouping, result, AggregationType::kConstant};
+  const DimensionType& result_type =
+      result.dimension(result.dimension_count() - 1).type();
+  entry.result_agg_type = result_type.AggType(result_type.bottom());
+  entries_.emplace(std::move(key), std::move(entry));
+  return result;
+}
+
+Status PreAggregateCache::Materialize(
+    const AggFunction& function,
+    const std::vector<CategoryTypeIndex>& grouping) {
+  MDDC_ASSIGN_OR_RETURN(MdObject ignored, Query(function, grouping));
+  (void)ignored;
+  return Status::OK();
+}
+
+const PreAggregateCache::Entry* PreAggregateCache::FindReusable(
+    const AggFunction& function,
+    const std::vector<CategoryTypeIndex>& grouping,
+    bool* refused_due_to_type) {
+  *refused_due_to_type = false;
+  const Entry* best = nullptr;
+  for (const auto& [key, entry] : entries_) {
+    if (key.first != function.name()) continue;
+    if (entry.grouping.size() != grouping.size()) continue;
+    bool finer_or_equal = true;
+    for (std::size_t i = 0; i < grouping.size(); ++i) {
+      if (!base_.dimension(i).type().LessEq(entry.grouping[i],
+                                            grouping[i])) {
+        finer_or_equal = false;
+        break;
+      }
+    }
+    if (!finer_or_equal) continue;
+    if (entry.result_agg_type == AggregationType::kConstant) {
+      // The paper's safety rule in action: a c-typed result may contain
+      // overlapping data and must not be combined further.
+      *refused_due_to_type = true;
+      continue;
+    }
+    // Prefer the coarsest reusable entry (fewest groups to merge).
+    if (best == nullptr || entry.result.fact_count() <
+                               best->result.fact_count()) {
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+Result<MdObject> PreAggregateCache::RollUpCached(
+    const Entry& entry, const AggFunction& function,
+    const std::vector<CategoryTypeIndex>& grouping) const {
+  const MdObject& cached = entry.result;
+  const std::size_t n = grouping.size();
+
+  // Map requested base-type category indexes to the cached (restricted)
+  // dimension types by category name.
+  std::vector<CategoryTypeIndex> cached_categories(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& name =
+        base_.dimension(i).type().category(grouping[i]).name;
+    MDDC_ASSIGN_OR_RETURN(cached_categories[i],
+                          cached.dimension(i).type().Find(name));
+  }
+
+  struct Merged {
+    std::vector<FactId> members;
+    double value = 0.0;
+    bool first = true;
+  };
+  std::map<std::vector<ValueId>, Merged> merged;
+  const std::size_t result_dim = cached.dimension_count() - 1;
+  for (FactId group : cached.facts()) {
+    std::vector<ValueId> key(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto pairs = cached.relation(i).ForFact(group);
+      if (pairs.empty()) {
+        return Status::InvariantViolation("cached group missing a value");
+      }
+      ValueId fine = pairs.front()->value;
+      const Dimension& dimension = cached.dimension(i);
+      if (cached_categories[i] == dimension.type().top()) {
+        key[i] = dimension.top_value();
+        continue;
+      }
+      auto fine_category = dimension.CategoryOf(fine);
+      if (fine_category.ok() && *fine_category == cached_categories[i]) {
+        key[i] = fine;
+        continue;
+      }
+      auto coarser = dimension.AncestorsIn(fine, cached_categories[i]);
+      if (coarser.size() != 1) {
+        return Status::InvariantViolation(
+            StrCat("non-strict step above cached grouping in dimension '",
+                   dimension.name(), "'; partial results cannot be merged"));
+      }
+      key[i] = coarser.front().value;
+    }
+    auto result_pairs = cached.relation(result_dim).ForFact(group);
+    if (result_pairs.empty()) {
+      return Status::InvariantViolation("cached group missing its result");
+    }
+    MDDC_ASSIGN_OR_RETURN(double partial,
+                          cached.dimension(result_dim)
+                              .NumericValueOf(result_pairs.front()->value));
+    MDDC_ASSIGN_OR_RETURN(FactTerm term, cached.registry()->Get(group));
+    Merged& slot = merged[key];
+    slot.members.insert(slot.members.end(), term.members.begin(),
+                        term.members.end());
+    slot.value = slot.first ? partial
+                            : Merge(function.kind(), slot.value, partial);
+    slot.first = false;
+  }
+
+  // Assemble the rolled-up MO: argument dimensions restricted above the
+  // requested categories plus a fresh auto result dimension.
+  std::vector<Dimension> dimensions;
+  for (std::size_t i = 0; i < n; ++i) {
+    MDDC_ASSIGN_OR_RETURN(
+        Dimension restricted,
+        cached.dimension(i).RestrictAbove(cached_categories[i]));
+    dimensions.push_back(std::move(restricted));
+  }
+  DimensionTypeBuilder builder("Result");
+  builder.AddCategory("Value", entry.result_agg_type);
+  MDDC_ASSIGN_OR_RETURN(auto result_type, builder.Build());
+  dimensions.emplace_back(result_type);
+
+  MdObject result(cached.schema().fact_type(), std::move(dimensions),
+                  cached.registry(), cached.temporal_type());
+  Dimension& out_result = result.dimension_mutable(n);
+  CategoryTypeIndex bottom = result_type->bottom();
+  Representation& rep = out_result.RepresentationFor(bottom, "Value");
+  std::map<std::string, ValueId> value_ids;
+  for (auto& [key, slot] : merged) {
+    FactId fact = cached.registry()->Set(slot.members);
+    MDDC_RETURN_NOT_OK(result.AddFact(fact));
+    for (std::size_t i = 0; i < n; ++i) {
+      MDDC_RETURN_NOT_OK(result.relation_mutable(i).Add(fact, key[i]));
+    }
+    std::string formatted = FormatDouble(slot.value);
+    auto it = value_ids.find(formatted);
+    ValueId value;
+    if (it == value_ids.end()) {
+      MDDC_ASSIGN_OR_RETURN(value, out_result.AddValueAuto(bottom));
+      MDDC_RETURN_NOT_OK(rep.Set(value, formatted));
+      value_ids.emplace(formatted, value);
+    } else {
+      value = it->second;
+    }
+    MDDC_RETURN_NOT_OK(result.relation_mutable(n).Add(fact, value));
+  }
+  MDDC_RETURN_NOT_OK(result.Validate());
+  return result;
+}
+
+}  // namespace mddc

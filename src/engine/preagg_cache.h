@@ -1,0 +1,86 @@
+#ifndef MDDC_ENGINE_PREAGG_CACHE_H_
+#define MDDC_ENGINE_PREAGG_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "common/result.h"
+#include "core/md_object.h"
+
+namespace mddc {
+
+/// A materialized-aggregate cache with summarizability-guided reuse —
+/// the "efficient implementation using special-purpose algorithms and
+/// data structures" the paper lists as future work (Section 5), built on
+/// the machinery Section 3.4 motivates: pre-computed lower-level results
+/// may be combined into higher-level results exactly when the aggregate
+/// function is distributive, the paths are strict and the hierarchies
+/// partitioning — which is precisely when aggregate formation does NOT
+/// degrade the result's aggregation type to c.
+///
+/// Queries are aggregate specs over one base MO. On a miss, the cache
+/// computes from the base and materializes. On a request whose grouping
+/// categories are all at-or-above those of a cached entry with the same
+/// function, and whose cached result is safely re-aggregable (bottom
+/// aggregation type != c), the cache *rolls the cached MO up* instead of
+/// touching the base — combining partial results with the function's
+/// merge operation (SUM of SUMs, MIN of MINs, ...).
+class PreAggregateCache {
+ public:
+  explicit PreAggregateCache(MdObject base);
+
+  const MdObject& base() const { return base_; }
+
+  /// Returns the aggregate for `grouping` (one category per base
+  /// dimension) under `function`. The result dimension is always
+  /// auto-built.
+  Result<MdObject> Query(const AggFunction& function,
+                         const std::vector<CategoryTypeIndex>& grouping);
+
+  /// Pre-materializes an aggregate without returning it.
+  Status Materialize(const AggFunction& function,
+                     const std::vector<CategoryTypeIndex>& grouping);
+
+  struct Stats {
+    std::size_t exact_hits = 0;   ///< same grouping served from cache
+    std::size_t rollup_hits = 0;  ///< coarser grouping derived from cache
+    std::size_t base_scans = 0;   ///< computed from the base MO
+    std::size_t reuse_refusals = 0;  ///< reuse blocked by aggregation type c
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<CategoryTypeIndex> grouping;
+    MdObject result;
+    AggregationType result_agg_type;
+  };
+
+  using Key = std::pair<std::string, std::vector<CategoryTypeIndex>>;
+
+  /// Finds a cached entry whose grouping is component-wise <= the
+  /// requested one (in the category lattices) and safely re-aggregable.
+  const Entry* FindReusable(const AggFunction& function,
+                            const std::vector<CategoryTypeIndex>& grouping,
+                            bool* refused_due_to_type);
+
+  /// Rolls a cached aggregate up to the coarser grouping by re-grouping
+  /// its set-facts and merging their partial results.
+  Result<MdObject> RollUpCached(
+      const Entry& entry, const AggFunction& function,
+      const std::vector<CategoryTypeIndex>& grouping) const;
+
+  MdObject base_;
+  std::map<Key, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_ENGINE_PREAGG_CACHE_H_

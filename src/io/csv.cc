@@ -1,0 +1,321 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace mddc {
+namespace io {
+namespace {
+
+using relational::Relation;
+using relational::Tuple;
+using relational::Value;
+
+/// Splits one CSV record honoring double-quote quoting; `pos` advances
+/// past the record (including the newline).
+Result<std::vector<std::string>> ReadRecord(const std::string& text,
+                                            std::size_t* pos,
+                                            bool* is_null_mask) {
+  (void)is_null_mask;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  std::size_t i = *pos;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      while (i < text.size() && (text[i] == '\n' || text[i] == '\r')) ++i;
+      break;
+    }
+    field += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+Value InferValue(const std::string& field) {
+  if (field.empty()) return Value::Null();
+  char* end = nullptr;
+  errno = 0;
+  long long as_int = std::strtoll(field.c_str(), &end, 10);
+  if (end != field.c_str() && *end == '\0') {
+    return Value(static_cast<std::int64_t>(as_int));
+  }
+  double as_double = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() && *end == '\0') return Value(as_double);
+  return Value(field);
+}
+
+Result<Chronon> ParseDateOrNow(const std::string& field) {
+  if (field == "NOW") return kNowChronon;
+  MDDC_ASSIGN_OR_RETURN(std::int64_t day, ParseDate(field));
+  return static_cast<Chronon>(day);
+}
+
+/// Field access helper over a parsed Relation row.
+class Row {
+ public:
+  Row(const Relation& relation, const Tuple& tuple)
+      : relation_(relation), tuple_(tuple) {}
+
+  Result<const Value*> Get(const std::string& column) const {
+    MDDC_ASSIGN_OR_RETURN(std::size_t index,
+                          relation_.AttributeIndex(column));
+    return &tuple_[index];
+  }
+
+  Result<std::string> GetText(const std::string& column) const {
+    MDDC_ASSIGN_OR_RETURN(const Value* value, Get(column));
+    if (value->is_null()) return std::string();
+    return value->ToString();
+  }
+
+ private:
+  const Relation& relation_;
+  const Tuple& tuple_;
+};
+
+}  // namespace
+
+Result<Relation> ParseCsv(const std::string& text) {
+  std::size_t pos = 0;
+  MDDC_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                        ReadRecord(text, &pos, nullptr));
+  if (header.empty() || (header.size() == 1 && header[0].empty())) {
+    return Status::InvalidArgument("CSV without a header line");
+  }
+  Relation relation(header);
+  while (pos < text.size()) {
+    MDDC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          ReadRecord(text, &pos, nullptr));
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrCat("CSV row has ", fields.size(), " fields, header has ",
+                 header.size()));
+    }
+    Tuple tuple;
+    tuple.reserve(fields.size());
+    for (const std::string& field : fields) {
+      tuple.push_back(InferValue(field));
+    }
+    MDDC_RETURN_NOT_OK(relation.Insert(std::move(tuple)));
+  }
+  return relation;
+}
+
+Result<MdObject> MoFromCsv(
+    const std::string& fact_csv,
+    const std::map<std::string, std::string>& dimension_csvs,
+    const std::vector<CsvHierarchySpec>& hierarchies,
+    const CsvFactSpec& spec, std::shared_ptr<FactRegistry> registry) {
+  // ---- Hierarchy dimensions ------------------------------------------------
+  std::vector<Dimension> dimensions;
+  // Per dimension: level column -> (text -> value id).
+  std::vector<std::map<std::string, ValueId>> leaf_index;
+  std::uint64_t next_value = 1;
+
+  for (const CsvHierarchySpec& hierarchy : hierarchies) {
+    if (hierarchy.level_columns.empty()) {
+      return Status::InvalidArgument(
+          StrCat("hierarchy '", hierarchy.dimension_name,
+                 "' lists no level columns"));
+    }
+    auto csv = dimension_csvs.find(hierarchy.dimension_name);
+    if (csv == dimension_csvs.end()) {
+      return Status::NotFound(StrCat("no CSV provided for dimension '",
+                                     hierarchy.dimension_name, "'"));
+    }
+    MDDC_ASSIGN_OR_RETURN(Relation table, ParseCsv(csv->second));
+
+    DimensionTypeBuilder builder(hierarchy.dimension_name);
+    for (std::size_t level = 0; level < hierarchy.level_columns.size();
+         ++level) {
+      builder.AddCategory(hierarchy.level_columns[level]);
+      if (level > 0) {
+        builder.AddOrder(hierarchy.level_columns[level - 1],
+                         hierarchy.level_columns[level]);
+      }
+    }
+    MDDC_ASSIGN_OR_RETURN(auto type, builder.Build());
+    Dimension dimension(type);
+
+    // Values per level, interned by text.
+    std::vector<std::map<std::string, ValueId>> per_level(
+        hierarchy.level_columns.size());
+    for (const Tuple& tuple : table.tuples()) {
+      Row row(table, tuple);
+      ValueId previous;
+      for (std::size_t level = 0; level < hierarchy.level_columns.size();
+           ++level) {
+        const std::string& column = hierarchy.level_columns[level];
+        MDDC_ASSIGN_OR_RETURN(std::string text, row.GetText(column));
+        if (text.empty()) {
+          return Status::InvalidArgument(
+              StrCat("empty '", column, "' cell in dimension '",
+                     hierarchy.dimension_name, "'"));
+        }
+        auto [it, inserted] = per_level[level].try_emplace(text, ValueId());
+        if (inserted) {
+          MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category,
+                                type->Find(column));
+          it->second = ValueId(next_value++);
+          MDDC_RETURN_NOT_OK(
+              dimension.AddValue(category, it->second));
+          Representation& rep =
+              dimension.RepresentationFor(category, "Name");
+          MDDC_RETURN_NOT_OK(rep.Set(it->second, text));
+        }
+        if (level > 0) {
+          MDDC_RETURN_NOT_OK(dimension.AddOrder(previous, it->second));
+        }
+        previous = it->second;
+      }
+    }
+    leaf_index.push_back(per_level.front());
+    dimensions.push_back(std::move(dimension));
+  }
+
+  // ---- Fact CSV -----------------------------------------------------------
+  MDDC_ASSIGN_OR_RETURN(Relation facts, ParseCsv(fact_csv));
+
+  // Measure dimensions from numeric fact columns.
+  std::vector<std::map<std::string, ValueId>> measure_index;
+  for (const std::string& column : spec.measure_columns) {
+    DimensionTypeBuilder builder(column);
+    builder.AddCategory(column, AggregationType::kSum);
+    MDDC_ASSIGN_OR_RETURN(auto type, builder.Build());
+    Dimension dimension(type);
+    CategoryTypeIndex bottom = type->bottom();
+    Representation& rep = dimension.RepresentationFor(bottom, "Value");
+    std::map<std::string, ValueId> index;
+    for (const Tuple& tuple : facts.tuples()) {
+      Row row(facts, tuple);
+      MDDC_ASSIGN_OR_RETURN(std::string text, row.GetText(column));
+      if (text.empty() || index.count(text) != 0) continue;
+      ValueId id(next_value++);
+      MDDC_RETURN_NOT_OK(dimension.AddValue(bottom, id));
+      MDDC_RETURN_NOT_OK(rep.Set(id, text));
+      index.emplace(text, id);
+    }
+    measure_index.push_back(std::move(index));
+    dimensions.push_back(std::move(dimension));
+  }
+
+  MdObject mo(spec.fact_type, std::move(dimensions), registry,
+              spec.valid_from_column.empty() ? TemporalType::kSnapshot
+                                             : TemporalType::kValidTime);
+
+  const bool temporal = !spec.valid_from_column.empty();
+  if (temporal && spec.valid_to_column.empty()) {
+    return Status::InvalidArgument(
+        "valid_from_column requires valid_to_column");
+  }
+
+  for (const Tuple& tuple : facts.tuples()) {
+    Row row(facts, tuple);
+    MDDC_ASSIGN_OR_RETURN(const Value* id_value,
+                          row.Get(spec.fact_id_column));
+    MDDC_ASSIGN_OR_RETURN(std::int64_t raw_id, id_value->AsInt());
+    FactId fact = registry->Atom(static_cast<std::uint64_t>(raw_id));
+    MDDC_RETURN_NOT_OK(mo.AddFact(fact));
+
+    Lifespan life = Lifespan::AlwaysSpan();
+    if (temporal) {
+      MDDC_ASSIGN_OR_RETURN(std::string from_text,
+                            row.GetText(spec.valid_from_column));
+      MDDC_ASSIGN_OR_RETURN(std::string to_text,
+                            row.GetText(spec.valid_to_column));
+      MDDC_ASSIGN_OR_RETURN(Chronon from, ParseDateOrNow(from_text));
+      MDDC_ASSIGN_OR_RETURN(Chronon to, ParseDateOrNow(to_text));
+      MDDC_ASSIGN_OR_RETURN(Interval interval, Interval::Make(from, to));
+      life = Lifespan::ValidDuring(TemporalElement(interval));
+    }
+    double prob = 1.0;
+    if (!spec.probability_column.empty()) {
+      MDDC_ASSIGN_OR_RETURN(const Value* p,
+                            row.Get(spec.probability_column));
+      if (!p->is_null()) {
+        MDDC_ASSIGN_OR_RETURN(prob, p->AsDouble());
+      }
+    }
+
+    for (const auto& [dimension_name, column] : spec.characterizations) {
+      MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                            mo.FindDimension(dimension_name));
+      // Hierarchies were added first, in order, so dim indexes leaf_index
+      // directly while it is within range.
+      if (dim >= leaf_index.size()) {
+        return Status::InvalidArgument(
+            StrCat("characterization column '", column,
+                   "' targets non-hierarchy dimension '", dimension_name,
+                   "'"));
+      }
+      MDDC_ASSIGN_OR_RETURN(std::string text, row.GetText(column));
+      ValueId value;
+      if (text.empty()) {
+        value = mo.dimension(dim).top_value();  // unknown characterization
+      } else {
+        auto it = leaf_index[dim].find(text);
+        if (it == leaf_index[dim].end()) {
+          return Status::NotFound(
+              StrCat("fact references unknown ", dimension_name,
+                     " value '", text, "'"));
+        }
+        value = it->second;
+      }
+      double pair_prob = spec.probability_dimension.empty() ||
+                                 spec.probability_dimension == dimension_name
+                             ? prob
+                             : 1.0;
+      MDDC_RETURN_NOT_OK(mo.Relate(dim, fact, value, life, pair_prob));
+    }
+    for (std::size_t m = 0; m < spec.measure_columns.size(); ++m) {
+      MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                            mo.FindDimension(spec.measure_columns[m]));
+      MDDC_ASSIGN_OR_RETURN(std::string text,
+                            row.GetText(spec.measure_columns[m]));
+      ValueId value = text.empty() ? mo.dimension(dim).top_value()
+                                   : measure_index[m].at(text);
+      MDDC_RETURN_NOT_OK(mo.Relate(dim, fact, value, life));
+    }
+  }
+  MDDC_RETURN_NOT_OK(mo.Validate());
+  return mo;
+}
+
+}  // namespace io
+}  // namespace mddc

@@ -1,0 +1,72 @@
+#ifndef MDDC_IO_CSV_H_
+#define MDDC_IO_CSV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/md_object.h"
+#include "relational/relation.h"
+
+namespace mddc {
+namespace io {
+
+/// CSV ingestion: the typical adoption path for the model is an existing
+/// star-schema export — a denormalized dimension CSV per dimension
+/// (finest level first) and a fact CSV with one row per fact-dimension
+/// characterization. MoFromCsv builds a full MdObject from those files,
+/// including hierarchies, numeric measure dimensions, valid-time columns
+/// and probability columns.
+
+/// Parses RFC-4180-ish CSV: first line is the header; fields separated by
+/// commas; double-quote quoting with "" escapes; values type-inferred
+/// (int, double, else string; empty field = NULL).
+Result<relational::Relation> ParseCsv(const std::string& text);
+
+/// Describes how a dimension CSV maps to a hierarchy dimension: the
+/// columns are hierarchy levels, finest first ("area,county,region").
+/// Every distinct value of a level column becomes a dimension value
+/// (labeled by a "Name" representation); each row contributes
+/// child <= parent edges between adjacent level columns.
+struct CsvHierarchySpec {
+  std::string dimension_name;
+  std::vector<std::string> level_columns;  // finest first
+};
+
+/// Describes the fact CSV.
+struct CsvFactSpec {
+  std::string fact_type = "Fact";
+  /// Column holding the fact's external key (integer).
+  std::string fact_id_column;
+  /// dimension name -> column holding the finest-level value the fact is
+  /// characterized by. Empty cell = unknown (related to top).
+  std::vector<std::pair<std::string, std::string>> characterizations;
+  /// Numeric columns that become Sigma-typed measure dimensions.
+  std::vector<std::string> measure_columns;
+  /// Optional valid-time columns (dd/mm/yyyy or "NOW"); both or neither.
+  std::string valid_from_column;
+  std::string valid_to_column;
+  /// Optional probability column ((0,1]; empty = certain).
+  std::string probability_column;
+  /// When set, the probability applies only to the characterization of
+  /// this dimension (e.g. the physician's confidence concerns the
+  /// Diagnosis, not the Residence); other pairs stay certain. When empty,
+  /// the probability applies to every characterization of the row.
+  std::string probability_dimension;
+};
+
+/// Builds an MO from a fact CSV plus one CSV per hierarchy dimension.
+/// Rows with a repeated (fact, value) pair coalesce their valid times —
+/// many-to-many characterizations are simply multiple rows.
+Result<MdObject> MoFromCsv(
+    const std::string& fact_csv,
+    const std::map<std::string, std::string>& dimension_csvs,
+    const std::vector<CsvHierarchySpec>& hierarchies,
+    const CsvFactSpec& spec, std::shared_ptr<FactRegistry> registry);
+
+}  // namespace io
+}  // namespace mddc
+
+#endif  // MDDC_IO_CSV_H_

@@ -1,0 +1,61 @@
+#ifndef MDDC_IO_SERIALIZE_H_
+#define MDDC_IO_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/md_object.h"
+
+namespace mddc {
+namespace io {
+
+/// Text serialization of multidimensional objects: a line-oriented,
+/// self-describing format covering the complete model — dimension-type
+/// lattices with aggregation types, values with temporal category
+/// membership, the partial order with lifespans and probabilities,
+/// representations, structured facts (atoms, pairs, sets) and
+/// fact-dimension relations.
+///
+/// Round-trip contract: WriteMo followed by ReadMo yields an MO that is
+/// behaviorally identical (same schema, same containment/timeslice/
+/// aggregation results). Fact ids are re-interned into the target
+/// registry, so raw FactId values may differ while fact *structure*
+/// (atom keys, pair/set shape) is preserved exactly.
+///
+/// Format sketch (version 1):
+///
+///   MDDC 1
+///   MO "Patient" valid-time 6
+///   DIMTYPE "Diagnosis" 4 <bottom> <top>
+///   CAT "Low-level Diagnosis" c
+///   TEDGE <child-cat> <parent-cat>
+///   DIM 0
+///   VALUE <id> <cat> <valid> <transaction>
+///   ORDER <child> <parent> <prob> <valid> <transaction>
+///   REP <cat> "Code"
+///   MAP <value> "O24" <valid> <transaction>
+///   FACT ATOM <key> | FACT PAIR <i> <j> | FACT SET <n> <i...>
+///   MEMBER <i>
+///   REL <dim> <fact-index> <value> <prob> <valid> <transaction>
+///   END
+///
+/// Temporal elements serialize as ALWAYS, EMPTY, or a comma-separated
+/// list of begin:end chronon pairs with NOW/INF/-INF markers.
+
+/// Serializes an MO.
+Result<std::string> WriteMo(const MdObject& mo);
+
+/// Parses a serialized MO, interning facts into `registry`.
+Result<MdObject> ReadMo(const std::string& text,
+                        std::shared_ptr<FactRegistry> registry);
+
+/// Convenience: file round-trips.
+Status SaveMoToFile(const MdObject& mo, const std::string& path);
+Result<MdObject> LoadMoFromFile(const std::string& path,
+                                std::shared_ptr<FactRegistry> registry);
+
+}  // namespace io
+}  // namespace mddc
+
+#endif  // MDDC_IO_SERIALIZE_H_

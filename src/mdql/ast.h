@@ -1,0 +1,93 @@
+#ifndef MDDC_MDQL_AST_H_
+#define MDDC_MDQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mddc {
+namespace mdql {
+
+/// A reference to a category of a dimension: "Diagnosis.Diagnosis-Group"
+/// or "Diagnosis.\"Diagnosis Group\"".
+struct LevelRef {
+  std::string dimension;
+  std::string category;
+};
+
+/// One aggregate of the SELECT list: COUNT (set-count of facts) or
+/// FN(dimension) with FN in {COUNT, SUM, AVG, MIN, MAX}.
+struct AggRef {
+  enum class Fn { kSetCount, kCount, kSum, kAvg, kMin, kMax };
+  Fn fn = Fn::kSetCount;
+  std::string dimension;  // empty for set-count
+  std::string label;      // rendered column name
+};
+
+/// One grouping column: a level reference plus the representation used to
+/// label groups (default: first of Name, Code, Value that exists).
+struct GroupRef {
+  LevelRef level;
+  std::string representation;  // empty = automatic
+};
+
+/// A WHERE atom. Exactly one of the forms is populated:
+///  * name:   dimension.category = 'text'   (representation lookup)
+///  * number: dimension >= 42               (numeric on directly related
+///                                           values)
+///  * prob:   PROB(dimension.category = 'text') >= 0.8
+struct WhereAtom {
+  enum class Kind { kNameEquals, kNumericCompare, kProbAtLeast };
+  Kind kind = Kind::kNameEquals;
+  bool negated = false;
+
+  LevelRef level;      // kNameEquals, kProbAtLeast
+  std::string text;    // the compared name
+  std::string dimension;  // kNumericCompare
+  enum class Cmp { kLt, kLe, kEq, kGe, kGt, kNe };
+  Cmp cmp = Cmp::kEq;
+  double number = 0.0;  // numeric bound or probability threshold
+};
+
+/// A boolean WHERE expression: atoms combined with AND/OR (NOT lives on
+/// the atoms), parenthesization preserved by the tree shape.
+struct WhereExpr {
+  enum class Kind { kAtom, kAnd, kOr };
+  Kind kind = Kind::kAtom;
+  WhereAtom atom;  // kAtom
+  std::shared_ptr<const WhereExpr> left;
+  std::shared_ptr<const WhereExpr> right;
+};
+
+/// SELECT <aggs> FROM <mo> [BY <groups>] [WHERE <boolean expr>]
+/// [ASOF 'dd/mm/yyyy'].
+struct SelectStatement {
+  std::vector<AggRef> aggregates;
+  std::string mo_name;
+  std::vector<GroupRef> group_by;
+  std::shared_ptr<const WhereExpr> where;  // null = no restriction
+  std::optional<std::string> as_of;  // date literal
+};
+
+/// SHOW DIMENSIONS FROM <mo> — lists the dimension types.
+/// SHOW HIERARCHY <dimension> FROM <mo> — renders one lattice.
+/// SHOW PATHS <dimension> FROM <mo> — lists the aggregation paths
+/// (requirement 3's multiple hierarchies) from the bottom category to TOP.
+struct ShowStatement {
+  enum class What { kDimensions, kHierarchy, kPaths };
+  What what = What::kDimensions;
+  std::string dimension;  // kHierarchy only
+  std::string mo_name;
+};
+
+/// A parsed statement: exactly one member is set.
+struct Statement {
+  std::optional<SelectStatement> select;
+  std::optional<ShowStatement> show;
+};
+
+}  // namespace mdql
+}  // namespace mddc
+
+#endif  // MDDC_MDQL_AST_H_

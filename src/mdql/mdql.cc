@@ -1,0 +1,308 @@
+#include "mdql/mdql.h"
+
+#include <algorithm>
+
+#include "algebra/derived.h"
+#include "algebra/operators.h"
+#include "algebra/timeslice.h"
+#include "common/date.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "mdql/parser.h"
+
+namespace mddc {
+namespace mdql {
+namespace {
+
+/// Resolves "dimension.category" against an MO.
+struct ResolvedLevel {
+  std::size_t dim = 0;
+  CategoryTypeIndex category = 0;
+};
+
+Result<ResolvedLevel> Resolve(const MdObject& mo, const LevelRef& level) {
+  MDDC_ASSIGN_OR_RETURN(std::size_t dim, mo.FindDimension(level.dimension));
+  MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category,
+                        mo.dimension(dim).type().Find(level.category));
+  return ResolvedLevel{dim, category};
+}
+
+/// Finds the dimension value named `text` in the given category by
+/// trying every representation registered for it. NotFound if no
+/// representation knows the name.
+Result<ValueId> ResolveValueByName(const MdObject& mo,
+                                   const ResolvedLevel& level,
+                                   const std::string& text) {
+  const Dimension& dimension = mo.dimension(level.dim);
+  for (const auto& [category, rep_name, rep] :
+       dimension.AllRepresentations()) {
+    if (category != level.category) continue;
+    auto value = rep->Lookup(text);
+    if (value.ok()) return value;
+  }
+  return Status::NotFound(StrCat("no value named '", text,
+                                 "' in category '",
+                                 dimension.type().category(level.category).name,
+                                 "' of dimension '", dimension.name(), "'"));
+}
+
+/// Picks the labeling representation for a grouping column: an explicit
+/// request, else the first of Name / Code / Value that exists.
+std::string PickRepresentation(const MdObject& mo,
+                               const ResolvedLevel& level,
+                               const std::string& requested) {
+  if (!requested.empty()) return requested;
+  const Dimension& dimension = mo.dimension(level.dim);
+  for (const char* candidate : {"Name", "Code", "Value"}) {
+    if (dimension.FindRepresentation(level.category, candidate).ok()) {
+      return candidate;
+    }
+  }
+  return "Name";
+}
+
+/// A predicate that matches no fact (an unknown value name matches
+/// nothing; NOT on the atom then matches everything).
+Predicate False() { return Predicate::True().Not(); }
+
+Result<Predicate> BuildAtom(const MdObject& mo, const WhereAtom& atom) {
+  Predicate leaf = Predicate::True();
+  switch (atom.kind) {
+    case WhereAtom::Kind::kNameEquals: {
+      MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, atom.level));
+      auto value = ResolveValueByName(mo, level, atom.text);
+      leaf = value.ok() ? Predicate::CharacterizedBy(level.dim, *value)
+                        : False();
+      break;
+    }
+    case WhereAtom::Kind::kNumericCompare: {
+        MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                              mo.FindDimension(atom.dimension));
+        switch (atom.cmp) {
+          case WhereAtom::Cmp::kLt:
+            leaf = Predicate::NumericCompare(
+                dim, Predicate::Comparison::kLess, atom.number);
+            break;
+          case WhereAtom::Cmp::kLe:
+            leaf = Predicate::NumericCompare(
+                dim, Predicate::Comparison::kLessEq, atom.number);
+            break;
+          case WhereAtom::Cmp::kEq:
+            leaf = Predicate::NumericCompare(dim, Predicate::Comparison::kEq,
+                                             atom.number);
+            break;
+          case WhereAtom::Cmp::kGe:
+            leaf = Predicate::NumericCompare(
+                dim, Predicate::Comparison::kGreaterEq, atom.number);
+            break;
+          case WhereAtom::Cmp::kGt:
+            leaf = Predicate::NumericCompare(
+                dim, Predicate::Comparison::kGreater, atom.number);
+            break;
+          case WhereAtom::Cmp::kNe:
+            leaf = Predicate::NumericCompare(dim, Predicate::Comparison::kEq,
+                                             atom.number)
+                       .Not()
+                       .And(Predicate::HasValueInCategory(
+                           dim, mo.dimension(dim).type().bottom()));
+            break;
+        }
+        break;
+      }
+      case WhereAtom::Kind::kProbAtLeast: {
+        MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, atom.level));
+        auto value = ResolveValueByName(mo, level, atom.text);
+        leaf = value.ok()
+                   ? Predicate::MinProbability(level.dim, *value, atom.number)
+                   : False();
+        break;
+      }
+  }
+  if (atom.negated) leaf = leaf.Not();
+  return leaf;
+}
+
+Result<Predicate> BuildWhere(const MdObject& mo, const WhereExpr& expr) {
+  switch (expr.kind) {
+    case WhereExpr::Kind::kAtom:
+      return BuildAtom(mo, expr.atom);
+    case WhereExpr::Kind::kAnd: {
+      MDDC_ASSIGN_OR_RETURN(Predicate left, BuildWhere(mo, *expr.left));
+      MDDC_ASSIGN_OR_RETURN(Predicate right, BuildWhere(mo, *expr.right));
+      return left.And(std::move(right));
+    }
+    case WhereExpr::Kind::kOr: {
+      MDDC_ASSIGN_OR_RETURN(Predicate left, BuildWhere(mo, *expr.left));
+      MDDC_ASSIGN_OR_RETURN(Predicate right, BuildWhere(mo, *expr.right));
+      return left.Or(std::move(right));
+    }
+  }
+  return Status::InvalidArgument("unknown WHERE node kind");
+}
+
+Result<AggFunction> BuildAggFunction(const MdObject& mo, const AggRef& agg) {
+  if (agg.fn == AggRef::Fn::kSetCount) return AggFunction::SetCount();
+  MDDC_ASSIGN_OR_RETURN(std::size_t dim, mo.FindDimension(agg.dimension));
+  switch (agg.fn) {
+    case AggRef::Fn::kCount:
+      return AggFunction::Count(dim);
+    case AggRef::Fn::kSum:
+      return AggFunction::Sum(dim);
+    case AggRef::Fn::kAvg:
+      return AggFunction::Avg(dim);
+    case AggRef::Fn::kMin:
+      return AggFunction::Min(dim);
+    case AggRef::Fn::kMax:
+      return AggFunction::Max(dim);
+    case AggRef::Fn::kSetCount:
+      break;
+  }
+  return AggFunction::SetCount();
+}
+
+Result<QueryResult> ExecuteSelect(const MdObject& source,
+                                  const SelectStatement& select) {
+  MdObject mo = source;
+  if (select.as_of.has_value()) {
+    MDDC_ASSIGN_OR_RETURN(std::int64_t day, ParseDate(*select.as_of));
+    MDDC_ASSIGN_OR_RETURN(mo, ValidTimeslice(mo, day));
+  }
+
+  QueryResult result;
+  for (const GroupRef& group : select.group_by) {
+    result.columns.push_back(
+        StrCat(group.level.dimension, ".", group.level.category));
+  }
+  for (const AggRef& agg : select.aggregates) {
+    result.columns.push_back(agg.label);
+  }
+
+  if (select.where != nullptr) {
+    MDDC_ASSIGN_OR_RETURN(Predicate predicate,
+                          BuildWhere(mo, *select.where));
+    MDDC_ASSIGN_OR_RETURN(mo, Select(mo, predicate));
+  }
+
+  // Resolve grouping columns once.
+  std::vector<SqlGroupBy> group_by;
+  for (const GroupRef& group : select.group_by) {
+    MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, group.level));
+    group_by.push_back(SqlGroupBy{
+        level.dim, level.category,
+        PickRepresentation(mo, level, group.representation)});
+  }
+
+  // Run each aggregate over the same grouping and merge by group key.
+  std::map<std::vector<std::string>, std::vector<std::string>> merged;
+  for (std::size_t a = 0; a < select.aggregates.size(); ++a) {
+    MDDC_ASSIGN_OR_RETURN(AggFunction function,
+                          BuildAggFunction(mo, select.aggregates[a]));
+    MDDC_ASSIGN_OR_RETURN(std::vector<SqlRow> rows,
+                          SqlAggregate(mo, group_by, function));
+    for (SqlRow& row : rows) {
+      auto [it, inserted] = merged.try_emplace(
+          row.group,
+          std::vector<std::string>(select.aggregates.size(), "-"));
+      it->second[a] = FormatDouble(row.value);
+    }
+  }
+  for (const auto& [group, values] : merged) {
+    std::vector<std::string> row = group;
+    row.insert(row.end(), values.begin(), values.end());
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Result<QueryResult> ExecuteShow(const MdObject& mo,
+                                const ShowStatement& show) {
+  QueryResult result;
+  if (show.what == ShowStatement::What::kDimensions) {
+    result.columns = {"dimension", "categories", "bottom", "values"};
+    for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+      const Dimension& dimension = mo.dimension(i);
+      const DimensionType& type = dimension.type();
+      result.rows.push_back({dimension.name(),
+                             std::to_string(type.category_count()),
+                             type.category(type.bottom()).name,
+                             std::to_string(dimension.value_count())});
+    }
+    return result;
+  }
+  MDDC_ASSIGN_OR_RETURN(std::size_t dim, mo.FindDimension(show.dimension));
+  const Dimension& dimension = mo.dimension(dim);
+  const DimensionType& type = dimension.type();
+  if (show.what == ShowStatement::What::kPaths) {
+    result.columns = {"path"};
+    for (const auto& path : type.AggregationPaths(type.bottom())) {
+      std::vector<std::string> names;
+      for (CategoryTypeIndex c : path) names.push_back(type.category(c).name);
+      result.rows.push_back({Join(names, " < ")});
+    }
+    return result;
+  }
+  result.columns = {"category", "agg type", "contained in", "values"};
+  for (CategoryTypeIndex c : type.AtOrAbove(type.bottom())) {
+    std::vector<std::string> parents;
+    for (CategoryTypeIndex p : type.Pred(c)) {
+      parents.push_back(type.category(p).name);
+    }
+    result.rows.push_back(
+        {type.category(c).name,
+         std::string(AggregationTypeName(type.AggType(c))),
+         Join(parents, ", "),
+         std::to_string(dimension.ValuesIn(c).size())});
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string QueryResult::ToString() const {
+  TablePrinter printer(columns);
+  for (const auto& row : rows) printer.AddRow(row);
+  return printer.ToString();
+}
+
+Status Session::Register(std::string name, MdObject mo) {
+  if (catalog_.count(name) != 0) {
+    return Status::InvariantViolation(
+        StrCat("MO '", name, "' already registered"));
+  }
+  catalog_.emplace(std::move(name), std::move(mo));
+  return Status::OK();
+}
+
+std::vector<std::string> Session::names() const {
+  std::vector<std::string> result;
+  result.reserve(catalog_.size());
+  for (const auto& [name, mo] : catalog_) result.push_back(name);
+  return result;
+}
+
+Result<const MdObject*> Session::Get(const std::string& name) const {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound(StrCat("no MO named '", name, "' is registered"));
+  }
+  return &it->second;
+}
+
+Result<QueryResult> Session::Execute(const std::string& query) {
+  MDDC_ASSIGN_OR_RETURN(Statement statement, Parse(query));
+  const std::string& mo_name = statement.select.has_value()
+                                   ? statement.select->mo_name
+                                   : statement.show->mo_name;
+  auto it = catalog_.find(mo_name);
+  if (it == catalog_.end()) {
+    return Status::NotFound(StrCat("no MO named '", mo_name,
+                                   "' is registered in this session"));
+  }
+  if (statement.select.has_value()) {
+    return ExecuteSelect(it->second, *statement.select);
+  }
+  return ExecuteShow(it->second, *statement.show);
+}
+
+}  // namespace mdql
+}  // namespace mddc

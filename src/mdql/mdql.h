@@ -1,0 +1,70 @@
+#ifndef MDDC_MDQL_MDQL_H_
+#define MDDC_MDQL_MDQL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/md_object.h"
+
+namespace mddc {
+namespace mdql {
+
+/// MDQL is a small textual query language over multidimensional objects,
+/// planned onto the paper's algebra. It exists for two reasons: it makes
+/// the examples and benches expressive, and it realizes the paper's
+/// future-work idea of putting the schema lattices at the user's
+/// fingertips (SHOW DIMENSIONS / SHOW HIERARCHY navigate them).
+///
+///   SELECT COUNT FROM patients
+///     BY Diagnosis."Diagnosis Group" AS Code
+///     WHERE Residence.Region = 'Capital Region'
+///     ASOF '01/06/1999'
+///
+///   SELECT SUM(Amount), AVG(Price) FROM sales BY Product.Category
+///
+///   SELECT COUNT FROM patients
+///     WHERE PROB(Diagnosis."Diagnosis Family" = 'E10') >= 0.8
+///
+///   SHOW DIMENSIONS FROM patients
+///   SHOW HIERARCHY Diagnosis FROM patients
+///
+/// Semantics: WHERE atoms select facts by characterization (names resolve
+/// through the representations of the referenced category); ASOF applies
+/// a valid-timeslice before everything else; BY groups via aggregate
+/// formation; multiple aggregates run over the same grouping and merge
+/// into one row set.
+
+/// A rendered query result: column headers plus string rows.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Aligned ASCII table.
+  std::string ToString() const;
+};
+
+/// A catalog of named MOs plus the query entry point.
+class Session {
+ public:
+  /// Registers an MO under a (unique) name.
+  Status Register(std::string name, MdObject mo);
+
+  /// Names of registered MOs.
+  std::vector<std::string> names() const;
+
+  /// Looks up a registered MO (e.g. for saving it to disk).
+  Result<const MdObject*> Get(const std::string& name) const;
+
+  /// Parses, plans and executes one MDQL statement.
+  Result<QueryResult> Execute(const std::string& query);
+
+ private:
+  std::map<std::string, MdObject> catalog_;
+};
+
+}  // namespace mdql
+}  // namespace mddc
+
+#endif  // MDDC_MDQL_MDQL_H_

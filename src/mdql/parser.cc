@@ -1,0 +1,277 @@
+#include "mdql/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "mdql/token.h"
+
+namespace mddc {
+namespace mdql {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement statement;
+    if (Peek().kind == TokenKind::kSelect) {
+      MDDC_ASSIGN_OR_RETURN(statement.select, ParseSelect());
+    } else if (Peek().kind == TokenKind::kShow) {
+      MDDC_ASSIGN_OR_RETURN(statement.show, ParseShow());
+    } else {
+      return Unexpected("SELECT or SHOW");
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Unexpected("end of query");
+    }
+    return statement;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Accept(kind)) {
+      return Status::InvalidArgument(
+          StrCat("expected ", TokenKindName(kind), " but found ",
+                 TokenKindName(Peek().kind), " at offset ", Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  Status Unexpected(const std::string& expected) {
+    return Status::InvalidArgument(
+        StrCat("expected ", expected, " but found ",
+               TokenKindName(Peek().kind), " at offset ", Peek().offset));
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      MDDC_RETURN_NOT_OK(Unexpected("an identifier"));
+    }
+    return Advance().text;
+  }
+
+  Result<LevelRef> ParseLevelRef() {
+    LevelRef level;
+    MDDC_ASSIGN_OR_RETURN(level.dimension, ExpectIdentifier());
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kDot));
+    MDDC_ASSIGN_OR_RETURN(level.category, ExpectIdentifier());
+    return level;
+  }
+
+  Result<AggRef> ParseAgg() {
+    AggRef agg;
+    if (Accept(TokenKind::kCount)) {
+      if (Accept(TokenKind::kLParen)) {
+        agg.fn = AggRef::Fn::kCount;
+        MDDC_ASSIGN_OR_RETURN(agg.dimension, ExpectIdentifier());
+        MDDC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+        agg.label = StrCat("COUNT(", agg.dimension, ")");
+      } else {
+        agg.fn = AggRef::Fn::kSetCount;
+        agg.label = "COUNT";
+      }
+      return agg;
+    }
+    MDDC_ASSIGN_OR_RETURN(std::string fn, ExpectIdentifier());
+    std::string upper = fn;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    if (upper == "SUM") {
+      agg.fn = AggRef::Fn::kSum;
+    } else if (upper == "AVG") {
+      agg.fn = AggRef::Fn::kAvg;
+    } else if (upper == "MIN") {
+      agg.fn = AggRef::Fn::kMin;
+    } else if (upper == "MAX") {
+      agg.fn = AggRef::Fn::kMax;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown aggregate function '", fn, "'"));
+    }
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    MDDC_ASSIGN_OR_RETURN(agg.dimension, ExpectIdentifier());
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    agg.label = StrCat(upper, "(", agg.dimension, ")");
+    return agg;
+  }
+
+  Result<WhereAtom> ParseAtom() {
+    WhereAtom atom;
+    if (Accept(TokenKind::kProb)) {
+      atom.kind = WhereAtom::Kind::kProbAtLeast;
+      MDDC_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      MDDC_ASSIGN_OR_RETURN(atom.level, ParseLevelRef());
+      MDDC_RETURN_NOT_OK(Expect(TokenKind::kEq));
+      if (Peek().kind != TokenKind::kString) {
+        MDDC_RETURN_NOT_OK(Unexpected("a string literal"));
+      }
+      atom.text = Advance().text;
+      MDDC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      MDDC_RETURN_NOT_OK(Expect(TokenKind::kGe));
+      if (Peek().kind != TokenKind::kNumber) {
+        MDDC_RETURN_NOT_OK(Unexpected("a probability"));
+      }
+      atom.number = Advance().number;
+      return atom;
+    }
+    atom.negated = Accept(TokenKind::kNot);
+    MDDC_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    if (Accept(TokenKind::kDot)) {
+      atom.kind = WhereAtom::Kind::kNameEquals;
+      atom.level.dimension = std::move(first);
+      MDDC_ASSIGN_OR_RETURN(atom.level.category, ExpectIdentifier());
+      MDDC_RETURN_NOT_OK(Expect(TokenKind::kEq));
+      if (Peek().kind != TokenKind::kString) {
+        MDDC_RETURN_NOT_OK(Unexpected("a string literal"));
+      }
+      atom.text = Advance().text;
+      return atom;
+    }
+    atom.kind = WhereAtom::Kind::kNumericCompare;
+    atom.dimension = std::move(first);
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        atom.cmp = WhereAtom::Cmp::kEq;
+        break;
+      case TokenKind::kNe:
+        atom.cmp = WhereAtom::Cmp::kNe;
+        break;
+      case TokenKind::kLt:
+        atom.cmp = WhereAtom::Cmp::kLt;
+        break;
+      case TokenKind::kLe:
+        atom.cmp = WhereAtom::Cmp::kLe;
+        break;
+      case TokenKind::kGt:
+        atom.cmp = WhereAtom::Cmp::kGt;
+        break;
+      case TokenKind::kGe:
+        atom.cmp = WhereAtom::Cmp::kGe;
+        break;
+      default:
+        MDDC_RETURN_NOT_OK(Unexpected("a comparison operator"));
+    }
+    Advance();
+    if (Peek().kind != TokenKind::kNumber) {
+      MDDC_RETURN_NOT_OK(Unexpected("a number"));
+    }
+    atom.number = Advance().number;
+    return atom;
+  }
+
+  // where := and_expr (OR and_expr)* ; and_expr := primary (AND primary)* ;
+  // primary := '(' where ')' | atom. OR binds looser than AND.
+  Result<std::shared_ptr<const WhereExpr>> ParseWherePrimary() {
+    // Atoms never start with '(' (PROB consumes its own parentheses), so
+    // a leading '(' unambiguously opens a grouped expression.
+    if (Accept(TokenKind::kLParen)) {
+      MDDC_ASSIGN_OR_RETURN(auto inner, ParseWhereExpr());
+      MDDC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    MDDC_ASSIGN_OR_RETURN(WhereAtom atom, ParseAtom());
+    auto node = std::make_shared<WhereExpr>();
+    node->kind = WhereExpr::Kind::kAtom;
+    node->atom = std::move(atom);
+    return std::shared_ptr<const WhereExpr>(node);
+  }
+
+  Result<std::shared_ptr<const WhereExpr>> ParseWhereAnd() {
+    MDDC_ASSIGN_OR_RETURN(auto left, ParseWherePrimary());
+    while (Accept(TokenKind::kAnd)) {
+      MDDC_ASSIGN_OR_RETURN(auto right, ParseWherePrimary());
+      auto node = std::make_shared<WhereExpr>();
+      node->kind = WhereExpr::Kind::kAnd;
+      node->left = left;
+      node->right = right;
+      left = node;
+    }
+    return left;
+  }
+
+  Result<std::shared_ptr<const WhereExpr>> ParseWhereExpr() {
+    MDDC_ASSIGN_OR_RETURN(auto left, ParseWhereAnd());
+    while (Accept(TokenKind::kOr)) {
+      MDDC_ASSIGN_OR_RETURN(auto right, ParseWhereAnd());
+      auto node = std::make_shared<WhereExpr>();
+      node->kind = WhereExpr::Kind::kOr;
+      node->left = left;
+      node->right = right;
+      left = node;
+    }
+    return left;
+  }
+
+  Result<SelectStatement> ParseSelect() {
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kSelect));
+    SelectStatement select;
+    do {
+      MDDC_ASSIGN_OR_RETURN(AggRef agg, ParseAgg());
+      select.aggregates.push_back(std::move(agg));
+    } while (Accept(TokenKind::kComma));
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kFrom));
+    MDDC_ASSIGN_OR_RETURN(select.mo_name, ExpectIdentifier());
+    if (Accept(TokenKind::kBy)) {
+      do {
+        GroupRef group;
+        MDDC_ASSIGN_OR_RETURN(group.level, ParseLevelRef());
+        if (Accept(TokenKind::kAs)) {
+          MDDC_ASSIGN_OR_RETURN(group.representation, ExpectIdentifier());
+        }
+        select.group_by.push_back(std::move(group));
+      } while (Accept(TokenKind::kComma));
+    }
+    if (Accept(TokenKind::kWhere)) {
+      MDDC_ASSIGN_OR_RETURN(select.where, ParseWhereExpr());
+    }
+    if (Accept(TokenKind::kAsOf)) {
+      if (Peek().kind != TokenKind::kString) {
+        MDDC_RETURN_NOT_OK(Unexpected("a date literal"));
+      }
+      select.as_of = Advance().text;
+    }
+    return select;
+  }
+
+  Result<ShowStatement> ParseShow() {
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kShow));
+    ShowStatement show;
+    if (Accept(TokenKind::kDimensions)) {
+      show.what = ShowStatement::What::kDimensions;
+    } else if (Accept(TokenKind::kHierarchy)) {
+      show.what = ShowStatement::What::kHierarchy;
+      MDDC_ASSIGN_OR_RETURN(show.dimension, ExpectIdentifier());
+    } else if (Accept(TokenKind::kPaths)) {
+      show.what = ShowStatement::What::kPaths;
+      MDDC_ASSIGN_OR_RETURN(show.dimension, ExpectIdentifier());
+    } else {
+      MDDC_RETURN_NOT_OK(Unexpected("DIMENSIONS, HIERARCHY or PATHS"));
+    }
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kFrom));
+    MDDC_ASSIGN_OR_RETURN(show.mo_name, ExpectIdentifier());
+    return show;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& source) {
+  MDDC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace mdql
+}  // namespace mddc

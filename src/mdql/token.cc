@@ -1,0 +1,209 @@
+#include "mdql/token.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.h"
+
+namespace mddc {
+namespace mdql {
+namespace {
+
+std::string ToUpper(const std::string& text) {
+  std::string upper = text;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  return upper;
+}
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const auto& keywords = *new std::map<std::string, TokenKind>{
+      {"SELECT", TokenKind::kSelect},   {"FROM", TokenKind::kFrom},
+      {"BY", TokenKind::kBy},           {"WHERE", TokenKind::kWhere},
+      {"AND", TokenKind::kAnd},
+      {"OR", TokenKind::kOr},         {"NOT", TokenKind::kNot},
+      {"ASOF", TokenKind::kAsOf},       {"AS", TokenKind::kAs},
+      {"COUNT", TokenKind::kCount},     {"PROB", TokenKind::kProb},
+      {"SHOW", TokenKind::kShow},       {"DIMENSIONS", TokenKind::kDimensions},
+      {"HIERARCHY", TokenKind::kHierarchy},
+      {"PATHS", TokenKind::kPaths},
+  };
+  return keywords;
+}
+
+}  // namespace
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kBy:
+      return "BY";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kAsOf:
+      return "ASOF";
+    case TokenKind::kAs:
+      return "AS";
+    case TokenKind::kCount:
+      return "COUNT";
+    case TokenKind::kProb:
+      return "PROB";
+    case TokenKind::kShow:
+      return "SHOW";
+    case TokenKind::kDimensions:
+      return "DIMENSIONS";
+    case TokenKind::kHierarchy:
+      return "HIERARCHY";
+    case TokenKind::kPaths:
+      return "PATHS";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (c == ',') {
+      token.kind = TokenKind::kComma;
+      ++i;
+    } else if (c == '.') {
+      token.kind = TokenKind::kDot;
+      ++i;
+    } else if (c == '(') {
+      token.kind = TokenKind::kLParen;
+      ++i;
+    } else if (c == ')') {
+      token.kind = TokenKind::kRParen;
+      ++i;
+    } else if (c == ';') {
+      ++i;  // statement terminator, ignored
+      continue;
+    } else if (c == '=') {
+      token.kind = TokenKind::kEq;
+      ++i;
+    } else if (c == '<') {
+      if (i + 1 < n && source[i + 1] == '=') {
+        token.kind = TokenKind::kLe;
+        i += 2;
+      } else if (i + 1 < n && source[i + 1] == '>') {
+        token.kind = TokenKind::kNe;
+        i += 2;
+      } else {
+        token.kind = TokenKind::kLt;
+        ++i;
+      }
+    } else if (c == '>') {
+      if (i + 1 < n && source[i + 1] == '=') {
+        token.kind = TokenKind::kGe;
+        i += 2;
+      } else {
+        token.kind = TokenKind::kGt;
+        ++i;
+      }
+    } else if (c == '\'') {
+      std::size_t end = source.find('\'', i + 1);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument(
+            StrCat("unterminated string literal at offset ", i));
+      }
+      token.kind = TokenKind::kString;
+      token.text = source.substr(i + 1, end - i - 1);
+      i = end + 1;
+    } else if (c == '"') {
+      std::size_t end = source.find('"', i + 1);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument(
+            StrCat("unterminated quoted identifier at offset ", i));
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = source.substr(i + 1, end - i - 1);
+      i = end + 1;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(source[i + 1])) !=
+                    0)) {
+      std::size_t end = i + 1;
+      while (end < n &&
+             (std::isdigit(static_cast<unsigned char>(source[end])) != 0 ||
+              source[end] == '.')) {
+        ++end;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = source.substr(i, end - i);
+      token.number = std::strtod(token.text.c_str(), nullptr);
+      i = end;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+               c == '_') {
+      std::size_t end = i + 1;
+      while (end < n &&
+             (std::isalnum(static_cast<unsigned char>(source[end])) != 0 ||
+              source[end] == '_' || source[end] == '-')) {
+        ++end;
+      }
+      token.text = source.substr(i, end - i);
+      auto keyword = Keywords().find(ToUpper(token.text));
+      token.kind = keyword != Keywords().end() ? keyword->second
+                                               : TokenKind::kIdentifier;
+      i = end;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unexpected character '", std::string(1, c),
+                 "' at offset ", i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.kind = TokenKind::kEnd;
+  end_token.offset = n;
+  tokens.push_back(end_token);
+  return tokens;
+}
+
+}  // namespace mdql
+}  // namespace mddc

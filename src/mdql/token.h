@@ -1,0 +1,65 @@
+#ifndef MDDC_MDQL_TOKEN_H_
+#define MDDC_MDQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mddc {
+namespace mdql {
+
+/// Token kinds of the MDQL surface language (see mdql.h for the
+/// grammar).
+enum class TokenKind {
+  kIdentifier,
+  kString,   // '...'
+  kNumber,   // 42, 3.5
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kEq,       // =
+  kNe,       // <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Keywords (case-insensitive in the source).
+  kSelect,
+  kFrom,
+  kBy,
+  kWhere,
+  kAnd,
+  kOr,
+  kNot,
+  kAsOf,
+  kAs,
+  kCount,
+  kProb,
+  kShow,
+  kDimensions,
+  kHierarchy,
+  kPaths,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier/string/number text
+  double number = 0.0;
+  std::size_t offset = 0;  // position in the source, for error messages
+};
+
+/// Tokenizes an MDQL query. Identifiers may be bare
+/// ([A-Za-z_][A-Za-z0-9_-]*) or double-quoted ("Date of Birth") for
+/// names with spaces. String literals use single quotes.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+/// Name of a token kind for diagnostics.
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace mdql
+}  // namespace mddc
+
+#endif  // MDDC_MDQL_TOKEN_H_

@@ -1,0 +1,324 @@
+#include "relational/algebra.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace mddc {
+namespace relational {
+namespace {
+
+Status RequireUnionCompatible(const Relation& r, const Relation& s,
+                              const char* op) {
+  if (r.attributes() != s.attributes()) {
+    return Status::SchemaMismatch(
+        StrCat(op, " requires union-compatible relations"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> Select(const Relation& r, const Condition& condition) {
+  MDDC_ASSIGN_OR_RETURN(std::size_t index,
+                        r.AttributeIndex(condition.attribute));
+  Relation result(r.attributes());
+  for (const Tuple& tuple : r.tuples()) {
+    const Value& value = tuple[index];
+    bool keep = false;
+    switch (condition.op) {
+      case Condition::Op::kEq:
+        keep = value == condition.constant;
+        break;
+      case Condition::Op::kNe:
+        keep = value != condition.constant;
+        break;
+      case Condition::Op::kLt:
+        keep = value < condition.constant;
+        break;
+      case Condition::Op::kLe:
+        keep = value < condition.constant || value == condition.constant;
+        break;
+      case Condition::Op::kGt:
+        keep = condition.constant < value;
+        break;
+      case Condition::Op::kGe:
+        keep = condition.constant < value || value == condition.constant;
+        break;
+    }
+    if (keep) MDDC_RETURN_NOT_OK(result.Insert(tuple));
+  }
+  return result;
+}
+
+Result<Relation> SelectAttrEq(const Relation& r, const std::string& a,
+                              const std::string& b) {
+  MDDC_ASSIGN_OR_RETURN(std::size_t ia, r.AttributeIndex(a));
+  MDDC_ASSIGN_OR_RETURN(std::size_t ib, r.AttributeIndex(b));
+  Relation result(r.attributes());
+  for (const Tuple& tuple : r.tuples()) {
+    if (!tuple[ia].is_null() && tuple[ia] == tuple[ib]) {
+      MDDC_RETURN_NOT_OK(result.Insert(tuple));
+    }
+  }
+  return result;
+}
+
+Result<Relation> SelectWhere(
+    const Relation& r,
+    const std::function<Result<bool>(const Relation&, const Tuple&)>& p) {
+  Relation result(r.attributes());
+  for (const Tuple& tuple : r.tuples()) {
+    MDDC_ASSIGN_OR_RETURN(bool keep, p(r, tuple));
+    if (keep) MDDC_RETURN_NOT_OK(result.Insert(tuple));
+  }
+  return result;
+}
+
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& attributes) {
+  std::vector<std::size_t> indexes;
+  for (const std::string& name : attributes) {
+    MDDC_ASSIGN_OR_RETURN(std::size_t index, r.AttributeIndex(name));
+    indexes.push_back(index);
+  }
+  Relation result(attributes);
+  for (const Tuple& tuple : r.tuples()) {
+    Tuple projected;
+    projected.reserve(indexes.size());
+    for (std::size_t index : indexes) projected.push_back(tuple[index]);
+    MDDC_RETURN_NOT_OK(result.Insert(std::move(projected)));
+  }
+  return result;
+}
+
+Result<Relation> RenameAttributes(const Relation& r,
+                                  const std::vector<std::string>& names) {
+  if (names.size() != r.arity()) {
+    return Status::InvalidArgument(
+        StrCat("rename got ", names.size(), " names for arity ", r.arity()));
+  }
+  Relation result(names);
+  for (const Tuple& tuple : r.tuples()) {
+    MDDC_RETURN_NOT_OK(result.Insert(tuple));
+  }
+  return result;
+}
+
+Result<Relation> Union(const Relation& r, const Relation& s) {
+  MDDC_RETURN_NOT_OK(RequireUnionCompatible(r, s, "union"));
+  Relation result = r;
+  for (const Tuple& tuple : s.tuples()) {
+    MDDC_RETURN_NOT_OK(result.Insert(tuple));
+  }
+  return result;
+}
+
+Result<Relation> Difference(const Relation& r, const Relation& s) {
+  MDDC_RETURN_NOT_OK(RequireUnionCompatible(r, s, "difference"));
+  Relation result(r.attributes());
+  for (const Tuple& tuple : r.tuples()) {
+    if (!s.Contains(tuple)) MDDC_RETURN_NOT_OK(result.Insert(tuple));
+  }
+  return result;
+}
+
+Result<Relation> Product(const Relation& r, const Relation& s) {
+  std::vector<std::string> attributes = r.attributes();
+  for (const std::string& name : s.attributes()) {
+    if (std::find(attributes.begin(), attributes.end(), name) !=
+        attributes.end()) {
+      return Status::InvalidArgument(
+          StrCat("product operands share attribute '", name,
+                 "'; rename first"));
+    }
+    attributes.push_back(name);
+  }
+  Relation result(std::move(attributes));
+  for (const Tuple& left : r.tuples()) {
+    for (const Tuple& right : s.tuples()) {
+      Tuple combined = left;
+      combined.insert(combined.end(), right.begin(), right.end());
+      MDDC_RETURN_NOT_OK(result.Insert(std::move(combined)));
+    }
+  }
+  return result;
+}
+
+Result<Relation> EquiJoin(
+    const Relation& r, const Relation& s,
+    const std::vector<std::pair<std::string, std::string>>& on) {
+  std::vector<std::pair<std::size_t, std::size_t>> indexes;
+  for (const auto& [left, right] : on) {
+    MDDC_ASSIGN_OR_RETURN(std::size_t li, r.AttributeIndex(left));
+    MDDC_ASSIGN_OR_RETURN(std::size_t ri, s.AttributeIndex(right));
+    indexes.emplace_back(li, ri);
+  }
+  std::vector<std::string> attributes = r.attributes();
+  for (const std::string& name : s.attributes()) {
+    std::string out = name;
+    if (std::find(attributes.begin(), attributes.end(), out) !=
+        attributes.end()) {
+      out += "'";
+    }
+    attributes.push_back(out);
+  }
+  Relation result(std::move(attributes));
+
+  // Hash the right side on its join key.
+  std::map<std::vector<Value>, std::vector<const Tuple*>> index;
+  for (const Tuple& right : s.tuples()) {
+    std::vector<Value> key;
+    key.reserve(indexes.size());
+    for (const auto& [li, ri] : indexes) {
+      (void)li;
+      key.push_back(right[ri]);
+    }
+    index[std::move(key)].push_back(&right);
+  }
+  for (const Tuple& left : r.tuples()) {
+    std::vector<Value> key;
+    key.reserve(indexes.size());
+    for (const auto& [li, ri] : indexes) {
+      (void)ri;
+      key.push_back(left[li]);
+    }
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (const Tuple* right : it->second) {
+      Tuple combined = left;
+      combined.insert(combined.end(), right->begin(), right->end());
+      MDDC_RETURN_NOT_OK(result.Insert(std::move(combined)));
+    }
+  }
+  return result;
+}
+
+Result<Relation> NaturalJoin(const Relation& r, const Relation& s) {
+  std::vector<std::pair<std::string, std::string>> on;
+  for (const std::string& name : r.attributes()) {
+    if (s.AttributeIndex(name).ok()) on.emplace_back(name, name);
+  }
+  if (on.empty()) return Product(r, s);
+  MDDC_ASSIGN_OR_RETURN(Relation joined, EquiJoin(r, s, on));
+  // Drop the duplicated right-side join attributes (renamed with ').
+  std::vector<std::string> keep;
+  for (const std::string& name : joined.attributes()) {
+    if (name.size() > 1 && name.back() == '\'') {
+      std::string base = name.substr(0, name.size() - 1);
+      bool is_join_attribute = false;
+      for (const auto& [left, right] : on) {
+        (void)left;
+        if (right == base) is_join_attribute = true;
+      }
+      if (is_join_attribute) continue;
+    }
+    keep.push_back(name);
+  }
+  return Project(joined, keep);
+}
+
+Result<Relation> Aggregate(const Relation& r,
+                           const std::vector<std::string>& group_by,
+                           const std::vector<AggregateTerm>& terms) {
+  std::vector<std::size_t> group_indexes;
+  for (const std::string& name : group_by) {
+    MDDC_ASSIGN_OR_RETURN(std::size_t index, r.AttributeIndex(name));
+    group_indexes.push_back(index);
+  }
+  std::vector<std::size_t> term_indexes;
+  for (const AggregateTerm& term : terms) {
+    if (term.func == AggregateTerm::Func::kCountStar) {
+      term_indexes.push_back(0);
+      continue;
+    }
+    MDDC_ASSIGN_OR_RETURN(std::size_t index,
+                          r.AttributeIndex(term.attribute));
+    term_indexes.push_back(index);
+  }
+
+  std::map<std::vector<Value>, std::vector<const Tuple*>> groups;
+  for (const Tuple& tuple : r.tuples()) {
+    std::vector<Value> key;
+    key.reserve(group_indexes.size());
+    for (std::size_t index : group_indexes) key.push_back(tuple[index]);
+    groups[std::move(key)].push_back(&tuple);
+  }
+
+  std::vector<std::string> attributes = group_by;
+  for (const AggregateTerm& term : terms) {
+    attributes.push_back(term.result_name);
+  }
+  Relation result(std::move(attributes));
+
+  for (const auto& [key, members] : groups) {
+    Tuple out = key;
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      const AggregateTerm& term = terms[t];
+      const std::size_t index = term_indexes[t];
+      switch (term.func) {
+        case AggregateTerm::Func::kCountStar:
+          out.push_back(Value(static_cast<std::int64_t>(members.size())));
+          break;
+        case AggregateTerm::Func::kCount: {
+          std::int64_t count = 0;
+          for (const Tuple* tuple : members) {
+            if (!(*tuple)[index].is_null()) ++count;
+          }
+          out.push_back(Value(count));
+          break;
+        }
+        case AggregateTerm::Func::kCountDistinct: {
+          std::set<Value> distinct;
+          for (const Tuple* tuple : members) {
+            if (!(*tuple)[index].is_null()) distinct.insert((*tuple)[index]);
+          }
+          out.push_back(Value(static_cast<std::int64_t>(distinct.size())));
+          break;
+        }
+        case AggregateTerm::Func::kSum:
+        case AggregateTerm::Func::kAvg: {
+          double sum = 0.0;
+          std::int64_t count = 0;
+          for (const Tuple* tuple : members) {
+            if ((*tuple)[index].is_null()) continue;
+            MDDC_ASSIGN_OR_RETURN(double value, (*tuple)[index].AsDouble());
+            sum += value;
+            ++count;
+          }
+          if (term.func == AggregateTerm::Func::kSum) {
+            out.push_back(Value(sum));
+          } else {
+            out.push_back(count == 0 ? Value::Null() : Value(sum / count));
+          }
+          break;
+        }
+        case AggregateTerm::Func::kMin:
+        case AggregateTerm::Func::kMax: {
+          bool first = true;
+          Value best;
+          for (const Tuple* tuple : members) {
+            const Value& value = (*tuple)[index];
+            if (value.is_null()) continue;
+            if (first || (term.func == AggregateTerm::Func::kMin
+                              ? value < best
+                              : best < value)) {
+              best = value;
+              first = false;
+            }
+          }
+          out.push_back(first ? Value::Null() : best);
+          break;
+        }
+      }
+    }
+    MDDC_RETURN_NOT_OK(result.Insert(std::move(out)));
+  }
+  return result;
+}
+
+}  // namespace relational
+}  // namespace mddc

@@ -1,0 +1,46 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+namespace mddc {
+namespace relational {
+
+Result<std::size_t> Relation::AttributeIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == name) return i;
+  }
+  return Status::NotFound(StrCat("relation has no attribute '", name, "'"));
+}
+
+Status Relation::Insert(Tuple tuple) {
+  if (tuple.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", tuple.size(), " does not match relation arity ",
+               attributes_.size()));
+  }
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), tuple);
+  if (it != tuples_.end() && *it == tuple) return Status::OK();
+  tuples_.insert(it, std::move(tuple));
+  return Status::OK();
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), tuple);
+}
+
+std::string Relation::ToString() const {
+  TablePrinter printer(attributes_);
+  for (const Tuple& tuple : tuples_) {
+    std::vector<std::string> row;
+    row.reserve(tuple.size());
+    for (const Value& value : tuple) row.push_back(value.ToString());
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+}  // namespace relational
+}  // namespace mddc

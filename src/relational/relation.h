@@ -1,0 +1,59 @@
+#ifndef MDDC_RELATIONAL_RELATION_H_
+#define MDDC_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace mddc {
+namespace relational {
+
+/// A tuple of attribute values.
+using Tuple = std::vector<Value>;
+
+/// A relation with set semantics: a named header of attribute names and a
+/// duplicate-free, sorted set of tuples. Klug's algebra (and classic
+/// relational theory) is defined over sets; SQL-style bags are emulated
+/// where needed by carrying an explicit count column.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  std::size_t arity() const { return attributes_.size(); }
+
+  /// Index of an attribute by name.
+  Result<std::size_t> AttributeIndex(const std::string& name) const;
+
+  /// Inserts a tuple (set semantics: duplicates are absorbed). The tuple
+  /// must match the arity.
+  Status Insert(Tuple tuple);
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// True iff `tuple` is in the relation.
+  bool Contains(const Tuple& tuple) const;
+
+  /// Same attributes in the same order and the same tuple set.
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.attributes_ == b.attributes_ && a.tuples_ == b.tuples_;
+  }
+
+  /// Renders as an aligned ASCII table.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> attributes_;
+  std::vector<Tuple> tuples_;  // sorted, unique
+};
+
+}  // namespace relational
+}  // namespace mddc
+
+#endif  // MDDC_RELATIONAL_RELATION_H_

@@ -1,0 +1,454 @@
+#include "relational/translation.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "algebra/operators.h"
+#include "common/strings.h"
+
+namespace mddc {
+namespace relational {
+namespace {
+
+ColumnKind KindOf(const Value& value) {
+  if (value.is_null()) return ColumnKind::kNullOnly;
+  if (value.is_int()) return ColumnKind::kInt;
+  if (value.is_double()) return ColumnKind::kDouble;
+  return ColumnKind::kString;
+}
+
+ColumnKind WidenKind(ColumnKind a, ColumnKind b) {
+  if (a == ColumnKind::kNullOnly) return b;
+  if (b == ColumnKind::kNullOnly) return a;
+  if (a == b) return a;
+  if ((a == ColumnKind::kInt && b == ColumnKind::kDouble) ||
+      (a == ColumnKind::kDouble && b == ColumnKind::kInt)) {
+    return ColumnKind::kDouble;
+  }
+  return ColumnKind::kString;
+}
+
+Value DecodeValue(const std::string& text, ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kNullOnly:
+      return Value::Null();
+    case ColumnKind::kInt:
+      return Value(static_cast<std::int64_t>(std::strtoll(text.c_str(),
+                                                          nullptr, 10)));
+    case ColumnKind::kDouble:
+      return Value(std::strtod(text.c_str(), nullptr));
+    case ColumnKind::kString:
+      return Value(text);
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+std::uint64_t EncodingContext::KeyForTuple(const Tuple& tuple) {
+  auto it = tuple_keys_.find(tuple);
+  if (it != tuple_keys_.end()) return it->second;
+  std::uint64_t key = tuple_keys_.size();
+  tuple_keys_.emplace(tuple, key);
+  return key;
+}
+
+std::uint64_t EncodingContext::KeyForValue(const std::string& attribute,
+                                           const std::string& text) {
+  auto key = std::make_pair(attribute, text);
+  auto it = value_keys_.find(key);
+  if (it != value_keys_.end()) return it->second;
+  std::uint64_t id = value_keys_.size();
+  value_keys_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<EncodedRelation> MdFromRelation(const Relation& r,
+                                       std::shared_ptr<FactRegistry> registry,
+                                       TupleInterner& interner,
+                                       const std::string& fact_type) {
+  // Column kinds.
+  std::vector<ColumnKind> kinds(r.arity(), ColumnKind::kNullOnly);
+  for (const Tuple& tuple : r.tuples()) {
+    for (std::size_t c = 0; c < r.arity(); ++c) {
+      kinds[c] = WidenKind(kinds[c], KindOf(tuple[c]));
+    }
+  }
+
+  // One simple dimension per attribute; numeric columns are Sigma-typed
+  // so SUM/AVG apply (symmetric dimensions/measures, requirement 2).
+  std::vector<Dimension> dimensions;
+  for (std::size_t c = 0; c < r.arity(); ++c) {
+    DimensionTypeBuilder builder(r.attributes()[c]);
+    bool numeric =
+        kinds[c] == ColumnKind::kInt || kinds[c] == ColumnKind::kDouble;
+    builder.AddCategory(
+        "Value", numeric ? AggregationType::kSum : AggregationType::kConstant);
+    MDDC_ASSIGN_OR_RETURN(auto type, builder.Build());
+    dimensions.emplace_back(type);
+  }
+  MdObject mo(fact_type, std::move(dimensions), std::move(registry));
+
+  // Values per column, interned through the shared context so the same
+  // attribute value gets the same id across encodings.
+  std::vector<std::map<std::string, ValueId>> value_ids(r.arity());
+  for (std::size_t c = 0; c < r.arity(); ++c) {
+    Dimension& dimension = mo.dimension_mutable(c);
+    CategoryTypeIndex bottom = dimension.type().bottom();
+    Representation& rep = dimension.RepresentationFor(bottom, "Value");
+    for (const Tuple& tuple : r.tuples()) {
+      if (tuple[c].is_null()) continue;
+      std::string text = tuple[c].ToString();
+      if (value_ids[c].count(text) != 0) continue;
+      ValueId id(interner.KeyForValue(r.attributes()[c], text));
+      MDDC_RETURN_NOT_OK(dimension.AddValue(bottom, id));
+      MDDC_RETURN_NOT_OK(rep.Set(id, text));
+      value_ids[c].emplace(std::move(text), id);
+    }
+  }
+
+  // Facts and fact-dimension pairs.
+  for (const Tuple& tuple : r.tuples()) {
+    FactId fact = mo.registry()->Atom(interner.KeyForTuple(tuple));
+    MDDC_RETURN_NOT_OK(mo.AddFact(fact));
+    for (std::size_t c = 0; c < r.arity(); ++c) {
+      ValueId value = tuple[c].is_null()
+                          ? mo.dimension(c).top_value()
+                          : value_ids[c].at(tuple[c].ToString());
+      MDDC_RETURN_NOT_OK(mo.Relate(c, fact, value));
+    }
+  }
+  MDDC_RETURN_NOT_OK(mo.Validate());
+  return EncodedRelation{std::move(mo), std::move(kinds)};
+}
+
+Result<Relation> RelationFromMd(const EncodedRelation& encoded) {
+  const MdObject& mo = encoded.mo;
+  Relation result(
+      [&] {
+        std::vector<std::string> names;
+        for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+          names.push_back(mo.dimension(i).name());
+        }
+        return names;
+      }());
+  for (FactId fact : mo.facts()) {
+    Tuple tuple;
+    for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+      const Dimension& dimension = mo.dimension(i);
+      auto pairs = mo.relation(i).ForFact(fact);
+      if (pairs.empty() || pairs.front()->value == dimension.top_value()) {
+        tuple.push_back(Value::Null());
+        continue;
+      }
+      ValueId value = pairs.front()->value;
+      MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category,
+                            dimension.CategoryOf(value));
+      MDDC_ASSIGN_OR_RETURN(const Representation* rep,
+                            dimension.FindRepresentation(category, "Value"));
+      MDDC_ASSIGN_OR_RETURN(std::string text, rep->Get(value));
+      ColumnKind kind = i < encoded.kinds.size() ? encoded.kinds[i]
+                                                 : ColumnKind::kString;
+      tuple.push_back(DecodeValue(text, kind));
+    }
+    MDDC_RETURN_NOT_OK(result.Insert(std::move(tuple)));
+  }
+  return result;
+}
+
+Result<Relation> SimulateSelect(const Relation& r, const Condition& c) {
+  auto registry = std::make_shared<FactRegistry>();
+  TupleInterner interner;
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation encoded,
+                        MdFromRelation(r, registry, interner));
+  MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                        encoded.mo.FindDimension(c.attribute));
+  ColumnKind kind = encoded.kinds[dim];
+
+  Predicate predicate = Predicate::True();
+  if (kind == ColumnKind::kInt || kind == ColumnKind::kDouble) {
+    MDDC_ASSIGN_OR_RETURN(double bound, c.constant.AsDouble());
+    switch (c.op) {
+      case Condition::Op::kEq:
+        predicate =
+            Predicate::NumericCompare(dim, Predicate::Comparison::kEq, bound);
+        break;
+      case Condition::Op::kNe:
+        predicate =
+            Predicate::NumericCompare(dim, Predicate::Comparison::kEq, bound)
+                .Not()
+                .And(Predicate::HasValueInCategory(
+                    dim, encoded.mo.dimension(dim).type().bottom()));
+        break;
+      case Condition::Op::kLt:
+        predicate = Predicate::NumericCompare(
+            dim, Predicate::Comparison::kLess, bound);
+        break;
+      case Condition::Op::kLe:
+        predicate = Predicate::NumericCompare(
+            dim, Predicate::Comparison::kLessEq, bound);
+        break;
+      case Condition::Op::kGt:
+        predicate = Predicate::NumericCompare(
+            dim, Predicate::Comparison::kGreater, bound);
+        break;
+      case Condition::Op::kGe:
+        predicate = Predicate::NumericCompare(
+            dim, Predicate::Comparison::kGreaterEq, bound);
+        break;
+    }
+  } else {
+    CategoryTypeIndex bottom = encoded.mo.dimension(dim).type().bottom();
+    Predicate equals = Predicate::RepresentationEquals(
+        dim, bottom, "Value", c.constant.ToString());
+    switch (c.op) {
+      case Condition::Op::kEq:
+        predicate = equals;
+        break;
+      case Condition::Op::kNe:
+        predicate =
+            equals.Not().And(Predicate::HasValueInCategory(dim, bottom));
+        break;
+      default:
+        return Status::NotImplemented(
+            "ordered comparison on string attributes");
+    }
+  }
+  MDDC_ASSIGN_OR_RETURN(MdObject selected, Select(encoded.mo, predicate));
+  return RelationFromMd(EncodedRelation{std::move(selected), encoded.kinds});
+}
+
+Result<Relation> SimulateProject(const Relation& r,
+                                 const std::vector<std::string>& attributes) {
+  auto registry = std::make_shared<FactRegistry>();
+  TupleInterner interner;
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation encoded,
+                        MdFromRelation(r, registry, interner));
+  std::vector<std::size_t> dims;
+  std::vector<ColumnKind> kinds;
+  for (const std::string& name : attributes) {
+    MDDC_ASSIGN_OR_RETURN(std::size_t dim, encoded.mo.FindDimension(name));
+    dims.push_back(dim);
+    kinds.push_back(encoded.kinds[dim]);
+  }
+  MDDC_ASSIGN_OR_RETURN(MdObject projected, Project(encoded.mo, dims));
+  // The MD projection keeps all facts ("duplicate values" persist); the
+  // relational projection collapses duplicates. RelationFromMd inserts
+  // into a set, which performs exactly that collapse.
+  return RelationFromMd(EncodedRelation{std::move(projected),
+                                        std::move(kinds)});
+}
+
+Result<Relation> SimulateUnion(const Relation& r, const Relation& s) {
+  auto registry = std::make_shared<FactRegistry>();
+  TupleInterner interner;
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation er,
+                        MdFromRelation(r, registry, interner));
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation es,
+                        MdFromRelation(s, registry, interner));
+  // Column kinds must agree for the schemas to be equivalent.
+  MDDC_ASSIGN_OR_RETURN(MdObject united, Union(er.mo, es.mo));
+  std::vector<ColumnKind> kinds(er.kinds.size());
+  for (std::size_t c = 0; c < kinds.size(); ++c) {
+    kinds[c] = WidenKind(er.kinds[c], es.kinds[c]);
+  }
+  return RelationFromMd(EncodedRelation{std::move(united), std::move(kinds)});
+}
+
+Result<Relation> SimulateDifference(const Relation& r, const Relation& s) {
+  auto registry = std::make_shared<FactRegistry>();
+  TupleInterner interner;
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation er,
+                        MdFromRelation(r, registry, interner));
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation es,
+                        MdFromRelation(s, registry, interner));
+  MDDC_ASSIGN_OR_RETURN(MdObject diff, Difference(er.mo, es.mo));
+  return RelationFromMd(EncodedRelation{std::move(diff), er.kinds});
+}
+
+Result<Relation> SimulateProduct(const Relation& r, const Relation& s) {
+  auto registry = std::make_shared<FactRegistry>();
+  TupleInterner interner;
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation er,
+                        MdFromRelation(r, registry, interner, "Left"));
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation es,
+                        MdFromRelation(s, registry, interner, "Right"));
+  MDDC_ASSIGN_OR_RETURN(MdObject joined,
+                        Join(er.mo, es.mo, JoinPredicate::kTrue));
+  std::vector<ColumnKind> kinds = er.kinds;
+  kinds.insert(kinds.end(), es.kinds.begin(), es.kinds.end());
+  return RelationFromMd(EncodedRelation{std::move(joined), std::move(kinds)});
+}
+
+Result<Relation> SimulateSelectAttrEq(const Relation& r,
+                                      const std::string& a,
+                                      const std::string& b) {
+  auto registry = std::make_shared<FactRegistry>();
+  TupleInterner interner;
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation encoded,
+                        MdFromRelation(r, registry, interner));
+  MDDC_ASSIGN_OR_RETURN(std::size_t dim_a, encoded.mo.FindDimension(a));
+  MDDC_ASSIGN_OR_RETURN(std::size_t dim_b, encoded.mo.FindDimension(b));
+  MDDC_ASSIGN_OR_RETURN(
+      MdObject selected,
+      Select(encoded.mo, Predicate::SameRepresentedValue(dim_a, dim_b)));
+  return RelationFromMd(EncodedRelation{std::move(selected), encoded.kinds});
+}
+
+Result<Relation> SimulateEquiJoin(const Relation& r, const Relation& s,
+                                  const std::string& left_attribute,
+                                  const std::string& right_attribute) {
+  auto registry = std::make_shared<FactRegistry>();
+  TupleInterner interner;
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation er,
+                        MdFromRelation(r, registry, interner, "Left"));
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation es,
+                        MdFromRelation(s, registry, interner, "Right"));
+
+  // Disambiguate clashing dimension names the same way the relational
+  // engine does (a trailing apostrophe on the right side).
+  std::vector<std::string> right_names;
+  bool right_key_renamed = false;
+  for (std::size_t j = 0; j < es.mo.dimension_count(); ++j) {
+    std::string name = es.mo.dimension(j).name();
+    if (er.mo.FindDimension(name).ok()) {
+      if (name == right_attribute) right_key_renamed = true;
+      name += "'";
+    }
+    right_names.push_back(name);
+  }
+  MDDC_ASSIGN_OR_RETURN(MdObject renamed,
+                        Rename(es.mo, RenameSpec{"", right_names}));
+
+  MDDC_ASSIGN_OR_RETURN(MdObject product,
+                        Join(er.mo, renamed, JoinPredicate::kTrue));
+  MDDC_ASSIGN_OR_RETURN(std::size_t dim_a,
+                        product.FindDimension(left_attribute));
+  std::string right_lookup =
+      right_key_renamed ? right_attribute + "'" : right_attribute;
+  MDDC_ASSIGN_OR_RETURN(std::size_t dim_b,
+                        product.FindDimension(right_lookup));
+  MDDC_ASSIGN_OR_RETURN(
+      MdObject matched,
+      Select(product, Predicate::SameRepresentedValue(dim_a, dim_b)));
+
+  std::vector<ColumnKind> kinds = er.kinds;
+  kinds.insert(kinds.end(), es.kinds.begin(), es.kinds.end());
+  return RelationFromMd(EncodedRelation{std::move(matched),
+                                        std::move(kinds)});
+}
+
+Result<Relation> SimulateAggregate(const Relation& r,
+                                   const std::vector<std::string>& group_by,
+                                   const AggregateTerm& term) {
+  auto registry = std::make_shared<FactRegistry>();
+  TupleInterner interner;
+  MDDC_ASSIGN_OR_RETURN(EncodedRelation encoded,
+                        MdFromRelation(r, registry, interner));
+  const MdObject& mo = encoded.mo;
+
+  AggregateSpec spec{AggFunction::SetCount(), {},
+                     ResultDimensionSpec::Auto(term.result_name), kNowChronon,
+                     false};
+  switch (term.func) {
+    case AggregateTerm::Func::kCountStar:
+      spec.function = AggFunction::SetCount();
+      break;
+    case AggregateTerm::Func::kSum: {
+      MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                            mo.FindDimension(term.attribute));
+      spec.function = AggFunction::Sum(dim);
+      break;
+    }
+    case AggregateTerm::Func::kAvg: {
+      MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                            mo.FindDimension(term.attribute));
+      spec.function = AggFunction::Avg(dim);
+      break;
+    }
+    case AggregateTerm::Func::kMin: {
+      MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                            mo.FindDimension(term.attribute));
+      spec.function = AggFunction::Min(dim);
+      break;
+    }
+    case AggregateTerm::Func::kMax: {
+      MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                            mo.FindDimension(term.attribute));
+      spec.function = AggFunction::Max(dim);
+      break;
+    }
+    case AggregateTerm::Func::kCount: {
+      MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                            mo.FindDimension(term.attribute));
+      spec.function = AggFunction::Count(dim);
+      break;
+    }
+    case AggregateTerm::Func::kCountDistinct:
+      return Status::NotImplemented(
+          "COUNT(DISTINCT) simulation; use a projection first");
+  }
+
+  std::vector<std::size_t> group_dims;
+  spec.grouping.assign(mo.dimension_count(), 0);
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    spec.grouping[i] = mo.dimension(i).type().top();
+  }
+  for (const std::string& name : group_by) {
+    MDDC_ASSIGN_OR_RETURN(std::size_t dim, mo.FindDimension(name));
+    spec.grouping[dim] = mo.dimension(dim).type().bottom();
+    group_dims.push_back(dim);
+  }
+  MDDC_ASSIGN_OR_RETURN(MdObject aggregated, AggregateFormation(mo, spec));
+
+  // Decode: one row per group (grouping values + aggregate result).
+  std::vector<std::string> attributes = group_by;
+  attributes.push_back(term.result_name);
+  Relation result(std::move(attributes));
+  const std::size_t result_dim = aggregated.dimension_count() - 1;
+  for (FactId group : aggregated.facts()) {
+    Tuple row;
+    for (std::size_t g = 0; g < group_dims.size(); ++g) {
+      std::size_t dim = group_dims[g];
+      auto pairs = aggregated.relation(dim).ForFact(group);
+      if (pairs.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      const Dimension& dimension = aggregated.dimension(dim);
+      ValueId value = pairs.front()->value;
+      if (value == dimension.top_value()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category,
+                            dimension.CategoryOf(value));
+      MDDC_ASSIGN_OR_RETURN(const Representation* rep,
+                            dimension.FindRepresentation(category, "Value"));
+      MDDC_ASSIGN_OR_RETURN(std::string text, rep->Get(value));
+      row.push_back(DecodeValue(text, encoded.kinds[dim]));
+    }
+    auto pairs = aggregated.relation(result_dim).ForFact(group);
+    if (pairs.empty()) {
+      row.push_back(Value::Null());
+    } else {
+      MDDC_ASSIGN_OR_RETURN(
+          double value,
+          aggregated.dimension(result_dim).NumericValueOf(
+              pairs.front()->value));
+      // COUNT-style results decode as integers to match the relational
+      // engine's output type.
+      if (term.func == AggregateTerm::Func::kCountStar ||
+          term.func == AggregateTerm::Func::kCount) {
+        row.push_back(Value(static_cast<std::int64_t>(value)));
+      } else {
+        row.push_back(Value(value));
+      }
+    }
+    MDDC_RETURN_NOT_OK(result.Insert(std::move(row)));
+  }
+  return result;
+}
+
+}  // namespace relational
+}  // namespace mddc

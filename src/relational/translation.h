@@ -1,0 +1,101 @@
+#ifndef MDDC_RELATIONAL_TRANSLATION_H_
+#define MDDC_RELATIONAL_TRANSLATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/md_object.h"
+#include "relational/algebra.h"
+#include "relational/relation.h"
+
+namespace mddc {
+namespace relational {
+
+/// Constructive demonstration of Theorem 2 ("the algebra is at least as
+/// powerful as Klug's relational algebra with aggregation"): relations
+/// are encoded as MOs — one fact per tuple, one simple dimension per
+/// attribute — and each relational operator is simulated by the
+/// multidimensional algebra, decoding back to a relation. The
+/// relational_equivalence tests check simulate(op)(r) == op(r) on many
+/// instances.
+
+/// Shared identity interner: relations encoded with the same context (and
+/// registry) map equal tuples to the same fact and equal attribute values
+/// to the same dimension value id. Both are what make simulated
+/// union/difference/join value-correct — the paper's surrogates are
+/// globally unique, so one real-world value must have one id.
+class EncodingContext {
+ public:
+  /// Fact identity of a tuple.
+  std::uint64_t KeyForTuple(const Tuple& tuple);
+
+  /// Dimension-value identity of an attribute value (by attribute name
+  /// and rendered text).
+  std::uint64_t KeyForValue(const std::string& attribute,
+                            const std::string& text);
+
+ private:
+  std::map<Tuple, std::uint64_t> tuple_keys_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> value_keys_;
+};
+
+/// Backwards-compatible alias.
+using TupleInterner = EncodingContext;
+
+/// The kind of values an attribute column held, needed to decode
+/// representation strings back into typed values.
+enum class ColumnKind { kNullOnly, kInt, kDouble, kString };
+
+/// A relation encoded as a multidimensional object.
+struct EncodedRelation {
+  MdObject mo;
+  std::vector<ColumnKind> kinds;
+};
+
+/// Encodes `r`: each attribute becomes a dimension whose bottom category
+/// carries the attribute's values (with a "Value" representation); each
+/// tuple becomes a fact related to its attribute values (nulls map to the
+/// top value, the paper's convention for unknown characterizations).
+Result<EncodedRelation> MdFromRelation(const Relation& r,
+                                       std::shared_ptr<FactRegistry> registry,
+                                       TupleInterner& interner,
+                                       const std::string& fact_type = "Tuple");
+
+/// Decodes an encoded MO back to a relation (one row per fact).
+Result<Relation> RelationFromMd(const EncodedRelation& encoded);
+
+/// Simulations of the relational operators through the multidimensional
+/// algebra. Each encodes, applies MD operators only, and decodes.
+Result<Relation> SimulateSelect(const Relation& r, const Condition& c);
+Result<Relation> SimulateProject(const Relation& r,
+                                 const std::vector<std::string>& attributes);
+Result<Relation> SimulateUnion(const Relation& r, const Relation& s);
+Result<Relation> SimulateDifference(const Relation& r, const Relation& s);
+Result<Relation> SimulateProduct(const Relation& r, const Relation& s);
+
+/// Simulates gamma[group_by; term] with a single aggregate term via
+/// aggregate formation.
+Result<Relation> SimulateAggregate(const Relation& r,
+                                   const std::vector<std::string>& group_by,
+                                   const AggregateTerm& term);
+
+/// Simulates sigma[a = b](r) (attribute-to-attribute selection) through
+/// the MD algebra's SameRepresentedValue predicate.
+Result<Relation> SimulateSelectAttrEq(const Relation& r,
+                                      const std::string& a,
+                                      const std::string& b);
+
+/// Simulates the equi-join r |x|_{a=b} s: Cartesian identity-join in the
+/// MD algebra followed by a SameRepresentedValue selection, decoded back
+/// to the product schema restricted to matching rows.
+Result<Relation> SimulateEquiJoin(const Relation& r, const Relation& s,
+                                  const std::string& left_attribute,
+                                  const std::string& right_attribute);
+
+}  // namespace relational
+}  // namespace mddc
+
+#endif  // MDDC_RELATIONAL_TRANSLATION_H_

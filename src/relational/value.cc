@@ -1,0 +1,60 @@
+#include "relational/value.h"
+
+#include "common/strings.h"
+
+namespace mddc {
+namespace relational {
+
+Result<std::int64_t> Value::AsInt() const {
+  if (is_int()) return std::get<std::int64_t>(data_);
+  if (is_double()) {
+    return static_cast<std::int64_t>(std::get<double>(data_));
+  }
+  return Status::InvalidArgument(
+      StrCat("value ", ToString(), " is not an integer"));
+}
+
+Result<double> Value::AsDouble() const {
+  if (is_double()) return std::get<double>(data_);
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+  return Status::InvalidArgument(
+      StrCat("value ", ToString(), " is not numeric"));
+}
+
+Result<std::string> Value::AsString() const {
+  if (is_string()) return std::get<std::string>(data_);
+  return Status::InvalidArgument(
+      StrCat("value ", ToString(), " is not a string"));
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(std::get<std::int64_t>(data_));
+  if (is_double()) return FormatDouble(std::get<double>(data_));
+  return std::get<std::string>(data_);
+}
+
+int Value::TypeRank() const {
+  if (is_null()) return 0;
+  if (is_int() || is_double()) return 1;
+  return 2;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.TypeRank() != b.TypeRank()) return a.TypeRank() < b.TypeRank();
+  if (a.is_null()) return false;  // nulls are equal
+  if (a.TypeRank() == 1) {
+    return *a.AsDouble() < *b.AsDouble();
+  }
+  return std::get<std::string>(a.data_) < std::get<std::string>(b.data_);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.TypeRank() != b.TypeRank()) return false;
+  if (a.is_null()) return true;
+  if (a.TypeRank() == 1) return *a.AsDouble() == *b.AsDouble();
+  return std::get<std::string>(a.data_) == std::get<std::string>(b.data_);
+}
+
+}  // namespace relational
+}  // namespace mddc

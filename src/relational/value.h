@@ -1,0 +1,57 @@
+#ifndef MDDC_RELATIONAL_VALUE_H_
+#define MDDC_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace mddc {
+namespace relational {
+
+/// A relational attribute value: null, integer, double or string. The
+/// relational substrate implements Klug's relational algebra with
+/// aggregation [Klug 1982], the yardstick of the paper's Theorem 2, and
+/// doubles as the storage model of the Kimball star-schema baseline.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(std::int64_t value) : data_(value) {}
+  explicit Value(double value) : data_(value) {}
+  explicit Value(std::string value) : data_(std::move(value)) {}
+  static Value Null() { return Value(); }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(data_);
+  }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(data_);
+  }
+
+  Result<std::int64_t> AsInt() const;
+  /// Numeric view: ints widen to double.
+  Result<double> AsDouble() const;
+  Result<std::string> AsString() const;
+
+  /// Rendering for table output ("NULL", "42", "3.5", "text").
+  std::string ToString() const;
+
+  /// Total order: null < numbers (by value, int/double unified) <
+  /// strings.
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  int TypeRank() const;
+
+  std::variant<std::monostate, std::int64_t, double, std::string> data_;
+};
+
+}  // namespace relational
+}  // namespace mddc
+
+#endif  // MDDC_RELATIONAL_VALUE_H_

@@ -1,0 +1,101 @@
+#include "temporal/bitemporal.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mddc {
+
+BitemporalElement::BitemporalElement(const Interval& tt, TemporalElement vt) {
+  Add(tt, vt);
+}
+
+BitemporalElement BitemporalElement::CurrentFrom(Chronon tt_begin,
+                                                 TemporalElement vt) {
+  return BitemporalElement(Interval(tt_begin, kNowChronon), std::move(vt));
+}
+
+bool BitemporalElement::Empty() const { return rectangles_.empty(); }
+
+void BitemporalElement::Add(const Interval& tt, const TemporalElement& vt) {
+  if (vt.Empty()) return;
+  rectangles_.push_back(Rectangle{tt, vt});
+  Normalize();
+}
+
+TemporalElement BitemporalElement::TransactionTimeslice(Chronon t) const {
+  TemporalElement result;
+  for (const Rectangle& r : rectangles_) {
+    // A rectangle whose tt ends at NOW is current for every t at or after
+    // its begin.
+    Chronon end = r.tt.end() == kNowChronon ? kForeverChronon : r.tt.end();
+    if (r.tt.begin() <= t && t <= end) result = result.Union(r.vt);
+  }
+  return result;
+}
+
+TemporalElement BitemporalElement::ValidTimeslice(Chronon v) const {
+  TemporalElement result;
+  for (const Rectangle& r : rectangles_) {
+    if (r.vt.Contains(v)) result = result.Union(TemporalElement(r.tt));
+  }
+  return result;
+}
+
+BitemporalElement BitemporalElement::Union(
+    const BitemporalElement& other) const {
+  BitemporalElement result = *this;
+  for (const Rectangle& r : other.rectangles_) result.Add(r.tt, r.vt);
+  return result;
+}
+
+BitemporalElement BitemporalElement::Intersect(
+    const BitemporalElement& other) const {
+  BitemporalElement result;
+  for (const Rectangle& a : rectangles_) {
+    for (const Rectangle& b : other.rectangles_) {
+      Chronon lo = std::max(a.tt.begin(), b.tt.begin());
+      Chronon hi = std::min(a.tt.end(), b.tt.end());
+      if (lo > hi) continue;
+      TemporalElement vt = a.vt.Intersect(b.vt);
+      if (!vt.Empty()) result.Add(Interval(lo, hi), vt);
+    }
+  }
+  return result;
+}
+
+std::string BitemporalElement::ToString() const {
+  if (rectangles_.empty()) return "{}";
+  std::vector<std::string> parts;
+  parts.reserve(rectangles_.size());
+  for (const Rectangle& r : rectangles_) {
+    parts.push_back(StrCat("tt=", r.tt.ToString(), " vt=", r.vt.ToString()));
+  }
+  return Join(parts, "; ");
+}
+
+void BitemporalElement::Normalize() {
+  // Merge rectangles with identical valid time and meeting transaction
+  // intervals; drop empties. Full 2-d coalescing is not required for
+  // correctness of the timeslice operators.
+  std::sort(rectangles_.begin(), rectangles_.end(),
+            [](const Rectangle& a, const Rectangle& b) {
+              if (!(a.tt == b.tt)) return a.tt < b.tt;
+              return a.vt.ToString() < b.vt.ToString();
+            });
+  std::vector<Rectangle> merged;
+  for (Rectangle& r : rectangles_) {
+    if (r.vt.Empty()) continue;
+    if (!merged.empty() && merged.back().vt == r.vt &&
+        merged.back().tt.Meets(r.tt)) {
+      Interval& last = merged.back().tt;
+      last = Interval(std::min(last.begin(), r.tt.begin()),
+                      std::max(last.end(), r.tt.end()));
+    } else {
+      merged.push_back(std::move(r));
+    }
+  }
+  rectangles_ = std::move(merged);
+}
+
+}  // namespace mddc

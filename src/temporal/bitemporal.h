@@ -1,0 +1,82 @@
+#ifndef MDDC_TEMPORAL_BITEMPORAL_H_
+#define MDDC_TEMPORAL_BITEMPORAL_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "temporal/temporal_element.h"
+
+namespace mddc {
+
+/// A set of bitemporal chronons Tt x Tv (paper Section 3.2: "We use
+/// Tt x Tv to denote sets of bitemporal chronons"). Represented as a list
+/// of rectangles (transaction-time interval x valid-time element). The
+/// transaction-timeslice operator projects a rectangle set to the valid
+/// time current at a given transaction time; the valid-timeslice operator
+/// projects to the transaction times during which a given valid chronon
+/// was recorded.
+class BitemporalElement {
+ public:
+  /// One maximal rectangle: during transaction time `tt`, the recorded
+  /// valid time was `vt`.
+  struct Rectangle {
+    Interval tt;
+    TemporalElement vt;
+
+    friend bool operator==(const Rectangle& a, const Rectangle& b) {
+      return a.tt == b.tt && a.vt == b.vt;
+    }
+  };
+
+  BitemporalElement() = default;
+
+  /// Data recorded during `tt` with valid time `vt`.
+  BitemporalElement(const Interval& tt, TemporalElement vt);
+
+  /// Data inserted at transaction time `tt_begin`, never logically
+  /// deleted (tt runs to NOW), with valid time `vt`.
+  static BitemporalElement CurrentFrom(Chronon tt_begin, TemporalElement vt);
+
+  bool Empty() const;
+  const std::vector<Rectangle>& rectangles() const { return rectangles_; }
+
+  /// Appends a rectangle (no cross-rectangle coalescing is attempted
+  /// beyond dropping empty parts; rectangles with equal vt and adjacent tt
+  /// are merged).
+  void Add(const Interval& tt, const TemporalElement& vt);
+
+  /// The valid-time element recorded as current at transaction time `t`
+  /// (the rho_t operator of Section 4.2 applied to this element).
+  TemporalElement TransactionTimeslice(Chronon t) const;
+
+  /// The transaction times during which the valid chronon `v` was part of
+  /// the recorded valid time.
+  TemporalElement ValidTimeslice(Chronon v) const;
+
+  /// Bitemporal union: chronon-set union in the Tt x Tv plane.
+  BitemporalElement Union(const BitemporalElement& other) const;
+
+  /// Bitemporal intersection in the Tt x Tv plane.
+  BitemporalElement Intersect(const BitemporalElement& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const BitemporalElement& a,
+                         const BitemporalElement& b) {
+    return a.rectangles_ == b.rectangles_;
+  }
+  friend std::ostream& operator<<(std::ostream& os,
+                                  const BitemporalElement& element) {
+    return os << element.ToString();
+  }
+
+ private:
+  void Normalize();
+
+  std::vector<Rectangle> rectangles_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_TEMPORAL_BITEMPORAL_H_

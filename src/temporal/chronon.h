@@ -1,0 +1,39 @@
+#ifndef MDDC_TEMPORAL_CHRONON_H_
+#define MDDC_TEMPORAL_CHRONON_H_
+
+#include <cstdint>
+
+namespace mddc {
+
+/// A chronon is the finest granule of the time domain (paper Section 3.2:
+/// "a time domain that is discrete and bounded, i.e., isomorphic with a
+/// bounded subset of the natural numbers"). In this implementation a
+/// chronon is a day number (see common/date.h), matching the case study's
+/// Day chronon size, but nothing in the temporal algebra depends on the
+/// granule's meaning.
+using Chronon = std::int64_t;
+
+/// Lower bound of the (bounded) time domain.
+inline constexpr Chronon kMinChronon = -(std::int64_t{1} << 62);
+
+/// Upper bound of the time domain; an interval ending here means "valid
+/// forever" (used for data with no valid time attached, which the paper
+/// defines to be *always* valid).
+inline constexpr Chronon kForeverChronon = std::int64_t{1} << 62;
+
+/// The special, continuously growing value NOW (Clifford et al., cited by
+/// the paper). It is a sentinel strictly below kForeverChronon and above
+/// every concrete chronon; TemporalElement::Bind replaces it with the
+/// reference time of a query. The chronon immediately preceding
+/// kForeverChronon is reserved for this purpose and must not be used as a
+/// concrete time.
+inline constexpr Chronon kNowChronon = kForeverChronon - 1;
+
+/// True for chronons representing concrete time points (not sentinels).
+constexpr bool IsConcreteChronon(Chronon c) {
+  return c > kMinChronon && c < kNowChronon;
+}
+
+}  // namespace mddc
+
+#endif  // MDDC_TEMPORAL_CHRONON_H_

@@ -1,0 +1,67 @@
+#include "temporal/interval.h"
+
+#include <algorithm>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace mddc {
+namespace {
+
+Result<Chronon> ParseEndpoint(const std::string& token) {
+  if (token == "NOW") return kNowChronon;
+  if (token == "FOREVER") return kForeverChronon;
+  if (token == "BEGINNING") return kMinChronon;
+  MDDC_ASSIGN_OR_RETURN(std::int64_t day, ParseDate(token));
+  return static_cast<Chronon>(day);
+}
+
+std::string FormatEndpoint(Chronon c) {
+  if (c == kNowChronon) return "NOW";
+  if (c >= kForeverChronon) return "FOREVER";
+  if (c <= kMinChronon) return "BEGINNING";
+  return FormatDate(c);
+}
+
+}  // namespace
+
+Result<Interval> Interval::Make(Chronon begin, Chronon end) {
+  if (begin > end) {
+    return Status::InvalidArgument(
+        StrCat("interval begin ", begin, " exceeds end ", end));
+  }
+  return Interval(begin, end);
+}
+
+Result<Interval> Interval::Parse(const std::string& text) {
+  std::string body = text;
+  if (body.size() >= 2 && body.front() == '[' && body.back() == ']') {
+    body = body.substr(1, body.size() - 2);
+  }
+  // Endpoints contain '/' but not '-', so splitting on '-' is unambiguous.
+  std::vector<std::string> parts = Split(body, '-');
+  if (parts.size() == 1) {
+    MDDC_ASSIGN_OR_RETURN(Chronon at, ParseEndpoint(parts[0]));
+    return Interval::At(at);
+  }
+  if (parts.size() != 2) {
+    return Status::InvalidArgument(StrCat("cannot parse interval '", text,
+                                          "'; expected begin-end"));
+  }
+  MDDC_ASSIGN_OR_RETURN(Chronon begin, ParseEndpoint(parts[0]));
+  MDDC_ASSIGN_OR_RETURN(Chronon end, ParseEndpoint(parts[1]));
+  return Interval::Make(begin, end);
+}
+
+Interval Interval::Bind(Chronon reference) const {
+  Chronon b = begin_ == kNowChronon ? reference : begin_;
+  Chronon e = end_ == kNowChronon ? reference : end_;
+  return Interval(b, e);
+}
+
+std::string Interval::ToString() const {
+  if (begin_ == end_) return StrCat("[", FormatEndpoint(begin_), "]");
+  return StrCat("[", FormatEndpoint(begin_), "-", FormatEndpoint(end_), "]");
+}
+
+}  // namespace mddc

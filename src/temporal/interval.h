@@ -1,0 +1,79 @@
+#ifndef MDDC_TEMPORAL_INTERVAL_H_
+#define MDDC_TEMPORAL_INTERVAL_H_
+
+#include <ostream>
+#include <string>
+
+#include "common/result.h"
+#include "temporal/chronon.h"
+
+namespace mddc {
+
+/// A closed, non-empty interval of chronons [begin, end]. The end may be
+/// kNowChronon (the growing NOW value of the case study's ValidTo column)
+/// or kForeverChronon ("always valid"). Intervals are the building blocks
+/// of TemporalElement; most code should use that type.
+class Interval {
+ public:
+  /// Constructs [begin, end]; begin must be <= end (checked by Make).
+  Interval(Chronon begin, Chronon end) : begin_(begin), end_(end) {}
+
+  /// Validating factory; fails when begin > end.
+  static Result<Interval> Make(Chronon begin, Chronon end);
+
+  /// The single-chronon interval [c, c].
+  static Interval At(Chronon c) { return Interval(c, c); }
+
+  /// The whole time domain (the valid time of untimestamped data).
+  static Interval Always() {
+    return Interval(kMinChronon, kForeverChronon);
+  }
+
+  /// Parses the paper's notation, e.g. "01/01/80-NOW", "23/03/75-24/12/75".
+  /// A single date "01/01/80" yields a one-chronon interval. "-" separates
+  /// endpoints; each endpoint is dd/mm/yy, dd/mm/yyyy, "NOW" or "FOREVER".
+  static Result<Interval> Parse(const std::string& text);
+
+  Chronon begin() const { return begin_; }
+  Chronon end() const { return end_; }
+
+  bool Contains(Chronon c) const { return begin_ <= c && c <= end_; }
+  bool Overlaps(const Interval& other) const {
+    return begin_ <= other.end_ && other.begin_ <= end_;
+  }
+  /// True when this interval and `other` overlap or touch, i.e., their
+  /// union is itself an interval (used for coalescing).
+  bool Meets(const Interval& other) const {
+    return begin_ <= other.end_ + 1 && other.begin_ <= end_ + 1;
+  }
+
+  /// Number of chronons in the interval.
+  std::int64_t Length() const { return end_ - begin_ + 1; }
+
+  /// Replaces a NOW endpoint with the reference chronon. If the interval
+  /// becomes empty (begin > reference), returns an empty optional encoded
+  /// as begin > end — callers must check IsEmptyAfterBind or use
+  /// TemporalElement::Bind which drops such intervals.
+  Interval Bind(Chronon reference) const;
+
+  /// Formats using the paper's notation ("[01/01/1989-NOW]").
+  std::string ToString() const;
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.begin_ == b.begin_ && a.end_ == b.end_;
+  }
+  friend bool operator<(const Interval& a, const Interval& b) {
+    return a.begin_ != b.begin_ ? a.begin_ < b.begin_ : a.end_ < b.end_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Interval& i) {
+    return os << i.ToString();
+  }
+
+ private:
+  Chronon begin_;
+  Chronon end_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_TEMPORAL_INTERVAL_H_

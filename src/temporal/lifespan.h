@@ -1,0 +1,59 @@
+#ifndef MDDC_TEMPORAL_LIFESPAN_H_
+#define MDDC_TEMPORAL_LIFESPAN_H_
+
+#include <string>
+
+#include "common/strings.h"
+#include "temporal/temporal_element.h"
+
+namespace mddc {
+
+/// The combined temporal attachment of a piece of model data: a valid-time
+/// element and a transaction-time element. The paper treats the two as
+/// orthogonal (Section 3.2); data in a snapshot MO simply carries
+/// Always/Always. Keeping both components on every attachment lets one
+/// MdObject be snapshot, valid-time, transaction-time, or bitemporal
+/// without changing representation.
+struct Lifespan {
+  TemporalElement valid = TemporalElement::Always();
+  TemporalElement transaction = TemporalElement::Always();
+
+  /// Attachment of nontemporal data ("always valid").
+  static Lifespan AlwaysSpan() { return Lifespan{}; }
+
+  /// Valid-time-only attachment.
+  static Lifespan ValidDuring(TemporalElement vt) {
+    return Lifespan{std::move(vt), TemporalElement::Always()};
+  }
+
+  /// Transaction-time-only attachment.
+  static Lifespan RecordedDuring(TemporalElement tt) {
+    return Lifespan{TemporalElement::Always(), std::move(tt)};
+  }
+
+  bool Empty() const { return valid.Empty() || transaction.Empty(); }
+
+  Lifespan Intersect(const Lifespan& other) const {
+    return Lifespan{valid.Intersect(other.valid),
+                    transaction.Intersect(other.transaction)};
+  }
+
+  /// Component-wise union. Exact only when the operands agree on one
+  /// component (which is how the Section 4.2 union rules use it).
+  Lifespan Union(const Lifespan& other) const {
+    return Lifespan{valid.Union(other.valid),
+                    transaction.Union(other.transaction)};
+  }
+
+  std::string ToString() const {
+    return StrCat("vt=", valid.ToString(), " tt=", transaction.ToString());
+  }
+
+  friend bool operator==(const Lifespan& a, const Lifespan& b) {
+    return a.valid == b.valid && a.transaction == b.transaction;
+  }
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_TEMPORAL_LIFESPAN_H_

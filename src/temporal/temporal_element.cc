@@ -1,0 +1,151 @@
+#include "temporal/temporal_element.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mddc {
+
+TemporalElement::TemporalElement(std::initializer_list<Interval> intervals)
+    : intervals_(intervals) {
+  Coalesce();
+}
+
+Result<TemporalElement> TemporalElement::Parse(const std::string& text) {
+  TemporalElement element;
+  if (text.empty() || text == "{}") return element;
+  // Split on commas that separate bracketed intervals.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    std::string token = text.substr(start, end - start);
+    MDDC_ASSIGN_OR_RETURN(Interval interval, Interval::Parse(token));
+    element.Add(interval);
+    start = end + 1;
+  }
+  return element;
+}
+
+std::int64_t TemporalElement::Cardinality() const {
+  std::int64_t total = 0;
+  for (const Interval& i : intervals_) total += i.Length();
+  return total;
+}
+
+bool TemporalElement::Contains(Chronon c) const {
+  // Binary search over sorted disjoint intervals.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), c,
+      [](Chronon value, const Interval& i) { return value < i.begin(); });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->Contains(c);
+}
+
+bool TemporalElement::Covers(const TemporalElement& other) const {
+  return other.Subtract(*this).Empty();
+}
+
+bool TemporalElement::Overlaps(const TemporalElement& other) const {
+  return !Intersect(other).Empty();
+}
+
+TemporalElement TemporalElement::Union(const TemporalElement& other) const {
+  TemporalElement result;
+  result.intervals_ = intervals_;
+  result.intervals_.insert(result.intervals_.end(), other.intervals_.begin(),
+                           other.intervals_.end());
+  result.Coalesce();
+  return result;
+}
+
+TemporalElement TemporalElement::Intersect(
+    const TemporalElement& other) const {
+  TemporalElement result;
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    Chronon lo = std::max(a->begin(), b->begin());
+    Chronon hi = std::min(a->end(), b->end());
+    if (lo <= hi) result.intervals_.emplace_back(lo, hi);
+    if (a->end() < b->end()) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  // Inputs are coalesced and we emit in order, so the result is coalesced
+  // except possibly for adjacency introduced by distinct input intervals;
+  // normalize to be safe.
+  result.Coalesce();
+  return result;
+}
+
+TemporalElement TemporalElement::Subtract(const TemporalElement& other) const {
+  TemporalElement result;
+  auto b = other.intervals_.begin();
+  for (const Interval& interval : intervals_) {
+    Chronon cursor = interval.begin();
+    while (b != other.intervals_.end() && b->end() < cursor) ++b;
+    auto cut = b;
+    while (cursor <= interval.end()) {
+      if (cut == other.intervals_.end() || cut->begin() > interval.end()) {
+        result.intervals_.emplace_back(cursor, interval.end());
+        break;
+      }
+      if (cut->begin() > cursor) {
+        result.intervals_.emplace_back(cursor, cut->begin() - 1);
+      }
+      cursor = cut->end() + 1;
+      ++cut;
+    }
+  }
+  result.Coalesce();
+  return result;
+}
+
+TemporalElement TemporalElement::Complement() const {
+  return Always().Subtract(*this);
+}
+
+void TemporalElement::Add(const Interval& interval) {
+  intervals_.push_back(interval);
+  Coalesce();
+}
+
+TemporalElement TemporalElement::Bind(Chronon reference) const {
+  TemporalElement result;
+  for (const Interval& interval : intervals_) {
+    Interval bound = interval.Bind(reference);
+    if (bound.begin() <= bound.end()) result.intervals_.push_back(bound);
+  }
+  result.Coalesce();
+  return result;
+}
+
+std::string TemporalElement::ToString() const {
+  if (intervals_.empty()) return "{}";
+  if (*this == Always()) return "[ALWAYS]";
+  std::vector<std::string> parts;
+  parts.reserve(intervals_.size());
+  for (const Interval& i : intervals_) parts.push_back(i.ToString());
+  return Join(parts, ",");
+}
+
+void TemporalElement::Coalesce() {
+  if (intervals_.size() <= 1) return;
+  std::sort(intervals_.begin(), intervals_.end());
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size());
+  for (const Interval& interval : intervals_) {
+    if (!merged.empty() && merged.back().Meets(interval)) {
+      Interval& last = merged.back();
+      last = Interval(last.begin(), std::max(last.end(), interval.end()));
+    } else {
+      merged.push_back(interval);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+}  // namespace mddc

@@ -1,0 +1,102 @@
+#ifndef MDDC_TEMPORAL_TEMPORAL_ELEMENT_H_
+#define MDDC_TEMPORAL_TEMPORAL_ELEMENT_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "temporal/interval.h"
+
+namespace mddc {
+
+/// A finite set of chronons represented as a *coalesced* list of disjoint,
+/// non-adjacent, sorted intervals. This is the `Tv`/`Tt` of the paper
+/// (Section 3.2): "The set of chronons that is attached to a piece of data
+/// is the *maximal* set of chronons when the data is valid, so the data is
+/// always 'coalesced'". The class maintains that invariant on every
+/// operation, so value-equivalent data cannot arise.
+class TemporalElement {
+ public:
+  /// The empty set of chronons.
+  TemporalElement() = default;
+
+  /// A single interval.
+  explicit TemporalElement(const Interval& interval) {
+    intervals_.push_back(interval);
+  }
+
+  /// Coalesces an arbitrary list of intervals.
+  TemporalElement(std::initializer_list<Interval> intervals);
+
+  /// The whole time domain; the valid time the paper assigns to data with
+  /// no explicit valid time ("we assume the data to be always valid").
+  static TemporalElement Always() {
+    return TemporalElement(Interval::Always());
+  }
+
+  /// The empty element.
+  static TemporalElement Never() { return TemporalElement(); }
+
+  /// A single chronon.
+  static TemporalElement At(Chronon c) {
+    return TemporalElement(Interval::At(c));
+  }
+
+  /// Parses a comma-separated list of intervals in the paper's notation,
+  /// e.g. "[01/01/70-31/12/79],[01/01/85-NOW]".
+  static Result<TemporalElement> Parse(const std::string& text);
+
+  bool Empty() const { return intervals_.empty(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Total number of chronons in the element.
+  std::int64_t Cardinality() const;
+
+  bool Contains(Chronon c) const;
+  /// True iff every chronon of `other` is in this element (the paper's
+  /// "data is valid for any subset of its attached time").
+  bool Covers(const TemporalElement& other) const;
+  bool Overlaps(const TemporalElement& other) const;
+
+  /// Set union (used by the temporal union operator rules in Section 4.2).
+  TemporalElement Union(const TemporalElement& other) const;
+  /// Set intersection (used for transitivity of the temporal partial order
+  /// and the temporal aggregate formation rules).
+  TemporalElement Intersect(const TemporalElement& other) const;
+  /// Set difference (used by the temporal difference operator rules).
+  TemporalElement Subtract(const TemporalElement& other) const;
+  /// Complement with respect to the whole time domain.
+  TemporalElement Complement() const;
+
+  /// Adds one interval (coalescing).
+  void Add(const Interval& interval);
+
+  /// Replaces NOW endpoints with `reference` and drops intervals that
+  /// become empty. The result contains only concrete chronons, suitable
+  /// for timeslicing at a given point of time.
+  TemporalElement Bind(Chronon reference) const;
+
+  /// Formats the element, e.g. "[01/01/1970-31/12/1979],[01/01/1985-NOW]";
+  /// the empty element prints as "{}" and Always as "[ALWAYS]".
+  std::string ToString() const;
+
+  friend bool operator==(const TemporalElement& a, const TemporalElement& b) {
+    return a.intervals_ == b.intervals_;
+  }
+  friend std::ostream& operator<<(std::ostream& os,
+                                  const TemporalElement& element) {
+    return os << element.ToString();
+  }
+
+ private:
+  /// Sorts and merges intervals_ into canonical coalesced form.
+  void Coalesce();
+
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_TEMPORAL_TEMPORAL_ELEMENT_H_

@@ -1,0 +1,69 @@
+#include "uncertainty/probability.h"
+
+#include "common/strings.h"
+
+namespace mddc {
+
+bool IsProbability(double p) { return p >= 0.0 && p <= 1.0; }
+
+Status ValidateAttachedProbability(double p) {
+  if (p <= 0.0 || p > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("attached probability ", p, " outside (0,1]"));
+  }
+  return Status::OK();
+}
+
+double NoisyOr(const std::vector<double>& probabilities) {
+  double none = 1.0;
+  for (double p : probabilities) none *= 1.0 - p;
+  return 1.0 - none;
+}
+
+double PathProduct(const std::vector<double>& probabilities) {
+  double product = 1.0;
+  for (double p : probabilities) product *= p;
+  return product;
+}
+
+double ExpectedCount(const std::vector<double>& probabilities) {
+  double expected = 0.0;
+  for (double p : probabilities) expected += p;
+  return expected;
+}
+
+Result<double> ExpectedSum(const std::vector<double>& values,
+                           const std::vector<double>& probabilities) {
+  if (values.size() != probabilities.size()) {
+    return Status::InvalidArgument(
+        StrCat("expected-sum arity mismatch: ", values.size(), " values vs ",
+               probabilities.size(), " probabilities"));
+  }
+  double expected = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    expected += values[i] * probabilities[i];
+  }
+  return expected;
+}
+
+double ProbabilityNonEmpty(const std::vector<double>& probabilities) {
+  return NoisyOr(probabilities);
+}
+
+std::vector<double> CountDistribution(
+    const std::vector<double>& probabilities) {
+  // Dynamic program over events: d[k] after processing i events is
+  // P(count = k among the first i).
+  std::vector<double> distribution = {1.0};
+  for (double p : probabilities) {
+    std::vector<double> next(distribution.size() + 1, 0.0);
+    for (std::size_t k = 0; k < distribution.size(); ++k) {
+      next[k] += distribution[k] * (1.0 - p);
+      next[k + 1] += distribution[k] * p;
+    }
+    distribution = std::move(next);
+  }
+  return distribution;
+}
+
+}  // namespace mddc

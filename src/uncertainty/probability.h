@@ -1,0 +1,53 @@
+#ifndef MDDC_UNCERTAINTY_PROBABILITY_H_
+#define MDDC_UNCERTAINTY_PROBABILITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace mddc {
+
+/// Helpers for the probabilistic extension of the model (paper Section
+/// 3.3): probabilities attached to the dimension partial order
+/// (e1 <=_p e2) and to fact-dimension relations ((f,e) in_p R). The
+/// detailed algebra is in the unavailable technical report TR-37; this
+/// library implements the natural independence semantics: probabilities
+/// multiply along a containment path, combine noisy-or across alternative
+/// paths/witnesses, and aggregate queries can be answered by expectation.
+
+/// True iff p is a valid probability in [0, 1].
+bool IsProbability(double p);
+
+/// Validates p in (0, 1]; model attachments use 1.0 for certain data and
+/// disallow 0 (a zero-probability statement is simply absent).
+Status ValidateAttachedProbability(double p);
+
+/// Combines independent alternative witnesses: 1 - prod(1 - p_i).
+double NoisyOr(const std::vector<double>& probabilities);
+
+/// Sequential composition along a path: prod(p_i).
+double PathProduct(const std::vector<double>& probabilities);
+
+/// The expected number of successes among independent events with the
+/// given probabilities (expected COUNT under tuple-level uncertainty).
+double ExpectedCount(const std::vector<double>& probabilities);
+
+/// The expected sum of `values[i]` weighted by `probabilities[i]`
+/// (expected SUM). The two vectors must have equal length.
+Result<double> ExpectedSum(const std::vector<double>& values,
+                           const std::vector<double>& probabilities);
+
+/// P(at least one event) — the probability that a group is non-empty,
+/// used when deciding whether an uncertain group should exist at all.
+double ProbabilityNonEmpty(const std::vector<double>& probabilities);
+
+/// Exact distribution of the count of independent events (Poisson
+/// binomial), returned as a vector d where d[k] = P(count = k). Used by
+/// the uncertainty benches to report full count distributions rather
+/// than just expectations.
+std::vector<double> CountDistribution(
+    const std::vector<double>& probabilities);
+
+}  // namespace mddc
+
+#endif  // MDDC_UNCERTAINTY_PROBABILITY_H_

@@ -1,0 +1,493 @@
+#include "workload/case_study.h"
+
+#include <algorithm>
+
+#include "common/date.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+namespace mddc {
+namespace {
+
+Result<Lifespan> During(const std::string& interval_text) {
+  MDDC_ASSIGN_OR_RETURN(Interval interval, Interval::Parse(interval_text));
+  return Lifespan::ValidDuring(TemporalElement(interval));
+}
+
+std::string FormatChronon(Chronon c) {
+  if (c == kNowChronon) return "NOW";
+  if (c >= kForeverChronon) return "FOREVER";
+  if (c <= kMinChronon) return "BEGINNING";
+  return FormatDate(c);
+}
+
+/// Formats a valid-time element's extent as (from, to) strings; Always
+/// renders as BEGINNING/FOREVER.
+std::pair<std::string, std::string> FormatSpan(const Lifespan& life) {
+  if (life.valid.Empty()) return {"-", "-"};
+  const Interval& first = life.valid.intervals().front();
+  const Interval& last = life.valid.intervals().back();
+  return {FormatChronon(first.begin()), FormatChronon(last.end())};
+}
+
+Result<std::shared_ptr<const DimensionType>> DiagnosisType() {
+  DimensionTypeBuilder builder("Diagnosis");
+  builder.AddCategory("Low-level Diagnosis", AggregationType::kConstant)
+      .AddCategory("Diagnosis Family", AggregationType::kConstant)
+      .AddCategory("Diagnosis Group", AggregationType::kConstant)
+      .AddOrder("Low-level Diagnosis", "Diagnosis Family")
+      .AddOrder("Diagnosis Family", "Diagnosis Group");
+  return builder.Build();
+}
+
+Result<std::shared_ptr<const DimensionType>> DobType() {
+  DimensionTypeBuilder builder("Date of Birth");
+  builder.AddCategory("Day", AggregationType::kAverage)
+      .AddCategory("Week", AggregationType::kConstant)
+      .AddCategory("Month", AggregationType::kConstant)
+      .AddCategory("Quarter", AggregationType::kConstant)
+      .AddCategory("Year", AggregationType::kConstant)
+      .AddCategory("Decade", AggregationType::kConstant)
+      .AddOrder("Day", "Week")
+      .AddOrder("Day", "Month")
+      .AddOrder("Month", "Quarter")
+      .AddOrder("Quarter", "Year")
+      .AddOrder("Year", "Decade");
+  return builder.Build();
+}
+
+Result<std::shared_ptr<const DimensionType>> ResidenceType() {
+  DimensionTypeBuilder builder("Residence");
+  builder.AddCategory("Area", AggregationType::kConstant)
+      .AddCategory("County", AggregationType::kConstant)
+      .AddCategory("Region", AggregationType::kConstant)
+      .AddOrder("Area", "County")
+      .AddOrder("County", "Region");
+  return builder.Build();
+}
+
+Result<std::shared_ptr<const DimensionType>> SimpleType(
+    const std::string& name) {
+  DimensionTypeBuilder builder(name);
+  builder.AddCategory(name, AggregationType::kConstant);
+  return builder.Build();
+}
+
+Result<std::shared_ptr<const DimensionType>> AgeType() {
+  DimensionTypeBuilder builder("Age");
+  builder.AddCategory("Age", AggregationType::kSum)
+      .AddCategory("Five-year Group", AggregationType::kConstant)
+      .AddCategory("Ten-year Group", AggregationType::kConstant)
+      .AddOrder("Age", "Five-year Group")
+      .AddOrder("Five-year Group", "Ten-year Group");
+  return builder.Build();
+}
+
+struct DiagnosisRow {
+  std::uint64_t id;
+  const char* level;  // "low", "family", "group"
+  const char* code;
+  const char* text;
+  const char* valid;
+};
+
+constexpr DiagnosisRow kDiagnosisRows[] = {
+    {3, "low", "P11", "Diabetes, pregnancy", "[01/01/70-31/12/79]"},
+    {4, "family", "O24", "Diabetes, pregnancy", "[01/01/80-NOW]"},
+    {5, "low", "O24.0", "Ins. dep. diab., pregn.", "[01/01/80-NOW]"},
+    {6, "low", "O24.1", "Non ins. dep. diab., pregn.", "[01/01/80-NOW]"},
+    {7, "family", "P1", "Other pregnancy diseases", "[01/01/70-31/12/79]"},
+    {8, "family", "D1", "Diabetes", "[01/10/70-31/12/79]"},
+    {9, "family", "E10", "Insulin dep. diabetes", "[01/01/80-NOW]"},
+    {10, "family", "E11", "Non insulin dep. diabetes", "[01/01/80-NOW]"},
+    {11, "group", "E1", "Diabetes", "[01/01/80-NOW]"},
+    {12, "group", "O2", "Other pregnancy diseases", "[01/10/80-NOW]"},
+};
+
+struct GroupingRow {
+  std::uint64_t parent;
+  std::uint64_t child;
+  const char* valid;
+  const char* type;
+};
+
+constexpr GroupingRow kGroupingRows[] = {
+    {4, 5, "[01/01/80-NOW]", "WHO"},
+    {4, 6, "[01/01/80-NOW]", "WHO"},
+    {7, 3, "[01/01/70-31/12/79]", "WHO"},
+    {8, 3, "[01/01/70-31/12/79]", "User-defined"},
+    {9, 5, "[01/01/80-NOW]", "User-defined"},
+    {10, 6, "[01/01/80-NOW]", "User-defined"},
+    {11, 9, "[01/01/80-NOW]", "WHO"},
+    {11, 10, "[01/01/80-NOW]", "WHO"},
+    {12, 4, "[01/01/80-NOW]", "WHO"},
+    // Example 10's analysis bridge: old Diabetes counts with the new one.
+    {11, 8, "[01/01/80-NOW]", "User-defined"},
+};
+
+struct HasRow {
+  std::uint64_t patient;
+  std::uint64_t diagnosis;
+  const char* valid;
+  const char* type;
+};
+
+constexpr HasRow kHasRows[] = {
+    {1, 9, "[01/01/89-NOW]", "Primary"},
+    {2, 3, "[23/03/75-24/12/75]", "Secondary"},
+    {2, 8, "[01/01/70-31/12/81]", "Primary"},
+    {2, 5, "[01/01/82-30/09/82]", "Secondary"},
+    {2, 9, "[01/01/82-NOW]", "Primary"},
+};
+
+struct PatientRow {
+  std::uint64_t id;
+  const char* name;
+  const char* ssn;
+  const char* dob;  // dd/mm/yy
+};
+
+constexpr PatientRow kPatientRows[] = {
+    {1, "John Doe", "12345678", "25/05/69"},
+    {2, "Jane Doe", "87654321", "20/03/50"},
+};
+
+/// Surrogate id blocks for the non-diagnosis dimensions. Table 1 uses ids
+/// 1..12; other dimensions allocate from disjoint ranges so every
+/// surrogate stays globally unique (Section 3.1).
+constexpr std::uint64_t kDobBase = 1000;
+constexpr std::uint64_t kResidenceBase = 2000;
+constexpr std::uint64_t kNameBase = 3000;
+constexpr std::uint64_t kSsnBase = 4000;
+constexpr std::uint64_t kAgeBase = 5000;
+
+/// Adds the full calendar path of one birth date to the DOB dimension and
+/// returns the Day value. Values are keyed deterministically so shared
+/// months/years coalesce naturally.
+Result<ValueId> AddBirthDate(Dimension& dob, std::int64_t day_number,
+                             std::uint64_t* next_id,
+                             std::map<std::string, ValueId>* interned) {
+  const DimensionType& type = dob.type();
+  CategoryTypeIndex day_cat = *type.Find("Day");
+  CategoryTypeIndex week_cat = *type.Find("Week");
+  CategoryTypeIndex month_cat = *type.Find("Month");
+  CategoryTypeIndex quarter_cat = *type.Find("Quarter");
+  CategoryTypeIndex year_cat = *type.Find("Year");
+  CategoryTypeIndex decade_cat = *type.Find("Decade");
+
+  CalendarDate date = DayNumberToDate(day_number);
+  auto intern = [&](CategoryTypeIndex category, const std::string& key,
+                    const std::string& label) -> Result<ValueId> {
+    auto it = interned->find(key);
+    if (it != interned->end()) return it->second;
+    ValueId id((*next_id)++);
+    MDDC_RETURN_NOT_OK(dob.AddValue(category, id));
+    Representation& rep = dob.RepresentationFor(category, "Value");
+    MDDC_RETURN_NOT_OK(rep.Set(id, label));
+    interned->emplace(key, id);
+    return id;
+  };
+
+  // ISO-like week key: day number / 7 (weeks since epoch).
+  std::int64_t week_index = day_number >= 0 ? day_number / 7
+                                            : (day_number - 6) / 7;
+  int quarter = (date.month - 1) / 3 + 1;
+  int decade = date.year / 10 * 10;
+
+  MDDC_ASSIGN_OR_RETURN(
+      ValueId day,
+      intern(day_cat, StrCat("D", day_number), FormatDate(day_number)));
+  MDDC_ASSIGN_OR_RETURN(ValueId week,
+                        intern(week_cat, StrCat("W", week_index),
+                               StrCat("week ", week_index)));
+  MDDC_ASSIGN_OR_RETURN(ValueId month,
+                        intern(month_cat,
+                               StrCat("M", date.year, "-", date.month),
+                               StrCat(date.month, "/", date.year)));
+  MDDC_ASSIGN_OR_RETURN(ValueId quarter_value,
+                        intern(quarter_cat,
+                               StrCat("Q", date.year, "-", quarter),
+                               StrCat("Q", quarter, " ", date.year)));
+  MDDC_ASSIGN_OR_RETURN(
+      ValueId year,
+      intern(year_cat, StrCat("Y", date.year), std::to_string(date.year)));
+  MDDC_ASSIGN_OR_RETURN(ValueId decade_value,
+                        intern(decade_cat, StrCat("E", decade),
+                               StrCat(decade, "s")));
+  MDDC_RETURN_NOT_OK(dob.AddOrder(day, week));
+  MDDC_RETURN_NOT_OK(dob.AddOrder(day, month));
+  MDDC_RETURN_NOT_OK(dob.AddOrder(month, quarter_value));
+  MDDC_RETURN_NOT_OK(dob.AddOrder(quarter_value, year));
+  MDDC_RETURN_NOT_OK(dob.AddOrder(year, decade_value));
+  return day;
+}
+
+}  // namespace
+
+Result<CaseStudy> BuildCaseStudy() {
+  // ---- Diagnosis dimension (Table 1 verbatim) ----------------------------
+  MDDC_ASSIGN_OR_RETURN(auto diagnosis_type, DiagnosisType());
+  Dimension diagnosis(diagnosis_type);
+  CategoryTypeIndex low = *diagnosis_type->Find("Low-level Diagnosis");
+  CategoryTypeIndex family = *diagnosis_type->Find("Diagnosis Family");
+  CategoryTypeIndex group = *diagnosis_type->Find("Diagnosis Group");
+  for (const DiagnosisRow& row : kDiagnosisRows) {
+    CategoryTypeIndex category =
+        row.level[0] == 'l' ? low : (row.level[0] == 'f' ? family : group);
+    MDDC_ASSIGN_OR_RETURN(Lifespan life, During(row.valid));
+    MDDC_RETURN_NOT_OK(diagnosis.AddValue(category, ValueId(row.id), life));
+    Representation& code = diagnosis.RepresentationFor(category, "Code");
+    MDDC_RETURN_NOT_OK(code.Set(ValueId(row.id), row.code, life));
+    Representation& text = diagnosis.RepresentationFor(category, "Text");
+    // Texts are not unique across values ("Diabetes, pregnancy" names
+    // both 3 and 4), but their lifespans are disjoint, so bijectivity
+    // per chronon holds — exactly the paper's motivation for surrogates.
+    MDDC_RETURN_NOT_OK(text.Set(ValueId(row.id), row.text, life));
+  }
+  CaseStudy cs{std::make_shared<FactRegistry>(),
+               MdObject("", {}, nullptr),  // replaced below
+               0,  1, 2, 3, 4, 5, {}, {}};
+  for (const GroupingRow& row : kGroupingRows) {
+    MDDC_ASSIGN_OR_RETURN(Lifespan life, During(row.valid));
+    MDDC_RETURN_NOT_OK(
+        diagnosis.AddOrder(ValueId(row.child), ValueId(row.parent), life));
+    cs.grouping_type[{row.parent, row.child}] = row.type;
+  }
+
+  // ---- Date-of-Birth dimension -------------------------------------------
+  MDDC_ASSIGN_OR_RETURN(auto dob_type, DobType());
+  Dimension dob(dob_type);
+  std::uint64_t next_dob_id = kDobBase;
+  std::map<std::string, ValueId> dob_interned;
+  std::map<std::uint64_t, ValueId> patient_day;
+  for (const PatientRow& row : kPatientRows) {
+    MDDC_ASSIGN_OR_RETURN(std::int64_t day_number, ParseDate(row.dob));
+    MDDC_ASSIGN_OR_RETURN(
+        ValueId day, AddBirthDate(dob, day_number, &next_dob_id,
+                                  &dob_interned));
+    patient_day[row.id] = day;
+  }
+
+  // ---- Residence dimension (synthesized; see header) ----------------------
+  MDDC_ASSIGN_OR_RETURN(auto residence_type, ResidenceType());
+  Dimension residence(residence_type);
+  CategoryTypeIndex area_cat = *residence_type->Find("Area");
+  CategoryTypeIndex county_cat = *residence_type->Find("County");
+  CategoryTypeIndex region_cat = *residence_type->Find("Region");
+  struct Place {
+    std::uint64_t id;
+    CategoryTypeIndex category;
+    const char* name;
+  };
+  const Place kPlaces[] = {
+      {kResidenceBase + 0, area_cat, "Centrum"},
+      {kResidenceBase + 1, area_cat, "Vestby"},
+      {kResidenceBase + 10, county_cat, "North County"},
+      {kResidenceBase + 11, county_cat, "West County"},
+      {kResidenceBase + 20, region_cat, "Capital Region"},
+  };
+  for (const Place& place : kPlaces) {
+    MDDC_RETURN_NOT_OK(
+        residence.AddValue(place.category, ValueId(place.id)));
+    Representation& rep =
+        residence.RepresentationFor(place.category, "Name");
+    MDDC_RETURN_NOT_OK(rep.Set(ValueId(place.id), place.name));
+  }
+  MDDC_RETURN_NOT_OK(residence.AddOrder(ValueId(kResidenceBase + 0),
+                                        ValueId(kResidenceBase + 10)));
+  MDDC_RETURN_NOT_OK(residence.AddOrder(ValueId(kResidenceBase + 1),
+                                        ValueId(kResidenceBase + 11)));
+  MDDC_RETURN_NOT_OK(residence.AddOrder(ValueId(kResidenceBase + 10),
+                                        ValueId(kResidenceBase + 20)));
+  MDDC_RETURN_NOT_OK(residence.AddOrder(ValueId(kResidenceBase + 11),
+                                        ValueId(kResidenceBase + 20)));
+
+  // ---- Name and SSN dimensions --------------------------------------------
+  MDDC_ASSIGN_OR_RETURN(auto name_type, SimpleType("Name"));
+  Dimension name_dim(name_type);
+  MDDC_ASSIGN_OR_RETURN(auto ssn_type, SimpleType("SSN"));
+  Dimension ssn_dim(ssn_type);
+  CategoryTypeIndex name_cat = name_type->bottom();
+  CategoryTypeIndex ssn_cat = ssn_type->bottom();
+  for (std::size_t i = 0; i < std::size(kPatientRows); ++i) {
+    const PatientRow& row = kPatientRows[i];
+    ValueId name_id(kNameBase + i);
+    MDDC_RETURN_NOT_OK(name_dim.AddValue(name_cat, name_id));
+    MDDC_RETURN_NOT_OK(
+        name_dim.RepresentationFor(name_cat, "Value").Set(name_id, row.name));
+    ValueId ssn_id(kSsnBase + i);
+    MDDC_RETURN_NOT_OK(ssn_dim.AddValue(ssn_cat, ssn_id));
+    MDDC_RETURN_NOT_OK(
+        ssn_dim.RepresentationFor(ssn_cat, "Value").Set(ssn_id, row.ssn));
+  }
+
+  // ---- Age dimension --------------------------------------------------------
+  MDDC_ASSIGN_OR_RETURN(auto age_type, AgeType());
+  Dimension age_dim(age_type);
+  CategoryTypeIndex age_cat = *age_type->Find("Age");
+  CategoryTypeIndex five_cat = *age_type->Find("Five-year Group");
+  CategoryTypeIndex ten_cat = *age_type->Find("Ten-year Group");
+  Representation& age_rep = age_dim.RepresentationFor(age_cat, "Value");
+  Representation& five_rep = age_dim.RepresentationFor(five_cat, "Value");
+  Representation& ten_rep = age_dim.RepresentationFor(ten_cat, "Value");
+  for (std::uint64_t ten = 0; ten < 12; ++ten) {
+    ValueId ten_id(kAgeBase + 500 + ten);
+    MDDC_RETURN_NOT_OK(age_dim.AddValue(ten_cat, ten_id));
+    MDDC_RETURN_NOT_OK(
+        ten_rep.Set(ten_id, StrCat(ten * 10, "-", ten * 10 + 9)));
+  }
+  for (std::uint64_t five = 0; five < 24; ++five) {
+    ValueId five_id(kAgeBase + 300 + five);
+    MDDC_RETURN_NOT_OK(age_dim.AddValue(five_cat, five_id));
+    MDDC_RETURN_NOT_OK(
+        five_rep.Set(five_id, StrCat(five * 5, "-", five * 5 + 4)));
+    MDDC_RETURN_NOT_OK(
+        age_dim.AddOrder(five_id, ValueId(kAgeBase + 500 + five / 2)));
+  }
+  for (std::uint64_t a = 0; a < 120; ++a) {
+    ValueId age_id(kAgeBase + a);
+    MDDC_RETURN_NOT_OK(age_dim.AddValue(age_cat, age_id));
+    MDDC_RETURN_NOT_OK(age_rep.Set(age_id, std::to_string(a)));
+    MDDC_RETURN_NOT_OK(
+        age_dim.AddOrder(age_id, ValueId(kAgeBase + 300 + a / 5)));
+  }
+
+  // ---- The Patient MO --------------------------------------------------------
+  MdObject mo("Patient",
+              {std::move(diagnosis), std::move(dob), std::move(residence),
+               std::move(name_dim), std::move(ssn_dim), std::move(age_dim)},
+              cs.registry, TemporalType::kValidTime);
+
+  // Reference chronon for the derived Age attribute: the paper's
+  // publication year.
+  MDDC_ASSIGN_OR_RETURN(std::int64_t reference, ParseDate("01/01/99"));
+  for (std::size_t i = 0; i < std::size(kPatientRows); ++i) {
+    const PatientRow& row = kPatientRows[i];
+    FactId fact = cs.registry->Atom(row.id);
+    MDDC_RETURN_NOT_OK(mo.AddFact(fact));
+    MDDC_RETURN_NOT_OK(mo.Relate(1, fact, patient_day[row.id]));
+    MDDC_RETURN_NOT_OK(mo.Relate(2, fact, ValueId(kResidenceBase + i)));
+    MDDC_RETURN_NOT_OK(mo.Relate(3, fact, ValueId(kNameBase + i)));
+    MDDC_RETURN_NOT_OK(mo.Relate(4, fact, ValueId(kSsnBase + i)));
+    MDDC_ASSIGN_OR_RETURN(std::int64_t born, ParseDate(row.dob));
+    std::uint64_t years = static_cast<std::uint64_t>((reference - born) / 365);
+    MDDC_RETURN_NOT_OK(mo.Relate(5, fact, ValueId(kAgeBase + years)));
+  }
+  for (const HasRow& row : kHasRows) {
+    MDDC_ASSIGN_OR_RETURN(Lifespan life, During(row.valid));
+    MDDC_RETURN_NOT_OK(
+        mo.Relate(0, cs.registry->Atom(row.patient), ValueId(row.diagnosis),
+                  life));
+    cs.has_type[{row.patient, row.diagnosis}] = row.type;
+  }
+  MDDC_RETURN_NOT_OK(mo.Validate());
+  cs.mo = std::move(mo);
+  return cs;
+}
+
+Result<std::string> RenderPatientTable(const CaseStudy& cs) {
+  TablePrinter printer({"ID", "Name", "SSN", "Date of Birth"});
+  const MdObject& mo = cs.mo;
+  for (FactId fact : mo.facts()) {
+    MDDC_ASSIGN_OR_RETURN(FactTerm term, cs.registry->Get(fact));
+    std::vector<std::string> row = {std::to_string(term.atom)};
+    for (std::size_t dim : {cs.name, cs.ssn, cs.dob}) {
+      auto pairs = mo.relation(dim).ForFact(fact);
+      if (pairs.empty()) {
+        row.push_back("?");
+        continue;
+      }
+      const Dimension& dimension = mo.dimension(dim);
+      ValueId value = pairs.front()->value;
+      MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category,
+                            dimension.CategoryOf(value));
+      MDDC_ASSIGN_OR_RETURN(const Representation* rep,
+                            dimension.FindRepresentation(category, "Value"));
+      MDDC_ASSIGN_OR_RETURN(std::string text, rep->Get(value));
+      row.push_back(std::move(text));
+    }
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+Result<std::string> RenderHasTable(const CaseStudy& cs) {
+  TablePrinter printer(
+      {"PatientID", "DiagnosisID", "ValidFrom", "ValidTo", "Type"});
+  for (const FactDimRelation::Entry& entry :
+       cs.mo.relation(cs.diagnosis).entries()) {
+    MDDC_ASSIGN_OR_RETURN(FactTerm term, cs.registry->Get(entry.fact));
+    auto [from, to] = FormatSpan(entry.life);
+    auto type = cs.has_type.find({term.atom, entry.value.raw()});
+    printer.AddRow({std::to_string(term.atom),
+                    std::to_string(entry.value.raw()), from, to,
+                    type != cs.has_type.end() ? type->second : ""});
+  }
+  return printer.ToString();
+}
+
+Result<std::string> RenderDiagnosisTable(const CaseStudy& cs) {
+  TablePrinter printer({"ID", "Code", "Text", "ValidFrom", "ValidTo"});
+  const Dimension& diagnosis = cs.mo.dimension(cs.diagnosis);
+  std::vector<ValueId> values = diagnosis.AllValues();
+  std::sort(values.begin(), values.end());
+  for (ValueId value : values) {
+    if (value == diagnosis.top_value()) continue;
+    MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category,
+                          diagnosis.CategoryOf(value));
+    MDDC_ASSIGN_OR_RETURN(Lifespan membership,
+                          diagnosis.MembershipOf(value));
+    auto [from, to] = FormatSpan(membership);
+    std::string code = "?";
+    std::string text = "?";
+    if (auto rep = diagnosis.FindRepresentation(category, "Code");
+        rep.ok()) {
+      auto entries = (*rep)->GetAll(value);
+      if (!entries.empty()) code = entries.front().first;
+    }
+    if (auto rep = diagnosis.FindRepresentation(category, "Text");
+        rep.ok()) {
+      auto entries = (*rep)->GetAll(value);
+      if (!entries.empty()) text = entries.front().first;
+    }
+    printer.AddRow({std::to_string(value.raw()), code, text, from, to});
+  }
+  return printer.ToString();
+}
+
+Result<std::string> RenderGroupingTable(const CaseStudy& cs) {
+  TablePrinter printer(
+      {"ParentID", "ChildID", "ValidFrom", "ValidTo", "Type"});
+  const Dimension& diagnosis = cs.mo.dimension(cs.diagnosis);
+  std::vector<const Dimension::Edge*> edges;
+  for (const Dimension::Edge& edge : diagnosis.edges()) {
+    edges.push_back(&edge);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Dimension::Edge* a, const Dimension::Edge* b) {
+              if (a->parent != b->parent) return a->parent < b->parent;
+              return a->child < b->child;
+            });
+  for (const Dimension::Edge* edge : edges) {
+    auto [from, to] = FormatSpan(edge->life);
+    auto type =
+        cs.grouping_type.find({edge->parent.raw(), edge->child.raw()});
+    printer.AddRow({std::to_string(edge->parent.raw()),
+                    std::to_string(edge->child.raw()), from, to,
+                    type != cs.grouping_type.end() ? type->second : ""});
+  }
+  return printer.ToString();
+}
+
+std::string RenderSchemaLattices(const CaseStudy& cs) {
+  std::string out =
+      StrCat("Schema of the '", cs.mo.schema().fact_type(), "' MO (",
+             cs.mo.dimension_count(), " dimension types)\n\n");
+  for (std::size_t i = 0; i < cs.mo.dimension_count(); ++i) {
+    out += cs.mo.dimension(i).type().ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mddc

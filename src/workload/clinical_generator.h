@@ -1,0 +1,87 @@
+#ifndef MDDC_WORKLOAD_CLINICAL_GENERATOR_H_
+#define MDDC_WORKLOAD_CLINICAL_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "core/md_object.h"
+
+namespace mddc {
+
+/// Parameters of the synthetic clinical workload. Real patient registries
+/// and the full ICD-10 are proprietary/licensed; this generator produces
+/// the closest synthetic equivalent (see DESIGN.md): an ICD-like
+/// three-level diagnosis hierarchy with the paper's 5-20 fan-out, a
+/// residence hierarchy, and patients whose diagnoses exhibit exactly the
+/// phenomena the paper models — many-to-many fact-dimension
+/// relationships, non-strict user-defined groupings, a classification
+/// change at an epoch with cross-epoch bridges, mixed-granularity
+/// registrations and uncertain diagnoses.
+struct ClinicalWorkloadParams {
+  std::uint32_t seed = 42;
+
+  // Population.
+  std::size_t num_patients = 200;
+  /// Diagnoses per patient are 1 + Poisson-ish(extra); many-to-many.
+  double mean_extra_diagnoses = 2.0;
+
+  // Diagnosis hierarchy shape (paper: "A diagnosis family consists of
+  // 5-20 related low-level diagnoses. A diagnosis group consists of 5-20
+  // diagnosis families").
+  std::size_t num_groups = 5;
+  std::size_t min_fanout = 5;
+  std::size_t max_fanout = 20;
+
+  /// Fraction of low-level diagnoses that are additionally members of a
+  /// second, user-defined family (non-strictness).
+  double non_strict_rate = 0.15;
+
+  /// Fraction of the hierarchy re-coded at the epoch (01/01/1980 in the
+  /// case study): affected values get time-bounded membership in the old
+  /// classification, successors in the new one, and a user-defined
+  /// bridge edge old <= new-group.
+  double reclassified_rate = 0.2;
+
+  /// Fraction of patient diagnoses registered at Family granularity
+  /// instead of low level (requirement 9).
+  double coarse_granularity_rate = 0.2;
+
+  /// Fraction of diagnoses attached with probability < 1 (requirement 8);
+  /// probabilities drawn uniformly from [min_probability, 1).
+  double uncertain_rate = 0.1;
+  double min_probability = 0.6;
+
+  // Residence hierarchy.
+  std::size_t num_regions = 2;
+  std::size_t counties_per_region = 3;
+  std::size_t areas_per_county = 4;
+
+  /// Fraction of patients that move (a second residence period).
+  double relocation_rate = 0.2;
+};
+
+/// Dimension indexes of the generated MO.
+struct ClinicalMo {
+  MdObject mo;
+  std::size_t diagnosis_dim = 0;
+  std::size_t residence_dim = 1;
+  CategoryTypeIndex low_level = 0;
+  CategoryTypeIndex family = 0;
+  CategoryTypeIndex group = 0;
+  CategoryTypeIndex area = 0;
+  CategoryTypeIndex county = 0;
+  CategoryTypeIndex region = 0;
+  /// Number of generated low-level diagnoses / families.
+  std::size_t num_low_level = 0;
+  std::size_t num_families = 0;
+};
+
+/// Generates the workload deterministically from the seed.
+Result<ClinicalMo> GenerateClinicalWorkload(
+    const ClinicalWorkloadParams& params,
+    std::shared_ptr<FactRegistry> registry);
+
+}  // namespace mddc
+
+#endif  // MDDC_WORKLOAD_CLINICAL_GENERATOR_H_

@@ -1,0 +1,218 @@
+#include "workload/retail_generator.h"
+
+#include <array>
+#include <map>
+#include <random>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace mddc {
+namespace {
+
+constexpr std::uint64_t kProductBase = 1000000;
+constexpr std::uint64_t kCategoryBase = 1100000;
+constexpr std::uint64_t kDepartmentBase = 1200000;
+constexpr std::uint64_t kStoreBase = 1300000;
+constexpr std::uint64_t kCityBase = 1400000;
+constexpr std::uint64_t kRegionBase = 1500000;
+constexpr std::uint64_t kDateBase = 1600000;
+constexpr std::uint64_t kAmountBase = 1700000;
+constexpr std::uint64_t kPriceBase = 1800000;
+
+/// Builds a three-level hierarchy dimension where level sizes are given;
+/// children are distributed round-robin over parents.
+Result<Dimension> BuildThreeLevel(const std::string& name,
+                                  const std::array<const char*, 3>& levels,
+                                  std::array<std::size_t, 3> sizes,
+                                  std::array<std::uint64_t, 3> bases,
+                                  std::vector<ValueId>* bottom_values) {
+  DimensionTypeBuilder builder(name);
+  builder.AddCategory(levels[0])
+      .AddCategory(levels[1])
+      .AddCategory(levels[2])
+      .AddOrder(levels[0], levels[1])
+      .AddOrder(levels[1], levels[2]);
+  MDDC_ASSIGN_OR_RETURN(auto type, builder.Build());
+  Dimension dimension(type);
+  CategoryTypeIndex bottom = *type->Find(levels[0]);
+  CategoryTypeIndex middle = *type->Find(levels[1]);
+  CategoryTypeIndex top_level = *type->Find(levels[2]);
+  Representation& name_rep = dimension.RepresentationFor(bottom, "Name");
+  for (std::size_t t = 0; t < sizes[2]; ++t) {
+    MDDC_RETURN_NOT_OK(dimension.AddValue(top_level, ValueId(bases[2] + t)));
+  }
+  for (std::size_t m = 0; m < sizes[1]; ++m) {
+    MDDC_RETURN_NOT_OK(dimension.AddValue(middle, ValueId(bases[1] + m)));
+    MDDC_RETURN_NOT_OK(dimension.AddOrder(
+        ValueId(bases[1] + m), ValueId(bases[2] + m % sizes[2])));
+  }
+  for (std::size_t b = 0; b < sizes[0]; ++b) {
+    ValueId id(bases[0] + b);
+    MDDC_RETURN_NOT_OK(dimension.AddValue(bottom, id));
+    MDDC_RETURN_NOT_OK(name_rep.Set(id, StrCat(levels[0], "-", b)));
+    MDDC_RETURN_NOT_OK(
+        dimension.AddOrder(id, ValueId(bases[1] + b % sizes[1])));
+    bottom_values->push_back(id);
+  }
+  return dimension;
+}
+
+/// A flat numeric measure dimension (Sigma-typed bottom with a numeric
+/// "Value" representation) holding the given distinct values.
+Result<Dimension> BuildMeasure(const std::string& name,
+                               const std::vector<double>& values,
+                               std::uint64_t base,
+                               std::map<std::string, ValueId>* index) {
+  DimensionTypeBuilder builder(name);
+  builder.AddCategory(name, AggregationType::kSum);
+  MDDC_ASSIGN_OR_RETURN(auto type, builder.Build());
+  Dimension dimension(type);
+  CategoryTypeIndex bottom = type->bottom();
+  Representation& rep = dimension.RepresentationFor(bottom, "Value");
+  std::uint64_t next = base;
+  for (double value : values) {
+    std::string text = FormatDouble(value);
+    if (index->count(text) != 0) continue;
+    ValueId id(next++);
+    MDDC_RETURN_NOT_OK(dimension.AddValue(bottom, id));
+    MDDC_RETURN_NOT_OK(rep.Set(id, text));
+    index->emplace(std::move(text), id);
+  }
+  return dimension;
+}
+
+}  // namespace
+
+Result<RetailMo> GenerateRetailWorkload(
+    const RetailWorkloadParams& params,
+    std::shared_ptr<FactRegistry> registry) {
+  std::mt19937 rng(params.seed);
+
+  std::vector<ValueId> products;
+  MDDC_ASSIGN_OR_RETURN(
+      Dimension product_dim,
+      BuildThreeLevel("Product", {"Product", "Category", "Department"},
+                      {params.num_products, params.categories,
+                       params.departments},
+                      {kProductBase, kCategoryBase, kDepartmentBase},
+                      &products));
+  std::vector<ValueId> stores;
+  MDDC_ASSIGN_OR_RETURN(
+      Dimension store_dim,
+      BuildThreeLevel("Store", {"Store", "City", "Region"},
+                      {params.num_stores, params.cities, params.regions},
+                      {kStoreBase, kCityBase, kRegionBase}, &stores));
+
+  // Date dimension: Day < Month < Year.
+  DimensionTypeBuilder date_builder("Date");
+  date_builder.AddCategory("Day", AggregationType::kAverage)
+      .AddCategory("Month")
+      .AddCategory("Year")
+      .AddOrder("Day", "Month")
+      .AddOrder("Month", "Year");
+  MDDC_ASSIGN_OR_RETURN(auto date_type, date_builder.Build());
+  Dimension date_dim(date_type);
+  CategoryTypeIndex day_cat = *date_type->Find("Day");
+  CategoryTypeIndex month_cat = *date_type->Find("Month");
+  CategoryTypeIndex year_cat = *date_type->Find("Year");
+  const Chronon start = *ParseDate("01/01/98");
+  std::vector<ValueId> days;
+  std::map<std::string, ValueId> months;
+  std::map<int, ValueId> years;
+  std::uint64_t next_date = kDateBase;
+  Representation& day_rep = date_dim.RepresentationFor(day_cat, "Value");
+  for (std::size_t d = 0; d < params.num_days; ++d) {
+    Chronon day = start + static_cast<Chronon>(d);
+    CalendarDate date = DayNumberToDate(day);
+    ValueId day_id(next_date++);
+    MDDC_RETURN_NOT_OK(date_dim.AddValue(day_cat, day_id));
+    MDDC_RETURN_NOT_OK(day_rep.Set(day_id, FormatDate(day)));
+    std::string month_key = StrCat(date.year, "-", date.month);
+    auto month_it = months.find(month_key);
+    if (month_it == months.end()) {
+      ValueId month_id(next_date++);
+      MDDC_RETURN_NOT_OK(date_dim.AddValue(month_cat, month_id));
+      month_it = months.emplace(month_key, month_id).first;
+      auto year_it = years.find(date.year);
+      if (year_it == years.end()) {
+        ValueId year_id(next_date++);
+        MDDC_RETURN_NOT_OK(date_dim.AddValue(year_cat, year_id));
+        year_it = years.emplace(date.year, year_id).first;
+      }
+      MDDC_RETURN_NOT_OK(date_dim.AddOrder(month_id, year_it->second));
+    }
+    MDDC_RETURN_NOT_OK(date_dim.AddOrder(day_id, month_it->second));
+    days.push_back(day_id);
+  }
+
+  // Amount and Price measure dimensions.
+  std::uniform_int_distribution<std::int64_t> amount_dist(1,
+                                                          params.max_amount);
+  std::uniform_real_distribution<double> price_dist(1.0, params.max_price);
+  std::vector<std::int64_t> amounts(params.num_purchases);
+  std::vector<double> prices(params.num_purchases);
+  std::vector<double> amount_values;
+  std::vector<double> price_values;
+  for (std::size_t i = 0; i < params.num_purchases; ++i) {
+    amounts[i] = amount_dist(rng);
+    // Round prices to cents so distinct-value counts stay bounded.
+    prices[i] = static_cast<std::int64_t>(price_dist(rng) * 100) / 100.0;
+    amount_values.push_back(static_cast<double>(amounts[i]));
+    price_values.push_back(prices[i]);
+  }
+  std::map<std::string, ValueId> amount_index;
+  MDDC_ASSIGN_OR_RETURN(
+      Dimension amount_dim,
+      BuildMeasure("Amount", amount_values, kAmountBase, &amount_index));
+  std::map<std::string, ValueId> price_index;
+  MDDC_ASSIGN_OR_RETURN(
+      Dimension price_dim,
+      BuildMeasure("Price", price_values, kPriceBase, &price_index));
+
+  RetailMo result{
+      MdObject("Purchase",
+               {std::move(product_dim), std::move(store_dim),
+                std::move(date_dim), std::move(amount_dim),
+                std::move(price_dim)},
+               registry, TemporalType::kSnapshot),
+      0,
+      1,
+      2,
+      3,
+      4,
+      0,
+      0,
+      0,
+      0,
+      0,
+      0};
+  MdObject& mo = result.mo;
+  result.product = *mo.dimension(0).type().Find("Product");
+  result.category = *mo.dimension(0).type().Find("Category");
+  result.department = *mo.dimension(0).type().Find("Department");
+  result.store = *mo.dimension(1).type().Find("Store");
+  result.city = *mo.dimension(1).type().Find("City");
+  result.region = *mo.dimension(1).type().Find("Region");
+
+  std::uniform_int_distribution<std::size_t> pick_product(
+      0, products.size() - 1);
+  std::uniform_int_distribution<std::size_t> pick_store(0, stores.size() - 1);
+  std::uniform_int_distribution<std::size_t> pick_day(0, days.size() - 1);
+  for (std::size_t i = 0; i < params.num_purchases; ++i) {
+    FactId purchase = registry->Atom(1000000 + i);
+    MDDC_RETURN_NOT_OK(mo.AddFact(purchase));
+    MDDC_RETURN_NOT_OK(mo.Relate(0, purchase, products[pick_product(rng)]));
+    MDDC_RETURN_NOT_OK(mo.Relate(1, purchase, stores[pick_store(rng)]));
+    MDDC_RETURN_NOT_OK(mo.Relate(2, purchase, days[pick_day(rng)]));
+    MDDC_RETURN_NOT_OK(mo.Relate(
+        3, purchase,
+        amount_index.at(FormatDouble(static_cast<double>(amounts[i])))));
+    MDDC_RETURN_NOT_OK(
+        mo.Relate(4, purchase, price_index.at(FormatDouble(prices[i]))));
+  }
+  MDDC_RETURN_NOT_OK(mo.Validate());
+  return result;
+}
+
+}  // namespace mddc

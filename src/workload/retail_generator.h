@@ -1,0 +1,53 @@
+#ifndef MDDC_WORKLOAD_RETAIL_GENERATOR_H_
+#define MDDC_WORKLOAD_RETAIL_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "core/md_object.h"
+
+namespace mddc {
+
+/// The paper's introductory retail example ("products are sold to
+/// customers at certain times in certain amounts at certain prices"): a
+/// Purchase fact type with Product (product < category < department),
+/// Store (store < city < region), Date, Amount and Price dimensions —
+/// amount and price treated as dimensions per the model's symmetric view,
+/// with Sigma aggregation types so SUM/AVG apply.
+struct RetailWorkloadParams {
+  std::uint32_t seed = 7;
+  std::size_t num_purchases = 1000;
+  std::size_t num_products = 50;
+  std::size_t categories = 10;
+  std::size_t departments = 3;
+  std::size_t num_stores = 12;
+  std::size_t cities = 4;
+  std::size_t regions = 2;
+  std::size_t num_days = 365;
+  std::int64_t max_amount = 10;
+  double max_price = 500.0;
+};
+
+struct RetailMo {
+  MdObject mo;
+  std::size_t product_dim = 0;
+  std::size_t store_dim = 1;
+  std::size_t date_dim = 2;
+  std::size_t amount_dim = 3;
+  std::size_t price_dim = 4;
+  CategoryTypeIndex product = 0;
+  CategoryTypeIndex category = 0;
+  CategoryTypeIndex department = 0;
+  CategoryTypeIndex store = 0;
+  CategoryTypeIndex city = 0;
+  CategoryTypeIndex region = 0;
+};
+
+/// Generates the retail workload deterministically from the seed.
+Result<RetailMo> GenerateRetailWorkload(const RetailWorkloadParams& params,
+                                        std::shared_ptr<FactRegistry> registry);
+
+}  // namespace mddc
+
+#endif  // MDDC_WORKLOAD_RETAIL_GENERATOR_H_

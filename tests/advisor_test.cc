@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "engine/advisor.h"
+#include "workload/clinical_generator.h"
+#include "workload/retail_generator.h"
+
+namespace mddc {
+namespace {
+
+RetailMo BuildRetail() {
+  RetailWorkloadParams params;
+  params.num_purchases = 1000;
+  return std::move(
+             GenerateRetailWorkload(params, std::make_shared<FactRegistry>()))
+      .ValueOrDie();
+}
+
+std::vector<CategoryTypeIndex> GroupingAt(const MdObject& mo,
+                                          std::size_t dim,
+                                          CategoryTypeIndex category) {
+  std::vector<CategoryTypeIndex> grouping;
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    grouping.push_back(i == dim ? category : mo.dimension(i).type().top());
+  }
+  return grouping;
+}
+
+TEST(AdvisorTest, SizeEstimates) {
+  RetailMo retail = BuildRetail();
+  MaterializationAdvisor advisor(retail.mo,
+                                 AggFunction::Sum(retail.amount_dim));
+  // Grand total: one group.
+  auto all_top = GroupingAt(retail.mo, retail.product_dim,
+                            retail.mo.dimension(retail.product_dim)
+                                .type()
+                                .top());
+  EXPECT_DOUBLE_EQ(advisor.EstimateSize(all_top), 1.0);
+  // By department: 3 groups.
+  EXPECT_DOUBLE_EQ(advisor.EstimateSize(GroupingAt(
+                       retail.mo, retail.product_dim, retail.department)),
+                   3.0);
+  // By product x store: 50 x 12 = 600 (< 1000 facts, uncapped).
+  auto cross = GroupingAt(retail.mo, retail.product_dim, retail.product);
+  cross[retail.store_dim] = retail.store;
+  EXPECT_DOUBLE_EQ(advisor.EstimateSize(cross), 600.0);
+}
+
+TEST(AdvisorTest, CanAnswerFromRespectsLatticeAndSafety) {
+  RetailMo retail = BuildRetail();
+  MaterializationAdvisor sum_advisor(retail.mo,
+                                     AggFunction::Sum(retail.amount_dim));
+  auto by_category =
+      GroupingAt(retail.mo, retail.product_dim, retail.category);
+  auto by_department =
+      GroupingAt(retail.mo, retail.product_dim, retail.department);
+  EXPECT_TRUE(sum_advisor.CanAnswerFrom(by_category, by_department));
+  EXPECT_FALSE(sum_advisor.CanAnswerFrom(by_department, by_category));
+  EXPECT_TRUE(sum_advisor.CanAnswerFrom(by_category, by_category));
+
+  // AVG is not distributive: only exact matches answer.
+  MaterializationAdvisor avg_advisor(retail.mo,
+                                     AggFunction::Avg(retail.price_dim));
+  EXPECT_FALSE(avg_advisor.CanAnswerFrom(by_category, by_department));
+  EXPECT_TRUE(avg_advisor.CanAnswerFrom(by_category, by_category));
+}
+
+TEST(AdvisorTest, GreedyPicksFinestUsefulGrouping) {
+  RetailMo retail = BuildRetail();
+  MaterializationAdvisor advisor(retail.mo,
+                                 AggFunction::Sum(retail.amount_dim));
+  std::vector<AdvisorQuery> queries = {
+      {GroupingAt(retail.mo, retail.product_dim, retail.category), 5.0},
+      {GroupingAt(retail.mo, retail.product_dim, retail.department), 3.0},
+      {GroupingAt(retail.mo, retail.product_dim,
+                  retail.mo.dimension(retail.product_dim).type().top()),
+       1.0},
+  };
+  auto plan = advisor.Advise(queries, 1);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->materialize.size(), 1u);
+  // Category level answers all three queries (10 groups) and dominates.
+  EXPECT_EQ(plan->materialize[0].grouping[retail.product_dim],
+            retail.category);
+  EXPECT_LT(plan->cost_with, plan->cost_without);
+}
+
+TEST(AdvisorTest, BudgetLimitsChoices) {
+  RetailMo retail = BuildRetail();
+  MaterializationAdvisor advisor(retail.mo,
+                                 AggFunction::Sum(retail.amount_dim));
+  std::vector<AdvisorQuery> queries = {
+      {GroupingAt(retail.mo, retail.product_dim, retail.product), 1.0},
+      {GroupingAt(retail.mo, retail.store_dim, retail.store), 1.0},
+      {GroupingAt(retail.mo, retail.store_dim, retail.region), 1.0},
+  };
+  auto one = advisor.Advise(queries, 1);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->materialize.size(), 1u);
+  auto three = advisor.Advise(queries, 3);
+  ASSERT_TRUE(three.ok());
+  EXPECT_GE(three->materialize.size(), 2u);
+  EXPECT_LE(three->cost_with, one->cost_with);
+}
+
+TEST(AdvisorTest, ApplyWarmsTheCache) {
+  RetailMo retail = BuildRetail();
+  MaterializationAdvisor advisor(retail.mo,
+                                 AggFunction::Sum(retail.amount_dim));
+  std::vector<AdvisorQuery> queries = {
+      {GroupingAt(retail.mo, retail.product_dim, retail.category), 2.0},
+      {GroupingAt(retail.mo, retail.product_dim, retail.department), 1.0},
+  };
+  auto plan = advisor.Advise(queries, 1);
+  ASSERT_TRUE(plan.ok());
+  PreAggregateCache cache(retail.mo);
+  ASSERT_TRUE(advisor.Apply(*plan, &cache).ok());
+  cache.ResetStats();
+  // Both workload queries are now served without touching the base.
+  for (const AdvisorQuery& query : queries) {
+    ASSERT_TRUE(
+        cache.Query(AggFunction::Sum(retail.amount_dim), query.grouping)
+            .ok());
+  }
+  EXPECT_EQ(cache.stats().base_scans, 0u);
+  EXPECT_EQ(cache.stats().exact_hits + cache.stats().rollup_hits, 2u);
+}
+
+TEST(AdvisorTest, NonStrictHierarchyLimitsReuseInPlan) {
+  // With a non-strict diagnosis hierarchy, a group-level materialization
+  // is c-typed and cannot serve the grand total; the advisor must not
+  // claim that benefit.
+  ClinicalWorkloadParams params;
+  params.num_patients = 150;
+  params.num_groups = 3;
+  params.non_strict_rate = 0.5;
+  params.mean_extra_diagnoses = 0.0;
+  params.reclassified_rate = 0.0;
+  params.uncertain_rate = 0.0;
+  params.coarse_granularity_rate = 0.0;
+  auto workload =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok());
+  MaterializationAdvisor advisor(workload->mo, AggFunction::SetCount());
+  auto by_group = GroupingAt(workload->mo, workload->diagnosis_dim,
+                             workload->group);
+  auto total = GroupingAt(
+      workload->mo, workload->diagnosis_dim,
+      workload->mo.dimension(workload->diagnosis_dim).type().top());
+  EXPECT_FALSE(advisor.CanAnswerFrom(by_group, total));
+  auto plan = advisor.Advise({{by_group, 1.0}, {total, 1.0}}, 2);
+  ASSERT_TRUE(plan.ok());
+  // Both groupings must be materialized separately to cover the workload.
+  EXPECT_EQ(plan->materialize.size(), 2u);
+}
+
+TEST(AdvisorTest, PlanRendering) {
+  RetailMo retail = BuildRetail();
+  MaterializationAdvisor advisor(retail.mo,
+                                 AggFunction::Sum(retail.amount_dim));
+  auto plan = advisor.Advise(
+      {{GroupingAt(retail.mo, retail.product_dim, retail.category), 1.0}},
+      1);
+  ASSERT_TRUE(plan.ok());
+  std::string rendered = plan->ToString(retail.mo);
+  EXPECT_NE(rendered.find("Product.Category"), std::string::npos);
+  EXPECT_NE(rendered.find("->"), std::string::npos);
+}
+
+TEST(AdvisorTest, ArityValidated) {
+  RetailMo retail = BuildRetail();
+  MaterializationAdvisor advisor(retail.mo,
+                                 AggFunction::Sum(retail.amount_dim));
+  EXPECT_FALSE(advisor.Advise({{{0, 1}, 1.0}}, 1).ok());
+}
+
+}  // namespace
+}  // namespace mddc

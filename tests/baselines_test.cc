@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "baselines/conformance.h"
+#include "baselines/data_cube.h"
+#include "baselines/star_schema.h"
+
+namespace mddc {
+namespace {
+
+using relational::AggregateTerm;
+using relational::Relation;
+using relational::Value;
+
+Value I(std::int64_t v) { return Value(v); }
+Value S(std::string v) { return Value(std::move(v)); }
+
+StarSchemaEngine BuildClinicalStar() {
+  StarSchemaEngine engine;
+  Relation diagnosis({"diag_key", "low", "family", "grp"});
+  (void)diagnosis.Insert({I(1), S("5"), S("4"), S("12")});
+  (void)diagnosis.Insert({I(2), S("5"), S("9"), S("11")});
+  (void)diagnosis.Insert({I(3), S("6"), S("10"), S("11")});
+  (void)engine.AddDimensionTable("Diagnosis", std::move(diagnosis),
+                                 "diag_key");
+  Relation fact({"patient", "diag_fk"});
+  (void)fact.Insert({I(2), I(2)});
+  (void)fact.Insert({I(2), I(3)});
+  (void)fact.Insert({I(1), I(2)});
+  (void)engine.SetFactTable(std::move(fact), {{"Diagnosis", "diag_fk"}});
+  return engine;
+}
+
+TEST(StarSchemaTest, JoinedViewDenormalizes) {
+  StarSchemaEngine engine = BuildClinicalStar();
+  auto view = engine.JoinedView({"Diagnosis"});
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 3u);
+  EXPECT_TRUE(view->AttributeIndex("grp").ok());
+}
+
+TEST(StarSchemaTest, DoubleCountsManyToManyPatients) {
+  // The defining failure mode: group 11 has two *patients* but three
+  // fact rows, so COUNT(*) reports 3.
+  StarSchemaEngine engine = BuildClinicalStar();
+  auto counts = engine.AggregateByLevel(
+      "Diagnosis", "grp", {AggregateTerm::Func::kCountStar, "", "n"});
+  ASSERT_TRUE(counts.ok());
+  EXPECT_TRUE(counts->Contains({S("11"), I(3)}));  // wrong answer, by design
+  // COUNT(DISTINCT patient) repairs counting but not additive measures.
+  auto distinct = engine.AggregateByLevel(
+      "Diagnosis", "grp",
+      {AggregateTerm::Func::kCountDistinct, "patient", "n"});
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_TRUE(distinct->Contains({S("11"), I(2)}));
+}
+
+TEST(StarSchemaTest, RegistrationValidation) {
+  StarSchemaEngine engine;
+  Relation dim({"key"});
+  EXPECT_FALSE(engine.AddDimensionTable("D", dim, "nope").ok());
+  ASSERT_TRUE(engine.AddDimensionTable("D", dim, "key").ok());
+  EXPECT_FALSE(engine.AddDimensionTable("D", dim, "key").ok());
+  Relation fact({"fk"});
+  EXPECT_FALSE(engine.SetFactTable(fact, {{"Missing", "fk"}}).ok());
+  EXPECT_FALSE(engine.SetFactTable(fact, {{"D", "nope"}}).ok());
+  EXPECT_TRUE(engine.SetFactTable(fact, {{"D", "fk"}}).ok());
+  EXPECT_FALSE(engine.dimension_table("X").ok());
+  EXPECT_TRUE(engine.dimension_table("D").ok());
+}
+
+TEST(StarSchemaTest, ScdType2AsOf) {
+  StarSchemaEngine engine;
+  Relation diagnosis({"diag_key", "code", "ValidFrom", "ValidTo"});
+  (void)diagnosis.Insert({I(8), S("D1"), I(100), I(200)});
+  (void)diagnosis.Insert({I(11), S("E1"), I(201), I(999)});
+  (void)engine.AddDimensionTable("Diagnosis", std::move(diagnosis),
+                                 "diag_key");
+  auto old_version = engine.DimensionAsOf("Diagnosis", 150);
+  ASSERT_TRUE(old_version.ok());
+  ASSERT_EQ(old_version->size(), 1u);
+  EXPECT_TRUE(old_version->tuples()[0][1] == S("D1"));
+  auto new_version = engine.DimensionAsOf("Diagnosis", 300);
+  ASSERT_TRUE(new_version.ok());
+  EXPECT_TRUE(new_version->tuples()[0][1] == S("E1"));
+  // A dimension without validity columns returns everything.
+  Relation plain({"k", "v"});
+  (void)plain.Insert({I(1), S("x")});
+  (void)engine.AddDimensionTable("Plain", std::move(plain), "k");
+  auto all = engine.DimensionAsOf("Plain", 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1u);
+}
+
+TEST(DataCubeTest, CubeProducesAllCombinations) {
+  Relation r({"product", "region", "amount"});
+  (void)r.Insert({S("apples"), S("North"), I(10)});
+  (void)r.Insert({S("apples"), S("South"), I(20)});
+  (void)r.Insert({S("pears"), S("North"), I(5)});
+  auto cube =
+      Cube(r, {"product", "region"},
+           {AggregateTerm::Func::kSum, "amount", "total"});
+  ASSERT_TRUE(cube.ok());
+  // (product,region): 3 rows; (product,ALL): 2; (ALL,region): 2;
+  // (ALL,ALL): 1.
+  EXPECT_EQ(cube->size(), 8u);
+  EXPECT_TRUE(cube->Contains({S("apples"), AllValue(), Value(30.0)}));
+  EXPECT_TRUE(cube->Contains({AllValue(), S("North"), Value(15.0)}));
+  EXPECT_TRUE(cube->Contains({AllValue(), AllValue(), Value(35.0)}));
+}
+
+TEST(DataCubeTest, RollUpIsOneNestingOrder) {
+  Relation r({"a", "b", "v"});
+  (void)r.Insert({S("x"), S("p"), I(1)});
+  (void)r.Insert({S("x"), S("q"), I(2)});
+  (void)r.Insert({S("y"), S("p"), I(4)});
+  auto rolled =
+      RollUpCube(r, {"a", "b"}, {AggregateTerm::Func::kSum, "v", "total"});
+  ASSERT_TRUE(rolled.ok());
+  // (a,b): 3 rows, (a,ALL): 2, (ALL,ALL): 1 — but NOT (ALL,b).
+  EXPECT_EQ(rolled->size(), 6u);
+  EXPECT_TRUE(rolled->Contains({S("x"), AllValue(), Value(3.0)}));
+  EXPECT_FALSE(rolled->Contains({AllValue(), S("p"), Value(5.0)}));
+  EXPECT_TRUE(rolled->Contains({AllValue(), AllValue(), Value(7.0)}));
+}
+
+TEST(DataCubeTest, AllValueMarker) {
+  EXPECT_TRUE(IsAllValue(AllValue()));
+  EXPECT_FALSE(IsAllValue(S("all")));
+  EXPECT_FALSE(IsAllValue(I(1)));
+}
+
+TEST(ConformanceTest, PublishedTableHasEightModels) {
+  auto rows = PublishedTable2();
+  ASSERT_EQ(rows.size(), 8u);
+  // Prose cross-checks from the paper: requirement 5 is partially
+  // supported by exactly three models; requirement 7 only partially by
+  // Kimball; requirements 6, 8, 9 by none.
+  int req5_partial = 0;
+  for (const ModelRow& row : rows) {
+    if (row.support[4] == Support::kPartial) ++req5_partial;
+    EXPECT_EQ(row.support[5], Support::kNone) << row.name;
+    EXPECT_EQ(row.support[7], Support::kNone) << row.name;
+    EXPECT_EQ(row.support[8], Support::kNone) << row.name;
+    if (row.name != "Kimball [3]") {
+      EXPECT_NE(row.support[6], Support::kPartial) << row.name;
+    }
+  }
+  EXPECT_EQ(req5_partial, 3);
+}
+
+TEST(ConformanceTest, ExtendedModelSatisfiesAllNine) {
+  ModelRow row = ProbeExtendedModel();
+  for (std::size_t i = 0; i < kRequirementCount; ++i) {
+    EXPECT_EQ(row.support[i], Support::kFull)
+        << "requirement " << i + 1 << " ("
+        << RequirementName(static_cast<Requirement>(i))
+        << "): " << row.evidence[i];
+  }
+}
+
+TEST(ConformanceTest, StarSchemaProbeMatchesKimballRow) {
+  ModelRow probed = ProbeStarSchemaBaseline();
+  EXPECT_TRUE(MatchesPublishedRow(probed, "Kimball [3]"))
+      << RenderTable2({probed});
+}
+
+TEST(ConformanceTest, DataCubeProbeMatchesGrayRow) {
+  ModelRow probed = ProbeDataCubeBaseline();
+  EXPECT_TRUE(MatchesPublishedRow(probed, "Gray [2]"))
+      << RenderTable2({probed});
+}
+
+TEST(ConformanceTest, RenderedTableShowsSymbols) {
+  std::vector<ModelRow> rows = PublishedTable2();
+  rows.push_back(ProbeExtendedModel());
+  std::string table = RenderTable2(rows);
+  EXPECT_NE(table.find("Rafanelli"), std::string::npos);
+  EXPECT_NE(table.find("This paper"), std::string::npos);
+  EXPECT_NE(table.find('V'), std::string::npos);
+  EXPECT_NE(table.find('p'), std::string::npos);
+  EXPECT_NE(table.find('-'), std::string::npos);
+}
+
+TEST(ConformanceTest, RequirementNamesAndSymbols) {
+  EXPECT_EQ(RequirementName(Requirement::kNonStrictHierarchies),
+            "non-strict hierarchies");
+  EXPECT_EQ(SupportSymbol(Support::kFull), 'V');
+  EXPECT_EQ(SupportSymbol(Support::kPartial), 'p');
+  EXPECT_EQ(SupportSymbol(Support::kNone), '-');
+}
+
+}  // namespace
+}  // namespace mddc

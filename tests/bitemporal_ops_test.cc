@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "algebra/timeslice.h"
+#include "fixtures.h"
+
+// Transaction-time and bitemporal behavior of the algebra: the paper
+// states transaction time is supported "in the same way as valid time"
+// (Section 4.2). These tests pin that down for the implemented operators.
+
+namespace mddc {
+namespace {
+
+using testing_fixtures::BuildDiagnosisDimension;
+using testing_fixtures::Day;
+
+Lifespan Recorded(const std::string& interval) {
+  return Lifespan::RecordedDuring(
+      TemporalElement(*Interval::Parse(interval)));
+}
+
+TEST(BitemporalOpsTest, UnionCoalescesTransactionTime) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kTransactionTime);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kTransactionTime);
+  FactId p1 = registry->Atom(1);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(
+      m1.Relate(0, p1, ValueId(9), Recorded("[01/01/89-31/12/92]")).ok());
+  ASSERT_TRUE(m2.AddFact(p1).ok());
+  ASSERT_TRUE(
+      m2.Relate(0, p1, ValueId(9), Recorded("[01/01/93-NOW]")).ok());
+  auto merged = Union(m1, m2);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  auto pairs = merged->relation(0).ForFact(p1);
+  ASSERT_EQ(pairs.size(), 1u);
+  // Adjacent recording periods coalesce.
+  EXPECT_TRUE(pairs.front()->life.transaction.Contains(Day("15/06/90")));
+  EXPECT_TRUE(pairs.front()->life.transaction.Contains(Day("15/06/95")));
+  EXPECT_FALSE(pairs.front()->life.transaction.Contains(Day("15/06/88")));
+}
+
+TEST(BitemporalOpsTest, TransactionSliceOfUnion) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kTransactionTime);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kTransactionTime);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(
+      m1.Relate(0, p1, ValueId(9), Recorded("[01/01/89-31/12/92]")).ok());
+  ASSERT_TRUE(m2.AddFact(p2).ok());
+  ASSERT_TRUE(
+      m2.Relate(0, p2, ValueId(5), Recorded("[01/01/91-NOW]")).ok());
+  auto merged = Union(m1, m2);
+  ASSERT_TRUE(merged.ok());
+
+  // At a 1990 transaction time, only p1 was recorded.
+  auto in_90 = TransactionTimeslice(*merged, Day("15/06/90"));
+  ASSERT_TRUE(in_90.ok()) << in_90.status();
+  EXPECT_EQ(in_90->temporal_type(), TemporalType::kSnapshot);
+  EXPECT_EQ(in_90->fact_count(), 1u);
+  EXPECT_TRUE(in_90->HasFact(p1));
+
+  // At 1995, only p2's pair was still current.
+  auto in_95 = TransactionTimeslice(*merged, Day("15/06/95"));
+  ASSERT_TRUE(in_95.ok());
+  EXPECT_EQ(in_95->fact_count(), 1u);
+  EXPECT_TRUE(in_95->HasFact(p2));
+}
+
+TEST(BitemporalOpsTest, BitemporalUnionThenDoubleSlice) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kBitemporal);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kBitemporal);
+  FactId p1 = registry->Atom(1);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  // Recorded 1989, claiming validity from 1989.
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9),
+                        Lifespan{TemporalElement(Interval(Day("01/01/89"),
+                                                          kNowChronon)),
+                                 TemporalElement(Interval(Day("05/01/89"),
+                                                          kNowChronon))})
+                  .ok());
+  FactId p2 = registry->Atom(2);
+  ASSERT_TRUE(m2.AddFact(p2).ok());
+  ASSERT_TRUE(m2.Relate(0, p2, ValueId(5),
+                        Lifespan{TemporalElement(Interval(Day("01/01/82"),
+                                                          Day("30/09/82"))),
+                                 TemporalElement(Interval(Day("01/02/82"),
+                                                          kNowChronon))})
+                  .ok());
+  auto merged = Union(m1, m2);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->temporal_type(), TemporalType::kBitemporal);
+
+  // rho_t then rho_v: the database state of 1990, viewed at mid-1989.
+  auto as_recorded_90 = TransactionTimeslice(*merged, Day("15/06/90"));
+  ASSERT_TRUE(as_recorded_90.ok());
+  EXPECT_EQ(as_recorded_90->temporal_type(), TemporalType::kValidTime);
+  auto snapshot = ValidTimeslice(*as_recorded_90, Day("15/06/89"));
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->temporal_type(), TemporalType::kSnapshot);
+  // Valid mid-1989: p1 yes (valid from 01/01/89); p2 no (validity ended
+  // 30/09/82).
+  EXPECT_EQ(snapshot->fact_count(), 1u);
+  EXPECT_TRUE(snapshot->HasFact(p1));
+}
+
+TEST(BitemporalOpsTest, DifferenceLeavesTransactionComponentIntact) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kBitemporal);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kBitemporal);
+  FactId p1 = registry->Atom(1);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9),
+                        Lifespan{TemporalElement(Interval(Day("01/01/80"),
+                                                          Day("31/12/89"))),
+                                 TemporalElement(Interval(Day("01/01/80"),
+                                                          kNowChronon))})
+                  .ok());
+  ASSERT_TRUE(m2.AddFact(p1).ok());
+  // Overlapping transaction time, cutting valid [85-NOW].
+  ASSERT_TRUE(m2.Relate(0, p1, ValueId(9),
+                        Lifespan{TemporalElement(Interval(Day("01/01/85"),
+                                                          kNowChronon)),
+                                 TemporalElement(Interval(Day("01/01/80"),
+                                                          kNowChronon))})
+                  .ok());
+  auto diff = Difference(m1, m2);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  auto pairs = diff->relation(0).ForFact(p1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_TRUE(pairs.front()->life.valid.Contains(Day("15/06/82")));
+  EXPECT_FALSE(pairs.front()->life.valid.Contains(Day("15/06/86")));
+  EXPECT_TRUE(
+      pairs.front()->life.transaction.Contains(Day("15/06/99")));
+}
+
+TEST(BitemporalOpsTest, NonOverlappingTransactionTimeDoesNotCut) {
+  // The difference rule only cuts valid time when the recording periods
+  // overlap: a pair deleted from a *different* transaction era is
+  // untouched.
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kBitemporal);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kBitemporal);
+  FactId p1 = registry->Atom(1);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9),
+                        Lifespan{TemporalElement(Interval(Day("01/01/80"),
+                                                          kNowChronon)),
+                                 TemporalElement(Interval(Day("01/01/80"),
+                                                          Day("31/12/84")))})
+                  .ok());
+  ASSERT_TRUE(m2.AddFact(p1).ok());
+  ASSERT_TRUE(m2.Relate(0, p1, ValueId(9),
+                        Lifespan{TemporalElement(Interval(Day("01/01/80"),
+                                                          kNowChronon)),
+                                 TemporalElement(Interval(Day("01/01/90"),
+                                                          kNowChronon))})
+                  .ok());
+  auto diff = Difference(m1, m2);
+  ASSERT_TRUE(diff.ok());
+  auto pairs = diff->relation(0).ForFact(p1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_TRUE(pairs.front()->life.valid.Contains(Day("15/06/85")));
+}
+
+}  // namespace
+}  // namespace mddc

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "temporal/bitemporal.h"
+#include "temporal/lifespan.h"
+
+namespace mddc {
+namespace {
+
+Chronon Day(const std::string& date) { return *ParseDate(date); }
+
+TEST(BitemporalTest, DefaultIsEmpty) {
+  BitemporalElement element;
+  EXPECT_TRUE(element.Empty());
+  EXPECT_TRUE(element.TransactionTimeslice(0).Empty());
+}
+
+TEST(BitemporalTest, TransactionTimesliceReturnsRecordedValidTime) {
+  // Recorded on 05/01/80 with valid time [01/01/80-NOW].
+  BitemporalElement element = BitemporalElement::CurrentFrom(
+      Day("05/01/80"),
+      TemporalElement(Interval(Day("01/01/80"), kNowChronon)));
+  // Before the insertion the database knew nothing.
+  EXPECT_TRUE(element.TransactionTimeslice(Day("01/01/79")).Empty());
+  // After insertion the valid time is visible.
+  TemporalElement vt = element.TransactionTimeslice(Day("01/01/85"));
+  EXPECT_TRUE(vt.Contains(Day("01/06/83")));
+}
+
+TEST(BitemporalTest, CorrectionHistoryIsPreserved) {
+  // A diagnosis valid time recorded as [01/01/80-NOW] on day t1, then
+  // corrected on day t2 to [01/03/80-NOW] (proactive fix of a data-entry
+  // error). Both states must be retrievable: accountability is the
+  // paper's motivation for transaction time.
+  Chronon t1 = Day("05/01/80");
+  Chronon t2 = Day("01/06/80");
+  BitemporalElement element;
+  element.Add(Interval(t1, t2 - 1),
+              TemporalElement(Interval(Day("01/01/80"), kNowChronon)));
+  element.Add(Interval(t2, kNowChronon),
+              TemporalElement(Interval(Day("01/03/80"), kNowChronon)));
+
+  TemporalElement before = element.TransactionTimeslice(t1);
+  TemporalElement after = element.TransactionTimeslice(t2);
+  EXPECT_TRUE(before.Contains(Day("15/01/80")));
+  EXPECT_FALSE(after.Contains(Day("15/01/80")));
+  EXPECT_TRUE(after.Contains(Day("15/03/80")));
+}
+
+TEST(BitemporalTest, ValidTimesliceFindsRecordingPeriods) {
+  Chronon t1 = Day("05/01/80");
+  Chronon t2 = Day("01/06/80");
+  BitemporalElement element;
+  element.Add(Interval(t1, t2 - 1),
+              TemporalElement(Interval(Day("01/01/80"), kNowChronon)));
+  element.Add(Interval(t2, kNowChronon),
+              TemporalElement(Interval(Day("01/03/80"), kNowChronon)));
+  // Valid chronon 15/01/80 was recorded only during [t1, t2-1].
+  TemporalElement tt = element.ValidTimeslice(Day("15/01/80"));
+  EXPECT_TRUE(tt.Contains(t1));
+  EXPECT_FALSE(tt.Contains(t2));
+}
+
+TEST(BitemporalTest, UnionAndIntersect) {
+  BitemporalElement a(Interval(10, 20), TemporalElement(Interval(0, 5)));
+  BitemporalElement b(Interval(15, 30), TemporalElement(Interval(3, 9)));
+  BitemporalElement u = a.Union(b);
+  EXPECT_FALSE(u.Empty());
+  EXPECT_TRUE(u.TransactionTimeslice(12).Contains(4));
+  EXPECT_TRUE(u.TransactionTimeslice(25).Contains(8));
+
+  BitemporalElement i = a.Intersect(b);
+  TemporalElement overlap = i.TransactionTimeslice(17);
+  EXPECT_TRUE(overlap.Contains(4));
+  EXPECT_FALSE(overlap.Contains(1));
+  EXPECT_FALSE(overlap.Contains(8));
+  EXPECT_TRUE(i.TransactionTimeslice(12).Empty());
+}
+
+TEST(BitemporalTest, AdjacentSameValidTimeRectanglesMerge) {
+  BitemporalElement element;
+  TemporalElement vt(Interval(0, 9));
+  element.Add(Interval(10, 19), vt);
+  element.Add(Interval(20, 29), vt);
+  EXPECT_EQ(element.rectangles().size(), 1u);
+  EXPECT_EQ(element.rectangles()[0].tt, Interval(10, 29));
+}
+
+TEST(LifespanTest, DefaultIsAlwaysBothAxes) {
+  Lifespan life;
+  EXPECT_EQ(life.valid, TemporalElement::Always());
+  EXPECT_EQ(life.transaction, TemporalElement::Always());
+  EXPECT_FALSE(life.Empty());
+}
+
+TEST(LifespanTest, IntersectIsComponentwise) {
+  Lifespan a = Lifespan::ValidDuring(TemporalElement(Interval(0, 10)));
+  Lifespan b = Lifespan::ValidDuring(TemporalElement(Interval(5, 20)));
+  Lifespan i = a.Intersect(b);
+  EXPECT_EQ(i.valid, TemporalElement(Interval(5, 10)));
+  EXPECT_EQ(i.transaction, TemporalElement::Always());
+}
+
+TEST(LifespanTest, EmptyWhenEitherComponentEmpty) {
+  Lifespan life = Lifespan::ValidDuring(TemporalElement());
+  EXPECT_TRUE(life.Empty());
+  Lifespan recorded = Lifespan::RecordedDuring(TemporalElement());
+  EXPECT_TRUE(recorded.Empty());
+}
+
+}  // namespace
+}  // namespace mddc

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "algebra/derived.h"
+#include "algebra/timeslice.h"
+#include "common/date.h"
+#include "workload/case_study.h"
+
+namespace mddc {
+namespace {
+
+Chronon Day(const std::string& text) { return *ParseDate(text); }
+
+TEST(CaseStudyTest, BuildsValidSixDimensionalMo) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok()) << cs.status();
+  EXPECT_EQ(cs->mo.dimension_count(), 6u);
+  EXPECT_EQ(cs->mo.fact_count(), 2u);
+  EXPECT_EQ(cs->mo.schema().fact_type(), "Patient");
+  EXPECT_TRUE(cs->mo.Validate().ok());
+  EXPECT_EQ(cs->mo.dimension(cs->diagnosis).name(), "Diagnosis");
+  EXPECT_EQ(cs->mo.dimension(cs->dob).name(), "Date of Birth");
+  EXPECT_EQ(cs->mo.dimension(cs->age).name(), "Age");
+}
+
+TEST(CaseStudyTest, PatientTableRoundTrip) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto table = RenderPatientTable(*cs);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_NE(table->find("John Doe"), std::string::npos);
+  EXPECT_NE(table->find("Jane Doe"), std::string::npos);
+  EXPECT_NE(table->find("12345678"), std::string::npos);
+  EXPECT_NE(table->find("25/05/1969"), std::string::npos);
+  EXPECT_NE(table->find("20/03/1950"), std::string::npos);
+}
+
+TEST(CaseStudyTest, HasTableRoundTrip) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto table = RenderHasTable(*cs);
+  ASSERT_TRUE(table.ok()) << table.status();
+  // The five Has rows of Table 1.
+  EXPECT_NE(table->find("23/03/1975"), std::string::npos);
+  EXPECT_NE(table->find("NOW"), std::string::npos);
+  EXPECT_NE(table->find("Primary"), std::string::npos);
+  EXPECT_NE(table->find("Secondary"), std::string::npos);
+}
+
+TEST(CaseStudyTest, DiagnosisTableRoundTrip) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto table = RenderDiagnosisTable(*cs);
+  ASSERT_TRUE(table.ok()) << table.status();
+  for (const char* code :
+       {"P11", "O24", "O24.0", "O24.1", "P1", "D1", "E10", "E11", "E1",
+        "O2"}) {
+    EXPECT_NE(table->find(code), std::string::npos) << code;
+  }
+  EXPECT_NE(table->find("Insulin dep. diabetes"), std::string::npos);
+}
+
+TEST(CaseStudyTest, GroupingTableRoundTrip) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto table = RenderGroupingTable(*cs);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_NE(table->find("WHO"), std::string::npos);
+  EXPECT_NE(table->find("User-defined"), std::string::npos);
+}
+
+TEST(CaseStudyTest, SchemaLatticesMatchFigure2) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  std::string schema = RenderSchemaLattices(*cs);
+  for (const char* category :
+       {"Low-level Diagnosis", "Diagnosis Family", "Diagnosis Group", "Day",
+        "Week", "Month", "Quarter", "Year", "Decade", "Area", "County",
+        "Region", "Name", "SSN", "Age", "Five-year Group",
+        "Ten-year Group"}) {
+    EXPECT_NE(schema.find(category), std::string::npos) << category;
+  }
+}
+
+TEST(CaseStudyTest, DobHasTwoHierarchies) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  const DimensionType& dob = cs->mo.dimension(cs->dob).type();
+  CategoryTypeIndex day = *dob.Find("Day");
+  EXPECT_EQ(dob.Pred(day).size(), 2u);  // Week and Month
+  // Each patient's birth day rolls up through both paths.
+  FactId p1 = cs->registry->Atom(1);
+  auto pairs = cs->mo.relation(cs->dob).ForFact(p1);
+  ASSERT_EQ(pairs.size(), 1u);
+  const Dimension& dimension = cs->mo.dimension(cs->dob);
+  EXPECT_FALSE(
+      dimension.AncestorsIn(pairs.front()->value, *dob.Find("Week")).empty());
+  EXPECT_FALSE(
+      dimension.AncestorsIn(pairs.front()->value, *dob.Find("Decade"))
+          .empty());
+}
+
+TEST(CaseStudyTest, AgesAreNumericAndGrouped) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  FactId p2 = cs->registry->Atom(2);
+  auto pairs = cs->mo.relation(cs->age).ForFact(p2);
+  ASSERT_EQ(pairs.size(), 1u);
+  auto age = cs->mo.dimension(cs->age).NumericValueOf(pairs.front()->value);
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(*age, 48.0);  // Jane Doe, born 20/03/50, as of 01/01/99
+  // Age 48 is in five-year group 45-49 and ten-year group 40-49.
+  CategoryTypeIndex ten =
+      *cs->mo.dimension(cs->age).type().Find("Ten-year Group");
+  auto groups =
+      cs->mo.dimension(cs->age).AncestorsIn(pairs.front()->value, ten);
+  ASSERT_EQ(groups.size(), 1u);
+}
+
+TEST(CaseStudyTest, Example12CountsReproduce) {
+  // The headline result (Figure 3): set-count per diagnosis group gives
+  // {1,2} -> 2 for group 11 and {2} -> 1 for group 12.
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  CategoryTypeIndex group =
+      *cs->mo.dimension(cs->diagnosis).type().Find("Diagnosis Group");
+  auto result = RollUp(cs->mo, cs->diagnosis, group, AggFunction::SetCount());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->fact_count(), 2u);
+  FactId both = cs->registry->Set({cs->registry->Atom(1),
+                                   cs->registry->Atom(2)});
+  FactId only2 = cs->registry->Set({cs->registry->Atom(2)});
+  EXPECT_TRUE(result->HasFact(both));
+  EXPECT_TRUE(result->HasFact(only2));
+}
+
+TEST(CaseStudyTest, TimesliceIn1975HidesNewClassification) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto sliced = ValidTimeslice(cs->mo, Day("15/06/75"));
+  ASSERT_TRUE(sliced.ok()) << sliced.status();
+  EXPECT_FALSE(sliced->dimension(cs->diagnosis).HasValue(ValueId(11)));
+  EXPECT_TRUE(sliced->dimension(cs->diagnosis).HasValue(ValueId(3)));
+  // Only patient 2 existed in the Has table then.
+  EXPECT_EQ(sliced->fact_count(), 1u);
+}
+
+TEST(CaseStudyTest, DiagnosesByResidenceArea) {
+  // The case study's motivating analysis: diagnoses per area.
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto rows = SqlAggregate(
+      cs->mo,
+      {SqlGroupBy{cs->residence,
+                  *cs->mo.dimension(cs->residence).type().Find("Area"),
+                  "Name"}},
+      AggFunction::SetCount());
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].group[0], "Centrum");
+  EXPECT_DOUBLE_EQ((*rows)[0].value, 1.0);
+}
+
+}  // namespace
+}  // namespace mddc

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "common/id.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+namespace mddc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::InvariantViolation("x").code(),
+            StatusCode::kInvariantViolation);
+  EXPECT_EQ(Status::IllegalAggregation("x").code(),
+            StatusCode::kIllegalAggregation);
+  EXPECT_EQ(Status::SchemaMismatch("x").code(), StatusCode::kSchemaMismatch);
+  EXPECT_EQ(Status::TemporalTypeMismatch("x").code(),
+            StatusCode::kTemporalTypeMismatch);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::InvalidArgument("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubled(Result<int> input) {
+  MDDC_ASSIGN_OR_RETURN(int value, input);
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::NotFound("x")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(IdTest, DefaultIsInvalid) {
+  ValueId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(IdTest, ComparesByRawValue) {
+  EXPECT_EQ(ValueId(3), ValueId(3));
+  EXPECT_NE(ValueId(3), ValueId(4));
+  EXPECT_LT(ValueId(3), ValueId(4));
+}
+
+TEST(IdTest, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<ValueId, FactId>);
+}
+
+TEST(DateTest, RoundTripsKnownDates) {
+  CalendarDate date{1980, 1, 1};
+  auto day = DateToDayNumber(date);
+  ASSERT_TRUE(day.ok());
+  EXPECT_EQ(DayNumberToDate(*day), date);
+}
+
+TEST(DateTest, EpochIsZero) {
+  auto day = DateToDayNumber(CalendarDate{1900, 1, 1});
+  ASSERT_TRUE(day.ok());
+  EXPECT_EQ(*day, 0);
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_TRUE(IsValidDate(CalendarDate{2000, 2, 29}));
+  EXPECT_FALSE(IsValidDate(CalendarDate{1900, 2, 29}));  // not a leap year
+  EXPECT_FALSE(IsValidDate(CalendarDate{1981, 2, 29}));
+  EXPECT_FALSE(IsValidDate(CalendarDate{1981, 13, 1}));
+  EXPECT_FALSE(IsValidDate(CalendarDate{1981, 4, 31}));
+}
+
+TEST(DateTest, ConsecutiveDaysDifferByOne) {
+  auto a = DateToDayNumber(CalendarDate{1979, 12, 31});
+  auto b = DateToDayNumber(CalendarDate{1980, 1, 1});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b - *a, 1);
+}
+
+TEST(DateTest, ParsesPaperFormat) {
+  // The paper writes dates as dd/mm/yy; 25/05/69 is 1969.
+  auto parsed = ParseDate("25/05/69");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(DayNumberToDate(*parsed), (CalendarDate{1969, 5, 25}));
+}
+
+TEST(DateTest, TwoDigitYearWindow) {
+  EXPECT_EQ(DayNumberToDate(*ParseDate("01/01/30")).year, 1930);
+  EXPECT_EQ(DayNumberToDate(*ParseDate("01/01/29")).year, 2029);
+  EXPECT_EQ(DayNumberToDate(*ParseDate("01/01/1985")).year, 1985);
+}
+
+TEST(DateTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDate("not a date").ok());
+  EXPECT_FALSE(ParseDate("31/02/80").ok());
+  EXPECT_FALSE(ParseDate("1/2").ok());
+}
+
+TEST(DateTest, FormatsWithFourDigitYear) {
+  EXPECT_EQ(FormatDate(*ParseDate("01/01/80")), "01/01/1980");
+}
+
+TEST(DateTest, RoundTripSweep) {
+  // Property: DayNumberToDate inverts DateToDayNumber over a broad sweep.
+  auto start = DateToDayNumber(CalendarDate{1969, 1, 1});
+  ASSERT_TRUE(start.ok());
+  for (std::int64_t day = *start; day < *start + 20000; day += 37) {
+    CalendarDate date = DayNumberToDate(day);
+    auto back = DateToDayNumber(date);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, day);
+  }
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("x=", 42, " y=", 1.5), "x=42 y=1.5");
+}
+
+TEST(StringsTest, FormatDoubleTrimsIntegers) {
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(-3.0), "-3");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"ID", "Name"});
+  printer.AddRow({"1", "John Doe"});
+  printer.AddRow({"2", "Jane"});
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("ID | Name"), std::string::npos);
+  EXPECT_NE(out.find("1  | John Doe"), std::string::npos);
+  EXPECT_EQ(printer.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter printer({"A", "B", "C"});
+  printer.AddRow({"only"});
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mddc

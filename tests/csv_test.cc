@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "algebra/derived.h"
+#include "common/date.h"
+#include "core/properties.h"
+#include "io/csv.h"
+
+namespace mddc {
+namespace io {
+namespace {
+
+constexpr char kResidenceCsv[] =
+    "area,county,region\n"
+    "Centrum,North County,Capital\n"
+    "Vestby,West County,Capital\n"
+    "Harbor,North County,Capital\n";
+
+constexpr char kDiagnosisCsv[] =
+    "low,family\n"
+    "O24.0,E10\n"
+    "O24.1,E11\n";
+
+constexpr char kFactCsv[] =
+    "patient,diagnosis,area,from,to,p\n"
+    "1,O24.0,Centrum,01/01/1989,NOW,\n"
+    "2,O24.0,Vestby,01/01/1982,NOW,0.9\n"
+    "2,O24.1,Vestby,01/01/1985,31/12/1990,\n";
+
+TEST(CsvParseTest, TypesAndQuoting) {
+  auto relation = ParseCsv(
+      "a,b,c\n"
+      "1,2.5,\"hello, \"\"world\"\"\"\n"
+      ",x,\n");
+  ASSERT_TRUE(relation.ok()) << relation.status();
+  ASSERT_EQ(relation->size(), 2u);
+  ASSERT_EQ(relation->arity(), 3u);
+  // First row: int, double, quoted string with embedded comma and quotes.
+  const auto& rows = relation->tuples();
+  // Sorted set order: null-first row sorts before the 1-row.
+  EXPECT_TRUE(rows[1][0] == relational::Value(std::int64_t{1}) ||
+              rows[0][0] == relational::Value(std::int64_t{1}));
+  bool found = false;
+  for (const auto& row : rows) {
+    if (row[2] == relational::Value(std::string("hello, \"world\""))) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CsvParseTest, Errors) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());        // arity mismatch
+  EXPECT_FALSE(ParseCsv("a\n\"unterminated\n").ok());
+}
+
+CsvFactSpec ClinicalSpec() {
+  CsvFactSpec spec;
+  spec.fact_type = "Patient";
+  spec.fact_id_column = "patient";
+  spec.characterizations = {{"Diagnosis", "diagnosis"},
+                            {"Residence", "area"}};
+  spec.valid_from_column = "from";
+  spec.valid_to_column = "to";
+  spec.probability_column = "p";
+  spec.probability_dimension = "Diagnosis";
+  return spec;
+}
+
+std::vector<CsvHierarchySpec> ClinicalHierarchies() {
+  return {{"Diagnosis", {"low", "family"}},
+          {"Residence", {"area", "county", "region"}}};
+}
+
+TEST(CsvImportTest, BuildsValidTemporalMo) {
+  auto mo = MoFromCsv(kFactCsv,
+                      {{"Diagnosis", kDiagnosisCsv},
+                       {"Residence", kResidenceCsv}},
+                      ClinicalHierarchies(), ClinicalSpec(),
+                      std::make_shared<FactRegistry>());
+  ASSERT_TRUE(mo.ok()) << mo.status();
+  EXPECT_EQ(mo->fact_count(), 2u);
+  EXPECT_EQ(mo->dimension_count(), 2u);
+  EXPECT_EQ(mo->temporal_type(), TemporalType::kValidTime);
+  EXPECT_TRUE(mo->Validate().ok());
+  // Residence hierarchy: 3 areas, 2 counties, 1 region (+ top).
+  EXPECT_EQ(mo->dimension(1).value_count(), 7u);
+  EXPECT_TRUE(IsStrict(mo->dimension(1)));
+  EXPECT_TRUE(IsPartitioning(mo->dimension(1)));
+}
+
+TEST(CsvImportTest, CharacterizationsAndProbabilities) {
+  auto mo = MoFromCsv(kFactCsv,
+                      {{"Diagnosis", kDiagnosisCsv},
+                       {"Residence", kResidenceCsv}},
+                      ClinicalHierarchies(), ClinicalSpec(),
+                      std::make_shared<FactRegistry>());
+  ASSERT_TRUE(mo.ok());
+  FactId p2 = mo->registry()->Atom(2);
+  auto pairs = mo->relation(0).ForFact(p2);
+  ASSERT_EQ(pairs.size(), 2u);  // O24.0 and O24.1
+  bool saw_uncertain = false;
+  for (const auto* entry : pairs) {
+    if (entry->prob == 0.9) saw_uncertain = true;
+  }
+  EXPECT_TRUE(saw_uncertain);
+  // Valid times parsed: the O24.1 pair ends 31/12/1990.
+  Chronon in_1995 = *ParseDate("01/06/95");
+  std::size_t alive = 0;
+  for (const auto* entry : pairs) {
+    if (entry->life.valid.Contains(in_1995)) ++alive;
+  }
+  EXPECT_EQ(alive, 1u);
+}
+
+TEST(CsvImportTest, RollUpByCountyWorks) {
+  auto mo = MoFromCsv(kFactCsv,
+                      {{"Diagnosis", kDiagnosisCsv},
+                       {"Residence", kResidenceCsv}},
+                      ClinicalHierarchies(), ClinicalSpec(),
+                      std::make_shared<FactRegistry>());
+  ASSERT_TRUE(mo.ok());
+  CategoryTypeIndex county = *mo->dimension(1).type().Find("county");
+  auto rows = SqlAggregate(*mo, {SqlGroupBy{1, county, "Name"}},
+                           AggFunction::SetCount());
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  // Patient 1 in North County (Centrum), patient 2 in West (Vestby).
+  EXPECT_EQ((*rows)[0].group[0], "North County");
+  EXPECT_DOUBLE_EQ((*rows)[0].value, 1.0);
+  EXPECT_EQ((*rows)[1].group[0], "West County");
+  EXPECT_DOUBLE_EQ((*rows)[1].value, 1.0);
+}
+
+TEST(CsvImportTest, MeasureColumns) {
+  const char* fact_csv =
+      "sale,product,amount\n"
+      "1,widget,5\n"
+      "2,widget,3\n"
+      "3,gadget,10\n";
+  const char* product_csv =
+      "product,category\n"
+      "widget,tools\n"
+      "gadget,toys\n";
+  CsvFactSpec spec;
+  spec.fact_type = "Sale";
+  spec.fact_id_column = "sale";
+  spec.characterizations = {{"Product", "product"}};
+  spec.measure_columns = {"amount"};
+  auto mo = MoFromCsv(fact_csv, {{"Product", product_csv}},
+                      {{"Product", {"product", "category"}}}, spec,
+                      std::make_shared<FactRegistry>());
+  ASSERT_TRUE(mo.ok()) << mo.status();
+  EXPECT_EQ(mo->dimension_count(), 2u);
+  CategoryTypeIndex category = *mo->dimension(0).type().Find("category");
+  auto rows = SqlAggregate(*mo, {SqlGroupBy{0, category, "Name"}},
+                           AggFunction::Sum(1));
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].group[0], "tools");
+  EXPECT_DOUBLE_EQ((*rows)[0].value, 8.0);
+  EXPECT_EQ((*rows)[1].group[0], "toys");
+  EXPECT_DOUBLE_EQ((*rows)[1].value, 10.0);
+}
+
+TEST(CsvImportTest, UnknownValueAndMissingCsvAreErrors) {
+  const char* bad_fact = "patient,diagnosis,area,from,to,p\n"
+                         "1,UNKNOWN,Centrum,01/01/1989,NOW,\n";
+  auto unknown = MoFromCsv(bad_fact,
+                           {{"Diagnosis", kDiagnosisCsv},
+                            {"Residence", kResidenceCsv}},
+                           ClinicalHierarchies(), ClinicalSpec(),
+                           std::make_shared<FactRegistry>());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  auto missing = MoFromCsv(kFactCsv, {{"Diagnosis", kDiagnosisCsv}},
+                           ClinicalHierarchies(), ClinicalSpec(),
+                           std::make_shared<FactRegistry>());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvImportTest, EmptyCellMeansUnknownCharacterization) {
+  const char* fact_csv =
+      "patient,diagnosis,area,from,to,p\n"
+      "1,,Centrum,01/01/1989,NOW,\n";
+  auto mo = MoFromCsv(fact_csv,
+                      {{"Diagnosis", kDiagnosisCsv},
+                       {"Residence", kResidenceCsv}},
+                      ClinicalHierarchies(), ClinicalSpec(),
+                      std::make_shared<FactRegistry>());
+  ASSERT_TRUE(mo.ok()) << mo.status();
+  auto pairs = mo->relation(0).entries();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].value, mo->dimension(0).top_value());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace mddc

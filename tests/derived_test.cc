@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "algebra/derived.h"
+#include "fixtures.h"
+
+namespace mddc {
+namespace {
+
+using testing_fixtures::BuildDiagnosisDimension;
+using testing_fixtures::Day;
+using testing_fixtures::During;
+
+MdObject BuildSnapshotPatientMo() {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo("Patient", {BuildDiagnosisDimension()}, registry);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  (void)mo.AddFact(p1);
+  (void)mo.AddFact(p2);
+  (void)mo.Relate(0, p1, ValueId(9));
+  (void)mo.Relate(0, p2, ValueId(3));
+  (void)mo.Relate(0, p2, ValueId(5));
+  (void)mo.Relate(0, p2, ValueId(8));
+  (void)mo.Relate(0, p2, ValueId(9));
+  return mo;
+}
+
+TEST(RollUpTest, RollUpToGroupMatchesAggregateFormation) {
+  MdObject mo = BuildSnapshotPatientMo();
+  CategoryTypeIndex group = *mo.dimension(0).type().Find("Diagnosis Group");
+  auto rolled = RollUp(mo, 0, group, AggFunction::SetCount());
+  ASSERT_TRUE(rolled.ok()) << rolled.status();
+  EXPECT_EQ(rolled->fact_count(), 2u);  // groups 11 and 12
+}
+
+TEST(RollUpTest, DrillDownToFamilyGivesFinerGroups) {
+  MdObject mo = BuildSnapshotPatientMo();
+  CategoryTypeIndex family = *mo.dimension(0).type().Find("Diagnosis Family");
+  auto drilled = DrillDown(mo, 0, family, AggFunction::SetCount());
+  ASSERT_TRUE(drilled.ok());
+  // Families with patients: 9 ({1,2}), 8 ({2}), 7 ({2} via 3<=7),
+  // 4 ({2} via 5<=4); family 10 has none. Fact sets are canonical, so F'
+  // holds two distinct sets — {1,2} and {2} — while the fact-dimension
+  // relation carries the four family links.
+  EXPECT_EQ(drilled->fact_count(), 2u);
+  EXPECT_EQ(drilled->relation(0).size(), 4u);
+}
+
+TEST(RollUpTest, RejectsBadDimension) {
+  MdObject mo = BuildSnapshotPatientMo();
+  EXPECT_FALSE(RollUp(mo, 5, 0, AggFunction::SetCount()).ok());
+}
+
+TEST(ValueJoinTest, JoinsFactsSharingACharacterizingValue) {
+  auto registry = std::make_shared<FactRegistry>();
+  // Patients characterized by diagnosis families; a second MO of
+  // treatment protocols characterized by the families they apply to.
+  MdObject patients("Patient", {BuildDiagnosisDimension()}, registry);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  (void)patients.AddFact(p1);
+  (void)patients.AddFact(p2);
+  (void)patients.Relate(0, p1, ValueId(9));
+  (void)patients.Relate(0, p2, ValueId(3));  // low-level under family 7/8
+
+  MdObject protocols("Protocol",
+                     {BuildDiagnosisDimension().RenamedAs("AppliesTo")},
+                     registry);
+  FactId t1 = registry->Atom(100);
+  FactId t2 = registry->Atom(101);
+  (void)protocols.AddFact(t1);
+  (void)protocols.AddFact(t2);
+  (void)protocols.Relate(0, t1, ValueId(9));   // insulin protocol
+  (void)protocols.Relate(0, t2, ValueId(10));  // non-insulin protocol
+
+  CategoryTypeIndex family =
+      *patients.dimension(0).type().Find("Diagnosis Family");
+  auto joined = ValueJoin(patients, 0, protocols, 0, family);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  // p1 ~> family 9 matches protocol t1 only; p2 ~> families 7, 8 matches
+  // nothing.
+  ASSERT_EQ(joined->fact_count(), 1u);
+  EXPECT_TRUE(joined->HasFact(registry->Pair(p1, t1)));
+  EXPECT_EQ(joined->dimension_count(), 2u);
+  EXPECT_EQ(joined->schema().fact_type(), "(Patient,Protocol)");
+}
+
+TEST(ValueJoinTest, ClashingDimensionNamesAreSuffixed) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject a("A", {BuildDiagnosisDimension()}, registry);
+  MdObject b("B", {BuildDiagnosisDimension()}, registry);
+  FactId fa = registry->Atom(1);
+  FactId fb = registry->Atom(2);
+  (void)a.AddFact(fa);
+  (void)a.Relate(0, fa, ValueId(9));
+  (void)b.AddFact(fb);
+  (void)b.Relate(0, fb, ValueId(9));
+  CategoryTypeIndex family = *a.dimension(0).type().Find("Diagnosis Family");
+  auto joined = ValueJoin(a, 0, b, 0, family);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->dimension(0).name(), "Diagnosis");
+  EXPECT_EQ(joined->dimension(1).name(), "Diagnosis'");
+  EXPECT_EQ(joined->fact_count(), 1u);
+}
+
+TEST(DuplicateRemovalTest, MergesValueEquivalentFacts) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo("Patient", {BuildDiagnosisDimension()}, registry);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  FactId p3 = registry->Atom(3);
+  (void)mo.AddFact(p1);
+  (void)mo.AddFact(p2);
+  (void)mo.AddFact(p3);
+  (void)mo.Relate(0, p1, ValueId(9));
+  (void)mo.Relate(0, p2, ValueId(9));  // same value combination as p1
+  (void)mo.Relate(0, p3, ValueId(5));
+
+  auto deduped = DuplicateRemoval(mo);
+  ASSERT_TRUE(deduped.ok());
+  ASSERT_EQ(deduped->fact_count(), 2u);
+  EXPECT_TRUE(deduped->HasFact(registry->Set({p1, p2})));
+  EXPECT_TRUE(deduped->HasFact(registry->Set({p3})));
+  EXPECT_EQ(deduped->schema().fact_type(), "Set-of-Patient");
+}
+
+TEST(DuplicateRemovalTest, DifferentPairTimesStillMerge) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kValidTime);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  (void)mo.AddFact(p1);
+  (void)mo.AddFact(p2);
+  (void)mo.Relate(0, p1, ValueId(9), During("[01/01/82-31/12/89]"));
+  (void)mo.Relate(0, p2, ValueId(9), During("[01/01/90-NOW]"));
+  auto deduped = DuplicateRemoval(mo);
+  ASSERT_TRUE(deduped.ok());
+  ASSERT_EQ(deduped->fact_count(), 1u);
+  auto pairs = deduped->relation(0).ForFact(registry->Set({p1, p2}));
+  ASSERT_EQ(pairs.size(), 1u);
+  // The merged pair time is the union of the duplicates' times.
+  EXPECT_TRUE(pairs.front()->life.valid.Contains(Day("15/06/85")));
+  EXPECT_TRUE(pairs.front()->life.valid.Contains(Day("15/06/95")));
+}
+
+TEST(StarJoinTest, RestrictsByValuesAcrossDimensions) {
+  auto registry = std::make_shared<FactRegistry>();
+  DimensionTypeBuilder residence_builder("Residence");
+  residence_builder.AddCategory("Area");
+  Dimension residence(std::move(residence_builder.Build()).ValueOrDie());
+  CategoryTypeIndex area = *residence.type().Find("Area");
+  (void)residence.AddValue(area, ValueId(700));
+  (void)residence.AddValue(area, ValueId(701));
+
+  MdObject mo("Patient", {BuildDiagnosisDimension(), residence}, registry);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  (void)mo.AddFact(p1);
+  (void)mo.AddFact(p2);
+  (void)mo.Relate(0, p1, ValueId(9));
+  (void)mo.Relate(0, p2, ValueId(9));
+  (void)mo.Relate(1, p1, ValueId(700));
+  (void)mo.Relate(1, p2, ValueId(701));
+
+  // Patients with diagnosis family 9 living in area 700: only p1.
+  auto joined = StarJoin(mo, {ValueId(9), ValueId(700)});
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->fact_count(), 1u);
+  EXPECT_EQ(joined->facts()[0], p1);
+
+  // No restriction at all keeps everything.
+  auto all = StarJoin(mo, {std::nullopt, std::nullopt});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->fact_count(), 2u);
+
+  EXPECT_FALSE(StarJoin(mo, {std::nullopt}).ok());  // arity mismatch
+}
+
+TEST(DrillAcrossTest, JoinsMosThroughSharedSubdimension) {
+  auto registry = std::make_shared<FactRegistry>();
+  // Two MOs over the *same* diagnosis dimension: patients and treatment
+  // protocols — the paper's MO-family "join" scenario.
+  MdObject patients("Patient", {BuildDiagnosisDimension()}, registry);
+  FactId p1 = registry->Atom(1);
+  (void)patients.AddFact(p1);
+  (void)patients.Relate(0, p1, ValueId(9));
+  MdObject protocols("Protocol", {BuildDiagnosisDimension()}, registry);
+  FactId t1 = registry->Atom(100);
+  (void)protocols.AddFact(t1);
+  (void)protocols.Relate(0, t1, ValueId(5));  // low-level under family 9
+
+  MoFamily family;
+  ASSERT_TRUE(family.Add("patients", patients).ok());
+  ASSERT_TRUE(family.Add("protocols", protocols).ok());
+
+  CategoryTypeIndex family_cat =
+      *patients.dimension(0).type().Find("Diagnosis Family");
+  auto joined =
+      DrillAcross(family, "patients", 0, "protocols", 0, family_cat);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  // p1 ~> family 9; t1 ~> family 9 via 5 <= 9: one pair.
+  ASSERT_EQ(joined->fact_count(), 1u);
+  EXPECT_TRUE(joined->HasFact(registry->Pair(p1, t1)));
+}
+
+TEST(DrillAcrossTest, RejectsDivergedDimensions) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject a("A", {BuildDiagnosisDimension()}, registry);
+  Dimension diverged = BuildDiagnosisDimension();
+  CategoryTypeIndex low = *diverged.type().Find("Low-level Diagnosis");
+  ASSERT_TRUE(diverged.AddValue(low, ValueId(999)).ok());
+  MdObject b("B", {std::move(diverged)}, registry);
+  MoFamily family;
+  ASSERT_TRUE(family.Add("a", std::move(a)).ok());
+  ASSERT_TRUE(family.Add("b", std::move(b)).ok());
+  CategoryTypeIndex family_cat = *BuildDiagnosisDimension()
+                                      .type()
+                                      .Find("Diagnosis Family");
+  auto joined = DrillAcross(family, "a", 0, "b", 0, family_cat);
+  ASSERT_FALSE(joined.ok());
+  EXPECT_EQ(joined.status().code(), StatusCode::kSchemaMismatch);
+}
+
+TEST(SqlAggregateTest, GroupedCountWithLabels) {
+  MdObject mo = BuildSnapshotPatientMo();
+  CategoryTypeIndex group = *mo.dimension(0).type().Find("Diagnosis Group");
+  // Give the groups Code representations for labeling.
+  Representation& rep =
+      mo.dimension_mutable(0).RepresentationFor(group, "Code");
+  ASSERT_TRUE(rep.Set(ValueId(11), "E1").ok());
+  ASSERT_TRUE(rep.Set(ValueId(12), "O2").ok());
+
+  auto rows = SqlAggregate(mo, {SqlGroupBy{0, group, "Code"}},
+                           AggFunction::SetCount());
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].group[0], "E1");
+  EXPECT_DOUBLE_EQ((*rows)[0].value, 2.0);
+  EXPECT_EQ((*rows)[1].group[0], "O2");
+  EXPECT_DOUBLE_EQ((*rows)[1].value, 1.0);
+}
+
+TEST(SqlAggregateTest, FallsBackToIdLabels) {
+  MdObject mo = BuildSnapshotPatientMo();
+  CategoryTypeIndex group = *mo.dimension(0).type().Find("Diagnosis Group");
+  auto rows = SqlAggregate(mo, {SqlGroupBy{0, group, "Nope"}},
+                           AggFunction::SetCount());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].group[0].substr(0, 3), "id:");
+}
+
+}  // namespace
+}  // namespace mddc

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace mddc {
+namespace {
+
+using testing_fixtures::BuildDiagnosisDimension;
+using testing_fixtures::Day;
+using testing_fixtures::DiagnosisType;
+using testing_fixtures::During;
+
+TEST(DimensionTest, TopValueExistsInTopCategory) {
+  Dimension dimension(DiagnosisType());
+  EXPECT_TRUE(dimension.HasValue(dimension.top_value()));
+  auto category = dimension.CategoryOf(dimension.top_value());
+  ASSERT_TRUE(category.ok());
+  EXPECT_EQ(*category, dimension.type().top());
+}
+
+TEST(DimensionTest, AddValueRejectsDuplicates) {
+  Dimension dimension(DiagnosisType());
+  CategoryTypeIndex low = *dimension.type().Find("Low-level Diagnosis");
+  ASSERT_TRUE(dimension.AddValue(low, ValueId(3)).ok());
+  EXPECT_EQ(dimension.AddValue(low, ValueId(3)).code(),
+            StatusCode::kInvariantViolation);
+}
+
+TEST(DimensionTest, AddValueRejectsTopCategory) {
+  Dimension dimension(DiagnosisType());
+  EXPECT_FALSE(dimension.AddValue(dimension.type().top(), ValueId(99)).ok());
+}
+
+TEST(DimensionTest, AutoIdsDoNotCollideWithExplicitIds) {
+  Dimension dimension(DiagnosisType());
+  CategoryTypeIndex low = *dimension.type().Find("Low-level Diagnosis");
+  ASSERT_TRUE(dimension.AddValue(low, ValueId(10)).ok());
+  auto auto_id = dimension.AddValueAuto(low);
+  ASSERT_TRUE(auto_id.ok());
+  EXPECT_GT(auto_id->raw(), 10u);
+}
+
+TEST(DimensionTest, AddOrderRequiresStrictlyLargerCategory) {
+  Dimension dimension(DiagnosisType());
+  CategoryTypeIndex low = *dimension.type().Find("Low-level Diagnosis");
+  CategoryTypeIndex family = *dimension.type().Find("Diagnosis Family");
+  ASSERT_TRUE(dimension.AddValue(low, ValueId(1)).ok());
+  ASSERT_TRUE(dimension.AddValue(low, ValueId(2)).ok());
+  ASSERT_TRUE(dimension.AddValue(family, ValueId(3)).ok());
+  // Same category: rejected.
+  EXPECT_FALSE(dimension.AddOrder(ValueId(1), ValueId(2)).ok());
+  // Downward: rejected.
+  EXPECT_FALSE(dimension.AddOrder(ValueId(3), ValueId(1)).ok());
+  // Upward: accepted.
+  EXPECT_TRUE(dimension.AddOrder(ValueId(1), ValueId(3)).ok());
+}
+
+TEST(DimensionTest, AddOrderValidatesProbability) {
+  Dimension dimension = BuildDiagnosisDimension();
+  EXPECT_FALSE(
+      dimension.AddOrder(ValueId(5), ValueId(4), Lifespan{}, 0.0).ok());
+  EXPECT_FALSE(
+      dimension.AddOrder(ValueId(5), ValueId(4), Lifespan{}, 1.5).ok());
+}
+
+TEST(DimensionTest, RepeatedOrderCoalescesLifespans) {
+  Dimension dimension = BuildDiagnosisDimension();
+  std::size_t edges_before = dimension.edges().size();
+  // Re-assert 5 <= 4 for a disjoint period: same edge, unioned lifespan.
+  ASSERT_TRUE(dimension
+                  .AddOrder(ValueId(5), ValueId(4),
+                            During("[01/01/60-31/12/69]"))
+                  .ok());
+  EXPECT_EQ(dimension.edges().size(), edges_before);
+  Lifespan span = dimension.ContainmentSpan(ValueId(5), ValueId(4));
+  EXPECT_TRUE(span.valid.Contains(Day("15/06/65")));
+  EXPECT_TRUE(span.valid.Contains(Day("15/06/85")));
+  EXPECT_FALSE(span.valid.Contains(Day("15/06/75")));
+}
+
+TEST(DimensionTest, ContainmentSpanFollowsPaths) {
+  Dimension dimension = BuildDiagnosisDimension();
+  // 5 <= 4 directly during [80-NOW] (Grouping table).
+  Lifespan direct = dimension.ContainmentSpan(ValueId(5), ValueId(4));
+  EXPECT_TRUE(direct.valid.Contains(Day("01/06/85")));
+  EXPECT_FALSE(direct.valid.Contains(Day("01/06/75")));
+  // 5 <= 11 via 9 (user-defined then WHO), both alive [80-NOW].
+  Lifespan indirect = dimension.ContainmentSpan(ValueId(5), ValueId(11));
+  EXPECT_TRUE(indirect.valid.Contains(Day("01/06/85")));
+  // 3 <= 11? 3's parents are 7 and 8; 8 <= 11 from 1980 but 3 <= 8 only
+  // until 1979: the path intersection is empty.
+  Lifespan none = dimension.ContainmentSpan(ValueId(3), ValueId(11));
+  EXPECT_TRUE(none.valid.Empty());
+}
+
+TEST(DimensionTest, ContainmentInTopIsUnconditional) {
+  Dimension dimension = BuildDiagnosisDimension();
+  Lifespan span =
+      dimension.ContainmentSpan(ValueId(3), dimension.top_value());
+  EXPECT_EQ(span.valid, TemporalElement::Always());
+  EXPECT_TRUE(dimension.LessEqAt(ValueId(3), dimension.top_value(),
+                                 Day("01/01/99")));
+}
+
+TEST(DimensionTest, LessEqAtHonorsEdgeValidTime) {
+  Dimension dimension = BuildDiagnosisDimension();
+  // 3 <= 7 held only during the 70s (old classification).
+  EXPECT_TRUE(dimension.LessEqAt(ValueId(3), ValueId(7), Day("15/06/75")));
+  EXPECT_FALSE(dimension.LessEqAt(ValueId(3), ValueId(7), Day("15/06/85")));
+}
+
+TEST(DimensionTest, NonStrictHierarchyGivesTwoParents) {
+  Dimension dimension = BuildDiagnosisDimension();
+  // Value 5 ("Ins. dep. diab., pregn.") is in families 4 and 9 — the
+  // paper's flagship non-strict example.
+  CategoryTypeIndex family = *dimension.type().Find("Diagnosis Family");
+  auto parents = dimension.AncestorsIn(ValueId(5), family);
+  std::vector<std::uint64_t> ids;
+  for (const auto& c : parents) ids.push_back(c.value.raw());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{4, 9}));
+}
+
+TEST(DimensionTest, AncestorsIncludeTop) {
+  Dimension dimension = BuildDiagnosisDimension();
+  bool found_top = false;
+  for (const auto& c : dimension.Ancestors(ValueId(5))) {
+    if (c.value == dimension.top_value()) {
+      found_top = true;
+      EXPECT_EQ(c.life.valid, TemporalElement::Always());
+      EXPECT_EQ(c.prob, 1.0);
+    }
+  }
+  EXPECT_TRUE(found_top);
+}
+
+TEST(DimensionTest, DescendantsMirrorAncestors) {
+  Dimension dimension = BuildDiagnosisDimension();
+  // Group 11 contains families 9, 10, 8 and low-levels 5, 6.
+  std::vector<std::uint64_t> ids;
+  for (const auto& c : dimension.Descendants(ValueId(11))) {
+    ids.push_back(c.value.raw());
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{5, 6, 8, 9, 10}));
+}
+
+TEST(DimensionTest, TopDescendantsAreAllValues) {
+  Dimension dimension = BuildDiagnosisDimension();
+  EXPECT_EQ(dimension.Descendants(dimension.top_value()).size(),
+            dimension.value_count() - 1);
+}
+
+TEST(DimensionTest, ProbabilisticContainmentCombines) {
+  Dimension dimension(DiagnosisType());
+  CategoryTypeIndex low = *dimension.type().Find("Low-level Diagnosis");
+  CategoryTypeIndex family = *dimension.type().Find("Diagnosis Family");
+  CategoryTypeIndex group = *dimension.type().Find("Diagnosis Group");
+  ASSERT_TRUE(dimension.AddValue(low, ValueId(1)).ok());
+  ASSERT_TRUE(dimension.AddValue(family, ValueId(2)).ok());
+  ASSERT_TRUE(dimension.AddValue(family, ValueId(3)).ok());
+  ASSERT_TRUE(dimension.AddValue(group, ValueId(4)).ok());
+  // 1 <= 2 with p=0.9, 1 <= 3 with p=0.5; both 2,3 <= 4 certainly.
+  ASSERT_TRUE(dimension.AddOrder(ValueId(1), ValueId(2), Lifespan{}, 0.9).ok());
+  ASSERT_TRUE(dimension.AddOrder(ValueId(1), ValueId(3), Lifespan{}, 0.5).ok());
+  ASSERT_TRUE(dimension.AddOrder(ValueId(2), ValueId(4)).ok());
+  ASSERT_TRUE(dimension.AddOrder(ValueId(3), ValueId(4)).ok());
+  EXPECT_DOUBLE_EQ(dimension.ContainmentProbAt(ValueId(1), ValueId(2)), 0.9);
+  // Noisy-or across the two paths: 1 - (1-0.9)(1-0.5) = 0.95.
+  EXPECT_DOUBLE_EQ(dimension.ContainmentProbAt(ValueId(1), ValueId(4)), 0.95);
+  // Certain containment stays 1.
+  EXPECT_DOUBLE_EQ(dimension.ContainmentProbAt(ValueId(2), ValueId(4)), 1.0);
+}
+
+TEST(DimensionTest, UnionMergesValuesAndEdges) {
+  Dimension a(DiagnosisType());
+  Dimension b(DiagnosisType());
+  CategoryTypeIndex low = *a.type().Find("Low-level Diagnosis");
+  CategoryTypeIndex family = *a.type().Find("Diagnosis Family");
+  ASSERT_TRUE(a.AddValue(low, ValueId(1)).ok());
+  ASSERT_TRUE(a.AddValue(family, ValueId(10)).ok());
+  ASSERT_TRUE(a.AddOrder(ValueId(1), ValueId(10)).ok());
+  ASSERT_TRUE(b.AddValue(low, ValueId(2)).ok());
+  ASSERT_TRUE(b.AddValue(family, ValueId(10)).ok());
+  ASSERT_TRUE(b.AddOrder(ValueId(2), ValueId(10)).ok());
+
+  auto merged = Dimension::UnionWith(a, b);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->HasValue(ValueId(1)));
+  EXPECT_TRUE(merged->HasValue(ValueId(2)));
+  EXPECT_TRUE(merged->LessEqAt(ValueId(1), ValueId(10)));
+  EXPECT_TRUE(merged->LessEqAt(ValueId(2), ValueId(10)));
+  // 1 + 2 + 10 + top.
+  EXPECT_EQ(merged->value_count(), 4u);
+}
+
+TEST(DimensionTest, UnionRejectsDifferentTypes) {
+  Dimension a(DiagnosisType());
+  DimensionTypeBuilder other("Other");
+  other.AddCategory("X");
+  Dimension b(std::move(other.Build()).ValueOrDie());
+  EXPECT_EQ(Dimension::UnionWith(a, b).status().code(),
+            StatusCode::kSchemaMismatch);
+}
+
+TEST(DimensionTest, UnionCoalescesSharedValueMembership) {
+  Dimension a(DiagnosisType());
+  Dimension b(DiagnosisType());
+  CategoryTypeIndex low = *a.type().Find("Low-level Diagnosis");
+  ASSERT_TRUE(a.AddValue(low, ValueId(1), During("[01/01/70-31/12/74]")).ok());
+  ASSERT_TRUE(b.AddValue(low, ValueId(1), During("[01/01/75-31/12/79]")).ok());
+  auto merged = Dimension::UnionWith(a, b);
+  ASSERT_TRUE(merged.ok());
+  auto membership = merged->MembershipOf(ValueId(1));
+  ASSERT_TRUE(membership.ok());
+  EXPECT_TRUE(membership->valid.Contains(Day("15/06/72")));
+  EXPECT_TRUE(membership->valid.Contains(Day("15/06/77")));
+}
+
+TEST(DimensionTest, SubdimensionKeepsUpperCategories) {
+  // Paper Example 5: drop Low-level Diagnosis and Diagnosis Family,
+  // keeping Diagnosis Group and TOP.
+  Dimension dimension = BuildDiagnosisDimension();
+  CategoryTypeIndex group = *dimension.type().Find("Diagnosis Group");
+  auto sub = dimension.Subdimension({group, dimension.type().top()});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->type().category_count(), 2u);
+  EXPECT_TRUE(sub->HasValue(ValueId(11)));
+  EXPECT_TRUE(sub->HasValue(ValueId(12)));
+  EXPECT_FALSE(sub->HasValue(ValueId(5)));
+  EXPECT_TRUE(sub->Validate().ok());
+}
+
+TEST(DimensionTest, SubdimensionPreservesTransitiveOrder) {
+  // Keep Low-level and Group, dropping Family: 5 <= 11 must survive.
+  Dimension dimension = BuildDiagnosisDimension();
+  CategoryTypeIndex low = *dimension.type().Find("Low-level Diagnosis");
+  CategoryTypeIndex group = *dimension.type().Find("Diagnosis Group");
+  auto sub = dimension.Subdimension({low, group, dimension.type().top()});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub->LessEqAt(ValueId(5), ValueId(11), Day("01/06/85")));
+  EXPECT_FALSE(sub->HasValue(ValueId(9)));
+  EXPECT_TRUE(sub->Validate().ok());
+}
+
+TEST(DimensionTest, RestrictAboveMatchesAggregateFormationRule) {
+  Dimension dimension = BuildDiagnosisDimension();
+  CategoryTypeIndex family = *dimension.type().Find("Diagnosis Family");
+  auto restricted = dimension.RestrictAbove(family);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(restricted->type().category(restricted->type().bottom()).name,
+            "Diagnosis Family");
+  EXPECT_TRUE(restricted->HasValue(ValueId(9)));
+  EXPECT_FALSE(restricted->HasValue(ValueId(5)));
+  EXPECT_TRUE(
+      restricted->LessEqAt(ValueId(9), ValueId(11), Day("01/06/85")));
+}
+
+TEST(DimensionTest, ValidateAcceptsCaseStudyDimension) {
+  Dimension dimension = BuildDiagnosisDimension();
+  EXPECT_TRUE(dimension.Validate().ok());
+}
+
+TEST(DimensionTest, ValuesInReturnsCategoryMembers) {
+  Dimension dimension = BuildDiagnosisDimension();
+  CategoryTypeIndex group = *dimension.type().Find("Diagnosis Group");
+  std::vector<ValueId> groups = dimension.ValuesIn(group);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(DimensionTest, MemoizationIsTransparent) {
+  // Queries must return identical results with the closure memo on and
+  // off, including across mutations that invalidate it.
+  Dimension memoized = BuildDiagnosisDimension();
+  Dimension plain = BuildDiagnosisDimension();
+  plain.set_memoization_enabled(false);
+  EXPECT_TRUE(memoized.memoization_enabled());
+  EXPECT_FALSE(plain.memoization_enabled());
+
+  auto snapshot = [](const Dimension& dimension, ValueId value) {
+    std::vector<std::tuple<std::uint64_t, std::string, double>> result;
+    for (const auto& c : dimension.Ancestors(value)) {
+      result.emplace_back(c.value.raw(), c.life.ToString(), c.prob);
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+  };
+
+  for (std::uint64_t id : {3, 5, 6, 8, 9}) {
+    EXPECT_EQ(snapshot(memoized, ValueId(id)), snapshot(plain, ValueId(id)))
+        << "value " << id;
+    // Ask twice: the second query is served from the memo.
+    EXPECT_EQ(snapshot(memoized, ValueId(id)),
+              snapshot(memoized, ValueId(id)));
+  }
+
+  // Mutation invalidates: add a new edge and compare again.
+  ASSERT_TRUE(memoized
+                  .AddOrder(ValueId(6), ValueId(9),
+                            During("[01/01/90-NOW]"))
+                  .ok());
+  ASSERT_TRUE(
+      plain.AddOrder(ValueId(6), ValueId(9), During("[01/01/90-NOW]")).ok());
+  for (std::uint64_t id : {6, 3}) {
+    EXPECT_EQ(snapshot(memoized, ValueId(id)), snapshot(plain, ValueId(id)))
+        << "post-mutation value " << id;
+  }
+  // The new containment is visible through the memoized path.
+  EXPECT_TRUE(memoized.LessEqAt(ValueId(6), ValueId(9), Day("01/06/95")));
+}
+
+TEST(DimensionTest, EdgesFromChildAndToParent) {
+  Dimension dimension = BuildDiagnosisDimension();
+  // Value 3 has two parents: 7 (WHO) and 8 (user-defined).
+  EXPECT_EQ(dimension.EdgesFromChild(ValueId(3)).size(), 2u);
+  // Group 11 has three children: 9, 10, 8.
+  EXPECT_EQ(dimension.EdgesToParent(ValueId(11)).size(), 3u);
+}
+
+}  // namespace
+}  // namespace mddc

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "core/dimension_type.h"
+
+namespace mddc {
+namespace {
+
+Result<std::shared_ptr<const DimensionType>> DiagnosisType() {
+  DimensionTypeBuilder builder("Diagnosis");
+  builder.AddCategory("Low-level Diagnosis", AggregationType::kConstant)
+      .AddCategory("Diagnosis Family", AggregationType::kConstant)
+      .AddCategory("Diagnosis Group", AggregationType::kConstant)
+      .AddOrder("Low-level Diagnosis", "Diagnosis Family")
+      .AddOrder("Diagnosis Family", "Diagnosis Group");
+  return builder.Build();
+}
+
+// The Date-of-Birth dimension type with two hierarchies (paper Figure 2):
+// Day < Week and Day < Month < Quarter < Year < Decade.
+Result<std::shared_ptr<const DimensionType>> DobType() {
+  DimensionTypeBuilder builder("Date of Birth");
+  builder.AddCategory("Day", AggregationType::kAverage)
+      .AddCategory("Week")
+      .AddCategory("Month")
+      .AddCategory("Quarter")
+      .AddCategory("Year")
+      .AddCategory("Decade")
+      .AddOrder("Day", "Week")
+      .AddOrder("Day", "Month")
+      .AddOrder("Month", "Quarter")
+      .AddOrder("Quarter", "Year")
+      .AddOrder("Year", "Decade");
+  return builder.Build();
+}
+
+TEST(DimensionTypeTest, BuildsLinearHierarchy) {
+  auto type = DiagnosisType();
+  ASSERT_TRUE(type.ok());
+  // 3 user categories + TOP.
+  EXPECT_EQ((*type)->category_count(), 4u);
+  EXPECT_EQ((*type)->category((*type)->bottom()).name, "Low-level Diagnosis");
+  EXPECT_EQ((*type)->category((*type)->top()).name, kTopCategoryName);
+}
+
+TEST(DimensionTypeTest, PredGivesImmediateContainingCategory) {
+  auto type = DiagnosisType();
+  ASSERT_TRUE(type.ok());
+  auto low = (*type)->Find("Low-level Diagnosis");
+  auto family = (*type)->Find("Diagnosis Family");
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(family.ok());
+  // Pred(Low-level Diagnosis) = {Diagnosis Family} (paper Example 2).
+  const auto& pred = (*type)->Pred(*low);
+  ASSERT_EQ(pred.size(), 1u);
+  EXPECT_EQ(pred[0], *family);
+}
+
+TEST(DimensionTypeTest, LessEqIsReflexiveAndTransitive) {
+  auto type = DiagnosisType();
+  ASSERT_TRUE(type.ok());
+  auto low = *(*type)->Find("Low-level Diagnosis");
+  auto group = *(*type)->Find("Diagnosis Group");
+  EXPECT_TRUE((*type)->LessEq(low, low));
+  EXPECT_TRUE((*type)->LessEq(low, group));
+  EXPECT_TRUE((*type)->LessEq(low, (*type)->top()));
+  EXPECT_FALSE((*type)->LessEq(group, low));
+}
+
+TEST(DimensionTypeTest, MultipleHierarchiesFormLattice) {
+  auto type = DobType();
+  ASSERT_TRUE(type.ok());
+  auto day = *(*type)->Find("Day");
+  auto week = *(*type)->Find("Week");
+  auto decade = *(*type)->Find("Decade");
+  EXPECT_TRUE((*type)->LessEq(day, week));
+  EXPECT_TRUE((*type)->LessEq(day, decade));
+  // Week and Decade are incomparable: different aggregation paths.
+  EXPECT_FALSE((*type)->LessEq(week, decade));
+  EXPECT_FALSE((*type)->LessEq(decade, week));
+  // Day has two immediate predecessors (requirement 3).
+  EXPECT_EQ((*type)->Pred(day).size(), 2u);
+}
+
+TEST(DimensionTypeTest, AtOrAboveIsBottomUpTopologicalOrder) {
+  auto type = DobType();
+  ASSERT_TRUE(type.ok());
+  auto day = *(*type)->Find("Day");
+  std::vector<CategoryTypeIndex> order = (*type)->AtOrAbove(day);
+  // All 6 user categories + TOP are above Day.
+  EXPECT_EQ(order.size(), 7u);
+  EXPECT_EQ(order.front(), day);
+  EXPECT_EQ(order.back(), (*type)->top());
+  // Every category appears after all its children in the order.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (CategoryTypeIndex child : (*type)->Children(order[i])) {
+      auto child_pos = std::find(order.begin(), order.end(), child);
+      if (child_pos != order.end()) {
+        EXPECT_LT(static_cast<std::size_t>(child_pos - order.begin()), i);
+      }
+    }
+  }
+}
+
+TEST(DimensionTypeTest, AggregationPathsEnumerateHierarchies) {
+  auto dob = DobType();
+  ASSERT_TRUE(dob.ok());
+  auto day = *(*dob)->Find("Day");
+  auto paths = (*dob)->AggregationPaths(day);
+  // Figure 2: exactly two roll-up routes from Day.
+  ASSERT_EQ(paths.size(), 2u);
+  auto names = [&](const std::vector<CategoryTypeIndex>& path) {
+    std::vector<std::string> result;
+    for (CategoryTypeIndex c : path) {
+      result.push_back((*dob)->category(c).name);
+    }
+    return result;
+  };
+  std::vector<std::vector<std::string>> rendered = {names(paths[0]),
+                                                    names(paths[1])};
+  std::sort(rendered.begin(), rendered.end());
+  EXPECT_EQ(rendered[0],
+            (std::vector<std::string>{"Day", "Month", "Quarter", "Year",
+                                      "Decade", kTopCategoryName}));
+  EXPECT_EQ(rendered[1],
+            (std::vector<std::string>{"Day", "Week", kTopCategoryName}));
+
+  // A chain has exactly one path; starting at TOP yields the trivial one.
+  auto diagnosis = DiagnosisType();
+  ASSERT_TRUE(diagnosis.ok());
+  EXPECT_EQ((*diagnosis)->AggregationPaths((*diagnosis)->bottom()).size(),
+            1u);
+  auto top_paths = (*diagnosis)->AggregationPaths((*diagnosis)->top());
+  ASSERT_EQ(top_paths.size(), 1u);
+  EXPECT_EQ(top_paths[0].size(), 1u);
+}
+
+TEST(DimensionTypeTest, RejectsTwoBottoms) {
+  DimensionTypeBuilder builder("Broken");
+  builder.AddCategory("A").AddCategory("B").AddCategory("C");
+  builder.AddOrder("A", "C").AddOrder("B", "C");
+  auto type = builder.Build();
+  ASSERT_FALSE(type.ok());
+  EXPECT_EQ(type.status().code(), StatusCode::kInvariantViolation);
+}
+
+TEST(DimensionTypeTest, RejectsCycle) {
+  DimensionTypeBuilder builder("Cyclic");
+  builder.AddCategory("A").AddCategory("B");
+  builder.AddOrder("A", "B").AddOrder("B", "A");
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DimensionTypeTest, RejectsDuplicateCategory) {
+  DimensionTypeBuilder builder("Dup");
+  builder.AddCategory("A").AddCategory("A");
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DimensionTypeTest, RejectsUnknownCategoryInOrder) {
+  DimensionTypeBuilder builder("Missing");
+  builder.AddCategory("A");
+  builder.AddOrder("A", "Nope");
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DimensionTypeTest, SimpleDimensionHasBottomAndTopOnly) {
+  // The Name and SSN dimensions of the case study are "simple": a bottom
+  // category plus TOP.
+  DimensionTypeBuilder builder("Name");
+  builder.AddCategory("Name");
+  auto type = builder.Build();
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ((*type)->category_count(), 2u);
+  EXPECT_TRUE((*type)->LessEq((*type)->bottom(), (*type)->top()));
+}
+
+TEST(DimensionTypeTest, EquivalenceDetectsAggTypeChange) {
+  auto a = DiagnosisType();
+  ASSERT_TRUE(a.ok());
+  auto b = (*a)->WithAggType((*a)->bottom(), AggregationType::kSum);
+  EXPECT_FALSE((*a)->EquivalentTo(*b));
+  EXPECT_TRUE((*a)->IsomorphicTo(*b));
+  EXPECT_TRUE((*a)->EquivalentTo(**DiagnosisType()));
+}
+
+TEST(DimensionTypeTest, WithNamePreservesStructure) {
+  auto a = DiagnosisType();
+  ASSERT_TRUE(a.ok());
+  auto renamed = (*a)->WithName("Diagnosis2");
+  EXPECT_EQ(renamed->name(), "Diagnosis2");
+  EXPECT_FALSE((*a)->EquivalentTo(*renamed));  // names differ
+  EXPECT_TRUE((*a)->IsomorphicTo(*renamed));
+}
+
+TEST(DimensionTypeTest, RestrictAboveKeepsUpperLattice) {
+  auto type = DobType();
+  ASSERT_TRUE(type.ok());
+  auto month = *(*type)->Find("Month");
+  auto restricted = (*type)->RestrictAbove(month);
+  // Month, Quarter, Year, Decade, TOP.
+  EXPECT_EQ(restricted->category_count(), 5u);
+  EXPECT_EQ(restricted->category(restricted->bottom()).name, "Month");
+  EXPECT_FALSE(restricted->Find("Week").ok());
+  EXPECT_FALSE(restricted->Find("Day").ok());
+}
+
+TEST(DimensionTypeTest, RestrictDropsIntermediateCategory) {
+  auto type = DiagnosisType();
+  ASSERT_TRUE(type.ok());
+  auto low = *(*type)->Find("Low-level Diagnosis");
+  auto group = *(*type)->Find("Diagnosis Group");
+  auto restricted = (*type)->Restrict({low, group, (*type)->top()});
+  ASSERT_TRUE(restricted.ok());
+  auto new_low = *(*restricted)->Find("Low-level Diagnosis");
+  auto new_group = *(*restricted)->Find("Diagnosis Group");
+  // The transitive order survives the dropped Family category.
+  EXPECT_TRUE((*restricted)->LessEq(new_low, new_group));
+  const auto& pred = (*restricted)->Pred(new_low);
+  ASSERT_EQ(pred.size(), 1u);
+  EXPECT_EQ(pred[0], new_group);
+}
+
+TEST(DimensionTypeTest, RestrictRequiresTop) {
+  auto type = DiagnosisType();
+  ASSERT_TRUE(type.ok());
+  auto low = *(*type)->Find("Low-level Diagnosis");
+  EXPECT_FALSE((*type)->Restrict({low}).ok());
+}
+
+TEST(DimensionTypeTest, ToStringListsCategories) {
+  auto type = DiagnosisType();
+  ASSERT_TRUE(type.ok());
+  std::string out = (*type)->ToString();
+  EXPECT_NE(out.find("Low-level Diagnosis"), std::string::npos);
+  EXPECT_NE(out.find("Diagnosis Group"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mddc

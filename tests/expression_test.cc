@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "algebra/expression.h"
+#include "fixtures.h"
+
+namespace mddc {
+namespace {
+
+using testing_fixtures::BuildDiagnosisDimension;
+using testing_fixtures::BuildPatientDiagnosisMo;
+using testing_fixtures::Day;
+
+TEST(ExpressionTest, LeafEvaluatesToItself) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  auto result = Expression::Leaf(mo, "Patients").Evaluate();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fact_count(), mo.fact_count());
+}
+
+TEST(ExpressionTest, ComposedPipelineEvaluates) {
+  // rho_v[1999](sigma[char(0,11)](M)) then aggregate by diagnosis group.
+  MdObject mo = BuildPatientDiagnosisMo();
+  CategoryTypeIndex group = *mo.dimension(0).type().Find("Diagnosis Group");
+  AggregateSpec spec{AggFunction::SetCount(),
+                     {group},
+                     ResultDimensionSpec::Auto(),
+                     kNowChronon,
+                     true};
+  Expression query = Expression::Aggregate(
+      Expression::ValidSlice(
+          Expression::Select(Expression::Leaf(mo, "Patients"),
+                             Predicate::CharacterizedBy(0, ValueId(11))),
+          Day("01/06/99")),
+      spec);
+  EXPECT_EQ(query.OperatorCount(), 3u);
+  auto result = query.Evaluate();
+  ASSERT_TRUE(result.ok()) << result.status();
+  // After the 1999 slice both patients are in group 11 only.
+  EXPECT_EQ(result->fact_count(), 1u);
+}
+
+TEST(ExpressionTest, ClosureEveryIntermediateValidates) {
+  // Theorem 1, constructively: a deep pipeline of operators where every
+  // step validates (operators call Validate() internally; any violation
+  // would surface as an error).
+  MdObject mo = BuildPatientDiagnosisMo();
+  Expression expr = Expression::Leaf(mo, "M");
+  for (int i = 0; i < 5; ++i) {
+    expr = Expression::Select(expr, Predicate::True());
+  }
+  expr = Expression::Project(expr, {0});
+  auto result = expr.Evaluate();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Validate().ok());
+  EXPECT_EQ(result->fact_count(), mo.fact_count());
+}
+
+TEST(ExpressionTest, SetOperationsThroughExpressions) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9)).ok());
+  ASSERT_TRUE(m2.AddFact(p2).ok());
+  ASSERT_TRUE(m2.Relate(0, p2, ValueId(5)).ok());
+
+  auto united = Expression::Union(Expression::Leaf(m1, "M1"),
+                                  Expression::Leaf(m2, "M2"))
+                    .Evaluate();
+  ASSERT_TRUE(united.ok());
+  EXPECT_EQ(united->fact_count(), 2u);
+
+  auto diff = Expression::Difference(
+                  Expression::Union(Expression::Leaf(m1, "M1"),
+                                    Expression::Leaf(m2, "M2")),
+                  Expression::Leaf(m2, "M2"))
+                  .Evaluate();
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->fact_count(), 1u);
+  EXPECT_EQ(diff->facts()[0], p1);
+}
+
+TEST(ExpressionTest, SelfJoinWithRename) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  Expression renamed = Expression::Rename(Expression::Leaf(mo, "M"),
+                                          RenameSpec{"", {"Diagnosis2"}});
+  Expression joined = Expression::Join(Expression::Leaf(mo, "M"), renamed,
+                                       JoinPredicate::kEqual);
+  auto result = joined.Evaluate();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->fact_count(), 2u);  // (1,1) and (2,2)
+  EXPECT_EQ(result->dimension_count(), 2u);
+}
+
+TEST(ExpressionTest, ErrorsPropagate) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  auto result =
+      Expression::Project(Expression::Leaf(mo, "M"), {7}).Evaluate();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExpressionTest, ToStringRendersAlgebraicForm) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  AggregateSpec spec{AggFunction::SetCount(),
+                     {*mo.dimension(0).type().Find("Diagnosis Group")},
+                     ResultDimensionSpec::Auto(),
+                     kNowChronon,
+                     true};
+  Expression query = Expression::Aggregate(
+      Expression::Select(Expression::Leaf(mo, "Patients"),
+                         Predicate::CharacterizedBy(0, ValueId(11))),
+      spec);
+  std::string text = query.ToString();
+  EXPECT_NE(text.find("alpha[SetCount]"), std::string::npos);
+  EXPECT_NE(text.find("sigma["), std::string::npos);
+  EXPECT_NE(text.find("Patients"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mddc

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/fact.h"
+
+namespace mddc {
+namespace {
+
+TEST(FactRegistryTest, AtomsAreInterned) {
+  FactRegistry registry;
+  FactId a = registry.Atom(1);
+  FactId b = registry.Atom(1);
+  FactId c = registry.Atom(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(FactRegistryTest, PairsAreOrderSensitive) {
+  FactRegistry registry;
+  FactId a = registry.Atom(1);
+  FactId b = registry.Atom(2);
+  FactId ab = registry.Pair(a, b);
+  FactId ba = registry.Pair(b, a);
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(registry.Pair(a, b), ab);
+}
+
+TEST(FactRegistryTest, SetsAreCanonical) {
+  FactRegistry registry;
+  FactId a = registry.Atom(1);
+  FactId b = registry.Atom(2);
+  // Order and duplicates do not matter: {a,b} == {b,a,b}.
+  FactId s1 = registry.Set({a, b});
+  FactId s2 = registry.Set({b, a, b});
+  EXPECT_EQ(s1, s2);
+  FactId s3 = registry.Set({a});
+  EXPECT_NE(s1, s3);
+}
+
+TEST(FactRegistryTest, EmptySetIsValid) {
+  FactRegistry registry;
+  FactId empty = registry.Set({});
+  EXPECT_TRUE(empty.valid());
+  auto term = registry.Get(empty);
+  ASSERT_TRUE(term.ok());
+  EXPECT_EQ(term->kind, FactTerm::Kind::kSet);
+  EXPECT_TRUE(term->members.empty());
+}
+
+TEST(FactRegistryTest, GetReturnsStructure) {
+  FactRegistry registry;
+  FactId a = registry.Atom(7);
+  auto term = registry.Get(a);
+  ASSERT_TRUE(term.ok());
+  EXPECT_EQ(term->kind, FactTerm::Kind::kAtom);
+  EXPECT_EQ(term->atom, 7u);
+  EXPECT_FALSE(registry.Get(FactId(999)).ok());
+  EXPECT_FALSE(registry.Get(FactId()).ok());
+}
+
+TEST(FactRegistryTest, ToStringRendersNestedStructure) {
+  FactRegistry registry;
+  FactId one = registry.Atom(1);
+  FactId two = registry.Atom(2);
+  EXPECT_EQ(registry.ToString(one), "1");
+  EXPECT_EQ(registry.ToString(registry.Pair(one, two)), "(1,2)");
+  EXPECT_EQ(registry.ToString(registry.Set({two, one})), "{1,2}");
+  // Sets of sets (double aggregate formation).
+  FactId inner = registry.Set({one, two});
+  EXPECT_EQ(registry.ToString(registry.Set({inner})), "{{1,2}}");
+}
+
+TEST(FactRegistryTest, NestedTermsCompose) {
+  FactRegistry registry;
+  FactId a = registry.Atom(1);
+  FactId b = registry.Atom(2);
+  FactId pair = registry.Pair(a, b);
+  FactId set_of_pair = registry.Set({pair});
+  auto term = registry.Get(set_of_pair);
+  ASSERT_TRUE(term.ok());
+  ASSERT_EQ(term->members.size(), 1u);
+  EXPECT_EQ(term->members[0], pair);
+}
+
+}  // namespace
+}  // namespace mddc

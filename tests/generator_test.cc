@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "algebra/derived.h"
+#include "core/properties.h"
+#include "workload/clinical_generator.h"
+#include "workload/retail_generator.h"
+
+namespace mddc {
+namespace {
+
+TEST(ClinicalGeneratorTest, GeneratesValidMo) {
+  ClinicalWorkloadParams params;
+  params.num_patients = 50;
+  params.num_groups = 3;
+  auto workload =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->mo.fact_count(), 50u);
+  EXPECT_TRUE(workload->mo.Validate().ok());
+  EXPECT_GE(workload->num_families, 3u * 5u);
+  EXPECT_GE(workload->num_low_level, workload->num_families * 5u);
+}
+
+TEST(ClinicalGeneratorTest, DeterministicForSeed) {
+  ClinicalWorkloadParams params;
+  params.num_patients = 20;
+  params.num_groups = 2;
+  auto a = GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  auto b = GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->mo.relation(0).size(), b->mo.relation(0).size());
+  EXPECT_EQ(a->mo.dimension(0).value_count(),
+            b->mo.dimension(0).value_count());
+  params.seed = 43;
+  auto c = GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(c.ok());
+  // Different seed gives a different hierarchy (overwhelmingly likely).
+  EXPECT_NE(a->mo.dimension(0).value_count(),
+            c->mo.dimension(0).value_count());
+}
+
+TEST(ClinicalGeneratorTest, NonStrictnessControlled) {
+  ClinicalWorkloadParams params;
+  params.num_patients = 10;
+  params.num_groups = 2;
+  params.non_strict_rate = 0.0;
+  params.reclassified_rate = 0.0;
+  auto strict =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(IsStrict(strict->mo.dimension(0)));
+
+  params.non_strict_rate = 0.9;
+  auto loose =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_FALSE(IsStrict(loose->mo.dimension(0)));
+}
+
+TEST(ClinicalGeneratorTest, ManyToManyPresent) {
+  ClinicalWorkloadParams params;
+  params.num_patients = 30;
+  params.num_groups = 2;
+  params.mean_extra_diagnoses = 3.0;
+  auto workload =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok());
+  // With mean 4 diagnoses/patient, the relation is larger than the fact
+  // set: many-to-many.
+  EXPECT_GT(workload->mo.relation(0).size(), workload->mo.fact_count());
+}
+
+TEST(ClinicalGeneratorTest, UncertaintyAttached) {
+  ClinicalWorkloadParams params;
+  params.num_patients = 50;
+  params.num_groups = 2;
+  params.uncertain_rate = 0.5;
+  auto workload =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok());
+  std::size_t uncertain = 0;
+  for (const auto& entry : workload->mo.relation(0).entries()) {
+    if (entry.prob < 1.0) {
+      ++uncertain;
+      EXPECT_GE(entry.prob, params.min_probability);
+    }
+  }
+  EXPECT_GT(uncertain, 0u);
+}
+
+TEST(ClinicalGeneratorTest, GroupRollUpWorksAtScale) {
+  ClinicalWorkloadParams params;
+  params.num_patients = 100;
+  params.num_groups = 4;
+  auto workload =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok());
+  auto counts = RollUp(workload->mo, workload->diagnosis_dim,
+                       workload->group, AggFunction::SetCount());
+  ASSERT_TRUE(counts.ok()) << counts.status();
+  EXPECT_GT(counts->fact_count(), 0u);
+  // Every group's count is at most the patient population.
+  const std::size_t result_dim = counts->dimension_count() - 1;
+  for (FactId group : counts->facts()) {
+    auto pairs = counts->relation(result_dim).ForFact(group);
+    ASSERT_FALSE(pairs.empty());
+    auto value =
+        counts->dimension(result_dim).NumericValueOf(pairs.front()->value);
+    ASSERT_TRUE(value.ok());
+    EXPECT_LE(*value, 100.0);
+    EXPECT_GE(*value, 1.0);
+  }
+}
+
+TEST(RetailGeneratorTest, GeneratesValidMo) {
+  RetailWorkloadParams params;
+  params.num_purchases = 200;
+  auto workload =
+      GenerateRetailWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->mo.fact_count(), 200u);
+  EXPECT_EQ(workload->mo.dimension_count(), 5u);
+  EXPECT_TRUE(workload->mo.Validate().ok());
+}
+
+TEST(RetailGeneratorTest, MeasuresAreSummable) {
+  RetailWorkloadParams params;
+  params.num_purchases = 100;
+  auto workload =
+      GenerateRetailWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok());
+  // SUM(amount) grouped by region: legal (Sigma) and equal to a direct
+  // tally.
+  auto rows = SqlAggregate(
+      workload->mo,
+      {SqlGroupBy{workload->store_dim, workload->region, "Name"}},
+      AggFunction::Sum(workload->amount_dim));
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  double total = 0.0;
+  for (const SqlRow& row : *rows) total += row.value;
+
+  double expected = 0.0;
+  for (const auto& entry :
+       workload->mo.relation(workload->amount_dim).entries()) {
+    auto value = workload->mo.dimension(workload->amount_dim)
+                     .NumericValueOf(entry.value);
+    ASSERT_TRUE(value.ok());
+    expected += *value;
+  }
+  EXPECT_DOUBLE_EQ(total, expected);
+}
+
+TEST(RetailGeneratorTest, ProductHierarchyIsStrict) {
+  RetailWorkloadParams params;
+  params.num_purchases = 50;
+  auto workload =
+      GenerateRetailWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok());
+  EXPECT_TRUE(IsStrict(workload->mo.dimension(workload->product_dim)));
+  EXPECT_TRUE(IsPartitioning(workload->mo.dimension(workload->product_dim)));
+}
+
+}  // namespace
+}  // namespace mddc

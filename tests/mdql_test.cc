@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "mdql/mdql.h"
+#include "mdql/parser.h"
+#include "mdql/token.h"
+#include "workload/case_study.h"
+#include "workload/retail_generator.h"
+
+namespace mddc {
+namespace mdql {
+namespace {
+
+TEST(MdqlTokenTest, TokenizesOperatorsAndLiterals) {
+  auto tokens = Tokenize("SELECT COUNT FROM m WHERE a.b = 'x' AND v >= 3.5");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& token : *tokens) kinds.push_back(token.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kSelect, TokenKind::kCount, TokenKind::kFrom,
+                TokenKind::kIdentifier, TokenKind::kWhere,
+                TokenKind::kIdentifier, TokenKind::kDot,
+                TokenKind::kIdentifier, TokenKind::kEq, TokenKind::kString,
+                TokenKind::kAnd, TokenKind::kIdentifier, TokenKind::kGe,
+                TokenKind::kNumber, TokenKind::kEnd}));
+}
+
+TEST(MdqlTokenTest, QuotedIdentifiersAndCaseInsensitiveKeywords) {
+  auto tokens = Tokenize("select count from \"My Cube\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kSelect);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[3].text, "My Cube");
+}
+
+TEST(MdqlTokenTest, RejectsBadInput) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+TEST(MdqlParserTest, FullSelect) {
+  auto statement = Parse(
+      "SELECT COUNT, SUM(Amount) FROM sales "
+      "BY Product.Category AS Name, Store.Region "
+      "WHERE Product.Category = 'fruit' AND Amount >= 2 "
+      "ASOF '01/06/1999'");
+  ASSERT_TRUE(statement.ok()) << statement.status();
+  ASSERT_TRUE(statement->select.has_value());
+  const SelectStatement& select = *statement->select;
+  ASSERT_EQ(select.aggregates.size(), 2u);
+  EXPECT_EQ(select.aggregates[0].fn, AggRef::Fn::kSetCount);
+  EXPECT_EQ(select.aggregates[1].fn, AggRef::Fn::kSum);
+  EXPECT_EQ(select.aggregates[1].dimension, "Amount");
+  ASSERT_EQ(select.group_by.size(), 2u);
+  EXPECT_EQ(select.group_by[0].representation, "Name");
+  EXPECT_TRUE(select.group_by[1].representation.empty());
+  ASSERT_NE(select.where, nullptr);
+  // "a AND b" parses to an AND node over the two atoms.
+  ASSERT_EQ(select.where->kind, WhereExpr::Kind::kAnd);
+  EXPECT_EQ(select.where->left->atom.kind, WhereAtom::Kind::kNameEquals);
+  EXPECT_EQ(select.where->right->atom.kind,
+            WhereAtom::Kind::kNumericCompare);
+  ASSERT_TRUE(select.as_of.has_value());
+  EXPECT_EQ(*select.as_of, "01/06/1999");
+}
+
+TEST(MdqlParserTest, ProbAtom) {
+  auto statement = Parse(
+      "SELECT COUNT FROM patients "
+      "WHERE PROB(Diagnosis.Family = 'E10') >= 0.8");
+  ASSERT_TRUE(statement.ok()) << statement.status();
+  ASSERT_NE(statement->select->where, nullptr);
+  ASSERT_EQ(statement->select->where->kind, WhereExpr::Kind::kAtom);
+  const WhereAtom& atom = statement->select->where->atom;
+  EXPECT_EQ(atom.kind, WhereAtom::Kind::kProbAtLeast);
+  EXPECT_EQ(atom.text, "E10");
+  EXPECT_DOUBLE_EQ(atom.number, 0.8);
+}
+
+TEST(MdqlParserTest, OrAndPrecedenceAndParens) {
+  // a AND b OR c parses as (a AND b) OR c.
+  auto statement = Parse(
+      "SELECT COUNT FROM m WHERE x.y = 'a' AND x.y = 'b' OR x.y = 'c'");
+  ASSERT_TRUE(statement.ok()) << statement.status();
+  const WhereExpr& root = *statement->select->where;
+  ASSERT_EQ(root.kind, WhereExpr::Kind::kOr);
+  EXPECT_EQ(root.left->kind, WhereExpr::Kind::kAnd);
+  EXPECT_EQ(root.right->kind, WhereExpr::Kind::kAtom);
+
+  // Parentheses override: a AND (b OR c).
+  auto grouped = Parse(
+      "SELECT COUNT FROM m WHERE x.y = 'a' AND (x.y = 'b' OR x.y = 'c')");
+  ASSERT_TRUE(grouped.ok()) << grouped.status();
+  const WhereExpr& groot = *grouped->select->where;
+  ASSERT_EQ(groot.kind, WhereExpr::Kind::kAnd);
+  EXPECT_EQ(groot.right->kind, WhereExpr::Kind::kOr);
+
+  EXPECT_FALSE(Parse("SELECT COUNT FROM m WHERE (x.y = 'a'").ok());
+}
+
+TEST(MdqlParserTest, ShowStatements) {
+  auto dims = Parse("SHOW DIMENSIONS FROM patients");
+  ASSERT_TRUE(dims.ok());
+  ASSERT_TRUE(dims->show.has_value());
+  EXPECT_EQ(dims->show->what, ShowStatement::What::kDimensions);
+
+  auto hierarchy = Parse("SHOW HIERARCHY Diagnosis FROM patients");
+  ASSERT_TRUE(hierarchy.ok());
+  EXPECT_EQ(hierarchy->show->what, ShowStatement::What::kHierarchy);
+  EXPECT_EQ(hierarchy->show->dimension, "Diagnosis");
+}
+
+TEST(MdqlParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT FROM m").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT FROM m trailing").ok());
+  EXPECT_FALSE(Parse("SELECT FOO(x) FROM m").ok());
+  EXPECT_FALSE(Parse("SHOW SOMETHING FROM m").ok());
+}
+
+class MdqlSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cs = BuildCaseStudy();
+    ASSERT_TRUE(cs.ok());
+    ASSERT_TRUE(session_.Register("patients", cs->mo).ok());
+    RetailWorkloadParams params;
+    params.num_purchases = 500;
+    auto retail =
+        GenerateRetailWorkload(params, std::make_shared<FactRegistry>());
+    ASSERT_TRUE(retail.ok());
+    ASSERT_TRUE(session_.Register("sales", retail->mo).ok());
+  }
+
+  Session session_;
+};
+
+TEST_F(MdqlSessionTest, CountByDiagnosisGroup) {
+  auto result = session_.Execute(
+      "SELECT COUNT FROM patients BY Diagnosis.\"Diagnosis Group\" AS Code");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  // Sorted by label: E1 (group 11) then O2 (group 12).
+  EXPECT_EQ(result->rows[0][0], "E1");
+  EXPECT_EQ(result->rows[0][1], "2");
+  EXPECT_EQ(result->rows[1][0], "O2");
+  EXPECT_EQ(result->rows[1][1], "1");
+}
+
+TEST_F(MdqlSessionTest, WhereByName) {
+  auto result = session_.Execute(
+      "SELECT COUNT FROM patients WHERE Name.Name = 'Jane Doe'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "1");
+}
+
+TEST_F(MdqlSessionTest, UnknownNameYieldsEmptyResult) {
+  auto result = session_.Execute(
+      "SELECT COUNT FROM patients WHERE Name.Name = 'Nobody'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(MdqlSessionTest, NumericWhere) {
+  auto result =
+      session_.Execute("SELECT COUNT FROM patients WHERE Age >= 40");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "1");  // only Jane (48)
+}
+
+TEST_F(MdqlSessionTest, AsOfTimeslice) {
+  // In 1975 only patient 2 had diagnoses.
+  auto result = session_.Execute(
+      "SELECT COUNT FROM patients ASOF '15/06/1975'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "1");
+}
+
+TEST_F(MdqlSessionTest, OrPredicateExecutes) {
+  auto result = session_.Execute(
+      "SELECT COUNT FROM patients "
+      "WHERE Name.Name = 'Jane Doe' OR Name.Name = 'John Doe'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "2");
+
+  // Unknown names inside an OR do not kill the whole predicate.
+  auto partial = session_.Execute(
+      "SELECT COUNT FROM patients "
+      "WHERE Name.Name = 'Nobody' OR Name.Name = 'Jane Doe'");
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  ASSERT_EQ(partial->rows.size(), 1u);
+  EXPECT_EQ(partial->rows[0][0], "1");
+}
+
+TEST_F(MdqlSessionTest, ParenthesizedWhereExecutes) {
+  auto result = session_.Execute(
+      "SELECT COUNT FROM patients "
+      "WHERE Age >= 40 AND (Name.Name = 'Jane Doe' OR Name.Name = 'John "
+      "Doe')");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "1");  // only Jane is >= 40
+}
+
+TEST_F(MdqlSessionTest, MultipleAggregatesMerge) {
+  auto result = session_.Execute(
+      "SELECT COUNT, SUM(Amount), AVG(Price) FROM sales "
+      "BY Product.Department");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->columns.size(), 4u);
+  EXPECT_EQ(result->columns[1], "COUNT");
+  EXPECT_EQ(result->columns[2], "SUM(Amount)");
+  ASSERT_EQ(result->rows.size(), 3u);  // three departments
+  for (const auto& row : result->rows) {
+    ASSERT_EQ(row.size(), 4u);
+    EXPECT_NE(row[1], "-");
+    EXPECT_NE(row[2], "-");
+    EXPECT_NE(row[3], "-");
+  }
+}
+
+TEST_F(MdqlSessionTest, IllegalAggregationSurfaces) {
+  auto result =
+      session_.Execute("SELECT SUM(Diagnosis) FROM patients");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIllegalAggregation);
+}
+
+TEST_F(MdqlSessionTest, ShowDimensions) {
+  auto result = session_.Execute("SHOW DIMENSIONS FROM patients");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 6u);
+  std::string rendered = result->ToString();
+  EXPECT_NE(rendered.find("Diagnosis"), std::string::npos);
+  EXPECT_NE(rendered.find("Age"), std::string::npos);
+}
+
+TEST_F(MdqlSessionTest, ShowHierarchy) {
+  auto result = session_.Execute("SHOW HIERARCHY Diagnosis FROM patients");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 4u);  // 3 levels + TOP
+  EXPECT_EQ(result->rows[0][0], "Low-level Diagnosis");
+  EXPECT_EQ(result->rows[0][2], "Diagnosis Family");
+}
+
+TEST_F(MdqlSessionTest, ShowPathsListsBothDobHierarchies) {
+  auto result =
+      session_.Execute("SHOW PATHS \"Date of Birth\" FROM patients");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  std::vector<std::string> paths = {result->rows[0][0],
+                                    result->rows[1][0]};
+  std::sort(paths.begin(), paths.end());
+  EXPECT_EQ(paths[0], "Day < Month < Quarter < Year < Decade < TOP");
+  EXPECT_EQ(paths[1], "Day < Week < TOP");
+
+  auto single = session_.Execute("SHOW PATHS Diagnosis FROM patients");
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(single->rows.size(), 1u);
+  EXPECT_EQ(single->rows[0][0],
+            "Low-level Diagnosis < Diagnosis Family < Diagnosis Group < "
+            "TOP");
+}
+
+TEST_F(MdqlSessionTest, UnknownMoAndDimension) {
+  EXPECT_EQ(session_.Execute("SELECT COUNT FROM nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(
+      session_.Execute("SHOW HIERARCHY Nope FROM patients").ok());
+  EXPECT_FALSE(session_.Execute("SELECT SUM(Nope) FROM sales").ok());
+}
+
+TEST_F(MdqlSessionTest, RegisterRejectsDuplicates) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  EXPECT_FALSE(session_.Register("patients", cs->mo).ok());
+  EXPECT_EQ(session_.names().size(), 2u);
+}
+
+TEST_F(MdqlSessionTest, ProbabilityThreshold) {
+  // Build a small uncertain MO inline.
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  MdObject cohort("Patient", {cs->mo.dimension(cs->diagnosis)}, cs->registry,
+                  TemporalType::kSnapshot);
+  FactId sure = cs->registry->Atom(50);
+  FactId unsure = cs->registry->Atom(51);
+  ASSERT_TRUE(cohort.AddFact(sure).ok());
+  ASSERT_TRUE(cohort.AddFact(unsure).ok());
+  ASSERT_TRUE(cohort.Relate(0, sure, ValueId(9)).ok());
+  ASSERT_TRUE(
+      cohort.Relate(0, unsure, ValueId(9), Lifespan::AlwaysSpan(), 0.6)
+          .ok());
+  ASSERT_TRUE(session_.Register("cohort", std::move(cohort)).ok());
+  auto result = session_.Execute(
+      "SELECT COUNT FROM cohort "
+      "WHERE PROB(Diagnosis.\"Diagnosis Family\" = 'E10') >= 0.9");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "1");
+}
+
+}  // namespace
+}  // namespace mdql
+}  // namespace mddc

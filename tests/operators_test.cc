@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "fixtures.h"
+
+namespace mddc {
+namespace {
+
+using testing_fixtures::BuildDiagnosisDimension;
+using testing_fixtures::BuildPatientDiagnosisMo;
+using testing_fixtures::Day;
+using testing_fixtures::During;
+
+TEST(SelectTest, TruePredicateIsIdentityOnFacts) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  auto selected = Select(mo, Predicate::True());
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->facts(), mo.facts());
+  EXPECT_EQ(selected->relation(0).size(), mo.relation(0).size());
+  EXPECT_TRUE(selected->schema().EquivalentTo(mo.schema()));
+}
+
+TEST(SelectTest, CharacterizedByRestrictsFacts) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  // Only patient 2 is characterized by low-level diagnosis 5.
+  auto selected = Select(mo, Predicate::CharacterizedBy(0, ValueId(5)));
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->fact_count(), 1u);
+  EXPECT_EQ(selected->facts()[0], mo.registry()->Atom(2));
+  // The relation was restricted to the surviving fact.
+  for (const auto& entry : selected->relation(0).entries()) {
+    EXPECT_EQ(entry.fact, mo.registry()->Atom(2));
+  }
+}
+
+TEST(SelectTest, SelectionThroughHierarchy) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  // Both patients are (eventually) characterized by diagnosis group 11.
+  auto selected = Select(mo, Predicate::CharacterizedBy(0, ValueId(11)));
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->fact_count(), 2u);
+}
+
+TEST(SelectTest, TemporalPredicate) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  // At 15/06/75 only patient 2 had any diagnosis (patient 1's pair
+  // starts 1989).
+  auto selected = Select(
+      mo, Predicate::CharacterizedByAt(0, ValueId(8), Day("15/06/75")));
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->fact_count(), 1u);
+  EXPECT_EQ(selected->facts()[0], mo.registry()->Atom(2));
+}
+
+TEST(SelectTest, NegationAndConjunction) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  Predicate in_group_11 = Predicate::CharacterizedBy(0, ValueId(11));
+  Predicate has_5 = Predicate::CharacterizedBy(0, ValueId(5));
+  auto selected = Select(mo, in_group_11.And(has_5.Not()));
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->fact_count(), 1u);
+  EXPECT_EQ(selected->facts()[0], mo.registry()->Atom(1));
+}
+
+TEST(SelectTest, RepresentationPredicate) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  CategoryTypeIndex family = *mo.dimension(0).type().Find("Diagnosis Family");
+  // "E10" names family 9 from 1980 on; both patients carry diagnosis 9.
+  auto selected = Select(mo, Predicate::RepresentationEquals(
+                                 0, family, "Code", "E10", Day("01/01/99")));
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->fact_count(), 2u);
+  // An unknown code matches nothing.
+  auto none = Select(mo, Predicate::RepresentationEquals(0, family, "Code",
+                                                         "ZZZ"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->fact_count(), 0u);
+}
+
+TEST(SelectTest, ProbabilityThreshold) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo("Patient", {BuildDiagnosisDimension()}, registry);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  ASSERT_TRUE(mo.AddFact(p1).ok());
+  ASSERT_TRUE(mo.AddFact(p2).ok());
+  ASSERT_TRUE(mo.Relate(0, p1, ValueId(9), Lifespan{}, 0.9).ok());
+  ASSERT_TRUE(mo.Relate(0, p2, ValueId(9), Lifespan{}, 0.5).ok());
+  auto confident =
+      Select(mo, Predicate::MinProbability(0, ValueId(9), 0.8));
+  ASSERT_TRUE(confident.ok());
+  ASSERT_EQ(confident->fact_count(), 1u);
+  EXPECT_EQ(confident->facts()[0], p1);
+}
+
+TEST(ProjectTest, KeepsRequestedDimensions) {
+  auto registry = std::make_shared<FactRegistry>();
+  DimensionTypeBuilder name_builder("Name");
+  name_builder.AddCategory("Name");
+  Dimension name_dim(std::move(name_builder.Build()).ValueOrDie());
+  CategoryTypeIndex name_cat = *name_dim.type().Find("Name");
+  ASSERT_TRUE(name_dim.AddValue(name_cat, ValueId(500)).ok());
+
+  MdObject mo("Patient", {BuildDiagnosisDimension(), name_dim}, registry);
+  FactId p1 = registry->Atom(1);
+  ASSERT_TRUE(mo.AddFact(p1).ok());
+  ASSERT_TRUE(mo.Relate(0, p1, ValueId(9)).ok());
+  ASSERT_TRUE(mo.Relate(1, p1, ValueId(500)).ok());
+
+  auto projected = Project(mo, {1});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->dimension_count(), 1u);
+  EXPECT_EQ(projected->dimension(0).name(), "Name");
+  // The set of facts stays the same ("we do not remove duplicate
+  // values").
+  EXPECT_EQ(projected->fact_count(), 1u);
+
+  // Reordering works too.
+  auto reordered = Project(mo, {1, 0});
+  ASSERT_TRUE(reordered.ok());
+  EXPECT_EQ(reordered->dimension(0).name(), "Name");
+  EXPECT_EQ(reordered->dimension(1).name(), "Diagnosis");
+}
+
+TEST(ProjectTest, RejectsBadArguments) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  EXPECT_FALSE(Project(mo, {}).ok());
+  EXPECT_FALSE(Project(mo, {3}).ok());
+  EXPECT_FALSE(Project(mo, {0, 0}).ok());
+}
+
+TEST(RenameTest, RenamesSchemaOnly) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  auto renamed = Rename(mo, RenameSpec{"Case", {"Diagnosis2"}});
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(renamed->schema().fact_type(), "Case");
+  EXPECT_EQ(renamed->dimension(0).name(), "Diagnosis2");
+  EXPECT_EQ(renamed->facts(), mo.facts());
+  EXPECT_EQ(renamed->relation(0).size(), mo.relation(0).size());
+}
+
+TEST(RenameTest, EmptyEntriesKeepNames) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  auto renamed = Rename(mo, RenameSpec{"", {""}});
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(renamed->schema().fact_type(), "Patient");
+  EXPECT_EQ(renamed->dimension(0).name(), "Diagnosis");
+}
+
+TEST(RenameTest, RejectsArityMismatch) {
+  MdObject mo = BuildPatientDiagnosisMo();
+  EXPECT_FALSE(Rename(mo, RenameSpec{"X", {"a", "b"}}).ok());
+}
+
+TEST(UnionTest, MergesFactsAndPairTimes) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kValidTime);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kValidTime);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9), During("[01/01/80-31/12/84]")).ok());
+  ASSERT_TRUE(m2.AddFact(p1).ok());
+  ASSERT_TRUE(m2.Relate(0, p1, ValueId(9), During("[01/01/85-NOW]")).ok());
+  ASSERT_TRUE(m2.AddFact(p2).ok());
+  ASSERT_TRUE(m2.Relate(0, p2, ValueId(5), During("[01/01/82-NOW]")).ok());
+
+  auto merged = Union(m1, m2);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->fact_count(), 2u);
+  // The common pair (p1, 9) has the union of the two chronon sets.
+  auto pairs = merged->relation(0).ForFact(p1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_TRUE(pairs[0]->life.valid.Contains(Day("15/06/82")));
+  EXPECT_TRUE(pairs[0]->life.valid.Contains(Day("15/06/99")));
+}
+
+TEST(UnionTest, RejectsSchemaMismatch) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry);
+  DimensionTypeBuilder other("Other");
+  other.AddCategory("X");
+  MdObject m2("Patient", {Dimension(std::move(other.Build()).ValueOrDie())},
+              registry);
+  EXPECT_EQ(Union(m1, m2).status().code(), StatusCode::kSchemaMismatch);
+}
+
+TEST(UnionTest, RejectsSeparateRegistries) {
+  MdObject m1 = BuildPatientDiagnosisMo();
+  MdObject m2 = BuildPatientDiagnosisMo();
+  EXPECT_FALSE(Union(m1, m2).ok());
+}
+
+TEST(DifferenceTest, SnapshotRemovesSharedFacts) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(m1.AddFact(p2).ok());
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9)).ok());
+  ASSERT_TRUE(m1.Relate(0, p2, ValueId(5)).ok());
+  ASSERT_TRUE(m2.AddFact(p2).ok());
+  ASSERT_TRUE(m2.Relate(0, p2, ValueId(5)).ok());
+
+  auto diff = Difference(m1, m2);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->fact_count(), 1u);
+  EXPECT_EQ(diff->facts()[0], p1);
+  // M1's dimensions are retained unchanged.
+  EXPECT_TRUE(diff->dimension(0).HasValue(ValueId(5)));
+}
+
+TEST(DifferenceTest, TemporalRuleCutsPairTimes) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kValidTime);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kValidTime);
+  FactId p1 = registry->Atom(1);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9), During("[01/01/80-31/12/89]")).ok());
+  ASSERT_TRUE(m2.AddFact(p1).ok());
+  ASSERT_TRUE(m2.Relate(0, p1, ValueId(9), During("[01/01/85-NOW]")).ok());
+
+  auto diff = Difference(m1, m2);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->fact_count(), 1u);
+  auto pairs = diff->relation(0).ForFact(p1);
+  ASSERT_EQ(pairs.size(), 1u);
+  // [80-89] minus [85-NOW] leaves [80-84].
+  EXPECT_TRUE(pairs[0]->life.valid.Contains(Day("15/06/82")));
+  EXPECT_FALSE(pairs[0]->life.valid.Contains(Day("15/06/86")));
+}
+
+TEST(DifferenceTest, TemporalFullCutRemovesFact) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kValidTime);
+  MdObject m2("Patient", {BuildDiagnosisDimension()}, registry,
+              TemporalType::kValidTime);
+  FactId p1 = registry->Atom(1);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9), During("[01/01/85-31/12/89]")).ok());
+  ASSERT_TRUE(m2.AddFact(p1).ok());
+  ASSERT_TRUE(m2.Relate(0, p1, ValueId(9), During("[01/01/80-NOW]")).ok());
+  auto diff = Difference(m1, m2);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->fact_count(), 0u);
+}
+
+TEST(JoinTest, CartesianProductBuildsPairFacts) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry);
+  MdObject m2 = *Rename(
+      [&] {
+        MdObject inner("Visit", {BuildDiagnosisDimension()}, registry);
+        FactId v1 = registry->Atom(100);
+        (void)inner.AddFact(v1);
+        (void)inner.Relate(0, v1, ValueId(5));
+        return inner;
+      }(),
+      RenameSpec{"", {"Diagnosis2"}});
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(m1.AddFact(p2).ok());
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9)).ok());
+  ASSERT_TRUE(m1.Relate(0, p2, ValueId(3)).ok());
+
+  auto joined = Join(m1, m2, JoinPredicate::kTrue);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->fact_count(), 2u);  // 2 x 1 pairs
+  EXPECT_EQ(joined->dimension_count(), 2u);
+  EXPECT_EQ(joined->schema().fact_type(), "(Patient,Visit)");
+  // Pair facts inherit the members' characterizations.
+  FactId pair = registry->Pair(p1, registry->Atom(100));
+  EXPECT_TRUE(joined->HasFact(pair));
+  auto pairs_dim0 = joined->relation(0).ForFact(pair);
+  ASSERT_EQ(pairs_dim0.size(), 1u);
+  EXPECT_EQ(pairs_dim0[0]->value, ValueId(9));
+  auto pairs_dim1 = joined->relation(1).ForFact(pair);
+  ASSERT_EQ(pairs_dim1.size(), 1u);
+  EXPECT_EQ(pairs_dim1[0]->value, ValueId(5));
+}
+
+TEST(JoinTest, EquiJoinPairsIdenticalFacts) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("Patient", {BuildDiagnosisDimension()}, registry);
+  MdObject m2("Patient", {BuildDiagnosisDimension().RenamedAs("Diagnosis2")},
+              registry);
+  FactId p1 = registry->Atom(1);
+  FactId p2 = registry->Atom(2);
+  ASSERT_TRUE(m1.AddFact(p1).ok());
+  ASSERT_TRUE(m1.Relate(0, p1, ValueId(9)).ok());
+  ASSERT_TRUE(m2.AddFact(p1).ok());
+  ASSERT_TRUE(m2.Relate(0, p1, ValueId(5)).ok());
+  ASSERT_TRUE(m2.AddFact(p2).ok());
+  ASSERT_TRUE(m2.Relate(0, p2, ValueId(6)).ok());
+
+  auto joined = Join(m1, m2, JoinPredicate::kEqual);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->fact_count(), 1u);
+  EXPECT_TRUE(joined->HasFact(registry->Pair(p1, p1)));
+
+  auto anti = Join(m1, m2, JoinPredicate::kNotEqual);
+  ASSERT_TRUE(anti.ok());
+  ASSERT_EQ(anti->fact_count(), 1u);
+  EXPECT_TRUE(anti->HasFact(registry->Pair(p1, p2)));
+}
+
+TEST(JoinTest, RejectsDuplicateDimensionNames) {
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject m1("A", {BuildDiagnosisDimension()}, registry);
+  MdObject m2("B", {BuildDiagnosisDimension()}, registry);
+  auto joined = Join(m1, m2, JoinPredicate::kTrue);
+  ASSERT_FALSE(joined.ok());
+  EXPECT_NE(joined.status().message().find("rename"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mddc

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "uncertainty/probability.h"
+
+namespace mddc {
+namespace {
+
+TEST(ProbabilityTest, Validation) {
+  EXPECT_TRUE(IsProbability(0.0));
+  EXPECT_TRUE(IsProbability(1.0));
+  EXPECT_FALSE(IsProbability(-0.1));
+  EXPECT_FALSE(IsProbability(1.1));
+  EXPECT_TRUE(ValidateAttachedProbability(0.5).ok());
+  EXPECT_FALSE(ValidateAttachedProbability(0.0).ok());
+  EXPECT_FALSE(ValidateAttachedProbability(1.5).ok());
+}
+
+TEST(ProbabilityTest, NoisyOr) {
+  EXPECT_DOUBLE_EQ(NoisyOr({}), 0.0);
+  EXPECT_DOUBLE_EQ(NoisyOr({0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(NoisyOr({0.5, 0.5}), 0.75);
+  EXPECT_DOUBLE_EQ(NoisyOr({1.0, 0.3}), 1.0);
+}
+
+TEST(ProbabilityTest, PathProduct) {
+  EXPECT_DOUBLE_EQ(PathProduct({}), 1.0);
+  EXPECT_DOUBLE_EQ(PathProduct({0.9, 0.5}), 0.45);
+}
+
+TEST(ProbabilityTest, ExpectedCountAndSum) {
+  EXPECT_DOUBLE_EQ(ExpectedCount({0.9, 0.5, 1.0}), 2.4);
+  auto sum = ExpectedSum({10.0, 20.0}, {0.5, 1.0});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 25.0);
+  EXPECT_FALSE(ExpectedSum({1.0}, {0.5, 0.5}).ok());
+}
+
+TEST(ProbabilityTest, CountDistributionIsPoissonBinomial) {
+  std::vector<double> d = CountDistribution({0.5, 0.5});
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 0.25);
+  EXPECT_DOUBLE_EQ(d[1], 0.5);
+  EXPECT_DOUBLE_EQ(d[2], 0.25);
+  // Distribution sums to 1 and its mean equals ExpectedCount.
+  std::vector<double> probs = {0.1, 0.9, 0.4, 0.7};
+  std::vector<double> dist = CountDistribution(probs);
+  double total = 0.0;
+  double mean = 0.0;
+  for (std::size_t k = 0; k < dist.size(); ++k) {
+    total += dist[k];
+    mean += k * dist[k];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(mean, ExpectedCount(probs), 1e-12);
+}
+
+TEST(ProbabilityTest, ProbabilityNonEmptyMatchesNoisyOr) {
+  EXPECT_DOUBLE_EQ(ProbabilityNonEmpty({0.2, 0.2}),
+                   NoisyOr({0.2, 0.2}));
+}
+
+}  // namespace
+}  // namespace mddc

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "relational/algebra.h"
+
+namespace mddc {
+namespace relational {
+namespace {
+
+Value I(std::int64_t v) { return Value(v); }
+Value D(double v) { return Value(v); }
+Value S(std::string v) { return Value(std::move(v)); }
+
+Relation Patients() {
+  Relation r({"id", "name", "age", "area"});
+  (void)r.Insert({I(1), S("John Doe"), I(30), S("North")});
+  (void)r.Insert({I(2), S("Jane Doe"), I(49), S("North")});
+  (void)r.Insert({I(3), S("Jim Roe"), I(65), S("South")});
+  (void)r.Insert({I(4), S("Ann Poe"), Value::Null(), S("South")});
+  return r;
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(*I(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(*I(42).AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(*D(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(*S("x").AsString(), "x");
+  EXPECT_FALSE(S("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsInt().ok());
+}
+
+TEST(ValueTest, OrderingAndEquality) {
+  EXPECT_EQ(I(2), D(2.0));  // numeric unification
+  EXPECT_LT(Value::Null(), I(0));
+  EXPECT_LT(I(5), S("a"));  // numbers before strings
+  EXPECT_LT(I(1), I(2));
+  EXPECT_LT(S("a"), S("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(I(7).ToString(), "7");
+  EXPECT_EQ(D(2.0).ToString(), "2");
+  EXPECT_EQ(S("abc").ToString(), "abc");
+}
+
+TEST(RelationTest, SetSemantics) {
+  Relation r({"a"});
+  ASSERT_TRUE(r.Insert({I(1)}).ok());
+  ASSERT_TRUE(r.Insert({I(1)}).ok());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({I(1)}));
+  EXPECT_FALSE(r.Contains({I(2)}));
+  EXPECT_FALSE(r.Insert({I(1), I(2)}).ok());  // arity mismatch
+}
+
+TEST(RelationTest, AttributeLookup) {
+  Relation r = Patients();
+  EXPECT_EQ(*r.AttributeIndex("age"), 2u);
+  EXPECT_FALSE(r.AttributeIndex("nope").ok());
+}
+
+TEST(RelationalAlgebraTest, SelectConditions) {
+  Relation r = Patients();
+  auto north = Select(r, {"area", Condition::Op::kEq, S("North")});
+  ASSERT_TRUE(north.ok());
+  EXPECT_EQ(north->size(), 2u);
+
+  auto old_patients = Select(r, {"age", Condition::Op::kGe, I(49)});
+  ASSERT_TRUE(old_patients.ok());
+  EXPECT_EQ(old_patients->size(), 2u);
+
+  auto not_north = Select(r, {"area", Condition::Op::kNe, S("North")});
+  ASSERT_TRUE(not_north.ok());
+  EXPECT_EQ(not_north->size(), 2u);
+
+  EXPECT_FALSE(Select(r, {"nope", Condition::Op::kEq, I(1)}).ok());
+}
+
+TEST(RelationalAlgebraTest, SelectWhereArbitraryPredicate) {
+  Relation r = Patients();
+  auto result = SelectWhere(r, [](const Relation& rel, const Tuple& t)
+                                   -> Result<bool> {
+    MDDC_ASSIGN_OR_RETURN(std::size_t name, rel.AttributeIndex("name"));
+    MDDC_ASSIGN_OR_RETURN(std::string text, t[name].AsString());
+    return text.find("Doe") != std::string::npos;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(RelationalAlgebraTest, ProjectCollapsesDuplicates) {
+  Relation r = Patients();
+  auto areas = Project(r, {"area"});
+  ASSERT_TRUE(areas.ok());
+  EXPECT_EQ(areas->size(), 2u);  // North, South
+  auto reordered = Project(r, {"age", "id"});
+  ASSERT_TRUE(reordered.ok());
+  EXPECT_EQ(reordered->attributes(),
+            (std::vector<std::string>{"age", "id"}));
+}
+
+TEST(RelationalAlgebraTest, UnionAndDifference) {
+  Relation r({"a"});
+  Relation s({"a"});
+  (void)r.Insert({I(1)});
+  (void)r.Insert({I(2)});
+  (void)s.Insert({I(2)});
+  (void)s.Insert({I(3)});
+  auto u = Union(r, s);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3u);
+  auto d = Difference(r, s);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->size(), 1u);
+  EXPECT_TRUE(d->Contains({I(1)}));
+
+  Relation bad({"b"});
+  EXPECT_EQ(Union(r, bad).status().code(), StatusCode::kSchemaMismatch);
+  EXPECT_EQ(Difference(r, bad).status().code(), StatusCode::kSchemaMismatch);
+}
+
+TEST(RelationalAlgebraTest, ProductAndJoins) {
+  Relation r({"id", "area"});
+  (void)r.Insert({I(1), S("North")});
+  (void)r.Insert({I(2), S("South")});
+  Relation s({"region", "pop"});
+  (void)s.Insert({S("North"), I(100)});
+  (void)s.Insert({S("South"), I(200)});
+
+  auto product = Product(r, s);
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product->size(), 4u);
+  EXPECT_EQ(product->arity(), 4u);
+
+  auto joined = EquiJoin(r, s, {{"area", "region"}});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 2u);
+
+  // Natural join on a shared attribute name.
+  Relation s2({"area", "pop"});
+  (void)s2.Insert({S("North"), I(100)});
+  auto natural = NaturalJoin(r, s2);
+  ASSERT_TRUE(natural.ok());
+  ASSERT_EQ(natural->size(), 1u);
+  EXPECT_EQ(natural->arity(), 3u);  // id, area, pop
+
+  // Disjoint attributes: natural join degenerates to product.
+  auto degenerate = NaturalJoin(r, s);
+  ASSERT_TRUE(degenerate.ok());
+  EXPECT_EQ(degenerate->size(), 4u);
+
+  EXPECT_FALSE(Product(r, r).ok());  // shared names
+}
+
+TEST(RelationalAlgebraTest, AggregateFunctions) {
+  Relation r = Patients();
+  auto counts = Aggregate(r, {"area"},
+                          {{AggregateTerm::Func::kCountStar, "", "n"}});
+  ASSERT_TRUE(counts.ok());
+  ASSERT_EQ(counts->size(), 2u);
+  EXPECT_TRUE(counts->Contains({S("North"), I(2)}));
+  EXPECT_TRUE(counts->Contains({S("South"), I(2)}));
+
+  // COUNT(age) skips the null.
+  auto known_ages = Aggregate(r, {"area"},
+                              {{AggregateTerm::Func::kCount, "age", "n"}});
+  ASSERT_TRUE(known_ages.ok());
+  EXPECT_TRUE(known_ages->Contains({S("South"), I(1)}));
+
+  auto sums = Aggregate(r, {}, {{AggregateTerm::Func::kSum, "age", "total"}});
+  ASSERT_TRUE(sums.ok());
+  ASSERT_EQ(sums->size(), 1u);
+  EXPECT_TRUE(sums->Contains({D(144.0)}));
+
+  auto stats = Aggregate(r, {},
+                         {{AggregateTerm::Func::kMin, "age", "lo"},
+                          {AggregateTerm::Func::kMax, "age", "hi"},
+                          {AggregateTerm::Func::kAvg, "age", "mean"}});
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->size(), 1u);
+  EXPECT_TRUE(stats->Contains({I(30), I(65), D(48.0)}));
+}
+
+TEST(RelationalAlgebraTest, AggregateDistinct) {
+  Relation r = Patients();
+  auto distinct = Aggregate(
+      r, {}, {{AggregateTerm::Func::kCountDistinct, "area", "areas"}});
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_TRUE(distinct->Contains({I(2)}));
+}
+
+TEST(RelationalAlgebraTest, AggregateOverEmptyGroupIsNull) {
+  Relation r({"x"});
+  auto result = Aggregate(r, {}, {{AggregateTerm::Func::kMin, "x", "m"}});
+  ASSERT_TRUE(result.ok());
+  // Set semantics: no input tuples means no groups at all.
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace mddc

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/representation.h"
+#include "fixtures.h"
+
+namespace mddc {
+namespace {
+
+using testing_fixtures::Day;
+using testing_fixtures::During;
+
+TEST(RepresentationTest, BasicRoundTrip) {
+  Representation rep("Code");
+  ASSERT_TRUE(rep.Set(ValueId(3), "O24").ok());
+  auto text = rep.Get(ValueId(3));
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "O24");
+  auto value = rep.Lookup("O24");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, ValueId(3));
+}
+
+TEST(RepresentationTest, UnknownValueIsNotFound) {
+  Representation rep("Code");
+  EXPECT_EQ(rep.Get(ValueId(1)).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(rep.Lookup("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RepresentationTest, BijectivityPerChronon) {
+  Representation rep("Code");
+  // The code "D1" denoted value 8 during the 70s; from 1980 a different
+  // value may reuse the code, but an *overlapping* reuse is rejected.
+  ASSERT_TRUE(rep.Set(ValueId(8), "D1", During("[01/01/70-31/12/79]")).ok());
+  EXPECT_EQ(rep.Set(ValueId(9), "D1", During("[01/06/75-NOW]")).code(),
+            StatusCode::kInvariantViolation);
+  EXPECT_TRUE(rep.Set(ValueId(9), "D1", During("[01/01/80-NOW]")).ok());
+
+  auto in_70s = rep.Lookup("D1", Day("15/06/75"));
+  ASSERT_TRUE(in_70s.ok());
+  EXPECT_EQ(*in_70s, ValueId(8));
+  auto in_80s = rep.Lookup("D1", Day("15/06/85"));
+  ASSERT_TRUE(in_80s.ok());
+  EXPECT_EQ(*in_80s, ValueId(9));
+}
+
+TEST(RepresentationTest, ValueCannotHaveTwoSimultaneousNames) {
+  Representation rep("Code");
+  ASSERT_TRUE(rep.Set(ValueId(3), "P11", During("[01/01/70-31/12/79]")).ok());
+  EXPECT_FALSE(rep.Set(ValueId(3), "X99", During("[01/01/75-NOW]")).ok());
+  // Non-overlapping rename is fine (the paper: "names might change").
+  EXPECT_TRUE(rep.Set(ValueId(3), "X99", During("[01/01/80-NOW]")).ok());
+  EXPECT_EQ(*rep.Get(ValueId(3), Day("15/06/75")), "P11");
+  EXPECT_EQ(*rep.Get(ValueId(3), Day("15/06/85")), "X99");
+}
+
+TEST(RepresentationTest, ReassertionCoalesces) {
+  Representation rep("Code");
+  ASSERT_TRUE(rep.Set(ValueId(3), "P11", During("[01/01/70-31/12/74]")).ok());
+  ASSERT_TRUE(rep.Set(ValueId(3), "P11", During("[01/01/75-31/12/79]")).ok());
+  auto all = rep.GetAll(ValueId(3));
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0].second.valid.Contains(Day("15/06/72")));
+  EXPECT_TRUE(all[0].second.valid.Contains(Day("15/06/77")));
+}
+
+TEST(RepresentationTest, NumericInterpretation) {
+  Representation rep("AgeValue");
+  ASSERT_TRUE(rep.Set(ValueId(1), "42").ok());
+  ASSERT_TRUE(rep.Set(ValueId(2), "3.5").ok());
+  ASSERT_TRUE(rep.Set(ValueId(3), "young").ok());
+  EXPECT_DOUBLE_EQ(*rep.GetNumeric(ValueId(1)), 42.0);
+  EXPECT_DOUBLE_EQ(*rep.GetNumeric(ValueId(2)), 3.5);
+  EXPECT_EQ(rep.GetNumeric(ValueId(3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RepresentationTest, RejectsInvalidInput) {
+  Representation rep("Code");
+  EXPECT_FALSE(rep.Set(ValueId(), "x").ok());
+  Lifespan empty = Lifespan::ValidDuring(TemporalElement());
+  EXPECT_FALSE(rep.Set(ValueId(1), "x", empty).ok());
+}
+
+TEST(RepresentationTest, SizeCountsEntries) {
+  Representation rep("Code");
+  ASSERT_TRUE(rep.Set(ValueId(1), "a", During("[01/01/70-31/12/74]")).ok());
+  ASSERT_TRUE(rep.Set(ValueId(1), "b", During("[01/01/75-NOW]")).ok());
+  ASSERT_TRUE(rep.Set(ValueId(2), "c").ok());
+  EXPECT_EQ(rep.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mddc

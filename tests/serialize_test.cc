@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "algebra/derived.h"
+#include "algebra/timeslice.h"
+#include "common/date.h"
+#include "algebra/derived.h"
+#include "io/serialize.h"
+#include "workload/case_study.h"
+#include "workload/clinical_generator.h"
+
+namespace mddc {
+namespace io {
+namespace {
+
+Chronon Day(const std::string& text) { return *ParseDate(text); }
+
+TEST(SerializeTest, CaseStudyRoundTrip) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto text = WriteMo(cs->mo);
+  ASSERT_TRUE(text.ok()) << text.status();
+
+  auto registry = std::make_shared<FactRegistry>();
+  auto loaded = ReadMo(*text, registry);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Structural equivalence.
+  EXPECT_TRUE(loaded->schema().EquivalentTo(cs->mo.schema()));
+  EXPECT_EQ(loaded->temporal_type(), cs->mo.temporal_type());
+  EXPECT_EQ(loaded->fact_count(), cs->mo.fact_count());
+  for (std::size_t i = 0; i < cs->mo.dimension_count(); ++i) {
+    EXPECT_EQ(loaded->dimension(i).value_count(),
+              cs->mo.dimension(i).value_count());
+    EXPECT_EQ(loaded->relation(i).size(), cs->mo.relation(i).size());
+  }
+  EXPECT_TRUE(loaded->Validate().ok());
+}
+
+TEST(SerializeTest, BehavioralEquivalenceAfterRoundTrip) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto text = WriteMo(cs->mo);
+  ASSERT_TRUE(text.ok());
+  auto loaded = ReadMo(*text, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Same Example 12 counts.
+  CategoryTypeIndex group =
+      *loaded->dimension(0).type().Find("Diagnosis Group");
+  auto rows = SqlAggregate(*loaded, {SqlGroupBy{0, group, "Code"}},
+                           AggFunction::SetCount());
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_DOUBLE_EQ((*rows)[0].value, 2.0);
+  EXPECT_DOUBLE_EQ((*rows)[1].value, 1.0);
+
+  // Same timeslice behavior (NOW endpoints survive the round trip).
+  auto sliced = ValidTimeslice(*loaded, Day("15/06/75"));
+  ASSERT_TRUE(sliced.ok()) << sliced.status();
+  EXPECT_EQ(sliced->fact_count(), 1u);
+  EXPECT_FALSE(sliced->dimension(0).HasValue(ValueId(11)));
+}
+
+TEST(SerializeTest, SecondRoundTripIsIdentical) {
+  // write(read(write(mo))) == write(mo): the format is canonical.
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto first = WriteMo(cs->mo);
+  ASSERT_TRUE(first.ok());
+  auto loaded = ReadMo(*first, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(loaded.ok());
+  auto second = WriteMo(*loaded);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(SerializeTest, ProbabilitiesAndUncertainWorkloadSurvive) {
+  ClinicalWorkloadParams params;
+  params.num_patients = 40;
+  params.num_groups = 2;
+  params.uncertain_rate = 0.5;
+  auto workload =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok());
+  auto text = WriteMo(workload->mo);
+  ASSERT_TRUE(text.ok());
+  auto loaded = ReadMo(*text, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Probabilities preserved entry-for-entry (match by value id).
+  std::multiset<double> original_probs;
+  for (const auto& entry : workload->mo.relation(0).entries()) {
+    original_probs.insert(entry.prob);
+  }
+  std::multiset<double> loaded_probs;
+  for (const auto& entry : loaded->relation(0).entries()) {
+    loaded_probs.insert(entry.prob);
+  }
+  EXPECT_EQ(original_probs, loaded_probs);
+}
+
+TEST(SerializeTest, SetFactsFromAggregationRoundTrip) {
+  // Serialize an *aggregated* MO whose facts are sets.
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  CategoryTypeIndex group =
+      *cs->mo.dimension(cs->diagnosis).type().Find("Diagnosis Group");
+  auto aggregated =
+      RollUp(cs->mo, cs->diagnosis, group, AggFunction::SetCount());
+  ASSERT_TRUE(aggregated.ok());
+  auto text = WriteMo(*aggregated);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto registry = std::make_shared<FactRegistry>();
+  auto loaded = ReadMo(*text, registry);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->fact_count(), 2u);
+  // The set {1,2} is rebuilt with canonical identity in the new registry.
+  FactId both = registry->Set({registry->Atom(1), registry->Atom(2)});
+  EXPECT_TRUE(loaded->HasFact(both));
+}
+
+TEST(SerializeTest, TopValueRelationsRoundTrip) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  MdObject mo("Patient", {cs->mo.dimension(cs->diagnosis)}, cs->registry,
+              TemporalType::kSnapshot);
+  FactId unknown = cs->registry->Atom(99);
+  ASSERT_TRUE(mo.AddFact(unknown).ok());
+  ASSERT_TRUE(mo.CoverWithTop().ok());
+  auto text = WriteMo(mo);
+  ASSERT_TRUE(text.ok());
+  auto loaded = ReadMo(*text, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto pairs = loaded->relation(0).entries();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].value, loaded->dimension(0).top_value());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  std::string path = ::testing::TempDir() + "/case_study.mddc";
+  ASSERT_TRUE(SaveMoToFile(cs->mo, path).ok());
+  auto loaded = LoadMoFromFile(path, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->fact_count(), 2u);
+  EXPECT_FALSE(
+      LoadMoFromFile("/nonexistent/path.mddc",
+                     std::make_shared<FactRegistry>())
+          .ok());
+}
+
+TEST(SerializeTest, RejectsCorruptInput) {
+  EXPECT_FALSE(ReadMo("", std::make_shared<FactRegistry>()).ok());
+  EXPECT_FALSE(ReadMo("GARBAGE 9", std::make_shared<FactRegistry>()).ok());
+  EXPECT_FALSE(
+      ReadMo("MDDC 1\nMO \"X\" snapshot 1\nnonsense",
+             std::make_shared<FactRegistry>())
+          .ok());
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  auto text = WriteMo(cs->mo);
+  ASSERT_TRUE(text.ok());
+  // Truncation is detected (missing END).
+  std::string truncated = text->substr(0, text->size() / 2);
+  EXPECT_FALSE(ReadMo(truncated, std::make_shared<FactRegistry>()).ok());
+}
+
+// Property sweep: randomized clinical workloads round-trip exactly —
+// write(read(write(mo))) == write(mo) — across non-strictness, temporal
+// churn, uncertainty and mixed granularity.
+class SerializeRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeRoundTripTest, RandomWorkloadsAreCanonical) {
+  int seed = GetParam();
+  ClinicalWorkloadParams params;
+  params.seed = static_cast<std::uint32_t>(seed * 31 + 7);
+  params.num_patients = 30 + 5 * (seed % 4);
+  params.num_groups = 2;
+  params.non_strict_rate = 0.2 * (seed % 3);
+  params.reclassified_rate = 0.15 * (seed % 2);
+  params.uncertain_rate = 0.2 * (seed % 2);
+  params.coarse_granularity_rate = 0.25 * (seed % 2);
+  auto workload =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(workload.ok());
+
+  auto first = WriteMo(workload->mo);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto loaded = ReadMo(*first, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto second = WriteMo(*loaded);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second) << "seed " << seed;
+
+  // Behavioral spot-check: group counts agree.
+  CategoryTypeIndex group =
+      *loaded->dimension(0).type().Find("Diagnosis Group");
+  auto original_counts =
+      RollUp(workload->mo, 0, group, AggFunction::SetCount());
+  auto loaded_counts = RollUp(*loaded, 0, group, AggFunction::SetCount());
+  ASSERT_TRUE(original_counts.ok());
+  ASSERT_TRUE(loaded_counts.ok());
+  EXPECT_EQ(original_counts->fact_count(), loaded_counts->fact_count());
+  EXPECT_EQ(original_counts->relation(0).size(),
+            loaded_counts->relation(0).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTripTest,
+                         ::testing::Range(0, 8));
+
+TEST(SerializeTest, QuotedNamesWithSpacesAndEscapes) {
+  DimensionTypeBuilder builder("Weird \"Name\" \\ dim");
+  builder.AddCategory("Level One");
+  Dimension dimension(std::move(builder.Build()).ValueOrDie());
+  CategoryTypeIndex bottom = dimension.type().bottom();
+  ASSERT_TRUE(dimension.AddValue(bottom, ValueId(1)).ok());
+  ASSERT_TRUE(dimension.RepresentationFor(bottom, "Name")
+                  .Set(ValueId(1), "va\"lue \\ with spaces")
+                  .ok());
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo("Fact \"type\"", {std::move(dimension)}, registry);
+  FactId f = registry->Atom(1);
+  ASSERT_TRUE(mo.AddFact(f).ok());
+  ASSERT_TRUE(mo.Relate(0, f, ValueId(1)).ok());
+
+  auto text = WriteMo(mo);
+  ASSERT_TRUE(text.ok());
+  auto loaded = ReadMo(*text, std::make_shared<FactRegistry>());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->schema().fact_type(), "Fact \"type\"");
+  EXPECT_EQ(loaded->dimension(0).name(), "Weird \"Name\" \\ dim");
+  auto rep = loaded->dimension(0).FindRepresentation(bottom, "Name");
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(*(*rep)->Get(ValueId(1)), "va\"lue \\ with spaces");
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace mddc

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/date.h"
+#include "temporal/temporal_element.h"
+
+namespace mddc {
+namespace {
+
+Chronon Day(const std::string& date) { return *ParseDate(date); }
+
+TEST(IntervalTest, MakeRejectsReversed) {
+  EXPECT_TRUE(Interval::Make(1, 5).ok());
+  EXPECT_TRUE(Interval::Make(5, 5).ok());
+  EXPECT_FALSE(Interval::Make(6, 5).ok());
+}
+
+TEST(IntervalTest, ContainsAndOverlap) {
+  Interval i(10, 20);
+  EXPECT_TRUE(i.Contains(10));
+  EXPECT_TRUE(i.Contains(20));
+  EXPECT_FALSE(i.Contains(9));
+  EXPECT_TRUE(i.Overlaps(Interval(20, 30)));
+  EXPECT_FALSE(i.Overlaps(Interval(21, 30)));
+  EXPECT_TRUE(i.Meets(Interval(21, 30)));  // adjacent intervals meet
+  EXPECT_FALSE(i.Meets(Interval(22, 30)));
+}
+
+TEST(IntervalTest, NowContainsAllConcreteChronons) {
+  // [a, NOW] must cover every concrete chronon >= a because NOW is the
+  // growing current time.
+  Interval i(Day("01/01/89"), kNowChronon);
+  EXPECT_TRUE(i.Contains(Day("01/01/99")));
+  EXPECT_TRUE(i.Contains(Day("01/01/25")));
+  EXPECT_FALSE(i.Contains(Day("31/12/88")));
+}
+
+TEST(IntervalTest, BindReplacesNow) {
+  Interval i(Day("01/01/89"), kNowChronon);
+  Interval bound = i.Bind(Day("15/06/95"));
+  EXPECT_EQ(bound.end(), Day("15/06/95"));
+  EXPECT_EQ(bound.begin(), Day("01/01/89"));
+}
+
+TEST(IntervalTest, ParsePaperNotation) {
+  auto i = Interval::Parse("[23/03/75-24/12/75]");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->begin(), Day("23/03/75"));
+  EXPECT_EQ(i->end(), Day("24/12/75"));
+
+  auto now_ending = Interval::Parse("01/01/80-NOW");
+  ASSERT_TRUE(now_ending.ok());
+  EXPECT_EQ(now_ending->end(), kNowChronon);
+
+  auto single = Interval::Parse("01/01/80");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->Length(), 1);
+
+  EXPECT_FALSE(Interval::Parse("garbage").ok());
+}
+
+TEST(IntervalTest, ToStringRoundTrips) {
+  auto i = Interval::Parse("[01/01/70-31/12/79]");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->ToString(), "[01/01/1970-31/12/1979]");
+  auto again = Interval::Parse(i->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *i);
+}
+
+TEST(TemporalElementTest, DefaultIsEmpty) {
+  TemporalElement element;
+  EXPECT_TRUE(element.Empty());
+  EXPECT_EQ(element.Cardinality(), 0);
+  EXPECT_EQ(element.ToString(), "{}");
+}
+
+TEST(TemporalElementTest, CoalescesAdjacentIntervals) {
+  TemporalElement element{Interval(1, 5), Interval(6, 10)};
+  ASSERT_EQ(element.intervals().size(), 1u);
+  EXPECT_EQ(element.intervals()[0], Interval(1, 10));
+}
+
+TEST(TemporalElementTest, CoalescesOverlappingUnsorted) {
+  TemporalElement element{Interval(20, 30), Interval(1, 25), Interval(40, 41)};
+  ASSERT_EQ(element.intervals().size(), 2u);
+  EXPECT_EQ(element.intervals()[0], Interval(1, 30));
+  EXPECT_EQ(element.intervals()[1], Interval(40, 41));
+}
+
+TEST(TemporalElementTest, UnionIsCoalesced) {
+  TemporalElement a(Interval(1, 5));
+  TemporalElement b(Interval(6, 9));
+  TemporalElement u = a.Union(b);
+  ASSERT_EQ(u.intervals().size(), 1u);
+  EXPECT_EQ(u.Cardinality(), 9);
+}
+
+TEST(TemporalElementTest, IntersectBasic) {
+  TemporalElement a{Interval(1, 10), Interval(20, 30)};
+  TemporalElement b{Interval(5, 25)};
+  TemporalElement i = a.Intersect(b);
+  ASSERT_EQ(i.intervals().size(), 2u);
+  EXPECT_EQ(i.intervals()[0], Interval(5, 10));
+  EXPECT_EQ(i.intervals()[1], Interval(20, 25));
+}
+
+TEST(TemporalElementTest, IntersectDisjointIsEmpty) {
+  TemporalElement a(Interval(1, 5));
+  TemporalElement b(Interval(6, 10));
+  EXPECT_TRUE(a.Intersect(b).Empty());
+  EXPECT_FALSE(a.Overlaps(b));
+}
+
+TEST(TemporalElementTest, SubtractSplitsIntervals) {
+  TemporalElement a(Interval(1, 10));
+  TemporalElement b(Interval(4, 6));
+  TemporalElement d = a.Subtract(b);
+  ASSERT_EQ(d.intervals().size(), 2u);
+  EXPECT_EQ(d.intervals()[0], Interval(1, 3));
+  EXPECT_EQ(d.intervals()[1], Interval(7, 10));
+}
+
+TEST(TemporalElementTest, SubtractEverything) {
+  TemporalElement a(Interval(1, 10));
+  EXPECT_TRUE(a.Subtract(TemporalElement::Always()).Empty());
+  EXPECT_EQ(a.Subtract(TemporalElement()), a);
+}
+
+TEST(TemporalElementTest, ComplementRoundTrip) {
+  TemporalElement a{Interval(1, 10), Interval(50, 60)};
+  EXPECT_EQ(a.Complement().Complement(), a);
+  EXPECT_TRUE(a.Intersect(a.Complement()).Empty());
+  EXPECT_EQ(a.Union(a.Complement()), TemporalElement::Always());
+}
+
+TEST(TemporalElementTest, CoversReflexiveAndSubset) {
+  TemporalElement a(Interval(1, 10));
+  TemporalElement sub(Interval(3, 5));
+  EXPECT_TRUE(a.Covers(a));
+  EXPECT_TRUE(a.Covers(sub));
+  EXPECT_FALSE(sub.Covers(a));
+  EXPECT_TRUE(a.Covers(TemporalElement()));
+}
+
+TEST(TemporalElementTest, BindDropsEmptyIntervals) {
+  // [01/01/82-NOW] bound at 1975 is empty; bound at 1990 ends 1990.
+  TemporalElement element(Interval(Day("01/01/82"), kNowChronon));
+  EXPECT_TRUE(element.Bind(Day("01/01/75")).Empty());
+  TemporalElement bound = element.Bind(Day("01/01/90"));
+  ASSERT_FALSE(bound.Empty());
+  EXPECT_EQ(bound.intervals()[0].end(), Day("01/01/90"));
+}
+
+TEST(TemporalElementTest, ParseMultipleIntervals) {
+  auto element = TemporalElement::Parse("[01/01/70-31/12/79],[01/01/85-NOW]");
+  ASSERT_TRUE(element.ok());
+  EXPECT_EQ(element->intervals().size(), 2u);
+  EXPECT_TRUE(element->Contains(Day("15/06/75")));
+  EXPECT_FALSE(element->Contains(Day("15/06/82")));
+  EXPECT_TRUE(element->Contains(Day("15/06/99")));
+}
+
+TEST(TemporalElementTest, ContainsUsesBinarySearch) {
+  TemporalElement element;
+  for (int i = 0; i < 100; ++i) element.Add(Interval(i * 10, i * 10 + 4));
+  EXPECT_TRUE(element.Contains(500));
+  EXPECT_TRUE(element.Contains(504));
+  EXPECT_FALSE(element.Contains(505));
+  EXPECT_FALSE(element.Contains(-1));
+}
+
+// Property sweep: randomized set-algebra laws checked against a bitmap
+// model over a small universe.
+class TemporalElementPropertyTest : public ::testing::TestWithParam<int> {};
+
+constexpr int kUniverse = 64;
+
+TemporalElement RandomElement(std::mt19937& rng) {
+  std::uniform_int_distribution<int> coin(0, 3);
+  TemporalElement element;
+  int pos = 0;
+  while (pos < kUniverse) {
+    int len = coin(rng) + 1;
+    if (coin(rng) == 0) {
+      element.Add(Interval(pos, std::min(pos + len, kUniverse - 1)));
+    }
+    pos += len + 1;
+  }
+  return element;
+}
+
+std::vector<bool> ToBitmap(const TemporalElement& element) {
+  std::vector<bool> bits(kUniverse, false);
+  for (int i = 0; i < kUniverse; ++i) bits[i] = element.Contains(i);
+  return bits;
+}
+
+TEST_P(TemporalElementPropertyTest, SetAlgebraMatchesBitmapModel) {
+  std::mt19937 rng(GetParam());
+  TemporalElement a = RandomElement(rng);
+  TemporalElement b = RandomElement(rng);
+  std::vector<bool> ba = ToBitmap(a);
+  std::vector<bool> bb = ToBitmap(b);
+
+  std::vector<bool> u = ToBitmap(a.Union(b));
+  std::vector<bool> i = ToBitmap(a.Intersect(b));
+  std::vector<bool> d = ToBitmap(a.Subtract(b));
+  for (int k = 0; k < kUniverse; ++k) {
+    EXPECT_EQ(u[k], ba[k] || bb[k]) << "union differs at " << k;
+    EXPECT_EQ(i[k], ba[k] && bb[k]) << "intersect differs at " << k;
+    EXPECT_EQ(d[k], ba[k] && !bb[k]) << "subtract differs at " << k;
+  }
+}
+
+TEST_P(TemporalElementPropertyTest, ResultsAreAlwaysCoalesced) {
+  std::mt19937 rng(GetParam() + 1000);
+  TemporalElement a = RandomElement(rng);
+  TemporalElement b = RandomElement(rng);
+  for (const TemporalElement& e :
+       {a.Union(b), a.Intersect(b), a.Subtract(b)}) {
+    const auto& intervals = e.intervals();
+    for (std::size_t k = 0; k + 1 < intervals.size(); ++k) {
+      // Sorted, disjoint and non-adjacent.
+      EXPECT_LT(intervals[k].end() + 1, intervals[k + 1].begin());
+    }
+  }
+}
+
+TEST_P(TemporalElementPropertyTest, DeMorgan) {
+  std::mt19937 rng(GetParam() + 2000);
+  TemporalElement a = RandomElement(rng);
+  TemporalElement b = RandomElement(rng);
+  EXPECT_EQ(a.Union(b).Complement(),
+            a.Complement().Intersect(b.Complement()));
+  EXPECT_EQ(a.Intersect(b).Complement(),
+            a.Complement().Union(b.Complement()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalElementPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace mddc
