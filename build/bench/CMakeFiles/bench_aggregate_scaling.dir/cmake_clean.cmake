@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregate_scaling.dir/bench_aggregate_scaling.cpp.o"
+  "CMakeFiles/bench_aggregate_scaling.dir/bench_aggregate_scaling.cpp.o.d"
+  "bench_aggregate_scaling"
+  "bench_aggregate_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregate_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

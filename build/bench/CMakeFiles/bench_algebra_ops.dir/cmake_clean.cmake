@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algebra_ops.dir/bench_algebra_ops.cpp.o"
+  "CMakeFiles/bench_algebra_ops.dir/bench_algebra_ops.cpp.o.d"
+  "bench_algebra_ops"
+  "bench_algebra_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algebra_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

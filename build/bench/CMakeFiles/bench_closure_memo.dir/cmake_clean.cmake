@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closure_memo.dir/bench_closure_memo.cpp.o"
+  "CMakeFiles/bench_closure_memo.dir/bench_closure_memo.cpp.o.d"
+  "bench_closure_memo"
+  "bench_closure_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closure_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_closure_memo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_aggregate.dir/bench_figure3_aggregate.cpp.o"
+  "CMakeFiles/bench_figure3_aggregate.dir/bench_figure3_aggregate.cpp.o.d"
+  "bench_figure3_aggregate"
+  "bench_figure3_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonstrict.dir/bench_nonstrict.cpp.o"
+  "CMakeFiles/bench_nonstrict.dir/bench_nonstrict.cpp.o.d"
+  "bench_nonstrict"
+  "bench_nonstrict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonstrict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preagg_reuse.dir/bench_preagg_reuse.cpp.o"
+  "CMakeFiles/bench_preagg_reuse.dir/bench_preagg_reuse.cpp.o.d"
+  "bench_preagg_reuse"
+  "bench_preagg_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preagg_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

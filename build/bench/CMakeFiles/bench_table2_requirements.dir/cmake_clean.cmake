@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_requirements.dir/bench_table2_requirements.cpp.o"
+  "CMakeFiles/bench_table2_requirements.dir/bench_table2_requirements.cpp.o.d"
+  "bench_table2_requirements"
+  "bench_table2_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem2_equivalence.dir/bench_theorem2_equivalence.cpp.o"
+  "CMakeFiles/bench_theorem2_equivalence.dir/bench_theorem2_equivalence.cpp.o.d"
+  "bench_theorem2_equivalence"
+  "bench_theorem2_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem2_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

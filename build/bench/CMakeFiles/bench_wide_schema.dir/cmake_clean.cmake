@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wide_schema.dir/bench_wide_schema.cpp.o"
+  "CMakeFiles/bench_wide_schema.dir/bench_wide_schema.cpp.o.d"
+  "bench_wide_schema"
+  "bench_wide_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wide_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

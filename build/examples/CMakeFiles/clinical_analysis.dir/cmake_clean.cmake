@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinical_analysis.dir/clinical_analysis.cpp.o"
+  "CMakeFiles/clinical_analysis.dir/clinical_analysis.cpp.o.d"
+  "clinical_analysis"
+  "clinical_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinical_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_shell.dir/mddc_shell.cpp.o"
+  "CMakeFiles/mddc_shell.dir/mddc_shell.cpp.o.d"
+  "mddc_shell"
+  "mddc_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

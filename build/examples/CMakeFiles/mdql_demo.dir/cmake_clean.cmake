@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdql_demo.dir/mdql_demo.cpp.o"
+  "CMakeFiles/mdql_demo.dir/mdql_demo.cpp.o.d"
+  "mdql_demo"
+  "mdql_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdql_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_sales.dir/retail_sales.cpp.o"
+  "CMakeFiles/retail_sales.dir/retail_sales.cpp.o.d"
+  "retail_sales"
+  "retail_sales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_sales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_analysis.dir/temporal_analysis.cpp.o"
+  "CMakeFiles/temporal_analysis.dir/temporal_analysis.cpp.o.d"
+  "temporal_analysis"
+  "temporal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/agg_function.cc" "src/CMakeFiles/mddc_algebra.dir/algebra/agg_function.cc.o" "gcc" "src/CMakeFiles/mddc_algebra.dir/algebra/agg_function.cc.o.d"
+  "/root/repo/src/algebra/derived.cc" "src/CMakeFiles/mddc_algebra.dir/algebra/derived.cc.o" "gcc" "src/CMakeFiles/mddc_algebra.dir/algebra/derived.cc.o.d"
+  "/root/repo/src/algebra/expression.cc" "src/CMakeFiles/mddc_algebra.dir/algebra/expression.cc.o" "gcc" "src/CMakeFiles/mddc_algebra.dir/algebra/expression.cc.o.d"
+  "/root/repo/src/algebra/operators.cc" "src/CMakeFiles/mddc_algebra.dir/algebra/operators.cc.o" "gcc" "src/CMakeFiles/mddc_algebra.dir/algebra/operators.cc.o.d"
+  "/root/repo/src/algebra/predicate.cc" "src/CMakeFiles/mddc_algebra.dir/algebra/predicate.cc.o" "gcc" "src/CMakeFiles/mddc_algebra.dir/algebra/predicate.cc.o.d"
+  "/root/repo/src/algebra/timeslice.cc" "src/CMakeFiles/mddc_algebra.dir/algebra/timeslice.cc.o" "gcc" "src/CMakeFiles/mddc_algebra.dir/algebra/timeslice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mddc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_uncertainty.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_algebra.dir/algebra/agg_function.cc.o"
+  "CMakeFiles/mddc_algebra.dir/algebra/agg_function.cc.o.d"
+  "CMakeFiles/mddc_algebra.dir/algebra/derived.cc.o"
+  "CMakeFiles/mddc_algebra.dir/algebra/derived.cc.o.d"
+  "CMakeFiles/mddc_algebra.dir/algebra/expression.cc.o"
+  "CMakeFiles/mddc_algebra.dir/algebra/expression.cc.o.d"
+  "CMakeFiles/mddc_algebra.dir/algebra/operators.cc.o"
+  "CMakeFiles/mddc_algebra.dir/algebra/operators.cc.o.d"
+  "CMakeFiles/mddc_algebra.dir/algebra/predicate.cc.o"
+  "CMakeFiles/mddc_algebra.dir/algebra/predicate.cc.o.d"
+  "CMakeFiles/mddc_algebra.dir/algebra/timeslice.cc.o"
+  "CMakeFiles/mddc_algebra.dir/algebra/timeslice.cc.o.d"
+  "libmddc_algebra.a"
+  "libmddc_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

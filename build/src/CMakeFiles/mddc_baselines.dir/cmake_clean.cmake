@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_baselines.dir/baselines/conformance.cc.o"
+  "CMakeFiles/mddc_baselines.dir/baselines/conformance.cc.o.d"
+  "CMakeFiles/mddc_baselines.dir/baselines/data_cube.cc.o"
+  "CMakeFiles/mddc_baselines.dir/baselines/data_cube.cc.o.d"
+  "CMakeFiles/mddc_baselines.dir/baselines/star_schema.cc.o"
+  "CMakeFiles/mddc_baselines.dir/baselines/star_schema.cc.o.d"
+  "libmddc_baselines.a"
+  "libmddc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

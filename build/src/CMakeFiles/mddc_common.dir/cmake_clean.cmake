@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_common.dir/common/date.cc.o"
+  "CMakeFiles/mddc_common.dir/common/date.cc.o.d"
+  "CMakeFiles/mddc_common.dir/common/status.cc.o"
+  "CMakeFiles/mddc_common.dir/common/status.cc.o.d"
+  "CMakeFiles/mddc_common.dir/common/strings.cc.o"
+  "CMakeFiles/mddc_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/mddc_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/mddc_common.dir/common/table_printer.cc.o.d"
+  "libmddc_common.a"
+  "libmddc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/CMakeFiles/mddc_core.dir/core/aggregation.cc.o" "gcc" "src/CMakeFiles/mddc_core.dir/core/aggregation.cc.o.d"
+  "/root/repo/src/core/dimension.cc" "src/CMakeFiles/mddc_core.dir/core/dimension.cc.o" "gcc" "src/CMakeFiles/mddc_core.dir/core/dimension.cc.o.d"
+  "/root/repo/src/core/dimension_type.cc" "src/CMakeFiles/mddc_core.dir/core/dimension_type.cc.o" "gcc" "src/CMakeFiles/mddc_core.dir/core/dimension_type.cc.o.d"
+  "/root/repo/src/core/fact.cc" "src/CMakeFiles/mddc_core.dir/core/fact.cc.o" "gcc" "src/CMakeFiles/mddc_core.dir/core/fact.cc.o.d"
+  "/root/repo/src/core/fact_dim_relation.cc" "src/CMakeFiles/mddc_core.dir/core/fact_dim_relation.cc.o" "gcc" "src/CMakeFiles/mddc_core.dir/core/fact_dim_relation.cc.o.d"
+  "/root/repo/src/core/md_object.cc" "src/CMakeFiles/mddc_core.dir/core/md_object.cc.o" "gcc" "src/CMakeFiles/mddc_core.dir/core/md_object.cc.o.d"
+  "/root/repo/src/core/properties.cc" "src/CMakeFiles/mddc_core.dir/core/properties.cc.o" "gcc" "src/CMakeFiles/mddc_core.dir/core/properties.cc.o.d"
+  "/root/repo/src/core/representation.cc" "src/CMakeFiles/mddc_core.dir/core/representation.cc.o" "gcc" "src/CMakeFiles/mddc_core.dir/core/representation.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/mddc_core.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/mddc_core.dir/core/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mddc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_core.dir/core/aggregation.cc.o"
+  "CMakeFiles/mddc_core.dir/core/aggregation.cc.o.d"
+  "CMakeFiles/mddc_core.dir/core/dimension.cc.o"
+  "CMakeFiles/mddc_core.dir/core/dimension.cc.o.d"
+  "CMakeFiles/mddc_core.dir/core/dimension_type.cc.o"
+  "CMakeFiles/mddc_core.dir/core/dimension_type.cc.o.d"
+  "CMakeFiles/mddc_core.dir/core/fact.cc.o"
+  "CMakeFiles/mddc_core.dir/core/fact.cc.o.d"
+  "CMakeFiles/mddc_core.dir/core/fact_dim_relation.cc.o"
+  "CMakeFiles/mddc_core.dir/core/fact_dim_relation.cc.o.d"
+  "CMakeFiles/mddc_core.dir/core/md_object.cc.o"
+  "CMakeFiles/mddc_core.dir/core/md_object.cc.o.d"
+  "CMakeFiles/mddc_core.dir/core/properties.cc.o"
+  "CMakeFiles/mddc_core.dir/core/properties.cc.o.d"
+  "CMakeFiles/mddc_core.dir/core/representation.cc.o"
+  "CMakeFiles/mddc_core.dir/core/representation.cc.o.d"
+  "CMakeFiles/mddc_core.dir/core/schema.cc.o"
+  "CMakeFiles/mddc_core.dir/core/schema.cc.o.d"
+  "libmddc_core.a"
+  "libmddc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

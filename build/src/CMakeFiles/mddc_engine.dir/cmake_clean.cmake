@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_engine.dir/engine/advisor.cc.o"
+  "CMakeFiles/mddc_engine.dir/engine/advisor.cc.o.d"
+  "CMakeFiles/mddc_engine.dir/engine/preagg_cache.cc.o"
+  "CMakeFiles/mddc_engine.dir/engine/preagg_cache.cc.o.d"
+  "libmddc_engine.a"
+  "libmddc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_io.dir/io/csv.cc.o"
+  "CMakeFiles/mddc_io.dir/io/csv.cc.o.d"
+  "CMakeFiles/mddc_io.dir/io/serialize.cc.o"
+  "CMakeFiles/mddc_io.dir/io/serialize.cc.o.d"
+  "libmddc_io.a"
+  "libmddc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

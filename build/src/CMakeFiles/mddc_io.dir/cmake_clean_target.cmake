@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmddc_io.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdql/mdql.cc" "src/CMakeFiles/mddc_mdql.dir/mdql/mdql.cc.o" "gcc" "src/CMakeFiles/mddc_mdql.dir/mdql/mdql.cc.o.d"
+  "/root/repo/src/mdql/parser.cc" "src/CMakeFiles/mddc_mdql.dir/mdql/parser.cc.o" "gcc" "src/CMakeFiles/mddc_mdql.dir/mdql/parser.cc.o.d"
+  "/root/repo/src/mdql/token.cc" "src/CMakeFiles/mddc_mdql.dir/mdql/token.cc.o" "gcc" "src/CMakeFiles/mddc_mdql.dir/mdql/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mddc_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_uncertainty.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

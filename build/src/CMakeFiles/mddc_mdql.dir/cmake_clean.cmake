@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_mdql.dir/mdql/mdql.cc.o"
+  "CMakeFiles/mddc_mdql.dir/mdql/mdql.cc.o.d"
+  "CMakeFiles/mddc_mdql.dir/mdql/parser.cc.o"
+  "CMakeFiles/mddc_mdql.dir/mdql/parser.cc.o.d"
+  "CMakeFiles/mddc_mdql.dir/mdql/token.cc.o"
+  "CMakeFiles/mddc_mdql.dir/mdql/token.cc.o.d"
+  "libmddc_mdql.a"
+  "libmddc_mdql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_mdql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/algebra.cc" "src/CMakeFiles/mddc_relational.dir/relational/algebra.cc.o" "gcc" "src/CMakeFiles/mddc_relational.dir/relational/algebra.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/mddc_relational.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/mddc_relational.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/translation.cc" "src/CMakeFiles/mddc_relational.dir/relational/translation.cc.o" "gcc" "src/CMakeFiles/mddc_relational.dir/relational/translation.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/mddc_relational.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/mddc_relational.dir/relational/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mddc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_uncertainty.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mddc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

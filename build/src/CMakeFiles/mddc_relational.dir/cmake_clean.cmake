@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_relational.dir/relational/algebra.cc.o"
+  "CMakeFiles/mddc_relational.dir/relational/algebra.cc.o.d"
+  "CMakeFiles/mddc_relational.dir/relational/relation.cc.o"
+  "CMakeFiles/mddc_relational.dir/relational/relation.cc.o.d"
+  "CMakeFiles/mddc_relational.dir/relational/translation.cc.o"
+  "CMakeFiles/mddc_relational.dir/relational/translation.cc.o.d"
+  "CMakeFiles/mddc_relational.dir/relational/value.cc.o"
+  "CMakeFiles/mddc_relational.dir/relational/value.cc.o.d"
+  "libmddc_relational.a"
+  "libmddc_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/bitemporal.cc" "src/CMakeFiles/mddc_temporal.dir/temporal/bitemporal.cc.o" "gcc" "src/CMakeFiles/mddc_temporal.dir/temporal/bitemporal.cc.o.d"
+  "/root/repo/src/temporal/interval.cc" "src/CMakeFiles/mddc_temporal.dir/temporal/interval.cc.o" "gcc" "src/CMakeFiles/mddc_temporal.dir/temporal/interval.cc.o.d"
+  "/root/repo/src/temporal/temporal_element.cc" "src/CMakeFiles/mddc_temporal.dir/temporal/temporal_element.cc.o" "gcc" "src/CMakeFiles/mddc_temporal.dir/temporal/temporal_element.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mddc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

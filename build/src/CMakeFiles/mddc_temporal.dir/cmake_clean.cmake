@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_temporal.dir/temporal/bitemporal.cc.o"
+  "CMakeFiles/mddc_temporal.dir/temporal/bitemporal.cc.o.d"
+  "CMakeFiles/mddc_temporal.dir/temporal/interval.cc.o"
+  "CMakeFiles/mddc_temporal.dir/temporal/interval.cc.o.d"
+  "CMakeFiles/mddc_temporal.dir/temporal/temporal_element.cc.o"
+  "CMakeFiles/mddc_temporal.dir/temporal/temporal_element.cc.o.d"
+  "libmddc_temporal.a"
+  "libmddc_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

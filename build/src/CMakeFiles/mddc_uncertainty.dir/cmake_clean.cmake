@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_uncertainty.dir/uncertainty/probability.cc.o"
+  "CMakeFiles/mddc_uncertainty.dir/uncertainty/probability.cc.o.d"
+  "libmddc_uncertainty.a"
+  "libmddc_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

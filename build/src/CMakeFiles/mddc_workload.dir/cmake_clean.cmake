@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddc_workload.dir/workload/case_study.cc.o"
+  "CMakeFiles/mddc_workload.dir/workload/case_study.cc.o.d"
+  "CMakeFiles/mddc_workload.dir/workload/clinical_generator.cc.o"
+  "CMakeFiles/mddc_workload.dir/workload/clinical_generator.cc.o.d"
+  "CMakeFiles/mddc_workload.dir/workload/retail_generator.cc.o"
+  "CMakeFiles/mddc_workload.dir/workload/retail_generator.cc.o.d"
+  "libmddc_workload.a"
+  "libmddc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_laws_test.dir/algebra_laws_test.cc.o"
+  "CMakeFiles/algebra_laws_test.dir/algebra_laws_test.cc.o.d"
+  "algebra_laws_test"
+  "algebra_laws_test.pdb"
+  "algebra_laws_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_laws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitemporal_ops_test.dir/bitemporal_ops_test.cc.o"
+  "CMakeFiles/bitemporal_ops_test.dir/bitemporal_ops_test.cc.o.d"
+  "bitemporal_ops_test"
+  "bitemporal_ops_test.pdb"
+  "bitemporal_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitemporal_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

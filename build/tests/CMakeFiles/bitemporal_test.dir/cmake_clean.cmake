@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitemporal_test.dir/bitemporal_test.cc.o"
+  "CMakeFiles/bitemporal_test.dir/bitemporal_test.cc.o.d"
+  "bitemporal_test"
+  "bitemporal_test.pdb"
+  "bitemporal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitemporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_registry_test.dir/fact_registry_test.cc.o"
+  "CMakeFiles/fact_registry_test.dir/fact_registry_test.cc.o.d"
+  "fact_registry_test"
+  "fact_registry_test.pdb"
+  "fact_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_object_test.dir/md_object_test.cc.o"
+  "CMakeFiles/md_object_test.dir/md_object_test.cc.o.d"
+  "md_object_test"
+  "md_object_test.pdb"
+  "md_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdql_test.dir/mdql_test.cc.o"
+  "CMakeFiles/mdql_test.dir/mdql_test.cc.o.d"
+  "mdql_test"
+  "mdql_test.pdb"
+  "mdql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

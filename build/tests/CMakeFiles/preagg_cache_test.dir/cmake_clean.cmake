@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preagg_cache_test.dir/preagg_cache_test.cc.o"
+  "CMakeFiles/preagg_cache_test.dir/preagg_cache_test.cc.o.d"
+  "preagg_cache_test"
+  "preagg_cache_test.pdb"
+  "preagg_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preagg_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

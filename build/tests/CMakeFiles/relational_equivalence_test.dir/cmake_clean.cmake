@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_equivalence_test.dir/relational_equivalence_test.cc.o"
+  "CMakeFiles/relational_equivalence_test.dir/relational_equivalence_test.cc.o.d"
+  "relational_equivalence_test"
+  "relational_equivalence_test.pdb"
+  "relational_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

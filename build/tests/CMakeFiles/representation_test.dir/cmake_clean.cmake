@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/representation_test.dir/representation_test.cc.o"
+  "CMakeFiles/representation_test.dir/representation_test.cc.o.d"
+  "representation_test"
+  "representation_test.pdb"
+  "representation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/representation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_element_test.dir/temporal_element_test.cc.o"
+  "CMakeFiles/temporal_element_test.dir/temporal_element_test.cc.o.d"
+  "temporal_element_test"
+  "temporal_element_test.pdb"
+  "temporal_element_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_element_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeslice_test.dir/timeslice_test.cc.o"
+  "CMakeFiles/timeslice_test.dir/timeslice_test.cc.o.d"
+  "timeslice_test"
+  "timeslice_test.pdb"
+  "timeslice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeslice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[EndToEndTest.ClinicalStudyPipeline]=]  /root/repo/build/tests/end_to_end_test [==[--gtest_filter=EndToEndTest.ClinicalStudyPipeline]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[EndToEndTest.ClinicalStudyPipeline]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  end_to_end_test_TESTS EndToEndTest.ClinicalStudyPipeline)
