@@ -9,7 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include "algebra/operators.h"
+#include "engine/executor.h"
+#include "io/serialize.h"
 #include "workload/clinical_generator.h"
+#include "workload/retail_generator.h"
 
 namespace {
 
@@ -108,6 +111,55 @@ void BM_AggregateTwoDimensions(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AggregateTwoDimensions)->Arg(100)->Arg(400);
+
+// Thread sweep of the parallel engine on the strict retail workload
+// (one product per purchase: the Section 3.4 preconditions hold, so the
+// partition/merge path is legal). args: (purchases, threads). Before
+// timing, each configuration verifies once that its parallel result
+// serializes to exactly the sequential bytes.
+void BM_AggregateParallelThreads(benchmark::State& state) {
+  RetailWorkloadParams params;
+  params.num_purchases = static_cast<std::size_t>(state.range(0));
+  params.num_products = 200;
+  RetailMo retail =
+      std::move(GenerateRetailWorkload(params,
+                                       std::make_shared<FactRegistry>()))
+          .ValueOrDie();
+  AggregateSpec spec{AggFunction::Sum(retail.amount_dim), {},
+                     ResultDimensionSpec::Auto(), kNowChronon, true};
+  for (std::size_t i = 0; i < retail.mo.dimension_count(); ++i) {
+    spec.grouping.push_back(i == retail.product_dim
+                                ? retail.category
+                                : retail.mo.dimension(i).type().top());
+  }
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+
+  {
+    // Bit-identity check, once per configuration.
+    auto sequential = AggregateFormation(retail.mo, spec);
+    ExecContext check_ctx(threads, /*min_facts=*/1);
+    auto parallel = AggregateFormation(retail.mo, spec, &check_ctx);
+    if (!sequential.ok() || !parallel.ok() ||
+        *io::WriteMo(*sequential) != *io::WriteMo(*parallel)) {
+      state.SkipWithError("parallel result is not bit-identical");
+      return;
+    }
+  }
+
+  ExecContext ctx(threads, /*min_facts=*/1);
+  for (auto _ : state) {
+    auto result = AggregateFormation(retail.mo, spec, &ctx);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["partitions"] = static_cast<double>(ctx.stats.partitions);
+  state.counters["merge_ns"] = static_cast<double>(ctx.stats.merge_nanos);
+}
+BENCHMARK(BM_AggregateParallelThreads)
+    ->ArgsProduct({{10000, 100000, 1000000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,11 +1,15 @@
 #include "algebra/operators.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "common/strings.h"
 #include "core/properties.h"
+#include "engine/executor.h"
 
 namespace mddc {
 namespace {
@@ -288,13 +292,10 @@ ResultDimensionSpec ResultDimensionSpec::Explicit(
 namespace {
 
 /// The aggregation type of the result dimension's bottom category per the
-/// Section 4.1 rule.
+/// Section 4.1 rule, given the request's summarizability report.
 AggregationType ResultBottomAggType(const MdObject& mo,
-                                    const AggregateSpec& spec) {
-  // The grouping collects characterizations across all time, so the
-  // strictness/partitioning conditions are checked atemporally.
-  SummarizabilityReport report =
-      CheckSummarizability(mo, spec.function.kind(), spec.grouping);
+                                    const AggregateSpec& spec,
+                                    const SummarizabilityReport& report) {
   if (!report.summarizable) return AggregationType::kConstant;
   // min over Args(g) of the argument bottoms' aggregation types; an empty
   // argument list (set-count) yields summable counts.
@@ -306,10 +307,173 @@ AggregationType ResultBottomAggType(const MdObject& mo,
   return agg_type;
 }
 
+/// Per fact and dimension: the grouping-category values characterizing
+/// the fact, with lifespans and probabilities.
+struct Coordinate {
+  ValueId value;
+  Lifespan life;
+  double prob;
+};
+
+/// The fact's coordinates in every grouping category, or nullopt when
+/// some dimension has none (the fact then joins no group). Read-only on
+/// the MO (given warmed closure memos), so facts fan out in parallel.
+std::optional<std::vector<std::vector<Coordinate>>> GroupingCoordinates(
+    const MdObject& mo, const AggregateSpec& spec, FactId fact) {
+  const std::size_t n = mo.dimension_count();
+  std::vector<std::vector<Coordinate>> per_dim(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Dimension& dimension = mo.dimension(i);
+    if (spec.grouping[i] == dimension.type().top()) {
+      per_dim[i].push_back(
+          Coordinate{dimension.top_value(), Lifespan::AlwaysSpan(), 1.0});
+      continue;
+    }
+    for (const MdObject::Characterization& c :
+         mo.CharacterizedBy(fact, i, spec.prob_at)) {
+      auto category = dimension.CategoryOf(c.value);
+      if (category.ok() && *category == spec.grouping[i]) {
+        per_dim[i].push_back(Coordinate{c.value, c.life, c.prob});
+      }
+    }
+    if (per_dim[i].empty()) return std::nullopt;
+  }
+  return per_dim;
+}
+
+/// One group under construction. The group's time per dimension is the
+/// intersection over members of their characterization spans;
+/// probabilities multiply over members.
+struct GroupAccum {
+  std::vector<FactId> members;
+  std::vector<Lifespan> life_per_dim;
+  std::vector<double> prob_per_dim;
+  /// Per member: probability that the member belongs to this group
+  /// (product of its characterization probabilities across dimensions);
+  /// feeds expected counts.
+  std::vector<double> member_probs;
+};
+
+using GroupKey = std::vector<ValueId>;
+using GroupMap = std::map<GroupKey, GroupAccum>;
+
+/// FNV-1a over the key's surrogate ids; assigns each group to a hash
+/// partition on the parallel path.
+std::size_t GroupKeyHash(const GroupKey& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (ValueId value : key) {
+    const std::uint64_t raw = value.raw();
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (raw >> (8 * byte)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+/// Folds one fact's coordinate cross product into `groups`. With
+/// num_partitions > 1 only the keys of hash partition `partition` are
+/// accumulated (the parallel path's shared scan); per-group accumulation
+/// order is the same in either mode — facts ascending — so partial groups
+/// are bit-identical to sequentially built ones.
+void AccumulateFact(std::size_t n, FactId fact,
+                    const std::vector<std::vector<Coordinate>>& per_dim,
+                    std::size_t partition, std::size_t num_partitions,
+                    GroupMap& groups) {
+  // Enumerate the cross product of this fact's coordinate lists.
+  std::vector<std::size_t> cursor(n, 0);
+  while (true) {
+    GroupKey key(n);
+    std::vector<Lifespan> lives(n);
+    std::vector<double> probs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Coordinate& c = per_dim[i][cursor[i]];
+      key[i] = c.value;
+      lives[i] = c.life;
+      probs[i] = c.prob;
+    }
+    if (num_partitions <= 1 ||
+        GroupKeyHash(key) % num_partitions == partition) {
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      GroupAccum& group = it->second;
+      if (inserted) {
+        group.life_per_dim.assign(n, Lifespan::AlwaysSpan());
+        group.prob_per_dim.assign(n, 1.0);
+      }
+      group.members.push_back(fact);
+      double member_prob = 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        group.life_per_dim[i] = group.life_per_dim[i].Intersect(lives[i]);
+        group.prob_per_dim[i] *= probs[i];
+        member_prob *= probs[i];
+      }
+      group.member_probs.push_back(member_prob);
+    }
+    // Advance the cross-product cursor.
+    std::size_t i = 0;
+    while (i < n && ++cursor[i] == per_dim[i].size()) {
+      cursor[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+}
+
+/// Per-group evaluation shared by both paths: canonical member order,
+/// expected count, g(group), and the Section 4.2 result lifespan.
+/// Mutates only the group itself (sorting its members), so distinct
+/// groups evaluate concurrently.
+struct GroupEval {
+  double value = 0.0;
+  Lifespan result_life;
+};
+
+Result<GroupEval> EvaluateGroup(const MdObject& mo, const AggregateSpec& spec,
+                                GroupAccum& group) {
+  GroupEval eval;
+  // member_probs was built in member order; capture the expectation
+  // before members are sorted for canonical set identity.
+  double expected = 0.0;
+  for (double p : group.member_probs) expected += p;
+  std::sort(group.members.begin(), group.members.end());
+  if (spec.expected_counts &&
+      spec.function.kind() == AggregateFunctionKind::kSetCount) {
+    eval.value = expected;
+  } else {
+    MDDC_ASSIGN_OR_RETURN(
+        eval.value, spec.function.Evaluate(mo, group.members, spec.prob_at));
+  }
+
+  // Result-dimension time: per the Section 4.2 rule, the intersection
+  // over the group's members and g's argument dimensions of the times
+  // the member was related to its data (Always for argument-less
+  // functions such as set-count).
+  const std::size_t n = mo.dimension_count();
+  Lifespan result_life = Lifespan::AlwaysSpan();
+  for (std::size_t dim : spec.function.args()) {
+    if (dim >= n) continue;
+    for (FactId member : group.members) {
+      TemporalElement member_valid;
+      TemporalElement member_transaction;
+      for (const FactDimRelation::Entry* entry :
+           mo.relation(dim).ForFact(member)) {
+        member_valid = member_valid.Union(entry->life.valid);
+        member_transaction =
+            member_transaction.Union(entry->life.transaction);
+      }
+      result_life =
+          result_life.Intersect(Lifespan{member_valid, member_transaction});
+    }
+  }
+  eval.result_life = result_life;
+  return eval;
+}
+
 }  // namespace
 
 Result<MdObject> AggregateFormation(const MdObject& mo,
-                                    const AggregateSpec& spec) {
+                                    const AggregateSpec& spec,
+                                    ExecContext* exec) {
   if (spec.grouping.size() != mo.dimension_count()) {
     return Status::InvalidArgument(
         StrCat("aggregate formation got ", spec.grouping.size(),
@@ -328,92 +492,120 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
     MDDC_RETURN_NOT_OK(spec.function.CheckApplicable(mo));
   }
 
-  // 1. Per fact and dimension: the grouping-category values
-  //    characterizing the fact, with lifespans and probabilities.
-  struct Coordinate {
-    ValueId value;
-    Lifespan life;
-    double prob;
-  };
+  // The grouping collects characterizations across all time, so the
+  // strictness/partitioning conditions are checked atemporally. The
+  // report drives both the Section 4.1 typing rule and the parallel
+  // path's safety gate.
+  const SummarizabilityReport summarizability =
+      CheckSummarizability(mo, spec.function.kind(), spec.grouping);
+
+  const std::vector<FactId>& facts = mo.facts();  // sorted by id
   const std::size_t n = mo.dimension_count();
-  std::map<FactId, std::vector<std::vector<Coordinate>>> coordinates;
-  for (FactId fact : mo.facts()) {
-    std::vector<std::vector<Coordinate>> per_dim(n);
-    bool in_all = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      const Dimension& dimension = mo.dimension(i);
-      if (spec.grouping[i] == dimension.type().top()) {
-        per_dim[i].push_back(Coordinate{dimension.top_value(),
-                                        Lifespan::AlwaysSpan(), 1.0});
-        continue;
+
+  bool parallel = exec != nullptr && exec->WantsParallel(facts.size());
+  if (parallel && !summarizability.summarizable) {
+    // Per-worker partial groups are safely combinable exactly when the
+    // function is distributive and the paths strict and the hierarchies
+    // partitioning (Section 3.4) — the same rule under which
+    // PreAggregateCache reuses materialized partials. Anything else
+    // (non-strict groupings, AVG, ...) conservatively runs sequentially.
+    ++exec->stats.sequential_fallbacks;
+    parallel = false;
+  }
+
+  // 1. Grouping coordinates per fact, in fact order.
+  std::vector<std::optional<std::vector<std::vector<Coordinate>>>> coords(
+      facts.size());
+  if (parallel) {
+    // Warm the lazily written closure memos so the fan-out below only
+    // ever reads the dimensions.
+    for (std::size_t i = 0; i < n; ++i) mo.dimension(i).WarmClosureMemo();
+    const std::size_t chunks = std::min(facts.size(), exec->num_threads * 4);
+    exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
+      const std::size_t begin = chunk * facts.size() / chunks;
+      const std::size_t end = (chunk + 1) * facts.size() / chunks;
+      for (std::size_t f = begin; f < end; ++f) {
+        coords[f] = GroupingCoordinates(mo, spec, facts[f]);
       }
-      for (const MdObject::Characterization& c :
-           mo.CharacterizedBy(fact, i, spec.prob_at)) {
-        auto category = dimension.CategoryOf(c.value);
-        if (category.ok() && *category == spec.grouping[i]) {
-          per_dim[i].push_back(Coordinate{c.value, c.life, c.prob});
+    });
+    exec->stats.tasks += chunks;
+  } else {
+    for (std::size_t f = 0; f < facts.size(); ++f) {
+      coords[f] = GroupingCoordinates(mo, spec, facts[f]);
+    }
+  }
+
+  // 2. Build groups. The parallel path hash-partitions group keys: every
+  //    worker scans the facts in order and accumulates only its
+  //    partition's keys, so each group is built whole — in fact order —
+  //    by exactly one worker and the partition maps are disjoint. The
+  //    deterministic partition-order merge then yields the same key-
+  //    ordered map the sequential loop builds.
+  GroupMap groups;
+  if (parallel) {
+    const std::size_t num_partitions = exec->num_threads;
+    std::vector<GroupMap> partitions(num_partitions);
+    exec->pool().ParallelFor(num_partitions, [&](std::size_t p) {
+      for (std::size_t f = 0; f < facts.size(); ++f) {
+        if (!coords[f].has_value()) continue;
+        AccumulateFact(n, facts[f], *coords[f], p, num_partitions,
+                       partitions[p]);
+      }
+    });
+    exec->stats.tasks += num_partitions;
+    exec->stats.partitions += num_partitions;
+    const auto merge_start = std::chrono::steady_clock::now();
+    for (GroupMap& partition : partitions) {
+      groups.merge(partition);
+    }
+    exec->stats.merge_nanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count());
+  } else {
+    for (std::size_t f = 0; f < facts.size(); ++f) {
+      if (!coords[f].has_value()) continue;
+      AccumulateFact(n, facts[f], *coords[f], 0, 1, groups);
+    }
+  }
+
+  // 3. Evaluate g per group (and the group's result lifespan). Groups
+  //    are independent, so the parallel path fans them out; errors land
+  //    in per-group slots — no exceptions cross the pool boundary — and
+  //    the first one in group order, matching the sequential path, is
+  //    returned.
+  std::vector<GroupAccum*> group_ptrs;
+  group_ptrs.reserve(groups.size());
+  for (auto& [key, group] : groups) group_ptrs.push_back(&group);
+  std::vector<GroupEval> evals(groups.size());
+  if (parallel) {
+    std::vector<Status> statuses(groups.size());
+    const std::size_t chunks = std::min(groups.size(), exec->num_threads * 4);
+    exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
+      const std::size_t begin = chunk * groups.size() / chunks;
+      const std::size_t end = (chunk + 1) * groups.size() / chunks;
+      for (std::size_t g = begin; g < end; ++g) {
+        Result<GroupEval> eval = EvaluateGroup(mo, spec, *group_ptrs[g]);
+        if (eval.ok()) {
+          evals[g] = *eval;
+        } else {
+          statuses[g] = eval.status();
         }
       }
-      if (per_dim[i].empty()) {
-        in_all = false;
-        break;
-      }
+    });
+    exec->stats.tasks += chunks;
+    for (const Status& status : statuses) {
+      MDDC_RETURN_NOT_OK(status);
     }
-    if (in_all) coordinates.emplace(fact, std::move(per_dim));
-  }
-
-  // 2. Build groups: each combination of per-dimension coordinates a fact
-  //    has puts the fact into that combination's group. The group's time
-  //    per dimension is the intersection over members of their
-  //    characterization spans; probabilities multiply over members.
-  struct GroupAccum {
-    std::vector<FactId> members;
-    std::vector<Lifespan> life_per_dim;
-    std::vector<double> prob_per_dim;
-    /// Per member: probability that the member belongs to this group
-    /// (product of its characterization probabilities across dimensions);
-    /// feeds expected counts.
-    std::vector<double> member_probs;
-  };
-  std::map<std::vector<ValueId>, GroupAccum> groups;
-  for (const auto& [fact, per_dim] : coordinates) {
-    // Enumerate the cross product of this fact's coordinate lists.
-    std::vector<std::size_t> cursor(n, 0);
-    while (true) {
-      std::vector<ValueId> key(n);
-      std::vector<Lifespan> lives(n);
-      std::vector<double> probs(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        const Coordinate& c = per_dim[i][cursor[i]];
-        key[i] = c.value;
-        lives[i] = c.life;
-        probs[i] = c.prob;
-      }
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      GroupAccum& group = it->second;
-      if (inserted) {
-        group.life_per_dim.assign(n, Lifespan::AlwaysSpan());
-        group.prob_per_dim.assign(n, 1.0);
-      }
-      group.members.push_back(fact);
-      double member_prob = 1.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        group.life_per_dim[i] = group.life_per_dim[i].Intersect(lives[i]);
-        group.prob_per_dim[i] *= probs[i];
-        member_prob *= probs[i];
-      }
-      group.member_probs.push_back(member_prob);
-      // Advance the cross-product cursor.
-      std::size_t i = 0;
-      while (i < n && ++cursor[i] == per_dim[i].size()) {
-        cursor[i] = 0;
-        ++i;
-      }
-      if (i == n) break;
+    ++exec->stats.parallel_runs;
+  } else {
+    for (std::size_t g = 0; g < group_ptrs.size(); ++g) {
+      MDDC_ASSIGN_OR_RETURN(evals[g],
+                            EvaluateGroup(mo, spec, *group_ptrs[g]));
     }
   }
 
-  // 3. Argument dimensions restricted to the categories at or above the
+  // 4. Argument dimensions restricted to the categories at or above the
   //    grouping categories.
   std::vector<Dimension> dimensions;
   dimensions.reserve(n + 1);
@@ -423,8 +615,9 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
     dimensions.push_back(std::move(restricted));
   }
 
-  // 4. The result dimension.
-  AggregationType bottom_agg = ResultBottomAggType(mo, spec);
+  // 5. The result dimension.
+  AggregationType bottom_agg =
+      ResultBottomAggType(mo, spec, summarizability);
   std::optional<Dimension> result_dimension;
   CategoryTypeIndex result_bottom = 0;
   if (spec.result.is_auto()) {

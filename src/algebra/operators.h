@@ -13,6 +13,8 @@
 
 namespace mddc {
 
+struct ExecContext;  // engine/executor.h
+
 /// The fundamental operators of the algebra (paper Section 4.1). Every
 /// operator consumes and produces MdObjects — the algebra is closed
 /// (Theorem 1); each implementation ends by validating the result's
@@ -130,8 +132,19 @@ struct AggregateSpec {
 /// group. The result dimension's aggregation type follows the
 /// summarizability rule of Section 4.1 (min of argument types when
 /// distributive + strict + partitioning, else c).
+///
+/// With an ExecContext whose num_threads > 1 and a fact set of at least
+/// min_parallel_facts, the operator runs the parallel engine: facts are
+/// hash-partitioned by group key, per-worker partial groups are built,
+/// and the partitions are merged deterministically in partition order, so
+/// the result — down to its serialized bytes — is identical to the
+/// sequential path. The parallel path is taken only when the Section 3.4
+/// summarizability preconditions hold (the same gate PreAggregateCache
+/// applies); otherwise the operator falls back to the sequential
+/// algorithm and counts a sequential_fallback on the context.
 Result<MdObject> AggregateFormation(const MdObject& mo,
-                                    const AggregateSpec& spec);
+                                    const AggregateSpec& spec,
+                                    ExecContext* exec = nullptr);
 
 }  // namespace mddc
 

@@ -387,6 +387,15 @@ std::vector<Dimension::Containment> Dimension::Reach(ValueId start,
   return result;
 }
 
+void Dimension::WarmClosureMemo() const {
+  if (!memo_enabled_) return;
+  for (const auto& [id, info] : values_) {
+    (void)info;
+    (void)Reach(id, /*upward=*/true, kNowChronon);
+    (void)Reach(id, /*upward=*/false, kNowChronon);
+  }
+}
+
 Result<Dimension> Dimension::UnionWith(const Dimension& a,
                                        const Dimension& b) {
   if (!a.type().EquivalentTo(b.type())) {

@@ -206,6 +206,13 @@ class Dimension {
   }
   bool memoization_enabled() const { return memo_enabled_; }
 
+  /// Fully populates the reachability memo (upward and downward closure
+  /// of every value). The memo is lazily written by const queries and is
+  /// therefore not thread-safe to warm concurrently; the parallel
+  /// executor calls this before fanning out workers, after which
+  /// concurrent Ancestors/Descendants/containment queries are pure reads.
+  void WarmClosureMemo() const;
+
   /// Multi-line dump of categories, values and order edges.
   std::string ToString() const;
 

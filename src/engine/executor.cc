@@ -1,0 +1,96 @@
+#include "engine/executor.h"
+
+#include <atomic>
+
+namespace mddc {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared-counter scheduling: every participant claims the next
+  // unclaimed iteration until none remain. Completion is tracked per
+  // iteration so the caller can block until the last one finished, even
+  // if it was claimed by a pool worker.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t total;
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<State>();
+  state->total = n;
+
+  auto work = [state, &fn] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= state->total) break;
+      fn(i);
+      if (state->done.fetch_add(1) + 1 == state->total) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t i = 0; i < helpers; ++i) Submit(work);
+  work();  // the calling thread participates
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(
+      lock, [&] { return state->done.load() == state->total; });
+}
+
+ThreadPool& ExecContext::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+  return *pool_;
+}
+
+}  // namespace mddc

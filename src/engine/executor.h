@@ -1,0 +1,114 @@
+#ifndef MDDC_ENGINE_EXECUTOR_H_
+#define MDDC_ENGINE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mddc {
+
+/// A fixed-size, work-stealing-free thread pool: one shared FIFO task
+/// queue drained by `num_threads` std::jthread workers. This is the
+/// execution substrate of the parallel aggregate-formation engine (the
+/// "efficient implementation using special-purpose algorithms and data
+/// structures" of the paper's future-work list, Section 5).
+///
+/// Tasks are plain void() callables and MUST NOT throw: the codebase's
+/// error convention is Status/Result<T>, and no exception may cross the
+/// pool boundary. Parallel operators communicate failure by writing a
+/// Status into a caller-owned slot and checking the slots — in a
+/// deterministic order — after the fan-in.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n) across the workers (the calling
+  /// thread participates too) and blocks until every iteration has
+  /// finished. Iterations are claimed from a shared counter — no
+  /// stealing, no per-worker queues — so any iteration may run on any
+  /// thread; callers must make iterations independent (each writes only
+  /// its own output slot).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+/// Per-query execution counters, exposed on the context so callers can
+/// observe what the parallel engine actually did.
+struct ExecStats {
+  /// Operations that ran the parallel partition/merge path.
+  std::size_t parallel_runs = 0;
+  /// Operations that wanted to parallelize but were forced sequential by
+  /// the summarizability gate (Section 3.4 preconditions not met).
+  std::size_t sequential_fallbacks = 0;
+  /// Hash partitions created, summed over parallel operations.
+  std::size_t partitions = 0;
+  /// Tasks submitted to the pool, summed over parallel operations.
+  std::size_t tasks = 0;
+  /// Time spent folding per-partition results into the final, ordered
+  /// result, summed over parallel operations.
+  std::uint64_t merge_nanos = 0;
+};
+
+/// Execution context threaded through AggregateFormation,
+/// PreAggregateCache::Query/Materialize and relational::Aggregate. The
+/// default context (num_threads = 1) is exactly the sequential engine, so
+/// every caller that does not pass a context is unchanged. A context is
+/// owned by one query thread; the operators it is passed to fan work out
+/// to the pool internally, but the context itself is not thread-safe.
+struct ExecContext {
+  ExecContext() = default;
+  ExecContext(std::size_t threads, std::size_t min_facts)
+      : num_threads(threads), min_parallel_facts(min_facts) {}
+
+  /// Worker count for the parallel path; <= 1 means sequential.
+  std::size_t num_threads = 1;
+  /// Inputs smaller than this stay sequential: partitioning overhead
+  /// dominates below a few thousand facts.
+  std::size_t min_parallel_facts = 4096;
+
+  ExecStats stats;
+
+  /// True when an input of `input_size` facts/tuples should take the
+  /// parallel path (before the summarizability gate).
+  bool WantsParallel(std::size_t input_size) const {
+    return num_threads > 1 && input_size >= min_parallel_facts;
+  }
+
+  /// The context's pool, created on first use with `num_threads` workers
+  /// and reused for the context's lifetime (changing num_threads after
+  /// the first parallel operation has no effect).
+  ThreadPool& pool();
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_ENGINE_EXECUTOR_H_

@@ -30,7 +30,7 @@ PreAggregateCache::PreAggregateCache(MdObject base) : base_(std::move(base)) {}
 
 Result<MdObject> PreAggregateCache::Query(
     const AggFunction& function,
-    const std::vector<CategoryTypeIndex>& grouping) {
+    const std::vector<CategoryTypeIndex>& grouping, ExecContext* exec) {
   Key key{function.name(), grouping};
   if (auto it = entries_.find(key); it != entries_.end()) {
     ++stats_.exact_hits;
@@ -59,7 +59,8 @@ Result<MdObject> PreAggregateCache::Query(
 
   AggregateSpec spec{function, grouping, ResultDimensionSpec::Auto(),
                      kNowChronon, true};
-  MDDC_ASSIGN_OR_RETURN(MdObject result, AggregateFormation(base_, spec));
+  MDDC_ASSIGN_OR_RETURN(MdObject result,
+                        AggregateFormation(base_, spec, exec));
   ++stats_.base_scans;
   Entry entry{grouping, result, AggregationType::kConstant};
   const DimensionType& result_type =
@@ -71,8 +72,8 @@ Result<MdObject> PreAggregateCache::Query(
 
 Status PreAggregateCache::Materialize(
     const AggFunction& function,
-    const std::vector<CategoryTypeIndex>& grouping) {
-  MDDC_ASSIGN_OR_RETURN(MdObject ignored, Query(function, grouping));
+    const std::vector<CategoryTypeIndex>& grouping, ExecContext* exec) {
+  MDDC_ASSIGN_OR_RETURN(MdObject ignored, Query(function, grouping, exec));
   (void)ignored;
   return Status::OK();
 }

@@ -36,13 +36,18 @@ class PreAggregateCache {
 
   /// Returns the aggregate for `grouping` (one category per base
   /// dimension) under `function`. The result dimension is always
-  /// auto-built.
+  /// auto-built. `exec` (optional) is handed to AggregateFormation on
+  /// base scans so misses run on the parallel engine; hit/rollup paths
+  /// and the cache's bookkeeping — in particular every Stats counter —
+  /// are unaffected by it.
   Result<MdObject> Query(const AggFunction& function,
-                         const std::vector<CategoryTypeIndex>& grouping);
+                         const std::vector<CategoryTypeIndex>& grouping,
+                         ExecContext* exec = nullptr);
 
   /// Pre-materializes an aggregate without returning it.
   Status Materialize(const AggFunction& function,
-                     const std::vector<CategoryTypeIndex>& grouping);
+                     const std::vector<CategoryTypeIndex>& grouping,
+                     ExecContext* exec = nullptr);
 
   struct Stats {
     std::size_t exact_hits = 0;   ///< same grouping served from cache

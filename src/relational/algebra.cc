@@ -1,11 +1,14 @@
 #include "relational/algebra.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <set>
 
 #include "common/strings.h"
+#include "engine/executor.h"
 
 namespace mddc {
 namespace relational {
@@ -221,9 +224,97 @@ Result<Relation> NaturalJoin(const Relation& r, const Relation& s) {
   return Project(joined, keep);
 }
 
+namespace {
+
+using GroupMembers = std::vector<const Tuple*>;
+using GroupMap = std::map<std::vector<Value>, GroupMembers>;
+
+std::size_t GroupKeyHash(const std::vector<Value>& key) {
+  std::size_t h = 1469598103934665603ull;
+  for (const Value& value : key) {
+    h ^= value.Hash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// One output tuple: the group key extended with the aggregate results,
+/// computed over the members in scan order (so floating-point sums
+/// accumulate identically on either execution path). Pure — safe to
+/// evaluate distinct groups concurrently.
+Result<Tuple> GroupRow(const std::vector<Value>& key,
+                       const GroupMembers& members,
+                       const std::vector<AggregateTerm>& terms,
+                       const std::vector<std::size_t>& term_indexes) {
+  Tuple out = key;
+  for (std::size_t t = 0; t < terms.size(); ++t) {
+    const AggregateTerm& term = terms[t];
+    const std::size_t index = term_indexes[t];
+    switch (term.func) {
+      case AggregateTerm::Func::kCountStar:
+        out.push_back(Value(static_cast<std::int64_t>(members.size())));
+        break;
+      case AggregateTerm::Func::kCount: {
+        std::int64_t count = 0;
+        for (const Tuple* tuple : members) {
+          if (!(*tuple)[index].is_null()) ++count;
+        }
+        out.push_back(Value(count));
+        break;
+      }
+      case AggregateTerm::Func::kCountDistinct: {
+        std::set<Value> distinct;
+        for (const Tuple* tuple : members) {
+          if (!(*tuple)[index].is_null()) distinct.insert((*tuple)[index]);
+        }
+        out.push_back(Value(static_cast<std::int64_t>(distinct.size())));
+        break;
+      }
+      case AggregateTerm::Func::kSum:
+      case AggregateTerm::Func::kAvg: {
+        double sum = 0.0;
+        std::int64_t count = 0;
+        for (const Tuple* tuple : members) {
+          if ((*tuple)[index].is_null()) continue;
+          MDDC_ASSIGN_OR_RETURN(double value, (*tuple)[index].AsDouble());
+          sum += value;
+          ++count;
+        }
+        if (term.func == AggregateTerm::Func::kSum) {
+          out.push_back(Value(sum));
+        } else {
+          out.push_back(count == 0 ? Value::Null() : Value(sum / count));
+        }
+        break;
+      }
+      case AggregateTerm::Func::kMin:
+      case AggregateTerm::Func::kMax: {
+        bool first = true;
+        Value best;
+        for (const Tuple* tuple : members) {
+          const Value& value = (*tuple)[index];
+          if (value.is_null()) continue;
+          if (first || (term.func == AggregateTerm::Func::kMin
+                            ? value < best
+                            : best < value)) {
+            best = value;
+            first = false;
+          }
+        }
+        out.push_back(first ? Value::Null() : best);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<Relation> Aggregate(const Relation& r,
                            const std::vector<std::string>& group_by,
-                           const std::vector<AggregateTerm>& terms) {
+                           const std::vector<AggregateTerm>& terms,
+                           ExecContext* exec) {
   std::vector<std::size_t> group_indexes;
   for (const std::string& name : group_by) {
     MDDC_ASSIGN_OR_RETURN(std::size_t index, r.AttributeIndex(name));
@@ -240,12 +331,45 @@ Result<Relation> Aggregate(const Relation& r,
     term_indexes.push_back(index);
   }
 
-  std::map<std::vector<Value>, std::vector<const Tuple*>> groups;
-  for (const Tuple& tuple : r.tuples()) {
-    std::vector<Value> key;
-    key.reserve(group_indexes.size());
-    for (std::size_t index : group_indexes) key.push_back(tuple[index]);
-    groups[std::move(key)].push_back(&tuple);
+  const bool parallel =
+      exec != nullptr && exec->WantsParallel(r.tuples().size());
+
+  // Group the tuples. Relational group-by has no summarizability
+  // precondition (every Klug aggregate here is computed from the whole
+  // member list, never merged from partials), so the parallel path only
+  // needs groups built whole: workers share a scan of the tuples, each
+  // accumulating the keys of its hash partition, and the disjoint
+  // partition maps merge in partition order into one key-ordered map.
+  GroupMap groups;
+  if (parallel) {
+    const std::size_t num_partitions = exec->num_threads;
+    std::vector<GroupMap> partitions(num_partitions);
+    exec->pool().ParallelFor(num_partitions, [&](std::size_t p) {
+      for (const Tuple& tuple : r.tuples()) {
+        std::vector<Value> key;
+        key.reserve(group_indexes.size());
+        for (std::size_t index : group_indexes) key.push_back(tuple[index]);
+        if (GroupKeyHash(key) % num_partitions != p) continue;
+        partitions[p][std::move(key)].push_back(&tuple);
+      }
+    });
+    exec->stats.tasks += num_partitions;
+    exec->stats.partitions += num_partitions;
+    const auto merge_start = std::chrono::steady_clock::now();
+    for (GroupMap& partition : partitions) {
+      groups.merge(partition);
+    }
+    exec->stats.merge_nanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count());
+  } else {
+    for (const Tuple& tuple : r.tuples()) {
+      std::vector<Value> key;
+      key.reserve(group_indexes.size());
+      for (std::size_t index : group_indexes) key.push_back(tuple[index]);
+      groups[std::move(key)].push_back(&tuple);
+    }
   }
 
   std::vector<std::string> attributes = group_by;
@@ -254,68 +378,46 @@ Result<Relation> Aggregate(const Relation& r,
   }
   Relation result(std::move(attributes));
 
-  for (const auto& [key, members] : groups) {
-    Tuple out = key;
-    for (std::size_t t = 0; t < terms.size(); ++t) {
-      const AggregateTerm& term = terms[t];
-      const std::size_t index = term_indexes[t];
-      switch (term.func) {
-        case AggregateTerm::Func::kCountStar:
-          out.push_back(Value(static_cast<std::int64_t>(members.size())));
-          break;
-        case AggregateTerm::Func::kCount: {
-          std::int64_t count = 0;
-          for (const Tuple* tuple : members) {
-            if (!(*tuple)[index].is_null()) ++count;
-          }
-          out.push_back(Value(count));
-          break;
-        }
-        case AggregateTerm::Func::kCountDistinct: {
-          std::set<Value> distinct;
-          for (const Tuple* tuple : members) {
-            if (!(*tuple)[index].is_null()) distinct.insert((*tuple)[index]);
-          }
-          out.push_back(Value(static_cast<std::int64_t>(distinct.size())));
-          break;
-        }
-        case AggregateTerm::Func::kSum:
-        case AggregateTerm::Func::kAvg: {
-          double sum = 0.0;
-          std::int64_t count = 0;
-          for (const Tuple* tuple : members) {
-            if ((*tuple)[index].is_null()) continue;
-            MDDC_ASSIGN_OR_RETURN(double value, (*tuple)[index].AsDouble());
-            sum += value;
-            ++count;
-          }
-          if (term.func == AggregateTerm::Func::kSum) {
-            out.push_back(Value(sum));
-          } else {
-            out.push_back(count == 0 ? Value::Null() : Value(sum / count));
-          }
-          break;
-        }
-        case AggregateTerm::Func::kMin:
-        case AggregateTerm::Func::kMax: {
-          bool first = true;
-          Value best;
-          for (const Tuple* tuple : members) {
-            const Value& value = (*tuple)[index];
-            if (value.is_null()) continue;
-            if (first || (term.func == AggregateTerm::Func::kMin
-                              ? value < best
-                              : best < value)) {
-              best = value;
-              first = false;
-            }
-          }
-          out.push_back(first ? Value::Null() : best);
-          break;
+  if (parallel) {
+    // Evaluate groups concurrently into per-group slots (first error in
+    // group order wins — no exceptions cross the pool boundary), then
+    // insert sequentially in key order.
+    std::vector<const GroupMap::value_type*> group_ptrs;
+    group_ptrs.reserve(groups.size());
+    for (const auto& entry : groups) group_ptrs.push_back(&entry);
+    std::vector<Tuple> rows(groups.size());
+    std::vector<Status> statuses(groups.size());
+    const std::size_t chunks =
+        std::min(std::max<std::size_t>(groups.size(), 1),
+                 exec->num_threads * 4);
+    exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
+      const std::size_t begin = chunk * groups.size() / chunks;
+      const std::size_t end = (chunk + 1) * groups.size() / chunks;
+      for (std::size_t g = begin; g < end; ++g) {
+        Result<Tuple> row = GroupRow(group_ptrs[g]->first,
+                                     group_ptrs[g]->second, terms,
+                                     term_indexes);
+        if (row.ok()) {
+          rows[g] = std::move(*row);
+        } else {
+          statuses[g] = row.status();
         }
       }
+    });
+    exec->stats.tasks += chunks;
+    for (const Status& status : statuses) {
+      MDDC_RETURN_NOT_OK(status);
     }
-    MDDC_RETURN_NOT_OK(result.Insert(std::move(out)));
+    ++exec->stats.parallel_runs;
+    for (Tuple& row : rows) {
+      MDDC_RETURN_NOT_OK(result.Insert(std::move(row)));
+    }
+  } else {
+    for (const auto& [key, members] : groups) {
+      MDDC_ASSIGN_OR_RETURN(Tuple row,
+                            GroupRow(key, members, terms, term_indexes));
+      MDDC_RETURN_NOT_OK(result.Insert(std::move(row)));
+    }
   }
   return result;
 }

@@ -9,6 +9,9 @@
 #include "relational/relation.h"
 
 namespace mddc {
+
+struct ExecContext;  // engine/executor.h
+
 namespace relational {
 
 /// Klug's relational algebra with aggregation [16]: the five classic
@@ -76,9 +79,18 @@ struct AggregateTerm {
 
 /// gamma[group_by; terms](r): one output tuple per distinct combination
 /// of the grouping attributes, extended with the aggregate results.
+///
+/// With an ExecContext whose num_threads > 1 and at least
+/// min_parallel_facts input tuples, grouping runs on the parallel
+/// engine: workers share a scan of the tuples (in relation order) and
+/// each accumulates only the groups of its hash partition, so every
+/// group's member list is built whole and in scan order by one worker.
+/// Partitions merge deterministically in partition order — the output
+/// relation is identical, byte for byte, to the sequential one.
 Result<Relation> Aggregate(const Relation& r,
                            const std::vector<std::string>& group_by,
-                           const std::vector<AggregateTerm>& terms);
+                           const std::vector<AggregateTerm>& terms,
+                           ExecContext* exec = nullptr);
 
 }  // namespace relational
 }  // namespace mddc

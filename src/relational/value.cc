@@ -1,5 +1,8 @@
 #include "relational/value.h"
 
+#include <cstring>
+#include <functional>
+
 #include "common/strings.h"
 
 namespace mddc {
@@ -32,6 +35,20 @@ std::string Value::ToString() const {
   if (is_int()) return std::to_string(std::get<std::int64_t>(data_));
   if (is_double()) return FormatDouble(std::get<double>(data_));
   return std::get<std::string>(data_);
+}
+
+std::size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  if (TypeRank() == 1) {
+    // Unified numeric equality requires a unified numeric hash.
+    const double d = *AsDouble();
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    if (d == 0.0) bits = 0;  // +0.0 and -0.0 compare equal
+    return std::hash<std::uint64_t>{}(bits);
+  }
+  return std::hash<std::string>{}(std::get<std::string>(data_));
 }
 
 int Value::TypeRank() const {

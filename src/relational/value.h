@@ -39,6 +39,11 @@ class Value {
   /// Rendering for table output ("NULL", "42", "3.5", "text").
   std::string ToString() const;
 
+  /// Hash consistent with operator== — in particular Value(3) and
+  /// Value(3.0) compare equal, so numbers hash through their double
+  /// view. Used by the parallel group-by to partition group keys.
+  std::size_t Hash() const;
+
   /// Total order: null < numbers (by value, int/double unified) <
   /// strings.
   friend bool operator<(const Value& a, const Value& b);

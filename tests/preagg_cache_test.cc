@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "engine/executor.h"
 #include "engine/preagg_cache.h"
+#include "io/serialize.h"
 #include "workload/clinical_generator.h"
 #include "workload/retail_generator.h"
 
@@ -183,6 +185,71 @@ TEST(PreAggCacheTest, NonStrictHierarchyBlocksReuseEndToEnd) {
   EXPECT_DOUBLE_EQ(*total->dimension(result_dim)
                         .NumericValueOf(pairs.front()->value),
                    120.0);
+}
+
+TEST(PreAggCacheTest, StatsIdenticalUnderParallelExecution) {
+  // The executor only changes how base scans are computed, never what
+  // the cache decides: an identical sequence of Materialize/Query calls
+  // must produce identical hit/scan/refusal counters — and identical
+  // results — with and without a parallel context.
+  RetailMo retail = BuildRetail();
+  auto by_category =
+      GroupingAt(retail.mo, retail.product_dim, retail.category);
+  auto by_department =
+      GroupingAt(retail.mo, retail.product_dim, retail.department);
+  auto by_city = GroupingAt(retail.mo, retail.store_dim, retail.city);
+  auto by_region = GroupingAt(retail.mo, retail.store_dim, retail.region);
+
+  PreAggregateCache sequential_cache(retail.mo);
+  PreAggregateCache parallel_cache(retail.mo);
+  ExecContext ctx(8, /*min_facts=*/1);
+
+  // The same op sequence exercising every counter: a materialize, an
+  // exact hit, a rollup, and an AVG refusal.
+  auto drive = [&](PreAggregateCache& cache,
+                   ExecContext* exec) -> std::vector<std::string> {
+    std::vector<std::string> serialized;
+    auto record = [&](Result<MdObject> result) {
+      ASSERT_TRUE(result.ok()) << result.status();
+      auto bytes = io::WriteMo(*result);
+      ASSERT_TRUE(bytes.ok()) << bytes.status();
+      serialized.push_back(*bytes);
+    };
+    EXPECT_TRUE(cache
+                    .Materialize(AggFunction::Sum(retail.amount_dim),
+                                 by_category, exec)
+                    .ok());
+    record(cache.Query(AggFunction::Sum(retail.amount_dim), by_category,
+                       exec));
+    record(cache.Query(AggFunction::Sum(retail.amount_dim), by_department,
+                       exec));
+    EXPECT_TRUE(
+        cache.Materialize(AggFunction::Avg(retail.price_dim), by_city, exec)
+            .ok());
+    record(cache.Query(AggFunction::Avg(retail.price_dim), by_region, exec));
+    return serialized;
+  };
+
+  std::vector<std::string> sequential_results =
+      drive(sequential_cache, nullptr);
+  std::vector<std::string> parallel_results = drive(parallel_cache, &ctx);
+
+  EXPECT_EQ(parallel_cache.stats().exact_hits,
+            sequential_cache.stats().exact_hits);
+  EXPECT_EQ(parallel_cache.stats().rollup_hits,
+            sequential_cache.stats().rollup_hits);
+  EXPECT_EQ(parallel_cache.stats().base_scans,
+            sequential_cache.stats().base_scans);
+  EXPECT_EQ(parallel_cache.stats().reuse_refusals,
+            sequential_cache.stats().reuse_refusals);
+  EXPECT_EQ(parallel_cache.size(), sequential_cache.size());
+  ASSERT_EQ(parallel_results.size(), sequential_results.size());
+  for (std::size_t i = 0; i < parallel_results.size(); ++i) {
+    EXPECT_EQ(parallel_results[i], sequential_results[i])
+        << "query " << i << " serialized differently";
+  }
+  // And the parallel engine really did run for the strict SUM scans.
+  EXPECT_GE(ctx.stats.parallel_runs, 1u);
 }
 
 TEST(PreAggCacheTest, StatsResetWorks) {
