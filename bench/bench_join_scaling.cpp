@@ -1,0 +1,172 @@
+// Identity-join thread-scaling sweep: 1/2/4/8 threads over 10^4..10^6
+// facts, with a one-time bit-identity check per configuration (the
+// parallel join must serialize to exactly the sequential bytes before
+// its timings count). Results go to stdout as a table and to
+// BENCH_join.json as machine-readable records.
+//
+//   $ ./bench/bench_join_scaling
+//
+// MDDC_SWEEP_MAX_FACTS caps the largest operand (default 1000000), e.g.
+// MDDC_SWEEP_MAX_FACTS=100000 for a quick run or for sanitizer builds.
+//
+// Operands are hand-built MOs — one small Key dimension, facts related
+// round-robin — so setup stays O(n) and the measured time is the join,
+// not workload generation.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "engine/executor.h"
+#include "io/serialize.h"
+
+namespace {
+
+using namespace mddc;
+
+constexpr std::size_t kNumKeys = 64;
+
+MdObject MakeOperand(std::size_t num_facts, const std::string& suffix,
+                     std::shared_ptr<FactRegistry> registry) {
+  DimensionTypeBuilder builder("Key" + suffix);
+  builder.AddCategory("Key", AggregationType::kConstant);
+  auto type = std::move(builder.Build()).ValueOrDie();
+  Dimension dimension(type);
+  CategoryTypeIndex key = *type->Find("Key");
+  for (std::size_t k = 0; k < kNumKeys; ++k) {
+    (void)dimension.AddValue(key, ValueId(1000 + k), Lifespan::AlwaysSpan());
+  }
+  MdObject mo("Event" + suffix, {std::move(dimension)}, registry,
+              TemporalType::kSnapshot);
+  for (std::size_t i = 0; i < num_facts; ++i) {
+    FactId fact = registry->Atom(i);
+    (void)mo.AddFact(fact);
+    (void)mo.Relate(0, fact, ValueId(1000 + i % kNumKeys),
+                    Lifespan::AlwaysSpan());
+  }
+  return mo;
+}
+
+struct SweepRow {
+  std::size_t facts = 0;
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  std::size_t pool_reuses = 0;
+  std::size_t partitions = 0;
+  bool bit_identical = false;
+};
+
+double TimeJoinMs(const MdObject& m1, const MdObject& m2, ExecContext* exec,
+                  int iterations) {
+  double best = 1e300;
+  for (int i = 0; i < iterations; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = exec == nullptr
+                      ? Join(m1, m2, JoinPredicate::kEqual)
+                      : Join(m1, m2, JoinPredicate::kEqual, exec);
+    auto stop = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "join failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    double ms = std::chrono::duration<double, std::milli>(stop - start)
+                    .count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+void WriteJson(const std::vector<SweepRow>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"join_scaling\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"facts\": %zu, \"threads\": %zu, "
+                 "\"wall_ms\": %.3f, \"speedup_vs_1thread\": %.3f, "
+                 "\"pool_reuses\": %zu, \"partitions\": %zu, "
+                 "\"bit_identical\": %s}%s\n",
+                 r.facts, r.threads, r.wall_ms, r.speedup, r.pool_reuses,
+                 r.partitions, r.bit_identical ? "true" : "false",
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  std::size_t max_facts = 1000000;
+  if (const char* cap = std::getenv("MDDC_SWEEP_MAX_FACTS")) {
+    max_facts = static_cast<std::size_t>(std::strtoull(cap, nullptr, 10));
+  }
+
+  std::vector<SweepRow> rows;
+  std::printf("%10s %8s %12s %10s %12s %6s\n", "facts", "threads",
+              "wall_ms", "speedup", "pool_reuses", "ident");
+  for (std::size_t facts : {std::size_t{10000}, std::size_t{100000},
+                            std::size_t{1000000}}) {
+    if (facts > max_facts) continue;
+    auto registry = std::make_shared<FactRegistry>();
+    MdObject m1 = MakeOperand(facts, "", registry);
+    MdObject m2 = MakeOperand(facts, "'", registry);
+    const int iterations = facts >= 1000000 ? 3 : 5;
+
+    auto sequential = Join(m1, m2, JoinPredicate::kEqual);
+    if (!sequential.ok()) {
+      std::fprintf(stderr, "sequential join failed: %s\n",
+                   sequential.status().ToString().c_str());
+      return 1;
+    }
+    const std::string sequential_bytes =
+        std::move(io::WriteMo(*sequential)).ValueOrDie();
+
+    double baseline_ms = 0.0;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8}}) {
+      SweepRow row;
+      row.facts = facts;
+      row.threads = threads;
+
+      {
+        // Bit-identity, once per configuration, before any timing.
+        ExecContext check(threads, /*min_facts=*/1);
+        auto parallel = Join(m1, m2, JoinPredicate::kEqual, &check);
+        row.bit_identical =
+            parallel.ok() &&
+            std::move(io::WriteMo(*parallel)).ValueOrDie() ==
+                sequential_bytes;
+        if (!row.bit_identical) {
+          std::fprintf(stderr,
+                       "FATAL: join not bit-identical at %zu threads\n",
+                       threads);
+          return 1;
+        }
+      }
+
+      ExecContext ctx(threads, /*min_facts=*/1);
+      row.wall_ms = TimeJoinMs(m1, m2, &ctx, iterations);
+      if (threads == 1) baseline_ms = row.wall_ms;
+      row.speedup = baseline_ms > 0.0 ? baseline_ms / row.wall_ms : 1.0;
+      row.pool_reuses = ctx.stats.pool_reuses;
+      row.partitions = ctx.stats.partitions;
+      rows.push_back(row);
+      std::printf("%10zu %8zu %12.3f %10.2f %12zu %6s\n", row.facts,
+                  row.threads, row.wall_ms, row.speedup, row.pool_reuses,
+                  row.bit_identical ? "yes" : "NO");
+    }
+  }
+  WriteJson(rows, "BENCH_join.json");
+  return 0;
+}

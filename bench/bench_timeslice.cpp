@@ -1,13 +1,30 @@
 // Valid-timeslice cost versus data size and temporal churn (the fraction
 // of the diagnosis hierarchy re-coded at the 1980 epoch), plus the cost
-// of analysis across change (characterization through bridge edges).
+// of analysis across change (characterization through bridge edges),
+// plus a 1/2/4/8-thread sweep of the parallel timeslice over 10^4..10^6
+// facts that runs before the google-benchmark suite and writes
+// machine-readable records to BENCH_timeslice.json. Each sweep
+// configuration verifies once that the parallel slice serializes to
+// exactly the sequential bytes.
 //
 //   $ ./bench/bench_timeslice
+//
+// MDDC_SWEEP_MAX_FACTS caps the sweep's largest operand (default
+// 1000000), e.g. for quick runs or sanitizer builds.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "algebra/timeslice.h"
 #include "common/date.h"
+#include "engine/executor.h"
+#include "io/serialize.h"
 #include "workload/clinical_generator.h"
 
 namespace {
@@ -77,6 +94,148 @@ void BM_CharacterizeAcrossChange(benchmark::State& state) {
 }
 BENCHMARK(BM_CharacterizeAcrossChange);
 
+// ---- Parallel thread sweep ------------------------------------------------
+
+/// A hand-built valid-time MO sized for the sweep: one small Status
+/// dimension, every relation entry carrying a valid lifespan, half of
+/// them expired before the slice point — so the slice does real
+/// per-entry filtering and fact-coverage work and setup stays O(n).
+MdObject MakeSweepOperand(std::size_t num_facts) {
+  DimensionTypeBuilder builder("Status");
+  builder.AddCategory("Status", AggregationType::kConstant);
+  auto type = std::move(builder.Build()).ValueOrDie();
+  Dimension dimension(type);
+  CategoryTypeIndex status = *type->Find("Status");
+  constexpr std::size_t kNumValues = 64;
+  const Lifespan old_era = Lifespan::ValidDuring(
+      TemporalElement(*Interval::Parse("[01/01/70-31/12/79]")));
+  const Lifespan new_era = Lifespan::ValidDuring(
+      TemporalElement(*Interval::Parse("[01/01/80-NOW]")));
+  for (std::size_t v = 0; v < kNumValues; ++v) {
+    (void)dimension.AddValue(status, ValueId(1000 + v),
+                             v % 2 == 0 ? new_era : old_era);
+  }
+  auto registry = std::make_shared<FactRegistry>();
+  MdObject mo("Event", {std::move(dimension)}, registry,
+              TemporalType::kValidTime);
+  for (std::size_t i = 0; i < num_facts; ++i) {
+    FactId fact = registry->Atom(i);
+    (void)mo.AddFact(fact);
+    (void)mo.Relate(0, fact, ValueId(1000 + i % kNumValues),
+                    i % 2 == 0 ? new_era : old_era);
+  }
+  return mo;
+}
+
+struct SweepRow {
+  std::size_t facts = 0;
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  std::size_t pool_reuses = 0;
+  bool bit_identical = false;
+};
+
+int RunThreadSweep() {
+  std::size_t max_facts = 1000000;
+  if (const char* cap = std::getenv("MDDC_SWEEP_MAX_FACTS")) {
+    max_facts = static_cast<std::size_t>(std::strtoull(cap, nullptr, 10));
+  }
+  const Chronon at = *ParseDate("15/06/85");
+
+  std::vector<SweepRow> rows;
+  std::printf("%10s %8s %12s %10s %12s %6s\n", "facts", "threads",
+              "wall_ms", "speedup", "pool_reuses", "ident");
+  for (std::size_t facts : {std::size_t{10000}, std::size_t{100000},
+                            std::size_t{1000000}}) {
+    if (facts > max_facts) continue;
+    MdObject mo = MakeSweepOperand(facts);
+    const int iterations = facts >= 1000000 ? 3 : 5;
+
+    auto sequential = ValidTimeslice(mo, at);
+    if (!sequential.ok()) {
+      std::fprintf(stderr, "sequential slice failed: %s\n",
+                   sequential.status().ToString().c_str());
+      return 1;
+    }
+    const std::string sequential_bytes =
+        std::move(io::WriteMo(*sequential)).ValueOrDie();
+
+    double baseline_ms = 0.0;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8}}) {
+      SweepRow row;
+      row.facts = facts;
+      row.threads = threads;
+      {
+        ExecContext check(threads, /*min_facts=*/1);
+        auto parallel = ValidTimeslice(mo, at, &check);
+        row.bit_identical =
+            parallel.ok() &&
+            std::move(io::WriteMo(*parallel)).ValueOrDie() ==
+                sequential_bytes;
+        if (!row.bit_identical) {
+          std::fprintf(stderr,
+                       "FATAL: slice not bit-identical at %zu threads\n",
+                       threads);
+          return 1;
+        }
+      }
+      ExecContext ctx(threads, /*min_facts=*/1);
+      double best = 1e300;
+      for (int i = 0; i < iterations; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        auto result = ValidTimeslice(mo, at, &ctx);
+        auto stop = std::chrono::steady_clock::now();
+        if (!result.ok()) {
+          std::fprintf(stderr, "slice failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (ms < best) best = ms;
+      }
+      row.wall_ms = best;
+      if (threads == 1) baseline_ms = row.wall_ms;
+      row.speedup = baseline_ms > 0.0 ? baseline_ms / row.wall_ms : 1.0;
+      row.pool_reuses = ctx.stats.pool_reuses;
+      rows.push_back(row);
+      std::printf("%10zu %8zu %12.3f %10.2f %12zu %6s\n", row.facts,
+                  row.threads, row.wall_ms, row.speedup, row.pool_reuses,
+                  row.bit_identical ? "yes" : "NO");
+    }
+  }
+
+  std::FILE* out = std::fopen("BENCH_timeslice.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_timeslice.json\n");
+    return 0;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"timeslice_scaling\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"facts\": %zu, \"threads\": %zu, "
+                 "\"wall_ms\": %.3f, \"speedup_vs_1thread\": %.3f, "
+                 "\"pool_reuses\": %zu, \"bit_identical\": %s}%s\n",
+                 r.facts, r.threads, r.wall_ms, r.speedup, r.pool_reuses,
+                 r.bit_identical ? "true" : "false",
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_timeslice.json\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (int rc = RunThreadSweep(); rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -200,7 +200,7 @@ Result<MdObject> StarJoin(
 Result<std::vector<SqlRow>> SqlAggregate(const MdObject& mo,
                                          const std::vector<SqlGroupBy>& group_by,
                                          const AggFunction& function,
-                                         Chronon at) {
+                                         Chronon at, ExecContext* exec) {
   AggregateSpec spec{function, {}, ResultDimensionSpec::Auto(), at, true};
   spec.grouping.assign(mo.dimension_count(), 0);
   for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
@@ -213,7 +213,7 @@ Result<std::vector<SqlRow>> SqlAggregate(const MdObject& mo,
     }
     spec.grouping[column.dim] = column.category;
   }
-  MDDC_ASSIGN_OR_RETURN(MdObject aggregated, AggregateFormation(mo, spec));
+  MDDC_ASSIGN_OR_RETURN(MdObject aggregated, AggregateFormation(mo, spec, exec));
 
   const std::size_t result_dim = aggregated.dimension_count() - 1;
   std::vector<SqlRow> rows;

@@ -81,11 +81,13 @@ struct SqlGroupBy {
 /// SQL-like aggregation ("SELECT r(e_1), g(..) .. GROUP BY C_1, .."):
 /// aggregate formation followed by reading the grouping values'
 /// representations. Rows are sorted by their group labels. Dimensions not
-/// listed group at top.
+/// listed group at top. `exec` (optional) is handed to the underlying
+/// aggregate formation so MDQL queries reach the parallel engine.
 Result<std::vector<SqlRow>> SqlAggregate(const MdObject& mo,
                                          const std::vector<SqlGroupBy>& group_by,
                                          const AggFunction& function,
-                                         Chronon at = kNowChronon);
+                                         Chronon at = kNowChronon,
+                                         ExecContext* exec = nullptr);
 
 }  // namespace mddc
 

@@ -68,8 +68,22 @@ enum class JoinPredicate { kEqual, kNotEqual, kTrue };
 /// list is the concatenation of both MOs' dimensions (names must be
 /// disjoint — use Rename first, as the paper prescribes); pair facts
 /// inherit fact-dimension pairs (and their times) from the member facts.
+///
+/// With an ExecContext whose num_threads > 1 and an m1 fact set of at
+/// least min_parallel_facts, the operator runs the parallel engine: the
+/// facts of m1 are hash-partitioned by fact id, each worker scans its
+/// partition against m2 (an id probe for the equi-join, a full scan
+/// otherwise) into disjoint per-fact match slots, and the merge walks m1
+/// in fact order — interning pair facts in exactly the sequential scan
+/// order — so io::WriteMo of the parallel join is byte-identical to the
+/// sequential one at any thread count. Pair-fact relations are then
+/// populated one output dimension per task (disjoint writes, per-slot
+/// Status, errors selected in dimension order). A context asking for
+/// parallelism on an m1 below min_parallel_facts counts a
+/// sequential_fallback. Unlike aggregate formation there is no
+/// summarizability gate: the join touches no aggregate values.
 Result<MdObject> Join(const MdObject& m1, const MdObject& m2,
-                      JoinPredicate predicate);
+                      JoinPredicate predicate, ExecContext* exec = nullptr);
 
 /// How aggregate formation materializes the result dimension D_{n+1}.
 class ResultDimensionSpec {

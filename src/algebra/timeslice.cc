@@ -1,6 +1,11 @@
 #include "algebra/timeslice.h"
 
+#include <algorithm>
+#include <optional>
+#include <utility>
+
 #include "common/strings.h"
+#include "engine/executor.h"
 
 namespace mddc {
 namespace {
@@ -57,40 +62,135 @@ Result<Dimension> TimesliceDimension(const Dimension& dimension, Chronon t,
 }
 
 Result<MdObject> Timeslice(const MdObject& mo, Chronon t, Axis axis,
-                           TemporalType new_type) {
+                           TemporalType new_type, ExecContext* exec) {
+  const std::size_t n = mo.dimension_count();
+  // No summarizability gate: every output cell depends only on one input
+  // cell and `t`, so slicing is always safely parallel. A context asking
+  // for parallelism on too small an input counts a fallback, like Join.
+  bool parallel = false;
+  if (exec != nullptr && exec->num_threads > 1) {
+    if (exec->WantsParallel(mo.fact_count())) {
+      parallel = true;
+    } else {
+      ++exec->stats.sequential_fallbacks;
+    }
+  }
+  if (parallel) {
+    // Pure-read discipline: warm the lazily written closure memos before
+    // any fan-out so workers (and concurrent readers of the operand)
+    // never write into the dimensions.
+    for (std::size_t i = 0; i < n; ++i) mo.dimension(i).WarmClosureMemo();
+  }
+
+  // 1. Slice the dimensions, one independent result slot each; the first
+  //    error in dimension order — the one the sequential loop would hit —
+  //    is returned.
   std::vector<Dimension> dimensions;
-  dimensions.reserve(mo.dimension_count());
-  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
-    MDDC_ASSIGN_OR_RETURN(Dimension sliced,
-                          TimesliceDimension(mo.dimension(i), t, axis));
-    dimensions.push_back(std::move(sliced));
+  dimensions.reserve(n);
+  if (parallel) {
+    std::vector<std::optional<Result<Dimension>>> slots(n);
+    exec->pool().ParallelFor(n, [&](std::size_t i) {
+      slots[i].emplace(TimesliceDimension(mo.dimension(i), t, axis));
+    });
+    exec->stats.tasks += n;
+    for (std::size_t i = 0; i < n; ++i) {
+      MDDC_RETURN_NOT_OK(slots[i]->status());
+      dimensions.push_back(std::move(*slots[i]).ValueOrDie());
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      MDDC_ASSIGN_OR_RETURN(Dimension sliced,
+                            TimesliceDimension(mo.dimension(i), t, axis));
+      dimensions.push_back(std::move(sliced));
+    }
   }
   MdObject result(mo.schema().fact_type(), std::move(dimensions),
                   mo.registry(), new_type);
 
-  // Keep facts that retain at least one pair in every dimension at t
-  // (otherwise they would violate the no-missing-values rule).
-  std::vector<FactDimRelation> sliced(mo.dimension_count());
-  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
-    for (const FactDimRelation::Entry& entry : mo.relation(i).entries()) {
-      if (!Component(entry.life, axis).Contains(t)) continue;
-      if (!result.dimension(i).HasValue(entry.value)) continue;
-      MDDC_RETURN_NOT_OK(sliced[i].Add(entry.fact, entry.value,
-                                       Residual(entry.life, axis),
-                                       entry.prob));
-    }
-  }
-  for (FactId fact : mo.facts()) {
-    bool covered = true;
-    for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
-      if (!sliced[i].HasFact(fact)) {
-        covered = false;
-        break;
+  // 2. Slice the fact-dimension relations. The surviving entries of one
+  //    relation must be appended in entry order, but deciding survival
+  //    (and computing the residual lifespan) is a pure read — so the
+  //    parallel path filters contiguous entry chunks into per-chunk
+  //    slots and appends them in chunk order: byte-identical, no merge.
+  std::vector<FactDimRelation> sliced(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<FactDimRelation::Entry>& entries =
+        mo.relation(i).entries();
+    const Dimension& dimension = result.dimension(i);
+    if (parallel && !entries.empty()) {
+      const std::size_t chunks =
+          std::min(entries.size(), exec->num_threads * 4);
+      std::vector<std::vector<std::pair<std::size_t, Lifespan>>> kept(chunks);
+      exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
+        const std::size_t begin = chunk * entries.size() / chunks;
+        const std::size_t end = (chunk + 1) * entries.size() / chunks;
+        for (std::size_t e = begin; e < end; ++e) {
+          const FactDimRelation::Entry& entry = entries[e];
+          if (!Component(entry.life, axis).Contains(t)) continue;
+          if (!dimension.HasValue(entry.value)) continue;
+          kept[chunk].emplace_back(e, Residual(entry.life, axis));
+        }
+      });
+      exec->stats.tasks += chunks;
+      for (const auto& chunk : kept) {
+        for (const auto& [e, life] : chunk) {
+          MDDC_RETURN_NOT_OK(
+              sliced[i].Add(entries[e].fact, entries[e].value, life,
+                            entries[e].prob));
+        }
+      }
+    } else {
+      for (const FactDimRelation::Entry& entry : entries) {
+        if (!Component(entry.life, axis).Contains(t)) continue;
+        if (!dimension.HasValue(entry.value)) continue;
+        MDDC_RETURN_NOT_OK(sliced[i].Add(entry.fact, entry.value,
+                                         Residual(entry.life, axis),
+                                         entry.prob));
       }
     }
-    if (covered) MDDC_RETURN_NOT_OK(result.AddFact(fact));
   }
-  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+
+  // 3. Keep facts that retain at least one pair in every dimension at t
+  //    (otherwise they would violate the no-missing-values rule). The
+  //    coverage check is a pure read of the sliced relations, one flag
+  //    slot per fact; facts are then added sequentially in fact order.
+  const std::vector<FactId>& facts = mo.facts();
+  if (parallel && !facts.empty()) {
+    std::vector<unsigned char> covered(facts.size(), 0);
+    const std::size_t chunks = std::min(facts.size(), exec->num_threads * 4);
+    exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
+      const std::size_t begin = chunk * facts.size() / chunks;
+      const std::size_t end = (chunk + 1) * facts.size() / chunks;
+      for (std::size_t f = begin; f < end; ++f) {
+        bool all = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!sliced[i].HasFact(facts[f])) {
+            all = false;
+            break;
+          }
+        }
+        covered[f] = all ? 1 : 0;
+      }
+    });
+    exec->stats.tasks += chunks;
+    for (std::size_t f = 0; f < facts.size(); ++f) {
+      if (covered[f] != 0) MDDC_RETURN_NOT_OK(result.AddFact(facts[f]));
+    }
+    ++exec->stats.parallel_runs;
+    ++exec->stats.timeslice_parallel_runs;
+  } else {
+    for (FactId fact : facts) {
+      bool all = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!sliced[i].HasFact(fact)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) MDDC_RETURN_NOT_OK(result.AddFact(fact));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
     sliced[i].RestrictToFacts(result.facts());
     result.relation_mutable(i) = std::move(sliced[i]);
   }
@@ -100,7 +200,8 @@ Result<MdObject> Timeslice(const MdObject& mo, Chronon t, Axis axis,
 
 }  // namespace
 
-Result<MdObject> ValidTimeslice(const MdObject& mo, Chronon t) {
+Result<MdObject> ValidTimeslice(const MdObject& mo, Chronon t,
+                                ExecContext* exec) {
   TemporalType new_type;
   switch (mo.temporal_type()) {
     case TemporalType::kValidTime:
@@ -115,10 +216,11 @@ Result<MdObject> ValidTimeslice(const MdObject& mo, Chronon t) {
                  "this MO is ",
                  TemporalTypeName(mo.temporal_type())));
   }
-  return Timeslice(mo, t, Axis::kValid, new_type);
+  return Timeslice(mo, t, Axis::kValid, new_type, exec);
 }
 
-Result<MdObject> TransactionTimeslice(const MdObject& mo, Chronon t) {
+Result<MdObject> TransactionTimeslice(const MdObject& mo, Chronon t,
+                                      ExecContext* exec) {
   TemporalType new_type;
   switch (mo.temporal_type()) {
     case TemporalType::kTransactionTime:
@@ -133,7 +235,7 @@ Result<MdObject> TransactionTimeslice(const MdObject& mo, Chronon t) {
                  "bitemporal MOs; this MO is ",
                  TemporalTypeName(mo.temporal_type())));
   }
-  return Timeslice(mo, t, Axis::kTransaction, new_type);
+  return Timeslice(mo, t, Axis::kTransaction, new_type, exec);
 }
 
 Result<Dimension> ValidTimesliceDimension(const Dimension& dimension,

@@ -1,6 +1,8 @@
 #include "engine/executor.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace mddc {
 
@@ -86,11 +88,41 @@ void ThreadPool::ParallelFor(std::size_t n,
       lock, [&] { return state->done.load() == state->total; });
 }
 
-ThreadPool& ExecContext::pool() {
-  if (pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(num_threads);
+namespace {
+
+// The shared pool and its guard. A plain global (not a function-local
+// static) so ShutdownSharedThreadPool can destroy and recreate it; the
+// unique_ptr's destructor joins the workers at process exit.
+std::mutex g_shared_pool_mu;
+std::unique_ptr<ThreadPool> g_shared_pool;
+
+}  // namespace
+
+ThreadPool& SharedThreadPool(std::size_t min_threads, bool* created) {
+  std::lock_guard<std::mutex> lock(g_shared_pool_mu);
+  if (g_shared_pool == nullptr) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    g_shared_pool = std::make_unique<ThreadPool>(
+        std::max<std::size_t>({min_threads, hw, 1}));
+    if (created != nullptr) *created = true;
+  } else if (created != nullptr) {
+    *created = false;
   }
-  return *pool_;
+  return *g_shared_pool;
+}
+
+void ShutdownSharedThreadPool() {
+  std::lock_guard<std::mutex> lock(g_shared_pool_mu);
+  g_shared_pool.reset();
+}
+
+ThreadPool& ExecContext::pool() {
+  if (borrowed_ == nullptr) {
+    bool created = false;
+    borrowed_ = &SharedThreadPool(num_threads, &created);
+    if (!created) ++stats.pool_reuses;
+  }
+  return *borrowed_;
 }
 
 }  // namespace mddc

@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -58,13 +57,36 @@ class ThreadPool {
   std::vector<std::jthread> workers_;
 };
 
+/// The process-wide shared pool. Workers are spawned exactly once — on
+/// the first borrow, sized max(min_threads, hardware concurrency) — and
+/// then reused by every ExecContext, PreAggregateCache miss and query
+/// for the rest of the process, so repeated cache-miss queries stop
+/// paying thread-startup cost. A later borrow asking for more threads
+/// than the pool has is served by the existing pool: ParallelFor's
+/// shared-counter scheduling is correct at any worker count, and result
+/// bytes never depend on which thread ran an iteration, so a smaller
+/// pool only costs speed, never determinism.
+///
+/// `created` (optional) is set to false when the pool already existed —
+/// the signal ExecContext uses to count stats.pool_reuses.
+ThreadPool& SharedThreadPool(std::size_t min_threads, bool* created = nullptr);
+
+/// Joins and destroys the shared pool; the next SharedThreadPool call
+/// recreates it. Only for tests and sanitizer runs that must end with no
+/// live threads — callers must ensure no ExecContext borrowed from the
+/// current pool is still executing (or will execute) a parallel
+/// operation, and must not reuse such contexts afterwards.
+void ShutdownSharedThreadPool();
+
 /// Per-query execution counters, exposed on the context so callers can
 /// observe what the parallel engine actually did.
 struct ExecStats {
   /// Operations that ran the parallel partition/merge path.
   std::size_t parallel_runs = 0;
-  /// Operations that wanted to parallelize but were forced sequential by
-  /// the summarizability gate (Section 3.4 preconditions not met).
+  /// Operations that wanted to parallelize but ran sequentially anyway:
+  /// aggregate formation blocked by the summarizability gate (Section
+  /// 3.4 preconditions not met), or a Join/Timeslice whose input was
+  /// below min_parallel_facts.
   std::size_t sequential_fallbacks = 0;
   /// Hash partitions created, summed over parallel operations.
   std::size_t partitions = 0;
@@ -73,14 +95,24 @@ struct ExecStats {
   /// Time spent folding per-partition results into the final, ordered
   /// result, summed over parallel operations.
   std::uint64_t merge_nanos = 0;
+  /// Times this context attached to an already-running shared pool
+  /// instead of spawning workers (0 or 1 per context; > 0 summed across
+  /// the contexts of repeated queries means thread startup was paid only
+  /// once process-wide).
+  std::size_t pool_reuses = 0;
+  /// Identity-based joins that ran the parallel pair-partition path.
+  std::size_t join_parallel_runs = 0;
+  /// Timeslices that ran the parallel per-fact path.
+  std::size_t timeslice_parallel_runs = 0;
 };
 
-/// Execution context threaded through AggregateFormation,
-/// PreAggregateCache::Query/Materialize and relational::Aggregate. The
-/// default context (num_threads = 1) is exactly the sequential engine, so
-/// every caller that does not pass a context is unchanged. A context is
-/// owned by one query thread; the operators it is passed to fan work out
-/// to the pool internally, but the context itself is not thread-safe.
+/// Execution context threaded through AggregateFormation, Join, the
+/// timeslice operators, PreAggregateCache::Query/Materialize,
+/// relational::Aggregate and mdql::Session::Execute. The default context
+/// (num_threads = 1) is exactly the sequential engine, so every caller
+/// that does not pass a context is unchanged. A context is owned by one
+/// query thread; the operators it is passed to fan work out to the
+/// shared pool internally, but the context itself is not thread-safe.
 struct ExecContext {
   ExecContext() = default;
   ExecContext(std::size_t threads, std::size_t min_facts)
@@ -100,13 +132,16 @@ struct ExecContext {
     return num_threads > 1 && input_size >= min_parallel_facts;
   }
 
-  /// The context's pool, created on first use with `num_threads` workers
-  /// and reused for the context's lifetime (changing num_threads after
-  /// the first parallel operation has no effect).
+  /// The pool the context's operators fan out to: the process-wide
+  /// shared pool, borrowed on first use and cached for the context's
+  /// lifetime. Attaching to a pool some earlier context already created
+  /// counts one stats.pool_reuses. Partition counts always follow
+  /// num_threads, never the borrowed pool's size, so results do not
+  /// depend on who created the pool first.
   ThreadPool& pool();
 
  private:
-  std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* borrowed_ = nullptr;
 };
 
 }  // namespace mddc

@@ -39,7 +39,10 @@ class PreAggregateCache {
   /// auto-built. `exec` (optional) is handed to AggregateFormation on
   /// base scans so misses run on the parallel engine; hit/rollup paths
   /// and the cache's bookkeeping — in particular every Stats counter —
-  /// are unaffected by it.
+  /// are unaffected by it. Contexts borrow the process-wide shared
+  /// ThreadPool (engine/executor.h), so repeated misses — even across
+  /// cache instances and fresh contexts — pay thread startup only once;
+  /// exec->stats.pool_reuses records the amortization.
   Result<MdObject> Query(const AggFunction& function,
                          const std::vector<CategoryTypeIndex>& grouping,
                          ExecContext* exec = nullptr);

@@ -161,11 +161,12 @@ Result<AggFunction> BuildAggFunction(const MdObject& mo, const AggRef& agg) {
 }
 
 Result<QueryResult> ExecuteSelect(const MdObject& source,
-                                  const SelectStatement& select) {
+                                  const SelectStatement& select,
+                                  ExecContext* exec) {
   MdObject mo = source;
   if (select.as_of.has_value()) {
     MDDC_ASSIGN_OR_RETURN(std::int64_t day, ParseDate(*select.as_of));
-    MDDC_ASSIGN_OR_RETURN(mo, ValidTimeslice(mo, day));
+    MDDC_ASSIGN_OR_RETURN(mo, ValidTimeslice(mo, day, exec));
   }
 
   QueryResult result;
@@ -198,7 +199,8 @@ Result<QueryResult> ExecuteSelect(const MdObject& source,
     MDDC_ASSIGN_OR_RETURN(AggFunction function,
                           BuildAggFunction(mo, select.aggregates[a]));
     MDDC_ASSIGN_OR_RETURN(std::vector<SqlRow> rows,
-                          SqlAggregate(mo, group_by, function));
+                          SqlAggregate(mo, group_by, function, kNowChronon,
+                                       exec));
     for (SqlRow& row : rows) {
       auto [it, inserted] = merged.try_emplace(
           row.group,
@@ -288,7 +290,8 @@ Result<const MdObject*> Session::Get(const std::string& name) const {
   return &it->second;
 }
 
-Result<QueryResult> Session::Execute(const std::string& query) {
+Result<QueryResult> Session::Execute(const std::string& query,
+                                     ExecContext* exec) {
   MDDC_ASSIGN_OR_RETURN(Statement statement, Parse(query));
   const std::string& mo_name = statement.select.has_value()
                                    ? statement.select->mo_name
@@ -299,7 +302,7 @@ Result<QueryResult> Session::Execute(const std::string& query) {
                                    "' is registered in this session"));
   }
   if (statement.select.has_value()) {
-    return ExecuteSelect(it->second, *statement.select);
+    return ExecuteSelect(it->second, *statement.select, exec);
   }
   return ExecuteShow(it->second, *statement.show);
 }

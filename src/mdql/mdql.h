@@ -9,6 +9,9 @@
 #include "core/md_object.h"
 
 namespace mddc {
+
+struct ExecContext;  // engine/executor.h
+
 namespace mdql {
 
 /// MDQL is a small textual query language over multidimensional objects,
@@ -57,8 +60,12 @@ class Session {
   /// Looks up a registered MO (e.g. for saving it to disk).
   Result<const MdObject*> Get(const std::string& name) const;
 
-  /// Parses, plans and executes one MDQL statement.
-  Result<QueryResult> Execute(const std::string& query);
+  /// Parses, plans and executes one MDQL statement. `exec` (optional) is
+  /// threaded through the plan — the ASOF valid-timeslice and the BY
+  /// aggregate formation — so query-language users reach the parallel
+  /// engine; the rendered result is identical with or without it.
+  Result<QueryResult> Execute(const std::string& query,
+                              ExecContext* exec = nullptr);
 
  private:
   std::map<std::string, MdObject> catalog_;

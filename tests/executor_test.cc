@@ -62,6 +62,53 @@ TEST(ExecContextTest, WantsParallelRespectsThresholds) {
   EXPECT_TRUE(parallel.WantsParallel(100));
 }
 
+// ---- Shared process-wide pool ---------------------------------------------
+
+TEST(SharedThreadPoolTest, FirstBorrowCreatesLaterBorrowsReuse) {
+  ShutdownSharedThreadPool();
+  bool created = false;
+  ThreadPool& first = SharedThreadPool(2, &created);
+  EXPECT_TRUE(created);
+  ThreadPool& second = SharedThreadPool(2, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(&first, &second);
+  // A later, larger request is served by the existing pool rather than
+  // respawning: correctness never depends on worker count.
+  ThreadPool& third = SharedThreadPool(16, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(&first, &third);
+}
+
+TEST(SharedThreadPoolTest, PoolSizeCoversAtLeastTheRequest) {
+  ShutdownSharedThreadPool();
+  ThreadPool& pool = SharedThreadPool(3);
+  EXPECT_GE(pool.size(), 3u);
+}
+
+TEST(SharedThreadPoolTest, ShutdownAllowsAFreshPool) {
+  ShutdownSharedThreadPool();
+  bool created = false;
+  SharedThreadPool(2, &created);
+  EXPECT_TRUE(created);
+  ShutdownSharedThreadPool();
+  SharedThreadPool(2, &created);
+  EXPECT_TRUE(created);
+}
+
+TEST(SharedThreadPoolTest, ContextsCountReusesNotCreations) {
+  ShutdownSharedThreadPool();
+  ExecContext creator(4, 1);
+  creator.pool();  // spawns the shared pool
+  EXPECT_EQ(creator.stats.pool_reuses, 0u);
+  creator.pool();  // second borrow from the same context is not a reuse
+  EXPECT_EQ(creator.stats.pool_reuses, 0u);
+
+  ExecContext borrower(4, 1);
+  borrower.pool();
+  EXPECT_EQ(borrower.stats.pool_reuses, 1u);
+  EXPECT_EQ(&creator.pool(), &borrower.pool());
+}
+
 // ---- Differential harness -------------------------------------------------
 
 RetailMo BuildRetail(std::uint32_t seed = 7, std::size_t purchases = 300) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "engine/executor.h"
 #include "mdql/mdql.h"
 #include "mdql/parser.h"
 #include "mdql/token.h"
@@ -222,6 +223,33 @@ TEST_F(MdqlSessionTest, MultipleAggregatesMerge) {
     EXPECT_NE(row[2], "-");
     EXPECT_NE(row[3], "-");
   }
+}
+
+TEST_F(MdqlSessionTest, ParallelContextRendersIdenticalResults) {
+  // The exec context reaches the ASOF timeslice and the BY aggregate
+  // formation; the rendered table must not depend on it.
+  const std::vector<std::string> queries = {
+      "SELECT SUM(Amount), AVG(Price) FROM sales BY Product.Category",
+      "SELECT COUNT FROM sales BY Store.Region",
+      "SELECT COUNT FROM patients ASOF '15/06/1975'",
+  };
+  for (const std::string& query : queries) {
+    auto sequential = session_.Execute(query);
+    ASSERT_TRUE(sequential.ok()) << query << ": " << sequential.status();
+    ExecContext ctx(8, /*min_facts=*/1);
+    auto parallel = session_.Execute(query, &ctx);
+    ASSERT_TRUE(parallel.ok()) << query << ": " << parallel.status();
+    EXPECT_EQ(parallel->ToString(), sequential->ToString()) << query;
+  }
+}
+
+TEST_F(MdqlSessionTest, ParallelContextCountersAdvance) {
+  // Retail is strict, so the BY aggregate really runs on the engine.
+  ExecContext ctx(4, /*min_facts=*/1);
+  auto result = session_.Execute(
+      "SELECT SUM(Amount) FROM sales BY Product.Category", &ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(ctx.stats.parallel_runs, 1u);
 }
 
 TEST_F(MdqlSessionTest, IllegalAggregationSurfaces) {

@@ -252,6 +252,36 @@ TEST(PreAggCacheTest, StatsIdenticalUnderParallelExecution) {
   EXPECT_GE(ctx.stats.parallel_runs, 1u);
 }
 
+TEST(PreAggCacheTest, FreshContextsAmortizeThreadStartupAcrossMisses) {
+  // Each miss below runs under a brand-new ExecContext, the natural
+  // shape of a query loop. Only the very first borrow may spawn the
+  // shared pool; every later context must reuse it, so repeated misses
+  // pay thread startup at most once per process.
+  RetailMo retail = BuildRetail();
+  PreAggregateCache cache(retail.mo);
+  SharedThreadPool(8);  // make "the pool already exists" explicit
+
+  // Pairwise-incomparable groupings (each lowers a different dimension),
+  // so every query really is a base-scan miss rather than a rollup hit.
+  const CategoryTypeIndex month =
+      *retail.mo.dimension(retail.date_dim).type().Find("Month");
+  const std::vector<std::vector<CategoryTypeIndex>> groupings = {
+      GroupingAt(retail.mo, retail.product_dim, retail.category),
+      GroupingAt(retail.mo, retail.store_dim, retail.city),
+      GroupingAt(retail.mo, retail.date_dim, month),
+  };
+  std::size_t reuses = 0;
+  for (const auto& grouping : groupings) {
+    ExecContext ctx(8, /*min_facts=*/1);
+    auto result =
+        cache.Query(AggFunction::Sum(retail.amount_dim), grouping, &ctx);
+    ASSERT_TRUE(result.ok()) << result.status();
+    reuses += ctx.stats.pool_reuses;
+  }
+  EXPECT_EQ(cache.stats().base_scans, groupings.size());
+  EXPECT_EQ(reuses, groupings.size());
+}
+
 TEST(PreAggCacheTest, StatsResetWorks) {
   RetailMo retail = BuildRetail(50);
   PreAggregateCache cache(retail.mo);
