@@ -1,89 +1,197 @@
-// Ablation for the paper's future-work item "efficient implementation
-// using special-purpose algorithms and data structures": the dimension's
-// memoized reachability closure versus recomputing containment per query.
-// Measures characterization, aggregate formation and property checks with
-// the memo on and off.
+// Three-way ablation for the paper's future-work item "efficient
+// implementation using special-purpose algorithms and data structures":
+// aggregate formation with
+//
+//   raw   — containment recomputed per query (memoization disabled),
+//   memo  — the dimension's memoized reachability closure, and
+//   index — the compiled rollup snapshot (engine/rollup_index.h), which
+//           falls back to the memo when the strictness gate fails;
+//
+// over a strict workload (retail: the flat table engages) and a
+// non-strict temporal one (clinical: the gate fails, proving fallback
+// parity). One-time bit-identity across all modes per workload, then a
+// stdout table and BENCH_closure_memo.json.
 //
 //   $ ./bench/bench_closure_memo
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "algebra/operators.h"
-#include "core/properties.h"
+#include "engine/executor.h"
+#include "io/serialize.h"
 #include "workload/clinical_generator.h"
+#include "workload/retail_generator.h"
 
 namespace {
 
 using namespace mddc;
 
-ClinicalMo BuildWorkload(std::size_t patients) {
-  ClinicalWorkloadParams params;
-  params.num_patients = patients;
-  params.num_groups = 4;
-  return std::move(
-             GenerateClinicalWorkload(params,
-                                      std::make_shared<FactRegistry>()))
-      .ValueOrDie();
+struct Case {
+  std::string workload;
+  MdObject mo;
+  AggregateSpec spec;
+};
+
+std::vector<CategoryTypeIndex> GroupingAt(const MdObject& mo,
+                                          std::size_t dim,
+                                          CategoryTypeIndex category) {
+  std::vector<CategoryTypeIndex> grouping;
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    grouping.push_back(i == dim ? category : mo.dimension(i).type().top());
+  }
+  return grouping;
 }
 
-void ConfigureMemo(const ClinicalMo& workload, bool enabled) {
-  for (std::size_t i = 0; i < workload.mo.dimension_count(); ++i) {
-    workload.mo.dimension(i).set_memoization_enabled(enabled);
+std::vector<Case> BuildCases() {
+  std::vector<Case> cases;
+  {
+    RetailWorkloadParams params;
+    params.num_purchases = 2000;
+    RetailMo retail = std::move(GenerateRetailWorkload(
+                                    params,
+                                    std::make_shared<FactRegistry>()))
+                          .ValueOrDie();
+    AggregateSpec spec{
+        AggFunction::SetCount(),
+        GroupingAt(retail.mo, retail.product_dim, retail.category),
+        ResultDimensionSpec::Auto(), kNowChronon,
+        /*enforce_aggregation_types=*/true};
+    cases.push_back({"retail_strict", std::move(retail.mo), spec});
+  }
+  {
+    ClinicalWorkloadParams params;
+    params.num_patients = 800;
+    params.num_groups = 4;
+    ClinicalMo clinical = std::move(GenerateClinicalWorkload(
+                                        params,
+                                        std::make_shared<FactRegistry>()))
+                              .ValueOrDie();
+    AggregateSpec spec{
+        AggFunction::SetCount(),
+        GroupingAt(clinical.mo, clinical.diagnosis_dim, clinical.group),
+        ResultDimensionSpec::Auto(), kNowChronon,
+        /*enforce_aggregation_types=*/true};
+    cases.push_back({"clinical_nonstrict", std::move(clinical.mo), spec});
+  }
+  return cases;
+}
+
+void ConfigureMemo(const MdObject& mo, bool enabled) {
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    mo.dimension(i).set_memoization_enabled(enabled);
   }
 }
 
-void BM_AggregateWithMemo(benchmark::State& state) {
-  ClinicalMo workload = BuildWorkload(static_cast<std::size_t>(
-      state.range(0)));
-  ConfigureMemo(workload, state.range(1) == 1);
-  AggregateSpec spec{AggFunction::SetCount(),
-                     {workload.group,
-                      workload.mo.dimension(1).type().top()},
-                     ResultDimensionSpec::Auto(),
-                     kNowChronon,
-                     true};
-  for (auto _ : state) {
-    if (state.range(1) == 0) {
-      // Off: also clear any warmth from previous iterations.
-      ConfigureMemo(workload, false);
-    }
-    auto result = AggregateFormation(workload.mo, spec);
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetLabel(state.range(1) == 1 ? "memo=on" : "memo=off");
-}
-BENCHMARK(BM_AggregateWithMemo)
-    ->Args({400, 0})
-    ->Args({400, 1})
-    ->Args({1600, 0})
-    ->Args({1600, 1});
+struct ModeRow {
+  std::string workload;
+  std::string mode;
+  double wall_ms = 0.0;
+  double speedup_vs_raw = 1.0;
+  std::size_t index_hits = 0;
+  std::size_t index_fallbacks = 0;
+  bool bit_identical = false;
+};
 
-void BM_CharacterizeAllWithMemo(benchmark::State& state) {
-  ClinicalMo workload = BuildWorkload(800);
-  ConfigureMemo(workload, state.range(0) == 1);
-  for (auto _ : state) {
-    if (state.range(0) == 0) ConfigureMemo(workload, false);
-    std::size_t total = 0;
-    for (FactId fact : workload.mo.facts()) {
-      total += workload.mo.CharacterizedBy(fact, 0).size();
-    }
-    benchmark::DoNotOptimize(total);
+void WriteJson(const std::vector<ModeRow>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
   }
-  state.SetLabel(state.range(0) == 1 ? "memo=on" : "memo=off");
-}
-BENCHMARK(BM_CharacterizeAllWithMemo)->Arg(0)->Arg(1);
-
-void BM_StrictnessCheckWithMemo(benchmark::State& state) {
-  ClinicalMo workload = BuildWorkload(400);
-  ConfigureMemo(workload, state.range(0) == 1);
-  for (auto _ : state) {
-    if (state.range(0) == 0) ConfigureMemo(workload, false);
-    benchmark::DoNotOptimize(IsStrict(workload.mo.dimension(0)));
+  std::fprintf(out, "{\n  \"bench\": \"closure_memo\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ModeRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"workload\": \"%s\", \"mode\": \"%s\", "
+                 "\"wall_ms\": %.3f, \"speedup_vs_raw\": %.3f, "
+                 "\"index_hits\": %zu, \"index_fallbacks\": %zu, "
+                 "\"bit_identical\": %s}%s\n",
+                 r.workload.c_str(), r.mode.c_str(), r.wall_ms,
+                 r.speedup_vs_raw, r.index_hits, r.index_fallbacks,
+                 r.bit_identical ? "true" : "false",
+                 i + 1 == rows.size() ? "" : ",");
   }
-  state.SetLabel(state.range(0) == 1 ? "memo=on" : "memo=off");
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
 }
-BENCHMARK(BM_StrictnessCheckWithMemo)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  constexpr int kIterations = 5;
+  std::vector<ModeRow> rows;
+  std::printf("%20s %6s %10s %9s %6s %10s %6s\n", "workload", "mode",
+              "wall_ms", "speedup", "hits", "fallbacks", "ident");
+  for (Case& c : BuildCases()) {
+    // Ground truth once per workload: the memoized sequential engine.
+    ConfigureMemo(c.mo, true);
+    auto reference = AggregateFormation(c.mo, c.spec);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "aggregate failed: %s\n",
+                   reference.status().ToString().c_str());
+      return 1;
+    }
+    const std::string reference_bytes =
+        std::move(io::WriteMo(*reference)).ValueOrDie();
+
+    double raw_ms = 0.0;
+    for (const std::string& mode : {std::string("raw"),
+                                    std::string("memo"),
+                                    std::string("index")}) {
+      ModeRow row;
+      row.workload = c.workload;
+      row.mode = mode;
+      ExecContext ctx(1, /*min_facts=*/1);
+      ExecContext* exec = mode == "index" ? &ctx : nullptr;
+      ConfigureMemo(c.mo, mode != "raw");
+
+      // Bit-identity, once per mode, before any timing.
+      {
+        auto result = AggregateFormation(c.mo, c.spec, exec);
+        row.bit_identical =
+            result.ok() && std::move(io::WriteMo(*result)).ValueOrDie() ==
+                               reference_bytes;
+        if (!row.bit_identical) {
+          std::fprintf(stderr, "FATAL: %s/%s not bit-identical\n",
+                       c.workload.c_str(), mode.c_str());
+          return 1;
+        }
+      }
+
+      double best = 1e300;
+      for (int i = 0; i < kIterations; ++i) {
+        // Raw must not profit from warmth left by a previous iteration.
+        if (mode == "raw") ConfigureMemo(c.mo, false);
+        auto start = std::chrono::steady_clock::now();
+        auto result = AggregateFormation(c.mo, c.spec, exec);
+        auto stop = std::chrono::steady_clock::now();
+        if (!result.ok()) {
+          std::fprintf(stderr, "aggregate failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        double ms = std::chrono::duration<double, std::milli>(stop - start)
+                        .count();
+        if (ms < best) best = ms;
+      }
+      row.wall_ms = best;
+      if (mode == "raw") raw_ms = best;
+      row.speedup_vs_raw = best > 0.0 ? raw_ms / best : 1.0;
+      row.index_hits = ctx.stats.index_hits;
+      row.index_fallbacks = ctx.stats.index_fallbacks;
+      rows.push_back(row);
+      std::printf("%20s %6s %10.3f %9.2f %6zu %10zu %6s\n",
+                  row.workload.c_str(), row.mode.c_str(), row.wall_ms,
+                  row.speedup_vs_raw, row.index_hits, row.index_fallbacks,
+                  row.bit_identical ? "yes" : "NO");
+      ConfigureMemo(c.mo, true);
+    }
+  }
+  WriteJson(rows, "BENCH_closure_memo.json");
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "core/properties.h"
 #include "engine/executor.h"
+#include "engine/rollup_index.h"
 
 namespace mddc {
 namespace {
@@ -283,11 +284,19 @@ Result<MdObject> Join(const MdObject& m1, const MdObject& m2,
     // Warm the lazily written closure memos of every operand dimension so
     // the fan-out (and any concurrent reader of the operands) only ever
     // reads — the same pure-read discipline aggregate formation follows.
+    // Compiling the rollup snapshot here rides on the same pass: the
+    // result MO copies the operand dimensions, and copies share the
+    // snapshot slot, so downstream aggregates over the join output start
+    // with the index already built.
     for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
       m1.dimension(i).WarmClosureMemo();
+      (void)RollupIndex::For(m1.dimension(i), &exec->stats);
+      ++exec->stats.index_hits;
     }
     for (std::size_t j = 0; j < m2.dimension_count(); ++j) {
       m2.dimension(j).WarmClosureMemo();
+      (void)RollupIndex::For(m2.dimension(j), &exec->stats);
+      ++exec->stats.index_hits;
     }
     const std::size_t num_partitions = exec->num_threads;
     exec->pool().ParallelFor(num_partitions, [&](std::size_t p) {
@@ -334,9 +343,10 @@ Result<MdObject> Join(const MdObject& m1, const MdObject& m2,
     FactDimRelation& target = result.relation_mutable(d);
     for (const auto& [pair, members] : pairs) {
       const FactId member = d < n1 ? members.first : members.second;
-      for (const FactDimRelation::Entry* entry : source.ForFact(member)) {
+      for (std::size_t e : source.EntryIndexesForFact(member)) {
+        const FactDimRelation::Entry& entry = source.entries()[e];
         MDDC_RETURN_NOT_OK(
-            target.Add(pair, entry->value, entry->life, entry->prob));
+            target.Add(pair, entry.value, entry.life, entry.prob));
       }
     }
     return Status::OK();
@@ -403,8 +413,21 @@ struct Coordinate {
 /// The fact's coordinates in every grouping category, or nullopt when
 /// some dimension has none (the fact then joins no group). Read-only on
 /// the MO (given warmed closure memos), so facts fan out in parallel.
+///
+/// `indexes` (empty, or one slot per dimension) carries compiled rollup
+/// snapshots whose flat table replaces the full characterization scan:
+/// per relation entry, the unique ancestor at the grouping category is
+/// one array lookup. Under the snapshot's gate every closure lifespan is
+/// Always, so the coordinate lifespan is the entry lifespan and the
+/// probability the entry probability times the closure probability —
+/// accumulated per coordinate value in entry order with the same
+/// union/noisy-or CharacterizedBy applies, and emitted in ascending
+/// ValueId order like the filtered characterization list. The two paths
+/// are therefore bit-identical; dimensions without a usable snapshot
+/// take the memoized path.
 std::optional<std::vector<std::vector<Coordinate>>> GroupingCoordinates(
-    const MdObject& mo, const AggregateSpec& spec, FactId fact) {
+    const MdObject& mo, const AggregateSpec& spec, FactId fact,
+    const std::vector<std::shared_ptr<const RollupIndex>>& indexes) {
   const std::size_t n = mo.dimension_count();
   std::vector<std::vector<Coordinate>> per_dim(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -414,11 +437,39 @@ std::optional<std::vector<std::vector<Coordinate>>> GroupingCoordinates(
           Coordinate{dimension.top_value(), Lifespan::AlwaysSpan(), 1.0});
       continue;
     }
-    for (const MdObject::Characterization& c :
-         mo.CharacterizedBy(fact, i, spec.prob_at)) {
-      auto category = dimension.CategoryOf(c.value);
-      if (category.ok() && *category == spec.grouping[i]) {
-        per_dim[i].push_back(Coordinate{c.value, c.life, c.prob});
+    if (i < indexes.size() && indexes[i] != nullptr) {
+      const RollupIndex& index = *indexes[i];
+      const FactDimRelation& relation = mo.relation(i);
+      std::map<ValueId, Coordinate> accumulated;
+      for (std::size_t e : relation.EntryIndexesForFact(fact)) {
+        const FactDimRelation::Entry& entry = relation.entries()[e];
+        const std::uint32_t dense = index.DenseOf(entry.value);
+        if (dense == RollupIndex::kNone) continue;
+        const std::uint32_t ancestor =
+            index.AncestorAt(dense, spec.grouping[i]);
+        if (ancestor == RollupIndex::kNone) continue;
+        const double prob =
+            entry.prob * index.AncestorProbAt(dense, spec.grouping[i]);
+        const ValueId value = index.ValueOf(ancestor);
+        auto [it, inserted] = accumulated.try_emplace(
+            value, Coordinate{value, entry.life, prob});
+        if (!inserted) {
+          it->second.life = it->second.life.Union(entry.life);
+          it->second.prob =
+              1.0 - (1.0 - it->second.prob) * (1.0 - prob);
+        }
+      }
+      for (auto& [value, coordinate] : accumulated) {
+        (void)value;
+        per_dim[i].push_back(std::move(coordinate));
+      }
+    } else {
+      for (const MdObject::Characterization& c :
+           mo.CharacterizedBy(fact, i, spec.prob_at)) {
+        auto category = dimension.CategoryOf(c.value);
+        if (category.ok() && *category == spec.grouping[i]) {
+          per_dim[i].push_back(Coordinate{c.value, c.life, c.prob});
+        }
       }
     }
     if (per_dim[i].empty()) return std::nullopt;
@@ -537,14 +588,15 @@ Result<GroupEval> EvaluateGroup(const MdObject& mo, const AggregateSpec& spec,
   Lifespan result_life = Lifespan::AlwaysSpan();
   for (std::size_t dim : spec.function.args()) {
     if (dim >= n) continue;
+    const FactDimRelation& relation = mo.relation(dim);
     for (FactId member : group.members) {
       TemporalElement member_valid;
       TemporalElement member_transaction;
-      for (const FactDimRelation::Entry* entry :
-           mo.relation(dim).ForFact(member)) {
-        member_valid = member_valid.Union(entry->life.valid);
+      for (std::size_t e : relation.EntryIndexesForFact(member)) {
+        const FactDimRelation::Entry& entry = relation.entries()[e];
+        member_valid = member_valid.Union(entry.life.valid);
         member_transaction =
-            member_transaction.Union(entry->life.transaction);
+            member_transaction.Union(entry.life.transaction);
       }
       result_life =
           result_life.Intersect(Lifespan{member_valid, member_transaction});
@@ -598,6 +650,28 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
     parallel = false;
   }
 
+  // 0. Compiled rollup snapshots for the grouping dimensions. Any caller
+  //    with an execution context gets the indexed path (one thread
+  //    included); callers without one keep the untouched memoized engine
+  //    as ground truth. A dimension whose snapshot fails the
+  //    strictness/non-temporal gate falls back to traversal — results
+  //    are bit-identical either way, only the walk differs.
+  std::vector<std::shared_ptr<const RollupIndex>> indexes;
+  if (exec != nullptr) {
+    indexes.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (spec.grouping[i] == mo.dimension(i).type().top()) continue;
+      std::shared_ptr<const RollupIndex> index =
+          RollupIndex::For(mo.dimension(i), &exec->stats);
+      if (index->has_flat_table()) {
+        indexes[i] = std::move(index);
+        ++exec->stats.index_hits;
+      } else {
+        ++exec->stats.index_fallbacks;
+      }
+    }
+  }
+
   // 1. Grouping coordinates per fact, in fact order.
   std::vector<std::optional<std::vector<std::vector<Coordinate>>>> coords(
       facts.size());
@@ -610,13 +684,13 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
       const std::size_t begin = chunk * facts.size() / chunks;
       const std::size_t end = (chunk + 1) * facts.size() / chunks;
       for (std::size_t f = begin; f < end; ++f) {
-        coords[f] = GroupingCoordinates(mo, spec, facts[f]);
+        coords[f] = GroupingCoordinates(mo, spec, facts[f], indexes);
       }
     });
     exec->stats.tasks += chunks;
   } else {
     for (std::size_t f = 0; f < facts.size(); ++f) {
-      coords[f] = GroupingCoordinates(mo, spec, facts[f]);
+      coords[f] = GroupingCoordinates(mo, spec, facts[f], indexes);
     }
   }
 
@@ -752,26 +826,20 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
   MdObject result(StrCat("Set-of-", mo.schema().fact_type()),
                   std::move(dimensions), mo.registry(), mo.temporal_type());
 
-  // 5. Evaluate g per group and populate facts and relations.
+  // 5. Populate facts and relations from the step-3 evaluations: the
+  //    groups iterate in the same key order as group_ptrs was built, so
+  //    evals[g] is this group's evaluation (members already canonically
+  //    sorted by EvaluateGroup) — g(group) and the result lifespan are
+  //    not recomputed here.
   FactRegistry& registry = *mo.registry();
   Dimension& out_result_dim = result.dimension_mutable(n);
   std::map<std::string, ValueId> auto_values;  // keyed by formatted result
+  std::size_t group_index = 0;
   for (auto& [key, group] : groups) {
-    // member_probs was built in member order; capture the expectation
-    // before members are sorted for canonical set identity.
-    double expected = 0.0;
-    for (double p : group.member_probs) expected += p;
-    std::sort(group.members.begin(), group.members.end());
+    const GroupEval& eval = evals[group_index++];
     FactId group_fact = registry.Set(group.members);
     MDDC_RETURN_NOT_OK(result.AddFact(group_fact));
-    double value;
-    if (spec.expected_counts &&
-        spec.function.kind() == AggregateFunctionKind::kSetCount) {
-      value = expected;
-    } else {
-      MDDC_ASSIGN_OR_RETURN(
-          value, spec.function.Evaluate(mo, group.members, spec.prob_at));
-    }
+    const double value = eval.value;
 
     // Argument-dimension relations: group fact -> grouping value.
     for (std::size_t i = 0; i < n; ++i) {
@@ -786,26 +854,9 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
           group_fact, key[i], life, group.prob_per_dim[i]));
     }
 
-    // Result-dimension relation: group fact -> g(group). Per the Section
-    // 4.2 rule, the time is the intersection over the group's members and
-    // g's argument dimensions of the times the member was related to its
-    // data (Always for argument-less functions such as set-count).
-    Lifespan result_life = Lifespan::AlwaysSpan();
-    for (std::size_t dim : spec.function.args()) {
-      if (dim >= n) continue;
-      for (FactId member : group.members) {
-        TemporalElement member_valid;
-        TemporalElement member_transaction;
-        for (const FactDimRelation::Entry* entry :
-             mo.relation(dim).ForFact(member)) {
-          member_valid = member_valid.Union(entry->life.valid);
-          member_transaction =
-              member_transaction.Union(entry->life.transaction);
-        }
-        result_life = result_life.Intersect(
-            Lifespan{member_valid, member_transaction});
-      }
-    }
+    // Result-dimension relation: group fact -> g(group), at the Section
+    // 4.2 result lifespan EvaluateGroup computed.
+    Lifespan result_life = eval.result_life;
     ValueId result_value;
     if (spec.result.is_auto()) {
       std::string formatted = FormatDouble(value);

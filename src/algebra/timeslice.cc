@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "engine/executor.h"
+#include "engine/rollup_index.h"
 
 namespace mddc {
 namespace {
@@ -27,17 +28,36 @@ Lifespan Residual(const Lifespan& life, Axis axis) {
   return result;
 }
 
+/// `index` (nullable) is a compiled snapshot of `dimension`: the value
+/// scan then walks the dense value/category/membership arrays — laid out
+/// in the same ascending-ValueId order AllValues() iterates — instead of
+/// paying two map lookups per value. Every other step (edge scan in
+/// insertion order, representation carry-over) is shared, so the sliced
+/// dimension is bit-identical with or without the snapshot.
 Result<Dimension> TimesliceDimension(const Dimension& dimension, Chronon t,
-                                     Axis axis) {
+                                     Axis axis,
+                                     const RollupIndex* index = nullptr) {
   Dimension result(dimension.type_ptr());
-  for (ValueId value : dimension.AllValues()) {
-    if (value == dimension.top_value()) continue;
-    MDDC_ASSIGN_OR_RETURN(Lifespan membership, dimension.MembershipOf(value));
-    if (!Component(membership, axis).Contains(t)) continue;
-    MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category,
-                          dimension.CategoryOf(value));
-    MDDC_RETURN_NOT_OK(
-        result.AddValue(category, value, Residual(membership, axis)));
+  if (index != nullptr) {
+    for (std::uint32_t d = 0; d < index->value_count(); ++d) {
+      if (d == index->top_dense()) continue;
+      const Lifespan& membership = index->MembershipOfDense(d);
+      if (!Component(membership, axis).Contains(t)) continue;
+      MDDC_RETURN_NOT_OK(result.AddValue(index->CategoryOfDense(d),
+                                         index->ValueOf(d),
+                                         Residual(membership, axis)));
+    }
+  } else {
+    for (ValueId value : dimension.AllValues()) {
+      if (value == dimension.top_value()) continue;
+      MDDC_ASSIGN_OR_RETURN(Lifespan membership,
+                            dimension.MembershipOf(value));
+      if (!Component(membership, axis).Contains(t)) continue;
+      MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category,
+                            dimension.CategoryOf(value));
+      MDDC_RETURN_NOT_OK(
+          result.AddValue(category, value, Residual(membership, axis)));
+    }
   }
   for (const Dimension::Edge& edge : dimension.edges()) {
     if (!Component(edge.life, axis).Contains(t)) continue;
@@ -50,7 +70,7 @@ Result<Dimension> TimesliceDimension(const Dimension& dimension, Chronon t,
   for (const auto& [category, rep_name, rep] :
        dimension.AllRepresentations()) {
     Representation& target = result.RepresentationFor(category, rep_name);
-    for (ValueId value : dimension.ValuesIn(category)) {
+    for (ValueId value : dimension.ValuesInView(category)) {
       if (!result.HasValue(value)) continue;
       for (const auto& [text, life] : rep->GetAll(value)) {
         if (!Component(life, axis).Contains(t)) continue;
@@ -82,6 +102,19 @@ Result<MdObject> Timeslice(const MdObject& mo, Chronon t, Axis axis,
     for (std::size_t i = 0; i < n; ++i) mo.dimension(i).WarmClosureMemo();
   }
 
+  // Compiled snapshots for the dense value scan. Obtained on the query
+  // thread — For() may write the snapshot slot — so the fan-out below
+  // only reads them. The dense path needs no strictness gate (it uses
+  // only the value/category/membership arrays), so any context-carrying
+  // caller takes it, sequential included.
+  std::vector<std::shared_ptr<const RollupIndex>> indexes(n);
+  if (exec != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      indexes[i] = RollupIndex::For(mo.dimension(i), &exec->stats);
+      ++exec->stats.index_hits;
+    }
+  }
+
   // 1. Slice the dimensions, one independent result slot each; the first
   //    error in dimension order — the one the sequential loop would hit —
   //    is returned.
@@ -90,7 +123,8 @@ Result<MdObject> Timeslice(const MdObject& mo, Chronon t, Axis axis,
   if (parallel) {
     std::vector<std::optional<Result<Dimension>>> slots(n);
     exec->pool().ParallelFor(n, [&](std::size_t i) {
-      slots[i].emplace(TimesliceDimension(mo.dimension(i), t, axis));
+      slots[i].emplace(
+          TimesliceDimension(mo.dimension(i), t, axis, indexes[i].get()));
     });
     exec->stats.tasks += n;
     for (std::size_t i = 0; i < n; ++i) {
@@ -99,8 +133,9 @@ Result<MdObject> Timeslice(const MdObject& mo, Chronon t, Axis axis,
     }
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      MDDC_ASSIGN_OR_RETURN(Dimension sliced,
-                            TimesliceDimension(mo.dimension(i), t, axis));
+      MDDC_ASSIGN_OR_RETURN(
+          Dimension sliced,
+          TimesliceDimension(mo.dimension(i), t, axis, indexes[i].get()));
       dimensions.push_back(std::move(sliced));
     }
   }

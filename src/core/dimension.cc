@@ -13,6 +13,12 @@ namespace {
 /// correct.
 constexpr std::uint64_t kTopValueRawId = std::uint64_t{1} << 63;
 
+// Shared empty results for the reference-returning accessors, so lookups
+// of unknown values need no per-call allocation.
+const std::vector<std::size_t> kNoEdgeIndexes;
+const std::vector<ValueId> kNoValues;
+const std::vector<Dimension::Containment> kNoContainments;
+
 }  // namespace
 
 Dimension::Dimension(std::shared_ptr<const DimensionType> type)
@@ -49,6 +55,9 @@ Status Dimension::AddValue(CategoryTypeIndex category, ValueId id,
   values_[id] = ValueInfo{category, membership};
   members_by_category_[category].push_back(id);
   next_auto_id_ = std::max(next_auto_id_, id.raw() + 1);
+  // A fresh value has no edges, so memoized closures of other values stay
+  // valid — but compiled snapshots cover the value set and must rebuild.
+  ++version_;
   return Status::OK();
 }
 
@@ -98,8 +107,7 @@ Status Dimension::AddOrder(ValueId child, ValueId parent,
                    prob));
       }
       edge.life = edge.life.Union(life);
-      up_memo_.clear();
-      down_memo_.clear();
+      InvalidateClosures();
       return Status::OK();
     }
   }
@@ -107,9 +115,15 @@ Status Dimension::AddOrder(ValueId child, ValueId parent,
   edges_by_parent_[parent].push_back(edges_.size());
   edges_.push_back(Edge{child, parent, life, prob});
   // Reachability changed: drop the memoized closure.
+  InvalidateClosures();
+  return Status::OK();
+}
+
+void Dimension::InvalidateClosures() {
   up_memo_.clear();
   down_memo_.clear();
-  return Status::OK();
+  anc_memo_.clear();
+  ++version_;
 }
 
 Representation& Dimension::RepresentationFor(CategoryTypeIndex category,
@@ -220,7 +234,7 @@ double Dimension::ContainmentProbAt(ValueId e1, ValueId e2,
   return 0.0;
 }
 
-std::vector<Dimension::Containment> Dimension::Ancestors(
+std::vector<Dimension::Containment> Dimension::ComputeAncestors(
     ValueId e, Chronon prob_at) const {
   std::vector<Containment> result = Reach(e, /*upward=*/true, prob_at);
   // Top containment is unconditional; ensure it is present with full span.
@@ -238,12 +252,31 @@ std::vector<Dimension::Containment> Dimension::Ancestors(
   return result;
 }
 
+std::vector<Dimension::Containment> Dimension::Ancestors(
+    ValueId e, Chronon prob_at) const {
+  return AncestorsView(e, prob_at);
+}
+
+const std::vector<Dimension::Containment>& Dimension::AncestorsView(
+    ValueId e, Chronon prob_at) const {
+  if (!HasValue(e)) return kNoContainments;
+  if (memo_enabled_) {
+    auto it = anc_memo_.find(e);
+    if (it == anc_memo_.end()) {
+      it = anc_memo_.emplace(e, ComputeAncestors(e, prob_at)).first;
+    }
+    return it->second;
+  }
+  anc_scratch_ = ComputeAncestors(e, prob_at);
+  return anc_scratch_;
+}
+
 std::vector<Dimension::Containment> Dimension::AncestorsIn(
     ValueId e, CategoryTypeIndex category, Chronon prob_at) const {
   std::vector<Containment> result;
-  for (Containment& c : Ancestors(e, prob_at)) {
+  for (const Containment& c : AncestorsView(e, prob_at)) {
     auto cat = CategoryOf(c.value);
-    if (cat.ok() && *cat == category) result.push_back(std::move(c));
+    if (cat.ok() && *cat == category) result.push_back(c);
   }
   return result;
 }
@@ -290,18 +323,43 @@ std::vector<const Dimension::Edge*> Dimension::EdgesToParent(
   return result;
 }
 
-std::vector<Dimension::Containment> Dimension::Reach(ValueId start,
-                                                     bool upward,
-                                                     Chronon prob_at) const {
-  (void)prob_at;  // probabilities are atemporal; kept for API stability
-  std::vector<Containment> result;
-  if (!HasValue(start)) return result;
+const std::vector<std::size_t>& Dimension::EdgeIndexesFromChild(
+    ValueId id) const {
+  auto it = edges_by_child_.find(id);
+  return it == edges_by_child_.end() ? kNoEdgeIndexes : it->second;
+}
 
+const std::vector<std::size_t>& Dimension::EdgeIndexesToParent(
+    ValueId id) const {
+  auto it = edges_by_parent_.find(id);
+  return it == edges_by_parent_.end() ? kNoEdgeIndexes : it->second;
+}
+
+const std::vector<ValueId>& Dimension::ValuesInView(
+    CategoryTypeIndex category) const {
+  if (category >= members_by_category_.size()) return kNoValues;
+  return members_by_category_[category];
+}
+
+const std::vector<Dimension::Containment>& Dimension::Reach(
+    ValueId start, bool upward, Chronon prob_at) const {
+  (void)prob_at;  // probabilities are atemporal; kept for API stability
+  if (!HasValue(start)) return kNoContainments;
   if (memo_enabled_) {
     auto& memo = upward ? up_memo_ : down_memo_;
     auto it = memo.find(start);
-    if (it != memo.end()) return it->second;
+    if (it == memo.end()) {
+      it = memo.emplace(start, ComputeReach(start, upward)).first;
+    }
+    return it->second;
   }
+  reach_scratch_ = ComputeReach(start, upward);
+  return reach_scratch_;
+}
+
+std::vector<Dimension::Containment> Dimension::ComputeReach(
+    ValueId start, bool upward) const {
+  std::vector<Containment> result;
 
   const auto& forward = upward ? edges_by_child_ : edges_by_parent_;
 
@@ -380,10 +438,6 @@ std::vector<Dimension::Containment> Dimension::Reach(ValueId start,
     double p = prob.count(value) != 0 ? prob[value] : 0.0;
     result.push_back(Containment{value, life, p});
   }
-  if (memo_enabled_) {
-    auto& memo = upward ? up_memo_ : down_memo_;
-    memo.emplace(start, result);
-  }
   return result;
 }
 
@@ -393,6 +447,9 @@ void Dimension::WarmClosureMemo() const {
     (void)info;
     (void)Reach(id, /*upward=*/true, kNowChronon);
     (void)Reach(id, /*upward=*/false, kNowChronon);
+    // The ancestor view keeps its own memo (post-fixup form); warm it too
+    // so concurrent readers after the warm-up stay pure reads.
+    (void)AncestorsView(id, kNowChronon);
   }
 }
 
@@ -418,6 +475,9 @@ Result<Dimension> Dimension::UnionWith(const Dimension& a,
                    "' in the other"));
       }
       it->second.membership = it->second.membership.Union(info.membership);
+      // Direct membership mutation: compiled snapshots of `result` (shared
+      // with `a` by the copy above) must not survive it.
+      ++result.version_;
     }
   }
   for (const Edge& edge : b.edges_) {

@@ -1,6 +1,7 @@
 #ifndef MDDC_CORE_DIMENSION_H_
 #define MDDC_CORE_DIMENSION_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -141,6 +142,14 @@ class Dimension {
   std::vector<Containment> Ancestors(ValueId e,
                                      Chronon prob_at = kNowChronon) const;
 
+  /// Read-only view of Ancestors(e): identical contents, but memo-backed
+  /// so repeated queries on the closure hot path (characterization,
+  /// aggregate formation, property checks) pay no per-call vector copy.
+  /// The reference is invalidated by any mutation of this dimension and —
+  /// when memoization is disabled — by the next AncestorsView call.
+  const std::vector<Containment>& AncestorsView(
+      ValueId e, Chronon prob_at = kNowChronon) const;
+
   /// Ancestors restricted to one category.
   std::vector<Containment> AncestorsIn(ValueId e, CategoryTypeIndex category,
                                        Chronon prob_at = kNowChronon) const;
@@ -159,6 +168,39 @@ class Dimension {
   /// Indices into edges() of edges whose child / parent is `id`.
   std::vector<const Edge*> EdgesFromChild(ValueId id) const;
   std::vector<const Edge*> EdgesToParent(ValueId id) const;
+
+  /// No-copy variants of the above for read-only hot loops: indices into
+  /// edges() (empty when the value has none).
+  const std::vector<std::size_t>& EdgeIndexesFromChild(ValueId id) const;
+  const std::vector<std::size_t>& EdgeIndexesToParent(ValueId id) const;
+
+  /// No-copy variant of ValuesIn for read-only hot loops. The reference
+  /// is invalidated by AddValue into the same category.
+  const std::vector<ValueId>& ValuesInView(CategoryTypeIndex category) const;
+
+  // ---- Compiled snapshots -------------------------------------------------
+
+  /// Monotonically increasing structural version: bumped by every
+  /// mutation that can change the value set, a membership, or the partial
+  /// order (AddValue, AddOrder — including lifespan coalescing of a
+  /// repeated edge — and the membership unions of dimension union).
+  /// Compiled rollup snapshots (engine/rollup_index.h) record the version
+  /// they were built at and are rejected once it moves.
+  std::uint64_t version() const { return version_; }
+
+  /// Opaque slot holding this dimension's compiled rollup snapshot. The
+  /// core layer stores the pointer without knowing its concrete type (the
+  /// engine layer owns the format); copies of the dimension share the
+  /// snapshot, which is sound because a copy has identical contents and
+  /// version, and any later mutation bumps only the mutated object's
+  /// version. Access is reserved to RollupIndex::For, which serializes
+  /// slot readers and writers process-wide; do not touch it directly.
+  const std::shared_ptr<const void>& compiled_snapshot_slot() const {
+    return compiled_snapshot_;
+  }
+  void set_compiled_snapshot_slot(std::shared_ptr<const void> snapshot) const {
+    compiled_snapshot_ = std::move(snapshot);
+  }
 
   // ---- Algebra support ----------------------------------------------------
 
@@ -202,6 +244,7 @@ class Dimension {
     if (!enabled) {
       up_memo_.clear();
       down_memo_.clear();
+      anc_memo_.clear();
     }
   }
   bool memoization_enabled() const { return memo_enabled_; }
@@ -223,9 +266,24 @@ class Dimension {
   };
 
   /// Upward (or downward) reachability with lifespan union across paths
-  /// and probability DP, shared by Ancestors/Descendants.
-  std::vector<Containment> Reach(ValueId start, bool upward,
-                                 Chronon prob_at) const;
+  /// and probability DP, shared by Ancestors/Descendants. The raw
+  /// algorithm; no memo involvement.
+  std::vector<Containment> ComputeReach(ValueId start, bool upward) const;
+
+  /// Ancestors with the unconditional top fix-up applied; the raw form
+  /// backing both Ancestors (by value) and AncestorsView (memo-backed).
+  std::vector<Containment> ComputeAncestors(ValueId e, Chronon prob_at) const;
+
+  /// Drops every memoized closure and bumps the structural version; called
+  /// by mutations that change the partial order.
+  void InvalidateClosures();
+
+  /// Memo-backed reference form of ComputeReach: a memo hit (or fill)
+  /// returns a reference into the memo instead of copying the closure
+  /// vector on every containment query. With memoization disabled the
+  /// result lives in a scratch buffer overwritten by the next call.
+  const std::vector<Containment>& Reach(ValueId start, bool upward,
+                                        Chronon prob_at) const;
 
   std::shared_ptr<const DimensionType> type_;
   ValueId top_value_;
@@ -237,13 +295,23 @@ class Dimension {
   std::map<std::pair<CategoryTypeIndex, std::string>, Representation>
       representations_;
   std::uint64_t next_auto_id_ = 0;
+  std::uint64_t version_ = 0;
 
   // Reachability memo (see set_memoization_enabled). Mutable: queries are
   // logically const. Not thread-safe; external synchronization required
-  // for concurrent readers that might warm the cache.
+  // for concurrent readers that might warm the cache. anc_memo_ holds
+  // the post-fixup Ancestors results backing AncestorsView; the scratch
+  // buffers back the reference-returning accessors when memoization is
+  // off (benchmark mode; not safe for concurrent readers).
   mutable bool memo_enabled_ = true;
   mutable std::map<ValueId, std::vector<Containment>> up_memo_;
   mutable std::map<ValueId, std::vector<Containment>> down_memo_;
+  mutable std::map<ValueId, std::vector<Containment>> anc_memo_;
+  mutable std::vector<Containment> reach_scratch_;
+  mutable std::vector<Containment> anc_scratch_;
+
+  // Compiled rollup snapshot (see compiled_snapshot_slot).
+  mutable std::shared_ptr<const void> compiled_snapshot_;
 };
 
 }  // namespace mddc

@@ -86,6 +86,22 @@ std::vector<const FactDimRelation::Entry*> FactDimRelation::ForValue(
   return result;
 }
 
+namespace {
+const std::vector<std::size_t> kNoEntryIndexes;
+}  // namespace
+
+const std::vector<std::size_t>& FactDimRelation::EntryIndexesForFact(
+    FactId fact) const {
+  auto it = by_fact_.find(fact);
+  return it == by_fact_.end() ? kNoEntryIndexes : it->second;
+}
+
+const std::vector<std::size_t>& FactDimRelation::EntryIndexesForValue(
+    ValueId value) const {
+  auto it = by_value_.find(value);
+  return it == by_value_.end() ? kNoEntryIndexes : it->second;
+}
+
 bool FactDimRelation::HasFact(FactId fact) const {
   return by_fact_.count(fact) != 0;
 }

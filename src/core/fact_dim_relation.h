@@ -52,6 +52,12 @@ class FactDimRelation {
   /// The pairs for one dimension value.
   std::vector<const Entry*> ForValue(ValueId value) const;
 
+  /// No-copy variants of the above for read-only hot loops: indices into
+  /// entries() (empty when the fact/value has no pairs). Invalidated by
+  /// Add and RestrictToFacts.
+  const std::vector<std::size_t>& EntryIndexesForFact(FactId fact) const;
+  const std::vector<std::size_t>& EntryIndexesForValue(ValueId value) const;
+
   /// True iff some pair references `fact`.
   bool HasFact(FactId fact) const;
 

@@ -105,21 +105,23 @@ std::vector<MdObject::Characterization> MdObject::CharacterizedBy(
     }
   };
 
-  for (const FactDimRelation::Entry* entry : relations_[dim].ForFact(fact)) {
+  const FactDimRelation& relation = relations_[dim];
+  for (std::size_t index : relation.EntryIndexesForFact(fact)) {
+    const FactDimRelation::Entry& entry = relation.entries()[index];
     // The directly related value characterizes the fact...
-    accumulate(entry->value, entry->value, entry->life, entry->prob);
+    accumulate(entry.value, entry.value, entry.life, entry.prob);
     // ...and so does everything containing it.
     for (const Dimension::Containment& c :
-         dimension.Ancestors(entry->value, prob_at)) {
+         dimension.AncestorsView(entry.value, prob_at)) {
       if (c.value == dimension.top_value()) continue;
-      accumulate(entry->value, c.value, entry->life.Intersect(c.life),
-                 entry->prob * c.prob);
+      accumulate(entry.value, c.value, entry.life.Intersect(c.life),
+                 entry.prob * c.prob);
     }
   }
   // Characterization by the top value is unconditional: the fact is
   // certainly *somewhere* in the dimension (the paper's no-missing-values
   // rule guarantees a pair exists).
-  if (!relations_[dim].ForFact(fact).empty()) {
+  if (!relation.EntryIndexesForFact(fact).empty()) {
     accumulated.erase(dimension.top_value());
     accumulate(dimension.top_value(), dimension.top_value(),
                Lifespan::AlwaysSpan(), 1.0);
@@ -173,14 +175,15 @@ std::vector<std::pair<FactId, MdObject::Characterization>> MdObject::FactsWith(
     }
   };
 
-  for (const FactDimRelation::Entry* entry : relations_[dim].ForValue(value)) {
-    accumulate(*entry, Lifespan::AlwaysSpan(), 1.0);
+  const FactDimRelation& relation = relations_[dim];
+  for (std::size_t index : relation.EntryIndexesForValue(value)) {
+    accumulate(relation.entries()[index], Lifespan::AlwaysSpan(), 1.0);
   }
   for (const Dimension::Containment& descendant :
        dimension.Descendants(value, prob_at)) {
-    for (const FactDimRelation::Entry* entry :
-         relations_[dim].ForValue(descendant.value)) {
-      accumulate(*entry, descendant.life, descendant.prob);
+    for (std::size_t index :
+         relation.EntryIndexesForValue(descendant.value)) {
+      accumulate(relation.entries()[index], descendant.life, descendant.prob);
     }
   }
 

@@ -83,7 +83,7 @@ bool IsStrictAt(const Dimension& dimension, Chronon at) {
   for (ValueId e : dimension.AllValues()) {
     if (e == dimension.top_value()) continue;
     std::map<CategoryTypeIndex, std::size_t> per_category;
-    for (const Dimension::Containment& anc : dimension.Ancestors(e, at)) {
+    for (const Dimension::Containment& anc : dimension.AncestorsView(e, at)) {
       if (!AliveAt(anc.life, at)) continue;
       auto category = dimension.CategoryOf(anc.value);
       if (!category.ok() || *category == type.top()) continue;
@@ -98,7 +98,7 @@ bool IsStrict(const Dimension& dimension) {
   for (ValueId e : dimension.AllValues()) {
     if (e == dimension.top_value()) continue;
     std::map<CategoryTypeIndex, std::size_t> per_category;
-    for (const Dimension::Containment& anc : dimension.Ancestors(e)) {
+    for (const Dimension::Containment& anc : dimension.AncestorsView(e)) {
       auto category = dimension.CategoryOf(anc.value);
       if (!category.ok() || *category == type.top()) continue;
       if (++per_category[*category] > 1) return false;

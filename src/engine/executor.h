@@ -104,6 +104,22 @@ struct ExecStats {
   std::size_t join_parallel_runs = 0;
   /// Timeslices that ran the parallel per-fact path.
   std::size_t timeslice_parallel_runs = 0;
+  /// Compiled rollup snapshots built by RollupIndex::For — the slot was
+  /// empty or the dimension had been mutated since the last compile (a
+  /// stale snapshot is never consulted). Reuse shows as hits without
+  /// builds.
+  std::size_t index_builds = 0;
+  /// Times a hot path consumed a compiled snapshot instead of map-based
+  /// traversal, counted once per operation and dimension: a grouping
+  /// dimension of AggregateFormation resolved through the flat rollup
+  /// table, a dimension sliced through the dense arrays, a
+  /// PreAggregateCache rollup answered by flat lookups, or a Join
+  /// operand dimension whose snapshot was compiled/attached at warm-up.
+  std::size_t index_hits = 0;
+  /// Times a hot path wanted the flat rollup table but the snapshot's
+  /// strictness/non-temporal gate failed, falling back to the memoized
+  /// traversal (results are bit-identical either way).
+  std::size_t index_fallbacks = 0;
 };
 
 /// Execution context threaded through AggregateFormation, Join, the

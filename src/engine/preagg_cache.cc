@@ -1,8 +1,10 @@
 #include "engine/preagg_cache.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/strings.h"
+#include "engine/rollup_index.h"
 
 namespace mddc {
 namespace {
@@ -40,7 +42,7 @@ Result<MdObject> PreAggregateCache::Query(
   bool refused = false;
   if (const Entry* reusable = FindReusable(function, grouping, &refused);
       reusable != nullptr) {
-    auto rolled = RollUpCached(*reusable, function, grouping);
+    auto rolled = RollUpCached(*reusable, function, grouping, exec);
     if (rolled.ok()) {
       ++stats_.rollup_hits;
       Entry entry{grouping, *rolled, AggregationType::kConstant};
@@ -113,7 +115,7 @@ const PreAggregateCache::Entry* PreAggregateCache::FindReusable(
 
 Result<MdObject> PreAggregateCache::RollUpCached(
     const Entry& entry, const AggFunction& function,
-    const std::vector<CategoryTypeIndex>& grouping) const {
+    const std::vector<CategoryTypeIndex>& grouping, ExecContext* exec) const {
   const MdObject& cached = entry.result;
   const std::size_t n = grouping.size();
 
@@ -127,6 +129,26 @@ Result<MdObject> PreAggregateCache::RollUpCached(
                           cached.dimension(i).type().Find(name));
   }
 
+  // Compiled snapshots of the cached dimensions: under the strictness
+  // gate the per-group ancestor-at-category step below becomes one
+  // flat-table lookup. Dimensions whose gate fails (or callers without a
+  // context) keep the AncestorsIn traversal — same key either way, since
+  // the flat table is compiled from the very same closure.
+  std::vector<std::shared_ptr<const RollupIndex>> indexes(n);
+  if (exec != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cached_categories[i] == cached.dimension(i).type().top()) continue;
+      std::shared_ptr<const RollupIndex> index =
+          RollupIndex::For(cached.dimension(i), &exec->stats);
+      if (index->has_flat_table()) {
+        indexes[i] = std::move(index);
+        ++exec->stats.index_hits;
+      } else {
+        ++exec->stats.index_fallbacks;
+      }
+    }
+  }
+
   struct Merged {
     std::vector<FactId> members;
     double value = 0.0;
@@ -137,11 +159,13 @@ Result<MdObject> PreAggregateCache::RollUpCached(
   for (FactId group : cached.facts()) {
     std::vector<ValueId> key(n);
     for (std::size_t i = 0; i < n; ++i) {
-      auto pairs = cached.relation(i).ForFact(group);
+      const FactDimRelation& relation = cached.relation(i);
+      const std::vector<std::size_t>& pairs =
+          relation.EntryIndexesForFact(group);
       if (pairs.empty()) {
         return Status::InvariantViolation("cached group missing a value");
       }
-      ValueId fine = pairs.front()->value;
+      ValueId fine = relation.entries()[pairs.front()].value;
       const Dimension& dimension = cached.dimension(i);
       if (cached_categories[i] == dimension.type().top()) {
         key[i] = dimension.top_value();
@@ -152,6 +176,24 @@ Result<MdObject> PreAggregateCache::RollUpCached(
         key[i] = fine;
         continue;
       }
+      if (indexes[i] != nullptr) {
+        const RollupIndex& index = *indexes[i];
+        const std::uint32_t dense = index.DenseOf(fine);
+        const std::uint32_t ancestor =
+            dense == RollupIndex::kNone
+                ? RollupIndex::kNone
+                : index.AncestorAt(dense, cached_categories[i]);
+        if (ancestor == RollupIndex::kNone) {
+          // Strictness holds (the table exists), so the traversal below
+          // would have found zero ancestors — the same merge failure.
+          return Status::InvariantViolation(
+              StrCat("non-strict step above cached grouping in dimension '",
+                     dimension.name(),
+                     "'; partial results cannot be merged"));
+        }
+        key[i] = index.ValueOf(ancestor);
+        continue;
+      }
       auto coarser = dimension.AncestorsIn(fine, cached_categories[i]);
       if (coarser.size() != 1) {
         return Status::InvariantViolation(
@@ -160,13 +202,17 @@ Result<MdObject> PreAggregateCache::RollUpCached(
       }
       key[i] = coarser.front().value;
     }
-    auto result_pairs = cached.relation(result_dim).ForFact(group);
+    const FactDimRelation& result_relation = cached.relation(result_dim);
+    const std::vector<std::size_t>& result_pairs =
+        result_relation.EntryIndexesForFact(group);
     if (result_pairs.empty()) {
       return Status::InvariantViolation("cached group missing its result");
     }
-    MDDC_ASSIGN_OR_RETURN(double partial,
-                          cached.dimension(result_dim)
-                              .NumericValueOf(result_pairs.front()->value));
+    MDDC_ASSIGN_OR_RETURN(
+        double partial,
+        cached.dimension(result_dim)
+            .NumericValueOf(
+                result_relation.entries()[result_pairs.front()].value));
     MDDC_ASSIGN_OR_RETURN(FactTerm term, cached.registry()->Get(group));
     Merged& slot = merged[key];
     slot.members.insert(slot.members.end(), term.members.begin(),

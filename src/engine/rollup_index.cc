@@ -1,0 +1,158 @@
+#include "engine/rollup_index.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/properties.h"
+
+namespace mddc {
+namespace {
+
+/// Serializes all compiled-snapshot slot reads and writes process-wide.
+/// A single global mutex keeps the core layer free of any threading
+/// machinery (the slot itself is a plain shared_ptr) and is never
+/// contended on the hot path: operators call For() once per dimension
+/// from the query thread, before fanning out workers.
+std::mutex& SlotMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+std::uint32_t RollupIndex::DenseOf(ValueId v) const {
+  auto it = std::lower_bound(value_of_.begin(), value_of_.end(), v);
+  if (it == value_of_.end() || *it != v) return kNone;
+  return static_cast<std::uint32_t>(it - value_of_.begin());
+}
+
+const std::uint32_t* RollupIndex::CategoryBegin(
+    CategoryTypeIndex category) const {
+  if (category + 1 >= category_begin_.size()) return category_values_.data();
+  return category_values_.data() + category_begin_[category];
+}
+
+const std::uint32_t* RollupIndex::CategoryEnd(
+    CategoryTypeIndex category) const {
+  if (category + 1 >= category_begin_.size()) return category_values_.data();
+  return category_values_.data() + category_begin_[category + 1];
+}
+
+std::shared_ptr<const RollupIndex> RollupIndex::For(const Dimension& dimension,
+                                                    ExecStats* stats) {
+  std::lock_guard<std::mutex> lock(SlotMutex());
+  auto cached = std::static_pointer_cast<const RollupIndex>(
+      dimension.compiled_snapshot_slot());
+  if (cached != nullptr && !cached->StaleFor(dimension)) {
+    return cached;
+  }
+  std::shared_ptr<const RollupIndex> built = Build(dimension);
+  dimension.set_compiled_snapshot_slot(built);
+  if (stats != nullptr) ++stats->index_builds;
+  return built;
+}
+
+std::shared_ptr<const RollupIndex> RollupIndex::Build(
+    const Dimension& dimension) {
+  auto index = std::shared_ptr<RollupIndex>(new RollupIndex());
+  index->version_ = dimension.version();
+  index->category_count_ = dimension.type().category_count();
+
+  // Dense remapping: AllValues() iterates the dimension's value map in
+  // ascending ValueId order, so dense ids are ascending too and DenseOf
+  // can binary-search value_of_.
+  const std::vector<ValueId> values = dimension.AllValues();
+  const std::uint32_t n = static_cast<std::uint32_t>(values.size());
+  index->value_of_ = values;
+  index->category_of_.resize(n);
+  index->membership_of_.resize(n);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    if (values[d] == dimension.top_value()) index->top_dense_ = d;
+    auto category = dimension.CategoryOf(values[d]);
+    auto membership = dimension.MembershipOf(values[d]);
+    index->category_of_[d] = category.ok() ? *category : 0;
+    if (membership.ok()) index->membership_of_[d] = *membership;
+  }
+
+  // Per-category ranges, sorted by ValueId (= by dense id).
+  index->category_begin_.assign(index->category_count_ + 1, 0);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    ++index->category_begin_[index->category_of_[d] + 1];
+  }
+  for (std::size_t c = 0; c < index->category_count_; ++c) {
+    index->category_begin_[c + 1] += index->category_begin_[c];
+  }
+  index->category_values_.resize(n);
+  std::vector<std::uint32_t> category_cursor(
+      index->category_begin_.begin(), index->category_begin_.end() - 1);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    index->category_values_[category_cursor[index->category_of_[d]]++] = d;
+  }
+
+  // CSR edge arrays, both directions, in the dimension's per-value edge
+  // order (insertion order, like EdgeIndexesFromChild/ToParent).
+  const std::vector<Dimension::Edge>& edges = dimension.edges();
+  bool all_edges_always = true;
+  auto fill_csr = [&](bool upward, std::vector<std::uint32_t>& begin,
+                      std::vector<std::uint32_t>& target,
+                      std::vector<Lifespan>& life, std::vector<double>& prob) {
+    begin.assign(n + 1, 0);
+    target.reserve(edges.size());
+    life.reserve(edges.size());
+    prob.reserve(edges.size());
+    for (std::uint32_t d = 0; d < n; ++d) {
+      begin[d] = static_cast<std::uint32_t>(target.size());
+      const std::vector<std::size_t>& indexes =
+          upward ? dimension.EdgeIndexesFromChild(values[d])
+                 : dimension.EdgeIndexesToParent(values[d]);
+      for (std::size_t e : indexes) {
+        const Dimension::Edge& edge = edges[e];
+        target.push_back(index->DenseOf(upward ? edge.parent : edge.child));
+        life.push_back(edge.life);
+        prob.push_back(edge.prob);
+      }
+    }
+    begin[n] = static_cast<std::uint32_t>(target.size());
+  };
+  fill_csr(/*upward=*/true, index->up_begin_, index->up_target_,
+           index->up_life_, index->up_prob_);
+  fill_csr(/*upward=*/false, index->down_begin_, index->down_target_,
+           index->down_life_, index->down_prob_);
+  for (const Dimension::Edge& edge : edges) {
+    if (!(edge.life == Lifespan::AlwaysSpan())) {
+      all_edges_always = false;
+      break;
+    }
+  }
+
+  // Flat descendant -> ancestor-at-category table, gated on Section 3.4
+  // strictness plus non-temporal edges. Under that gate every closure
+  // lifespan is Always (intersections and unions of Always stay Always),
+  // so the table needs no lifespan column, and strictness guarantees at
+  // most one ancestor per category — the single-array-lookup rollup.
+  index->has_flat_table_ = all_edges_always && IsStrict(dimension);
+  if (index->has_flat_table_) {
+    index->flat_ancestor_.assign(n * index->category_count_, kNone);
+    index->flat_prob_.assign(n * index->category_count_, 0.0);
+    for (std::uint32_t d = 0; d < n; ++d) {
+      auto set = [&](CategoryTypeIndex category, std::uint32_t ancestor,
+                     double p) {
+        index->flat_ancestor_[d * index->category_count_ + category] =
+            ancestor;
+        index->flat_prob_[d * index->category_count_ + category] = p;
+      };
+      // The value answers a rollup to its own category with itself.
+      set(index->category_of_[d], d, 1.0);
+      if (d == index->top_dense_) continue;
+      for (const Dimension::Containment& c :
+           dimension.AncestorsView(values[d])) {
+        const std::uint32_t ancestor = index->DenseOf(c.value);
+        if (ancestor == kNone) continue;
+        set(index->category_of_[ancestor], ancestor, c.prob);
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace mddc

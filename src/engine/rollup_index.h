@@ -1,0 +1,178 @@
+#ifndef MDDC_ENGINE_ROLLUP_INDEX_H_
+#define MDDC_ENGINE_ROLLUP_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dimension.h"
+#include "engine/executor.h"
+
+namespace mddc {
+
+/// An immutable, compiled snapshot of one Dimension — the physical layer
+/// under the clean algebra (the "special-purpose algorithms and data
+/// structures" of the paper's future-work list, Section 5). Where the
+/// Dimension answers every query through std::map-based partial-order
+/// traversal, the snapshot lays the same data out flat:
+///
+///  * a dense remapping ValueId -> contiguous u32, in ascending ValueId
+///    order (the Dimension's own iteration order, so walking the dense
+///    range reproduces AllValues() exactly);
+///  * per-value category and membership arrays (one array read replaces
+///    the CategoryOf/MembershipOf map lookups on the timeslice path);
+///  * CSR (compressed-sparse-row) arrays of the immediate-containment
+///    edges, upward and downward, with parallel lifespan/probability
+///    arrays;
+///  * per-category value ranges, sorted by ValueId; and
+///  * when the hierarchy passes the strictness gate of Section 3.4 and
+///    every edge lifespan is Always (the "non-temporal" case), a flat
+///    descendant -> ancestor-at-category table with the closure
+///    probability, so a rollup is one array lookup instead of a graph
+///    walk. Strictness makes the table well-defined: each value has at
+///    most one ancestor per category.
+///
+/// Snapshots are built lazily by For(), shared through the dimension's
+/// type-erased compiled-snapshot slot (so Dimension copies — e.g. the
+/// operand dimensions a Join carries into its result — inherit the
+/// compiled form for free), and invalidated by the dimension's structural
+/// version counter: any mutation bumps the version, For() rejects the
+/// stale snapshot and recompiles. Consumers that need the flat table but
+/// find the gate failed fall back to the memoized traversal, so results
+/// stay bit-identical in every case.
+class RollupIndex {
+ public:
+  /// Sentinel dense id: "no such value" / "no ancestor at this category".
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Returns the compiled snapshot for `dimension`, building (and caching
+  /// in the dimension's snapshot slot) if the slot is empty or holds a
+  /// snapshot of an older version. Thread-safe: all slot reads and writes
+  /// are serialized process-wide, and the returned object is immutable.
+  /// `stats`, when non-null, counts one index_builds per compilation.
+  ///
+  /// Must not be called concurrently with mutation of `dimension`, and —
+  /// like any closure query — may lazily fill the dimension's reachability
+  /// memo, so callers on the parallel engine invoke it from the query
+  /// thread before fanning out workers.
+  static std::shared_ptr<const RollupIndex> For(const Dimension& dimension,
+                                                ExecStats* stats = nullptr);
+
+  /// The dimension version this snapshot was compiled at.
+  std::uint64_t version() const { return version_; }
+
+  /// True when `dimension` has been mutated since this snapshot was
+  /// compiled (the snapshot must then not be consulted for it).
+  bool StaleFor(const Dimension& dimension) const {
+    return version_ != dimension.version();
+  }
+
+  // ---- Dense value remapping ---------------------------------------------
+
+  std::uint32_t value_count() const {
+    return static_cast<std::uint32_t>(value_of_.size());
+  }
+  std::uint32_t top_dense() const { return top_dense_; }
+
+  /// Dense id of `v`, or kNone when the value is not in the dimension.
+  std::uint32_t DenseOf(ValueId v) const;
+
+  /// Inverse mapping; `dense` must be < value_count().
+  ValueId ValueOf(std::uint32_t dense) const { return value_of_[dense]; }
+  CategoryTypeIndex CategoryOfDense(std::uint32_t dense) const {
+    return category_of_[dense];
+  }
+  const Lifespan& MembershipOfDense(std::uint32_t dense) const {
+    return membership_of_[dense];
+  }
+
+  // ---- Per-category sorted value ranges ----------------------------------
+
+  /// Dense ids of the values in `category`, sorted by ValueId. Empty for
+  /// out-of-range categories.
+  const std::uint32_t* CategoryBegin(CategoryTypeIndex category) const;
+  const std::uint32_t* CategoryEnd(CategoryTypeIndex category) const;
+
+  // ---- CSR immediate-containment edges -----------------------------------
+
+  /// Half-open range [UpBegin(d), UpEnd(d)) of CSR positions holding the
+  /// up-edges (child -> parent) of dense value `d`; UpParent/UpLife/UpProb
+  /// are parallel arrays over those positions. Down* is the mirror
+  /// (parent -> children).
+  std::uint32_t UpBegin(std::uint32_t dense) const { return up_begin_[dense]; }
+  std::uint32_t UpEnd(std::uint32_t dense) const {
+    return up_begin_[dense + 1];
+  }
+  std::uint32_t UpParent(std::uint32_t pos) const { return up_target_[pos]; }
+  const Lifespan& UpLife(std::uint32_t pos) const { return up_life_[pos]; }
+  double UpProb(std::uint32_t pos) const { return up_prob_[pos]; }
+
+  std::uint32_t DownBegin(std::uint32_t dense) const {
+    return down_begin_[dense];
+  }
+  std::uint32_t DownEnd(std::uint32_t dense) const {
+    return down_begin_[dense + 1];
+  }
+  std::uint32_t DownChild(std::uint32_t pos) const {
+    return down_target_[pos];
+  }
+  const Lifespan& DownLife(std::uint32_t pos) const { return down_life_[pos]; }
+  double DownProb(std::uint32_t pos) const { return down_prob_[pos]; }
+
+  // ---- Flat rollup table -------------------------------------------------
+
+  /// True when the strictness/non-temporal gate held at compile time and
+  /// the flat descendant -> ancestor-at-category table below is usable.
+  bool has_flat_table() const { return has_flat_table_; }
+
+  /// The unique ancestor of dense value `d` at `category` (the value
+  /// itself when `category` is its own; the top value at the top
+  /// category), or kNone when it has none. Only valid when
+  /// has_flat_table(). Under the gate every closure lifespan is Always,
+  /// so the containment carries no time — only the probability below.
+  std::uint32_t AncestorAt(std::uint32_t dense,
+                           CategoryTypeIndex category) const {
+    return flat_ancestor_[dense * category_count_ + category];
+  }
+
+  /// Closure probability of that containment (1.0 for the value itself
+  /// and for top; meaningless when AncestorAt is kNone).
+  double AncestorProbAt(std::uint32_t dense,
+                        CategoryTypeIndex category) const {
+    return flat_prob_[dense * category_count_ + category];
+  }
+
+ private:
+  RollupIndex() = default;
+
+  /// Compiles a snapshot of `dimension` at its current version.
+  static std::shared_ptr<const RollupIndex> Build(const Dimension& dimension);
+
+  std::uint64_t version_ = 0;
+  std::size_t category_count_ = 0;
+  std::uint32_t top_dense_ = kNone;
+  bool has_flat_table_ = false;
+
+  std::vector<ValueId> value_of_;  // dense -> ValueId, ascending
+  std::vector<CategoryTypeIndex> category_of_;
+  std::vector<Lifespan> membership_of_;
+
+  std::vector<std::uint32_t> category_begin_;   // category_count_ + 1
+  std::vector<std::uint32_t> category_values_;  // dense ids, sorted
+
+  std::vector<std::uint32_t> up_begin_;  // value_count() + 1
+  std::vector<std::uint32_t> up_target_;
+  std::vector<Lifespan> up_life_;
+  std::vector<double> up_prob_;
+  std::vector<std::uint32_t> down_begin_;
+  std::vector<std::uint32_t> down_target_;
+  std::vector<Lifespan> down_life_;
+  std::vector<double> down_prob_;
+
+  std::vector<std::uint32_t> flat_ancestor_;  // value_count() * categories
+  std::vector<double> flat_prob_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_ENGINE_ROLLUP_INDEX_H_
