@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Builds the benchmark suite in Release mode and runs every bench_*
+# binary, then merges the BENCH_*.json files the JSON-emitting benches
+# write into one BENCH_summary.json.
+#
+#   $ bench/run_all.sh [stamp]
+#
+# `stamp` is recorded verbatim in the summary (a commit hash, a CI run
+# id, ...); it defaults to "unstamped" rather than reading the clock so
+# reruns of the same tree produce byte-identical summaries.
+#
+# MDDC_SWEEP_MAX_FACTS is exported through to the benches that honor it
+# (the scaling sweeps), so e.g.
+#
+#   $ MDDC_SWEEP_MAX_FACTS=100000 bench/run_all.sh nightly-42
+#
+# keeps the whole suite to a few minutes on a laptop.
+set -euo pipefail
+
+STAMP="${1:-unstamped}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-bench"
+
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j
+
+# Benches write their BENCH_*.json next to the cwd; collect them in one
+# place so the merge below sees exactly this run's output.
+RUN_DIR="${BUILD_DIR}/bench-results"
+rm -rf "${RUN_DIR}"
+mkdir -p "${RUN_DIR}"
+cd "${RUN_DIR}"
+
+for bench in "${BUILD_DIR}"/bench/bench_*; do
+  [ -x "${bench}" ] || continue
+  echo "==== $(basename "${bench}") ===="
+  "${bench}"
+done
+
+# Merge every BENCH_*.json into BENCH_summary.json (skipping the summary
+# itself, so reruns are idempotent). Plain shell concatenation: each
+# per-bench file is already a complete JSON object.
+SUMMARY="BENCH_summary.json"
+rm -f "${SUMMARY}"
+{
+  printf '{\n  "stamp": "%s",\n  "benches": [\n' "${STAMP}"
+  first=1
+  for json in BENCH_*.json; do
+    [ "${json}" = "${SUMMARY}" ] && continue
+    [ -f "${json}" ] || continue
+    [ "${first}" -eq 0 ] && printf '    ,\n'
+    first=0
+    sed 's/^/    /' "${json}"
+  done
+  printf '  ]\n}\n'
+} > "${SUMMARY}"
+
+echo "wrote ${RUN_DIR}/${SUMMARY}"

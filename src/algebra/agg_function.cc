@@ -51,6 +51,36 @@ Status AggFunction::CheckApplicable(const MdObject& mo) const {
   return Status::OK();
 }
 
+Result<double> AggFunction::Finish(const Accumulator& acc) const {
+  switch (kind_) {
+    case AggregateFunctionKind::kCount:
+      return static_cast<double>(acc.count);
+    case AggregateFunctionKind::kSum:
+      return acc.sum;
+    case AggregateFunctionKind::kAvg:
+      if (acc.count == 0) {
+        return Status::InvalidArgument(
+            StrCat(name(), " over a group with no known values"));
+      }
+      return acc.sum / static_cast<double>(acc.count);
+    case AggregateFunctionKind::kMin:
+      if (acc.count == 0) {
+        return Status::InvalidArgument(
+            StrCat(name(), " over a group with no known values"));
+      }
+      return acc.min_value;
+    case AggregateFunctionKind::kMax:
+      if (acc.count == 0) {
+        return Status::InvalidArgument(
+            StrCat(name(), " over a group with no known values"));
+      }
+      return acc.max_value;
+    case AggregateFunctionKind::kSetCount:
+      break;  // evaluated from the group itself, never accumulated
+  }
+  return Status::InvalidArgument("unknown aggregate function kind");
+}
+
 Result<double> AggFunction::Evaluate(const MdObject& mo,
                                      const std::vector<FactId>& group,
                                      Chronon at) const {
@@ -65,54 +95,21 @@ Result<double> AggFunction::Evaluate(const MdObject& mo,
   }
   const Dimension& dimension = mo.dimension(dim);
 
-  std::size_t count = 0;
-  double sum = 0.0;
-  double min_value = std::numeric_limits<double>::infinity();
-  double max_value = -std::numeric_limits<double>::infinity();
+  Accumulator acc;
   for (FactId fact : group) {
     for (const FactDimRelation::Entry* entry :
          mo.relation(dim).ForFact(fact)) {
       if (entry->value == dimension.top_value()) continue;  // unknown
       if (kind_ == AggregateFunctionKind::kCount) {
-        ++count;
+        acc.AddCounted(1);
         continue;
       }
       MDDC_ASSIGN_OR_RETURN(double value,
                             dimension.NumericValueOf(entry->value, at));
-      ++count;
-      sum += value;
-      min_value = std::min(min_value, value);
-      max_value = std::max(max_value, value);
+      acc.Add(value);
     }
   }
-
-  switch (kind_) {
-    case AggregateFunctionKind::kCount:
-      return static_cast<double>(count);
-    case AggregateFunctionKind::kSum:
-      return sum;
-    case AggregateFunctionKind::kAvg:
-      if (count == 0) {
-        return Status::InvalidArgument(
-            StrCat(name(), " over a group with no known values"));
-      }
-      return sum / static_cast<double>(count);
-    case AggregateFunctionKind::kMin:
-      if (count == 0) {
-        return Status::InvalidArgument(
-            StrCat(name(), " over a group with no known values"));
-      }
-      return min_value;
-    case AggregateFunctionKind::kMax:
-      if (count == 0) {
-        return Status::InvalidArgument(
-            StrCat(name(), " over a group with no known values"));
-      }
-      return max_value;
-    case AggregateFunctionKind::kSetCount:
-      break;  // handled above
-  }
-  return Status::InvalidArgument("unknown aggregate function kind");
+  return Finish(acc);
 }
 
 }  // namespace mddc

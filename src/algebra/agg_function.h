@@ -1,6 +1,9 @@
 #ifndef MDDC_ALGEBRA_AGG_FUNCTION_H_
 #define MDDC_ALGEBRA_AGG_FUNCTION_H_
 
+#include <algorithm>
+#include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -45,6 +48,34 @@ class AggFunction {
   /// IllegalAggregation when the data does not support the function —
   /// e.g. SUM over diagnoses.
   Status CheckApplicable(const MdObject& mo) const;
+
+  /// Streaming state for the numeric kinds — the exact fold Evaluate
+  /// performs over a group's entry values, exposed so group-by kernels
+  /// can accumulate per fact (in member order) without materializing
+  /// member lists, then settle the result with Finish. The fold keeps
+  /// every statistic regardless of kind, exactly as Evaluate does, so
+  /// the two paths stay instruction-for-instruction identical.
+  struct Accumulator {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min_value = std::numeric_limits<double>::infinity();
+    double max_value = -std::numeric_limits<double>::infinity();
+
+    /// Folds one known (non-top) numeric entry value.
+    void Add(double value) {
+      ++count;
+      sum += value;
+      min_value = std::min(min_value, value);
+      max_value = std::max(max_value, value);
+    }
+    /// Folds `entries` known pairs for COUNT, which never reads values.
+    void AddCounted(std::size_t entries) { count += entries; }
+  };
+
+  /// Settles an accumulator into g's result: the final switch of
+  /// Evaluate, including its empty-group errors for AVG/MIN/MAX. Not
+  /// meaningful for SetCount (which has no entry data to accumulate).
+  Result<double> Finish(const Accumulator& acc) const;
 
   /// Evaluates g over a group of facts of `mo` at valid chronon `at`.
   /// Numeric data is read through Dimension::NumericValueOf.

@@ -1,15 +1,18 @@
 #include "algebra/operators.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "common/strings.h"
 #include "core/properties.h"
 #include "engine/executor.h"
+#include "engine/groupby_kernel.h"
 #include "engine/rollup_index.h"
 
 namespace mddc {
@@ -183,7 +186,6 @@ Result<MdObject> Difference(const MdObject& m1, const MdObject& m2) {
   // corresponding pair has in M2; keep pairs with non-empty remaining
   // time; keep facts that retain a pair in every dimension.
   std::vector<FactDimRelation> cut(m1.dimension_count());
-  std::map<FactId, std::size_t> coverage;
   for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
     for (const FactDimRelation::Entry& entry : m1.relation(i).entries()) {
       TemporalElement other_valid;
@@ -201,13 +203,26 @@ Result<MdObject> Difference(const MdObject& m1, const MdObject& m2) {
           cut[i].Add(entry.fact, entry.value, remaining, entry.prob));
     }
   }
-  for (FactId fact : m1.facts()) {
-    std::size_t covered = 0;
-    for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
-      if (cut[i].HasFact(fact)) ++covered;
+  // Per-fact coverage over the sorted fact list as a flat rank/flag pass
+  // per dimension — no ordered-map nodes and no per-fact HasFact probes
+  // (see the BM_TemporalDifference note in bench/bench_algebra_ops.cpp).
+  const std::vector<FactId>& facts1 = m1.facts();  // sorted by id
+  std::vector<std::size_t> covered(facts1.size(), 0);
+  std::vector<char> seen(facts1.size());
+  for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
+    std::fill(seen.begin(), seen.end(), 0);
+    for (const FactDimRelation::Entry& entry : cut[i].entries()) {
+      const auto it =
+          std::lower_bound(facts1.begin(), facts1.end(), entry.fact);
+      if (it != facts1.end() && *it == entry.fact) {
+        seen[static_cast<std::size_t>(it - facts1.begin())] = 1;
+      }
     }
-    if (covered == m1.dimension_count()) {
-      MDDC_RETURN_NOT_OK(result.AddFact(fact));
+    for (std::size_t f = 0; f < facts1.size(); ++f) covered[f] += seen[f];
+  }
+  for (std::size_t f = 0; f < facts1.size(); ++f) {
+    if (covered[f] == m1.dimension_count()) {
+      MDDC_RETURN_NOT_OK(result.AddFact(facts1[f]));
     }
   }
   for (std::size_t i = 0; i < m1.dimension_count(); ++i) {
@@ -403,12 +418,28 @@ AggregationType ResultBottomAggType(const MdObject& mo,
 }
 
 /// Per fact and dimension: the grouping-category values characterizing
-/// the fact, with lifespans and probabilities.
+/// the fact, with lifespans and probabilities. `dense` is the value's
+/// dense id in the dimension's rollup snapshot, set on the indexed path
+/// only — the dense group-by kernel turns it into a slot digit with one
+/// array read.
 struct Coordinate {
   ValueId value;
-  Lifespan life;
+  /// nullopt means AlwaysSpan — the attachment of nontemporal data. The
+  /// accumulate loops intersect group time with coordinate time per fact
+  /// per dimension; spelling Always as nullopt makes the dominant
+  /// snapshot case allocation-free (a materialized Lifespan copies two
+  /// interval vectors) and lets those loops skip the identity Intersect.
+  std::optional<Lifespan> life;
   double prob;
+  std::uint32_t dense = RollupIndex::kNone;
 };
+
+/// Always-normalizing wrap: spans that cover the whole domain become
+/// nullopt so downstream Intersects skip them.
+std::optional<Lifespan> OptLife(const Lifespan& life) {
+  if (life.IsAlways()) return std::nullopt;
+  return life;
+}
 
 /// The fact's coordinates in every grouping category, or nullopt when
 /// some dimension has none (the fact then joins no group). Read-only on
@@ -425,23 +456,45 @@ struct Coordinate {
 /// ValueId order like the filtered characterization list. The two paths
 /// are therefore bit-identical; dimensions without a usable snapshot
 /// take the memoized path.
+/// Per-dimension entry lists aligned to the MO's sorted fact vector:
+/// `[i][f]` points at relation i's entry-index list for facts[f] (null
+/// when the fact has no pairs there). Built once per run by walking each
+/// relation's by-fact index in lockstep with the fact list, so the hot
+/// per-fact loops read an array instead of issuing one tree lookup per
+/// (fact, dimension).
+using FactEntryLists =
+    std::vector<std::vector<const std::vector<std::size_t>*>>;
+
+const std::vector<std::size_t> kNoEntries;
+
 std::optional<std::vector<std::vector<Coordinate>>> GroupingCoordinates(
     const MdObject& mo, const AggregateSpec& spec, FactId fact,
-    const std::vector<std::shared_ptr<const RollupIndex>>& indexes) {
+    const std::vector<std::shared_ptr<const RollupIndex>>& indexes,
+    const FactEntryLists* fact_entries = nullptr,
+    std::size_t fact_ordinal = 0) {
   const std::size_t n = mo.dimension_count();
   std::vector<std::vector<Coordinate>> per_dim(n);
   for (std::size_t i = 0; i < n; ++i) {
     const Dimension& dimension = mo.dimension(i);
     if (spec.grouping[i] == dimension.type().top()) {
       per_dim[i].push_back(
-          Coordinate{dimension.top_value(), Lifespan::AlwaysSpan(), 1.0});
+          Coordinate{dimension.top_value(), std::nullopt, 1.0});
       continue;
     }
     if (i < indexes.size() && indexes[i] != nullptr) {
       const RollupIndex& index = *indexes[i];
       const FactDimRelation& relation = mo.relation(i);
-      std::map<ValueId, Coordinate> accumulated;
-      for (std::size_t e : relation.EntryIndexesForFact(fact)) {
+      const std::vector<std::size_t>& entry_list =
+          fact_entries == nullptr
+              ? relation.EntryIndexesForFact(fact)
+              : ((*fact_entries)[i][fact_ordinal] != nullptr
+                     ? *(*fact_entries)[i][fact_ordinal]
+                     : kNoEntries);
+      // Accumulated per value in entry order and kept sorted by ValueId
+      // (a linear insertion — coordinate lists are tiny), so emission
+      // matches the ordered map this replaced without its node churn.
+      std::vector<Coordinate>& list = per_dim[i];
+      for (std::size_t e : entry_list) {
         const FactDimRelation::Entry& entry = relation.entries()[e];
         const std::uint32_t dense = index.DenseOf(entry.value);
         if (dense == RollupIndex::kNone) continue;
@@ -451,24 +504,26 @@ std::optional<std::vector<std::vector<Coordinate>>> GroupingCoordinates(
         const double prob =
             entry.prob * index.AncestorProbAt(dense, spec.grouping[i]);
         const ValueId value = index.ValueOf(ancestor);
-        auto [it, inserted] = accumulated.try_emplace(
-            value, Coordinate{value, entry.life, prob});
-        if (!inserted) {
-          it->second.life = it->second.life.Union(entry.life);
-          it->second.prob =
-              1.0 - (1.0 - it->second.prob) * (1.0 - prob);
+        auto it = std::lower_bound(
+            list.begin(), list.end(), value,
+            [](const Coordinate& c, ValueId v) { return c.value < v; });
+        if (it != list.end() && it->value == value) {
+          // Always (nullopt) is absorbing under component-wise Union.
+          if (it->life.has_value()) {
+            it->life = OptLife(it->life->Union(entry.life));
+          }
+          it->prob = 1.0 - (1.0 - it->prob) * (1.0 - prob);
+        } else {
+          list.insert(it,
+                      Coordinate{value, OptLife(entry.life), prob, ancestor});
         }
-      }
-      for (auto& [value, coordinate] : accumulated) {
-        (void)value;
-        per_dim[i].push_back(std::move(coordinate));
       }
     } else {
       for (const MdObject::Characterization& c :
            mo.CharacterizedBy(fact, i, spec.prob_at)) {
         auto category = dimension.CategoryOf(c.value);
         if (category.ok() && *category == spec.grouping[i]) {
-          per_dim[i].push_back(Coordinate{c.value, c.life, c.prob});
+          per_dim[i].push_back(Coordinate{c.value, OptLife(c.life), c.prob});
         }
       }
     }
@@ -493,58 +548,38 @@ struct GroupAccum {
 using GroupKey = std::vector<ValueId>;
 using GroupMap = std::map<GroupKey, GroupAccum>;
 
-/// FNV-1a over the key's surrogate ids; assigns each group to a hash
-/// partition on the parallel path.
-std::size_t GroupKeyHash(const GroupKey& key) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (ValueId value : key) {
-    const std::uint64_t raw = value.raw();
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (raw >> (8 * byte)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  }
-  return static_cast<std::size_t>(h);
-}
-
-/// Folds one fact's coordinate cross product into `groups`. With
-/// num_partitions > 1 only the keys of hash partition `partition` are
-/// accumulated (the parallel path's shared scan); per-group accumulation
-/// order is the same in either mode — facts ascending — so partial groups
-/// are bit-identical to sequentially built ones.
+/// Folds one fact's coordinate cross product into `groups` — the
+/// ordered-map baseline engine, kept byte-for-byte as the no-context
+/// ground truth the kernels are differentially tested against. Per-group
+/// accumulation order is facts ascending, the order the kernels follow
+/// too.
 void AccumulateFact(std::size_t n, FactId fact,
                     const std::vector<std::vector<Coordinate>>& per_dim,
-                    std::size_t partition, std::size_t num_partitions,
                     GroupMap& groups) {
   // Enumerate the cross product of this fact's coordinate lists.
   std::vector<std::size_t> cursor(n, 0);
   while (true) {
     GroupKey key(n);
-    std::vector<Lifespan> lives(n);
-    std::vector<double> probs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      key[i] = per_dim[i][cursor[i]].value;
+    }
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    GroupAccum& group = it->second;
+    if (inserted) {
+      group.life_per_dim.assign(n, Lifespan::AlwaysSpan());
+      group.prob_per_dim.assign(n, 1.0);
+    }
+    group.members.push_back(fact);
+    double member_prob = 1.0;
     for (std::size_t i = 0; i < n; ++i) {
       const Coordinate& c = per_dim[i][cursor[i]];
-      key[i] = c.value;
-      lives[i] = c.life;
-      probs[i] = c.prob;
-    }
-    if (num_partitions <= 1 ||
-        GroupKeyHash(key) % num_partitions == partition) {
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      GroupAccum& group = it->second;
-      if (inserted) {
-        group.life_per_dim.assign(n, Lifespan::AlwaysSpan());
-        group.prob_per_dim.assign(n, 1.0);
+      if (c.life.has_value()) {
+        group.life_per_dim[i] = group.life_per_dim[i].Intersect(*c.life);
       }
-      group.members.push_back(fact);
-      double member_prob = 1.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        group.life_per_dim[i] = group.life_per_dim[i].Intersect(lives[i]);
-        group.prob_per_dim[i] *= probs[i];
-        member_prob *= probs[i];
-      }
-      group.member_probs.push_back(member_prob);
+      group.prob_per_dim[i] *= c.prob;
+      member_prob *= c.prob;
     }
+    group.member_probs.push_back(member_prob);
     // Advance the cross-product cursor.
     std::size_t i = 0;
     while (i < n && ++cursor[i] == per_dim[i].size()) {
@@ -604,6 +639,422 @@ Result<GroupEval> EvaluateGroup(const MdObject& mo, const AggregateSpec& spec,
   }
   eval.result_life = result_life;
   return eval;
+}
+
+// ---- Group-by kernels ------------------------------------------------------
+
+/// Which engine builds the groups (docs/groupby_kernel.md). Callers
+/// without an execution context keep the ordered-map engine as the
+/// differential baseline; a context engages the dense-slot kernel when
+/// every grouping dimension is covered by a flat rollup table (or grouped
+/// at top) and the slot cross-product fits the context's threshold, and
+/// the open-addressing flat-hash kernel otherwise.
+enum class GroupEngine { kOrderedMap, kDenseSlots, kFlatHash };
+
+/// Per-fact aggregate input on the kernel paths, computed once per fact
+/// (riding the coordinate pass's fan-out) and folded into every group the
+/// fact joins, in member order — the same per-member entry scan
+/// AggFunction::Evaluate and EvaluateGroup perform per group.
+struct FactContribution {
+  /// Known (non-top) numeric entry values of the argument dimension, in
+  /// relation scan order; empty for COUNT, which never reads values.
+  std::vector<double> values;
+  /// Known pairs, for COUNT.
+  std::size_t counted = 0;
+  /// First NumericValueOf failure, sticky — a group inheriting it reports
+  /// it exactly as Evaluate would.
+  Status error;
+  bool failed = false;
+  /// Section 4.2 member time: intersection over g's argument dimensions
+  /// of the union of the member's entry spans. nullopt means AlwaysSpan,
+  /// so nontemporal facts carry no interval vectors at all.
+  std::optional<Lifespan> arg_life;
+};
+
+/// Numeric values memoized per distinct argument ValueId (the outcome of
+/// NumericValueOf is a function of the value id alone for a fixed
+/// prob_at), so the per-fact contribution pass does array walks instead
+/// of representation lookups and strtod per entry.
+using NumericValueCache = std::unordered_map<std::uint64_t, Result<double>>;
+
+FactContribution ContributionOf(const MdObject& mo, const AggregateSpec& spec,
+                                FactId fact,
+                                const FactEntryLists* fact_entries,
+                                std::size_t fact_ordinal,
+                                const NumericValueCache* numeric_values) {
+  FactContribution c;
+  const AggregateFunctionKind kind = spec.function.kind();
+  const auto entry_list =
+      [&](std::size_t dim) -> const std::vector<std::size_t>& {
+    if (fact_entries == nullptr) {
+      return mo.relation(dim).EntryIndexesForFact(fact);
+    }
+    const std::vector<std::size_t>* list = (*fact_entries)[dim][fact_ordinal];
+    return list != nullptr ? *list : kNoEntries;
+  };
+  for (std::size_t dim : spec.function.args()) {
+    if (dim >= mo.dimension_count()) continue;
+    const FactDimRelation& relation = mo.relation(dim);
+    const std::vector<std::size_t>& list = entry_list(dim);
+    // Fast path for nontemporal data: a nonempty union of Always spans is
+    // Always, and intersecting with Always is the identity.
+    bool all_always = !list.empty();
+    for (std::size_t e : list) {
+      if (!relation.entries()[e].life.IsAlways()) {
+        all_always = false;
+        break;
+      }
+    }
+    if (all_always) continue;
+    TemporalElement member_valid;
+    TemporalElement member_transaction;
+    for (std::size_t e : list) {
+      const FactDimRelation::Entry& entry = relation.entries()[e];
+      member_valid = member_valid.Union(entry.life.valid);
+      member_transaction = member_transaction.Union(entry.life.transaction);
+    }
+    Lifespan member{std::move(member_valid), std::move(member_transaction)};
+    c.arg_life = c.arg_life.has_value() ? c.arg_life->Intersect(member)
+                                        : std::move(member);
+  }
+  if (spec.function.args().empty()) return c;
+  const std::size_t dim = spec.function.args().front();
+  const Dimension& dimension = mo.dimension(dim);
+  const FactDimRelation& relation = mo.relation(dim);
+  for (std::size_t e : entry_list(dim)) {
+    const FactDimRelation::Entry& entry = relation.entries()[e];
+    if (entry.value == dimension.top_value()) continue;  // unknown
+    if (kind == AggregateFunctionKind::kCount) {
+      ++c.counted;
+      continue;
+    }
+    Result<double> value = [&]() -> Result<double> {
+      if (numeric_values != nullptr) {
+        auto it = numeric_values->find(entry.value.raw());
+        if (it != numeric_values->end()) return it->second;
+      }
+      return dimension.NumericValueOf(entry.value, spec.prob_at);
+    }();
+    if (!value.ok()) {
+      c.failed = true;
+      c.error = value.status();
+      break;  // Evaluate stops at the first failing entry
+    }
+    c.values.push_back(*value);
+  }
+  return c;
+}
+
+/// One group under construction on a kernel path: the baseline
+/// accumulator plus the streaming aggregate state EvaluateGroup would
+/// otherwise recompute from the member list.
+struct KernelGroup {
+  GroupAccum base;
+  AggFunction::Accumulator agg;
+  double expected = 0.0;
+  Lifespan result_life = Lifespan::AlwaysSpan();
+  Status error;
+  bool failed = false;
+};
+
+/// Per-worker state of a kernel run. The dense engine owns a contiguous
+/// slot range: group_of_slot is the range-local slot -> group indirection
+/// (4 bytes per owned slot, not a per-slot accumulator, so untouched
+/// slots cost only the sentinel), groups fill in touch order and sort by
+/// slot at the merge. The flat-hash engine interns keys into one
+/// fixed-stride buffer probed through the open-addressing index.
+struct KernelPartition {
+  std::uint64_t slot_begin = 0;
+  std::uint64_t slot_end = 0;
+  std::vector<std::uint32_t> group_of_slot;
+  std::vector<std::uint64_t> slot_of_group;
+  FlatHashGroupIndex index;
+  std::vector<ValueId> key_storage;  // stride n
+  std::vector<KernelGroup> groups;
+};
+
+/// The dense-slot and flat-hash group-by engines. Both accumulate group
+/// state per fact — members ascending, the same order the baseline builds
+/// groups in — and emit groups in canonical lexicographic key order
+/// (ascending slots ARE that order; flat-hash keys get one final sort),
+/// so the output bytes match the ordered map at any thread count. On the
+/// parallel path the dense engine partitions the slot space into
+/// contiguous ranges and the flat-hash engine partitions keys by hash;
+/// either way every worker scans all facts and accumulates only the
+/// groups it owns, so each group is built whole by one worker.
+Status RunGroupByKernel(
+    const MdObject& mo, const AggregateSpec& spec, GroupEngine engine,
+    const DenseSlotSpace& space,
+    const std::vector<std::optional<std::vector<std::vector<Coordinate>>>>&
+        coords,
+    const FactEntryLists* fact_entries, bool parallel, ExecContext* exec,
+    std::vector<GroupKey>& keys, std::vector<GroupAccum>& accums,
+    std::vector<GroupEval>& evals) {
+  const std::vector<FactId>& facts = mo.facts();  // sorted by id
+  const std::size_t n = mo.dimension_count();
+  const AggregateFunctionKind kind = spec.function.kind();
+  const bool needs_data = !spec.function.args().empty();
+  const bool bad_dim = needs_data && spec.function.args().front() >= n;
+
+  // Per-fact aggregate inputs, computed once up front (pure reads on the
+  // MO, so they fan out like the coordinate pass). Numeric parsing is
+  // hoisted into a per-distinct-value cache first — sequentially, since
+  // NumericValueOf reads lazily memoized dimension state.
+  NumericValueCache numeric_values;
+  const NumericValueCache* numeric_values_ptr = nullptr;
+  if (needs_data && !bad_dim && kind != AggregateFunctionKind::kCount) {
+    const std::size_t dim = spec.function.args().front();
+    const Dimension& dimension = mo.dimension(dim);
+    for (const FactDimRelation::Entry& entry : mo.relation(dim).entries()) {
+      if (entry.value == dimension.top_value()) continue;
+      const std::uint64_t raw = entry.value.raw();
+      if (numeric_values.find(raw) != numeric_values.end()) continue;
+      numeric_values.emplace(raw,
+                             dimension.NumericValueOf(entry.value,
+                                                      spec.prob_at));
+    }
+    numeric_values_ptr = &numeric_values;
+  }
+  std::vector<FactContribution> contributions;
+  if (needs_data && !bad_dim) {
+    contributions.resize(facts.size());
+    auto fill_chunk = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t f = begin; f < end; ++f) {
+        if (coords[f].has_value()) {
+          contributions[f] = ContributionOf(mo, spec, facts[f], fact_entries,
+                                            f, numeric_values_ptr);
+        }
+      }
+    };
+    if (parallel) {
+      const std::size_t chunks = std::min(facts.size(), exec->num_threads * 4);
+      exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
+        fill_chunk(chunk * facts.size() / chunks,
+                   (chunk + 1) * facts.size() / chunks);
+      });
+      exec->stats.tasks += chunks;
+    } else {
+      fill_chunk(0, facts.size());
+    }
+  }
+
+  const std::size_t num_partitions = parallel ? exec->num_threads : 1;
+  std::vector<KernelPartition> parts(num_partitions);
+  if (engine == GroupEngine::kDenseSlots) {
+    const std::uint64_t slots = space.slot_count();
+    const std::uint64_t base = slots / num_partitions;
+    const std::uint64_t extra = slots % num_partitions;
+    std::uint64_t begin = 0;
+    for (std::size_t p = 0; p < num_partitions; ++p) {
+      const std::uint64_t width = base + (p < extra ? 1 : 0);
+      parts[p].slot_begin = begin;
+      parts[p].slot_end = begin + width;
+      begin += width;
+      parts[p].group_of_slot.assign(static_cast<std::size_t>(width),
+                                    FlatHashGroupIndex::kNoGroup);
+    }
+  }
+
+  auto scan_partition = [&](std::size_t p) {
+    KernelPartition& part = parts[p];
+    std::vector<std::size_t> cursor(n);
+    std::vector<ValueId> scratch(n);
+    for (std::size_t f = 0; f < facts.size(); ++f) {
+      if (!coords[f].has_value()) continue;
+      const std::vector<std::vector<Coordinate>>& per_dim = *coords[f];
+      std::fill(cursor.begin(), cursor.end(), 0);
+      // Enumerate the cross product of the fact's coordinate lists.
+      while (true) {
+        KernelGroup* group = nullptr;
+        bool inserted = false;
+        if (engine == GroupEngine::kDenseSlots) {
+          // Row-major slot: dimension 0 is the most significant digit and
+          // each digit is the coordinate's rank in its grouping category,
+          // so ascending slots reproduce the map's lexicographic order.
+          std::uint64_t slot = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            slot = slot * space.cardinality(i) +
+                   (space.fixed(i)
+                        ? 0
+                        : space.OrdinalOf(i, per_dim[i][cursor[i]].dense));
+          }
+          if (slot >= part.slot_begin && slot < part.slot_end) {
+            std::uint32_t& g = part.group_of_slot[static_cast<std::size_t>(
+                slot - part.slot_begin)];
+            if (g == FlatHashGroupIndex::kNoGroup) {
+              g = static_cast<std::uint32_t>(part.groups.size());
+              part.groups.emplace_back();
+              part.slot_of_group.push_back(slot);
+              inserted = true;
+            }
+            group = &part.groups[g];
+          }
+        } else {
+          for (std::size_t i = 0; i < n; ++i) {
+            scratch[i] = per_dim[i][cursor[i]].value;
+          }
+          const std::uint64_t hash = HashValueIds(scratch.data(), n);
+          if (num_partitions == 1 || hash % num_partitions == p) {
+            const std::uint32_t g = part.index.FindOrInsert(
+                hash, static_cast<std::uint32_t>(part.groups.size()),
+                [&](std::uint32_t ordinal) {
+                  return std::equal(scratch.begin(), scratch.end(),
+                                    part.key_storage.begin() +
+                                        static_cast<std::ptrdiff_t>(
+                                            ordinal * n));
+                },
+                &inserted);
+            if (inserted) {
+              part.key_storage.insert(part.key_storage.end(), scratch.begin(),
+                                      scratch.end());
+              part.groups.emplace_back();
+            }
+            group = &part.groups[g];
+          }
+        }
+        if (group != nullptr) {
+          if (inserted) {
+            group->base.life_per_dim.assign(n, Lifespan::AlwaysSpan());
+            group->base.prob_per_dim.assign(n, 1.0);
+          }
+          group->base.members.push_back(facts[f]);
+          double member_prob = 1.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const Coordinate& c = per_dim[i][cursor[i]];
+            if (c.life.has_value()) {
+              group->base.life_per_dim[i] =
+                  group->base.life_per_dim[i].Intersect(*c.life);
+            }
+            group->base.prob_per_dim[i] *= c.prob;
+            member_prob *= c.prob;
+          }
+          group->expected += member_prob;
+          if (needs_data && !bad_dim) {
+            const FactContribution& c = contributions[f];
+            if (c.arg_life.has_value()) {
+              group->result_life = group->result_life.Intersect(*c.arg_life);
+            }
+            if (c.failed) {
+              if (!group->failed) {
+                group->failed = true;
+                group->error = c.error;
+              }
+            } else if (!group->failed) {
+              if (kind == AggregateFunctionKind::kCount) {
+                group->agg.AddCounted(c.counted);
+              } else {
+                for (double value : c.values) group->agg.Add(value);
+              }
+            }
+          }
+        }
+        // Advance the cross-product cursor.
+        std::size_t i = 0;
+        while (i < n && ++cursor[i] == per_dim[i].size()) {
+          cursor[i] = 0;
+          ++i;
+        }
+        if (i == n) break;
+      }
+    }
+  };
+  if (parallel) {
+    exec->pool().ParallelFor(num_partitions, scan_partition);
+    exec->stats.tasks += num_partitions;
+    exec->stats.partitions += num_partitions;
+    ++exec->stats.parallel_runs;
+  } else {
+    scan_partition(0);
+  }
+
+  // Canonical group order: ascending slot for the dense engine (the
+  // partitions own ascending disjoint ranges), one lexicographic key sort
+  // for the flat-hash engine — both exactly the ordered map's iteration
+  // order.
+  struct GroupRef {
+    std::uint32_t partition;
+    std::uint32_t ordinal;
+  };
+  std::size_t total = 0;
+  for (const KernelPartition& part : parts) total += part.groups.size();
+  std::vector<GroupRef> order;
+  order.reserve(total);
+  const auto merge_start = std::chrono::steady_clock::now();
+  if (engine == GroupEngine::kDenseSlots) {
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      KernelPartition& part = parts[p];
+      std::vector<std::uint32_t> by_slot(part.groups.size());
+      for (std::uint32_t g = 0; g < by_slot.size(); ++g) by_slot[g] = g;
+      std::sort(by_slot.begin(), by_slot.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return part.slot_of_group[a] < part.slot_of_group[b];
+                });
+      for (std::uint32_t g : by_slot) {
+        order.push_back({static_cast<std::uint32_t>(p), g});
+      }
+    }
+  } else {
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      for (std::uint32_t g = 0; g < parts[p].groups.size(); ++g) {
+        order.push_back({static_cast<std::uint32_t>(p), g});
+      }
+    }
+    std::sort(order.begin(), order.end(),
+              [&](const GroupRef& a, const GroupRef& b) {
+                const ValueId* ka =
+                    parts[a.partition].key_storage.data() + a.ordinal * n;
+                const ValueId* kb =
+                    parts[b.partition].key_storage.data() + b.ordinal * n;
+                return std::lexicographical_compare(ka, ka + n, kb, kb + n);
+              });
+  }
+  if (parallel) {
+    exec->stats.merge_nanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count());
+  }
+
+  if (bad_dim && total > 0) {
+    // Every group's Evaluate would fail identically; surface it exactly
+    // as the baseline does for its first group.
+    return Status::InvalidArgument(
+        StrCat(spec.function.name(), " references dimension ",
+               spec.function.args().front(), " of a ", n,
+               "-dimensional MO"));
+  }
+  keys.reserve(total);
+  accums.reserve(total);
+  evals.reserve(total);
+  GroupKey key(n);
+  for (const GroupRef& ref : order) {
+    KernelPartition& part = parts[ref.partition];
+    KernelGroup& group = part.groups[ref.ordinal];
+    if (group.failed) return group.error;
+    if (engine == GroupEngine::kDenseSlots) {
+      space.KeyOf(part.slot_of_group[ref.ordinal], key);
+    } else {
+      const auto begin = part.key_storage.begin() +
+                         static_cast<std::ptrdiff_t>(ref.ordinal * n);
+      key.assign(begin, begin + static_cast<std::ptrdiff_t>(n));
+    }
+    // Members were appended in ascending fact order and each fact joins a
+    // given key at most once, so the list is already the canonical sorted
+    // set EvaluateGroup produces.
+    GroupEval eval;
+    if (kind == AggregateFunctionKind::kSetCount) {
+      eval.value = spec.expected_counts
+                       ? group.expected
+                       : static_cast<double>(group.base.members.size());
+    } else {
+      MDDC_ASSIGN_OR_RETURN(eval.value, spec.function.Finish(group.agg));
+    }
+    eval.result_life = group.result_life;
+    keys.push_back(key);
+    accums.push_back(std::move(group.base));
+    evals.push_back(eval);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -672,6 +1123,36 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
     }
   }
 
+  // 0b. Per-fact entry lists for the dimensions the hot loops touch
+  //     (indexed grouping dimensions and the aggregate's argument
+  //     dimensions): one lockstep walk of each relation's by-fact tree
+  //     against the sorted fact vector replaces one tree lookup per
+  //     (fact, dimension) below.
+  FactEntryLists fact_entries;
+  const FactEntryLists* fact_entries_ptr = nullptr;
+  if (exec != nullptr) {
+    fact_entries.resize(n);
+    std::vector<bool> wanted(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indexes[i] != nullptr) wanted[i] = true;
+    }
+    for (std::size_t dim : spec.function.args()) {
+      if (dim < n) wanted[dim] = true;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!wanted[i]) continue;
+      fact_entries[i].assign(facts.size(), nullptr);
+      std::size_t f = 0;
+      for (const auto& [fact, entry_list] :
+           mo.relation(i).EntryIndexesByFact()) {
+        while (f < facts.size() && facts[f] < fact) ++f;
+        if (f == facts.size()) break;
+        if (facts[f] == fact) fact_entries[i][f] = &entry_list;
+      }
+    }
+    fact_entries_ptr = &fact_entries;
+  }
+
   // 1. Grouping coordinates per fact, in fact order.
   std::vector<std::optional<std::vector<std::vector<Coordinate>>>> coords(
       facts.size());
@@ -684,84 +1165,88 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
       const std::size_t begin = chunk * facts.size() / chunks;
       const std::size_t end = (chunk + 1) * facts.size() / chunks;
       for (std::size_t f = begin; f < end; ++f) {
-        coords[f] = GroupingCoordinates(mo, spec, facts[f], indexes);
+        coords[f] =
+            GroupingCoordinates(mo, spec, facts[f], indexes, fact_entries_ptr,
+                                f);
       }
     });
     exec->stats.tasks += chunks;
   } else {
     for (std::size_t f = 0; f < facts.size(); ++f) {
-      coords[f] = GroupingCoordinates(mo, spec, facts[f], indexes);
+      coords[f] =
+          GroupingCoordinates(mo, spec, facts[f], indexes, fact_entries_ptr,
+                              f);
     }
   }
 
-  // 2. Build groups. The parallel path hash-partitions group keys: every
-  //    worker scans the facts in order and accumulates only its
-  //    partition's keys, so each group is built whole — in fact order —
-  //    by exactly one worker and the partition maps are disjoint. The
-  //    deterministic partition-order merge then yields the same key-
-  //    ordered map the sequential loop builds.
-  GroupMap groups;
-  if (parallel) {
-    const std::size_t num_partitions = exec->num_threads;
-    std::vector<GroupMap> partitions(num_partitions);
-    exec->pool().ParallelFor(num_partitions, [&](std::size_t p) {
-      for (std::size_t f = 0; f < facts.size(); ++f) {
-        if (!coords[f].has_value()) continue;
-        AccumulateFact(n, facts[f], *coords[f], p, num_partitions,
-                       partitions[p]);
+  // 2. Engine selection (docs/groupby_kernel.md). Any caller with an
+  //    execution context gets a kernel: dense slots when every grouping
+  //    dimension is either grouped at top or covered by a flat rollup
+  //    table AND the slot cross-product fits the context's threshold;
+  //    the flat-hash kernel otherwise. Context-free callers keep the
+  //    ordered-map baseline as differential ground truth.
+  GroupEngine engine = GroupEngine::kOrderedMap;
+  DenseSlotSpace space;
+  if (exec != nullptr) {
+    engine = GroupEngine::kFlatHash;
+    bool all_indexed = true;
+    std::vector<DenseSlotSpace::GroupingDim> grouping_dims(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (spec.grouping[i] == mo.dimension(i).type().top()) {
+        grouping_dims[i] = {nullptr, 0, mo.dimension(i).top_value()};
+      } else if (indexes[i] != nullptr) {
+        grouping_dims[i] = {indexes[i].get(), spec.grouping[i], ValueId{}};
+      } else {
+        all_indexed = false;
+        break;
       }
-    });
-    exec->stats.tasks += num_partitions;
-    exec->stats.partitions += num_partitions;
-    const auto merge_start = std::chrono::steady_clock::now();
-    for (GroupMap& partition : partitions) {
-      groups.merge(partition);
     }
-    exec->stats.merge_nanos += static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - merge_start)
-            .count());
-  } else {
+    if (all_indexed) {
+      switch (DenseSlotSpace::Build(grouping_dims,
+                                    exec->max_dense_groupby_slots, &space)) {
+        case DenseSlotSpace::Plan::kDense:
+          engine = GroupEngine::kDenseSlots;
+          break;
+        case DenseSlotSpace::Plan::kTooManySlots:
+          ++exec->stats.dense_slot_fallbacks;
+          break;
+        case DenseSlotSpace::Plan::kNotIndexed:
+          break;
+      }
+    }
+  }
+
+  // 3. Build and evaluate groups. Either engine yields groups in
+  //    canonical lexicographic key order with members in ascending fact
+  //    order, so the assembled result is byte-identical across engines
+  //    and thread counts.
+  std::vector<GroupKey> keys;
+  std::vector<GroupAccum> accums;
+  std::vector<GroupEval> evals;
+  if (engine == GroupEngine::kOrderedMap) {
+    GroupMap groups;
     for (std::size_t f = 0; f < facts.size(); ++f) {
       if (!coords[f].has_value()) continue;
-      AccumulateFact(n, facts[f], *coords[f], 0, 1, groups);
+      AccumulateFact(n, facts[f], *coords[f], groups);
     }
-  }
-
-  // 3. Evaluate g per group (and the group's result lifespan). Groups
-  //    are independent, so the parallel path fans them out; errors land
-  //    in per-group slots — no exceptions cross the pool boundary — and
-  //    the first one in group order, matching the sequential path, is
-  //    returned.
-  std::vector<GroupAccum*> group_ptrs;
-  group_ptrs.reserve(groups.size());
-  for (auto& [key, group] : groups) group_ptrs.push_back(&group);
-  std::vector<GroupEval> evals(groups.size());
-  if (parallel) {
-    std::vector<Status> statuses(groups.size());
-    const std::size_t chunks = std::min(groups.size(), exec->num_threads * 4);
-    exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
-      const std::size_t begin = chunk * groups.size() / chunks;
-      const std::size_t end = (chunk + 1) * groups.size() / chunks;
-      for (std::size_t g = begin; g < end; ++g) {
-        Result<GroupEval> eval = EvaluateGroup(mo, spec, *group_ptrs[g]);
-        if (eval.ok()) {
-          evals[g] = *eval;
-        } else {
-          statuses[g] = eval.status();
-        }
-      }
-    });
-    exec->stats.tasks += chunks;
-    for (const Status& status : statuses) {
-      MDDC_RETURN_NOT_OK(status);
+    keys.reserve(groups.size());
+    accums.reserve(groups.size());
+    evals.reserve(groups.size());
+    for (auto& [key, group] : groups) {
+      MDDC_ASSIGN_OR_RETURN(GroupEval eval, EvaluateGroup(mo, spec, group));
+      keys.push_back(key);
+      evals.push_back(eval);
+      accums.push_back(std::move(group));
     }
-    ++exec->stats.parallel_runs;
   } else {
-    for (std::size_t g = 0; g < group_ptrs.size(); ++g) {
-      MDDC_ASSIGN_OR_RETURN(evals[g],
-                            EvaluateGroup(mo, spec, *group_ptrs[g]));
+    if (engine == GroupEngine::kDenseSlots) {
+      ++exec->stats.dense_groupby_runs;
+    } else {
+      ++exec->stats.flat_hash_runs;
     }
+    MDDC_RETURN_NOT_OK(RunGroupByKernel(mo, spec, engine, space, coords,
+                                        fact_entries_ptr, parallel, exec, keys,
+                                        accums, evals));
   }
 
   // 4. Argument dimensions restricted to the categories at or above the
@@ -826,17 +1311,20 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
   MdObject result(StrCat("Set-of-", mo.schema().fact_type()),
                   std::move(dimensions), mo.registry(), mo.temporal_type());
 
-  // 5. Populate facts and relations from the step-3 evaluations: the
-  //    groups iterate in the same key order as group_ptrs was built, so
-  //    evals[g] is this group's evaluation (members already canonically
-  //    sorted by EvaluateGroup) — g(group) and the result lifespan are
-  //    not recomputed here.
+  // 5. Populate facts and relations from the step-3 evaluations, in
+  //    canonical group order (members already canonically sorted) —
+  //    g(group) and the result lifespan are not recomputed here.
   FactRegistry& registry = *mo.registry();
   Dimension& out_result_dim = result.dimension_mutable(n);
-  std::map<std::string, ValueId> auto_values;  // keyed by formatted result
-  std::size_t group_index = 0;
-  for (auto& [key, group] : groups) {
-    const GroupEval& eval = evals[group_index++];
+  // Result values are interned by the double's bit pattern, not its
+  //    formatted text: FormatDouble is injective for finite doubles but
+  //    collapses NaN payloads, and two distinct results must never share
+  //    a result value. The formatted text is display-only.
+  std::map<std::uint64_t, ValueId> auto_values;
+  for (std::size_t g = 0; g < keys.size(); ++g) {
+    const GroupKey& key = keys[g];
+    GroupAccum& group = accums[g];
+    const GroupEval& eval = evals[g];
     FactId group_fact = registry.Set(group.members);
     MDDC_RETURN_NOT_OK(result.AddFact(group_fact));
     const double value = eval.value;
@@ -859,15 +1347,15 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
     Lifespan result_life = eval.result_life;
     ValueId result_value;
     if (spec.result.is_auto()) {
-      std::string formatted = FormatDouble(value);
-      auto it = auto_values.find(formatted);
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+      auto it = auto_values.find(bits);
       if (it == auto_values.end()) {
         MDDC_ASSIGN_OR_RETURN(result_value,
                               out_result_dim.AddValueAuto(result_bottom));
         Representation& rep =
             out_result_dim.RepresentationFor(result_bottom, "Value");
-        MDDC_RETURN_NOT_OK(rep.Set(result_value, formatted));
-        auto_values.emplace(formatted, result_value);
+        MDDC_RETURN_NOT_OK(rep.Set(result_value, FormatDouble(value)));
+        auto_values.emplace(bits, result_value);
       } else {
         result_value = it->second;
       }

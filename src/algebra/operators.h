@@ -147,15 +147,21 @@ struct AggregateSpec {
 /// summarizability rule of Section 4.1 (min of argument types when
 /// distributive + strict + partitioning, else c).
 ///
-/// With an ExecContext whose num_threads > 1 and a fact set of at least
-/// min_parallel_facts, the operator runs the parallel engine: facts are
-/// hash-partitioned by group key, per-worker partial groups are built,
-/// and the partitions are merged deterministically in partition order, so
-/// the result — down to its serialized bytes — is identical to the
-/// sequential path. The parallel path is taken only when the Section 3.4
-/// summarizability preconditions hold (the same gate PreAggregateCache
-/// applies); otherwise the operator falls back to the sequential
-/// algorithm and counts a sequential_fallback on the context.
+/// Any ExecContext switches grouping onto a flat kernel
+/// (docs/groupby_kernel.md): dense row-major slots over the compiled
+/// rollup index when every grouping dimension is covered and the slot
+/// cross-product fits exec->max_dense_groupby_slots, an open-addressing
+/// flat-hash kernel otherwise; without a context the ordered-map
+/// baseline runs unchanged. With num_threads > 1 and a fact set of at
+/// least min_parallel_facts the kernel additionally fans out: each
+/// worker scans all facts and owns a disjoint slice of the group space
+/// (contiguous slot ranges, or keys by hash), so every group is built
+/// whole by one worker and the result — down to its serialized bytes —
+/// is identical to the sequential path at any thread count. The
+/// parallel path is taken only when the Section 3.4 summarizability
+/// preconditions hold (the same gate PreAggregateCache applies);
+/// otherwise the operator falls back to the sequential algorithm and
+/// counts a sequential_fallback on the context.
 Result<MdObject> AggregateFormation(const MdObject& mo,
                                     const AggregateSpec& spec,
                                     ExecContext* exec = nullptr);

@@ -1,6 +1,9 @@
 #include "common/strings.h"
 
+#include <bit>
+#include <cinttypes>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstdio>
 
@@ -32,6 +35,18 @@ std::vector<std::string> Split(std::string_view text, char separator) {
 }
 
 std::string FormatDouble(double value) {
+  if (std::isnan(value)) {
+    // "%g" prints every NaN as "nan", which is not injective — and
+    // representations require distinct texts for distinct values. Spell
+    // out sign and payload ("nan(0x...)" parses back through strtod), so
+    // payload-distinct NaNs stay distinguishable.
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%snan(0x%" PRIx64 ")",
+                  (bits >> 63) != 0 ? "-" : "",
+                  bits & ((std::uint64_t{1} << 52) - 1));
+    return buffer;
+  }
   if (std::isfinite(value) && value == std::floor(value) &&
       std::fabs(value) < 1e15) {
     char buffer[32];

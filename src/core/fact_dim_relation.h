@@ -58,6 +58,14 @@ class FactDimRelation {
   const std::vector<std::size_t>& EntryIndexesForFact(FactId fact) const;
   const std::vector<std::size_t>& EntryIndexesForValue(ValueId value) const;
 
+  /// The whole by-fact index, keyed in ascending fact order — for hot
+  /// loops that walk a sorted fact list in lockstep instead of issuing
+  /// one tree lookup per fact. Invalidated by Add and RestrictToFacts.
+  const std::map<FactId, std::vector<std::size_t>>& EntryIndexesByFact()
+      const {
+    return by_fact_;
+  }
+
   /// True iff some pair references `fact`.
   bool HasFact(FactId fact) const;
 

@@ -120,6 +120,20 @@ struct ExecStats {
   /// strictness/non-temporal gate failed, falling back to the memoized
   /// traversal (results are bit-identical either way).
   std::size_t index_fallbacks = 0;
+  /// Aggregate formations answered by the dense-slot group-by kernel:
+  /// every grouping dimension was covered by a flat rollup table (or
+  /// grouped at top) and the slot cross-product fit within
+  /// ExecContext::max_dense_groupby_slots.
+  std::size_t dense_groupby_runs = 0;
+  /// Group-bys answered by the open-addressing flat-hash kernel: an
+  /// aggregate formation whose slot space was too large or not fully
+  /// indexed, a relational group-by, or a pre-aggregate rollup merge —
+  /// whenever an execution context is supplied.
+  std::size_t flat_hash_runs = 0;
+  /// Aggregate formations that were structurally dense (all grouping
+  /// dimensions indexed) but whose slot cross-product exceeded
+  /// max_dense_groupby_slots, demoting them to the flat-hash kernel.
+  std::size_t dense_slot_fallbacks = 0;
 };
 
 /// Execution context threaded through AggregateFormation, Join, the
@@ -139,6 +153,12 @@ struct ExecContext {
   /// Inputs smaller than this stay sequential: partitioning overhead
   /// dominates below a few thousand facts.
   std::size_t min_parallel_facts = 4096;
+  /// Largest slot cross-product the dense group-by kernel may allocate
+  /// (it costs ~4 bytes of slot indirection per slot); groupings whose
+  /// cross-product of grouping-category cardinalities exceeds this use
+  /// the flat-hash kernel instead (stats.dense_slot_fallbacks counts
+  /// the demotions). Exposed so tests and tuning can move the boundary.
+  std::uint64_t max_dense_groupby_slots = std::uint64_t{1} << 22;
 
   ExecStats stats;
 

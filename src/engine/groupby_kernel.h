@@ -1,0 +1,145 @@
+#ifndef MDDC_ENGINE_GROUPBY_KERNEL_H_
+#define MDDC_ENGINE_GROUPBY_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dimension.h"
+#include "engine/rollup_index.h"
+
+namespace mddc {
+
+/// Shared building blocks of the group-by kernels (docs/groupby_kernel.md):
+/// the dense row-major slot space an aggregate formation composes from the
+/// compiled rollup index, and the open-addressing flat-hash group index the
+/// sparse paths (and relational group-by) fall back to. Both exist to kill
+/// the per-fact heap-allocated GroupKey and the std::map node churn of the
+/// ordered-map baseline; the baseline itself stays untouched as the
+/// no-context differential ground truth.
+
+/// FNV-1a over `n` surrogate ids, byte by byte — the group-key hash shared
+/// by the flat-hash group index and the parallel partitioner, so a key's
+/// owning partition and its table slot derive from one computation.
+std::uint64_t HashValueIds(const ValueId* ids, std::size_t n);
+
+/// A row-major slot space over the grouping categories of an aggregate
+/// formation. Dimension 0 is the most significant digit and each
+/// dimension's digit is the rank of the coordinate value within its
+/// grouping category (categories are sorted by ValueId in the rollup
+/// snapshot), so ascending slot order IS the lexicographic ValueId key
+/// order of the ordered-map baseline — canonical output order falls out of
+/// the layout instead of a sort.
+///
+/// Holds raw pointers into the RollupIndex snapshots it was built from;
+/// callers keep those snapshots alive for the space's lifetime.
+class DenseSlotSpace {
+ public:
+  enum class Plan {
+    /// Every grouping dimension is covered (flat table or fixed at top)
+    /// and the slot cross-product fits the threshold.
+    kDense,
+    /// Structurally dense, but the cross-product exceeds `max_slots`.
+    kTooManySlots,
+    /// Some grouping dimension has no usable flat rollup table.
+    kNotIndexed,
+  };
+
+  /// One grouping dimension: either backed by a compiled snapshot (the
+  /// grouping category's values become the digit range) or fixed to a
+  /// single value (a dimension grouped at top contributes one digit).
+  struct GroupingDim {
+    const RollupIndex* index = nullptr;  // null => fixed single-value dim
+    CategoryTypeIndex category = 0;
+    ValueId fixed_value{};  // used when index == nullptr
+  };
+
+  /// Plans the slot space. Returns kDense and fills `out` when the
+  /// overflow-checked cross-product of category cardinalities is at most
+  /// `max_slots`; otherwise reports why the dense engine cannot run.
+  static Plan Build(const std::vector<GroupingDim>& dims,
+                    std::uint64_t max_slots, DenseSlotSpace* out);
+
+  std::uint64_t slot_count() const { return slot_count_; }
+  std::size_t dim_count() const { return dims_.size(); }
+  std::uint64_t cardinality(std::size_t i) const { return dims_[i].card; }
+  bool fixed(std::size_t i) const { return dims_[i].index == nullptr; }
+
+  /// The digit of dense value `dense` in dimension `i`: its rank within
+  /// the grouping category. Only valid for values the flat table resolved
+  /// into the category (ancestors at it); fixed dimensions always use 0.
+  std::uint32_t OrdinalOf(std::size_t i, std::uint32_t dense) const {
+    return dims_[i].ordinal_of_dense[dense];
+  }
+
+  /// Decomposes `slot` back into the grouping ValueIds, one per dimension
+  /// — the inverse of the row-major composition.
+  void KeyOf(std::uint64_t slot, std::vector<ValueId>& key) const;
+
+ private:
+  struct Dim {
+    const RollupIndex* index = nullptr;
+    ValueId fixed_value{};
+    std::uint64_t card = 1;
+    const std::uint32_t* range = nullptr;  // category dense ids, ascending
+    std::vector<std::uint32_t> ordinal_of_dense;
+  };
+
+  std::vector<Dim> dims_;
+  std::uint64_t slot_count_ = 1;
+};
+
+/// An open-addressing (linear-probe, power-of-two capacity) map from a
+/// group key's hash to a caller-assigned dense group ordinal. The table
+/// stores only (hash, ordinal) pairs; the caller owns key storage and
+/// supplies the equality probe, so keys of any shape — a fixed-stride run
+/// of ValueIds, a std::vector<Value> tuple — intern without per-key heap
+/// nodes. Not thread-safe; the parallel paths give each partition its own
+/// index.
+class FlatHashGroupIndex {
+ public:
+  /// Sentinel ordinal: "slot empty" / "no group".
+  static constexpr std::uint32_t kNoGroup = 0xffffffffu;
+
+  FlatHashGroupIndex() { Rehash(16); }
+
+  std::size_t size() const { return size_; }
+
+  /// Looks up `hash`; `eq(ordinal)` must return true iff the caller's key
+  /// equals the key it stored under `ordinal`. On a miss the key is
+  /// recorded under `next_ordinal` and `*inserted` is set; the caller then
+  /// appends the key (and its accumulator) to its own storage so the
+  /// ordinal stays dense.
+  template <typename Eq>
+  std::uint32_t FindOrInsert(std::uint64_t hash, std::uint32_t next_ordinal,
+                             const Eq& eq, bool* inserted) {
+    if ((size_ + 1) * 10 >= hashes_.size() * 7) Rehash(hashes_.size() * 2);
+    std::size_t pos = static_cast<std::size_t>(hash) & mask_;
+    while (true) {
+      if (ordinals_[pos] == kNoGroup) {
+        ordinals_[pos] = next_ordinal;
+        hashes_[pos] = hash;
+        ++size_;
+        *inserted = true;
+        return next_ordinal;
+      }
+      if (hashes_[pos] == hash && eq(ordinals_[pos])) {
+        *inserted = false;
+        return ordinals_[pos];
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+ private:
+  void Rehash(std::size_t capacity);
+
+  std::vector<std::uint64_t> hashes_;
+  std::vector<std::uint32_t> ordinals_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_ENGINE_GROUPBY_KERNEL_H_

@@ -1,9 +1,13 @@
 #include "engine/preagg_cache.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <map>
+#include <utility>
 
 #include "common/strings.h"
+#include "engine/groupby_kernel.h"
 #include "engine/rollup_index.h"
 
 namespace mddc {
@@ -154,10 +158,20 @@ Result<MdObject> PreAggregateCache::RollUpCached(
     double value = 0.0;
     bool first = true;
   };
+  // Merge-key interning: the flat-hash engine (docs/groupby_kernel.md)
+  // for any caller with an execution context — keys live in one
+  // fixed-stride buffer probed through the open-addressing index — and
+  // the ordered map as the context-free differential baseline. Either
+  // way the assembly below walks the groups in lexicographic key order.
+  const bool use_flat = exec != nullptr;
   std::map<std::vector<ValueId>, Merged> merged;
+  FlatHashGroupIndex flat_index;
+  std::vector<ValueId> key_storage;  // stride n
+  std::vector<Merged> flat_slots;
+  if (use_flat) ++exec->stats.flat_hash_runs;
   const std::size_t result_dim = cached.dimension_count() - 1;
+  std::vector<ValueId> key(n);
   for (FactId group : cached.facts()) {
-    std::vector<ValueId> key(n);
     for (std::size_t i = 0; i < n; ++i) {
       const FactDimRelation& relation = cached.relation(i);
       const std::vector<std::size_t>& pairs =
@@ -214,12 +228,51 @@ Result<MdObject> PreAggregateCache::RollUpCached(
             .NumericValueOf(
                 result_relation.entries()[result_pairs.front()].value));
     MDDC_ASSIGN_OR_RETURN(FactTerm term, cached.registry()->Get(group));
-    Merged& slot = merged[key];
-    slot.members.insert(slot.members.end(), term.members.begin(),
-                        term.members.end());
-    slot.value = slot.first ? partial
-                            : Merge(function.kind(), slot.value, partial);
-    slot.first = false;
+    Merged* slot;
+    if (use_flat) {
+      const std::uint64_t hash = HashValueIds(key.data(), n);
+      bool inserted = false;
+      const std::uint32_t g = flat_index.FindOrInsert(
+          hash, static_cast<std::uint32_t>(flat_slots.size()),
+          [&](std::uint32_t ordinal) {
+            return std::equal(
+                key.begin(), key.end(),
+                key_storage.begin() +
+                    static_cast<std::ptrdiff_t>(ordinal * n));
+          },
+          &inserted);
+      if (inserted) {
+        key_storage.insert(key_storage.end(), key.begin(), key.end());
+        flat_slots.emplace_back();
+      }
+      slot = &flat_slots[g];
+    } else {
+      slot = &merged[key];
+    }
+    slot->members.insert(slot->members.end(), term.members.begin(),
+                         term.members.end());
+    slot->value = slot->first ? partial
+                              : Merge(function.kind(), slot->value, partial);
+    slot->first = false;
+  }
+
+  // Canonical lexicographic key order over either engine's storage.
+  std::vector<std::pair<const ValueId*, const Merged*>> ordered;
+  if (use_flat) {
+    ordered.reserve(flat_slots.size());
+    for (std::size_t g = 0; g < flat_slots.size(); ++g) {
+      ordered.push_back({key_storage.data() + g * n, &flat_slots[g]});
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [n](const auto& a, const auto& b) {
+                return std::lexicographical_compare(
+                    a.first, a.first + n, b.first, b.first + n);
+              });
+  } else {
+    ordered.reserve(merged.size());
+    for (const auto& [map_key, slot] : merged) {
+      ordered.push_back({map_key.data(), &slot});
+    }
   }
 
   // Assemble the rolled-up MO: argument dimensions restricted above the
@@ -241,20 +294,23 @@ Result<MdObject> PreAggregateCache::RollUpCached(
   Dimension& out_result = result.dimension_mutable(n);
   CategoryTypeIndex bottom = result_type->bottom();
   Representation& rep = out_result.RepresentationFor(bottom, "Value");
-  std::map<std::string, ValueId> value_ids;
-  for (auto& [key, slot] : merged) {
-    FactId fact = cached.registry()->Set(slot.members);
+  // Result values intern by the double's bit pattern — FormatDouble
+  // collapses NaN payloads, and two distinct results must never share a
+  // value. The formatted text is display-only.
+  std::map<std::uint64_t, ValueId> value_ids;
+  for (const auto& [group_key, slot] : ordered) {
+    FactId fact = cached.registry()->Set(slot->members);
     MDDC_RETURN_NOT_OK(result.AddFact(fact));
     for (std::size_t i = 0; i < n; ++i) {
-      MDDC_RETURN_NOT_OK(result.relation_mutable(i).Add(fact, key[i]));
+      MDDC_RETURN_NOT_OK(result.relation_mutable(i).Add(fact, group_key[i]));
     }
-    std::string formatted = FormatDouble(slot.value);
-    auto it = value_ids.find(formatted);
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(slot->value);
+    auto it = value_ids.find(bits);
     ValueId value;
     if (it == value_ids.end()) {
       MDDC_ASSIGN_OR_RETURN(value, out_result.AddValueAuto(bottom));
-      MDDC_RETURN_NOT_OK(rep.Set(value, formatted));
-      value_ids.emplace(formatted, value);
+      MDDC_RETURN_NOT_OK(rep.Set(value, FormatDouble(slot->value)));
+      value_ids.emplace(bits, value);
     } else {
       value = it->second;
     }

@@ -9,6 +9,7 @@
 
 #include "common/strings.h"
 #include "engine/executor.h"
+#include "engine/groupby_kernel.h"
 
 namespace mddc {
 namespace relational {
@@ -229,14 +230,23 @@ namespace {
 using GroupMembers = std::vector<const Tuple*>;
 using GroupMap = std::map<std::vector<Value>, GroupMembers>;
 
-std::size_t GroupKeyHash(const std::vector<Value>& key) {
-  std::size_t h = 1469598103934665603ull;
+std::uint64_t GroupKeyHash(const std::vector<Value>& key) {
+  std::uint64_t h = 1469598103934665603ull;
   for (const Value& value : key) {
     h ^= value.Hash();
     h *= 1099511628211ull;
   }
   return h;
 }
+
+/// One worker's share of a flat-hash group-by run: keys intern through the
+/// open-addressing index into dense ordinals; `keys` and `members` grow in
+/// lockstep with the assigned ordinals.
+struct FlatPartition {
+  FlatHashGroupIndex index;
+  std::vector<std::vector<Value>> keys;
+  std::vector<GroupMembers> members;
+};
 
 /// One output tuple: the group key extended with the aggregate results,
 /// computed over the members in scan order (so floating-point sums
@@ -334,41 +344,83 @@ Result<Relation> Aggregate(const Relation& r,
   const bool parallel =
       exec != nullptr && exec->WantsParallel(r.tuples().size());
 
-  // Group the tuples. Relational group-by has no summarizability
-  // precondition (every Klug aggregate here is computed from the whole
-  // member list, never merged from partials), so the parallel path only
-  // needs groups built whole: workers share a scan of the tuples, each
-  // accumulating the keys of its hash partition, and the disjoint
-  // partition maps merge in partition order into one key-ordered map.
-  GroupMap groups;
-  if (parallel) {
-    const std::size_t num_partitions = exec->num_threads;
-    std::vector<GroupMap> partitions(num_partitions);
-    exec->pool().ParallelFor(num_partitions, [&](std::size_t p) {
+  // Group the tuples, then present the groups as one key-ordered view.
+  // Relational group-by has no summarizability precondition (every Klug
+  // aggregate here is computed from the whole member list, never merged
+  // from partials), so the parallel path only needs groups built whole:
+  // workers share a scan of the tuples, each interning only the keys of
+  // its hash partition, so the partitions are disjoint and one final key
+  // sort restores the order the std::map baseline emits.
+  //
+  // Any caller with an execution context gets the flat-hash engine
+  // (docs/groupby_kernel.md) — open-addressing interning instead of
+  // per-key map nodes; context-free callers keep the ordered map as the
+  // differential baseline.
+  using OrderedGroup = std::pair<const std::vector<Value>*,
+                                 const GroupMembers*>;
+  std::vector<OrderedGroup> ordered;
+  GroupMap groups;                        // legacy engine storage
+  std::vector<FlatPartition> partitions;  // flat-hash engine storage
+  if (exec != nullptr) {
+    ++exec->stats.flat_hash_runs;
+    const std::size_t num_partitions = parallel ? exec->num_threads : 1;
+    partitions.resize(num_partitions);
+    auto scan_partition = [&](std::size_t p) {
+      FlatPartition& part = partitions[p];
+      std::vector<Value> key;
       for (const Tuple& tuple : r.tuples()) {
-        std::vector<Value> key;
-        key.reserve(group_indexes.size());
+        key.clear();
         for (std::size_t index : group_indexes) key.push_back(tuple[index]);
-        if (GroupKeyHash(key) % num_partitions != p) continue;
-        partitions[p][std::move(key)].push_back(&tuple);
+        const std::uint64_t hash = GroupKeyHash(key);
+        if (num_partitions > 1 && hash % num_partitions != p) continue;
+        bool inserted = false;
+        const std::uint32_t g = part.index.FindOrInsert(
+            hash, static_cast<std::uint32_t>(part.keys.size()),
+            [&](std::uint32_t ordinal) { return part.keys[ordinal] == key; },
+            &inserted);
+        if (inserted) {
+          part.keys.push_back(key);
+          part.members.emplace_back();
+        }
+        part.members[g].push_back(&tuple);
       }
-    });
-    exec->stats.tasks += num_partitions;
-    exec->stats.partitions += num_partitions;
-    const auto merge_start = std::chrono::steady_clock::now();
-    for (GroupMap& partition : partitions) {
-      groups.merge(partition);
+    };
+    if (parallel) {
+      exec->pool().ParallelFor(num_partitions, scan_partition);
+      exec->stats.tasks += num_partitions;
+      exec->stats.partitions += num_partitions;
+    } else {
+      scan_partition(0);
     }
-    exec->stats.merge_nanos += static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - merge_start)
-            .count());
+    std::size_t total = 0;
+    for (const FlatPartition& part : partitions) total += part.keys.size();
+    ordered.reserve(total);
+    const auto merge_start = std::chrono::steady_clock::now();
+    for (const FlatPartition& part : partitions) {
+      for (std::size_t g = 0; g < part.keys.size(); ++g) {
+        ordered.push_back({&part.keys[g], &part.members[g]});
+      }
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const OrderedGroup& a, const OrderedGroup& b) {
+                return *a.first < *b.first;
+              });
+    if (parallel) {
+      exec->stats.merge_nanos += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - merge_start)
+              .count());
+    }
   } else {
     for (const Tuple& tuple : r.tuples()) {
       std::vector<Value> key;
       key.reserve(group_indexes.size());
       for (std::size_t index : group_indexes) key.push_back(tuple[index]);
       groups[std::move(key)].push_back(&tuple);
+    }
+    ordered.reserve(groups.size());
+    for (const auto& [key, members] : groups) {
+      ordered.push_back({&key, &members});
     }
   }
 
@@ -382,21 +434,17 @@ Result<Relation> Aggregate(const Relation& r,
     // Evaluate groups concurrently into per-group slots (first error in
     // group order wins — no exceptions cross the pool boundary), then
     // insert sequentially in key order.
-    std::vector<const GroupMap::value_type*> group_ptrs;
-    group_ptrs.reserve(groups.size());
-    for (const auto& entry : groups) group_ptrs.push_back(&entry);
-    std::vector<Tuple> rows(groups.size());
-    std::vector<Status> statuses(groups.size());
+    std::vector<Tuple> rows(ordered.size());
+    std::vector<Status> statuses(ordered.size());
     const std::size_t chunks =
-        std::min(std::max<std::size_t>(groups.size(), 1),
+        std::min(std::max<std::size_t>(ordered.size(), 1),
                  exec->num_threads * 4);
     exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
-      const std::size_t begin = chunk * groups.size() / chunks;
-      const std::size_t end = (chunk + 1) * groups.size() / chunks;
+      const std::size_t begin = chunk * ordered.size() / chunks;
+      const std::size_t end = (chunk + 1) * ordered.size() / chunks;
       for (std::size_t g = begin; g < end; ++g) {
-        Result<Tuple> row = GroupRow(group_ptrs[g]->first,
-                                     group_ptrs[g]->second, terms,
-                                     term_indexes);
+        Result<Tuple> row = GroupRow(*ordered[g].first, *ordered[g].second,
+                                     terms, term_indexes);
         if (row.ok()) {
           rows[g] = std::move(*row);
         } else {
@@ -413,9 +461,10 @@ Result<Relation> Aggregate(const Relation& r,
       MDDC_RETURN_NOT_OK(result.Insert(std::move(row)));
     }
   } else {
-    for (const auto& [key, members] : groups) {
-      MDDC_ASSIGN_OR_RETURN(Tuple row,
-                            GroupRow(key, members, terms, term_indexes));
+    for (const OrderedGroup& group : ordered) {
+      MDDC_ASSIGN_OR_RETURN(
+          Tuple row, GroupRow(*group.first, *group.second, terms,
+                              term_indexes));
       MDDC_RETURN_NOT_OK(result.Insert(std::move(row)));
     }
   }

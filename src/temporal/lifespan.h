@@ -33,6 +33,12 @@ struct Lifespan {
 
   bool Empty() const { return valid.Empty() || transaction.Empty(); }
 
+  /// True iff both components span the whole time domain (the attachment
+  /// of nontemporal data). Intersect with such a span is the identity, so
+  /// hot loops test this before paying for the vector copies an
+  /// Intersect allocates.
+  bool IsAlways() const { return valid.IsAlways() && transaction.IsAlways(); }
+
   Lifespan Intersect(const Lifespan& other) const {
     return Lifespan{valid.Intersect(other.valid),
                     transaction.Intersect(other.transaction)};

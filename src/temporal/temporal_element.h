@@ -49,6 +49,14 @@ class TemporalElement {
   static Result<TemporalElement> Parse(const std::string& text);
 
   bool Empty() const { return intervals_.empty(); }
+  /// True iff the element is the whole time domain — O(1) thanks to the
+  /// coalesced canonical form, and worth testing before Union/Intersect
+  /// since Always is absorbing/identity there.
+  bool IsAlways() const {
+    return intervals_.size() == 1 &&
+           intervals_.front().begin() == kMinChronon &&
+           intervals_.front().end() == kForeverChronon;
+  }
   const std::vector<Interval>& intervals() const { return intervals_; }
 
   /// Total number of chronons in the element.
