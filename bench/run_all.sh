@@ -3,11 +3,13 @@
 # binary, then merges the BENCH_*.json files the JSON-emitting benches
 # write into one BENCH_summary.json.
 #
-#   $ bench/run_all.sh [stamp]
+#   $ bench/run_all.sh <stamp>
 #
-# `stamp` is recorded verbatim in the summary (a commit hash, a CI run
-# id, ...); it defaults to "unstamped" rather than reading the clock so
-# reruns of the same tree produce byte-identical summaries.
+# `stamp` is required and recorded verbatim in the summary (a commit
+# hash, a CI run id, ...); the script does not read the clock, so reruns
+# of the same tree with the same stamp produce byte-identical summaries.
+# Exits nonzero if any bench fails — every bench still runs, and the
+# failures are listed at the end.
 #
 # MDDC_SWEEP_MAX_FACTS is exported through to the benches that honor it
 # (the scaling sweeps), so e.g.
@@ -17,7 +19,12 @@
 # keeps the whole suite to a few minutes on a laptop.
 set -euo pipefail
 
-STAMP="${1:-unstamped}"
+if [ "$#" -lt 1 ] || [ -z "${1}" ]; then
+  echo "usage: $0 <stamp>" >&2
+  echo "  stamp: a non-empty run identifier (commit hash, CI run id, ...)" >&2
+  exit 1
+fi
+STAMP="$1"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${REPO_ROOT}/build-bench"
 
@@ -31,10 +38,16 @@ rm -rf "${RUN_DIR}"
 mkdir -p "${RUN_DIR}"
 cd "${RUN_DIR}"
 
+# Run every bench even if one fails; collect failures and report them at
+# the end so a broken bench can't hide behind an early exit.
+FAILED=()
 for bench in "${BUILD_DIR}"/bench/bench_*; do
   [ -x "${bench}" ] || continue
   echo "==== $(basename "${bench}") ===="
-  "${bench}"
+  if ! "${bench}"; then
+    echo "FAILED: $(basename "${bench}")" >&2
+    FAILED+=("$(basename "${bench}")")
+  fi
 done
 
 # Merge every BENCH_*.json into BENCH_summary.json (skipping the summary
@@ -56,3 +69,9 @@ rm -f "${SUMMARY}"
 } > "${SUMMARY}"
 
 echo "wrote ${RUN_DIR}/${SUMMARY}"
+
+if [ "${#FAILED[@]}" -gt 0 ]; then
+  echo "${#FAILED[@]} bench(es) failed:" >&2
+  printf '  %s\n' "${FAILED[@]}" >&2
+  exit 1
+fi

@@ -58,6 +58,7 @@ Status Dimension::AddValue(CategoryTypeIndex category, ValueId id,
   // A fresh value has no edges, so memoized closures of other values stay
   // valid — but compiled snapshots cover the value set and must rebuild.
   ++version_;
+  publish_frozen_ = false;
   return Status::OK();
 }
 
@@ -124,6 +125,7 @@ void Dimension::InvalidateClosures() {
   down_memo_.clear();
   anc_memo_.clear();
   ++version_;
+  publish_frozen_ = false;
 }
 
 Representation& Dimension::RepresentationFor(CategoryTypeIndex category,
@@ -478,6 +480,7 @@ Result<Dimension> Dimension::UnionWith(const Dimension& a,
       // Direct membership mutation: compiled snapshots of `result` (shared
       // with `a` by the copy above) must not survive it.
       ++result.version_;
+      result.publish_frozen_ = false;
     }
   }
   for (const Edge& edge : b.edges_) {

@@ -202,6 +202,23 @@ class Dimension {
     compiled_snapshot_ = std::move(snapshot);
   }
 
+  /// Publication freeze (the MVCC serving tier, src/serve). A frozen
+  /// dimension promises: no structural mutation will ever happen again,
+  /// its closure memo is fully warmed, and its compiled-snapshot slot is
+  /// filled and final. Under that promise RollupIndex::For serves the
+  /// slot without taking the process-wide slot mutex — the lock-free read
+  /// path of published epochs. The flag travels with copies (a copy of a
+  /// frozen dimension has identical, equally-final contents) and is
+  /// cleared automatically by every structural mutation, so a writer
+  /// draft cloned from a published epoch unfreezes exactly the dimensions
+  /// it touches.
+  ///
+  /// Setters are const (the flag is publication metadata, like the
+  /// snapshot slot): callers mark dimensions frozen only from the single
+  /// writer thread, before the owning MO is made visible to readers.
+  bool publish_frozen() const { return publish_frozen_; }
+  void set_publish_frozen(bool frozen) const { publish_frozen_ = frozen; }
+
   // ---- Algebra support ----------------------------------------------------
 
   /// The union operator on dimensions (paper Section 4.1): categories are
@@ -245,6 +262,9 @@ class Dimension {
       up_memo_.clear();
       down_memo_.clear();
       anc_memo_.clear();
+      // Unwarmed scratch-buffer reads are not concurrency-safe, so the
+      // publication promise (see publish_frozen) no longer holds.
+      publish_frozen_ = false;
     }
   }
   bool memoization_enabled() const { return memo_enabled_; }
@@ -312,6 +332,12 @@ class Dimension {
 
   // Compiled rollup snapshot (see compiled_snapshot_slot).
   mutable std::shared_ptr<const void> compiled_snapshot_;
+
+  // Publication freeze (see publish_frozen). Plain bool, not atomic: it is
+  // written only by the single publisher thread before the owning MO is
+  // published through an atomic shared_ptr store (which orders the write
+  // before every reader's acquire load), and never written afterwards.
+  mutable bool publish_frozen_ = false;
 };
 
 }  // namespace mddc

@@ -6,9 +6,46 @@
 
 namespace mddc {
 
+std::shared_ptr<FactRegistry> FactRegistry::ForkOf(
+    std::shared_ptr<const FactRegistry> base) {
+  auto fork = std::make_shared<FactRegistry>();
+  if (base != nullptr) {
+    fork->base_size_ = base->size();
+    fork->fork_depth_ = base->fork_depth_ + 1;
+    fork->base_ = std::move(base);
+  }
+  return fork;
+}
+
+std::shared_ptr<FactRegistry> FactRegistry::Flatten() const {
+  auto flat = std::make_shared<FactRegistry>();
+  const std::size_t n = size();
+  flat->terms_.reserve(n);
+  for (std::size_t raw = 0; raw < n; ++raw) {
+    FactId id(raw);
+    const FactTerm* term = FindTerm(id);
+    flat->terms_.push_back(*term);
+    switch (term->kind) {
+      case FactTerm::Kind::kAtom:
+        flat->atom_index_.emplace(term->atom, id);
+        break;
+      case FactTerm::Kind::kPair:
+        flat->pair_index_.emplace(std::make_pair(term->first, term->second),
+                                  id);
+        break;
+      case FactTerm::Kind::kSet:
+        flat->set_index_.emplace(term->members, id);
+        break;
+    }
+  }
+  return flat;
+}
+
 FactId FactRegistry::Atom(std::uint64_t external_key) {
-  auto it = atom_index_.find(external_key);
-  if (it != atom_index_.end()) return it->second;
+  for (const FactRegistry* r = this; r != nullptr; r = r->base_.get()) {
+    auto it = r->atom_index_.find(external_key);
+    if (it != r->atom_index_.end()) return it->second;
+  }
   FactTerm term;
   term.kind = FactTerm::Kind::kAtom;
   term.atom = external_key;
@@ -19,8 +56,10 @@ FactId FactRegistry::Atom(std::uint64_t external_key) {
 
 FactId FactRegistry::Pair(FactId a, FactId b) {
   auto key = std::make_pair(a, b);
-  auto it = pair_index_.find(key);
-  if (it != pair_index_.end()) return it->second;
+  for (const FactRegistry* r = this; r != nullptr; r = r->base_.get()) {
+    auto it = r->pair_index_.find(key);
+    if (it != r->pair_index_.end()) return it->second;
+  }
   FactTerm term;
   term.kind = FactTerm::Kind::kPair;
   term.first = a;
@@ -33,8 +72,10 @@ FactId FactRegistry::Pair(FactId a, FactId b) {
 FactId FactRegistry::Set(std::vector<FactId> members) {
   std::sort(members.begin(), members.end());
   members.erase(std::unique(members.begin(), members.end()), members.end());
-  auto it = set_index_.find(members);
-  if (it != set_index_.end()) return it->second;
+  for (const FactRegistry* r = this; r != nullptr; r = r->base_.get()) {
+    auto it = r->set_index_.find(members);
+    if (it != r->set_index_.end()) return it->second;
+  }
   FactTerm term;
   term.kind = FactTerm::Kind::kSet;
   term.members = members;
@@ -43,26 +84,38 @@ FactId FactRegistry::Set(std::vector<FactId> members) {
   return id;
 }
 
+const FactTerm* FactRegistry::FindTerm(FactId id) const {
+  if (!id.valid()) return nullptr;
+  for (const FactRegistry* r = this; r != nullptr; r = r->base_.get()) {
+    if (id.raw() >= r->base_size_) {
+      const std::size_t local = id.raw() - r->base_size_;
+      return local < r->terms_.size() ? &r->terms_[local] : nullptr;
+    }
+  }
+  return nullptr;
+}
+
 Result<FactTerm> FactRegistry::Get(FactId id) const {
-  if (!id.valid() || id.raw() >= terms_.size()) {
+  const FactTerm* term = FindTerm(id);
+  if (term == nullptr) {
     return Status::NotFound(StrCat("fact id ", id, " not in registry"));
   }
-  return terms_[id.raw()];
+  return *term;
 }
 
 std::string FactRegistry::ToString(FactId id) const {
-  if (!id.valid() || id.raw() >= terms_.size()) return "<unknown>";
-  const FactTerm& term = terms_[id.raw()];
-  switch (term.kind) {
+  const FactTerm* term = FindTerm(id);
+  if (term == nullptr) return "<unknown>";
+  switch (term->kind) {
     case FactTerm::Kind::kAtom:
-      return std::to_string(term.atom);
+      return std::to_string(term->atom);
     case FactTerm::Kind::kPair:
-      return StrCat("(", ToString(term.first), ",", ToString(term.second),
+      return StrCat("(", ToString(term->first), ",", ToString(term->second),
                     ")");
     case FactTerm::Kind::kSet: {
       std::vector<std::string> parts;
-      parts.reserve(term.members.size());
-      for (FactId member : term.members) parts.push_back(ToString(member));
+      parts.reserve(term->members.size());
+      for (FactId member : term->members) parts.push_back(ToString(member));
       return StrCat("{", Join(parts, ","), "}");
     }
   }
@@ -70,7 +123,7 @@ std::string FactRegistry::ToString(FactId id) const {
 }
 
 FactId FactRegistry::Intern(FactTerm term) {
-  FactId id(terms_.size());
+  FactId id(base_size_ + terms_.size());
   terms_.push_back(std::move(term));
   return id;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,29 @@ class FactRegistry {
   FactRegistry(const FactRegistry&) = delete;
   FactRegistry& operator=(const FactRegistry&) = delete;
 
+  /// An O(1) copy-on-write fork: the new registry resolves every id the
+  /// base knows through the (immutable) base and interns new terms
+  /// locally, with ids continuing where the base stops. Ids are therefore
+  /// stable across the fork — a fact interned before the fork has the same
+  /// id in every fork, and two forks that intern the same sequence of new
+  /// terms assign the same new ids.
+  ///
+  /// The base MUST be frozen: no call may mutate it once a fork exists
+  /// (the MVCC serving tier guarantees this by construction — published
+  /// epochs are immutable, and writers fork before mutating). Forks of the
+  /// same frozen base are independent; concurrent use of different forks
+  /// is safe because each fork only reads the base.
+  static std::shared_ptr<FactRegistry> ForkOf(
+      std::shared_ptr<const FactRegistry> base);
+
+  /// A deep, flat copy preserving every id: collapses a fork chain into a
+  /// fresh root registry (fork_depth() == 0). The writer path flattens
+  /// when chains grow so published lookups stay O(log n), not O(epochs).
+  std::shared_ptr<FactRegistry> Flatten() const;
+
+  /// Number of overlay links back to a root registry (0 for a root).
+  std::size_t fork_depth() const { return fork_depth_; }
+
   /// Interns an atomic fact with the given external key.
   FactId Atom(std::uint64_t external_key);
 
@@ -59,8 +83,9 @@ class FactRegistry {
   /// Looks up the structure of a fact.
   Result<FactTerm> Get(FactId id) const;
 
-  /// Number of interned terms.
-  std::size_t size() const { return terms_.size(); }
+  /// Number of interned terms, including everything visible through the
+  /// base chain.
+  std::size_t size() const { return base_size_ + terms_.size(); }
 
   /// Renders a fact: atoms print their key ("2"), pairs "(1,2)", sets
   /// "{1,2}".
@@ -69,7 +94,17 @@ class FactRegistry {
  private:
   FactId Intern(FactTerm term);
 
-  std::vector<FactTerm> terms_;
+  /// The term for `id`, resolving through the base chain; nullptr when
+  /// unknown.
+  const FactTerm* FindTerm(FactId id) const;
+
+  /// Frozen parent registry of a fork (null for a root); ids below
+  /// base_size_ resolve through it.
+  std::shared_ptr<const FactRegistry> base_;
+  std::size_t base_size_ = 0;
+  std::size_t fork_depth_ = 0;
+
+  std::vector<FactTerm> terms_;  // local terms; id = base_size_ + index
   std::map<std::uint64_t, FactId> atom_index_;
   std::map<std::pair<FactId, FactId>, FactId> pair_index_;
   std::map<std::vector<FactId>, FactId> set_index_;

@@ -85,6 +85,20 @@ Status MdObject::CoverWithTop() {
   return Status::OK();
 }
 
+MdObject MdObject::WithRegistry(std::shared_ptr<FactRegistry> registry) const {
+  MdObject copy = *this;
+  copy.registry_ = std::move(registry);
+  return copy;
+}
+
+void MdObject::WarmAndFreezeForPublish() const {
+  for (const Dimension& dimension : dimensions_) {
+    dimension.set_memoization_enabled(true);
+    dimension.WarmClosureMemo();
+    dimension.set_publish_frozen(true);
+  }
+}
+
 std::vector<MdObject::Characterization> MdObject::CharacterizedBy(
     FactId fact, std::size_t dim, Chronon prob_at) const {
   std::vector<Characterization> result;

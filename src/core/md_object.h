@@ -100,6 +100,25 @@ class MdObject {
   /// pair (f, top) to R").
   Status CoverWithTop();
 
+  // ---- Snapshot views (the MVCC serving tier, src/serve) -------------------
+
+  /// A copy of this MO whose derived facts intern into `registry` instead
+  /// of the shared one. This is the reader/writer isolation hook of the
+  /// serving tier: a published (immutable) MO is never executed against
+  /// directly — each session takes a view carrying a FactRegistry fork, so
+  /// the set/pair facts its queries create never touch the shared
+  /// registry. `registry` must resolve every id this MO references
+  /// (a fork or flat copy of the current registry does, id-stably).
+  MdObject WithRegistry(std::shared_ptr<FactRegistry> registry) const;
+
+  /// Prepares this MO for lock-free concurrent reads and marks every
+  /// dimension publish-frozen: re-enables and fully warms each closure
+  /// memo, then sets the freeze flag (see Dimension::publish_frozen).
+  /// The caller (the publisher) must compile rollup snapshots — an engine
+  /// concern — *before* freezing, and must not mutate the MO afterwards.
+  /// Const because it only touches publication metadata and memos.
+  void WarmAndFreezeForPublish() const;
+
   // ---- Characterization ---------------------------------------------------
 
   /// Every value e with fact ~> e in dimension `dim`: directly related

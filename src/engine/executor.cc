@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
 
 namespace mddc {
@@ -112,8 +113,55 @@ ThreadPool& SharedThreadPool(std::size_t min_threads, bool* created) {
 }
 
 void ShutdownSharedThreadPool() {
-  std::lock_guard<std::mutex> lock(g_shared_pool_mu);
-  g_shared_pool.reset();
+  // Detach under the guard, join outside it: the ThreadPool destructor
+  // drains the queue and joins the workers, which can take as long as the
+  // slowest in-flight task. Holding the guard during that join would
+  // serialize concurrent Shutdown calls on the drain and block a
+  // concurrent SharedThreadPool borrow from creating a fresh pool
+  // (the shutdown→reuse cycle of sanitizer-heavy test suites).
+  std::unique_ptr<ThreadPool> doomed;
+  {
+    std::lock_guard<std::mutex> lock(g_shared_pool_mu);
+    doomed = std::move(g_shared_pool);
+  }
+  // `doomed`'s destructor runs here; a second concurrent call simply
+  // moves out a null pointer — idempotent by construction.
+}
+
+void ExecStats::MergeFrom(const ExecStats& other) {
+  parallel_runs += other.parallel_runs;
+  sequential_fallbacks += other.sequential_fallbacks;
+  partitions += other.partitions;
+  tasks += other.tasks;
+  merge_nanos += other.merge_nanos;
+  pool_reuses += other.pool_reuses;
+  join_parallel_runs += other.join_parallel_runs;
+  timeslice_parallel_runs += other.timeslice_parallel_runs;
+  index_builds += other.index_builds;
+  index_hits += other.index_hits;
+  index_fallbacks += other.index_fallbacks;
+  dense_groupby_runs += other.dense_groupby_runs;
+  flat_hash_runs += other.flat_hash_runs;
+  dense_slot_fallbacks += other.dense_slot_fallbacks;
+}
+
+std::string ExecStats::ToJson() const {
+  char buffer[768];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"parallel_runs\": %zu, \"sequential_fallbacks\": %zu, "
+      "\"partitions\": %zu, \"tasks\": %zu, \"merge_nanos\": %llu, "
+      "\"pool_reuses\": %zu, \"join_parallel_runs\": %zu, "
+      "\"timeslice_parallel_runs\": %zu, \"index_builds\": %zu, "
+      "\"index_hits\": %zu, \"index_fallbacks\": %zu, "
+      "\"dense_groupby_runs\": %zu, \"flat_hash_runs\": %zu, "
+      "\"dense_slot_fallbacks\": %zu}",
+      parallel_runs, sequential_fallbacks, partitions, tasks,
+      static_cast<unsigned long long>(merge_nanos), pool_reuses,
+      join_parallel_runs, timeslice_parallel_runs, index_builds, index_hits,
+      index_fallbacks, dense_groupby_runs, flat_hash_runs,
+      dense_slot_fallbacks);
+  return buffer;
 }
 
 ThreadPool& ExecContext::pool() {

@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -76,6 +77,13 @@ ThreadPool& SharedThreadPool(std::size_t min_threads, bool* created = nullptr);
 /// live threads — callers must ensure no ExecContext borrowed from the
 /// current pool is still executing (or will execute) a parallel
 /// operation, and must not reuse such contexts afterwards.
+///
+/// Idempotent and safe to call from several threads at once, and safe to
+/// overlap with in-flight task *completion*: the pool is detached from
+/// the global slot under the guard mutex but joined outside it, so the
+/// join (which drains the queue) never blocks a concurrent
+/// SharedThreadPool borrow — a shutdown→reuse cycle simply creates a
+/// fresh pool while the old one finishes draining.
 void ShutdownSharedThreadPool();
 
 /// Per-query execution counters, exposed on the context so callers can
@@ -134,6 +142,16 @@ struct ExecStats {
   /// dimensions indexed) but whose slot cross-product exceeded
   /// max_dense_groupby_slots, demoting them to the flat-hash kernel.
   std::size_t dense_slot_fallbacks = 0;
+
+  /// Adds every counter of `other` into this one. Server sessions use it
+  /// to accumulate per-query contexts into per-session totals.
+  void MergeFrom(const ExecStats& other);
+
+  /// One JSON object holding every counter, e.g.
+  /// {"parallel_runs": 2, ..., "dense_slot_fallbacks": 0}. The single
+  /// machine-readable stats format shared by the MDQL server's stats
+  /// endpoint and the benches that dump execution counters.
+  std::string ToJson() const;
 };
 
 /// Execution context threaded through AggregateFormation, Join, the

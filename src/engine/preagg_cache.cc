@@ -34,6 +34,13 @@ double Merge(AggregateFunctionKind kind, double a, double b) {
 
 PreAggregateCache::PreAggregateCache(MdObject base) : base_(std::move(base)) {}
 
+const MdObject* PreAggregateCache::Peek(
+    const AggFunction& function,
+    const std::vector<CategoryTypeIndex>& grouping) const {
+  auto it = entries_.find(Key{function.name(), grouping});
+  return it == entries_.end() ? nullptr : &it->second.result;
+}
+
 Result<MdObject> PreAggregateCache::Query(
     const AggFunction& function,
     const std::vector<CategoryTypeIndex>& grouping, ExecContext* exec) {

@@ -52,6 +52,15 @@ class PreAggregateCache {
                      const std::vector<CategoryTypeIndex>& grouping,
                      ExecContext* exec = nullptr);
 
+  /// Const exact-hit probe: the cached MO for exactly this
+  /// (function, grouping), or nullptr when never materialized. Unlike
+  /// Query it never computes, never rolls up, and never touches the
+  /// Stats counters — the read path for *published* caches (the MVCC
+  /// serving tier bundles an immutable PreAggregateCache per epoch, and
+  /// concurrent readers may only probe it).
+  const MdObject* Peek(const AggFunction& function,
+                       const std::vector<CategoryTypeIndex>& grouping) const;
+
   struct Stats {
     std::size_t exact_hits = 0;   ///< same grouping served from cache
     std::size_t rollup_hits = 0;  ///< coarser grouping derived from cache

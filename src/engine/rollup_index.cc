@@ -40,6 +40,24 @@ const std::uint32_t* RollupIndex::CategoryEnd(
 
 std::shared_ptr<const RollupIndex> RollupIndex::For(const Dimension& dimension,
                                                     ExecStats* stats) {
+  // Publish-frozen dimensions (the MVCC serving tier, src/serve) promise
+  // that the slot is filled, final, and never written again, so the read
+  // needs no mutex — this keeps concurrent reader sessions lock-free on
+  // the hot path. Should a frozen dimension nevertheless arrive with an
+  // empty or stale slot (a publisher that forgot to pre-compile), build a
+  // one-off snapshot WITHOUT caching it: writing the slot of a frozen
+  // dimension would race against other lock-free readers.
+  if (dimension.publish_frozen()) {
+    auto cached = std::static_pointer_cast<const RollupIndex>(
+        dimension.compiled_snapshot_slot());
+    if (cached != nullptr && !cached->StaleFor(dimension)) {
+      return cached;
+    }
+    std::shared_ptr<const RollupIndex> built = Build(dimension);
+    if (stats != nullptr) ++stats->index_builds;
+    return built;
+  }
+
   std::lock_guard<std::mutex> lock(SlotMutex());
   auto cached = std::static_pointer_cast<const RollupIndex>(
       dimension.compiled_snapshot_slot());

@@ -1,6 +1,7 @@
 #ifndef MDDC_MDQL_AST_H_
 #define MDDC_MDQL_AST_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -70,6 +71,25 @@ struct SelectStatement {
   std::optional<std::string> as_of;  // date literal
 };
 
+/// One characterization of an INSERT: relate the new fact to the value
+/// named `text` in `level`, with probability `prob`.
+struct InsertAssignment {
+  LevelRef level;
+  std::string text;
+  double prob = 1.0;
+};
+
+/// INSERT INTO <mo> FACT <key> (<level> = '<text>' [PROB <p>], ...) —
+/// the mutating statement of the serving tier. Adds (or extends) the
+/// atomic fact with external key <key> and relates it to the named
+/// values; dimensions left out are covered with top per the paper's
+/// convention for unknown characterizations.
+struct InsertStatement {
+  std::string mo_name;
+  std::uint64_t key = 0;
+  std::vector<InsertAssignment> assignments;
+};
+
 /// SHOW DIMENSIONS FROM <mo> — lists the dimension types.
 /// SHOW HIERARCHY <dimension> FROM <mo> — renders one lattice.
 /// SHOW PATHS <dimension> FROM <mo> — lists the aggregation paths
@@ -85,6 +105,7 @@ struct ShowStatement {
 struct Statement {
   std::optional<SelectStatement> select;
   std::optional<ShowStatement> show;
+  std::optional<InsertStatement> insert;
 };
 
 }  // namespace mdql

@@ -260,6 +260,55 @@ Result<QueryResult> ExecuteShow(const MdObject& mo,
 
 }  // namespace
 
+bool IsMutating(const Statement& statement) {
+  return statement.insert.has_value();
+}
+
+const std::string& StatementMoName(const Statement& statement) {
+  if (statement.select.has_value()) return statement.select->mo_name;
+  if (statement.insert.has_value()) return statement.insert->mo_name;
+  return statement.show->mo_name;
+}
+
+Result<QueryResult> ApplyInsert(MdObject& mo, const InsertStatement& insert) {
+  if (insert.assignments.empty()) {
+    return Status::InvalidArgument(
+        "INSERT needs at least one level assignment");
+  }
+  // Resolve every assignment before mutating anything, so a bad name
+  // leaves the MO untouched.
+  struct Resolved {
+    std::size_t dim;
+    ValueId value;
+    double prob;
+  };
+  std::vector<Resolved> resolved;
+  resolved.reserve(insert.assignments.size());
+  for (const InsertAssignment& assign : insert.assignments) {
+    MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, assign.level));
+    MDDC_ASSIGN_OR_RETURN(ValueId value,
+                          ResolveValueByName(mo, level, assign.text));
+    if (assign.prob < 0.0 || assign.prob > 1.0) {
+      return Status::InvalidArgument(
+          StrCat("probability out of [0,1]: ", assign.prob));
+    }
+    resolved.push_back(Resolved{level.dim, value, assign.prob});
+  }
+
+  const FactId fact = mo.registry()->Atom(insert.key);
+  MDDC_RETURN_NOT_OK(mo.AddFact(fact));
+  for (const Resolved& r : resolved) {
+    MDDC_RETURN_NOT_OK(
+        mo.Relate(r.dim, fact, r.value, Lifespan::AlwaysSpan(), r.prob));
+  }
+  MDDC_RETURN_NOT_OK(mo.CoverWithTop());
+
+  QueryResult ack;
+  ack.columns = {"inserted", "fact"};
+  ack.rows.push_back({"1", mo.registry()->ToString(fact)});
+  return ack;
+}
+
 std::string QueryResult::ToString() const {
   TablePrinter printer(columns);
   for (const auto& row : rows) printer.AddRow(row);
@@ -293,9 +342,12 @@ Result<const MdObject*> Session::Get(const std::string& name) const {
 Result<QueryResult> Session::Execute(const std::string& query,
                                      ExecContext* exec) {
   MDDC_ASSIGN_OR_RETURN(Statement statement, Parse(query));
-  const std::string& mo_name = statement.select.has_value()
-                                   ? statement.select->mo_name
-                                   : statement.show->mo_name;
+  return Execute(statement, exec);
+}
+
+Result<QueryResult> Session::Execute(const Statement& statement,
+                                     ExecContext* exec) {
+  const std::string& mo_name = StatementMoName(statement);
   auto it = catalog_.find(mo_name);
   if (it == catalog_.end()) {
     return Status::NotFound(StrCat("no MO named '", mo_name,
@@ -303,6 +355,9 @@ Result<QueryResult> Session::Execute(const std::string& query,
   }
   if (statement.select.has_value()) {
     return ExecuteSelect(it->second, *statement.select, exec);
+  }
+  if (statement.insert.has_value()) {
+    return ApplyInsert(it->second, *statement.insert);
   }
   return ExecuteShow(it->second, *statement.show);
 }

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "core/md_object.h"
+#include "mdql/ast.h"
 
 namespace mddc {
 
@@ -48,6 +49,23 @@ struct QueryResult {
   std::string ToString() const;
 };
 
+/// True when executing the statement mutates the target MO (today:
+/// INSERT). The serving tier (src/serve) routes mutating statements
+/// through the store's serialized writer and everything else through a
+/// pinned immutable snapshot.
+bool IsMutating(const Statement& statement);
+
+/// The name of the MO the statement targets.
+const std::string& StatementMoName(const Statement& statement);
+
+/// Applies an INSERT to an MO in place: interns the atomic fact for the
+/// statement's key in the MO's registry, adds it to the fact set,
+/// relates it to each named value (resolved through the category's
+/// representations) with the given probability, and covers untouched
+/// dimensions with top. Returns a one-row acknowledgment. Exposed as a
+/// free function so the serving tier's writer can reuse it on drafts.
+Result<QueryResult> ApplyInsert(MdObject& mo, const InsertStatement& insert);
+
 /// A catalog of named MOs plus the query entry point.
 class Session {
  public:
@@ -65,6 +83,12 @@ class Session {
   /// aggregate formation — so query-language users reach the parallel
   /// engine; the rendered result is identical with or without it.
   Result<QueryResult> Execute(const std::string& query,
+                              ExecContext* exec = nullptr);
+
+  /// Executes an already-parsed statement. The serving tier parses once,
+  /// classifies with IsMutating(), and then routes reads here against a
+  /// snapshot view while writes go through the store's writer.
+  Result<QueryResult> Execute(const Statement& statement,
                               ExecContext* exec = nullptr);
 
  private:

@@ -1,6 +1,7 @@
 #include "mdql/parser.h"
 
 #include <cctype>
+#include <cmath>
 
 #include "common/strings.h"
 #include "mdql/token.h"
@@ -19,8 +20,10 @@ class Parser {
       MDDC_ASSIGN_OR_RETURN(statement.select, ParseSelect());
     } else if (Peek().kind == TokenKind::kShow) {
       MDDC_ASSIGN_OR_RETURN(statement.show, ParseShow());
+    } else if (Peek().kind == TokenKind::kInsert) {
+      MDDC_ASSIGN_OR_RETURN(statement.insert, ParseInsert());
     } else {
-      return Unexpected("SELECT or SHOW");
+      return Unexpected("SELECT, SHOW or INSERT");
     }
     if (Peek().kind != TokenKind::kEnd) {
       return Unexpected("end of query");
@@ -240,6 +243,42 @@ class Parser {
       select.as_of = Advance().text;
     }
     return select;
+  }
+
+  Result<InsertStatement> ParseInsert() {
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kInsert));
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kInto));
+    InsertStatement insert;
+    MDDC_ASSIGN_OR_RETURN(insert.mo_name, ExpectIdentifier());
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kFact));
+    if (Peek().kind != TokenKind::kNumber) {
+      MDDC_RETURN_NOT_OK(Unexpected("a numeric fact key"));
+    }
+    const double key = Advance().number;
+    if (key < 0.0 || key != std::floor(key)) {
+      return Status::InvalidArgument(
+          StrCat("fact key must be a non-negative integer, got ", key));
+    }
+    insert.key = static_cast<std::uint64_t>(key);
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    do {
+      InsertAssignment assign;
+      MDDC_ASSIGN_OR_RETURN(assign.level, ParseLevelRef());
+      MDDC_RETURN_NOT_OK(Expect(TokenKind::kEq));
+      if (Peek().kind != TokenKind::kString) {
+        MDDC_RETURN_NOT_OK(Unexpected("a quoted value name"));
+      }
+      assign.text = Advance().text;
+      if (Accept(TokenKind::kProb)) {
+        if (Peek().kind != TokenKind::kNumber) {
+          MDDC_RETURN_NOT_OK(Unexpected("a probability"));
+        }
+        assign.prob = Advance().number;
+      }
+      insert.assignments.push_back(std::move(assign));
+    } while (Accept(TokenKind::kComma));
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    return insert;
   }
 
   Result<ShowStatement> ParseShow() {

@@ -12,7 +12,7 @@ namespace mdql {
 /// Parses one MDQL statement. Grammar (keywords case-insensitive,
 /// identifiers bare or double-quoted, strings single-quoted):
 ///
-///   statement  := select | show
+///   statement  := select | show | insert
 ///   select     := SELECT agg (',' agg)* FROM ident
 ///                 (BY group (',' group)*)?
 ///                 (WHERE atom (AND atom)*)?
@@ -26,6 +26,9 @@ namespace mdql {
 ///   cmp        := '=' | '<>' | '<' | '<=' | '>' | '>='
 ///   show       := SHOW DIMENSIONS FROM ident
 ///               | SHOW HIERARCHY ident FROM ident
+///   insert     := INSERT INTO ident FACT number
+///                 '(' assign (',' assign)* ')'
+///   assign     := ident '.' ident '=' string (PROB number)?
 Result<Statement> Parse(const std::string& source);
 
 }  // namespace mdql

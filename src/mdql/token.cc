@@ -27,6 +27,8 @@ const std::map<std::string, TokenKind>& Keywords() {
       {"SHOW", TokenKind::kShow},       {"DIMENSIONS", TokenKind::kDimensions},
       {"HIERARCHY", TokenKind::kHierarchy},
       {"PATHS", TokenKind::kPaths},
+      {"INSERT", TokenKind::kInsert},   {"INTO", TokenKind::kInto},
+      {"FACT", TokenKind::kFact},
   };
   return keywords;
 }
@@ -91,6 +93,12 @@ std::string_view TokenKindName(TokenKind kind) {
       return "HIERARCHY";
     case TokenKind::kPaths:
       return "PATHS";
+    case TokenKind::kInsert:
+      return "INSERT";
+    case TokenKind::kInto:
+      return "INTO";
+    case TokenKind::kFact:
+      return "FACT";
     case TokenKind::kEnd:
       return "end of query";
   }

@@ -41,6 +41,9 @@ enum class TokenKind {
   kDimensions,
   kHierarchy,
   kPaths,
+  kInsert,
+  kInto,
+  kFact,
   kEnd,
 };
 

@@ -1,0 +1,91 @@
+#include "serve/mdql_server.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/fact.h"
+#include "mdql/parser.h"
+
+namespace mddc {
+namespace serve {
+
+std::string SessionStats::ToJson() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"queries\": %llu, \"reads\": %llu, \"writes\": %llu, "
+                "\"errors\": %llu, \"view_rebuilds\": %llu, "
+                "\"last_epoch\": %llu, \"exec\": ",
+                static_cast<unsigned long long>(queries),
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(writes),
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(view_rebuilds),
+                static_cast<unsigned long long>(last_epoch));
+  return StrCat(buffer, exec.ToJson(), "}");
+}
+
+Result<mdql::QueryResult> ServerSession::Execute(const std::string& statement) {
+  ++stats_.queries;
+  auto parsed = mdql::Parse(statement);
+  if (!parsed.ok()) {
+    ++stats_.errors;
+    return parsed.status();
+  }
+  auto result = mdql::IsMutating(*parsed) ? ExecuteWrite(*parsed)
+                                          : ExecuteRead(*parsed);
+  if (!result.ok()) ++stats_.errors;
+  return result;
+}
+
+Result<mdql::QueryResult> ServerSession::ExecuteRead(
+    const mdql::Statement& statement) {
+  ++stats_.reads;
+  // The whole read-side synchronization: one acquire load. Everything
+  // reachable from the snapshot is immutable.
+  const std::shared_ptr<const MoSnapshot> snapshot = store_->Pin();
+  stats_.last_epoch = snapshot->epoch();
+
+  const std::string& name = mdql::StatementMoName(statement);
+  auto it = views_.find(name);
+  if (it == views_.end() || it->second.epoch != snapshot->epoch()) {
+    const PublishedMo* entry = snapshot->Find(name);
+    if (entry == nullptr) {
+      return Status::NotFound(StrCat("no MO named '", name,
+                                     "' is published at epoch ",
+                                     snapshot->epoch()));
+    }
+    // (Re)build the session's private view: the published MO with
+    // derived-fact interning redirected into a session-local registry
+    // fork, so executing on it never writes shared state.
+    View view;
+    view.epoch = snapshot->epoch();
+    MDDC_RETURN_NOT_OK(view.session.Register(
+        name,
+        entry->mo.WithRegistry(FactRegistry::ForkOf(entry->mo.registry()))));
+    it = views_.insert_or_assign(name, std::move(view)).first;
+    ++stats_.view_rebuilds;
+  }
+
+  ExecContext exec(threads_per_query_, /*min_facts=*/4096);
+  auto result = it->second.session.Execute(statement, &exec);
+  stats_.exec.MergeFrom(exec.stats);
+  return result;
+}
+
+Result<mdql::QueryResult> ServerSession::ExecuteWrite(
+    const mdql::Statement& statement) {
+  ++stats_.writes;
+  mdql::QueryResult ack;
+  MDDC_RETURN_NOT_OK(store_->Mutate(
+      mdql::StatementMoName(statement), [&](MdObject& draft) -> Status {
+        MDDC_ASSIGN_OR_RETURN(ack,
+                              mdql::ApplyInsert(draft, *statement.insert));
+        return Status::OK();
+      }));
+  stats_.last_epoch = store_->epoch();
+  return ack;
+}
+
+}  // namespace serve
+}  // namespace mddc

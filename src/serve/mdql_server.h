@@ -1,0 +1,103 @@
+#ifndef MDDC_SERVE_MDQL_SERVER_H_
+#define MDDC_SERVE_MDQL_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "mdql/mdql.h"
+#include "serve/mo_store.h"
+
+namespace mddc {
+namespace serve {
+
+/// Per-session counters. `exec` accumulates the ExecStats of every
+/// read's execution context, so a session can report what the parallel
+/// engine did on its behalf across its lifetime.
+struct SessionStats {
+  std::uint64_t queries = 0;        ///< statements executed (incl. failures)
+  std::uint64_t reads = 0;          ///< SELECT / SHOW
+  std::uint64_t writes = 0;         ///< INSERT (routed through the writer)
+  std::uint64_t errors = 0;         ///< statements that returned a Status
+  std::uint64_t view_rebuilds = 0;  ///< snapshot views (re)built on epoch moves
+  std::uint64_t last_epoch = 0;     ///< epoch of the last executed statement
+  ExecStats exec;
+
+  /// One JSON object; nests ExecStats::ToJson under "exec".
+  std::string ToJson() const;
+};
+
+/// One client's handle on the serving tier. Reads pin the store's
+/// current snapshot (one atomic load), execute on a private view of the
+/// target MO, and never block writers or other readers; mutating
+/// statements are routed through the store's serialized writer and
+/// publish a new epoch.
+///
+/// The private view is what keeps the read path lock-free end to end: a
+/// session caches, per MO name, a copy of the published MO whose fact
+/// registry is a session-local fork — the algebra's derived-fact
+/// interning lands in the fork, never in the shared sealed registry.
+/// Views are rebuilt only when the pinned epoch moves (counted in
+/// stats().view_rebuilds), so steady-state reads pay one atomic load
+/// plus two map lookups before query execution.
+///
+/// A session is owned by one client thread and is not itself
+/// thread-safe; concurrency comes from many sessions.
+class ServerSession {
+ public:
+  /// Parses and executes one MDQL statement against the serving tier.
+  Result<mdql::QueryResult> Execute(const std::string& statement);
+
+  /// Epoch this session last executed against.
+  std::uint64_t pinned_epoch() const { return stats_.last_epoch; }
+
+  const SessionStats& stats() const { return stats_; }
+  std::string StatsJson() const { return stats_.ToJson(); }
+
+ private:
+  friend class MdqlServer;
+  ServerSession(MoStore* store, std::size_t threads_per_query)
+      : store_(store), threads_per_query_(threads_per_query) {}
+
+  struct View {
+    std::uint64_t epoch = 0;
+    mdql::Session session;
+  };
+
+  Result<mdql::QueryResult> ExecuteRead(const mdql::Statement& statement);
+  Result<mdql::QueryResult> ExecuteWrite(const mdql::Statement& statement);
+
+  MoStore* store_;
+  std::size_t threads_per_query_;
+  std::map<std::string, View> views_;
+  SessionStats stats_;
+};
+
+/// The session factory over one MoStore: the in-process client API of
+/// the serving tier (serve/tcp_server.h is the wire front-end on top).
+/// Connect() hands out independent sessions; any number of them may
+/// execute concurrently, one thread each.
+class MdqlServer {
+ public:
+  explicit MdqlServer(MoStore* store) : store_(store) {}
+
+  /// A new session. `threads_per_query` sizes each read's ExecContext;
+  /// the default 1 keeps a session's reads entirely on its own thread
+  /// (no shared-pool borrow), which is the right shape when concurrency
+  /// comes from many sessions rather than from one big query.
+  ServerSession Connect(std::size_t threads_per_query = 1) {
+    return ServerSession(store_, threads_per_query);
+  }
+
+  MoStore& store() { return *store_; }
+
+ private:
+  MoStore* store_;
+};
+
+}  // namespace serve
+}  // namespace mddc
+
+#endif  // MDDC_SERVE_MDQL_SERVER_H_

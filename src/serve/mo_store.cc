@@ -1,0 +1,189 @@
+#include "serve/mo_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/fact.h"
+
+namespace mddc {
+namespace serve {
+namespace {
+
+/// Fork chains longer than this are collapsed before the next draft:
+/// each mutation batch adds one overlay, and resolving a fact id walks
+/// the chain, so unbounded depth would slowly tax every reader of later
+/// epochs. Eight keeps the walk trivial while amortizing the O(facts)
+/// flatten over eight batches.
+constexpr std::size_t kMaxForkDepth = 8;
+
+}  // namespace
+
+const PublishedMo* MoSnapshot::Find(const std::string& name) const {
+  auto it = catalog_.find(name);
+  return it == catalog_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MoSnapshot::names() const {
+  std::vector<std::string> result;
+  result.reserve(catalog_.size());
+  for (const auto& [name, entry] : catalog_) result.push_back(name);
+  return result;
+}
+
+MoStore::MoStore() {
+  current_.store(std::make_shared<MoSnapshot>(), std::memory_order_release);
+}
+
+Result<std::shared_ptr<const PublishedMo>> MoStore::Seal(
+    MdObject mo, const std::vector<WarmSpec>& specs) {
+  // Warm the closure memos first: compilation and every later read then
+  // find the reachability of each value precomputed, making concurrent
+  // queries pure reads.
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    mo.dimension(i).set_memoization_enabled(true);
+    mo.dimension(i).WarmClosureMemo();
+  }
+
+  // Compile the rollup snapshots while the dimensions are still
+  // unfrozen, so For() caches each one into the dimension's slot; after
+  // the freeze below, readers serve that slot without the slot mutex.
+  std::vector<std::shared_ptr<const RollupIndex>> rollups;
+  rollups.reserve(mo.dimension_count());
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    rollups.push_back(RollupIndex::For(mo.dimension(i)));
+  }
+
+  std::shared_ptr<const PreAggregateCache> preagg;
+  if (!specs.empty()) {
+    auto cache = std::make_shared<PreAggregateCache>(mo);
+    for (const WarmSpec& spec : specs) {
+      MDDC_RETURN_NOT_OK(cache->Materialize(spec.function, spec.grouping));
+    }
+    // The cached result MOs are published too (readers Peek them), so
+    // they get the same treatment as the base MO.
+    for (const WarmSpec& spec : specs) {
+      if (const MdObject* cached = cache->Peek(spec.function, spec.grouping)) {
+        cached->WarmAndFreezeForPublish();
+      }
+    }
+    preagg = std::move(cache);
+  }
+
+  mo.WarmAndFreezeForPublish();
+  return std::shared_ptr<const PublishedMo>(std::make_shared<PublishedMo>(
+      PublishedMo{std::move(mo), std::move(rollups), std::move(preagg)}));
+}
+
+Status MoStore::SwapLocked(const std::string& name,
+                           std::shared_ptr<const PublishedMo> entry) {
+  std::shared_ptr<const MoSnapshot> current =
+      current_.load(std::memory_order_relaxed);
+  auto next = std::make_shared<MoSnapshot>(*current);
+  next->epoch_ = current->epoch() + 1;
+  if (entry == nullptr) {
+    next->catalog_.erase(name);
+  } else {
+    next->catalog_[name] = std::move(entry);
+  }
+  retired_.push_back(current);
+  ++epochs_published_;
+  // The release store publishes every plain write above — including the
+  // publish_frozen flags and warmed memos — to the acquire load in
+  // Pin().
+  current_.store(std::move(next), std::memory_order_release);
+  return Status::OK();
+}
+
+Status MoStore::Publish(std::string name, MdObject mo) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (Pin()->Find(name) != nullptr) {
+    return Status::InvariantViolation(
+        StrCat("MO '", name, "' is already published; use Mutate"));
+  }
+  // Seal the registry into a private flat copy: the caller may keep
+  // interning into its own registry, which must not be visible to (or
+  // racy with) readers of the published epoch.
+  MdObject draft = mo.WithRegistry(mo.registry()->Flatten());
+  MDDC_ASSIGN_OR_RETURN(std::shared_ptr<const PublishedMo> sealed,
+                        Seal(std::move(draft), warm_specs_[name]));
+  return SwapLocked(name, std::move(sealed));
+}
+
+Status MoStore::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (Pin()->Find(name) == nullptr) {
+    return Status::NotFound(StrCat("no MO named '", name, "' is published"));
+  }
+  return SwapLocked(name, nullptr);
+}
+
+Status MoStore::Mutate(const std::string& name,
+                       const std::function<Status(MdObject&)>& mutator) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return MutateLocked(name, mutator);
+}
+
+Status MoStore::MutateLocked(const std::string& name,
+                             const std::function<Status(MdObject&)>& mutator) {
+  const std::shared_ptr<const MoSnapshot> current = Pin();
+  const PublishedMo* entry = current->Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound(StrCat("no MO named '", name, "' is published"));
+  }
+  // Draft off to the side: a copy of the published MO whose registry is
+  // a fork of the sealed one, so the mutator's interning is invisible to
+  // readers pinned on any epoch. Fork chains are collapsed every
+  // kMaxForkDepth batches.
+  std::shared_ptr<FactRegistry> registry;
+  if (entry->mo.registry()->fork_depth() >= kMaxForkDepth) {
+    registry = entry->mo.registry()->Flatten();
+    ++registry_flattens_;
+  } else {
+    registry = FactRegistry::ForkOf(entry->mo.registry());
+  }
+  MdObject draft = entry->mo.WithRegistry(std::move(registry));
+  MDDC_RETURN_NOT_OK(mutator(draft));
+  MDDC_ASSIGN_OR_RETURN(std::shared_ptr<const PublishedMo> sealed,
+                        Seal(std::move(draft), warm_specs_[name]));
+  return SwapLocked(name, std::move(sealed));
+}
+
+Status MoStore::WarmAggregate(const std::string& name,
+                              const AggFunction& function,
+                              std::vector<CategoryTypeIndex> grouping) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  warm_specs_[name].push_back(WarmSpec{function, std::move(grouping)});
+  // Republish so the new spec is materialized into a fresh epoch. A
+  // failing Materialize (e.g. an inapplicable function) surfaces here;
+  // the bad spec is withdrawn and the previous epoch stays current.
+  Status status = MutateLocked(name, [](MdObject&) { return Status::OK(); });
+  if (!status.ok()) warm_specs_[name].pop_back();
+  return status;
+}
+
+MoStore::Stats MoStore::CollectStats() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  auto alive = [](const std::weak_ptr<const MoSnapshot>& w) {
+    return !w.expired();
+  };
+  std::size_t live = 0;
+  for (const auto& w : retired_) live += alive(w) ? 1 : 0;
+  const std::size_t before = retired_.size();
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                [&](const std::weak_ptr<const MoSnapshot>& w) {
+                                  return !alive(w);
+                                }),
+                 retired_.end());
+  reclaimed_ += before - retired_.size();
+
+  Stats stats;
+  stats.epochs_published = epochs_published_;
+  stats.registry_flattens = registry_flattens_;
+  stats.reclaimed_snapshots = reclaimed_;
+  stats.live_snapshots = live + 1;  // retired-but-pinned + current
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace mddc

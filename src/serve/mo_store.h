@@ -1,0 +1,154 @@
+#ifndef MDDC_SERVE_MO_STORE_H_
+#define MDDC_SERVE_MO_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "algebra/agg_function.h"
+#include "common/result.h"
+#include "core/md_object.h"
+#include "engine/preagg_cache.h"
+#include "engine/rollup_index.h"
+
+namespace mddc {
+namespace serve {
+
+/// One pre-aggregate to keep warm in every published snapshot of an MO:
+/// the snapshot's PreAggregateCache materializes it before publication,
+/// so concurrent readers can Peek it without ever computing.
+struct WarmSpec {
+  AggFunction function;
+  std::vector<CategoryTypeIndex> grouping;
+};
+
+/// Everything a published MO bundles for lock-free reading: the MO
+/// itself (closure memos warmed, every dimension publish-frozen, fact
+/// registry sealed), the compiled rollup snapshot of each dimension, and
+/// an optional pre-aggregate cache holding the warm specs. All of it is
+/// immutable after publication; readers share it by shared_ptr.
+struct PublishedMo {
+  MdObject mo;
+  std::vector<std::shared_ptr<const RollupIndex>> rollups;  // per dimension
+  std::shared_ptr<const PreAggregateCache> preagg;  // null when no warm specs
+};
+
+/// An immutable, epoch-stamped catalog of published MOs. Obtained from
+/// MoStore::Pin() with a single atomic load; valid for as long as the
+/// caller holds the shared_ptr, no matter how many epochs the writer
+/// publishes meanwhile.
+class MoSnapshot {
+ public:
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// The published entry for `name`, or nullptr. The pointer shares the
+  /// snapshot's lifetime.
+  const PublishedMo* Find(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const { return catalog_.size(); }
+
+ private:
+  friend class MoStore;
+  std::uint64_t epoch_ = 0;
+  std::map<std::string, std::shared_ptr<const PublishedMo>> catalog_;
+};
+
+/// The MVCC publication point of the serving tier (docs/serving.md).
+///
+/// Readers call Pin() — one atomic shared_ptr load, no locks — and then
+/// query the pinned MoSnapshot for as long as they like; everything
+/// reachable from it is immutable. Writers are serialized on a single
+/// mutex and never touch published state: they clone-or-patch a draft
+/// off to the side (forking the fact registry so not even interning is
+/// shared), re-seal it (closure memos warmed, rollup snapshots compiled,
+/// dimensions publish-frozen, warm pre-aggregates materialized) and swap
+/// the new snapshot in with one atomic store. The store-release /
+/// load-acquire pair is the only synchronization between writers and
+/// readers.
+///
+/// Retired epochs are reclaimed by shared_ptr: when the last pinned
+/// reader drops its snapshot, the epoch's memory goes with it. The store
+/// keeps weak observers of retired epochs only for CollectStats().
+class MoStore {
+ public:
+  MoStore();
+
+  /// The current snapshot: one atomic load, zero locks. Hold the result
+  /// for the duration of one query (or one batch) and re-Pin to observe
+  /// newer epochs.
+  std::shared_ptr<const MoSnapshot> Pin() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Epoch of the current snapshot.
+  std::uint64_t epoch() const { return Pin()->epoch(); }
+
+  /// Publishes `mo` under `name` in a new epoch. The MO's registry is
+  /// flattened into a private sealed copy, so the caller's registry is
+  /// never shared with readers. Fails if the name is already published.
+  Status Publish(std::string name, MdObject mo);
+
+  /// Removes `name` in a new epoch. Pinned snapshots still see it.
+  Status Drop(const std::string& name);
+
+  /// Applies `mutator` to a draft copy of the published MO and swaps the
+  /// re-sealed result in as a new epoch. Mutations are serialized; the
+  /// draft's registry is a fork of the published one (flattened every
+  /// few generations), so concurrent readers never observe interning.
+  /// If the mutator fails the draft is discarded and no epoch is
+  /// published.
+  Status Mutate(const std::string& name,
+                const std::function<Status(MdObject&)>& mutator);
+
+  /// Registers a warm pre-aggregate for `name` and republishes it (new
+  /// epoch) with the spec materialized into the snapshot's cache; all
+  /// later epochs of the MO keep it warm too.
+  Status WarmAggregate(const std::string& name, const AggFunction& function,
+                       std::vector<CategoryTypeIndex> grouping);
+
+  struct Stats {
+    std::uint64_t epochs_published = 0;  ///< swaps since construction
+    std::uint64_t registry_flattens = 0;  ///< fork chains collapsed
+    std::uint64_t reclaimed_snapshots = 0;  ///< retired epochs fully released
+    std::size_t live_snapshots = 0;  ///< current + retired-but-still-pinned
+  };
+
+  /// Current stats; prunes the retired-epoch observers as a side effect
+  /// (that is where reclaimed_snapshots advances).
+  Stats CollectStats() const;
+
+ private:
+  /// Re-seals the draft and publishes it as the new epoch's entry for
+  /// `name` (null draft = drop). Caller holds writer_mu_.
+  Status SwapLocked(const std::string& name,
+                    std::shared_ptr<const PublishedMo> entry);
+
+  /// Mutate() body; caller holds writer_mu_.
+  Status MutateLocked(const std::string& name,
+                      const std::function<Status(MdObject&)>& mutator);
+
+  /// Builds the immutable PublishedMo bundle from a draft: warms closure
+  /// memos, compiles rollup snapshots, materializes the warm specs, then
+  /// freezes every dimension for publication. Caller holds writer_mu_.
+  Result<std::shared_ptr<const PublishedMo>> Seal(
+      MdObject mo, const std::vector<WarmSpec>& specs);
+
+  mutable std::mutex writer_mu_;
+  std::atomic<std::shared_ptr<const MoSnapshot>> current_;
+  std::map<std::string, std::vector<WarmSpec>> warm_specs_;  // writer_mu_
+  mutable std::vector<std::weak_ptr<const MoSnapshot>> retired_;  // writer_mu_
+  mutable std::uint64_t reclaimed_ = 0;        // writer_mu_
+  std::uint64_t epochs_published_ = 0;         // writer_mu_
+  std::uint64_t registry_flattens_ = 0;        // writer_mu_
+};
+
+}  // namespace serve
+}  // namespace mddc
+
+#endif  // MDDC_SERVE_MO_STORE_H_

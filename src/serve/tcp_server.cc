@@ -1,0 +1,171 @@
+#include "serve/tcp_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace mddc {
+namespace serve {
+namespace {
+
+/// Writes the whole buffer, retrying on short writes and EINTR. A false
+/// return means the peer is gone; the caller drops the connection.
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One full reply: status line, optional payload lines, '.' terminator.
+std::string Reply(const std::string& status_line, const std::string& payload) {
+  std::string reply = status_line;
+  reply += '\n';
+  if (!payload.empty()) {
+    reply += payload;
+    if (reply.back() != '\n') reply += '\n';
+  }
+  reply += ".\n";
+  return reply;
+}
+
+}  // namespace
+
+Status TcpServer::Start(std::uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return Status::InvariantViolation("TcpServer already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::InvariantViolation(
+        StrCat("socket() failed: ", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::InvariantViolation(StrCat("bind() failed: ", error));
+  }
+  if (::listen(fd, /*backlog=*/16) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::InvariantViolation(StrCat("listen() failed: ", error));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::InvariantViolation(
+        StrCat("getsockname() failed: ", error));
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock accept() and every in-flight recv(), then join.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or unrecoverable): exit the loop
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  ServerSession session = server_->Connect();
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or connection shut down
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line == ".quit") {
+        open = false;
+        break;
+      }
+      std::string reply;
+      if (line == ".epoch") {
+        reply = Reply(StrCat("OK ", server_->store().epoch()), "");
+      } else if (line == ".stats") {
+        reply = Reply("OK", session.StatsJson());
+      } else {
+        auto result = session.Execute(line);
+        reply = result.ok()
+                    ? Reply(StrCat("OK ", result->rows.size()),
+                            result->ToString())
+                    : Reply(StrCat("ERR ", result.status().message()), "");
+      }
+      if (!SendAll(fd, reply)) open = false;
+    }
+  }
+  ::close(fd);
+  // The thread object stays in conn_threads_ until Stop() joins it;
+  // closed-connection threads are cheap (they are done running).
+}
+
+}  // namespace serve
+}  // namespace mddc

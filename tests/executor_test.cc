@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <random>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "algebra/operators.h"
@@ -93,6 +95,84 @@ TEST(SharedThreadPoolTest, ShutdownAllowsAFreshPool) {
   ShutdownSharedThreadPool();
   SharedThreadPool(2, &created);
   EXPECT_TRUE(created);
+}
+
+TEST(SharedThreadPoolTest, ShutdownIsIdempotentAndConcurrencySafe) {
+  // Repeated shutdown of an absent pool is a no-op.
+  ShutdownSharedThreadPool();
+  ShutdownSharedThreadPool();
+
+  // Shutdown→reuse cycles always yield a working pool.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ThreadPool& pool = SharedThreadPool(2);
+    std::atomic<std::size_t> sum{0};
+    pool.ParallelFor(64, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+    ShutdownSharedThreadPool();
+  }
+
+  // Shutdown racing in-flight task completion: the task signals from
+  // inside the pool, so submission strictly precedes destruction, and
+  // the drain-on-join guarantee means the task still runs to completion.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    ThreadPool& pool = SharedThreadPool(2);
+    std::atomic<bool> started{false};
+    std::atomic<bool> finished{false};
+    pool.Submit([&] {
+      started = true;
+      finished = true;
+    });
+    while (!started.load()) std::this_thread::yield();
+    // Concurrent shutdowns from several threads are safe: the pool is
+    // detached under the guard and joined outside it.
+    std::thread racer([] { ShutdownSharedThreadPool(); });
+    ShutdownSharedThreadPool();
+    racer.join();
+    EXPECT_TRUE(finished.load());
+    // The next borrow creates a fresh, usable pool.
+    bool created = false;
+    ThreadPool& fresh = SharedThreadPool(2, &created);
+    EXPECT_TRUE(created);
+    std::atomic<std::size_t> count{0};
+    fresh.ParallelFor(8, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 8u);
+  }
+  ShutdownSharedThreadPool();
+}
+
+TEST(ExecStatsTest, MergeFromSumsEveryCounter) {
+  ExecStats a;
+  a.parallel_runs = 1;
+  a.partitions = 4;
+  a.merge_nanos = 100;
+  a.index_hits = 2;
+  ExecStats b;
+  b.parallel_runs = 2;
+  b.sequential_fallbacks = 3;
+  b.merge_nanos = 50;
+  b.dense_groupby_runs = 1;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.parallel_runs, 3u);
+  EXPECT_EQ(a.sequential_fallbacks, 3u);
+  EXPECT_EQ(a.partitions, 4u);
+  EXPECT_EQ(a.merge_nanos, 150u);
+  EXPECT_EQ(a.index_hits, 2u);
+  EXPECT_EQ(a.dense_groupby_runs, 1u);
+}
+
+TEST(ExecStatsTest, ToJsonListsEveryCounter) {
+  ExecStats stats;
+  stats.parallel_runs = 7;
+  stats.merge_nanos = 12345;
+  const std::string json = stats.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"parallel_runs\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"merge_nanos\": 12345"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sequential_fallbacks\": 0"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"index_builds\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dense_slot_fallbacks\""), std::string::npos) << json;
 }
 
 TEST(SharedThreadPoolTest, ContextsCountReusesNotCreations) {

@@ -111,6 +111,41 @@ TEST(MdqlParserTest, ShowStatements) {
   EXPECT_EQ(hierarchy->show->dimension, "Diagnosis");
 }
 
+TEST(MdqlParserTest, InsertStatement) {
+  auto statement = Parse(
+      "INSERT INTO patients FACT 42 "
+      "(Residence.City = 'Aalborg', Diagnosis.Family = 'E10' PROB 0.8)");
+  ASSERT_TRUE(statement.ok()) << statement.status();
+  ASSERT_TRUE(statement->insert.has_value());
+  const InsertStatement& insert = *statement->insert;
+  EXPECT_EQ(insert.mo_name, "patients");
+  EXPECT_EQ(insert.key, 42u);
+  ASSERT_EQ(insert.assignments.size(), 2u);
+  EXPECT_EQ(insert.assignments[0].level.dimension, "Residence");
+  EXPECT_EQ(insert.assignments[0].level.category, "City");
+  EXPECT_EQ(insert.assignments[0].text, "Aalborg");
+  EXPECT_DOUBLE_EQ(insert.assignments[0].prob, 1.0);
+  EXPECT_EQ(insert.assignments[1].text, "E10");
+  EXPECT_DOUBLE_EQ(insert.assignments[1].prob, 0.8);
+
+  EXPECT_TRUE(IsMutating(*statement));
+  EXPECT_EQ(StatementMoName(*statement), "patients");
+  auto select = Parse("SELECT COUNT FROM m");
+  ASSERT_TRUE(select.ok());
+  EXPECT_FALSE(IsMutating(*select));
+}
+
+TEST(MdqlParserTest, InsertErrors) {
+  EXPECT_FALSE(Parse("INSERT patients FACT 1 (A.B = 'x')").ok());
+  EXPECT_FALSE(Parse("INSERT INTO patients FACT (A.B = 'x')").ok());
+  EXPECT_FALSE(Parse("INSERT INTO patients FACT 1.5 (A.B = 'x')").ok());
+  EXPECT_FALSE(Parse("INSERT INTO patients FACT -3 (A.B = 'x')").ok());
+  EXPECT_FALSE(Parse("INSERT INTO patients FACT 1 ()").ok());
+  EXPECT_FALSE(Parse("INSERT INTO patients FACT 1 (A.B = 3)").ok());
+  EXPECT_FALSE(Parse("INSERT INTO patients FACT 1 (A.B = 'x' PROB)").ok());
+  EXPECT_FALSE(Parse("INSERT INTO patients FACT 1 (A.B = 'x'").ok());
+}
+
 TEST(MdqlParserTest, Errors) {
   EXPECT_FALSE(Parse("").ok());
   EXPECT_FALSE(Parse("SELECT FROM m").ok());
@@ -118,6 +153,7 @@ TEST(MdqlParserTest, Errors) {
   EXPECT_FALSE(Parse("SELECT COUNT FROM m trailing").ok());
   EXPECT_FALSE(Parse("SELECT FOO(x) FROM m").ok());
   EXPECT_FALSE(Parse("SHOW SOMETHING FROM m").ok());
+  EXPECT_FALSE(Parse("DELETE FROM m").ok());
 }
 
 class MdqlSessionTest : public ::testing::Test {
@@ -308,6 +344,47 @@ TEST_F(MdqlSessionTest, RegisterRejectsDuplicates) {
   ASSERT_TRUE(cs.ok());
   EXPECT_FALSE(session_.Register("patients", cs->mo).ok());
   EXPECT_EQ(session_.names().size(), 2u);
+}
+
+TEST_F(MdqlSessionTest, InsertThenSelectSeesTheNewFact) {
+  auto before = session_.Execute(
+      "SELECT COUNT FROM patients WHERE Name.Name = 'Jane Doe'");
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_EQ(before->rows[0][0], "1");
+
+  auto ack = session_.Execute(
+      "INSERT INTO patients FACT 42 (Name.Name = 'Jane Doe')");
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  ASSERT_EQ(ack->rows.size(), 1u);
+  EXPECT_EQ(ack->columns[0], "inserted");
+  EXPECT_EQ(ack->rows[0][0], "1");
+
+  auto after = session_.Execute(
+      "SELECT COUNT FROM patients WHERE Name.Name = 'Jane Doe'");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->rows[0][0], "2");
+}
+
+TEST_F(MdqlSessionTest, InsertResolvesNamesBeforeMutating) {
+  auto count = [&] {
+    auto result = session_.Execute("SELECT COUNT FROM patients");
+    EXPECT_TRUE(result.ok());
+    return result->rows[0][0];
+  };
+  const std::string before = count();
+  // The second assignment fails to resolve; the first must not have
+  // been applied.
+  auto result = session_.Execute(
+      "INSERT INTO patients FACT 43 "
+      "(Name.Name = 'Jane Doe', Name.Name = 'No Such Person')");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(count(), before);
+  // Out-of-range probabilities are rejected too.
+  EXPECT_FALSE(session_
+                   .Execute("INSERT INTO patients FACT 43 "
+                            "(Name.Name = 'Jane Doe' PROB 2)")
+                   .ok());
+  EXPECT_EQ(count(), before);
 }
 
 TEST_F(MdqlSessionTest, ProbabilityThreshold) {

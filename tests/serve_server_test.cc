@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algebra/agg_function.h"
+#include "mdql/mdql.h"
+#include "serve/mdql_server.h"
+#include "serve/mo_store.h"
+#include "serve/tcp_server.h"
+#include "workload/case_study.h"
+#include "workload/retail_generator.h"
+
+// Coverage for the serving tier's session layer (serve/mdql_server.h)
+// and its line-oriented TCP front-end (serve/tcp_server.h): read/write
+// routing, epoch-driven view rebuilds, per-session stats, warm
+// pre-aggregate probing, and the wire protocol end to end.
+
+namespace mddc {
+namespace serve {
+namespace {
+
+RetailMo BuildSales(std::size_t purchases = 200) {
+  RetailWorkloadParams params;
+  params.seed = 7;
+  params.num_purchases = purchases;
+  auto workload =
+      GenerateRetailWorkload(params, std::make_shared<FactRegistry>());
+  return std::move(workload).ValueOrDie();
+}
+
+class MdqlServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cs = BuildCaseStudy();
+    ASSERT_TRUE(cs.ok()) << cs.status();
+    patients_ = cs->mo;
+    ASSERT_TRUE(store_.Publish("patients", cs->mo).ok());
+    retail_ = BuildSales();
+    ASSERT_TRUE(store_.Publish("sales", retail_->mo).ok());
+  }
+
+  MoStore store_;
+  MdqlServer server_{&store_};
+  std::optional<MdObject> patients_;
+  std::optional<RetailMo> retail_;
+};
+
+TEST_F(MdqlServerTest, ReadsMatchAPlainSession) {
+  mdql::Session plain;
+  ASSERT_TRUE(plain.Register("patients", *patients_).ok());
+  ServerSession session = server_.Connect();
+
+  const std::vector<std::string> queries = {
+      "SELECT COUNT FROM patients BY Diagnosis.\"Diagnosis Group\" AS Code",
+      "SELECT COUNT FROM patients WHERE Name.Name = 'Jane Doe'",
+      "SHOW DIMENSIONS FROM patients",
+  };
+  for (const std::string& query : queries) {
+    auto expected = plain.Execute(query);
+    ASSERT_TRUE(expected.ok()) << query << ": " << expected.status();
+    auto served = session.Execute(query);
+    ASSERT_TRUE(served.ok()) << query << ": " << served.status();
+    EXPECT_EQ(served->ToString(), expected->ToString()) << query;
+  }
+  EXPECT_EQ(session.stats().queries, queries.size());
+  EXPECT_EQ(session.stats().reads, queries.size());
+  EXPECT_EQ(session.stats().writes, 0u);
+  // One view built for the first patients read, reused afterwards.
+  EXPECT_EQ(session.stats().view_rebuilds, 1u);
+  EXPECT_EQ(session.pinned_epoch(), store_.epoch());
+}
+
+TEST_F(MdqlServerTest, ReadsNeverGrowThePublishedRegistry) {
+  const std::shared_ptr<const MoSnapshot> pinned = store_.Pin();
+  const PublishedMo* entry = pinned->Find("sales");
+  ASSERT_NE(entry, nullptr);
+  const std::size_t size_before = entry->mo.registry()->size();
+  ServerSession session = server_.Connect();
+  // A BY aggregate derives set facts; they must intern into the
+  // session's fork, never into the published sealed registry.
+  auto result = session.Execute(
+      "SELECT SUM(Amount) FROM sales BY Product.Category");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->rows.size(), 0u);
+  EXPECT_EQ(entry->mo.registry()->size(), size_before);
+}
+
+TEST_F(MdqlServerTest, InsertPublishesANewEpochAndRebuildsViews) {
+  ServerSession session = server_.Connect();
+  auto before = session.Execute(
+      "SELECT COUNT FROM patients WHERE Name.Name = 'Jane Doe'");
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_EQ(before->rows[0][0], "1");
+  const std::uint64_t epoch_before = store_.epoch();
+
+  auto ack = session.Execute(
+      "INSERT INTO patients FACT 99 (Name.Name = 'Jane Doe')");
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  ASSERT_EQ(ack->rows.size(), 1u);
+  EXPECT_EQ(ack->rows[0][0], "1");
+  EXPECT_EQ(store_.epoch(), epoch_before + 1);
+
+  auto after = session.Execute(
+      "SELECT COUNT FROM patients WHERE Name.Name = 'Jane Doe'");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->rows[0][0], "2");
+
+  EXPECT_EQ(session.stats().writes, 1u);
+  EXPECT_EQ(session.stats().reads, 2u);
+  // The view was rebuilt when the epoch moved under the second read.
+  EXPECT_EQ(session.stats().view_rebuilds, 2u);
+
+  // Another session sees the insert too (same store, fresh view).
+  ServerSession other = server_.Connect();
+  auto cross = other.Execute(
+      "SELECT COUNT FROM patients WHERE Name.Name = 'Jane Doe'");
+  ASSERT_TRUE(cross.ok()) << cross.status();
+  EXPECT_EQ(cross->rows[0][0], "2");
+}
+
+TEST_F(MdqlServerTest, InsertWithProbability) {
+  ServerSession session = server_.Connect();
+  auto ack = session.Execute(
+      "INSERT INTO patients FACT 120 "
+      "(Diagnosis.\"Low-level Diagnosis\" = 'Diabetes during pregnancy' "
+      "PROB 0.6, Name.Name = 'Jane Doe')");
+  if (!ack.ok()) {
+    // The low-level diagnosis name differs across representations; the
+    // statement must still fail atomically (no epoch published).
+    EXPECT_EQ(session.stats().errors, 1u);
+  } else {
+    EXPECT_EQ(ack->rows[0][0], "1");
+  }
+}
+
+TEST_F(MdqlServerTest, ErrorsSurfaceAndPublishNothing) {
+  ServerSession session = server_.Connect();
+  const std::uint64_t epoch = store_.epoch();
+
+  EXPECT_FALSE(session.Execute("SELECT COUNT FROM nowhere").ok());
+  EXPECT_FALSE(
+      session.Execute("INSERT INTO nowhere FACT 1 (A.B = 'x')").ok());
+  EXPECT_FALSE(session
+                   .Execute("INSERT INTO patients FACT 1 "
+                            "(Name.Name = 'No Such Person')")
+                   .ok());
+  EXPECT_FALSE(session.Execute("INSERT INTO patients FACT 1 "
+                               "(Name.Name = 'Jane Doe' PROB 1.5)")
+                   .ok());
+  EXPECT_FALSE(session.Execute("garbage statement").ok());
+
+  EXPECT_EQ(store_.epoch(), epoch);
+  EXPECT_EQ(session.stats().errors, 5u);
+  EXPECT_EQ(session.stats().queries, 5u);
+}
+
+TEST_F(MdqlServerTest, StatsJsonCarriesSessionAndExecCounters) {
+  ServerSession session = server_.Connect(/*threads_per_query=*/2);
+  ASSERT_TRUE(session
+                  .Execute("SELECT SUM(Amount) FROM sales "
+                           "BY Product.Category")
+                  .ok());
+  const std::string json = session.StatsJson();
+  EXPECT_NE(json.find("\"queries\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reads\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"last_epoch\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exec\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parallel_runs\""), std::string::npos) << json;
+}
+
+TEST_F(MdqlServerTest, WarmAggregatesArePeekableAcrossEpochs) {
+  const AggFunction sum = AggFunction::Sum(retail_->amount_dim);
+  std::vector<CategoryTypeIndex> grouping;
+  for (std::size_t i = 0; i < retail_->mo.dimension_count(); ++i) {
+    grouping.push_back(i == retail_->product_dim
+                           ? retail_->category
+                           : retail_->mo.dimension(i).type().top());
+  }
+  ASSERT_TRUE(store_.WarmAggregate("sales", sum, grouping).ok());
+
+  // Hold the pin: `entry` must outlive the Mutate below, which retires
+  // this epoch.
+  const std::shared_ptr<const MoSnapshot> pinned = store_.Pin();
+  const PublishedMo* entry = pinned->Find("sales");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_NE(entry->preagg, nullptr);
+  const MdObject* warmed = entry->preagg->Peek(sum, grouping);
+  ASSERT_NE(warmed, nullptr);
+  EXPECT_GT(warmed->fact_count(), 0u);
+  // Cold groupings are a miss, not a computation.
+  std::vector<CategoryTypeIndex> cold = grouping;
+  cold[retail_->product_dim] = retail_->department;
+  EXPECT_EQ(entry->preagg->Peek(sum, cold), nullptr);
+
+  // The spec stays warm in every later epoch.
+  ASSERT_TRUE(store_
+                  .Mutate("sales",
+                          [](MdObject& draft) {
+                            const FactId fact =
+                                draft.registry()->Atom(5000000);
+                            MDDC_RETURN_NOT_OK(draft.AddFact(fact));
+                            return draft.CoverWithTop();
+                          })
+                  .ok());
+  const std::shared_ptr<const MoSnapshot> after = store_.Pin();
+  const PublishedMo* next = after->Find("sales");
+  ASSERT_NE(next, nullptr);
+  ASSERT_NE(next->preagg, nullptr);
+  EXPECT_NE(next->preagg->Peek(sum, grouping), nullptr);
+  EXPECT_NE(next->preagg.get(), entry->preagg.get());
+}
+
+// ---- TCP front-end ---------------------------------------------------------
+
+int ConnectTo(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendLine(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  return ::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL) ==
+         static_cast<ssize_t>(framed.size());
+}
+
+/// Reads one full reply (through the '.' terminator line); returns the
+/// reply's lines without the terminator.
+std::vector<std::string> ReadReply(int fd, std::string* buffer) {
+  std::vector<std::string> lines;
+  char chunk[4096];
+  while (true) {
+    std::size_t newline;
+    while ((newline = buffer->find('\n')) != std::string::npos) {
+      std::string line = buffer->substr(0, newline);
+      buffer->erase(0, newline + 1);
+      if (line == ".") return lines;
+      lines.push_back(std::move(line));
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return lines;  // connection dropped mid-reply
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+TEST_F(MdqlServerTest, TcpEndToEnd) {
+  TcpServer tcp(&server_);
+  ASSERT_TRUE(tcp.Start().ok());
+  ASSERT_NE(tcp.port(), 0);
+
+  const int fd = ConnectTo(tcp.port());
+  ASSERT_GE(fd, 0);
+  std::string buffer;
+
+  ASSERT_TRUE(SendLine(
+      fd, "SELECT COUNT FROM patients BY Diagnosis.\"Diagnosis Group\""));
+  std::vector<std::string> reply = ReadReply(fd, &buffer);
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(reply[0], "OK 2");  // two diagnosis groups
+  EXPECT_GT(reply.size(), 1u);  // the rendered table follows
+
+  ASSERT_TRUE(SendLine(fd, ".epoch"));
+  reply = ReadReply(fd, &buffer);
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(reply[0], "OK 2");  // two publishes since construction
+
+  ASSERT_TRUE(
+      SendLine(fd, "INSERT INTO patients FACT 77 (Name.Name = 'John Doe')"));
+  reply = ReadReply(fd, &buffer);
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(reply[0], "OK 1");
+
+  ASSERT_TRUE(SendLine(fd, ".epoch"));
+  reply = ReadReply(fd, &buffer);
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(reply[0], "OK 3");
+
+  ASSERT_TRUE(SendLine(fd, "SELECT garbage"));
+  reply = ReadReply(fd, &buffer);
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(reply[0].rfind("ERR ", 0), 0u) << reply[0];
+
+  ASSERT_TRUE(SendLine(fd, ".stats"));
+  reply = ReadReply(fd, &buffer);
+  ASSERT_GE(reply.size(), 2u);
+  EXPECT_EQ(reply[0], "OK");
+  EXPECT_NE(reply[1].find("\"writes\": 1"), std::string::npos) << reply[1];
+
+  ASSERT_TRUE(SendLine(fd, ".quit"));
+  char drain[64];
+  EXPECT_LE(::recv(fd, drain, sizeof(drain), 0), 0);  // server closed
+  ::close(fd);
+
+  // Two concurrent connections get independent sessions.
+  const int fd1 = ConnectTo(tcp.port());
+  const int fd2 = ConnectTo(tcp.port());
+  ASSERT_GE(fd1, 0);
+  ASSERT_GE(fd2, 0);
+  std::string buffer1;
+  std::string buffer2;
+  ASSERT_TRUE(SendLine(fd1, "SELECT COUNT FROM patients"));
+  ASSERT_TRUE(SendLine(fd2, "SELECT COUNT FROM sales"));
+  EXPECT_EQ(ReadReply(fd1, &buffer1)[0], "OK 1");
+  EXPECT_EQ(ReadReply(fd2, &buffer2)[0], "OK 1");
+  ::close(fd1);
+  ::close(fd2);
+
+  tcp.Stop();
+  // Stop is idempotent and Start can bind again afterwards.
+  tcp.Stop();
+  ASSERT_TRUE(tcp.Start().ok());
+  tcp.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mddc
