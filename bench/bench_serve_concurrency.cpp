@@ -17,7 +17,6 @@
 // turns the sweep into a measurement of seal contention only).
 // Results go to stdout as a table and to BENCH_serve.json.
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -27,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "latency_recorder.h"
 #include "serve/mdql_server.h"
 #include "serve/mo_store.h"
 #include "workload/retail_generator.h"
@@ -76,14 +76,6 @@ struct SweepRow {
   double p99_ms = 0.0;
 };
 
-double PercentileMs(std::vector<double>& latencies_ms, double fraction) {
-  if (latencies_ms.empty()) return 0.0;
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  std::size_t index = static_cast<std::size_t>(
-      fraction * static_cast<double>(latencies_ms.size() - 1));
-  return latencies_ms[index];
-}
-
 SweepRow RunOne(MoStore& store, MdqlServer& server, std::size_t facts,
                 std::size_t sessions, std::size_t queries_per_session,
                 std::size_t writer_sleep_ms) {
@@ -108,25 +100,23 @@ SweepRow RunOne(MoStore& store, MdqlServer& server, std::size_t facts,
     }
   });
 
-  std::vector<std::vector<double>> latencies(sessions);
+  std::vector<mddc::bench::LatencyRecorder> latencies(sessions);
   std::vector<std::thread> readers;
   readers.reserve(sessions);
   const auto wall_start = std::chrono::steady_clock::now();
   for (std::size_t s = 0; s < sessions; ++s) {
-    latencies[s].reserve(queries_per_session);
+    latencies[s].Reserve(queries_per_session);
     readers.emplace_back([&server, &latencies, s, queries_per_session] {
       ServerSession session = server.Connect();
       for (std::size_t q = 0; q < queries_per_session; ++q) {
-        const auto start = std::chrono::steady_clock::now();
+        latencies[s].Start();
         auto result = session.Execute(kQuery);
-        const auto end = std::chrono::steady_clock::now();
+        latencies[s].Stop();
         if (!result.ok()) {
           std::fprintf(stderr, "read failed: %s\n",
                        result.status().ToString().c_str());
           std::exit(1);
         }
-        latencies[s].push_back(
-            std::chrono::duration<double, std::milli>(end - start).count());
       }
     });
   }
@@ -135,21 +125,19 @@ SweepRow RunOne(MoStore& store, MdqlServer& server, std::size_t facts,
   stop.store(true, std::memory_order_relaxed);
   writer.join();
 
-  std::vector<double> all;
-  for (const auto& per_session : latencies) {
-    all.insert(all.end(), per_session.begin(), per_session.end());
-  }
+  mddc::bench::LatencyRecorder all;
+  for (const auto& per_session : latencies) all.Merge(per_session);
   const double wall_s =
       std::chrono::duration<double>(wall_end - wall_start).count();
 
   SweepRow row;
   row.facts = facts;
   row.sessions = sessions;
-  row.queries = all.size();
+  row.queries = all.count();
   row.epochs = store.epoch() - epoch_before;
-  row.qps = wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0;
-  row.p50_ms = PercentileMs(all, 0.50);
-  row.p99_ms = PercentileMs(all, 0.99);
+  row.qps = wall_s > 0.0 ? static_cast<double>(all.count()) / wall_s : 0.0;
+  row.p50_ms = all.Percentile(0.50);
+  row.p99_ms = all.Percentile(0.99);
   return row;
 }
 

@@ -1,0 +1,268 @@
+// Mixed-workload stress bench: the YCSB-style query-mix driver
+// (stress/driver.h) replaying weighted roll-up/drill-down, temporal,
+// probabilistic, star-join and INSERT operations over the clinical
+// workload, through concurrent MdqlServer sessions against a live
+// MoStore writer. Reports per-class throughput and tail latency.
+//
+//   $ ./bench/bench_stress_mix
+//
+// Sweeps sessions x facts (10^5..10^6 patients); MDDC_SWEEP_MAX_FACTS
+// caps the largest fact count (default 1000000). MDDC_STRESS_MIX
+// overrides the mix spec (e.g. "rollup=1,insert=8" for a write-heavy
+// run), MDDC_STRESS_OPS the per-session operation count. Before the
+// sweep, one small recorded run goes through the differential oracle
+// (stress/oracle.h) so the bench never measures a serving tier that
+// returns wrong bytes. Results go to stdout and BENCH_stress.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "latency_recorder.h"
+#include "serve/mdql_server.h"
+#include "serve/mo_store.h"
+#include "stress/driver.h"
+#include "stress/mix.h"
+#include "stress/oracle.h"
+#include "workload/clinical_generator.h"
+
+namespace {
+
+using namespace mddc;
+using namespace mddc::stress;
+
+ClinicalWorkloadParams ParamsFor(std::size_t patients) {
+  ClinicalWorkloadParams params;
+  params.seed = 11;
+  params.num_patients = patients;
+  return params;
+}
+
+ClinicalMo BuildClinical(const ClinicalWorkloadParams& params) {
+  auto workload =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 workload.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(workload).ValueOrDie();
+}
+
+struct ClassRow {
+  std::uint64_t statements = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct SweepRow {
+  std::size_t facts = 0;
+  std::size_t sessions = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t epochs = 0;
+  double wall_seconds = 0.0;
+  ClassRow per_class[kQueryClassCount];
+};
+
+SweepRow RunOne(serve::MdqlServer& server, const StressOptions& options,
+                std::size_t facts) {
+  auto report = RunStressMix(server, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "stress run failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (report->errors != 0) {
+    std::fprintf(stderr, "stress run had %llu failed statements\n",
+                 static_cast<unsigned long long>(report->errors));
+    std::exit(1);
+  }
+  SweepRow row;
+  row.facts = facts;
+  row.sessions = options.sessions;
+  row.reads = report->reads;
+  row.writes = report->writes;
+  row.epochs = report->epoch_after - report->epoch_before;
+  row.wall_seconds = report->wall_seconds;
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    ClassTally& tally = report->per_class[c];
+    ClassRow& out = row.per_class[c];
+    out.statements = tally.statements;
+    out.qps = row.wall_seconds > 0.0
+                  ? static_cast<double>(tally.statements) / row.wall_seconds
+                  : 0.0;
+    out.p50_ms = bench::PercentileMs(tally.latencies_ms, 0.50);
+    out.p99_ms = bench::PercentileMs(tally.latencies_ms, 0.99);
+  }
+  return row;
+}
+
+/// One small recorded run replayed through the differential oracle; a
+/// mismatch means the numbers below would describe a broken server.
+void OracleGate(const MixSpec& mix) {
+  const ClinicalWorkloadParams params = ParamsFor(5000);
+  ClinicalMo clinical = BuildClinical(params);
+  WorkloadProfile profile =
+      WorkloadProfile::For(params, clinical, "clinical");
+
+  serve::MoStore store;
+  serve::MdqlServer server(&store);
+  MdObject replica = clinical.mo;
+  if (!store.Publish("clinical", std::move(clinical.mo)).ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    std::exit(1);
+  }
+  const std::uint64_t base_epoch = store.epoch();
+
+  StressOptions options;
+  options.mix = mix;
+  options.profile = profile;
+  options.sessions = 4;
+  options.ops_per_session = 10;
+  options.cycle_classes = true;
+  options.record = true;
+  auto report = RunStressMix(server, options);
+  if (!report.ok() || report->errors != 0) {
+    std::fprintf(stderr, "oracle gate run failed\n");
+    std::exit(1);
+  }
+  auto oracle = VerifySequentialReplay(std::move(replica), "clinical",
+                                       base_epoch, *report);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "oracle replay failed: %s\n",
+                 oracle.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (oracle->mismatches != 0) {
+    std::fprintf(stderr,
+                 "oracle gate: %zu of %zu reads diverged; first:\n%s\n",
+                 oracle->mismatches, oracle->reads_checked,
+                 oracle->first_mismatch.c_str());
+    std::exit(1);
+  }
+  std::printf(
+      "oracle gate: %zu reads and %zu writes byte-identical to the "
+      "sequential replay\n\n",
+      oracle->reads_checked, oracle->writes_replayed);
+}
+
+void WriteJson(const std::vector<SweepRow>& rows, const MixSpec& mix,
+               const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"stress_mix\",\n  \"mix\": \"%s\",\n",
+               mix.ToString().c_str());
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"facts\": %zu, \"sessions\": %zu, \"reads\": %llu, "
+                 "\"writes\": %llu, \"epochs\": %llu, "
+                 "\"wall_seconds\": %.3f, \"classes\": {",
+                 r.facts, r.sessions,
+                 static_cast<unsigned long long>(r.reads),
+                 static_cast<unsigned long long>(r.writes),
+                 static_cast<unsigned long long>(r.epochs), r.wall_seconds);
+    for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+      const ClassRow& cr = r.per_class[c];
+      std::fprintf(out,
+                   "%s\"%s\": {\"statements\": %llu, \"qps\": %.1f, "
+                   "\"p50_ms\": %.3f, \"p99_ms\": %.3f}",
+                   c == 0 ? "" : ", ",
+                   QueryClassName(static_cast<QueryClass>(c)),
+                   static_cast<unsigned long long>(cr.statements), cr.qps,
+                   cr.p50_ms, cr.p99_ms);
+    }
+    std::fprintf(out, "}}%s\n", i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  std::size_t max_facts = 1000000;
+  if (const char* cap = std::getenv("MDDC_SWEEP_MAX_FACTS")) {
+    max_facts = static_cast<std::size_t>(std::strtoull(cap, nullptr, 10));
+  }
+  MixSpec mix;
+  if (const char* text = std::getenv("MDDC_STRESS_MIX")) {
+    auto parsed = MixSpec::Parse(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad MDDC_STRESS_MIX: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    mix = *parsed;
+  }
+  std::size_t ops_override = 0;
+  if (const char* ops = std::getenv("MDDC_STRESS_OPS")) {
+    ops_override = static_cast<std::size_t>(std::strtoull(ops, nullptr, 10));
+  }
+
+  OracleGate(mix);
+
+  // Sweep points capped by MDDC_SWEEP_MAX_FACTS; when the cap filters
+  // out every point (sanitizer smokes), sweep at the cap itself so the
+  // bench still measures something.
+  std::vector<std::size_t> fact_counts;
+  for (std::size_t facts : {std::size_t{100000}, std::size_t{1000000}}) {
+    if (facts <= max_facts) fact_counts.push_back(facts);
+  }
+  if (fact_counts.empty() && max_facts > 0) fact_counts.push_back(max_facts);
+
+  std::vector<SweepRow> rows;
+  for (std::size_t facts : fact_counts) {
+    const ClinicalWorkloadParams params = ParamsFor(facts);
+    ClinicalMo clinical = BuildClinical(params);
+    WorkloadProfile profile =
+        WorkloadProfile::For(params, clinical, "clinical");
+    serve::MoStore store;
+    serve::MdqlServer server(&store);
+    if (!store.Publish("clinical", std::move(clinical.mo)).ok()) {
+      std::fprintf(stderr, "publish failed\n");
+      return 1;
+    }
+    // Fewer operations at the large scale; throughput is a rate.
+    const std::size_t ops = ops_override != 0  ? ops_override
+                            : facts >= 1000000 ? 4
+                                               : 10;
+    for (std::size_t sessions : {std::size_t{2}, std::size_t{8}}) {
+      StressOptions options;
+      options.mix = mix;
+      options.profile = profile;
+      options.sessions = sessions;
+      options.ops_per_session = ops;
+      SweepRow row = RunOne(server, options, facts);
+      std::printf("facts=%zu sessions=%zu reads=%llu writes=%llu "
+                  "epochs=%llu wall=%.2fs\n",
+                  row.facts, row.sessions,
+                  static_cast<unsigned long long>(row.reads),
+                  static_cast<unsigned long long>(row.writes),
+                  static_cast<unsigned long long>(row.epochs),
+                  row.wall_seconds);
+      for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+        const ClassRow& cr = row.per_class[c];
+        std::printf("  %-9s %6llu stmts %10.1f qps %9.3f p50_ms %9.3f "
+                    "p99_ms\n",
+                    QueryClassName(static_cast<QueryClass>(c)),
+                    static_cast<unsigned long long>(cr.statements), cr.qps,
+                    cr.p50_ms, cr.p99_ms);
+      }
+      std::fflush(stdout);
+      rows.push_back(row);
+    }
+  }
+
+  WriteJson(rows, mix, "BENCH_stress.json");
+  return 0;
+}

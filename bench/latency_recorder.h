@@ -1,0 +1,60 @@
+#ifndef MDDC_BENCH_LATENCY_RECORDER_H_
+#define MDDC_BENCH_LATENCY_RECORDER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+// Latency bookkeeping shared by the serving-tier benches
+// (bench_serve_concurrency, bench_stress_mix): per-statement wall-time
+// samples in milliseconds plus nearest-rank percentiles.
+
+namespace mddc {
+namespace bench {
+
+/// Nearest-rank percentile; sorts the samples in place. Returns 0 when
+/// there are none.
+inline double PercentileMs(std::vector<double>& latencies_ms,
+                           double fraction) {
+  if (latencies_ms.empty()) return 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  std::size_t index = static_cast<std::size_t>(
+      fraction * static_cast<double>(latencies_ms.size() - 1));
+  return latencies_ms[index];
+}
+
+/// One thread's samples: record with Start()/Stop() around the measured
+/// call, merge per-thread recorders after the join.
+class LatencyRecorder {
+ public:
+  void Reserve(std::size_t samples) { ms_.reserve(samples); }
+
+  void Start() { start_ = std::chrono::steady_clock::now(); }
+
+  void Stop() {
+    const auto end = std::chrono::steady_clock::now();
+    ms_.push_back(
+        std::chrono::duration<double, std::milli>(end - start_).count());
+  }
+
+  void Merge(const LatencyRecorder& other) {
+    ms_.insert(ms_.end(), other.ms_.begin(), other.ms_.end());
+  }
+
+  std::size_t count() const { return ms_.size(); }
+
+  /// Mutable: Percentile sorts the samples.
+  std::vector<double>& samples() { return ms_; }
+
+  double Percentile(double fraction) { return PercentileMs(ms_, fraction); }
+
+ private:
+  std::vector<double> ms_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace bench
+}  // namespace mddc
+
+#endif  // MDDC_BENCH_LATENCY_RECORDER_H_

@@ -165,7 +165,14 @@ Result<QueryResult> ExecuteSelect(const MdObject& source,
                                   ExecContext* exec) {
   MdObject mo = source;
   if (select.as_of.has_value()) {
-    MDDC_ASSIGN_OR_RETURN(std::int64_t day, ParseDate(*select.as_of));
+    // ASOF 'NOW' slices at the growing NOW sentinel: memberships and
+    // characterizations whose valid time runs to NOW survive, anything
+    // that ended at a concrete chronon is cut — the "current state" of
+    // the MO, deterministic because no clock is read.
+    Chronon day = kNowChronon;
+    if (*select.as_of != "NOW") {
+      MDDC_ASSIGN_OR_RETURN(day, ParseDate(*select.as_of));
+    }
     MDDC_ASSIGN_OR_RETURN(mo, ValidTimeslice(mo, day, exec));
   }
 

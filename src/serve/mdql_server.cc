@@ -77,13 +77,18 @@ Result<mdql::QueryResult> ServerSession::ExecuteWrite(
     const mdql::Statement& statement) {
   ++stats_.writes;
   mdql::QueryResult ack;
+  std::uint64_t published = 0;
   MDDC_RETURN_NOT_OK(store_->Mutate(
-      mdql::StatementMoName(statement), [&](MdObject& draft) -> Status {
+      mdql::StatementMoName(statement),
+      [&](MdObject& draft) -> Status {
         MDDC_ASSIGN_OR_RETURN(ack,
                               mdql::ApplyInsert(draft, *statement.insert));
         return Status::OK();
-      }));
-  stats_.last_epoch = store_->epoch();
+      },
+      &published));
+  // The exact epoch this write produced — not store_->epoch(), which may
+  // already reflect a concurrent session's later write.
+  stats_.last_epoch = published;
   return ack;
 }
 

@@ -50,7 +50,10 @@ class ServerSession {
   /// Parses and executes one MDQL statement against the serving tier.
   Result<mdql::QueryResult> Execute(const std::string& statement);
 
-  /// Epoch this session last executed against.
+  /// Epoch this session last executed against: the pinned snapshot's
+  /// epoch after a read, the exact published epoch after an INSERT. The
+  /// stress harness's oracle relies on both being exact even when other
+  /// sessions write concurrently.
   std::uint64_t pinned_epoch() const { return stats_.last_epoch; }
 
   const SessionStats& stats() const { return stats_; }

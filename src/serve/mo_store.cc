@@ -119,9 +119,14 @@ Status MoStore::Drop(const std::string& name) {
 }
 
 Status MoStore::Mutate(const std::string& name,
-                       const std::function<Status(MdObject&)>& mutator) {
+                       const std::function<Status(MdObject&)>& mutator,
+                       std::uint64_t* published_epoch) {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  return MutateLocked(name, mutator);
+  MDDC_RETURN_NOT_OK(MutateLocked(name, mutator));
+  // Still under the writer mutex, so the current epoch is exactly the
+  // one this mutation published.
+  if (published_epoch != nullptr) *published_epoch = Pin()->epoch();
+  return Status::OK();
 }
 
 Status MoStore::MutateLocked(const std::string& name,

@@ -103,8 +103,15 @@ class MoStore {
   /// few generations), so concurrent readers never observe interning.
   /// If the mutator fails the draft is discarded and no epoch is
   /// published.
+  ///
+  /// On success `published_epoch` (optional) receives the exact epoch
+  /// this mutation produced. Reading `epoch()` after Mutate returns is
+  /// not equivalent under concurrent writers — another mutation may have
+  /// published in between — and the stress harness's differential oracle
+  /// needs the exact write→epoch mapping to replay writes in epoch order.
   Status Mutate(const std::string& name,
-                const std::function<Status(MdObject&)>& mutator);
+                const std::function<Status(MdObject&)>& mutator,
+                std::uint64_t* published_epoch = nullptr);
 
   /// Registers a warm pre-aggregate for `name` and republishes it (new
   /// epoch) with the spec materialized into the snapshot's cache; all

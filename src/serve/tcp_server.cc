@@ -132,6 +132,10 @@ void TcpServer::ServeConnection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  // Set while discarding the tail of an oversized request line: the ERR
+  // reply has already been sent, and everything up to the next newline
+  // belongs to the rejected line.
+  bool skipping_line = false;
   while (open && !stopping_.load(std::memory_order_acquire)) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
@@ -141,8 +145,20 @@ void TcpServer::ServeConnection(int fd) {
     while (open && (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
+      if (skipping_line) {  // tail of a rejected oversized line
+        skipping_line = false;
+        continue;
+      }
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      if (line.size() > kMaxLineBytes) {
+        if (!SendAll(fd, Reply(StrCat("ERR request line exceeds ",
+                                      kMaxLineBytes, " bytes"),
+                               ""))) {
+          open = false;
+        }
+        continue;
+      }
       if (line == ".quit") {
         open = false;
         break;
@@ -160,6 +176,20 @@ void TcpServer::ServeConnection(int fd) {
                     : Reply(StrCat("ERR ", result.status().message()), "");
       }
       if (!SendAll(fd, reply)) open = false;
+    }
+    // A partial line that already exceeds the cap can never become a
+    // valid request; reject it now (one ERR) and discard until its
+    // newline arrives instead of buffering it without bound.
+    if (open && buffer.size() > kMaxLineBytes) {
+      if (!skipping_line) {
+        skipping_line = true;
+        if (!SendAll(fd, Reply(StrCat("ERR request line exceeds ",
+                                      kMaxLineBytes, " bytes"),
+                               ""))) {
+          open = false;
+        }
+      }
+      buffer.clear();
     }
   }
   ::close(fd);

@@ -37,8 +37,18 @@ namespace serve {
 /// Meta commands: ".epoch" (current store epoch), ".stats" (this
 /// session's SessionStats as JSON), ".quit" (server closes the
 /// connection).
+///
+/// Requests longer than kMaxLineBytes are rejected with one ERR reply
+/// and the rest of the oversized line is discarded, so a hostile or
+/// buggy client cannot grow the per-connection buffer without bound and
+/// the connection stays usable for the next statement.
 class TcpServer {
  public:
+  /// Upper bound on one request line (statement text). Generous for any
+  /// real MDQL statement; small enough that a garbage flood cannot
+  /// exhaust memory through the line buffer.
+  static constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
   /// `server` must outlive this object.
   explicit TcpServer(MdqlServer* server) : server_(server) {}
   ~TcpServer() { Stop(); }

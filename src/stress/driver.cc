@@ -1,0 +1,128 @@
+#include "stress/driver.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "mdql/mdql.h"
+
+namespace mddc {
+namespace stress {
+namespace {
+
+/// Everything one session thread accumulates; merged into the report
+/// after the join, so threads never share state during the run.
+struct SessionOutcome {
+  std::array<ClassTally, kQueryClassCount> per_class;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t errors = 0;
+  std::vector<StatementRecord> read_records;
+  std::vector<StatementRecord> write_records;
+  ExecStats exec;
+};
+
+void RunSession(serve::MdqlServer& server, const StressOptions& options,
+                std::size_t session_index, SessionOutcome& outcome) {
+  serve::ServerSession session =
+      server.Connect(options.threads_per_query);
+  StatementGenerator generator(options.profile, options.seed, session_index);
+  for (std::size_t op = 0; op < options.ops_per_session; ++op) {
+    const QueryClass query_class =
+        options.cycle_classes
+            ? static_cast<QueryClass>(op % kQueryClassCount)
+            : generator.Draw(options.mix);
+    ClassTally& tally =
+        outcome.per_class[static_cast<std::size_t>(query_class)];
+    for (const std::string& statement : generator.Generate(query_class)) {
+      const bool is_write = query_class == QueryClass::kInsert;
+      const auto start = std::chrono::steady_clock::now();
+      auto result = session.Execute(statement);
+      const auto end = std::chrono::steady_clock::now();
+      ++tally.statements;
+      tally.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(end - start).count());
+      if (!result.ok()) {
+        ++outcome.errors;
+        continue;
+      }
+      if (is_write) {
+        ++outcome.writes;
+      } else {
+        ++outcome.reads;
+      }
+      if (options.record) {
+        StatementRecord record;
+        record.epoch = session.pinned_epoch();
+        record.statement = statement;
+        record.rendered = result->ToString();
+        (is_write ? outcome.write_records : outcome.read_records)
+            .push_back(std::move(record));
+      }
+    }
+  }
+  outcome.exec = session.stats().exec;
+}
+
+}  // namespace
+
+Result<StressReport> RunStressMix(serve::MdqlServer& server,
+                                  const StressOptions& options) {
+  if (options.sessions == 0) {
+    return Status::InvalidArgument("stress run needs at least one session");
+  }
+  if (options.profile.mo_name.empty()) {
+    return Status::InvalidArgument("stress profile has no MO name");
+  }
+  std::uint64_t weight_total = 0;
+  for (std::uint32_t w : options.mix.weights) weight_total += w;
+  if (!options.cycle_classes && weight_total == 0) {
+    return Status::InvalidArgument(
+        "mix has no positive weight and cycle_classes is off");
+  }
+
+  StressReport report;
+  report.epoch_before = server.store().epoch();
+
+  std::vector<SessionOutcome> outcomes(options.sessions);
+  std::vector<std::thread> threads;
+  threads.reserve(options.sessions);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    threads.emplace_back([&server, &options, &outcomes, s] {
+      RunSession(server, options, s, outcomes[s]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  report.epoch_after = server.store().epoch();
+  report.reads_per_session.reserve(options.sessions);
+  for (SessionOutcome& outcome : outcomes) {
+    for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+      ClassTally& into = report.per_class[c];
+      ClassTally& from = outcome.per_class[c];
+      into.statements += from.statements;
+      into.latencies_ms.insert(into.latencies_ms.end(),
+                               from.latencies_ms.begin(),
+                               from.latencies_ms.end());
+    }
+    report.reads += outcome.reads;
+    report.writes += outcome.writes;
+    report.errors += outcome.errors;
+    report.reads_per_session.push_back(outcome.reads);
+    for (StatementRecord& r : outcome.read_records) {
+      report.read_records.push_back(std::move(r));
+    }
+    for (StatementRecord& r : outcome.write_records) {
+      report.write_records.push_back(std::move(r));
+    }
+    report.exec.MergeFrom(outcome.exec);
+  }
+  return report;
+}
+
+}  // namespace stress
+}  // namespace mddc

@@ -1,0 +1,84 @@
+#ifndef MDDC_STRESS_DRIVER_H_
+#define MDDC_STRESS_DRIVER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "serve/mdql_server.h"
+#include "stress/mix.h"
+
+namespace mddc {
+namespace stress {
+
+/// Configuration of one stress run.
+struct StressOptions {
+  MixSpec mix;
+  WorkloadProfile profile;
+  std::uint32_t seed = 1;
+  /// Concurrent sessions, one thread each, all against the same server.
+  std::size_t sessions = 4;
+  /// Logical operations per session; a roll-up/drill-down operation is
+  /// three statements, temporal two, the rest one.
+  std::size_t ops_per_session = 50;
+  /// Round-robin the classes instead of drawing from the mix weights:
+  /// op k runs class k % kQueryClassCount, so every class is exercised
+  /// a known number of times — the shape verify mode wants.
+  bool cycle_classes = false;
+  /// Capture per-statement records for the differential oracle
+  /// (stress/oracle.h). Off for pure throughput runs.
+  bool record = false;
+  /// ExecContext width of each session's reads.
+  std::size_t threads_per_query = 1;
+};
+
+/// One recorded statement: the exact epoch it executed against (the
+/// pinned snapshot's epoch for reads, the published epoch for writes —
+/// both exact even under concurrent writers, see
+/// ServerSession::pinned_epoch) plus the rendered result bytes.
+struct StatementRecord {
+  std::uint64_t epoch = 0;
+  std::string statement;
+  std::string rendered;
+};
+
+/// Per-class throughput tally.
+struct ClassTally {
+  std::uint64_t statements = 0;
+  std::vector<double> latencies_ms;
+};
+
+/// Everything one stress run produced.
+struct StressReport {
+  std::array<ClassTally, kQueryClassCount> per_class;
+  std::uint64_t reads = 0;   ///< read statements across all sessions
+  std::uint64_t writes = 0;  ///< INSERT statements across all sessions
+  std::uint64_t errors = 0;  ///< statements that returned a Status
+  std::vector<std::uint64_t> reads_per_session;
+  std::uint64_t epoch_before = 0;
+  std::uint64_t epoch_after = 0;
+  double wall_seconds = 0.0;
+  /// Populated only when StressOptions::record is set.
+  std::vector<StatementRecord> read_records;
+  std::vector<StatementRecord> write_records;
+  /// Execution counters merged across every session.
+  ExecStats exec;
+};
+
+/// Replays the mixed workload: `sessions` threads each connect one
+/// ServerSession and run `ops_per_session` operations whose class comes
+/// from the mix (or the class cycle), generating statements
+/// deterministically from (seed, session index). Reads run against
+/// pinned snapshots; INSERTs go through the store's serialized writer
+/// and publish epochs, so sessions continuously observe each other's
+/// writes. Statement failures are counted, never fatal.
+Result<StressReport> RunStressMix(serve::MdqlServer& server,
+                                  const StressOptions& options);
+
+}  // namespace stress
+}  // namespace mddc
+
+#endif  // MDDC_STRESS_DRIVER_H_

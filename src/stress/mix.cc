@@ -1,0 +1,209 @@
+#include "stress/mix.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace mddc {
+namespace stress {
+namespace {
+
+constexpr const char* kClassNames[kQueryClassCount] = {
+    "rollup", "temporal", "prob", "star", "insert"};
+
+/// The fixed ASOF dates of the temporal class: before the 1980
+/// reclassification epoch, at it, and after it, so slices land on both
+/// sides of the old-era/new-era family memberships.
+constexpr const char* kSliceDates[] = {"01/06/75", "01/01/80", "15/06/85",
+                                       "01/01/95"};
+
+/// PROB thresholds; the generator's uncertain diagnoses are drawn from
+/// [min_probability, 1), so these split that range.
+constexpr const char* kProbThresholds[] = {"0.5", "0.7", "0.9"};
+
+}  // namespace
+
+const char* QueryClassName(QueryClass query_class) {
+  return kClassNames[static_cast<std::size_t>(query_class)];
+}
+
+Result<MixSpec> MixSpec::Parse(const std::string& text) {
+  MixSpec spec;
+  spec.weights.fill(0);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat("mix entry '", entry, "' is not name=weight"));
+    }
+    const std::string name = entry.substr(0, eq);
+    const std::string weight_text = entry.substr(eq + 1);
+    bool numeric = !weight_text.empty();
+    std::uint64_t weight = 0;
+    for (char ch : weight_text) {
+      if (ch < '0' || ch > '9') {
+        numeric = false;
+        break;
+      }
+      weight = weight * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    if (!numeric) {
+      return Status::InvalidArgument(
+          StrCat("mix weight '", weight_text, "' is not a number"));
+    }
+    bool known = false;
+    for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+      if (name == kClassNames[c]) {
+        spec.weights[c] = static_cast<std::uint32_t>(weight);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument(
+          StrCat("unknown query class '", name, "' in mix spec"));
+    }
+  }
+  std::uint64_t total = 0;
+  for (std::uint32_t w : spec.weights) total += w;
+  if (total == 0) {
+    return Status::InvalidArgument(
+        "mix spec needs at least one positive weight");
+  }
+  return spec;
+}
+
+std::string MixSpec::ToString() const {
+  std::string out;
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    if (!out.empty()) out += ',';
+    out += StrCat(kClassNames[c], "=", weights[c]);
+  }
+  return out;
+}
+
+WorkloadProfile WorkloadProfile::For(const ClinicalWorkloadParams& params,
+                                     const ClinicalMo& clinical,
+                                     std::string mo_name) {
+  WorkloadProfile profile;
+  profile.mo_name = std::move(mo_name);
+  profile.groups = params.num_groups;
+  profile.families = clinical.num_families;
+  profile.lows = clinical.num_low_level;
+  profile.regions = params.num_regions;
+  profile.counties = params.num_regions * params.counties_per_region;
+  profile.areas = profile.counties * params.areas_per_county;
+  return profile;
+}
+
+StatementGenerator::StatementGenerator(WorkloadProfile profile,
+                                       std::uint32_t seed,
+                                       std::size_t session_index)
+    : profile_(std::move(profile)),
+      session_index_(session_index),
+      rng_(seed + static_cast<std::uint32_t>(session_index) * 7919u) {}
+
+std::size_t StatementGenerator::Pick(std::size_t bound) {
+  if (bound <= 1) return 0;
+  return std::uniform_int_distribution<std::size_t>(0, bound - 1)(rng_);
+}
+
+QueryClass StatementGenerator::Draw(const MixSpec& mix) {
+  std::uint64_t total = 0;
+  for (std::uint32_t w : mix.weights) total += w;
+  std::uint64_t ticket =
+      std::uniform_int_distribution<std::uint64_t>(0, total - 1)(rng_);
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    if (ticket < mix.weights[c]) return static_cast<QueryClass>(c);
+    ticket -= mix.weights[c];
+  }
+  return QueryClass::kRollupDrilldown;  // unreachable: total > 0
+}
+
+std::vector<std::string> StatementGenerator::Generate(
+    QueryClass query_class) {
+  const std::string& mo = profile_.mo_name;
+  std::vector<std::string> statements;
+  switch (query_class) {
+    case QueryClass::kRollupDrilldown: {
+      // The analyst path: top-level overview, drill into one group,
+      // drill into one family. The family/low levels cross the
+      // many-to-many and non-strict edges of the generated hierarchy.
+      const std::size_t g = Pick(profile_.groups);
+      const std::size_t f = Pick(profile_.families);
+      statements.push_back(StrCat(
+          "SELECT COUNT FROM ", mo, " BY Diagnosis.\"Diagnosis Group\""));
+      statements.push_back(StrCat(
+          "SELECT COUNT FROM ", mo, " BY Diagnosis.\"Diagnosis Family\"",
+          " WHERE Diagnosis.\"Diagnosis Group\" = 'G", g, "'"));
+      statements.push_back(StrCat(
+          "SELECT COUNT FROM ", mo,
+          " BY Diagnosis.\"Low-level Diagnosis\" AS Seq",
+          " WHERE Diagnosis.\"Diagnosis Family\" = 'F", f, "'"));
+      break;
+    }
+    case QueryClass::kTemporalSlice: {
+      // One slice at a fixed date, one at the growing NOW sentinel.
+      const std::size_t d = Pick(std::size(kSliceDates));
+      const std::size_t r = Pick(profile_.regions);
+      statements.push_back(StrCat(
+          "SELECT COUNT FROM ", mo, " BY Diagnosis.\"Diagnosis Group\"",
+          " ASOF '", kSliceDates[d], "'"));
+      statements.push_back(StrCat(
+          "SELECT COUNT FROM ", mo, " BY Residence.Region",
+          " WHERE Residence.Region = 'R", r, "' ASOF 'NOW'"));
+      break;
+    }
+    case QueryClass::kProbabilistic: {
+      const std::size_t f = Pick(profile_.families);
+      const std::size_t t = Pick(std::size(kProbThresholds));
+      statements.push_back(StrCat(
+          "SELECT COUNT FROM ", mo, " BY Residence.Region",
+          " WHERE PROB(Diagnosis.\"Diagnosis Family\" = 'F", f, "') >= ",
+          kProbThresholds[t]));
+      break;
+    }
+    case QueryClass::kStarJoin: {
+      // Star-schema shape: group on two dimensions, filter across both
+      // with a disjunction — the query a star join would answer.
+      const std::size_t r = Pick(profile_.regions);
+      const std::size_t c = Pick(profile_.counties);
+      statements.push_back(StrCat(
+          "SELECT COUNT FROM ", mo,
+          " BY Diagnosis.\"Diagnosis Group\", Residence.Region",
+          " WHERE Residence.Region = 'R", r, "' OR Residence.County = 'CO",
+          c, "'"));
+      break;
+    }
+    case QueryClass::kInsert: {
+      const std::uint64_t key = profile_.insert_key_base +
+                                static_cast<std::uint64_t>(session_index_) *
+                                    1000000 +
+                                insert_counter_++;
+      const std::size_t low = Pick(profile_.lows);
+      const std::size_t area = Pick(profile_.areas);
+      const std::size_t certainty = Pick(3);
+      std::string assignment = StrCat(
+          "Diagnosis.\"Low-level Diagnosis\" = 'L", low, "'");
+      if (certainty == 1) {
+        assignment += " PROB 0.75";
+      } else if (certainty == 2) {
+        assignment += " PROB 0.6";
+      }
+      statements.push_back(StrCat(
+          "INSERT INTO ", mo, " FACT ", key, " (", assignment,
+          ", Residence.Area = 'A", area, "')"));
+      break;
+    }
+  }
+  return statements;
+}
+
+}  // namespace stress
+}  // namespace mddc

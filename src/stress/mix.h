@@ -1,0 +1,108 @@
+#ifndef MDDC_STRESS_MIX_H_
+#define MDDC_STRESS_MIX_H_
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/clinical_generator.h"
+
+namespace mddc {
+namespace stress {
+
+/// The query classes of the mixed workload (docs/stress.md). Each class
+/// maps to one shape of MDQL statement stream over the clinical MO:
+///
+///  * kRollupDrilldown — an analyst session: the same population grouped
+///    at Diagnosis Group, then drilled into one group's families, then
+///    into one family's low-level diagnoses (many-to-many and non-strict
+///    hierarchy edges are on this path).
+///  * kTemporalSlice — ASOF queries at fixed dates across the 1980
+///    reclassification epoch plus the growing 'NOW' sentinel.
+///  * kProbabilistic — PROB(...) >= t thresholds over the uncertain
+///    diagnoses.
+///  * kStarJoin — the star-schema-shaped query: a two-dimension group-by
+///    with a cross-dimension disjunctive filter, i.e. what a relational
+///    star schema would answer with a fact-dimension join.
+///  * kInsert — MDQL INSERT of a new patient fact with an uncertain
+///    diagnosis and a residence, routed through the store's writer.
+enum class QueryClass {
+  kRollupDrilldown = 0,
+  kTemporalSlice = 1,
+  kProbabilistic = 2,
+  kStarJoin = 3,
+  kInsert = 4,
+};
+
+inline constexpr std::size_t kQueryClassCount = 5;
+
+/// Short stable name, also the key of MixSpec::Parse ("rollup",
+/// "temporal", "prob", "star", "insert").
+const char* QueryClassName(QueryClass query_class);
+
+/// Relative weights of the query classes, YCSB-style. The default mix is
+/// read-heavy with a trickle of writes.
+struct MixSpec {
+  std::array<std::uint32_t, kQueryClassCount> weights{4, 2, 1, 1, 1};
+
+  /// Parses "rollup=4,temporal=2,prob=1,star=1,insert=1". Omitted
+  /// classes keep weight 0; at least one weight must be positive.
+  static Result<MixSpec> Parse(const std::string& text);
+
+  /// Round-trips through Parse.
+  std::string ToString() const;
+};
+
+/// What the statement generator needs to know about the generated
+/// clinical MO in order to name values without looking inside it: the
+/// generator (workload/clinical_generator.cc) labels every level with
+/// deterministic index-based codes — G<k> groups, F<k> families, L<k>
+/// low-level diagnoses, R<k> regions, CO<k> counties, A<k> areas — so a
+/// profile is just the cardinalities plus the MO's published name.
+struct WorkloadProfile {
+  std::string mo_name;
+  std::size_t groups = 0;
+  std::size_t families = 0;
+  std::size_t lows = 0;
+  std::size_t regions = 0;
+  std::size_t counties = 0;
+  std::size_t areas = 0;
+  /// INSERT fact keys start here, far above the generator's patient key
+  /// space; session s uses insert_key_base + s * 1000000 + counter.
+  std::uint64_t insert_key_base = 50000000;
+
+  static WorkloadProfile For(const ClinicalWorkloadParams& params,
+                             const ClinicalMo& clinical,
+                             std::string mo_name);
+};
+
+/// Produces the MDQL statement stream of one stress session,
+/// deterministically from (profile, seed, session_index). One Generate
+/// call emits the statements of one logical operation — a roll-up /
+/// drill-down session is three statements, the other classes one or two.
+class StatementGenerator {
+ public:
+  StatementGenerator(WorkloadProfile profile, std::uint32_t seed,
+                     std::size_t session_index);
+
+  std::vector<std::string> Generate(QueryClass query_class);
+
+  /// Draws a class from the mix's weight distribution.
+  QueryClass Draw(const MixSpec& mix);
+
+ private:
+  std::size_t Pick(std::size_t bound);  // uniform in [0, bound)
+
+  WorkloadProfile profile_;
+  std::size_t session_index_;
+  std::mt19937 rng_;
+  std::uint64_t insert_counter_ = 0;
+};
+
+}  // namespace stress
+}  // namespace mddc
+
+#endif  // MDDC_STRESS_MIX_H_

@@ -1,0 +1,107 @@
+#include "stress/oracle.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "mdql/mdql.h"
+
+namespace mddc {
+namespace stress {
+namespace {
+
+std::string DescribeDiff(const StatementRecord& record,
+                         const std::string& actual) {
+  return StrCat("epoch ", record.epoch, ": ", record.statement,
+                "\n--- concurrent run rendered ---\n", record.rendered,
+                "\n--- sequential replay rendered ---\n", actual);
+}
+
+}  // namespace
+
+Result<OracleReport> VerifySequentialReplay(MdObject replica,
+                                            const std::string& mo_name,
+                                            std::uint64_t base_epoch,
+                                            const StressReport& report) {
+  mdql::Session session;
+  MDDC_RETURN_NOT_OK(session.Register(mo_name, std::move(replica)));
+
+  std::vector<const StatementRecord*> writes;
+  writes.reserve(report.write_records.size());
+  for (const StatementRecord& record : report.write_records) {
+    writes.push_back(&record);
+  }
+  std::sort(writes.begin(), writes.end(),
+            [](const StatementRecord* a, const StatementRecord* b) {
+              return a->epoch < b->epoch;
+            });
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    if (writes[i]->epoch <= base_epoch) {
+      return Status::InvariantViolation(
+          StrCat("write epoch ", writes[i]->epoch,
+                 " not after the base epoch ", base_epoch));
+    }
+    if (i > 0 && writes[i]->epoch == writes[i - 1]->epoch) {
+      return Status::InvariantViolation(
+          StrCat("two writes share epoch ", writes[i]->epoch,
+                 "; MoStore::Mutate's write->epoch mapping is broken"));
+    }
+  }
+
+  std::vector<const StatementRecord*> reads;
+  reads.reserve(report.read_records.size());
+  for (const StatementRecord& record : report.read_records) {
+    reads.push_back(&record);
+  }
+  std::stable_sort(reads.begin(), reads.end(),
+                   [](const StatementRecord* a, const StatementRecord* b) {
+                     return a->epoch < b->epoch;
+                   });
+
+  OracleReport oracle;
+  auto note_mismatch = [&oracle](const StatementRecord& record,
+                                 const std::string& actual) {
+    if (oracle.mismatches == 0) {
+      oracle.first_mismatch = DescribeDiff(record, actual);
+    }
+    ++oracle.mismatches;
+  };
+
+  std::size_t next_write = 0;
+  auto replay_write = [&](const StatementRecord& record) {
+    auto ack = session.Execute(record.statement);
+    if (!ack.ok()) {
+      note_mismatch(record, StrCat("<error: ", ack.status().message(), ">"));
+    } else if (ack->ToString() != record.rendered) {
+      note_mismatch(record, ack->ToString());
+    }
+    ++oracle.writes_replayed;
+  };
+
+  for (const StatementRecord* read : reads) {
+    while (next_write < writes.size() &&
+           writes[next_write]->epoch <= read->epoch) {
+      replay_write(*writes[next_write]);
+      ++next_write;
+    }
+    auto result = session.Execute(read->statement);
+    if (!result.ok()) {
+      note_mismatch(*read,
+                    StrCat("<error: ", result.status().message(), ">"));
+    } else if (result->ToString() != read->rendered) {
+      note_mismatch(*read, result->ToString());
+    }
+    ++oracle.reads_checked;
+  }
+  // Tail writes no read observed still have their acknowledgments
+  // checked against the replica.
+  while (next_write < writes.size()) {
+    replay_write(*writes[next_write]);
+    ++next_write;
+  }
+  return oracle;
+}
+
+}  // namespace stress
+}  // namespace mddc

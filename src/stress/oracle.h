@@ -1,0 +1,51 @@
+#ifndef MDDC_STRESS_ORACLE_H_
+#define MDDC_STRESS_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/md_object.h"
+#include "stress/driver.h"
+
+namespace mddc {
+namespace stress {
+
+/// What the differential replay found.
+struct OracleReport {
+  std::size_t reads_checked = 0;
+  std::size_t writes_replayed = 0;
+  std::size_t mismatches = 0;
+  /// Human-readable description of the first divergence (empty when
+  /// mismatches == 0): the epoch, the statement, and both renderings.
+  std::string first_mismatch;
+};
+
+/// The differential oracle of the stress harness (docs/stress.md):
+/// replays a recorded concurrent run sequentially and demands
+/// byte-identical results.
+///
+/// `replica` must be the same MO the store published at `base_epoch`
+/// (regenerate it from the same workload params and seed). The oracle
+/// registers it in a plain single-threaded mdql::Session, sorts the
+/// report's write records by their published epoch — MoStore serializes
+/// writers, so the epochs are unique and totally ordered — and walks the
+/// read records in epoch order, applying every write with epoch <= the
+/// read's pinned epoch before re-executing the read. A read that pinned
+/// epoch e must render byte-identically to the replica holding exactly
+/// the writes published at epochs <= e; write acknowledgments are
+/// compared too. Any divergence is a mismatch, not an error — the report
+/// carries the count and the first diff.
+///
+/// Requires a report captured with StressOptions::record set; fails with
+/// InvariantViolation if the write epochs collide (which would mean the
+/// exact write->epoch mapping of MoStore::Mutate is broken).
+Result<OracleReport> VerifySequentialReplay(MdObject replica,
+                                            const std::string& mo_name,
+                                            std::uint64_t base_epoch,
+                                            const StressReport& report);
+
+}  // namespace stress
+}  // namespace mddc
+
+#endif  // MDDC_STRESS_ORACLE_H_

@@ -57,13 +57,24 @@ Result<ClinicalMo> GenerateClinicalWorkload(
   std::uint64_t next_low = kLowBase;
   std::uint64_t next_family = kFamilyBase;
   Representation& code_rep = diagnosis.RepresentationFor(low, "Code");
+  // Deterministic, index-based codes at every level so queries (and the
+  // stress harness's statement generator, src/stress/mix.h) can name any
+  // value without touching the rng stream: families are F<k> and groups
+  // G<k> in creation order, and lows carry a sequential L<k> alias next
+  // to their hierarchical C<g>.<f>.<l> code.
+  Representation& low_seq_rep = diagnosis.RepresentationFor(low, "Seq");
+  Representation& family_rep = diagnosis.RepresentationFor(family, "Code");
+  Representation& group_rep = diagnosis.RepresentationFor(group, "Code");
 
   for (std::size_t g = 0; g < params.num_groups; ++g) {
     ValueId group_id(kGroupBase + g);
     MDDC_RETURN_NOT_OK(diagnosis.AddValue(group, group_id));
+    MDDC_RETURN_NOT_OK(group_rep.Set(group_id, StrCat("G", g)));
     std::size_t family_count = fanout(rng);
     for (std::size_t f = 0; f < family_count; ++f) {
       ValueId family_id(next_family++);
+      MDDC_RETURN_NOT_OK(family_rep.Set(
+          family_id, StrCat("F", family_id.raw() - kFamilyBase)));
       bool reclassified = unit(rng) < params.reclassified_rate;
       if (reclassified) {
         // Old-era family: bounded membership, bridged into the new group
@@ -82,6 +93,8 @@ Result<ClinicalMo> GenerateClinicalWorkload(
         MDDC_RETURN_NOT_OK(diagnosis.AddValue(low, low_id));
         MDDC_RETURN_NOT_OK(code_rep.Set(
             low_id, StrCat("C", g, ".", f, ".", l)));
+        MDDC_RETURN_NOT_OK(low_seq_rep.Set(
+            low_id, StrCat("L", low_id.raw() - kLowBase)));
         MDDC_RETURN_NOT_OK(diagnosis.AddOrder(low_id, family_id));
         lows.push_back(low_id);
       }
@@ -114,16 +127,26 @@ Result<ClinicalMo> GenerateClinicalWorkload(
   std::vector<ValueId> areas;
   std::uint64_t next_area = kAreaBase;
   std::uint64_t next_county = kCountyBase;
+  // Same deterministic naming scheme as Diagnosis: R<r>, CO<k>, A<k> in
+  // creation order, rng-free.
+  Representation& region_rep = residence.RepresentationFor(region, "Code");
+  Representation& county_rep = residence.RepresentationFor(county, "Code");
+  Representation& area_rep = residence.RepresentationFor(area, "Code");
   for (std::size_t r = 0; r < params.num_regions; ++r) {
     ValueId region_id(kRegionBase + r);
     MDDC_RETURN_NOT_OK(residence.AddValue(region, region_id));
+    MDDC_RETURN_NOT_OK(region_rep.Set(region_id, StrCat("R", r)));
     for (std::size_t c = 0; c < params.counties_per_region; ++c) {
       ValueId county_id(next_county++);
       MDDC_RETURN_NOT_OK(residence.AddValue(county, county_id));
+      MDDC_RETURN_NOT_OK(county_rep.Set(
+          county_id, StrCat("CO", county_id.raw() - kCountyBase)));
       MDDC_RETURN_NOT_OK(residence.AddOrder(county_id, region_id));
       for (std::size_t a = 0; a < params.areas_per_county; ++a) {
         ValueId area_id(next_area++);
         MDDC_RETURN_NOT_OK(residence.AddValue(area, area_id));
+        MDDC_RETURN_NOT_OK(area_rep.Set(
+            area_id, StrCat("A", area_id.raw() - kAreaBase)));
         MDDC_RETURN_NOT_OK(residence.AddOrder(area_id, county_id));
         areas.push_back(area_id);
       }

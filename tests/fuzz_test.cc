@@ -35,6 +35,9 @@ std::string RandomQueryFromFragments(std::mt19937& rng) {
       ")",           ",",          "Name.Name = 'Jane Doe'",
       "PROB(Diagnosis.Family = 'E10') >= 0.8",    "SHOW",
       "DIMENSIONS",  "HIERARCHY",  "PATHS",       "\"Date of Birth\"",
+      "INSERT",      "INTO",       "FACT",        "99",
+      "PROB",        "0.8",        "1.5",         "'NOW'",
+      "Name.Name = 'Jane Doe' PROB 0.7",
   };
   std::uniform_int_distribution<std::size_t> pick(
       0, std::size(kFragments) - 1);
@@ -69,6 +72,54 @@ TEST_P(FuzzTest, SessionSurvivesFragmentQueries) {
     std::string query = RandomQueryFromFragments(rng);
     auto result = session.Execute(query);
     (void)result;
+  }
+}
+
+TEST_P(FuzzTest, InsertMutationsNeverBreakAtomicity) {
+  // Mutate valid INSERT statements and throw them at a session. The
+  // parser/planner must never crash, and — the resolve-before-mutate
+  // contract of ApplyInsert — a failing statement must leave the MO
+  // byte-identical to its pre-statement serialization.
+  auto cs = BuildCaseStudy();
+  ASSERT_TRUE(cs.ok());
+  mdql::Session session;
+  ASSERT_TRUE(session.Register("patients", cs->mo).ok());
+
+  static const char* kValidInserts[] = {
+      "INSERT INTO patients FACT 500 (Name.Name = 'Jane Doe')",
+      "INSERT INTO patients FACT 501 (Name.Name = 'Jane Doe' PROB 0.8)",
+      "INSERT INTO patients FACT 502 "
+      "(Name.Name = 'Jane Doe' PROB 0.6, Name.Name = 'John Doe')",
+  };
+  std::mt19937 rng(GetParam() * 2179 + 7);
+  std::uniform_int_distribution<std::size_t> which(
+      0, std::size(kValidInserts) - 1);
+  std::uniform_int_distribution<int> mutation(0, 2);
+  std::uniform_int_distribution<int> byte(32, 126);
+  for (int i = 0; i < 60; ++i) {
+    std::string statement = kValidInserts[which(rng)];
+    std::uniform_int_distribution<std::size_t> position(
+        0, statement.size() - 1);
+    switch (mutation(rng)) {
+      case 0:  // flip a character
+        statement[position(rng)] = static_cast<char>(byte(rng));
+        break;
+      case 1:  // truncate
+        statement.resize(position(rng));
+        break;
+      case 2:  // duplicate a chunk
+        statement.insert(position(rng), statement.substr(0, 20));
+        break;
+    }
+    auto before = io::WriteMo(**session.Get("patients"));
+    ASSERT_TRUE(before.ok());
+    auto result = session.Execute(statement);
+    if (!result.ok()) {
+      auto after = io::WriteMo(**session.Get("patients"));
+      ASSERT_TRUE(after.ok());
+      EXPECT_EQ(*after, *before)
+          << "failed statement mutated the MO: " << statement;
+    }
   }
 }
 

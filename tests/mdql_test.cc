@@ -217,6 +217,24 @@ TEST_F(MdqlSessionTest, AsOfTimeslice) {
   EXPECT_EQ(result->rows[0][0], "1");
 }
 
+TEST_F(MdqlSessionTest, AsOfNowSlicesAtTheNowSentinel) {
+  // ASOF 'NOW' is the current state: deterministic (no clock read),
+  // keeping exactly the characterizations whose valid time runs to NOW.
+  auto now = session_.Execute("SELECT COUNT FROM patients ASOF 'NOW'");
+  ASSERT_TRUE(now.ok()) << now.status();
+  ASSERT_EQ(now->rows.size(), 1u);
+  // Some 1975-era diagnoses ended at concrete chronons, so the current
+  // state differs from the 1975 slice above.
+  auto past = session_.Execute(
+      "SELECT COUNT FROM patients ASOF '15/06/1975'");
+  ASSERT_TRUE(past.ok()) << past.status();
+  EXPECT_NE(now->rows[0][0], past->rows[0][0]);
+  // Anything else that is not a date still fails to parse.
+  EXPECT_FALSE(session_.Execute(
+                           "SELECT COUNT FROM patients ASOF 'SOON'")
+                   .ok());
+}
+
 TEST_F(MdqlSessionTest, OrPredicateExecutes) {
   auto result = session_.Execute(
       "SELECT COUNT FROM patients "

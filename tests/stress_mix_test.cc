@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/mdql_server.h"
+#include "serve/mo_store.h"
+#include "stress/driver.h"
+#include "stress/mix.h"
+#include "stress/oracle.h"
+#include "workload/clinical_generator.h"
+
+// Coverage for the mixed-workload stress harness (src/stress): the mix
+// spec, the statement generator's class coverage, the concurrent driver,
+// and — the point of the subsystem — the differential oracle: every read
+// of a concurrent run against live MdqlServer sessions must render
+// byte-identically to a sequential replay at its pinned epoch.
+
+namespace mddc {
+namespace stress {
+namespace {
+
+ClinicalWorkloadParams SmallParams(std::size_t patients) {
+  ClinicalWorkloadParams params;
+  params.seed = 17;
+  params.num_patients = patients;
+  return params;
+}
+
+ClinicalMo Build(const ClinicalWorkloadParams& params) {
+  auto workload =
+      GenerateClinicalWorkload(params, std::make_shared<FactRegistry>());
+  EXPECT_TRUE(workload.ok()) << workload.status();
+  return std::move(workload).ValueOrDie();
+}
+
+TEST(MixSpecTest, ParsesAndRoundTrips) {
+  auto spec = MixSpec::Parse("rollup=4,temporal=2,prob=1,star=1,insert=1");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->weights[0], 4u);
+  EXPECT_EQ(spec->weights[4], 1u);
+  auto round = MixSpec::Parse(spec->ToString());
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->weights, spec->weights);
+
+  // Omitted classes get weight 0.
+  auto partial = MixSpec::Parse("insert=3");
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_EQ(partial->weights[4], 3u);
+  EXPECT_EQ(partial->weights[0], 0u);
+
+  EXPECT_FALSE(MixSpec::Parse("bogus=1").ok());
+  EXPECT_FALSE(MixSpec::Parse("rollup=x").ok());
+  EXPECT_FALSE(MixSpec::Parse("rollup").ok());
+  EXPECT_FALSE(MixSpec::Parse("").ok());
+  EXPECT_FALSE(MixSpec::Parse("rollup=0,insert=0").ok());
+}
+
+TEST(StatementGeneratorTest, EveryClassEmitsExecutableStatements) {
+  const ClinicalWorkloadParams params = SmallParams(50);
+  ClinicalMo clinical = Build(params);
+  WorkloadProfile profile =
+      WorkloadProfile::For(params, clinical, "clinical");
+  mdql::Session session;
+  ASSERT_TRUE(session.Register("clinical", std::move(clinical.mo)).ok());
+
+  StatementGenerator generator(profile, /*seed=*/3, /*session_index=*/0);
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    const auto query_class = static_cast<QueryClass>(c);
+    const std::vector<std::string> statements =
+        generator.Generate(query_class);
+    ASSERT_FALSE(statements.empty()) << QueryClassName(query_class);
+    for (const std::string& statement : statements) {
+      auto result = session.Execute(statement);
+      EXPECT_TRUE(result.ok())
+          << QueryClassName(query_class) << ": " << statement << ": "
+          << result.status();
+    }
+  }
+}
+
+// The tier-1 smoke: 10^4 facts, one session, every query class exactly
+// once, verified against the sequential replay. Stays within seconds.
+TEST(StressSmokeTest, AllClassesOnceWithOracle) {
+  const ClinicalWorkloadParams params = SmallParams(10000);
+  ClinicalMo clinical = Build(params);
+  WorkloadProfile profile =
+      WorkloadProfile::For(params, clinical, "clinical");
+  MdObject replica = clinical.mo;
+
+  serve::MoStore store;
+  serve::MdqlServer server(&store);
+  ASSERT_TRUE(store.Publish("clinical", std::move(clinical.mo)).ok());
+  const std::uint64_t base_epoch = store.epoch();
+
+  StressOptions options;
+  options.profile = profile;
+  options.sessions = 1;
+  options.ops_per_session = kQueryClassCount;  // the cycle: each class once
+  options.cycle_classes = true;
+  options.record = true;
+  auto report = RunStressMix(server, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->errors, 0u);
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    EXPECT_GT(report->per_class[c].statements, 0u)
+        << QueryClassName(static_cast<QueryClass>(c));
+  }
+  EXPECT_EQ(report->writes, 1u);
+  EXPECT_EQ(report->epoch_after, base_epoch + report->writes);
+
+  auto oracle = VerifySequentialReplay(std::move(replica), "clinical",
+                                       base_epoch, *report);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  EXPECT_EQ(oracle->mismatches, 0u) << oracle->first_mismatch;
+  EXPECT_EQ(oracle->reads_checked, report->read_records.size());
+  EXPECT_EQ(oracle->writes_replayed, report->write_records.size());
+}
+
+// The acceptance shape: >= 4 concurrent sessions, each executing >= 50
+// mixed-operator reads while every session's INSERTs keep the store's
+// writer live, and every recorded read byte-identical to the sequential
+// replay at its pinned epoch. The clinical MO brings the paper's hard
+// phenomena — many-to-many diagnoses, non-strict hierarchy edges,
+// reclassified old-era families and probabilistic characterizations —
+// into every class of the mix.
+TEST(StressDifferentialTest, ConcurrentRunMatchesSequentialReplay) {
+  const ClinicalWorkloadParams params = SmallParams(800);
+  ClinicalMo clinical = Build(params);
+  WorkloadProfile profile =
+      WorkloadProfile::For(params, clinical, "clinical");
+  MdObject replica = clinical.mo;
+
+  serve::MoStore store;
+  serve::MdqlServer server(&store);
+  ASSERT_TRUE(store.Publish("clinical", std::move(clinical.mo)).ok());
+  const std::uint64_t base_epoch = store.epoch();
+
+  StressOptions options;
+  options.profile = profile;
+  options.seed = 5;
+  options.sessions = 4;
+  options.ops_per_session = 60;  // 12 cycles: 84 reads + 12 writes each
+  options.cycle_classes = true;
+  options.record = true;
+  auto report = RunStressMix(server, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->errors, 0u);
+  ASSERT_EQ(report->reads_per_session.size(), 4u);
+  for (std::uint64_t reads : report->reads_per_session) {
+    EXPECT_GE(reads, 50u);
+  }
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    EXPECT_GT(report->per_class[c].statements, 0u)
+        << QueryClassName(static_cast<QueryClass>(c));
+  }
+  // Every INSERT published exactly one epoch: the writer stayed live for
+  // the whole run.
+  EXPECT_EQ(report->writes, 4u * 12u);
+  EXPECT_EQ(report->epoch_after - report->epoch_before, report->writes);
+  // The sessions' group-bys actually exercised the kernels.
+  EXPECT_GT(report->exec.flat_hash_runs + report->exec.dense_groupby_runs,
+            0u);
+
+  auto oracle = VerifySequentialReplay(std::move(replica), "clinical",
+                                       base_epoch, *report);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  EXPECT_EQ(oracle->reads_checked, report->read_records.size());
+  EXPECT_GE(oracle->reads_checked, 4u * 50u);
+  EXPECT_EQ(oracle->writes_replayed, report->write_records.size());
+  EXPECT_EQ(oracle->mismatches, 0u) << oracle->first_mismatch;
+}
+
+// Weighted-draw mode: the default mix must run clean too (no oracle —
+// this is the throughput shape the bench uses).
+TEST(StressDriverTest, WeightedMixRunsClean) {
+  const ClinicalWorkloadParams params = SmallParams(500);
+  ClinicalMo clinical = Build(params);
+  WorkloadProfile profile =
+      WorkloadProfile::For(params, clinical, "clinical");
+
+  serve::MoStore store;
+  serve::MdqlServer server(&store);
+  ASSERT_TRUE(store.Publish("clinical", std::move(clinical.mo)).ok());
+
+  StressOptions options;
+  options.profile = profile;
+  options.seed = 23;
+  options.sessions = 2;
+  options.ops_per_session = 30;
+  auto report = RunStressMix(server, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_GT(report->reads, 0u);
+  EXPECT_TRUE(report->read_records.empty());  // record off
+  EXPECT_EQ(report->epoch_after - report->epoch_before, report->writes);
+}
+
+TEST(StressDriverTest, RejectsDegenerateOptions) {
+  serve::MoStore store;
+  serve::MdqlServer server(&store);
+  StressOptions options;
+  options.profile.mo_name = "clinical";
+  options.sessions = 0;
+  EXPECT_FALSE(RunStressMix(server, options).ok());
+
+  options.sessions = 1;
+  options.profile.mo_name.clear();
+  EXPECT_FALSE(RunStressMix(server, options).ok());
+
+  options.profile.mo_name = "clinical";
+  options.mix.weights.fill(0);
+  EXPECT_FALSE(RunStressMix(server, options).ok());
+}
+
+// MoStore::CollectStats under the mix: epochs_published is monotone
+// while the run is live, and once the run drains (no session pins, no
+// retained snapshots) every retired epoch has been reclaimed — the MVCC
+// tier does not leak epochs under sustained mixed load.
+TEST(StressStatsTest, CountersMonotoneAndNoLeakedEpochsAfterDrain) {
+  const ClinicalWorkloadParams params = SmallParams(400);
+  ClinicalMo clinical = Build(params);
+  WorkloadProfile profile =
+      WorkloadProfile::For(params, clinical, "clinical");
+
+  serve::MoStore store;
+  serve::MdqlServer server(&store);
+  ASSERT_TRUE(store.Publish("clinical", std::move(clinical.mo)).ok());
+
+  StressOptions options;
+  options.profile = profile;
+  options.seed = 31;
+  options.sessions = 3;
+  options.ops_per_session = 20;
+  options.cycle_classes = true;
+
+  std::atomic<bool> done{false};
+  Result<StressReport> report = Status::InvariantViolation("not run");
+  std::thread driver([&] {
+    report = RunStressMix(server, options);
+    done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t last_epochs = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const serve::MoStore::Stats stats = store.CollectStats();
+    EXPECT_GE(stats.epochs_published, last_epochs);
+    EXPECT_GE(stats.live_snapshots, 1u);
+    last_epochs = stats.epochs_published;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  driver.join();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->errors, 0u);
+
+  // Sessions are gone and nothing pins a snapshot: the only live epoch
+  // is the current one, and every retired epoch has been reclaimed.
+  const serve::MoStore::Stats drained = store.CollectStats();
+  EXPECT_GE(drained.epochs_published, last_epochs);
+  EXPECT_EQ(drained.live_snapshots, 1u);
+  EXPECT_EQ(drained.reclaimed_snapshots, drained.epochs_published);
+}
+
+}  // namespace
+}  // namespace stress
+}  // namespace mddc
