@@ -23,6 +23,7 @@
 #include "algebra/operators.h"
 #include "engine/executor.h"
 #include "io/serialize.h"
+#include "peak_rss.h"
 #include "workload/clinical_generator.h"
 #include "workload/retail_generator.h"
 
@@ -102,7 +103,10 @@ void WriteJson(const std::vector<ModeRow>& rows, const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"closure_memo\",\n  \"rows\": [\n");
+  std::fprintf(out,
+               "{\n  \"bench\": \"closure_memo\",\n  \"peak_rss_kb\": %zu,\n"
+               "  \"rows\": [\n",
+               mddc_bench::PeakRssKb());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ModeRow& r = rows[i];
     std::fprintf(out,

@@ -26,6 +26,7 @@
 #include "common/strings.h"
 #include "engine/executor.h"
 #include "io/serialize.h"
+#include "peak_rss.h"
 
 namespace {
 
@@ -132,7 +133,10 @@ void WriteJson(const std::vector<SweepRow>& rows, const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"groupby_kernel\",\n  \"rows\": [\n");
+  std::fprintf(out,
+               "{\n  \"bench\": \"groupby_kernel\",\n  \"peak_rss_kb\": %zu,\n"
+               "  \"rows\": [\n",
+               mddc_bench::PeakRssKb());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(out,

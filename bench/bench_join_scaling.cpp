@@ -22,6 +22,7 @@
 #include "algebra/operators.h"
 #include "engine/executor.h"
 #include "io/serialize.h"
+#include "peak_rss.h"
 
 namespace {
 
@@ -87,7 +88,10 @@ void WriteJson(const std::vector<SweepRow>& rows, const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"join_scaling\",\n  \"rows\": [\n");
+  std::fprintf(out,
+               "{\n  \"bench\": \"join_scaling\",\n  \"peak_rss_kb\": %zu,\n"
+               "  \"rows\": [\n",
+               mddc_bench::PeakRssKb());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(out,

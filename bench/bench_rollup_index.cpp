@@ -24,6 +24,7 @@
 #include "engine/executor.h"
 #include "engine/rollup_index.h"
 #include "io/serialize.h"
+#include "peak_rss.h"
 
 namespace {
 
@@ -124,7 +125,10 @@ void WriteJson(const std::vector<SweepRow>& rows, const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"rollup_index\",\n  \"rows\": [\n");
+  std::fprintf(out,
+               "{\n  \"bench\": \"rollup_index\",\n  \"peak_rss_kb\": %zu,\n"
+               "  \"rows\": [\n",
+               mddc_bench::PeakRssKb());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(out,

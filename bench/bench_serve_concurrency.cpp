@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "latency_recorder.h"
+#include "peak_rss.h"
 #include "serve/mdql_server.h"
 #include "serve/mo_store.h"
 #include "workload/retail_generator.h"
@@ -147,7 +148,10 @@ void WriteJson(const std::vector<SweepRow>& rows, const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"serve_concurrency\",\n  \"rows\": [\n");
+  std::fprintf(out,
+               "{\n  \"bench\": \"serve_concurrency\",\n"
+               "  \"peak_rss_kb\": %zu,\n  \"rows\": [\n",
+               mddc_bench::PeakRssKb());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(out,

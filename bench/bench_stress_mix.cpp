@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "latency_recorder.h"
+#include "peak_rss.h"
 #include "serve/mdql_server.h"
 #include "serve/mo_store.h"
 #include "stress/driver.h"
@@ -157,8 +158,10 @@ void WriteJson(const std::vector<SweepRow>& rows, const MixSpec& mix,
     std::fprintf(stderr, "cannot open %s\n", path);
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"stress_mix\",\n  \"mix\": \"%s\",\n",
-               mix.ToString().c_str());
+  std::fprintf(out,
+               "{\n  \"bench\": \"stress_mix\",\n  \"peak_rss_kb\": %zu,\n"
+               "  \"mix\": \"%s\",\n",
+               mddc_bench::PeakRssKb(), mix.ToString().c_str());
   std::fprintf(out, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];

@@ -25,6 +25,7 @@
 #include "common/date.h"
 #include "engine/executor.h"
 #include "io/serialize.h"
+#include "peak_rss.h"
 #include "workload/clinical_generator.h"
 
 namespace {
@@ -213,7 +214,9 @@ int RunThreadSweep() {
     return 0;
   }
   std::fprintf(out,
-               "{\n  \"bench\": \"timeslice_scaling\",\n  \"rows\": [\n");
+               "{\n  \"bench\": \"timeslice_scaling\",\n"
+               "  \"peak_rss_kb\": %zu,\n  \"rows\": [\n",
+               mddc_bench::PeakRssKb());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(out,

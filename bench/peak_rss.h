@@ -1,0 +1,24 @@
+#ifndef MDDC_BENCH_PEAK_RSS_H_
+#define MDDC_BENCH_PEAK_RSS_H_
+
+// Shared by the JSON-emitting benches: every BENCH_*.json records the
+// process peak RSS next to its timings so memory regressions show up in
+// the merged BENCH_summary.json (see bench/run_all.sh).
+
+#include <sys/resource.h>
+
+#include <cstddef>
+
+namespace mddc_bench {
+
+/// Peak resident set size of this process so far, in kilobytes
+/// (getrusage ru_maxrss).
+inline std::size_t PeakRssKb() {
+  struct rusage usage = {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::size_t>(usage.ru_maxrss);
+}
+
+}  // namespace mddc_bench
+
+#endif  // MDDC_BENCH_PEAK_RSS_H_

@@ -16,7 +16,14 @@
 #
 #   $ MDDC_SWEEP_MAX_FACTS=100000 bench/run_all.sh nightly-42
 #
-# keeps the whole suite to a few minutes on a laptop.
+# keeps the whole suite to a few minutes on a laptop, and
+#
+#   $ MDDC_SWEEP_MAX_FACTS=10000000 bench/run_all.sh soak-42
+#
+# is the large-scale 10^7-fact mode (several GB of RSS; the sweeps that
+# honor the cap extend their fact axis to it). Benches that emit JSON
+# record the process peak RSS (getrusage ru_maxrss) in their BENCH_*.json
+# so memory regressions show up in the merged summary alongside time.
 set -euo pipefail
 
 if [ "$#" -lt 1 ] || [ -z "${1}" ]; then

@@ -82,7 +82,7 @@ Result<double> AggFunction::Finish(const Accumulator& acc) const {
 }
 
 Result<double> AggFunction::Evaluate(const MdObject& mo,
-                                     const std::vector<FactId>& group,
+                                     std::span<const FactId> group,
                                      Chronon at) const {
   if (kind_ == AggregateFunctionKind::kSetCount) {
     return static_cast<double>(group.size());

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,7 +81,7 @@ class AggFunction {
   /// Evaluates g over a group of facts of `mo` at valid chronon `at`.
   /// Numeric data is read through Dimension::NumericValueOf.
   Result<double> Evaluate(const MdObject& mo,
-                          const std::vector<FactId>& group,
+                          std::span<const FactId> group,
                           Chronon at = kNowChronon) const;
 
  private:

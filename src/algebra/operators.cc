@@ -11,6 +11,7 @@
 
 #include "common/strings.h"
 #include "core/properties.h"
+#include "engine/arena.h"
 #include "engine/executor.h"
 #include "engine/groupby_kernel.h"
 #include "engine/rollup_index.h"
@@ -39,6 +40,23 @@ std::size_t HashUint64(std::uint64_t raw) {
   }
   return static_cast<std::size_t>(h);
 }
+
+/// Query-lifetime scratch container (docs/memory_layout.md): with a null
+/// arena this is exactly std::vector, so the context-free baseline and
+/// the arena-backed execution path share one code path — byte-identity
+/// by construction, not by parallel maintenance.
+template <typename T>
+using ArenaVec = std::vector<T, ArenaAllocator<T>>;
+
+/// Rewinds the context's arenas when the top-level operator returns:
+/// everything arena-backed is operator-local scratch, so reclaiming here
+/// keeps repeated queries on one context at a flat memory footprint.
+struct ArenaResetGuard {
+  ExecContext* exec;
+  ~ArenaResetGuard() {
+    if (exec != nullptr) exec->ResetQueryArenas();
+  }
+};
 
 }  // namespace
 
@@ -275,7 +293,21 @@ Result<MdObject> Join(const MdObject& m1, const MdObject& m2,
   // 1. Match lists, one disjoint slot per m1 fact, each in ascending m2
   //    scan order. The equi-join probes m2's sorted fact set instead of
   //    scanning it — identical matches, n1 log n2 instead of n1 * n2.
-  std::vector<std::vector<FactId>> matches(facts1.size());
+  //    Lists live in the context's bump arenas (each list in the arena of
+  //    the partition that fills it, so workers never share an arena);
+  //    without a context they fall back to the heap unchanged.
+  ArenaResetGuard arena_guard{exec};
+  const std::size_t num_partitions = parallel ? exec->num_threads : 1;
+  if (parallel) exec->EnsureWorkerArenas(num_partitions);
+  std::vector<ArenaVec<FactId>> matches;
+  matches.reserve(facts1.size());
+  for (std::size_t f = 0; f < facts1.size(); ++f) {
+    Arena* arena =
+        parallel
+            ? &exec->worker_arena(HashUint64(facts1[f].raw()) % num_partitions)
+            : (exec != nullptr ? &exec->arena : nullptr);
+    matches.emplace_back(ArenaAllocator<FactId>(arena));
+  }
   auto match_one = [&](std::size_t f) {
     const FactId f1 = facts1[f];
     switch (predicate) {
@@ -291,7 +323,7 @@ Result<MdObject> Join(const MdObject& m1, const MdObject& m2,
         }
         break;
       case JoinPredicate::kTrue:
-        matches[f] = facts2;
+        matches[f].assign(facts2.begin(), facts2.end());
         break;
     }
   };
@@ -313,7 +345,6 @@ Result<MdObject> Join(const MdObject& m1, const MdObject& m2,
       (void)RollupIndex::For(m2.dimension(j), &exec->stats);
       ++exec->stats.index_hits;
     }
-    const std::size_t num_partitions = exec->num_threads;
     exec->pool().ParallelFor(num_partitions, [&](std::size_t p) {
       for (std::size_t f = 0; f < facts1.size(); ++f) {
         if (HashUint64(facts1[f].raw()) % num_partitions == p) match_one(f);
@@ -456,24 +487,31 @@ std::optional<Lifespan> OptLife(const Lifespan& life) {
 /// ValueId order like the filtered characterization list. The two paths
 /// are therefore bit-identical; dimensions without a usable snapshot
 /// take the memoized path.
-/// Per-dimension entry lists aligned to the MO's sorted fact vector:
-/// `[i][f]` points at relation i's entry-index list for facts[f] (null
-/// when the fact has no pairs there). Built once per run by walking each
-/// relation's by-fact index in lockstep with the fact list, so the hot
-/// per-fact loops read an array instead of issuing one tree lookup per
-/// (fact, dimension).
-using FactEntryLists =
-    std::vector<std::vector<const std::vector<std::size_t>*>>;
+/// Per-dimension entry spans aligned to the MO's sorted fact vector:
+/// `[i][f]` is relation i's entry-index run for facts[f] (empty when the
+/// fact has no pairs there). Built once per run by sweeping each
+/// relation's CSR by-fact view (FactDimRelation::FactSpans) in lockstep
+/// with the fact list — a pointer sweep over two sorted flat arrays, no
+/// per-fact lookups at all.
+using FactEntryLists = std::vector<std::vector<FactDimRelation::EntrySpan>>;
 
-const std::vector<std::size_t> kNoEntries;
+/// A fact's per-dimension coordinate lists, arena-backed on the
+/// execution path (a query's dominant allocation source is exactly these
+/// little per-fact vectors) and plain heap vectors for the baseline.
+using CoordList = ArenaVec<Coordinate>;
+using CoordLists = ArenaVec<CoordList>;
 
-std::optional<std::vector<std::vector<Coordinate>>> GroupingCoordinates(
+std::optional<CoordLists> GroupingCoordinates(
     const MdObject& mo, const AggregateSpec& spec, FactId fact,
     const std::vector<std::shared_ptr<const RollupIndex>>& indexes,
-    const FactEntryLists* fact_entries = nullptr,
+    Arena* arena, const FactEntryLists* fact_entries = nullptr,
     std::size_t fact_ordinal = 0) {
   const std::size_t n = mo.dimension_count();
-  std::vector<std::vector<Coordinate>> per_dim(n);
+  CoordLists per_dim{ArenaAllocator<CoordList>(arena)};
+  per_dim.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    per_dim.emplace_back(ArenaAllocator<Coordinate>(arena));
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const Dimension& dimension = mo.dimension(i);
     if (spec.grouping[i] == dimension.type().top()) {
@@ -484,16 +522,15 @@ std::optional<std::vector<std::vector<Coordinate>>> GroupingCoordinates(
     if (i < indexes.size() && indexes[i] != nullptr) {
       const RollupIndex& index = *indexes[i];
       const FactDimRelation& relation = mo.relation(i);
-      const std::vector<std::size_t>& entry_list =
+      const FactDimRelation::EntrySpan entry_list =
           fact_entries == nullptr
-              ? relation.EntryIndexesForFact(fact)
-              : ((*fact_entries)[i][fact_ordinal] != nullptr
-                     ? *(*fact_entries)[i][fact_ordinal]
-                     : kNoEntries);
+              ? FactDimRelation::EntrySpan::Of(
+                    relation.EntryIndexesForFact(fact))
+              : (*fact_entries)[i][fact_ordinal];
       // Accumulated per value in entry order and kept sorted by ValueId
       // (a linear insertion — coordinate lists are tiny), so emission
       // matches the ordered map this replaced without its node churn.
-      std::vector<Coordinate>& list = per_dim[i];
+      CoordList& list = per_dim[i];
       for (std::size_t e : entry_list) {
         const FactDimRelation::Entry& entry = relation.entries()[e];
         const std::uint32_t dense = index.DenseOf(entry.value);
@@ -536,13 +573,21 @@ std::optional<std::vector<std::vector<Coordinate>>> GroupingCoordinates(
 /// intersection over members of their characterization spans;
 /// probabilities multiply over members.
 struct GroupAccum {
-  std::vector<FactId> members;
+  GroupAccum() = default;
+  /// Kernel-path construction: the growable per-member lists live in the
+  /// owning partition's arena (the default heap vectors remain for the
+  /// ordered-map baseline).
+  explicit GroupAccum(Arena* arena)
+      : members(ArenaAllocator<FactId>(arena)),
+        member_probs(ArenaAllocator<double>(arena)) {}
+
+  ArenaVec<FactId> members;
   std::vector<Lifespan> life_per_dim;
   std::vector<double> prob_per_dim;
   /// Per member: probability that the member belongs to this group
   /// (product of its characterization probabilities across dimensions);
   /// feeds expected counts.
-  std::vector<double> member_probs;
+  ArenaVec<double> member_probs;
 };
 
 using GroupKey = std::vector<ValueId>;
@@ -553,8 +598,7 @@ using GroupMap = std::map<GroupKey, GroupAccum>;
 /// ground truth the kernels are differentially tested against. Per-group
 /// accumulation order is facts ascending, the order the kernels follow
 /// too.
-void AccumulateFact(std::size_t n, FactId fact,
-                    const std::vector<std::vector<Coordinate>>& per_dim,
+void AccumulateFact(std::size_t n, FactId fact, const CoordLists& per_dim,
                     GroupMap& groups) {
   // Enumerate the cross product of this fact's coordinate lists.
   std::vector<std::size_t> cursor(n, 0);
@@ -656,9 +700,13 @@ enum class GroupEngine { kOrderedMap, kDenseSlots, kFlatHash };
 /// fact joins, in member order — the same per-member entry scan
 /// AggFunction::Evaluate and EvaluateGroup perform per group.
 struct FactContribution {
+  FactContribution() = default;
+  explicit FactContribution(Arena* arena)
+      : values(ArenaAllocator<double>(arena)) {}
+
   /// Known (non-top) numeric entry values of the argument dimension, in
   /// relation scan order; empty for COUNT, which never reads values.
-  std::vector<double> values;
+  ArenaVec<double> values;
   /// Known pairs, for COUNT.
   std::size_t counted = 0;
   /// First NumericValueOf failure, sticky — a group inheriting it reports
@@ -681,21 +729,21 @@ FactContribution ContributionOf(const MdObject& mo, const AggregateSpec& spec,
                                 FactId fact,
                                 const FactEntryLists* fact_entries,
                                 std::size_t fact_ordinal,
-                                const NumericValueCache* numeric_values) {
-  FactContribution c;
+                                const NumericValueCache* numeric_values,
+                                Arena* arena) {
+  FactContribution c(arena);
   const AggregateFunctionKind kind = spec.function.kind();
-  const auto entry_list =
-      [&](std::size_t dim) -> const std::vector<std::size_t>& {
+  const auto entry_list = [&](std::size_t dim) -> FactDimRelation::EntrySpan {
     if (fact_entries == nullptr) {
-      return mo.relation(dim).EntryIndexesForFact(fact);
+      return FactDimRelation::EntrySpan::Of(
+          mo.relation(dim).EntryIndexesForFact(fact));
     }
-    const std::vector<std::size_t>* list = (*fact_entries)[dim][fact_ordinal];
-    return list != nullptr ? *list : kNoEntries;
+    return (*fact_entries)[dim][fact_ordinal];
   };
   for (std::size_t dim : spec.function.args()) {
     if (dim >= mo.dimension_count()) continue;
     const FactDimRelation& relation = mo.relation(dim);
-    const std::vector<std::size_t>& list = entry_list(dim);
+    const FactDimRelation::EntrySpan list = entry_list(dim);
     // Fast path for nontemporal data: a nonempty union of Always spans is
     // Always, and intersecting with Always is the identity.
     bool all_always = !list.empty();
@@ -749,6 +797,9 @@ FactContribution ContributionOf(const MdObject& mo, const AggregateSpec& spec,
 /// accumulator plus the streaming aggregate state EvaluateGroup would
 /// otherwise recompute from the member list.
 struct KernelGroup {
+  KernelGroup() = default;
+  explicit KernelGroup(Arena* arena) : base(arena) {}
+
   GroupAccum base;
   AggFunction::Accumulator agg;
   double expected = 0.0;
@@ -764,13 +815,25 @@ struct KernelGroup {
 /// slot at the merge. The flat-hash engine interns keys into one
 /// fixed-stride buffer probed through the open-addressing index.
 struct KernelPartition {
+  /// All growable partition state bumps the partition's own arena (each
+  /// partition is scanned by exactly one task, so arenas never race);
+  /// only the open-addressing index keeps heap storage, whose rehashes
+  /// are logarithmic in the group count.
+  explicit KernelPartition(Arena* a)
+      : arena(a),
+        group_of_slot(ArenaAllocator<std::uint32_t>(a)),
+        slot_of_group(ArenaAllocator<std::uint64_t>(a)),
+        key_storage(ArenaAllocator<ValueId>(a)),
+        groups(ArenaAllocator<KernelGroup>(a)) {}
+
   std::uint64_t slot_begin = 0;
   std::uint64_t slot_end = 0;
-  std::vector<std::uint32_t> group_of_slot;
-  std::vector<std::uint64_t> slot_of_group;
+  Arena* arena = nullptr;
+  ArenaVec<std::uint32_t> group_of_slot;
+  ArenaVec<std::uint64_t> slot_of_group;
   FlatHashGroupIndex index;
-  std::vector<ValueId> key_storage;  // stride n
-  std::vector<KernelGroup> groups;
+  ArenaVec<ValueId> key_storage;  // stride n
+  ArenaVec<KernelGroup> groups;
 };
 
 /// The dense-slot and flat-hash group-by engines. Both accumulate group
@@ -785,8 +848,7 @@ struct KernelPartition {
 Status RunGroupByKernel(
     const MdObject& mo, const AggregateSpec& spec, GroupEngine engine,
     const DenseSlotSpace& space,
-    const std::vector<std::optional<std::vector<std::vector<Coordinate>>>>&
-        coords,
+    const std::vector<std::optional<CoordLists>>& coords,
     const FactEntryLists* fact_entries, bool parallel, ExecContext* exec,
     std::vector<GroupKey>& keys, std::vector<GroupAccum>& accums,
     std::vector<GroupEval>& evals) {
@@ -818,28 +880,35 @@ Status RunGroupByKernel(
   std::vector<FactContribution> contributions;
   if (needs_data && !bad_dim) {
     contributions.resize(facts.size());
-    auto fill_chunk = [&](std::size_t begin, std::size_t end) {
+    auto fill_chunk = [&](std::size_t begin, std::size_t end, Arena* arena) {
       for (std::size_t f = begin; f < end; ++f) {
         if (coords[f].has_value()) {
           contributions[f] = ContributionOf(mo, spec, facts[f], fact_entries,
-                                            f, numeric_values_ptr);
+                                            f, numeric_values_ptr, arena);
         }
       }
     };
     if (parallel) {
       const std::size_t chunks = std::min(facts.size(), exec->num_threads * 4);
+      exec->EnsureWorkerArenas(chunks);
       exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
         fill_chunk(chunk * facts.size() / chunks,
-                   (chunk + 1) * facts.size() / chunks);
+                   (chunk + 1) * facts.size() / chunks,
+                   &exec->worker_arena(chunk));
       });
       exec->stats.tasks += chunks;
     } else {
-      fill_chunk(0, facts.size());
+      fill_chunk(0, facts.size(), &exec->arena);
     }
   }
 
   const std::size_t num_partitions = parallel ? exec->num_threads : 1;
-  std::vector<KernelPartition> parts(num_partitions);
+  if (parallel) exec->EnsureWorkerArenas(num_partitions);
+  std::vector<KernelPartition> parts;
+  parts.reserve(num_partitions);
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    parts.emplace_back(parallel ? &exec->worker_arena(p) : &exec->arena);
+  }
   if (engine == GroupEngine::kDenseSlots) {
     const std::uint64_t slots = space.slot_count();
     const std::uint64_t base = slots / num_partitions;
@@ -861,7 +930,7 @@ Status RunGroupByKernel(
     std::vector<ValueId> scratch(n);
     for (std::size_t f = 0; f < facts.size(); ++f) {
       if (!coords[f].has_value()) continue;
-      const std::vector<std::vector<Coordinate>>& per_dim = *coords[f];
+      const CoordLists& per_dim = *coords[f];
       std::fill(cursor.begin(), cursor.end(), 0);
       // Enumerate the cross product of the fact's coordinate lists.
       while (true) {
@@ -883,7 +952,7 @@ Status RunGroupByKernel(
                 slot - part.slot_begin)];
             if (g == FlatHashGroupIndex::kNoGroup) {
               g = static_cast<std::uint32_t>(part.groups.size());
-              part.groups.emplace_back();
+              part.groups.emplace_back(part.arena);
               part.slot_of_group.push_back(slot);
               inserted = true;
             }
@@ -907,7 +976,7 @@ Status RunGroupByKernel(
             if (inserted) {
               part.key_storage.insert(part.key_storage.end(), scratch.begin(),
                                       scratch.end());
-              part.groups.emplace_back();
+              part.groups.emplace_back(part.arena);
             }
             group = &part.groups[g];
           }
@@ -1090,6 +1159,11 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
   const std::vector<FactId>& facts = mo.facts();  // sorted by id
   const std::size_t n = mo.dimension_count();
 
+  // Everything arena-backed below (coordinates, contributions, kernel
+  // partition state) is scratch of this one formation; the guard rewinds
+  // the context's arenas on every exit path.
+  ArenaResetGuard arena_guard{exec};
+
   bool parallel = exec != nullptr && exec->WantsParallel(facts.size());
   if (parallel && !summarizability.summarizable) {
     // Per-worker partial groups are safely combinable exactly when the
@@ -1141,41 +1215,51 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (!wanted[i]) continue;
-      fact_entries[i].assign(facts.size(), nullptr);
+      fact_entries[i].assign(facts.size(), FactDimRelation::EntrySpan{});
+      const FactDimRelation& relation = mo.relation(i);
+      const std::vector<FactDimRelation::FactSpan>& spans =
+          relation.FactSpans();
+      const std::size_t* base = relation.SpanEntryIndexes().data();
       std::size_t f = 0;
-      for (const auto& [fact, entry_list] :
-           mo.relation(i).EntryIndexesByFact()) {
-        while (f < facts.size() && facts[f] < fact) ++f;
+      for (const FactDimRelation::FactSpan& span : spans) {
+        while (f < facts.size() && facts[f] < span.fact) ++f;
         if (f == facts.size()) break;
-        if (facts[f] == fact) fact_entries[i][f] = &entry_list;
+        if (facts[f] == span.fact) {
+          fact_entries[i][f] =
+              FactDimRelation::EntrySpan{base + span.begin,
+                                         span.end - span.begin};
+        }
       }
     }
     fact_entries_ptr = &fact_entries;
   }
 
-  // 1. Grouping coordinates per fact, in fact order.
-  std::vector<std::optional<std::vector<std::vector<Coordinate>>>> coords(
-      facts.size());
+  // 1. Grouping coordinates per fact, in fact order. Coordinate lists
+  //    bump the context's arenas — per parallel chunk its own arena, so
+  //    workers never contend — and fall back to plain heap vectors for
+  //    context-free callers.
+  std::vector<std::optional<CoordLists>> coords(facts.size());
   if (parallel) {
     // Warm the lazily written closure memos so the fan-out below only
     // ever reads the dimensions.
     for (std::size_t i = 0; i < n; ++i) mo.dimension(i).WarmClosureMemo();
     const std::size_t chunks = std::min(facts.size(), exec->num_threads * 4);
+    exec->EnsureWorkerArenas(chunks);
     exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
       const std::size_t begin = chunk * facts.size() / chunks;
       const std::size_t end = (chunk + 1) * facts.size() / chunks;
+      Arena* arena = &exec->worker_arena(chunk);
       for (std::size_t f = begin; f < end; ++f) {
-        coords[f] =
-            GroupingCoordinates(mo, spec, facts[f], indexes, fact_entries_ptr,
-                                f);
+        coords[f] = GroupingCoordinates(mo, spec, facts[f], indexes, arena,
+                                        fact_entries_ptr, f);
       }
     });
     exec->stats.tasks += chunks;
   } else {
+    Arena* arena = exec != nullptr ? &exec->arena : nullptr;
     for (std::size_t f = 0; f < facts.size(); ++f) {
-      coords[f] =
-          GroupingCoordinates(mo, spec, facts[f], indexes, fact_entries_ptr,
-                              f);
+      coords[f] = GroupingCoordinates(mo, spec, facts[f], indexes, arena,
+                                      fact_entries_ptr, f);
     }
   }
 
@@ -1325,7 +1409,8 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
     const GroupKey& key = keys[g];
     GroupAccum& group = accums[g];
     const GroupEval& eval = evals[g];
-    FactId group_fact = registry.Set(group.members);
+    FactId group_fact = registry.Set(
+        std::vector<FactId>(group.members.begin(), group.members.end()));
     MDDC_RETURN_NOT_OK(result.AddFact(group_fact));
     const double value = eval.value;
 

@@ -1,0 +1,40 @@
+#include "common/interner.h"
+
+#include <cstring>
+
+namespace mddc {
+
+StringId StringInterner::Intern(std::string_view s) {
+  const std::uint64_t hash = Fnv1a64(s.data(), s.size());
+  bool inserted = false;
+  const StringId id = index_.FindOrInsert(
+      hash, static_cast<std::uint32_t>(spans_.size()),
+      [&](std::uint32_t ordinal) {
+        const Span& span = spans_[ordinal];
+        return span.length == s.size() &&
+               std::memcmp(chars_.data() + span.offset, s.data(),
+                           s.size()) == 0;
+      },
+      &inserted);
+  if (inserted) {
+    Span span;
+    span.offset = static_cast<std::uint32_t>(chars_.size());
+    span.length = static_cast<std::uint32_t>(s.size());
+    chars_.insert(chars_.end(), s.begin(), s.end());
+    chars_.push_back('\0');
+    spans_.push_back(span);
+    hashes_.push_back(hash);
+  }
+  return id;
+}
+
+StringId StringInterner::Find(std::string_view s) const {
+  const std::uint64_t hash = Fnv1a64(s.data(), s.size());
+  return index_.Find(hash, [&](std::uint32_t ordinal) {
+    const Span& span = spans_[ordinal];
+    return span.length == s.size() &&
+           std::memcmp(chars_.data() + span.offset, s.data(), s.size()) == 0;
+  });
+}
+
+}  // namespace mddc

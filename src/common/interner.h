@@ -1,0 +1,68 @@
+#ifndef MDDC_COMMON_INTERNER_H_
+#define MDDC_COMMON_INTERNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash.h"
+
+namespace mddc {
+
+/// Stable handle into a StringInterner. Ids are dense (0..size-1) and
+/// never move or change once assigned, so snapshot copies can share or
+/// extend an interner without invalidating earlier handles.
+using StringId = std::uint32_t;
+inline constexpr StringId kInvalidStringId = FlatHashIndex::kNone;
+
+/// A hash-first, open-addressing string interner (docs/memory_layout.md).
+/// All payload bytes live in one contiguous char pool, each string
+/// followed by a NUL so `CStr` can feed C APIs (strtod) without a copy;
+/// per-id (offset, length, hash) live in parallel arrays. Lookups compare
+/// the 64-bit FNV-1a hash before touching bytes, so a miss typically
+/// costs no memcmp at all. Refcount-free by design: published snapshots
+/// are immutable, so interned strings live as long as their interner.
+///
+/// Not thread-safe for writes; concurrent reads of a frozen interner are
+/// safe (no mutable state is touched on the read path).
+class StringInterner {
+ public:
+  /// Returns the id for `s`, interning it on first sight.
+  StringId Intern(std::string_view s);
+
+  /// Returns the id for `s` or kInvalidStringId if it was never interned.
+  /// Allocation-free: probes with the hash of the caller's bytes.
+  StringId Find(std::string_view s) const;
+
+  std::string_view View(StringId id) const {
+    const Span& span = spans_[id];
+    return std::string_view(chars_.data() + span.offset, span.length);
+  }
+
+  /// NUL-terminated payload (the pool stores a terminator after every
+  /// string) for C APIs like strtod.
+  const char* CStr(StringId id) const { return chars_.data() + spans_[id].offset; }
+
+  std::uint64_t HashOf(StringId id) const { return hashes_[id]; }
+
+  std::size_t size() const { return spans_.size(); }
+
+  /// Total payload bytes held (including NUL terminators).
+  std::size_t pool_bytes() const { return chars_.size(); }
+
+ private:
+  struct Span {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  std::vector<char> chars_;
+  std::vector<Span> spans_;
+  std::vector<std::uint64_t> hashes_;
+  FlatHashIndex index_;
+};
+
+}  // namespace mddc
+
+#endif  // MDDC_COMMON_INTERNER_H_

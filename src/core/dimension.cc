@@ -1,7 +1,6 @@
 #include "core/dimension.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/strings.h"
 
@@ -24,9 +23,80 @@ const std::vector<Dimension::Containment> kNoContainments;
 Dimension::Dimension(std::shared_ptr<const DimensionType> type)
     : type_(std::move(type)), top_value_(ValueId(kTopValueRawId)) {
   members_by_category_.resize(type_->category_count());
-  values_[top_value_] =
-      ValueInfo{type_->top(), Lifespan::AlwaysSpan()};
+  bool inserted = false;
+  value_index_.FindOrInsert(
+      Fnv1a64Word(top_value_.raw()), 0,
+      [](std::uint32_t) { return false; }, &inserted);
+  value_ids_.push_back(top_value_);
+  value_infos_.push_back(ValueInfo{type_->top(), Lifespan::AlwaysSpan()});
   members_by_category_[type_->top()].push_back(top_value_);
+}
+
+void Dimension::CopyMemos(const Dimension& other) {
+  auto deep = [](const MemoTable& source) {
+    MemoTable copy(source.size());
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      if (source[i] != nullptr) {
+        copy[i] = std::make_unique<std::vector<Containment>>(*source[i]);
+      }
+    }
+    return copy;
+  };
+  up_memo_ = deep(other.up_memo_);
+  down_memo_ = deep(other.down_memo_);
+  anc_memo_ = deep(other.anc_memo_);
+}
+
+Dimension::Dimension(const Dimension& other)
+    : type_(other.type_),
+      top_value_(other.top_value_),
+      value_ids_(other.value_ids_),
+      value_infos_(other.value_infos_),
+      value_index_(other.value_index_),
+      sorted_slots_(other.sorted_slots_),
+      sorted_valid_(other.sorted_valid_),
+      members_by_category_(other.members_by_category_),
+      edges_(other.edges_),
+      edges_by_child_(other.edges_by_child_),
+      edges_by_parent_(other.edges_by_parent_),
+      representations_(other.representations_),
+      next_auto_id_(other.next_auto_id_),
+      version_(other.version_),
+      memo_enabled_(other.memo_enabled_),
+      compiled_snapshot_(other.compiled_snapshot_),
+      publish_frozen_(other.publish_frozen_) {
+  // Deep-copy the memos (a copy of a warmed dimension stays warm; the
+  // publication promise travels with the frozen flag).
+  CopyMemos(other);
+}
+
+Dimension& Dimension::operator=(const Dimension& other) {
+  if (this != &other) {
+    Dimension copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+std::uint32_t Dimension::SlotOf(ValueId id) const {
+  return value_index_.Find(Fnv1a64Word(id.raw()), [&](std::uint32_t slot) {
+    return value_ids_[slot] == id;
+  });
+}
+
+const std::vector<std::uint32_t>& Dimension::SortedSlots() const {
+  if (!sorted_valid_) {
+    sorted_slots_.resize(value_ids_.size());
+    for (std::uint32_t i = 0; i < sorted_slots_.size(); ++i) {
+      sorted_slots_[i] = i;
+    }
+    std::sort(sorted_slots_.begin(), sorted_slots_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return value_ids_[a] < value_ids_[b];
+              });
+    sorted_valid_ = true;
+  }
+  return sorted_slots_;
 }
 
 Status Dimension::AddValue(CategoryTypeIndex category, ValueId id,
@@ -44,7 +114,7 @@ Status Dimension::AddValue(CategoryTypeIndex category, ValueId id,
   if (!id.valid()) {
     return Status::InvalidArgument("cannot add a value with an invalid id");
   }
-  if (values_.count(id) != 0) {
+  if (SlotOf(id) != FlatHashIndex::kNone) {
     return Status::InvariantViolation(
         StrCat("value ", id, " already exists in dimension '", name(), "'"));
   }
@@ -52,7 +122,13 @@ Status Dimension::AddValue(CategoryTypeIndex category, ValueId id,
     return Status::InvalidArgument(
         StrCat("value ", id, " has an empty membership lifespan"));
   }
-  values_[id] = ValueInfo{category, membership};
+  bool inserted = false;
+  value_index_.FindOrInsert(
+      Fnv1a64Word(id.raw()), static_cast<std::uint32_t>(value_ids_.size()),
+      [&](std::uint32_t slot) { return value_ids_[slot] == id; }, &inserted);
+  value_ids_.push_back(id);
+  value_infos_.push_back(ValueInfo{category, membership});
+  sorted_valid_ = false;
   members_by_category_[category].push_back(id);
   next_auto_id_ = std::max(next_auto_id_, id.raw() + 1);
   // A fresh value has no edges, so memoized closures of other values stay
@@ -71,18 +147,18 @@ Result<ValueId> Dimension::AddValueAuto(CategoryTypeIndex category,
 
 Status Dimension::AddOrder(ValueId child, ValueId parent,
                            const Lifespan& life, double prob) {
-  auto child_it = values_.find(child);
-  if (child_it == values_.end()) {
+  const std::uint32_t child_slot = SlotOf(child);
+  if (child_slot == FlatHashIndex::kNone) {
     return Status::NotFound(
         StrCat("order child ", child, " not in dimension '", name(), "'"));
   }
-  auto parent_it = values_.find(parent);
-  if (parent_it == values_.end()) {
+  const std::uint32_t parent_slot = SlotOf(parent);
+  if (parent_slot == FlatHashIndex::kNone) {
     return Status::NotFound(
         StrCat("order parent ", parent, " not in dimension '", name(), "'"));
   }
-  CategoryTypeIndex child_cat = child_it->second.category;
-  CategoryTypeIndex parent_cat = parent_it->second.category;
+  CategoryTypeIndex child_cat = value_infos_[child_slot].category;
+  CategoryTypeIndex parent_cat = value_infos_[parent_slot].category;
   if (child_cat == parent_cat || !type_->LessEq(child_cat, parent_cat)) {
     return Status::InvariantViolation(StrCat(
         "order edge in dimension '", name(), "' must go from category '",
@@ -96,9 +172,13 @@ Status Dimension::AddOrder(ValueId child, ValueId parent,
   if (life.Empty()) {
     return Status::InvalidArgument("order edge with empty lifespan");
   }
+  if (edges_by_child_.size() < value_ids_.size()) {
+    edges_by_child_.resize(value_ids_.size());
+    edges_by_parent_.resize(value_ids_.size());
+  }
   // Coalesce with an existing edge for the same pair: the attached time is
   // the *maximal* chronon set, so repeated assertions union.
-  for (std::size_t index : edges_by_child_[child]) {
+  for (std::size_t index : edges_by_child_[child_slot]) {
     Edge& edge = edges_[index];
     if (edge.parent == parent) {
       if (edge.prob != prob) {
@@ -112,8 +192,8 @@ Status Dimension::AddOrder(ValueId child, ValueId parent,
       return Status::OK();
     }
   }
-  edges_by_child_[child].push_back(edges_.size());
-  edges_by_parent_[parent].push_back(edges_.size());
+  edges_by_child_[child_slot].push_back(edges_.size());
+  edges_by_parent_[parent_slot].push_back(edges_.size());
   edges_.push_back(Edge{child, parent, life, prob});
   // Reachability changed: drop the memoized closure.
   InvalidateClosures();
@@ -129,17 +209,19 @@ void Dimension::InvalidateClosures() {
 }
 
 Representation& Dimension::RepresentationFor(CategoryTypeIndex category,
-                                             const std::string& rep_name) {
-  auto key = std::make_pair(category, rep_name);
-  auto it = representations_.find(key);
+                                             std::string_view rep_name) {
+  auto it = representations_.find(std::make_pair(category, rep_name));
   if (it == representations_.end()) {
-    it = representations_.emplace(key, Representation(rep_name)).first;
+    it = representations_
+             .emplace(std::make_pair(category, std::string(rep_name)),
+                      Representation(std::string(rep_name)))
+             .first;
   }
   return it->second;
 }
 
 Result<const Representation*> Dimension::FindRepresentation(
-    CategoryTypeIndex category, const std::string& rep_name) const {
+    CategoryTypeIndex category, std::string_view rep_name) const {
   auto it = representations_.find(std::make_pair(category, rep_name));
   if (it == representations_.end()) {
     return Status::NotFound(StrCat("no representation '", rep_name,
@@ -168,9 +250,9 @@ Result<double> Dimension::NumericValueOf(ValueId id, Chronon at) const {
     auto numeric = (*named)->GetNumeric(id, at);
     if (numeric.ok()) return numeric;
   }
-  for (const auto& [rep_category, rep_name, rep] : AllRepresentations()) {
-    if (rep_category != category || rep_name == "Value") continue;
-    auto numeric = rep->GetNumeric(id, at);
+  for (const auto& [key, rep] : representations_) {
+    if (key.first != category || key.second == "Value") continue;
+    auto numeric = rep.GetNumeric(id, at);
     if (numeric.ok()) return numeric;
   }
   return Status::NotFound(
@@ -178,24 +260,26 @@ Result<double> Dimension::NumericValueOf(ValueId id, Chronon at) const {
              "' has no numeric representation at the requested time"));
 }
 
-bool Dimension::HasValue(ValueId id) const { return values_.count(id) != 0; }
+bool Dimension::HasValue(ValueId id) const {
+  return SlotOf(id) != FlatHashIndex::kNone;
+}
 
 Result<CategoryTypeIndex> Dimension::CategoryOf(ValueId id) const {
-  auto it = values_.find(id);
-  if (it == values_.end()) {
+  const std::uint32_t slot = SlotOf(id);
+  if (slot == FlatHashIndex::kNone) {
     return Status::NotFound(
         StrCat("value ", id, " not in dimension '", name(), "'"));
   }
-  return it->second.category;
+  return value_infos_[slot].category;
 }
 
 Result<Lifespan> Dimension::MembershipOf(ValueId id) const {
-  auto it = values_.find(id);
-  if (it == values_.end()) {
+  const std::uint32_t slot = SlotOf(id);
+  if (slot == FlatHashIndex::kNone) {
     return Status::NotFound(
         StrCat("value ", id, " not in dimension '", name(), "'"));
   }
-  return it->second.membership;
+  return value_infos_[slot].membership;
 }
 
 std::vector<ValueId> Dimension::ValuesIn(CategoryTypeIndex category) const {
@@ -205,15 +289,17 @@ std::vector<ValueId> Dimension::ValuesIn(CategoryTypeIndex category) const {
 
 std::vector<ValueId> Dimension::AllValues() const {
   std::vector<ValueId> result;
-  result.reserve(values_.size());
-  for (const auto& [id, info] : values_) result.push_back(id);
+  result.reserve(value_ids_.size());
+  for (std::uint32_t slot : SortedSlots()) result.push_back(value_ids_[slot]);
   return result;
 }
 
 Lifespan Dimension::ContainmentSpan(ValueId e1, ValueId e2) const {
-  if (!HasValue(e1) || !HasValue(e2)) return Lifespan{TemporalElement::Never(),
-                                                      TemporalElement::Never()};
-  if (e1 == e2) return values_.at(e1).membership;
+  const std::uint32_t slot1 = SlotOf(e1);
+  if (slot1 == FlatHashIndex::kNone || !HasValue(e2)) {
+    return Lifespan{TemporalElement::Never(), TemporalElement::Never()};
+  }
+  if (e1 == e2) return value_infos_[slot1].membership;
   if (e2 == top_value_) return Lifespan::AlwaysSpan();
   for (const Containment& c : Reach(e1, /*upward=*/true, kNowChronon)) {
     if (c.value == e2) return c.life;
@@ -227,8 +313,11 @@ bool Dimension::LessEqAt(ValueId e1, ValueId e2, Chronon at) const {
 
 double Dimension::ContainmentProbAt(ValueId e1, ValueId e2,
                                     Chronon at) const {
-  if (!HasValue(e1) || !HasValue(e2)) return 0.0;
-  if (e1 == e2) return values_.at(e1).membership.valid.Contains(at) ? 1.0 : 0.0;
+  const std::uint32_t slot1 = SlotOf(e1);
+  if (slot1 == FlatHashIndex::kNone || !HasValue(e2)) return 0.0;
+  if (e1 == e2) {
+    return value_infos_[slot1].membership.valid.Contains(at) ? 1.0 : 0.0;
+  }
   if (e2 == top_value_) return 1.0;
   for (const Containment& c : Reach(e1, /*upward=*/true, at)) {
     if (c.value == e2) return c.life.valid.Contains(at) ? c.prob : 0.0;
@@ -261,13 +350,18 @@ std::vector<Dimension::Containment> Dimension::Ancestors(
 
 const std::vector<Dimension::Containment>& Dimension::AncestorsView(
     ValueId e, Chronon prob_at) const {
-  if (!HasValue(e)) return kNoContainments;
+  const std::uint32_t slot = SlotOf(e);
+  if (slot == FlatHashIndex::kNone) return kNoContainments;
   if (memo_enabled_) {
-    auto it = anc_memo_.find(e);
-    if (it == anc_memo_.end()) {
-      it = anc_memo_.emplace(e, ComputeAncestors(e, prob_at)).first;
+    if (anc_memo_.size() < value_ids_.size()) {
+      anc_memo_.resize(value_ids_.size());
     }
-    return it->second;
+    std::unique_ptr<std::vector<Containment>>& entry = anc_memo_[slot];
+    if (entry == nullptr) {
+      entry = std::make_unique<std::vector<Containment>>(
+          ComputeAncestors(e, prob_at));
+    }
+    return *entry;
   }
   anc_scratch_ = ComputeAncestors(e, prob_at);
   return anc_scratch_;
@@ -288,9 +382,11 @@ std::vector<Dimension::Containment> Dimension::Descendants(
   if (e == top_value_) {
     // Top contains everything unconditionally.
     std::vector<Containment> result;
-    for (const auto& [id, info] : values_) {
-      if (id == top_value_) continue;
-      result.push_back(Containment{id, info.membership, 1.0});
+    result.reserve(value_ids_.size() - 1);
+    for (std::uint32_t slot : SortedSlots()) {
+      if (value_ids_[slot] == top_value_) continue;
+      result.push_back(Containment{value_ids_[slot],
+                                   value_infos_[slot].membership, 1.0});
     }
     return result;
   }
@@ -310,31 +406,37 @@ std::vector<Dimension::Containment> Dimension::DescendantsIn(
 std::vector<const Dimension::Edge*> Dimension::EdgesFromChild(
     ValueId id) const {
   std::vector<const Edge*> result;
-  auto it = edges_by_child_.find(id);
-  if (it == edges_by_child_.end()) return result;
-  for (std::size_t index : it->second) result.push_back(&edges_[index]);
+  for (std::size_t index : EdgeIndexesFromChild(id)) {
+    result.push_back(&edges_[index]);
+  }
   return result;
 }
 
 std::vector<const Dimension::Edge*> Dimension::EdgesToParent(
     ValueId id) const {
   std::vector<const Edge*> result;
-  auto it = edges_by_parent_.find(id);
-  if (it == edges_by_parent_.end()) return result;
-  for (std::size_t index : it->second) result.push_back(&edges_[index]);
+  for (std::size_t index : EdgeIndexesToParent(id)) {
+    result.push_back(&edges_[index]);
+  }
   return result;
 }
 
 const std::vector<std::size_t>& Dimension::EdgeIndexesFromChild(
     ValueId id) const {
-  auto it = edges_by_child_.find(id);
-  return it == edges_by_child_.end() ? kNoEdgeIndexes : it->second;
+  const std::uint32_t slot = SlotOf(id);
+  if (slot == FlatHashIndex::kNone || slot >= edges_by_child_.size()) {
+    return kNoEdgeIndexes;
+  }
+  return edges_by_child_[slot];
 }
 
 const std::vector<std::size_t>& Dimension::EdgeIndexesToParent(
     ValueId id) const {
-  auto it = edges_by_parent_.find(id);
-  return it == edges_by_parent_.end() ? kNoEdgeIndexes : it->second;
+  const std::uint32_t slot = SlotOf(id);
+  if (slot == FlatHashIndex::kNone || slot >= edges_by_parent_.size()) {
+    return kNoEdgeIndexes;
+  }
+  return edges_by_parent_[slot];
 }
 
 const std::vector<ValueId>& Dimension::ValuesInView(
@@ -346,14 +448,17 @@ const std::vector<ValueId>& Dimension::ValuesInView(
 const std::vector<Dimension::Containment>& Dimension::Reach(
     ValueId start, bool upward, Chronon prob_at) const {
   (void)prob_at;  // probabilities are atemporal; kept for API stability
-  if (!HasValue(start)) return kNoContainments;
+  const std::uint32_t slot = SlotOf(start);
+  if (slot == FlatHashIndex::kNone) return kNoContainments;
   if (memo_enabled_) {
-    auto& memo = upward ? up_memo_ : down_memo_;
-    auto it = memo.find(start);
-    if (it == memo.end()) {
-      it = memo.emplace(start, ComputeReach(start, upward)).first;
+    MemoTable& memo = upward ? up_memo_ : down_memo_;
+    if (memo.size() < value_ids_.size()) memo.resize(value_ids_.size());
+    std::unique_ptr<std::vector<Containment>>& entry = memo[slot];
+    if (entry == nullptr) {
+      entry = std::make_unique<std::vector<Containment>>(
+          ComputeReach(start, upward));
     }
-    return it->second;
+    return *entry;
   }
   reach_scratch_ = ComputeReach(start, upward);
   return reach_scratch_;
@@ -362,28 +467,52 @@ const std::vector<Dimension::Containment>& Dimension::Reach(
 std::vector<Dimension::Containment> Dimension::ComputeReach(
     ValueId start, bool upward) const {
   std::vector<Containment> result;
+  const std::uint32_t start_slot = SlotOf(start);
+  if (start_slot == FlatHashIndex::kNone) return result;
 
-  const auto& forward = upward ? edges_by_child_ : edges_by_parent_;
+  const std::vector<std::vector<std::size_t>>& forward =
+      upward ? edges_by_child_ : edges_by_parent_;
 
-  // 1. Collect the reachable sub-DAG.
-  std::map<ValueId, std::size_t> pending;  // value -> unprocessed in-edges
-  std::deque<ValueId> frontier = {start};
-  std::map<ValueId, bool> seen;
-  seen[start] = true;
-  std::vector<std::pair<ValueId, const Edge*>> sub_edges;  // (target, edge)
-  while (!frontier.empty()) {
-    ValueId current = frontier.front();
-    frontier.pop_front();
-    auto it = forward.find(current);
-    if (it == forward.end()) continue;
-    for (std::size_t index : it->second) {
+  // Per-slot dense scratch with touched-list reset: one query touches only
+  // the reachable sub-DAG, and steady-state queries allocate nothing.
+  ReachScratch& w = reach_work_;
+  const std::size_t n = value_ids_.size();
+  if (w.pending.size() < n) {
+    w.pending.resize(n, 0);
+    w.marked.resize(n, 0);
+    w.seen.resize(n, 0);
+    w.has_span.resize(n, 0);
+    w.has_prob.resize(n, 0);
+    w.span.resize(n);
+    w.prob.resize(n, 0.0);
+    w.not_prob.resize(n, 0.0);
+  }
+  w.touched.clear();
+  w.queue.clear();
+  w.ready.clear();
+
+  auto touch = [&](std::uint32_t s) {
+    if (w.marked[s] == 0) {
+      w.marked[s] = 1;
+      w.touched.push_back(s);
+    }
+  };
+
+  // 1. Collect the reachable sub-DAG, counting per-target in-edges.
+  touch(start_slot);
+  w.seen[start_slot] = 1;
+  w.queue.push_back(start_slot);
+  for (std::size_t head = 0; head < w.queue.size(); ++head) {
+    const std::uint32_t current = w.queue[head];
+    if (current >= forward.size()) continue;
+    for (std::size_t index : forward[current]) {
       const Edge& edge = edges_[index];
-      ValueId next = upward ? edge.parent : edge.child;
-      sub_edges.emplace_back(next, &edge);
-      ++pending[next];
-      if (!seen[next]) {
-        seen[next] = true;
-        frontier.push_back(next);
+      const std::uint32_t target = SlotOf(upward ? edge.parent : edge.child);
+      touch(target);
+      ++w.pending[target];
+      if (w.seen[target] == 0) {
+        w.seen[target] = 1;
+        w.queue.push_back(target);
       }
     }
   }
@@ -395,58 +524,68 @@ std::vector<Dimension::Containment> Dimension::ComputeReach(
   // The start's span is Always: the time of a containment e1 <= e2 is
   // carried entirely by the order edges (paper Section 3.2), not by the
   // category membership of e1.
-  std::map<ValueId, Lifespan> span;
-  std::map<ValueId, double> prob;
-  span[start] = Lifespan::AlwaysSpan();
-  prob[start] = 1.0;
-  std::map<ValueId, double> not_prob;  // running product for noisy-or
-
-  std::deque<ValueId> ready = {start};
-  std::map<ValueId, std::vector<std::pair<ValueId, const Edge*>>> out;
-  for (auto& [target, edge] : sub_edges) {
-    ValueId source = upward ? edge->child : edge->parent;
-    out[source].emplace_back(target, edge);
-  }
-  while (!ready.empty()) {
-    ValueId current = ready.front();
-    ready.pop_front();
-    auto it = out.find(current);
-    if (it == out.end()) continue;
-    for (auto& [target, edge] : it->second) {
-      Lifespan via = span[current].Intersect(edge->life);
-      auto span_it = span.find(target);
-      if (span_it == span.end()) {
-        span[target] = via;
-        not_prob[target] = 1.0;
+  w.span[start_slot] = Lifespan::AlwaysSpan();
+  w.has_span[start_slot] = 1;
+  w.prob[start_slot] = 1.0;
+  w.has_prob[start_slot] = 1;
+  w.ready.push_back(start_slot);
+  for (std::size_t head = 0; head < w.ready.size(); ++head) {
+    const std::uint32_t current = w.ready[head];
+    if (current >= forward.size()) continue;
+    for (std::size_t index : forward[current]) {
+      const Edge& edge = edges_[index];
+      const std::uint32_t target = SlotOf(upward ? edge.parent : edge.child);
+      const Lifespan via = w.span[current].Intersect(edge.life);
+      if (w.has_span[target] == 0) {
+        w.span[target] = via;
+        w.has_span[target] = 1;
+        w.not_prob[target] = 1.0;
       } else {
-        span_it->second = span_it->second.Union(via);
+        w.span[target] = w.span[target].Union(via);
       }
       // Probabilities are atemporal attachments (paper Section 3.3): the
       // temporal dimension of a containment is carried by the lifespan,
       // so the DP multiplies path probabilities regardless of prob_at.
-      not_prob[target] *= 1.0 - prob[current] * edge->prob;
-      if (--pending[target] == 0) {
-        prob[target] = 1.0 - not_prob[target];
-        ready.push_back(target);
+      w.not_prob[target] *= 1.0 - w.prob[current] * edge.prob;
+      if (--w.pending[target] == 0) {
+        w.prob[target] = 1.0 - w.not_prob[target];
+        w.has_prob[target] = 1;
+        w.ready.push_back(target);
       }
     }
   }
 
-  for (auto& [value, life] : span) {
-    if (value == start) continue;
-    // A value reachable only through lifespan-incompatible edges (empty
-    // intersection along every path) is not contained at any time.
-    if (life.Empty()) continue;
-    double p = prob.count(value) != 0 ? prob[value] : 0.0;
-    result.push_back(Containment{value, life, p});
+  // 3. Collect (ascending by ValueId, the canonical closure order) and
+  //    reset the touched slots for the next query.
+  for (std::uint32_t s : w.touched) {
+    if (s != start_slot && w.has_span[s] != 0 && !w.span[s].Empty()) {
+      // A value reachable only through lifespan-incompatible edges (empty
+      // intersection along every path) is not contained at any time.
+      result.push_back(Containment{value_ids_[s], w.span[s],
+                                   w.has_prob[s] != 0 ? w.prob[s] : 0.0});
+    }
+    w.pending[s] = 0;
+    w.marked[s] = 0;
+    w.seen[s] = 0;
+    w.has_span[s] = 0;
+    w.has_prob[s] = 0;
+    w.span[s] = Lifespan{};
+    w.prob[s] = 0.0;
+    w.not_prob[s] = 0.0;
   }
+  std::sort(result.begin(), result.end(),
+            [](const Containment& a, const Containment& b) {
+              return a.value < b.value;
+            });
   return result;
 }
 
 void Dimension::WarmClosureMemo() const {
   if (!memo_enabled_) return;
-  for (const auto& [id, info] : values_) {
-    (void)info;
+  // Warm the sorted-slot cache too: enumeration after the warm-up must be
+  // a pure read for concurrent callers.
+  (void)SortedSlots();
+  for (ValueId id : value_ids_) {
     (void)Reach(id, /*upward=*/true, kNowChronon);
     (void)Reach(id, /*upward=*/false, kNowChronon);
     // The ancestor view keeps its own memo (post-fixup form); warm it too
@@ -463,20 +602,23 @@ Result<Dimension> Dimension::UnionWith(const Dimension& a,
                "' and '", b.name(), "' with differing structure"));
   }
   Dimension result = a;
-  for (const auto& [id, info] : b.values_) {
+  for (std::uint32_t slot : b.SortedSlots()) {
+    const ValueId id = b.value_ids_[slot];
     if (id == b.top_value_) continue;
-    auto it = result.values_.find(id);
-    if (it == result.values_.end()) {
+    const ValueInfo& info = b.value_infos_[slot];
+    const std::uint32_t mine = result.SlotOf(id);
+    if (mine == FlatHashIndex::kNone) {
       MDDC_RETURN_NOT_OK(result.AddValue(info.category, id, info.membership));
     } else {
-      if (it->second.category != info.category) {
+      ValueInfo& existing = result.value_infos_[mine];
+      if (existing.category != info.category) {
         return Status::InvariantViolation(
             StrCat("value ", id, " is in category '",
-                   a.type().category(it->second.category).name, "' in one ",
+                   a.type().category(existing.category).name, "' in one ",
                    "dimension and '", b.type().category(info.category).name,
                    "' in the other"));
       }
-      it->second.membership = it->second.membership.Union(info.membership);
+      existing.membership = existing.membership.Union(info.membership);
       // Direct membership mutation: compiled snapshots of `result` (shared
       // with `a` by the copy above) must not survive it.
       ++result.version_;
@@ -490,10 +632,9 @@ Result<Dimension> Dimension::UnionWith(const Dimension& a,
   for (const auto& [key, rep] : b.representations_) {
     Representation& target =
         result.RepresentationFor(key.first, key.second);
-    for (const auto& [id, info] : b.values_) {
-      (void)info;
-      for (const auto& [text, life] : rep.GetAll(id)) {
-        MDDC_RETURN_NOT_OK(target.Set(id, text, life));
+    for (std::uint32_t slot : b.SortedSlots()) {
+      for (const auto& [text, life] : rep.GetAll(b.value_ids_[slot])) {
+        MDDC_RETURN_NOT_OK(target.Set(b.value_ids_[slot], text, life));
       }
     }
   }
@@ -519,7 +660,7 @@ Result<Dimension> Dimension::Subdimension(
     if (new_cat == new_type->top()) continue;
     for (ValueId id : ValuesIn(old_cat)) {
       MDDC_RETURN_NOT_OK(
-          result.AddValue(new_cat, id, values_.at(id).membership));
+          result.AddValue(new_cat, id, value_infos_[SlotOf(id)].membership));
     }
     // Carry representations.
     for (const auto& [key, rep] : representations_) {
@@ -575,15 +716,16 @@ Dimension Dimension::RenamedAs(std::string new_name) const {
 
 Status Dimension::Validate() const {
   for (const Edge& edge : edges_) {
-    auto child = values_.find(edge.child);
-    auto parent = values_.find(edge.parent);
-    if (child == values_.end() || parent == values_.end()) {
+    const std::uint32_t child = SlotOf(edge.child);
+    const std::uint32_t parent = SlotOf(edge.parent);
+    if (child == FlatHashIndex::kNone || parent == FlatHashIndex::kNone) {
       return Status::InvariantViolation(
           StrCat("dangling order edge ", edge.child, " <= ", edge.parent,
                  " in dimension '", name(), "'"));
     }
-    if (!type_->LessEq(child->second.category, parent->second.category) ||
-        child->second.category == parent->second.category) {
+    if (!type_->LessEq(value_infos_[child].category,
+                       value_infos_[parent].category) ||
+        value_infos_[child].category == value_infos_[parent].category) {
       return Status::InvariantViolation(
           StrCat("order edge ", edge.child, " <= ", edge.parent,
                  " violates the category lattice of dimension '", name(),
@@ -594,21 +736,22 @@ Status Dimension::Validate() const {
           StrCat("edge probability ", edge.prob, " outside (0,1]"));
     }
   }
-  for (const auto& [id, info] : values_) {
+  for (std::uint32_t slot : SortedSlots()) {
+    const ValueInfo& info = value_infos_[slot];
     if (info.membership.Empty()) {
       return Status::InvariantViolation(
-          StrCat("value ", id, " has empty membership"));
+          StrCat("value ", value_ids_[slot], " has empty membership"));
     }
     if (info.category >= type_->category_count()) {
       return Status::InvariantViolation(
-          StrCat("value ", id, " has out-of-range category"));
+          StrCat("value ", value_ids_[slot], " has out-of-range category"));
     }
   }
   return Status::OK();
 }
 
 std::string Dimension::ToString() const {
-  std::string out = StrCat("Dimension ", name(), " (", values_.size(),
+  std::string out = StrCat("Dimension ", name(), " (", value_ids_.size(),
                            " values, ", edges_.size(), " order edges)\n");
   for (CategoryTypeIndex i : type_->AtOrAbove(type_->bottom())) {
     out += StrCat("  ", type_->category(i).name, ": {");

@@ -5,9 +5,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/id.h"
 #include "common/result.h"
 #include "core/dimension_type.h"
@@ -32,6 +35,11 @@ namespace mddc {
 ///
 /// Every dimension owns a distinguished top value (the ALL-like value of
 /// Gray et al.) that implicitly contains every value at all times.
+///
+/// Value metadata is stored SoA (docs/memory_layout.md): parallel
+/// id/info arrays indexed by a dense slot, an open-addressing id->slot
+/// table, slot-indexed edge adjacency, and slot-indexed closure memos —
+/// no tree nodes anywhere on the reachability hot path.
 class Dimension {
  public:
   /// One resolved containment: `value` contains the query value during
@@ -53,6 +61,13 @@ class Dimension {
   /// Creates an empty dimension of the given type; the top value is
   /// allocated automatically.
   explicit Dimension(std::shared_ptr<const DimensionType> type);
+
+  /// Copies deep-copy the closure memos: a copy of a warmed (frozen)
+  /// dimension is equally warm, so the publication promise travels.
+  Dimension(const Dimension& other);
+  Dimension(Dimension&& other) noexcept = default;
+  Dimension& operator=(const Dimension& other);
+  Dimension& operator=(Dimension&& other) noexcept = default;
 
   const DimensionType& type() const { return *type_; }
   const std::shared_ptr<const DimensionType>& type_ptr() const {
@@ -86,11 +101,13 @@ class Dimension {
   /// Returns (creating on first use) the representation `rep_name` of the
   /// category `category`.
   Representation& RepresentationFor(CategoryTypeIndex category,
-                                    const std::string& rep_name);
+                                    std::string_view rep_name);
 
   /// Finds an existing representation. NotFound if never created.
+  /// Allocation-free: the name probes the transparent key comparator
+  /// without materializing a key string.
   Result<const Representation*> FindRepresentation(
-      CategoryTypeIndex category, const std::string& rep_name) const;
+      CategoryTypeIndex category, std::string_view rep_name) const;
 
   /// All representations as (category, name, representation) tuples, for
   /// timeslicing and printing.
@@ -114,10 +131,10 @@ class Dimension {
   /// exactly the top value).
   std::vector<ValueId> ValuesIn(CategoryTypeIndex category) const;
 
-  /// All values of the dimension, including top.
+  /// All values of the dimension, including top, ascending by id.
   std::vector<ValueId> AllValues() const;
 
-  std::size_t value_count() const { return values_.size(); }
+  std::size_t value_count() const { return value_ids_.size(); }
 
   // ---- Partial order queries --------------------------------------------
 
@@ -285,9 +302,46 @@ class Dimension {
     Lifespan membership;
   };
 
+  /// Transparent comparator for (category, name) representation keys:
+  /// lookups probe with a string_view, no key string materialized.
+  struct RepKeyLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return std::string_view(a.second) < std::string_view(b.second);
+    }
+  };
+
+  /// Dense per-slot scratch for ComputeReach, retained across calls and
+  /// reset via the touched list, so one reachability query costs O(sub-DAG)
+  /// — not O(value count) and with no tree-node churn.
+  struct ReachScratch {
+    std::vector<std::size_t> pending;
+    std::vector<std::uint8_t> marked;
+    std::vector<std::uint8_t> seen;
+    std::vector<std::uint8_t> has_span;
+    std::vector<std::uint8_t> has_prob;
+    std::vector<Lifespan> span;
+    std::vector<double> prob;
+    std::vector<double> not_prob;
+    std::vector<std::uint32_t> touched;
+    std::vector<std::uint32_t> queue;
+    std::vector<std::uint32_t> ready;
+  };
+
+  using MemoTable = std::vector<std::unique_ptr<std::vector<Containment>>>;
+
+  /// Dense slot of `id`, or FlatHashIndex::kNone when unknown.
+  std::uint32_t SlotOf(ValueId id) const;
+
+  /// Slots in ascending-ValueId order (the canonical iteration order of
+  /// value enumeration), cached and lazily re-sorted after inserts.
+  const std::vector<std::uint32_t>& SortedSlots() const;
+
   /// Upward (or downward) reachability with lifespan union across paths
   /// and probability DP, shared by Ancestors/Descendants. The raw
-  /// algorithm; no memo involvement.
+  /// algorithm; no memo involvement. Results ascend by ValueId.
   std::vector<Containment> ComputeReach(ValueId start, bool upward) const;
 
   /// Ancestors with the unconditional top fix-up applied; the raw form
@@ -305,30 +359,47 @@ class Dimension {
   const std::vector<Containment>& Reach(ValueId start, bool upward,
                                         Chronon prob_at) const;
 
+  void CopyMemos(const Dimension& other);
+
   std::shared_ptr<const DimensionType> type_;
   ValueId top_value_;
-  std::map<ValueId, ValueInfo> values_;
+
+  // SoA value storage: parallel id/info arrays indexed by dense slot, an
+  // open-addressing id -> slot table, and a lazily sorted slot order for
+  // ValueId-ascending iteration.
+  std::vector<ValueId> value_ids_;
+  std::vector<ValueInfo> value_infos_;
+  FlatHashIndex value_index_;
+  mutable std::vector<std::uint32_t> sorted_slots_;
+  mutable bool sorted_valid_ = false;
+
   std::vector<std::vector<ValueId>> members_by_category_;
   std::vector<Edge> edges_;
-  std::map<ValueId, std::vector<std::size_t>> edges_by_child_;
-  std::map<ValueId, std::vector<std::size_t>> edges_by_parent_;
-  std::map<std::pair<CategoryTypeIndex, std::string>, Representation>
+  // Slot-indexed edge adjacency (grown on demand; a slot past the end has
+  // no edges).
+  std::vector<std::vector<std::size_t>> edges_by_child_;
+  std::vector<std::vector<std::size_t>> edges_by_parent_;
+  std::map<std::pair<CategoryTypeIndex, std::string>, Representation,
+           RepKeyLess>
       representations_;
   std::uint64_t next_auto_id_ = 0;
   std::uint64_t version_ = 0;
 
   // Reachability memo (see set_memoization_enabled). Mutable: queries are
   // logically const. Not thread-safe; external synchronization required
-  // for concurrent readers that might warm the cache. anc_memo_ holds
-  // the post-fixup Ancestors results backing AncestorsView; the scratch
-  // buffers back the reference-returning accessors when memoization is
-  // off (benchmark mode; not safe for concurrent readers).
+  // for concurrent readers that might warm the cache. Slot-indexed, one
+  // heap vector per warmed value behind a unique_ptr so references stay
+  // valid as the tables grow. anc_memo_ holds the post-fixup Ancestors
+  // results backing AncestorsView; the scratch buffers back the
+  // reference-returning accessors when memoization is off (benchmark
+  // mode; not safe for concurrent readers).
   mutable bool memo_enabled_ = true;
-  mutable std::map<ValueId, std::vector<Containment>> up_memo_;
-  mutable std::map<ValueId, std::vector<Containment>> down_memo_;
-  mutable std::map<ValueId, std::vector<Containment>> anc_memo_;
+  mutable MemoTable up_memo_;
+  mutable MemoTable down_memo_;
+  mutable MemoTable anc_memo_;
   mutable std::vector<Containment> reach_scratch_;
   mutable std::vector<Containment> anc_scratch_;
+  mutable ReachScratch reach_work_;
 
   // Compiled rollup snapshot (see compiled_snapshot_slot).
   mutable std::shared_ptr<const void> compiled_snapshot_;

@@ -22,66 +22,78 @@ std::shared_ptr<FactRegistry> FactRegistry::Flatten() const {
   const std::size_t n = size();
   flat->terms_.reserve(n);
   for (std::size_t raw = 0; raw < n; ++raw) {
-    FactId id(raw);
-    const FactTerm* term = FindTerm(id);
-    flat->terms_.push_back(*term);
-    switch (term->kind) {
-      case FactTerm::Kind::kAtom:
-        flat->atom_index_.emplace(term->atom, id);
-        break;
-      case FactTerm::Kind::kPair:
-        flat->pair_index_.emplace(std::make_pair(term->first, term->second),
-                                  id);
-        break;
-      case FactTerm::Kind::kSet:
-        flat->set_index_.emplace(term->members, id);
-        break;
-    }
+    const FactTerm* term = FindTerm(FactId(raw));
+    flat->Intern(*term, HashTerm(*term));
   }
   return flat;
 }
 
-FactId FactRegistry::Atom(std::uint64_t external_key) {
-  for (const FactRegistry* r = this; r != nullptr; r = r->base_.get()) {
-    auto it = r->atom_index_.find(external_key);
-    if (it != r->atom_index_.end()) return it->second;
+std::uint64_t FactRegistry::HashTerm(const FactTerm& term) {
+  switch (term.kind) {
+    case FactTerm::Kind::kAtom:
+      return Fnv1a64Word(term.atom);
+    case FactTerm::Kind::kPair:
+      return Fnv1a64Word(term.second.raw(), Fnv1a64Word(term.first.raw()));
+    case FactTerm::Kind::kSet: {
+      // Chain word-wise over the sorted member list; the empty set hashes
+      // to the seed, which is as good a bucket as any.
+      std::uint64_t hash = kFnv1a64Offset;
+      for (FactId member : term.members) {
+        hash = Fnv1a64Word(member.raw(), hash);
+      }
+      return hash;
+    }
   }
+  return kFnv1a64Offset;
+}
+
+const FlatHashIndex& FactRegistry::TableFor(FactTerm::Kind kind) const {
+  switch (kind) {
+    case FactTerm::Kind::kAtom:
+      return atom_index_;
+    case FactTerm::Kind::kPair:
+      return pair_index_;
+    case FactTerm::Kind::kSet:
+      return set_index_;
+  }
+  return atom_index_;
+}
+
+FactId FactRegistry::FindOrIntern(FactTerm term) {
+  const std::uint64_t hash = HashTerm(term);
+  for (const FactRegistry* r = this; r != nullptr; r = r->base_.get()) {
+    const std::uint32_t ordinal = r->TableFor(term.kind).Find(
+        hash,
+        [&](std::uint32_t o) { return r->terms_[o] == term; });
+    if (ordinal != FlatHashIndex::kNone) {
+      return FactId(r->base_size_ + ordinal);
+    }
+  }
+  return Intern(std::move(term), hash);
+}
+
+FactId FactRegistry::Atom(std::uint64_t external_key) {
   FactTerm term;
   term.kind = FactTerm::Kind::kAtom;
   term.atom = external_key;
-  FactId id = Intern(std::move(term));
-  atom_index_.emplace(external_key, id);
-  return id;
+  return FindOrIntern(std::move(term));
 }
 
 FactId FactRegistry::Pair(FactId a, FactId b) {
-  auto key = std::make_pair(a, b);
-  for (const FactRegistry* r = this; r != nullptr; r = r->base_.get()) {
-    auto it = r->pair_index_.find(key);
-    if (it != r->pair_index_.end()) return it->second;
-  }
   FactTerm term;
   term.kind = FactTerm::Kind::kPair;
   term.first = a;
   term.second = b;
-  FactId id = Intern(std::move(term));
-  pair_index_.emplace(key, id);
-  return id;
+  return FindOrIntern(std::move(term));
 }
 
 FactId FactRegistry::Set(std::vector<FactId> members) {
   std::sort(members.begin(), members.end());
   members.erase(std::unique(members.begin(), members.end()), members.end());
-  for (const FactRegistry* r = this; r != nullptr; r = r->base_.get()) {
-    auto it = r->set_index_.find(members);
-    if (it != r->set_index_.end()) return it->second;
-  }
   FactTerm term;
   term.kind = FactTerm::Kind::kSet;
-  term.members = members;
-  FactId id = Intern(std::move(term));
-  set_index_.emplace(std::move(members), id);
-  return id;
+  term.members = std::move(members);
+  return FindOrIntern(std::move(term));
 }
 
 const FactTerm* FactRegistry::FindTerm(FactId id) const {
@@ -122,7 +134,13 @@ std::string FactRegistry::ToString(FactId id) const {
   return "<unknown>";
 }
 
-FactId FactRegistry::Intern(FactTerm term) {
+FactId FactRegistry::Intern(FactTerm term, std::uint64_t hash) {
+  const std::uint32_t ordinal = static_cast<std::uint32_t>(terms_.size());
+  FlatHashIndex& table = TableFor(term.kind);
+  bool inserted = false;
+  table.FindOrInsert(
+      hash, ordinal,
+      [&](std::uint32_t o) { return terms_[o] == term; }, &inserted);
   FactId id(base_size_ + terms_.size());
   terms_.push_back(std::move(term));
   return id;

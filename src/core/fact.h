@@ -2,11 +2,11 @@
 #define MDDC_CORE_FACT_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/id.h"
 #include "common/result.h"
 
@@ -92,7 +92,22 @@ class FactRegistry {
   std::string ToString(FactId id) const;
 
  private:
-  FactId Intern(FactTerm term);
+  /// FNV-1a over the term's identity fields (kind-specific; each kind has
+  /// its own table, so cross-kind collisions are impossible by layout).
+  static std::uint64_t HashTerm(const FactTerm& term);
+
+  /// Probes the base chain for an equal term; interns locally on miss.
+  FactId FindOrIntern(FactTerm term);
+
+  /// Appends `term` as the next local id and records it in the flat index
+  /// of its kind (`hash` must be HashTerm(term)).
+  FactId Intern(FactTerm term, std::uint64_t hash);
+
+  const FlatHashIndex& TableFor(FactTerm::Kind kind) const;
+  FlatHashIndex& TableFor(FactTerm::Kind kind) {
+    return const_cast<FlatHashIndex&>(
+        static_cast<const FactRegistry*>(this)->TableFor(kind));
+  }
 
   /// The term for `id`, resolving through the base chain; nullptr when
   /// unknown.
@@ -105,9 +120,13 @@ class FactRegistry {
   std::size_t fork_depth_ = 0;
 
   std::vector<FactTerm> terms_;  // local terms; id = base_size_ + index
-  std::map<std::uint64_t, FactId> atom_index_;
-  std::map<std::pair<FactId, FactId>, FactId> pair_index_;
-  std::map<std::vector<FactId>, FactId> set_index_;
+
+  // Open-addressing dedup tables, one per term kind; ordinals are local
+  // term indexes, equality probes compare against terms_ directly (no
+  // second key store, no tree nodes — docs/memory_layout.md).
+  FlatHashIndex atom_index_;
+  FlatHashIndex pair_index_;
+  FlatHashIndex set_index_;
 };
 
 }  // namespace mddc

@@ -1,10 +1,53 @@
 #include "core/fact_dim_relation.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/strings.h"
 
 namespace mddc {
+
+void FactDimRelation::CopyFrom(const FactDimRelation& other) {
+  entries_ = other.entries_;
+  by_fact_ = other.by_fact_;
+  by_value_ = other.by_value_;
+  // The CSR view is rebuilt on demand: copying it would need to
+  // synchronize with a concurrent lazy build in `other`, and copies are
+  // made by writers shaping new (unsealed) objects anyway.
+  spans_.clear();
+  span_entries_.clear();
+  csr_valid_.store(false, std::memory_order_release);
+}
+
+void FactDimRelation::MoveFrom(FactDimRelation&& other) {
+  entries_ = std::move(other.entries_);
+  by_fact_ = std::move(other.by_fact_);
+  by_value_ = std::move(other.by_value_);
+  spans_ = std::move(other.spans_);
+  span_entries_ = std::move(other.span_entries_);
+  csr_valid_.store(other.csr_valid_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+  other.csr_valid_.store(false, std::memory_order_release);
+}
+
+FactDimRelation::FactDimRelation(const FactDimRelation& other) {
+  CopyFrom(other);
+}
+
+FactDimRelation::FactDimRelation(FactDimRelation&& other) noexcept {
+  MoveFrom(std::move(other));
+}
+
+FactDimRelation& FactDimRelation::operator=(const FactDimRelation& other) {
+  if (this != &other) CopyFrom(other);
+  return *this;
+}
+
+FactDimRelation& FactDimRelation::operator=(
+    FactDimRelation&& other) noexcept {
+  if (this != &other) MoveFrom(std::move(other));
+  return *this;
+}
 
 Status FactDimRelation::Add(FactId fact, ValueId value, const Lifespan& life,
                             double prob) {
@@ -21,8 +64,9 @@ Status FactDimRelation::Add(FactId fact, ValueId value, const Lifespan& life,
     return Status::InvalidArgument(
         StrCat("fact-dimension probability ", prob, " outside (0,1]"));
   }
-  if (auto it = by_fact_.find(fact); it != by_fact_.end()) {
-    for (std::size_t index : it->second) {
+  if (const std::uint32_t ordinal = by_fact_.FindOrdinal(fact);
+      ordinal != FlatHashIndex::kNone) {
+    for (std::size_t index : by_fact_.lists[ordinal]) {
       Entry& entry = entries_[index];
       if (entry.value != value) continue;
       if (entry.prob != prob) {
@@ -37,18 +81,31 @@ Status FactDimRelation::Add(FactId fact, ValueId value, const Lifespan& life,
       // separate entries.
       if (entry.life.valid == life.valid) {
         entry.life.transaction = entry.life.transaction.Union(life.transaction);
+        InvalidateCsr();
         return Status::OK();
       }
       if (entry.life.transaction == life.transaction) {
         entry.life.valid = entry.life.valid.Union(life.valid);
+        InvalidateCsr();
         return Status::OK();
       }
     }
   }
-  by_fact_[fact].push_back(entries_.size());
-  by_value_[value].push_back(entries_.size());
+  by_fact_.ListFor(fact).push_back(entries_.size());
+  by_value_.ListFor(value).push_back(entries_.size());
   entries_.push_back(Entry{fact, value, life, prob});
+  InvalidateCsr();
   return Status::OK();
+}
+
+void FactDimRelation::ReindexAll() {
+  by_fact_.Clear();
+  by_value_.Clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    by_fact_.ListFor(entries_[i].fact).push_back(i);
+    by_value_.ListFor(entries_[i].value).push_back(i);
+  }
+  InvalidateCsr();
 }
 
 void FactDimRelation::RestrictToFacts(const std::vector<FactId>& facts) {
@@ -60,50 +117,85 @@ void FactDimRelation::RestrictToFacts(const std::vector<FactId>& facts) {
     }
   }
   entries_ = std::move(kept);
-  by_fact_.clear();
-  by_value_.clear();
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    by_fact_[entries_[i].fact].push_back(i);
-    by_value_[entries_[i].value].push_back(i);
-  }
+  ReindexAll();
 }
 
 std::vector<const FactDimRelation::Entry*> FactDimRelation::ForFact(
     FactId fact) const {
   std::vector<const Entry*> result;
-  auto it = by_fact_.find(fact);
-  if (it == by_fact_.end()) return result;
-  for (std::size_t index : it->second) result.push_back(&entries_[index]);
+  const std::uint32_t ordinal = by_fact_.FindOrdinal(fact);
+  if (ordinal == FlatHashIndex::kNone) return result;
+  for (std::size_t index : by_fact_.lists[ordinal]) {
+    result.push_back(&entries_[index]);
+  }
   return result;
 }
 
 std::vector<const FactDimRelation::Entry*> FactDimRelation::ForValue(
     ValueId value) const {
   std::vector<const Entry*> result;
-  auto it = by_value_.find(value);
-  if (it == by_value_.end()) return result;
-  for (std::size_t index : it->second) result.push_back(&entries_[index]);
+  const std::uint32_t ordinal = by_value_.FindOrdinal(value);
+  if (ordinal == FlatHashIndex::kNone) return result;
+  for (std::size_t index : by_value_.lists[ordinal]) {
+    result.push_back(&entries_[index]);
+  }
   return result;
 }
 
 namespace {
 const std::vector<std::size_t> kNoEntryIndexes;
+
+// Guards lazy CSR builds on unsealed relations (the RollupIndex SlotMutex
+// idiom): one process-wide mutex, never destroyed, so sealing races from
+// multiple contexts serialize without per-relation storage.
+std::mutex& CsrMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
 }  // namespace
 
 const std::vector<std::size_t>& FactDimRelation::EntryIndexesForFact(
     FactId fact) const {
-  auto it = by_fact_.find(fact);
-  return it == by_fact_.end() ? kNoEntryIndexes : it->second;
+  const std::uint32_t ordinal = by_fact_.FindOrdinal(fact);
+  return ordinal == FlatHashIndex::kNone ? kNoEntryIndexes
+                                         : by_fact_.lists[ordinal];
 }
 
 const std::vector<std::size_t>& FactDimRelation::EntryIndexesForValue(
     ValueId value) const {
-  auto it = by_value_.find(value);
-  return it == by_value_.end() ? kNoEntryIndexes : it->second;
+  const std::uint32_t ordinal = by_value_.FindOrdinal(value);
+  return ordinal == FlatHashIndex::kNone ? kNoEntryIndexes
+                                         : by_value_.lists[ordinal];
+}
+
+void FactDimRelation::SealIndexes() const {
+  if (csr_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(CsrMutex());
+  if (csr_valid_.load(std::memory_order_relaxed)) return;
+  spans_.clear();
+  span_entries_.clear();
+  std::vector<std::uint32_t> order(by_fact_.keys.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return by_fact_.keys[a] < by_fact_.keys[b];
+            });
+  spans_.reserve(order.size());
+  span_entries_.reserve(entries_.size());
+  for (std::uint32_t ordinal : order) {
+    FactSpan span;
+    span.fact = by_fact_.keys[ordinal];
+    span.begin = static_cast<std::uint32_t>(span_entries_.size());
+    const std::vector<std::size_t>& list = by_fact_.lists[ordinal];
+    span_entries_.insert(span_entries_.end(), list.begin(), list.end());
+    span.end = static_cast<std::uint32_t>(span_entries_.size());
+    spans_.push_back(span);
+  }
+  csr_valid_.store(true, std::memory_order_release);
 }
 
 bool FactDimRelation::HasFact(FactId fact) const {
-  return by_fact_.count(fact) != 0;
+  return by_fact_.FindOrdinal(fact) != FlatHashIndex::kNone;
 }
 
 Result<FactDimRelation> FactDimRelation::UnionWith(const FactDimRelation& a,

@@ -1,10 +1,12 @@
 #ifndef MDDC_CORE_FACT_DIM_RELATION_H_
 #define MDDC_CORE_FACT_DIM_RELATION_H_
 
-#include <map>
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/id.h"
 #include "common/result.h"
 #include "temporal/lifespan.h"
@@ -22,6 +24,11 @@ namespace mddc {
 /// probability ((f,e) in_p R, Section 3.3). Pairs are coalesced: adding
 /// the same (f,e) twice unions the attached time, so value-equivalent
 /// pairs never exist.
+///
+/// Storage is flat (docs/memory_layout.md): the by-fact / by-value
+/// indexes are open-addressing hash tables over dense key arrays (no
+/// tree nodes), and sorted-lockstep consumers read a CSR span view built
+/// once per freeze (`FactSpans`).
 class FactDimRelation {
  public:
   struct Entry {
@@ -31,7 +38,35 @@ class FactDimRelation {
     double prob = 1.0;
   };
 
+  /// One row of the CSR by-fact view: the entries of `fact` are
+  /// `SpanEntryIndexes()[begin..end)`, facts ascending.
+  struct FactSpan {
+    FactId fact;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  /// A borrowed contiguous run of entry indexes — the uniform shape hot
+  /// loops consume whether the run comes from the CSR view or from a
+  /// per-fact list.
+  struct EntrySpan {
+    const std::size_t* data = nullptr;
+    std::size_t count = 0;
+    const std::size_t* begin() const { return data; }
+    const std::size_t* end() const { return data + count; }
+    std::size_t front() const { return data[0]; }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    static EntrySpan Of(const std::vector<std::size_t>& list) {
+      return EntrySpan{list.data(), list.size()};
+    }
+  };
+
   FactDimRelation() = default;
+  FactDimRelation(const FactDimRelation& other);
+  FactDimRelation(FactDimRelation&& other) noexcept;
+  FactDimRelation& operator=(const FactDimRelation& other);
+  FactDimRelation& operator=(FactDimRelation&& other) noexcept;
 
   /// Adds (fact, value) during `life` with probability `prob`. Coalesces
   /// with an existing pair (probabilities must agree).
@@ -58,13 +93,22 @@ class FactDimRelation {
   const std::vector<std::size_t>& EntryIndexesForFact(FactId fact) const;
   const std::vector<std::size_t>& EntryIndexesForValue(ValueId value) const;
 
-  /// The whole by-fact index, keyed in ascending fact order — for hot
-  /// loops that walk a sorted fact list in lockstep instead of issuing
-  /// one tree lookup per fact. Invalidated by Add and RestrictToFacts.
-  const std::map<FactId, std::vector<std::size_t>>& EntryIndexesByFact()
-      const {
-    return by_fact_;
+  /// The CSR by-fact view, facts ascending — for hot loops that walk a
+  /// sorted fact list in lockstep as a pointer sweep instead of issuing
+  /// one lookup per fact. Built lazily (thread-safe, double-checked) or
+  /// eagerly by SealIndexes; Add and RestrictToFacts invalidate it.
+  const std::vector<FactSpan>& FactSpans() const {
+    SealIndexes();
+    return spans_;
   }
+  const std::vector<std::size_t>& SpanEntryIndexes() const {
+    SealIndexes();
+    return span_entries_;
+  }
+
+  /// Builds the CSR view now (the seal step of snapshot publication calls
+  /// this so published epochs never build indexes under readers).
+  void SealIndexes() const;
 
   /// True iff some pair references `fact`.
   bool HasFact(FactId fact) const;
@@ -78,9 +122,55 @@ class FactDimRelation {
                                            const FactDimRelation& b);
 
  private:
+  /// One side (by-fact or by-value) of the flat index: open-addressing
+  /// table over dense parallel (key, entry-index-list) arrays.
+  template <typename Key>
+  struct FlatListIndex {
+    FlatHashIndex table;
+    std::vector<Key> keys;
+    std::vector<std::vector<std::size_t>> lists;
+
+    std::uint32_t FindOrdinal(Key key) const {
+      return table.Find(Fnv1a64Word(key.raw()), [&](std::uint32_t ordinal) {
+        return keys[ordinal] == key;
+      });
+    }
+    std::vector<std::size_t>& ListFor(Key key) {
+      bool inserted = false;
+      const std::uint32_t ordinal = table.FindOrInsert(
+          Fnv1a64Word(key.raw()), static_cast<std::uint32_t>(keys.size()),
+          [&](std::uint32_t o) { return keys[o] == key; }, &inserted);
+      if (inserted) {
+        keys.push_back(key);
+        lists.emplace_back();
+      }
+      return lists[ordinal];
+    }
+    void Clear() {
+      table.Clear();
+      keys.clear();
+      lists.clear();
+    }
+  };
+
+  void ReindexAll();
+  void InvalidateCsr() {
+    csr_valid_.store(false, std::memory_order_release);
+  }
+  void CopyFrom(const FactDimRelation& other);
+  void MoveFrom(FactDimRelation&& other);
+
   std::vector<Entry> entries_;
-  std::map<FactId, std::vector<std::size_t>> by_fact_;
-  std::map<ValueId, std::vector<std::size_t>> by_value_;
+  FlatListIndex<FactId> by_fact_;
+  FlatListIndex<ValueId> by_value_;
+
+  // Lazily-built CSR by-fact view. `csr_valid_` is the publication flag:
+  // set with release after the arrays are final, read with acquire before
+  // touching them (the RollupIndex slot idiom), so sealed snapshots serve
+  // concurrent readers lock-free.
+  mutable std::atomic<bool> csr_valid_{false};
+  mutable std::vector<FactSpan> spans_;
+  mutable std::vector<std::size_t> span_entries_;
 };
 
 }  // namespace mddc

@@ -97,6 +97,11 @@ void MdObject::WarmAndFreezeForPublish() const {
     dimension.WarmClosureMemo();
     dimension.set_publish_frozen(true);
   }
+  // Seal the CSR span views too: published epochs must never build
+  // indexes under concurrent readers (docs/memory_layout.md).
+  for (const FactDimRelation& relation : relations_) {
+    relation.SealIndexes();
+  }
 }
 
 std::vector<MdObject::Characterization> MdObject::CharacterizedBy(

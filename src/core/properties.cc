@@ -181,14 +181,65 @@ bool IsPartitioning(const Dimension& dimension) {
 
 bool HasStrictPath(const MdObject& mo, std::size_t dim,
                    CategoryTypeIndex category, std::optional<Chronon> at) {
+  // An in-place scan of the characterization, equivalent to counting the
+  // alive values of `category` in CharacterizedBy(fact, dim) per fact but
+  // without materializing a characterization map for every fact: the
+  // per-value accumulated lifespan is a Union of witness contributions,
+  // and both the accumulate filter (!life.Empty()) and AliveDuring factor
+  // over Union, so a value is alive iff some single contribution
+  // qualifies — testable witness by witness with Overlaps/Contains, no
+  // temporal-element copies (docs/memory_layout.md).
+  const Dimension& dimension = mo.dimension(dim);
+  const FactDimRelation& relation = mo.relation(dim);
+  const Chronon prob_at = at.value_or(kNowChronon);
+  // Does a contribution of `entry_life` (direct) or
+  // `entry_life.Intersect(anc_life)` (through containment) keep its value
+  // alive under `at`?
+  auto qualifies = [&at](const Lifespan& entry_life,
+                         const Lifespan* anc_life) {
+    if (anc_life == nullptr) {
+      return at.has_value() ? entry_life.valid.Contains(*at) &&
+                                  !entry_life.transaction.Empty()
+                            : !entry_life.Empty();
+    }
+    const bool valid_alive =
+        at.has_value()
+            ? entry_life.valid.Contains(*at) && anc_life->valid.Contains(*at)
+            : entry_life.valid.Overlaps(anc_life->valid);
+    return valid_alive &&
+           entry_life.transaction.Overlaps(anc_life->transaction);
+  };
+  const ValueId top = dimension.top_value();
+  const auto top_category = dimension.CategoryOf(top);
+  const bool top_counts = top_category.ok() && *top_category == category;
+  std::vector<ValueId> witnesses;  // distinct alive values, reused per fact
   for (FactId fact : mo.facts()) {
-    std::size_t witnesses = 0;
-    for (const MdObject::Characterization& c :
-         mo.CharacterizedBy(fact, dim, at.value_or(kNowChronon))) {
-      auto value_category = mo.dimension(dim).CategoryOf(c.value);
-      if (!value_category.ok() || *value_category != category) continue;
-      if (!AliveDuring(c.life, at)) continue;
-      if (++witnesses > 1) return false;
+    witnesses.clear();
+    const std::vector<std::size_t>& entry_indexes =
+        relation.EntryIndexesForFact(fact);
+    // Top characterizes unconditionally (with AlwaysSpan) whenever the
+    // fact has any pair in the dimension — the rule CharacterizedBy
+    // applies after accumulation.
+    if (top_counts && !entry_indexes.empty()) witnesses.push_back(top);
+    for (std::size_t index : entry_indexes) {
+      const FactDimRelation::Entry& entry = relation.entries()[index];
+      auto consider = [&](ValueId value, bool alive) {
+        if (!alive || value == top) return true;
+        auto value_category = dimension.CategoryOf(value);
+        if (!value_category.ok() || *value_category != category) return true;
+        if (std::find(witnesses.begin(), witnesses.end(), value) ==
+            witnesses.end()) {
+          witnesses.push_back(value);
+        }
+        return witnesses.size() <= 1;
+      };
+      if (!consider(entry.value, qualifies(entry.life, nullptr))) {
+        return false;
+      }
+      for (const Dimension::Containment& c :
+           dimension.AncestorsView(entry.value, prob_at)) {
+        if (!consider(c.value, qualifies(entry.life, &c.life))) return false;
+      }
     }
   }
   return true;

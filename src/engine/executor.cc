@@ -143,10 +143,14 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   dense_groupby_runs += other.dense_groupby_runs;
   flat_hash_runs += other.flat_hash_runs;
   dense_slot_fallbacks += other.dense_slot_fallbacks;
+  arena_bytes += other.arena_bytes;
+  arena_resets += other.arena_resets;
+  interner_hits += other.interner_hits;
+  interner_misses += other.interner_misses;
 }
 
 std::string ExecStats::ToJson() const {
-  char buffer[768];
+  char buffer[1024];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"parallel_runs\": %zu, \"sequential_fallbacks\": %zu, "
@@ -155,12 +159,15 @@ std::string ExecStats::ToJson() const {
       "\"timeslice_parallel_runs\": %zu, \"index_builds\": %zu, "
       "\"index_hits\": %zu, \"index_fallbacks\": %zu, "
       "\"dense_groupby_runs\": %zu, \"flat_hash_runs\": %zu, "
-      "\"dense_slot_fallbacks\": %zu}",
+      "\"dense_slot_fallbacks\": %zu, \"arena_bytes\": %zu, "
+      "\"arena_resets\": %zu, \"interner_hits\": %zu, "
+      "\"interner_misses\": %zu}",
       parallel_runs, sequential_fallbacks, partitions, tasks,
       static_cast<unsigned long long>(merge_nanos), pool_reuses,
       join_parallel_runs, timeslice_parallel_runs, index_builds, index_hits,
       index_fallbacks, dense_groupby_runs, flat_hash_runs,
-      dense_slot_fallbacks);
+      dense_slot_fallbacks, arena_bytes, arena_resets, interner_hits,
+      interner_misses);
   return buffer;
 }
 

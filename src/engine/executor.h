@@ -6,10 +6,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "engine/arena.h"
 
 namespace mddc {
 
@@ -142,6 +145,20 @@ struct ExecStats {
   /// dimensions indexed) but whose slot cross-product exceeded
   /// max_dense_groupby_slots, demoting them to the flat-hash kernel.
   std::size_t dense_slot_fallbacks = 0;
+  /// Bytes of query-lifetime scratch served by the context's bump arenas
+  /// (coordinates, match lists, slot indirections, per-group state),
+  /// summed at each reset — the per-statement footprint the arena absorbs
+  /// instead of the heap.
+  std::size_t arena_bytes = 0;
+  /// Arena rewinds that actually reclaimed scratch (one per statement or
+  /// top-level operator that allocated); empty rewinds are not counted.
+  std::size_t arena_resets = 0;
+  /// MDQL identifier resolutions answered by an interned representation
+  /// probe (the name was found without allocating).
+  std::size_t interner_hits = 0;
+  /// MDQL identifier resolutions that probed every representation and
+  /// found no interned entry for the name.
+  std::size_t interner_misses = 0;
 
   /// Adds every counter of `other` into this one. Server sessions use it
   /// to accumulate per-query contexts into per-session totals.
@@ -194,8 +211,43 @@ struct ExecContext {
   /// depend on who created the pool first.
   ThreadPool& pool();
 
+  /// The coordinator's bump arena for query-lifetime scratch. Operators
+  /// allocate temporaries here (via ArenaAllocator) and ResetQueryArenas
+  /// reclaims everything wholesale at end of statement; chunks are
+  /// retained, so steady-state statements allocate no heap at all for
+  /// arena-backed scratch.
+  Arena arena;
+
+  /// Grows the per-worker arena pool to at least `n` arenas. Called by
+  /// the coordinator before a fan-out; each parallel task then allocates
+  /// only from its own chunk's arena (arenas are not thread-safe).
+  void EnsureWorkerArenas(std::size_t n) {
+    while (worker_arenas_.size() < n) {
+      worker_arenas_.push_back(std::make_unique<Arena>());
+    }
+  }
+
+  Arena& worker_arena(std::size_t i) { return *worker_arenas_[i]; }
+
+  /// Rewinds the coordinator and worker arenas, folding the bytes they
+  /// served into stats.arena_bytes (and counting stats.arena_resets when
+  /// anything was reclaimed). Called at end of statement / top-level
+  /// operator; arena-backed scratch must not outlive that point.
+  void ResetQueryArenas() {
+    std::size_t reclaimed = arena.allocated_bytes();
+    for (const auto& worker : worker_arenas_) {
+      reclaimed += worker->allocated_bytes();
+    }
+    if (reclaimed == 0) return;
+    stats.arena_bytes += reclaimed;
+    ++stats.arena_resets;
+    arena.Reset();
+    for (const auto& worker : worker_arenas_) worker->Reset();
+  }
+
  private:
   ThreadPool* borrowed_ = nullptr;
+  std::vector<std::unique_ptr<Arena>> worker_arenas_;
 };
 
 }  // namespace mddc

@@ -4,13 +4,7 @@ namespace mddc {
 
 std::uint64_t HashValueIds(const ValueId* ids, std::size_t n) {
   std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::uint64_t raw = ids[k].raw();
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (raw >> (8 * byte)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  }
+  for (std::size_t k = 0; k < n; ++k) h = Fnv1a64Word(ids[k].raw(), h);
   return h;
 }
 
@@ -64,21 +58,6 @@ void DenseSlotSpace::KeyOf(std::uint64_t slot, std::vector<ValueId>& key) const 
     const std::uint64_t ordinal = slot % dim.card;
     slot /= dim.card;
     key[i] = dim.index->ValueOf(dim.range[ordinal]);
-  }
-}
-
-void FlatHashGroupIndex::Rehash(std::size_t capacity) {
-  std::vector<std::uint64_t> old_hashes = std::move(hashes_);
-  std::vector<std::uint32_t> old_ordinals = std::move(ordinals_);
-  hashes_.assign(capacity, 0);
-  ordinals_.assign(capacity, kNoGroup);
-  mask_ = capacity - 1;
-  for (std::size_t i = 0; i < old_ordinals.size(); ++i) {
-    if (old_ordinals[i] == kNoGroup) continue;
-    std::size_t pos = static_cast<std::size_t>(old_hashes[i]) & mask_;
-    while (ordinals_[pos] != kNoGroup) pos = (pos + 1) & mask_;
-    ordinals_[pos] = old_ordinals[i];
-    hashes_[pos] = old_hashes[i];
   }
 }
 

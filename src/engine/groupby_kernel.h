@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "core/dimension.h"
 #include "engine/rollup_index.h"
 
@@ -89,55 +90,14 @@ class DenseSlotSpace {
   std::uint64_t slot_count_ = 1;
 };
 
-/// An open-addressing (linear-probe, power-of-two capacity) map from a
-/// group key's hash to a caller-assigned dense group ordinal. The table
-/// stores only (hash, ordinal) pairs; the caller owns key storage and
-/// supplies the equality probe, so keys of any shape — a fixed-stride run
-/// of ValueIds, a std::vector<Value> tuple — intern without per-key heap
-/// nodes. Not thread-safe; the parallel paths give each partition its own
-/// index.
-class FlatHashGroupIndex {
+/// The open-addressing group index is now the shared FlatHashIndex in
+/// common/flat_hash.h (the same table backs the string interner and the
+/// fact-term/per-fact-entry indexes). This subclass only preserves the
+/// kernel-side name for the "slot empty / no group" sentinel.
+class FlatHashGroupIndex : public FlatHashIndex {
  public:
   /// Sentinel ordinal: "slot empty" / "no group".
-  static constexpr std::uint32_t kNoGroup = 0xffffffffu;
-
-  FlatHashGroupIndex() { Rehash(16); }
-
-  std::size_t size() const { return size_; }
-
-  /// Looks up `hash`; `eq(ordinal)` must return true iff the caller's key
-  /// equals the key it stored under `ordinal`. On a miss the key is
-  /// recorded under `next_ordinal` and `*inserted` is set; the caller then
-  /// appends the key (and its accumulator) to its own storage so the
-  /// ordinal stays dense.
-  template <typename Eq>
-  std::uint32_t FindOrInsert(std::uint64_t hash, std::uint32_t next_ordinal,
-                             const Eq& eq, bool* inserted) {
-    if ((size_ + 1) * 10 >= hashes_.size() * 7) Rehash(hashes_.size() * 2);
-    std::size_t pos = static_cast<std::size_t>(hash) & mask_;
-    while (true) {
-      if (ordinals_[pos] == kNoGroup) {
-        ordinals_[pos] = next_ordinal;
-        hashes_[pos] = hash;
-        ++size_;
-        *inserted = true;
-        return next_ordinal;
-      }
-      if (hashes_[pos] == hash && eq(ordinals_[pos])) {
-        *inserted = false;
-        return ordinals_[pos];
-      }
-      pos = (pos + 1) & mask_;
-    }
-  }
-
- private:
-  void Rehash(std::size_t capacity);
-
-  std::vector<std::uint64_t> hashes_;
-  std::vector<std::uint32_t> ordinals_;
-  std::size_t mask_ = 0;
-  std::size_t size_ = 0;
+  static constexpr std::uint32_t kNoGroup = FlatHashIndex::kNone;
 };
 
 }  // namespace mddc

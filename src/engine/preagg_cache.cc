@@ -177,12 +177,38 @@ Result<MdObject> PreAggregateCache::RollUpCached(
   std::vector<Merged> flat_slots;
   if (use_flat) ++exec->stats.flat_hash_runs;
   const std::size_t result_dim = cached.dimension_count() - 1;
+
+  // CSR lockstep (docs/memory_layout.md): cached.facts() is sorted, so a
+  // single pointer sweep over each relation's span view replaces one hash
+  // probe per (group, dimension).
+  const std::vector<FactId>& groups = cached.facts();
+  auto sweep = [&groups](const FactDimRelation& relation) {
+    std::vector<FactDimRelation::EntrySpan> per_fact(groups.size());
+    const std::size_t* base = relation.SpanEntryIndexes().data();
+    std::size_t f = 0;
+    for (const FactDimRelation::FactSpan& span : relation.FactSpans()) {
+      while (f < groups.size() && groups[f] < span.fact) ++f;
+      if (f == groups.size()) break;
+      if (groups[f] == span.fact) {
+        per_fact[f] = FactDimRelation::EntrySpan{base + span.begin,
+                                                 span.end - span.begin};
+      }
+    }
+    return per_fact;
+  };
+  std::vector<std::vector<FactDimRelation::EntrySpan>> group_entries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    group_entries[i] = sweep(cached.relation(i));
+  }
+  const std::vector<FactDimRelation::EntrySpan> result_entries =
+      sweep(cached.relation(result_dim));
+
   std::vector<ValueId> key(n);
-  for (FactId group : cached.facts()) {
+  for (std::size_t f = 0; f < groups.size(); ++f) {
+    const FactId group = groups[f];
     for (std::size_t i = 0; i < n; ++i) {
       const FactDimRelation& relation = cached.relation(i);
-      const std::vector<std::size_t>& pairs =
-          relation.EntryIndexesForFact(group);
+      const FactDimRelation::EntrySpan pairs = group_entries[i][f];
       if (pairs.empty()) {
         return Status::InvariantViolation("cached group missing a value");
       }
@@ -224,8 +250,7 @@ Result<MdObject> PreAggregateCache::RollUpCached(
       key[i] = coarser.front().value;
     }
     const FactDimRelation& result_relation = cached.relation(result_dim);
-    const std::vector<std::size_t>& result_pairs =
-        result_relation.EntryIndexesForFact(group);
+    const FactDimRelation::EntrySpan result_pairs = result_entries[f];
     if (result_pairs.empty()) {
       return Status::InvariantViolation("cached group missing its result");
     }

@@ -8,6 +8,7 @@
 #include "common/date.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "engine/executor.h"
 #include "mdql/parser.h"
 
 namespace mddc {
@@ -29,17 +30,24 @@ Result<ResolvedLevel> Resolve(const MdObject& mo, const LevelRef& level) {
 
 /// Finds the dimension value named `text` in the given category by
 /// trying every representation registered for it. NotFound if no
-/// representation knows the name.
+/// representation knows the name. Each probe is an interned-hash lookup
+/// (no key string materialized); `exec` (optional) counts resolutions
+/// into stats.interner_hits / interner_misses.
 Result<ValueId> ResolveValueByName(const MdObject& mo,
                                    const ResolvedLevel& level,
-                                   const std::string& text) {
+                                   const std::string& text,
+                                   ExecContext* exec) {
   const Dimension& dimension = mo.dimension(level.dim);
   for (const auto& [category, rep_name, rep] :
        dimension.AllRepresentations()) {
     if (category != level.category) continue;
     auto value = rep->Lookup(text);
-    if (value.ok()) return value;
+    if (value.ok()) {
+      if (exec != nullptr) ++exec->stats.interner_hits;
+      return value;
+    }
   }
+  if (exec != nullptr) ++exec->stats.interner_misses;
   return Status::NotFound(StrCat("no value named '", text,
                                  "' in category '",
                                  dimension.type().category(level.category).name,
@@ -65,12 +73,13 @@ std::string PickRepresentation(const MdObject& mo,
 /// nothing; NOT on the atom then matches everything).
 Predicate False() { return Predicate::True().Not(); }
 
-Result<Predicate> BuildAtom(const MdObject& mo, const WhereAtom& atom) {
+Result<Predicate> BuildAtom(const MdObject& mo, const WhereAtom& atom,
+                            ExecContext* exec) {
   Predicate leaf = Predicate::True();
   switch (atom.kind) {
     case WhereAtom::Kind::kNameEquals: {
       MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, atom.level));
-      auto value = ResolveValueByName(mo, level, atom.text);
+      auto value = ResolveValueByName(mo, level, atom.text, exec);
       leaf = value.ok() ? Predicate::CharacterizedBy(level.dim, *value)
                         : False();
       break;
@@ -111,7 +120,7 @@ Result<Predicate> BuildAtom(const MdObject& mo, const WhereAtom& atom) {
       }
       case WhereAtom::Kind::kProbAtLeast: {
         MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, atom.level));
-        auto value = ResolveValueByName(mo, level, atom.text);
+        auto value = ResolveValueByName(mo, level, atom.text, exec);
         leaf = value.ok()
                    ? Predicate::MinProbability(level.dim, *value, atom.number)
                    : False();
@@ -122,18 +131,21 @@ Result<Predicate> BuildAtom(const MdObject& mo, const WhereAtom& atom) {
   return leaf;
 }
 
-Result<Predicate> BuildWhere(const MdObject& mo, const WhereExpr& expr) {
+Result<Predicate> BuildWhere(const MdObject& mo, const WhereExpr& expr,
+                             ExecContext* exec) {
   switch (expr.kind) {
     case WhereExpr::Kind::kAtom:
-      return BuildAtom(mo, expr.atom);
+      return BuildAtom(mo, expr.atom, exec);
     case WhereExpr::Kind::kAnd: {
-      MDDC_ASSIGN_OR_RETURN(Predicate left, BuildWhere(mo, *expr.left));
-      MDDC_ASSIGN_OR_RETURN(Predicate right, BuildWhere(mo, *expr.right));
+      MDDC_ASSIGN_OR_RETURN(Predicate left, BuildWhere(mo, *expr.left, exec));
+      MDDC_ASSIGN_OR_RETURN(Predicate right,
+                            BuildWhere(mo, *expr.right, exec));
       return left.And(std::move(right));
     }
     case WhereExpr::Kind::kOr: {
-      MDDC_ASSIGN_OR_RETURN(Predicate left, BuildWhere(mo, *expr.left));
-      MDDC_ASSIGN_OR_RETURN(Predicate right, BuildWhere(mo, *expr.right));
+      MDDC_ASSIGN_OR_RETURN(Predicate left, BuildWhere(mo, *expr.left, exec));
+      MDDC_ASSIGN_OR_RETURN(Predicate right,
+                            BuildWhere(mo, *expr.right, exec));
       return left.Or(std::move(right));
     }
   }
@@ -187,7 +199,7 @@ Result<QueryResult> ExecuteSelect(const MdObject& source,
 
   if (select.where != nullptr) {
     MDDC_ASSIGN_OR_RETURN(Predicate predicate,
-                          BuildWhere(mo, *select.where));
+                          BuildWhere(mo, *select.where, exec));
     MDDC_ASSIGN_OR_RETURN(mo, Select(mo, predicate));
   }
 
@@ -294,7 +306,8 @@ Result<QueryResult> ApplyInsert(MdObject& mo, const InsertStatement& insert) {
   for (const InsertAssignment& assign : insert.assignments) {
     MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, assign.level));
     MDDC_ASSIGN_OR_RETURN(ValueId value,
-                          ResolveValueByName(mo, level, assign.text));
+                          ResolveValueByName(mo, level, assign.text,
+                                             /*exec=*/nullptr));
     if (assign.prob < 0.0 || assign.prob > 1.0) {
       return Status::InvalidArgument(
           StrCat("probability out of [0,1]: ", assign.prob));
@@ -338,7 +351,7 @@ std::vector<std::string> Session::names() const {
   return result;
 }
 
-Result<const MdObject*> Session::Get(const std::string& name) const {
+Result<const MdObject*> Session::Get(std::string_view name) const {
   auto it = catalog_.find(name);
   if (it == catalog_.end()) {
     return Status::NotFound(StrCat("no MO named '", name, "' is registered"));
@@ -354,6 +367,15 @@ Result<QueryResult> Session::Execute(const std::string& query,
 
 Result<QueryResult> Session::Execute(const Statement& statement,
                                      ExecContext* exec) {
+  Result<QueryResult> result = ExecuteImpl(statement, exec);
+  // Statement boundary: rewind the query-lifetime arenas (a no-op when
+  // the statement's operators reclaimed their scratch already).
+  if (exec != nullptr) exec->ResetQueryArenas();
+  return result;
+}
+
+Result<QueryResult> Session::ExecuteImpl(const Statement& statement,
+                                         ExecContext* exec) {
   const std::string& mo_name = StatementMoName(statement);
   auto it = catalog_.find(mo_name);
   if (it == catalog_.end()) {

@@ -1,8 +1,10 @@
 #ifndef MDDC_MDQL_MDQL_H_
 #define MDDC_MDQL_MDQL_H_
 
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -76,7 +78,8 @@ class Session {
   std::vector<std::string> names() const;
 
   /// Looks up a registered MO (e.g. for saving it to disk).
-  Result<const MdObject*> Get(const std::string& name) const;
+  /// Allocation-free: the transparent catalog comparator probes by view.
+  Result<const MdObject*> Get(std::string_view name) const;
 
   /// Parses, plans and executes one MDQL statement. `exec` (optional) is
   /// threaded through the plan — the ASOF valid-timeslice and the BY
@@ -92,7 +95,12 @@ class Session {
                               ExecContext* exec = nullptr);
 
  private:
-  std::map<std::string, MdObject> catalog_;
+  Result<QueryResult> ExecuteImpl(const Statement& statement,
+                                  ExecContext* exec);
+
+  // Transparent comparator: name lookups probe with a string_view without
+  // materializing a key string.
+  std::map<std::string, MdObject, std::less<>> catalog_;
 };
 
 }  // namespace mdql

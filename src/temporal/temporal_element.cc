@@ -47,7 +47,21 @@ bool TemporalElement::Covers(const TemporalElement& other) const {
 }
 
 bool TemporalElement::Overlaps(const TemporalElement& other) const {
-  return !Intersect(other).Empty();
+  // Allocation-free two-pointer sweep over the sorted coalesced interval
+  // lists (the same walk Intersect does, stopping at the first hit).
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    if (std::max(a->begin(), b->begin()) <= std::min(a->end(), b->end())) {
+      return true;
+    }
+    if (a->end() < b->end()) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
 }
 
 TemporalElement TemporalElement::Union(const TemporalElement& other) const {

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/fact.h"
+#include "core/fact_dim_relation.h"
+
+namespace mddc {
+namespace {
+
+// ---- CSR by-fact span view ------------------------------------------------
+
+std::vector<std::size_t> SpanToVector(const FactDimRelation& relation,
+                                      FactId fact) {
+  for (const FactDimRelation::FactSpan& span : relation.FactSpans()) {
+    if (span.fact != fact) continue;
+    const std::size_t* base = relation.SpanEntryIndexes().data();
+    return std::vector<std::size_t>(base + span.begin, base + span.end);
+  }
+  return {};
+}
+
+FactDimRelation SmallRelation() {
+  FactDimRelation relation;
+  EXPECT_TRUE(relation.Add(FactId(2), ValueId(10)).ok());
+  EXPECT_TRUE(relation.Add(FactId(1), ValueId(11)).ok());
+  EXPECT_TRUE(relation.Add(FactId(2), ValueId(12)).ok());
+  EXPECT_TRUE(relation.Add(FactId(3), ValueId(10)).ok());
+  return relation;
+}
+
+TEST(FactDimRelationCsrTest, SpansMatchPerFactIndexAndAreSorted) {
+  FactDimRelation relation = SmallRelation();
+  const std::vector<FactDimRelation::FactSpan>& spans = relation.FactSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Facts ascending, regardless of insertion order.
+  EXPECT_TRUE(std::is_sorted(
+      spans.begin(), spans.end(),
+      [](const auto& a, const auto& b) { return a.fact < b.fact; }));
+  for (const FactDimRelation::FactSpan& span : spans) {
+    EXPECT_EQ(SpanToVector(relation, span.fact),
+              relation.EntryIndexesForFact(span.fact))
+        << "fact " << span.fact;
+  }
+}
+
+TEST(FactDimRelationCsrTest, AddInvalidatesAndRebuilds) {
+  FactDimRelation relation = SmallRelation();
+  ASSERT_EQ(relation.FactSpans().size(), 3u);  // build the view
+  ASSERT_TRUE(relation.Add(FactId(7), ValueId(10)).ok());
+  const std::vector<FactDimRelation::FactSpan>& spans = relation.FactSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.back().fact, FactId(7));
+  EXPECT_EQ(SpanToVector(relation, FactId(7)),
+            relation.EntryIndexesForFact(FactId(7)));
+  // Coalescing Add (same pair again) also invalidates, then rebuilds to
+  // the same shape.
+  ASSERT_TRUE(relation.Add(FactId(7), ValueId(10)).ok());
+  EXPECT_EQ(relation.FactSpans().size(), 4u);
+}
+
+TEST(FactDimRelationCsrTest, RestrictToFactsInvalidatesAndRebuilds) {
+  FactDimRelation relation = SmallRelation();
+  ASSERT_EQ(relation.FactSpans().size(), 3u);  // build the view
+  relation.RestrictToFacts({FactId(2)});
+  const std::vector<FactDimRelation::FactSpan>& spans = relation.FactSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].fact, FactId(2));
+  EXPECT_EQ(spans[0].end - spans[0].begin, 2u);
+  EXPECT_EQ(SpanToVector(relation, FactId(2)),
+            relation.EntryIndexesForFact(FactId(2)));
+}
+
+TEST(FactDimRelationCsrTest, CopyGetsItsOwnView) {
+  FactDimRelation relation = SmallRelation();
+  relation.SealIndexes();
+  FactDimRelation copy(relation);
+  ASSERT_TRUE(copy.Add(FactId(9), ValueId(10)).ok());
+  EXPECT_EQ(copy.FactSpans().size(), 4u);
+  EXPECT_EQ(relation.FactSpans().size(), 3u);  // original untouched
+}
+
+TEST(FactDimRelationCsrTest, EntrySpanOfWrapsAVector) {
+  const std::vector<std::size_t> list = {4, 8, 15};
+  FactDimRelation::EntrySpan span = FactDimRelation::EntrySpan::Of(list);
+  EXPECT_EQ(span.size(), 3u);
+  EXPECT_FALSE(span.empty());
+  EXPECT_EQ(span.front(), 4u);
+  EXPECT_EQ(std::vector<std::size_t>(span.begin(), span.end()), list);
+  EXPECT_TRUE(FactDimRelation::EntrySpan{}.empty());
+}
+
+// ---- FactRegistry flat-hash differential ----------------------------------
+
+/// A deliberately naive ordered-map registry mirroring FactRegistry's id
+/// assignment contract (dense ids in interning order, canonical sets).
+/// The flat-hash implementation must agree with it on every id.
+class ReferenceRegistry {
+ public:
+  FactId Atom(std::uint64_t key) {
+    auto [it, inserted] = atoms_.try_emplace(key, FactId(next_));
+    if (inserted) ++next_;
+    return it->second;
+  }
+  FactId Pair(FactId a, FactId b) {
+    auto [it, inserted] = pairs_.try_emplace(std::make_pair(a, b),
+                                             FactId(next_));
+    if (inserted) ++next_;
+    return it->second;
+  }
+  FactId Set(std::vector<FactId> members) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    auto [it, inserted] = sets_.try_emplace(std::move(members),
+                                            FactId(next_));
+    if (inserted) ++next_;
+    return it->second;
+  }
+  std::size_t size() const { return next_; }
+
+ private:
+  std::map<std::uint64_t, FactId> atoms_;
+  std::map<std::pair<FactId, FactId>, FactId> pairs_;
+  std::map<std::vector<FactId>, FactId> sets_;
+  std::uint64_t next_ = 0;
+};
+
+/// Replays a deterministic mixed intern sequence against both
+/// implementations, asserting id-for-id agreement.
+void ReplayAndCompare(FactRegistry& registry, ReferenceRegistry& reference,
+                      std::uint64_t seed, int operations) {
+  std::uint64_t state = seed;
+  auto next_random = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  std::vector<FactId> known;
+  for (int op = 0; op < operations; ++op) {
+    FactId got, want;
+    switch (next_random() % 3) {
+      case 0: {
+        std::uint64_t key = next_random() % 64;  // dense: forces re-interns
+        got = registry.Atom(key);
+        want = reference.Atom(key);
+        break;
+      }
+      case 1: {
+        if (known.size() < 2) continue;
+        FactId a = known[next_random() % known.size()];
+        FactId b = known[next_random() % known.size()];
+        got = registry.Pair(a, b);
+        want = reference.Pair(a, b);
+        break;
+      }
+      default: {
+        std::vector<FactId> members;
+        for (std::uint64_t i = 0, n = next_random() % 5; i < n; ++i) {
+          if (!known.empty()) {
+            members.push_back(known[next_random() % known.size()]);
+          }
+        }
+        got = registry.Set(members);
+        want = reference.Set(std::move(members));
+        break;
+      }
+    }
+    ASSERT_EQ(got, want) << "op " << op;
+    known.push_back(got);
+  }
+  EXPECT_EQ(registry.size(), reference.size());
+}
+
+TEST(FactRegistryDifferentialTest, FlatHashMatchesOrderedMapReference) {
+  FactRegistry registry;
+  ReferenceRegistry reference;
+  ReplayAndCompare(registry, reference, /*seed=*/0xfeedu, /*operations=*/2000);
+}
+
+TEST(FactRegistryDifferentialTest, ForkInternFlattenKeepsIdsStable) {
+  auto root = std::make_shared<FactRegistry>();
+  ReferenceRegistry reference;
+  {
+    ReplayAndCompare(*root, reference, /*seed=*/1u, /*operations=*/500);
+  }
+  // Fork: the overlay must resolve base terms to their original ids and
+  // continue the id sequence for new terms — exactly what the single
+  // reference registry does when simply replayed further.
+  std::shared_ptr<FactRegistry> fork = FactRegistry::ForkOf(root);
+  EXPECT_EQ(fork->fork_depth(), 1u);
+  EXPECT_EQ(fork->size(), reference.size());
+  ReplayAndCompare(*fork, reference, /*seed=*/2u, /*operations=*/500);
+
+  // A second-generation fork, then flatten: ids must survive both.
+  std::shared_ptr<FactRegistry> fork2 =
+      FactRegistry::ForkOf(std::shared_ptr<const FactRegistry>(fork));
+  ReplayAndCompare(*fork2, reference, /*seed=*/3u, /*operations=*/500);
+  std::shared_ptr<FactRegistry> flat = fork2->Flatten();
+  EXPECT_EQ(flat->fork_depth(), 0u);
+  EXPECT_EQ(flat->size(), reference.size());
+  // Every structure resolves identically pre- and post-flatten...
+  for (std::uint64_t raw = 0; raw < flat->size(); ++raw) {
+    auto before = fork2->Get(FactId(raw));
+    auto after = flat->Get(FactId(raw));
+    ASSERT_TRUE(before.ok() && after.ok()) << "id " << raw;
+    EXPECT_TRUE(*before == *after) << "id " << raw;
+  }
+  // ...and further identical interning stays in agreement.
+  ReplayAndCompare(*flat, reference, /*seed=*/4u, /*operations=*/500);
+}
+
+TEST(FactRegistryDifferentialTest, SiblingForksAssignTheSameNewIds) {
+  auto root = std::make_shared<FactRegistry>();
+  for (std::uint64_t key = 0; key < 100; ++key) (void)root->Atom(key);
+  std::shared_ptr<const FactRegistry> frozen = root;
+  std::shared_ptr<FactRegistry> left = FactRegistry::ForkOf(frozen);
+  std::shared_ptr<FactRegistry> right = FactRegistry::ForkOf(frozen);
+  // Shared history resolves to the same ids in both forks.
+  EXPECT_EQ(left->Atom(42), right->Atom(42));
+  // The same sequence of *new* terms assigns the same new ids.
+  EXPECT_EQ(left->Atom(1000), right->Atom(1000));
+  EXPECT_EQ(left->Pair(FactId(1), FactId(2)), right->Pair(FactId(1), FactId(2)));
+  EXPECT_EQ(left->Set({FactId(3), FactId(4)}),
+            right->Set({FactId(4), FactId(3), FactId(4)}));
+}
+
+}  // namespace
+}  // namespace mddc
