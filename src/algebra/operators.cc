@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -495,11 +496,93 @@ std::optional<Lifespan> OptLife(const Lifespan& life) {
 /// per-fact lookups at all.
 using FactEntryLists = std::vector<std::vector<FactDimRelation::EntrySpan>>;
 
+/// Builds the per-fact entry lists for the `wanted` dimensions: one
+/// lockstep walk of each relation's by-fact tree against the MO's sorted
+/// fact vector replaces one tree lookup per (fact, dimension) in the hot
+/// loops. Shared by AggregateFormation and AggregateStream.
+FactEntryLists BuildFactEntryLists(const MdObject& mo,
+                                   const std::vector<bool>& wanted) {
+  const std::vector<FactId>& facts = mo.facts();  // sorted by id
+  FactEntryLists fact_entries(mo.dimension_count());
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    if (!wanted[i]) continue;
+    fact_entries[i].assign(facts.size(), FactDimRelation::EntrySpan{});
+    const FactDimRelation& relation = mo.relation(i);
+    const std::vector<FactDimRelation::FactSpan>& spans =
+        relation.FactSpans();
+    const std::size_t* base = relation.SpanEntryIndexes().data();
+    std::size_t f = 0;
+    for (const FactDimRelation::FactSpan& span : spans) {
+      while (f < facts.size() && facts[f] < span.fact) ++f;
+      if (f == facts.size()) break;
+      if (facts[f] == span.fact) {
+        fact_entries[i][f] = FactDimRelation::EntrySpan{
+            base + span.begin, span.end - span.begin};
+      }
+    }
+  }
+  return fact_entries;
+}
+
 /// A fact's per-dimension coordinate lists, arena-backed on the
 /// execution path (a query's dominant allocation source is exactly these
 /// little per-fact vectors) and plain heap vectors for the baseline.
 using CoordList = ArenaVec<Coordinate>;
 using CoordLists = ArenaVec<CoordList>;
+
+/// The shared per-dimension coordinate body of GroupingCoordinates and
+/// the streaming scan: appends `fact`'s coordinates in `category` of
+/// dimension `i` to `list`. With a compiled `index` the list is
+/// accumulated per value in entry order and kept sorted by ValueId (a
+/// linear insertion — coordinate lists are tiny), so emission matches the
+/// ordered map this replaced without its node churn; without one the
+/// memoized characterization scan runs unchanged. `span`, when non-null,
+/// is the fact's precomputed CSR entry run (indexed path only).
+void AppendDimCoordinates(const MdObject& mo, std::size_t i,
+                          CategoryTypeIndex category, Chronon prob_at,
+                          const RollupIndex* index, FactId fact,
+                          const FactDimRelation::EntrySpan* span,
+                          CoordList& list) {
+  const Dimension& dimension = mo.dimension(i);
+  if (index != nullptr) {
+    const FactDimRelation& relation = mo.relation(i);
+    const FactDimRelation::EntrySpan entry_list =
+        span == nullptr ? FactDimRelation::EntrySpan::Of(
+                              relation.EntryIndexesForFact(fact))
+                        : *span;
+    for (std::size_t e : entry_list) {
+      const FactDimRelation::Entry& entry = relation.entries()[e];
+      const std::uint32_t dense = index->DenseOf(entry.value);
+      if (dense == RollupIndex::kNone) continue;
+      const std::uint32_t ancestor = index->AncestorAt(dense, category);
+      if (ancestor == RollupIndex::kNone) continue;
+      const double prob =
+          entry.prob * index->AncestorProbAt(dense, category);
+      const ValueId value = index->ValueOf(ancestor);
+      auto it = std::lower_bound(
+          list.begin(), list.end(), value,
+          [](const Coordinate& c, ValueId v) { return c.value < v; });
+      if (it != list.end() && it->value == value) {
+        // Always (nullopt) is absorbing under component-wise Union.
+        if (it->life.has_value()) {
+          it->life = OptLife(it->life->Union(entry.life));
+        }
+        it->prob = 1.0 - (1.0 - it->prob) * (1.0 - prob);
+      } else {
+        list.insert(it,
+                    Coordinate{value, OptLife(entry.life), prob, ancestor});
+      }
+    }
+  } else {
+    for (const MdObject::Characterization& c :
+         mo.CharacterizedBy(fact, i, prob_at)) {
+      auto value_category = dimension.CategoryOf(c.value);
+      if (value_category.ok() && *value_category == category) {
+        list.push_back(Coordinate{c.value, OptLife(c.life), c.prob});
+      }
+    }
+  }
+}
 
 std::optional<CoordLists> GroupingCoordinates(
     const MdObject& mo, const AggregateSpec& spec, FactId fact,
@@ -519,51 +602,14 @@ std::optional<CoordLists> GroupingCoordinates(
           Coordinate{dimension.top_value(), std::nullopt, 1.0});
       continue;
     }
-    if (i < indexes.size() && indexes[i] != nullptr) {
-      const RollupIndex& index = *indexes[i];
-      const FactDimRelation& relation = mo.relation(i);
-      const FactDimRelation::EntrySpan entry_list =
-          fact_entries == nullptr
-              ? FactDimRelation::EntrySpan::Of(
-                    relation.EntryIndexesForFact(fact))
-              : (*fact_entries)[i][fact_ordinal];
-      // Accumulated per value in entry order and kept sorted by ValueId
-      // (a linear insertion — coordinate lists are tiny), so emission
-      // matches the ordered map this replaced without its node churn.
-      CoordList& list = per_dim[i];
-      for (std::size_t e : entry_list) {
-        const FactDimRelation::Entry& entry = relation.entries()[e];
-        const std::uint32_t dense = index.DenseOf(entry.value);
-        if (dense == RollupIndex::kNone) continue;
-        const std::uint32_t ancestor =
-            index.AncestorAt(dense, spec.grouping[i]);
-        if (ancestor == RollupIndex::kNone) continue;
-        const double prob =
-            entry.prob * index.AncestorProbAt(dense, spec.grouping[i]);
-        const ValueId value = index.ValueOf(ancestor);
-        auto it = std::lower_bound(
-            list.begin(), list.end(), value,
-            [](const Coordinate& c, ValueId v) { return c.value < v; });
-        if (it != list.end() && it->value == value) {
-          // Always (nullopt) is absorbing under component-wise Union.
-          if (it->life.has_value()) {
-            it->life = OptLife(it->life->Union(entry.life));
-          }
-          it->prob = 1.0 - (1.0 - it->prob) * (1.0 - prob);
-        } else {
-          list.insert(it,
-                      Coordinate{value, OptLife(entry.life), prob, ancestor});
-        }
-      }
-    } else {
-      for (const MdObject::Characterization& c :
-           mo.CharacterizedBy(fact, i, spec.prob_at)) {
-        auto category = dimension.CategoryOf(c.value);
-        if (category.ok() && *category == spec.grouping[i]) {
-          per_dim[i].push_back(Coordinate{c.value, OptLife(c.life), c.prob});
-        }
-      }
-    }
+    const RollupIndex* index =
+        i < indexes.size() ? indexes[i].get() : nullptr;
+    const FactDimRelation::EntrySpan* span =
+        (index != nullptr && fact_entries != nullptr)
+            ? &(*fact_entries)[i][fact_ordinal]
+            : nullptr;
+    AppendDimCoordinates(mo, i, spec.grouping[i], spec.prob_at, index, fact,
+                         span, per_dim[i]);
     if (per_dim[i].empty()) return std::nullopt;
   }
   return per_dim;
@@ -1205,7 +1251,6 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
   FactEntryLists fact_entries;
   const FactEntryLists* fact_entries_ptr = nullptr;
   if (exec != nullptr) {
-    fact_entries.resize(n);
     std::vector<bool> wanted(n, false);
     for (std::size_t i = 0; i < n; ++i) {
       if (indexes[i] != nullptr) wanted[i] = true;
@@ -1213,24 +1258,7 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
     for (std::size_t dim : spec.function.args()) {
       if (dim < n) wanted[dim] = true;
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!wanted[i]) continue;
-      fact_entries[i].assign(facts.size(), FactDimRelation::EntrySpan{});
-      const FactDimRelation& relation = mo.relation(i);
-      const std::vector<FactDimRelation::FactSpan>& spans =
-          relation.FactSpans();
-      const std::size_t* base = relation.SpanEntryIndexes().data();
-      std::size_t f = 0;
-      for (const FactDimRelation::FactSpan& span : spans) {
-        while (f < facts.size() && facts[f] < span.fact) ++f;
-        if (f == facts.size()) break;
-        if (facts[f] == span.fact) {
-          fact_entries[i][f] =
-              FactDimRelation::EntrySpan{base + span.begin,
-                                         span.end - span.begin};
-        }
-      }
-    }
+    fact_entries = BuildFactEntryLists(mo, wanted);
     fact_entries_ptr = &fact_entries;
   }
 
@@ -1459,6 +1487,620 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
 
   MDDC_RETURN_NOT_OK(result.Validate());
   return result;
+}
+
+// ---- Streaming multi-aggregate group-by ------------------------------------
+
+namespace {
+
+/// Per-worker state of a stream run — KernelPartition minus the rendered
+/// state (member lists, lifespans, probabilities) the fused MDQL path
+/// never displays, plus per-class accumulator strides so every function
+/// folds in the one scan.
+struct StreamPartition {
+  explicit StreamPartition(Arena* a)
+      : group_of_slot(ArenaAllocator<std::uint32_t>(a)),
+        slot_of_group(ArenaAllocator<std::uint64_t>(a)),
+        key_storage(ArenaAllocator<ValueId>(a)),
+        members(ArenaAllocator<std::size_t>(a)),
+        accums(ArenaAllocator<AggFunction::Accumulator>(a)),
+        failed(ArenaAllocator<unsigned char>(a)),
+        inc_group(ArenaAllocator<std::uint32_t>(a)),
+        inc_fact(ArenaAllocator<FactId>(a)) {}
+
+  std::uint64_t slot_begin = 0;
+  std::uint64_t slot_end = 0;
+  ArenaVec<std::uint32_t> group_of_slot;
+  ArenaVec<std::uint64_t> slot_of_group;
+  FlatHashGroupIndex index;
+  ArenaVec<ValueId> key_storage;              // stride = live dim count
+  ArenaVec<std::size_t> members;              // one per group
+  ArenaVec<AggFunction::Accumulator> accums;  // stride = class count
+  ArenaVec<unsigned char> failed;             // stride = class count
+  std::vector<Status> errors;                 // stride = class count
+  /// Membership incidences in scan order (ascending fact within each
+  /// group, since the scan walks facts ascending); recorded only under
+  /// StreamSpec::collect_members and scattered into per-group lists at
+  /// emission.
+  ArenaVec<std::uint32_t> inc_group;
+  ArenaVec<FactId> inc_fact;
+};
+
+/// Functions sharing an argument dimension and pair-vs-value reading
+/// share one contribution pass, one accumulator per group and one sticky
+/// error — the Accumulator keeps count/sum/min/max regardless of which
+/// Finish will read it, so the shared state is exactly what running each
+/// function alone would have built.
+struct AccumClass {
+  std::size_t dim = 0;
+  bool counts = false;     // COUNT reads pairs; SUM/AVG/MIN/MAX read values
+  std::size_t exemplar = 0;  // index into StreamSpec::functions
+  bool bad_dim = false;      // dim >= dimension_count: error only if groups
+};
+
+}  // namespace
+
+StreamProbe AggregateStreamProbe(const MdObject& mo,
+                                 const std::vector<CategoryTypeIndex>& grouping,
+                                 ExecContext* exec) {
+  StreamProbe probe;
+  const std::size_t n = mo.dimension_count();
+  if (grouping.size() != n) return probe;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (grouping[i] >= mo.dimension(i).type().category_count()) return probe;
+    if (grouping[i] != mo.dimension(i).type().top()) probe.live.push_back(i);
+  }
+  // The probe never touches stats: EXPLAIN must not perturb the counters
+  // of the statements it describes.
+  std::vector<std::shared_ptr<const RollupIndex>> hold;
+  std::vector<DenseSlotSpace::GroupingDim> dims;
+  hold.reserve(probe.live.size());
+  dims.reserve(probe.live.size());
+  probe.all_indexed = true;
+  for (std::size_t i : probe.live) {
+    std::shared_ptr<const RollupIndex> index =
+        RollupIndex::For(mo.dimension(i));
+    if (!index->has_flat_table()) {
+      probe.all_indexed = false;
+      return probe;
+    }
+    hold.push_back(std::move(index));
+    dims.push_back({hold.back().get(), grouping[i], ValueId{}});
+  }
+  const std::uint64_t max_slots = exec != nullptr
+                                      ? exec->max_dense_groupby_slots
+                                      : (std::uint64_t{1} << 22);
+  DenseSlotSpace space;
+  switch (DenseSlotSpace::Build(dims, max_slots, &space)) {
+    case DenseSlotSpace::Plan::kDense:
+      probe.dense = true;
+      probe.slot_product = space.slot_count();
+      break;
+    case DenseSlotSpace::Plan::kTooManySlots: {
+      // Rebuild unbounded so EXPLAIN can still print the product (stays 0
+      // when it overflows 64 bits).
+      DenseSlotSpace wide;
+      if (DenseSlotSpace::Build(dims,
+                                std::numeric_limits<std::uint64_t>::max(),
+                                &wide) == DenseSlotSpace::Plan::kDense) {
+        probe.slot_product = wide.slot_count();
+      }
+      break;
+    }
+    case DenseSlotSpace::Plan::kNotIndexed:
+      probe.all_indexed = false;
+      break;
+  }
+  return probe;
+}
+
+Result<std::vector<StreamGroup>> AggregateStream(const MdObject& mo,
+                                                 const StreamSpec& spec,
+                                                 ExecContext* exec) {
+  const std::size_t n = mo.dimension_count();
+  if (spec.grouping.size() != n) {
+    return Status::InvalidArgument(
+        StrCat("aggregate stream got ", spec.grouping.size(),
+               " grouping categories for a ", n, "-dimensional MO"));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (spec.grouping[i] >= mo.dimension(i).type().category_count()) {
+      return Status::InvalidArgument(
+          StrCat("grouping category ", spec.grouping[i],
+                 " out of range for dimension '", mo.dimension(i).name(),
+                 "'"));
+    }
+  }
+  const std::vector<FactId>& facts = mo.facts();  // sorted by id
+  if (spec.keep != nullptr && spec.keep->size() != facts.size()) {
+    return Status::InvalidArgument(
+        StrCat("aggregate stream keep mask covers ", spec.keep->size(),
+               " facts of ", facts.size()));
+  }
+
+  // Dead-dimension pruning: a top-grouped dimension contributes one fixed
+  // coordinate with probability 1 to every fact, so the scan drops it and
+  // keys carry only the live axes.
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (spec.grouping[i] != mo.dimension(i).type().top()) live.push_back(i);
+  }
+  const std::size_t nl = live.size();
+
+  std::size_t kept = facts.size();
+  if (spec.keep != nullptr) {
+    kept = static_cast<std::size_t>(
+        std::count(spec.keep->begin(), spec.keep->end(), true));
+  }
+
+  // Everything arena-backed below is scratch of this one stream; the
+  // guard rewinds the context's arenas on every exit path (the returned
+  // groups are plain heap state).
+  ArenaResetGuard arena_guard{exec};
+
+  bool parallel = exec != nullptr && spec.allow_parallel &&
+                  exec->WantsParallel(kept);
+  if (parallel) {
+    // Same safety gate as AggregateFormation, applied to every fused
+    // function: per-worker partial groups are combinable exactly when the
+    // Section 3.4 preconditions hold.
+    for (const AggFunction& fn : spec.functions) {
+      if (!CheckSummarizability(mo, fn.kind(), spec.grouping).summarizable) {
+        ++exec->stats.sequential_fallbacks;
+        parallel = false;
+        break;
+      }
+    }
+  }
+
+  // Compiled rollup snapshots for the live dimensions (exec-gated exactly
+  // like AggregateFormation's step 0).
+  std::vector<std::shared_ptr<const RollupIndex>> indexes(n);
+  if (exec != nullptr) {
+    for (std::size_t i : live) {
+      std::shared_ptr<const RollupIndex> index =
+          RollupIndex::For(mo.dimension(i), &exec->stats);
+      if (index->has_flat_table()) {
+        indexes[i] = std::move(index);
+        ++exec->stats.index_hits;
+      } else {
+        ++exec->stats.index_fallbacks;
+      }
+    }
+  }
+
+  // The accumulator classes behind spec.functions.
+  std::vector<AccumClass> classes;
+  std::vector<std::size_t> class_of(spec.functions.size(),
+                                    std::numeric_limits<std::size_t>::max());
+  for (std::size_t k = 0; k < spec.functions.size(); ++k) {
+    const AggFunction& fn = spec.functions[k];
+    if (fn.args().empty()) continue;  // SetCount folds from member counts
+    const std::size_t dim = fn.args().front();
+    const bool counts = fn.kind() == AggregateFunctionKind::kCount;
+    std::size_t c = 0;
+    for (; c < classes.size(); ++c) {
+      if (classes[c].dim == dim && classes[c].counts == counts) break;
+    }
+    if (c == classes.size()) {
+      classes.push_back(AccumClass{dim, counts, k, dim >= n});
+    }
+    class_of[k] = c;
+  }
+  const std::size_t nclasses = classes.size();
+
+  // Per-fact entry lists for the live indexed dimensions and the classes'
+  // argument dimensions.
+  FactEntryLists fact_entries;
+  const FactEntryLists* fact_entries_ptr = nullptr;
+  if (exec != nullptr) {
+    std::vector<bool> wanted(n, false);
+    for (std::size_t i : live) {
+      if (indexes[i] != nullptr) wanted[i] = true;
+    }
+    for (const AccumClass& cls : classes) {
+      if (!cls.bad_dim) wanted[cls.dim] = true;
+    }
+    fact_entries = BuildFactEntryLists(mo, wanted);
+    fact_entries_ptr = &fact_entries;
+  }
+
+  // 1. Live coordinates per kept fact, in fact order. A fact with an
+  //    empty live list joins no group (exactly GroupingCoordinates'
+  //    nullopt), and a false keep entry is skipped outright — selection
+  //    pushdown without the materialized Select.
+  std::vector<std::optional<CoordLists>> coords(facts.size());
+  auto live_coords = [&](std::size_t f,
+                         Arena* arena) -> std::optional<CoordLists> {
+    CoordLists per_dim{ArenaAllocator<CoordList>(arena)};
+    per_dim.reserve(nl);
+    for (std::size_t j = 0; j < nl; ++j) {
+      per_dim.emplace_back(ArenaAllocator<Coordinate>(arena));
+    }
+    for (std::size_t j = 0; j < nl; ++j) {
+      const std::size_t i = live[j];
+      const RollupIndex* index = indexes[i].get();
+      const FactDimRelation::EntrySpan* span =
+          (index != nullptr && fact_entries_ptr != nullptr)
+              ? &(*fact_entries_ptr)[i][f]
+              : nullptr;
+      AppendDimCoordinates(mo, i, spec.grouping[i], spec.prob_at, index,
+                           facts[f], span, per_dim[j]);
+      if (per_dim[j].empty()) return std::nullopt;
+    }
+    return per_dim;
+  };
+  if (parallel) {
+    for (std::size_t i : live) mo.dimension(i).WarmClosureMemo();
+    const std::size_t chunks = std::min(facts.size(), exec->num_threads * 4);
+    exec->EnsureWorkerArenas(chunks);
+    exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
+      const std::size_t begin = chunk * facts.size() / chunks;
+      const std::size_t end = (chunk + 1) * facts.size() / chunks;
+      Arena* arena = &exec->worker_arena(chunk);
+      for (std::size_t f = begin; f < end; ++f) {
+        if (spec.keep == nullptr || (*spec.keep)[f]) {
+          coords[f] = live_coords(f, arena);
+        }
+      }
+    });
+    exec->stats.tasks += chunks;
+  } else {
+    Arena* arena = exec != nullptr ? &exec->arena : nullptr;
+    for (std::size_t f = 0; f < facts.size(); ++f) {
+      if (spec.keep == nullptr || (*spec.keep)[f]) {
+        coords[f] = live_coords(f, arena);
+      }
+    }
+  }
+
+  // 2. Per-class fact contributions, sharing ContributionOf (and its
+  //    sequential numeric-value hoist) with the kernel path.
+  std::vector<std::vector<FactContribution>> contribs(nclasses);
+  std::vector<NumericValueCache> caches(nclasses);
+  for (std::size_t c = 0; c < nclasses; ++c) {
+    const AccumClass& cls = classes[c];
+    if (cls.bad_dim) continue;
+    const AggregateSpec cspec{spec.functions[cls.exemplar],
+                              spec.grouping,
+                              ResultDimensionSpec::Auto(),
+                              spec.prob_at,
+                              false,
+                              false};
+    const NumericValueCache* cache_ptr = nullptr;
+    if (!cls.counts) {
+      const Dimension& dimension = mo.dimension(cls.dim);
+      NumericValueCache& cache = caches[c];
+      for (const FactDimRelation::Entry& entry :
+           mo.relation(cls.dim).entries()) {
+        if (entry.value == dimension.top_value()) continue;
+        const std::uint64_t raw = entry.value.raw();
+        if (cache.find(raw) != cache.end()) continue;
+        cache.emplace(raw,
+                      dimension.NumericValueOf(entry.value, spec.prob_at));
+      }
+      cache_ptr = &cache;
+    }
+    contribs[c].resize(facts.size());
+    auto fill_chunk = [&](std::size_t begin, std::size_t end, Arena* arena) {
+      for (std::size_t f = begin; f < end; ++f) {
+        if (coords[f].has_value()) {
+          contribs[c][f] = ContributionOf(mo, cspec, facts[f],
+                                          fact_entries_ptr, f, cache_ptr,
+                                          arena);
+        }
+      }
+    };
+    if (parallel) {
+      const std::size_t chunks = std::min(facts.size(), exec->num_threads * 4);
+      exec->EnsureWorkerArenas(chunks);
+      exec->pool().ParallelFor(chunks, [&](std::size_t chunk) {
+        fill_chunk(chunk * facts.size() / chunks,
+                   (chunk + 1) * facts.size() / chunks,
+                   &exec->worker_arena(chunk));
+      });
+      exec->stats.tasks += chunks;
+    } else {
+      fill_chunk(0, facts.size(), exec != nullptr ? &exec->arena : nullptr);
+    }
+  }
+
+  // 3. Engine selection over the live axes only (dead dimensions never
+  //    widen the slot product).
+  GroupEngine engine = GroupEngine::kFlatHash;
+  DenseSlotSpace space;
+  {
+    bool all_indexed = true;
+    std::vector<DenseSlotSpace::GroupingDim> grouping_dims(nl);
+    for (std::size_t j = 0; j < nl; ++j) {
+      const std::size_t i = live[j];
+      if (indexes[i] != nullptr) {
+        grouping_dims[j] = {indexes[i].get(), spec.grouping[i], ValueId{}};
+      } else {
+        all_indexed = false;
+        break;
+      }
+    }
+    if (all_indexed) {
+      const std::uint64_t max_slots = exec != nullptr
+                                          ? exec->max_dense_groupby_slots
+                                          : (std::uint64_t{1} << 22);
+      switch (DenseSlotSpace::Build(grouping_dims, max_slots, &space)) {
+        case DenseSlotSpace::Plan::kDense:
+          engine = GroupEngine::kDenseSlots;
+          break;
+        case DenseSlotSpace::Plan::kTooManySlots:
+          if (exec != nullptr) ++exec->stats.dense_slot_fallbacks;
+          break;
+        case DenseSlotSpace::Plan::kNotIndexed:
+          break;
+      }
+    }
+  }
+  if (exec != nullptr) {
+    if (engine == GroupEngine::kDenseSlots) {
+      ++exec->stats.dense_groupby_runs;
+    } else {
+      ++exec->stats.flat_hash_runs;
+    }
+  }
+
+  // 4. The partitioned scan: contiguous dense-slot ranges or keys by
+  //    hash, every worker scans all facts, every group built whole by one
+  //    worker — exactly RunGroupByKernel's ownership scheme.
+  const std::size_t num_partitions = parallel ? exec->num_threads : 1;
+  if (parallel) exec->EnsureWorkerArenas(num_partitions);
+  std::vector<StreamPartition> parts;
+  parts.reserve(num_partitions);
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    parts.emplace_back(parallel ? &exec->worker_arena(p)
+                       : exec != nullptr ? &exec->arena
+                                         : nullptr);
+  }
+  if (engine == GroupEngine::kDenseSlots) {
+    const std::uint64_t slots = space.slot_count();
+    const std::uint64_t base = slots / num_partitions;
+    const std::uint64_t extra = slots % num_partitions;
+    std::uint64_t begin = 0;
+    for (std::size_t p = 0; p < num_partitions; ++p) {
+      const std::uint64_t width = base + (p < extra ? 1 : 0);
+      parts[p].slot_begin = begin;
+      parts[p].slot_end = begin + width;
+      begin += width;
+      parts[p].group_of_slot.assign(static_cast<std::size_t>(width),
+                                    FlatHashGroupIndex::kNoGroup);
+    }
+  }
+
+  auto scan_partition = [&](std::size_t p) {
+    StreamPartition& part = parts[p];
+    std::vector<std::size_t> cursor(nl);
+    std::vector<ValueId> scratch(nl);
+    for (std::size_t f = 0; f < facts.size(); ++f) {
+      if (!coords[f].has_value()) continue;
+      const CoordLists& per_dim = *coords[f];
+      std::fill(cursor.begin(), cursor.end(), 0);
+      // Enumerate the cross product of the fact's live coordinate lists
+      // (one iteration — the single global group — when nl == 0).
+      while (true) {
+        std::uint32_t g = FlatHashGroupIndex::kNoGroup;
+        if (engine == GroupEngine::kDenseSlots) {
+          // Row-major slot over the live axes, lowest dimension index
+          // most significant — ascending slots are the canonical order.
+          std::uint64_t slot = 0;
+          for (std::size_t j = 0; j < nl; ++j) {
+            slot = slot * space.cardinality(j) +
+                   space.OrdinalOf(j, per_dim[j][cursor[j]].dense);
+          }
+          if (slot >= part.slot_begin && slot < part.slot_end) {
+            std::uint32_t& mapped = part.group_of_slot[
+                static_cast<std::size_t>(slot - part.slot_begin)];
+            if (mapped == FlatHashGroupIndex::kNoGroup) {
+              mapped = static_cast<std::uint32_t>(part.members.size());
+              part.slot_of_group.push_back(slot);
+              part.members.push_back(0);
+              part.accums.insert(part.accums.end(), nclasses,
+                                 AggFunction::Accumulator{});
+              part.failed.insert(part.failed.end(), nclasses, 0);
+              part.errors.resize(part.errors.size() + nclasses);
+            }
+            g = mapped;
+          }
+        } else {
+          for (std::size_t j = 0; j < nl; ++j) {
+            scratch[j] = per_dim[j][cursor[j]].value;
+          }
+          const std::uint64_t hash = HashValueIds(scratch.data(), nl);
+          if (num_partitions == 1 || hash % num_partitions == p) {
+            bool inserted = false;
+            g = part.index.FindOrInsert(
+                hash, static_cast<std::uint32_t>(part.members.size()),
+                [&](std::uint32_t ordinal) {
+                  return std::equal(scratch.begin(), scratch.end(),
+                                    part.key_storage.begin() +
+                                        static_cast<std::ptrdiff_t>(
+                                            ordinal * nl));
+                },
+                &inserted);
+            if (inserted) {
+              part.key_storage.insert(part.key_storage.end(),
+                                      scratch.begin(), scratch.end());
+              part.members.push_back(0);
+              part.accums.insert(part.accums.end(), nclasses,
+                                 AggFunction::Accumulator{});
+              part.failed.insert(part.failed.end(), nclasses, 0);
+              part.errors.resize(part.errors.size() + nclasses);
+            }
+          }
+        }
+        if (g != FlatHashGroupIndex::kNoGroup) {
+          ++part.members[g];
+          if (spec.collect_members) {
+            part.inc_group.push_back(g);
+            part.inc_fact.push_back(facts[f]);
+          }
+          const std::size_t base = static_cast<std::size_t>(g) * nclasses;
+          for (std::size_t c = 0; c < nclasses; ++c) {
+            if (classes[c].bad_dim) continue;
+            const FactContribution& fc = contribs[c][f];
+            if (fc.failed) {
+              if (!part.failed[base + c]) {
+                part.failed[base + c] = 1;
+                part.errors[base + c] = fc.error;
+              }
+            } else if (!part.failed[base + c]) {
+              if (classes[c].counts) {
+                part.accums[base + c].AddCounted(fc.counted);
+              } else {
+                for (double value : fc.values) {
+                  part.accums[base + c].Add(value);
+                }
+              }
+            }
+          }
+        }
+        // Advance the cross-product cursor.
+        std::size_t j = 0;
+        while (j < nl && ++cursor[j] == per_dim[j].size()) {
+          cursor[j] = 0;
+          ++j;
+        }
+        if (j == nl) break;
+      }
+    }
+  };
+  if (parallel) {
+    exec->pool().ParallelFor(num_partitions, scan_partition);
+    exec->stats.tasks += num_partitions;
+    exec->stats.partitions += num_partitions;
+    ++exec->stats.parallel_runs;
+  } else {
+    scan_partition(0);
+  }
+
+  // 5. Canonical group order: ascending slot for the dense engine (the
+  //    partitions own ascending disjoint ranges), one lexicographic key
+  //    sort for the flat-hash engine.
+  struct GroupRef {
+    std::uint32_t partition;
+    std::uint32_t ordinal;
+  };
+  std::size_t total = 0;
+  for (const StreamPartition& part : parts) total += part.members.size();
+  std::vector<GroupRef> order;
+  order.reserve(total);
+  const auto merge_start = std::chrono::steady_clock::now();
+  if (engine == GroupEngine::kDenseSlots) {
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      StreamPartition& part = parts[p];
+      std::vector<std::uint32_t> by_slot(part.members.size());
+      for (std::uint32_t g = 0; g < by_slot.size(); ++g) by_slot[g] = g;
+      std::sort(by_slot.begin(), by_slot.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return part.slot_of_group[a] < part.slot_of_group[b];
+                });
+      for (std::uint32_t g : by_slot) {
+        order.push_back({static_cast<std::uint32_t>(p), g});
+      }
+    }
+  } else {
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      for (std::uint32_t g = 0; g < parts[p].members.size(); ++g) {
+        order.push_back({static_cast<std::uint32_t>(p), g});
+      }
+    }
+    std::sort(order.begin(), order.end(),
+              [&](const GroupRef& a, const GroupRef& b) {
+                const ValueId* ka =
+                    parts[a.partition].key_storage.data() + a.ordinal * nl;
+                const ValueId* kb =
+                    parts[b.partition].key_storage.data() + b.ordinal * nl;
+                return std::lexicographical_compare(ka, ka + nl, kb, kb + nl);
+              });
+  }
+  if (parallel) {
+    exec->stats.merge_nanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count());
+  }
+
+  // 6. Emission, function-major: function k's errors (CheckApplicable,
+  //    then each group's sticky class error or Finish failure, in
+  //    canonical group order) surface before function k+1 computes
+  //    anything — exactly the order running the functions one
+  //    AggregateFormation at a time produces.
+  std::vector<StreamGroup> out(order.size());
+  std::vector<ValueId> key(nl);
+  for (std::size_t t = 0; t < order.size(); ++t) {
+    const GroupRef& ref = order[t];
+    const StreamPartition& part = parts[ref.partition];
+    StreamGroup& group = out[t];
+    if (engine == GroupEngine::kDenseSlots) {
+      space.KeyOf(part.slot_of_group[ref.ordinal], key);
+      group.key = key;
+    } else {
+      const ValueId* base = part.key_storage.data() + ref.ordinal * nl;
+      group.key.assign(base, base + nl);
+    }
+    group.members = part.members[ref.ordinal];
+    group.values.reserve(spec.functions.size());
+  }
+  if (spec.collect_members) {
+    // Scatter the scan-order incidence log into per-group lists. Each
+    // worker walked facts ascending, so within a group the log is already
+    // in ascending fact order.
+    std::vector<std::vector<std::uint32_t>> out_of(parts.size());
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      out_of[p].resize(parts[p].members.size());
+    }
+    for (std::size_t t = 0; t < order.size(); ++t) {
+      out_of[order[t].partition][order[t].ordinal] =
+          static_cast<std::uint32_t>(t);
+      out[t].member_facts.reserve(out[t].members);
+    }
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      const StreamPartition& part = parts[p];
+      for (std::size_t e = 0; e < part.inc_group.size(); ++e) {
+        out[out_of[p][part.inc_group[e]]].member_facts.push_back(
+            part.inc_fact[e]);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < spec.functions.size(); ++k) {
+    const AggFunction& fn = spec.functions[k];
+    if (spec.enforce_aggregation_types) {
+      MDDC_RETURN_NOT_OK(fn.CheckApplicable(mo));
+    }
+    if (fn.args().empty()) {
+      for (StreamGroup& group : out) {
+        group.values.push_back(static_cast<double>(group.members));
+      }
+      continue;
+    }
+    if (fn.args().front() >= n) {
+      // Every group's evaluation would fail identically; surface it
+      // exactly as AggregateFormation does for its first group (and stay
+      // silent when there are no groups, as it does).
+      if (!out.empty()) {
+        return Status::InvalidArgument(
+            StrCat(fn.name(), " references dimension ", fn.args().front(),
+                   " of a ", n, "-dimensional MO"));
+      }
+      continue;
+    }
+    const std::size_t c = class_of[k];
+    for (std::size_t t = 0; t < order.size(); ++t) {
+      const GroupRef& ref = order[t];
+      const StreamPartition& part = parts[ref.partition];
+      const std::size_t base =
+          static_cast<std::size_t>(ref.ordinal) * nclasses + c;
+      if (part.failed[base]) return part.errors[base];
+      MDDC_ASSIGN_OR_RETURN(double value, fn.Finish(part.accums[base]));
+      out[t].values.push_back(value);
+    }
+  }
+  return out;
 }
 
 }  // namespace mddc

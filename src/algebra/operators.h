@@ -166,6 +166,95 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
                                     const AggregateSpec& spec,
                                     ExecContext* exec = nullptr);
 
+/// Parameters of the streaming multi-aggregate group-by — the fused
+/// physical operator behind compiled MDQL plans (docs/mdql_compiler.md).
+/// Where AggregateFormation materializes a full result MO per function,
+/// the stream scans the argument MO's facts once, folds every function's
+/// accumulator per group, and returns only what a renderer needs: the
+/// grouping key and one settled value per function. No intermediate MO,
+/// no result dimension, no lifespans — the unrendered state the fused
+/// MDQL path provably never displays.
+struct StreamSpec {
+  /// The functions folded in one scan; all share `grouping`. Evaluation
+  /// errors surface in function-major order (function 0's groups in
+  /// canonical order first), exactly as running the functions one
+  /// formation at a time would.
+  std::vector<AggFunction> functions;
+  /// One grouping category per dimension; top() means "do not group" and
+  /// the dimension is pruned from the scan entirely (dead-dimension
+  /// pruning: a top-grouped dimension contributes one fixed coordinate
+  /// with probability 1, so skipping it cannot change any group).
+  std::vector<CategoryTypeIndex> grouping;
+  /// Chronon at which containment probabilities are evaluated.
+  Chronon prob_at = kNowChronon;
+  /// When true (default), CheckApplicable gates each function exactly as
+  /// AggregateFormation's enforce_aggregation_types does.
+  bool enforce_aggregation_types = true;
+  /// Optional fact filter, aligned with mo.facts(): false entries are
+  /// skipped by the scan — selection pushdown without materializing the
+  /// filtered MO. Null means every fact participates.
+  const std::vector<bool>* keep = nullptr;
+  /// When false the scan stays sequential even on a parallel context.
+  bool allow_parallel = true;
+  /// When true every StreamGroup carries its member fact list (ascending
+  /// fact order). AggregateFormation interns each group as a set-fact, so
+  /// two groups with identical member sets collapse into ONE result fact;
+  /// a renderer that must match the formation byte-for-byte needs the
+  /// member lists to replicate that collapse.
+  bool collect_members = false;
+};
+
+/// One output group of AggregateStream, in canonical order (ascending
+/// lexicographic ValueId key — the same order AggregateFormation's
+/// ordered-map baseline emits groups in).
+struct StreamGroup {
+  /// The grouping values of the live (non-top) dimensions, in ascending
+  /// dimension-index order.
+  std::vector<ValueId> key;
+  /// Distinct member facts (each fact joins a given key at most once).
+  std::size_t members = 0;
+  /// The member facts, ascending; filled only under
+  /// StreamSpec::collect_members (empty otherwise).
+  std::vector<FactId> member_facts;
+  /// One settled result per StreamSpec function, in spec order.
+  std::vector<double> values;
+};
+
+/// What the stream's engine selection would decide, without scanning any
+/// facts — the cost-model probe behind MDQL EXPLAIN.
+struct StreamProbe {
+  /// Live (non-top-grouped) dimension indexes, ascending.
+  std::vector<std::size_t> live;
+  /// True when every live dimension is covered by a flat rollup table.
+  bool all_indexed = false;
+  /// True when the dense-slot engine would run (all_indexed and the slot
+  /// cross-product fits the context's threshold).
+  bool dense = false;
+  /// Cross-product of live grouping-category cardinalities; 0 when it
+  /// overflowed or a live dimension is not indexed.
+  std::uint64_t slot_product = 0;
+};
+
+StreamProbe AggregateStreamProbe(const MdObject& mo,
+                                 const std::vector<CategoryTypeIndex>& grouping,
+                                 ExecContext* exec = nullptr);
+
+/// Runs the fused scan. Groups come back in canonical key order with
+/// members accumulated in ascending fact order, and functions sharing an
+/// argument dimension share one accumulator class, so every value (and
+/// every error, in function-major order) is bit-identical to running the
+/// functions through AggregateFormation one at a time. With a parallel
+/// context the group space is partitioned (contiguous dense-slot ranges,
+/// or keys by hash) and every worker scans all facts, so each group is
+/// built whole by one worker — thread count never changes a byte. The
+/// parallel path is gated on every function passing the Section 3.4
+/// summarizability check, like AggregateFormation's gate. Counts
+/// dense_groupby_runs / flat_hash_runs / dense_slot_fallbacks /
+/// index_hits / index_fallbacks / parallel_runs on the context.
+Result<std::vector<StreamGroup>> AggregateStream(const MdObject& mo,
+                                                 const StreamSpec& spec,
+                                                 ExecContext* exec = nullptr);
+
 }  // namespace mddc
 
 #endif  // MDDC_ALGEBRA_OPERATORS_H_

@@ -11,7 +11,7 @@
 namespace mddc {
 
 Result<CategoryTypeIndex> DimensionType::Find(
-    const std::string& category_name) const {
+    std::string_view category_name) const {
   for (CategoryTypeIndex i = 0; i < categories_.size(); ++i) {
     if (categories_[i].name == category_name) return i;
   }

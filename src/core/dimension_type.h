@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -52,7 +53,7 @@ class DimensionType {
   CategoryTypeIndex top() const { return top_; }
 
   /// Finds a category type by name.
-  Result<CategoryTypeIndex> Find(const std::string& category_name) const;
+  Result<CategoryTypeIndex> Find(std::string_view category_name) const;
 
   /// Immediate successors in the ordering: the paper's Pred function giving
   /// the set of immediate predecessors of C_j — the category types directly

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/id.h"
@@ -79,7 +80,7 @@ class MdObject {
   }
 
   /// Finds a dimension index by name.
-  Result<std::size_t> FindDimension(const std::string& name) const {
+  Result<std::size_t> FindDimension(std::string_view name) const {
     return schema_.Find(name);
   }
 

@@ -9,7 +9,7 @@ FactSchema::FactSchema(
     std::vector<std::shared_ptr<const DimensionType>> dimensions)
     : fact_type_(std::move(fact_type)), dimensions_(std::move(dimensions)) {}
 
-Result<std::size_t> FactSchema::Find(const std::string& dimension_name) const {
+Result<std::size_t> FactSchema::Find(std::string_view dimension_name) const {
   for (std::size_t i = 0; i < dimensions_.size(); ++i) {
     if (dimensions_[i]->name() == dimension_name) return i;
   }

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -35,7 +36,7 @@ class FactSchema {
   }
 
   /// Finds a dimension type by name.
-  Result<std::size_t> Find(const std::string& dimension_name) const;
+  Result<std::size_t> Find(std::string_view dimension_name) const;
 
   /// Structural equality of schemas (fact type name plus equivalent
   /// dimension types in order); required by union and difference.

@@ -147,10 +147,13 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   arena_resets += other.arena_resets;
   interner_hits += other.interner_hits;
   interner_misses += other.interner_misses;
+  rewrites_applied += other.rewrites_applied;
+  fused_pipelines += other.fused_pipelines;
+  plan_fallbacks += other.plan_fallbacks;
 }
 
 std::string ExecStats::ToJson() const {
-  char buffer[1024];
+  char buffer[1280];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"parallel_runs\": %zu, \"sequential_fallbacks\": %zu, "
@@ -161,13 +164,14 @@ std::string ExecStats::ToJson() const {
       "\"dense_groupby_runs\": %zu, \"flat_hash_runs\": %zu, "
       "\"dense_slot_fallbacks\": %zu, \"arena_bytes\": %zu, "
       "\"arena_resets\": %zu, \"interner_hits\": %zu, "
-      "\"interner_misses\": %zu}",
+      "\"interner_misses\": %zu, \"rewrites_applied\": %zu, "
+      "\"fused_pipelines\": %zu, \"plan_fallbacks\": %zu}",
       parallel_runs, sequential_fallbacks, partitions, tasks,
       static_cast<unsigned long long>(merge_nanos), pool_reuses,
       join_parallel_runs, timeslice_parallel_runs, index_builds, index_hits,
       index_fallbacks, dense_groupby_runs, flat_hash_runs,
       dense_slot_fallbacks, arena_bytes, arena_resets, interner_hits,
-      interner_misses);
+      interner_misses, rewrites_applied, fused_pipelines, plan_fallbacks);
   return buffer;
 }
 

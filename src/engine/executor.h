@@ -159,6 +159,17 @@ struct ExecStats {
   /// MDQL identifier resolutions that probed every representation and
   /// found no interned entry for the name.
   std::size_t interner_misses = 0;
+  /// Logical-plan rewrite rules fired by the MDQL compiler (one count
+  /// per rule application, summed over the statement's rewrite loop).
+  std::size_t rewrites_applied = 0;
+  /// Statements answered by a fused physical pipeline (facts streamed
+  /// straight from the CSR spans into the group-by kernels, no
+  /// intermediate MO materialized).
+  std::size_t fused_pipelines = 0;
+  /// Statements the compiler planned but could not cover with a fused
+  /// pipeline, falling back to the tree-walk interpreter (results are
+  /// byte-identical either way).
+  std::size_t plan_fallbacks = 0;
 
   /// Adds every counter of `other` into this one. Server sessions use it
   /// to accumulate per-query contexts into per-session totals.

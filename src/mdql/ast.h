@@ -7,14 +7,21 @@
 #include <string>
 #include <vector>
 
+#include "mdql/names.h"
+
 namespace mddc {
 namespace mdql {
 
 /// A reference to a category of a dimension: "Diagnosis.Diagnosis-Group"
 /// or "Diagnosis.\"Diagnosis Group\"".
+/// Identifier fields throughout the AST are interned Names (names.h):
+/// the parser resolves each identifier to a 4-byte handle once, and the
+/// compiler, binder and session catalog pass handles instead of string
+/// copies. String *literals* (compared names, date literals) stay
+/// std::string — they are data, not identifiers.
 struct LevelRef {
-  std::string dimension;
-  std::string category;
+  Name dimension;
+  Name category;
 };
 
 /// One aggregate of the SELECT list: COUNT (set-count of facts) or
@@ -22,15 +29,15 @@ struct LevelRef {
 struct AggRef {
   enum class Fn { kSetCount, kCount, kSum, kAvg, kMin, kMax };
   Fn fn = Fn::kSetCount;
-  std::string dimension;  // empty for set-count
-  std::string label;      // rendered column name
+  Name dimension;     // empty for set-count
+  std::string label;  // rendered column name
 };
 
 /// One grouping column: a level reference plus the representation used to
 /// label groups (default: first of Name, Code, Value that exists).
 struct GroupRef {
   LevelRef level;
-  std::string representation;  // empty = automatic
+  Name representation;  // empty = automatic
 };
 
 /// A WHERE atom. Exactly one of the forms is populated:
@@ -43,9 +50,9 @@ struct WhereAtom {
   Kind kind = Kind::kNameEquals;
   bool negated = false;
 
-  LevelRef level;      // kNameEquals, kProbAtLeast
-  std::string text;    // the compared name
-  std::string dimension;  // kNumericCompare
+  LevelRef level;    // kNameEquals, kProbAtLeast
+  std::string text;  // the compared name
+  Name dimension;    // kNumericCompare
   enum class Cmp { kLt, kLe, kEq, kGe, kGt, kNe };
   Cmp cmp = Cmp::kEq;
   double number = 0.0;  // numeric bound or probability threshold
@@ -65,7 +72,7 @@ struct WhereExpr {
 /// [ASOF 'dd/mm/yyyy'].
 struct SelectStatement {
   std::vector<AggRef> aggregates;
-  std::string mo_name;
+  Name mo_name;
   std::vector<GroupRef> group_by;
   std::shared_ptr<const WhereExpr> where;  // null = no restriction
   std::optional<std::string> as_of;  // date literal
@@ -85,7 +92,7 @@ struct InsertAssignment {
 /// values; dimensions left out are covered with top per the paper's
 /// convention for unknown characterizations.
 struct InsertStatement {
-  std::string mo_name;
+  Name mo_name;
   std::uint64_t key = 0;
   std::vector<InsertAssignment> assignments;
 };
@@ -97,15 +104,19 @@ struct InsertStatement {
 struct ShowStatement {
   enum class What { kDimensions, kHierarchy, kPaths };
   What what = What::kDimensions;
-  std::string dimension;  // kHierarchy only
-  std::string mo_name;
+  Name dimension;  // kHierarchy only
+  Name mo_name;
 };
 
-/// A parsed statement: exactly one member is set.
+/// A parsed statement: exactly one of select/show/insert is set. With
+/// `explain` the session does not execute the statement; it renders the
+/// compiler's logical plan before/after rewrites and the chosen physical
+/// operators instead (docs/mdql_compiler.md).
 struct Statement {
   std::optional<SelectStatement> select;
   std::optional<ShowStatement> show;
   std::optional<InsertStatement> insert;
+  bool explain = false;
 };
 
 }  // namespace mdql

@@ -1,239 +1,16 @@
 #include "mdql/mdql.h"
 
-#include <algorithm>
-
-#include "algebra/derived.h"
-#include "algebra/operators.h"
-#include "algebra/timeslice.h"
-#include "common/date.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "core/aggregation.h"
 #include "engine/executor.h"
+#include "mdql/bind.h"
 #include "mdql/parser.h"
+#include "mdql/physical.h"
 
 namespace mddc {
 namespace mdql {
 namespace {
-
-/// Resolves "dimension.category" against an MO.
-struct ResolvedLevel {
-  std::size_t dim = 0;
-  CategoryTypeIndex category = 0;
-};
-
-Result<ResolvedLevel> Resolve(const MdObject& mo, const LevelRef& level) {
-  MDDC_ASSIGN_OR_RETURN(std::size_t dim, mo.FindDimension(level.dimension));
-  MDDC_ASSIGN_OR_RETURN(CategoryTypeIndex category,
-                        mo.dimension(dim).type().Find(level.category));
-  return ResolvedLevel{dim, category};
-}
-
-/// Finds the dimension value named `text` in the given category by
-/// trying every representation registered for it. NotFound if no
-/// representation knows the name. Each probe is an interned-hash lookup
-/// (no key string materialized); `exec` (optional) counts resolutions
-/// into stats.interner_hits / interner_misses.
-Result<ValueId> ResolveValueByName(const MdObject& mo,
-                                   const ResolvedLevel& level,
-                                   const std::string& text,
-                                   ExecContext* exec) {
-  const Dimension& dimension = mo.dimension(level.dim);
-  for (const auto& [category, rep_name, rep] :
-       dimension.AllRepresentations()) {
-    if (category != level.category) continue;
-    auto value = rep->Lookup(text);
-    if (value.ok()) {
-      if (exec != nullptr) ++exec->stats.interner_hits;
-      return value;
-    }
-  }
-  if (exec != nullptr) ++exec->stats.interner_misses;
-  return Status::NotFound(StrCat("no value named '", text,
-                                 "' in category '",
-                                 dimension.type().category(level.category).name,
-                                 "' of dimension '", dimension.name(), "'"));
-}
-
-/// Picks the labeling representation for a grouping column: an explicit
-/// request, else the first of Name / Code / Value that exists.
-std::string PickRepresentation(const MdObject& mo,
-                               const ResolvedLevel& level,
-                               const std::string& requested) {
-  if (!requested.empty()) return requested;
-  const Dimension& dimension = mo.dimension(level.dim);
-  for (const char* candidate : {"Name", "Code", "Value"}) {
-    if (dimension.FindRepresentation(level.category, candidate).ok()) {
-      return candidate;
-    }
-  }
-  return "Name";
-}
-
-/// A predicate that matches no fact (an unknown value name matches
-/// nothing; NOT on the atom then matches everything).
-Predicate False() { return Predicate::True().Not(); }
-
-Result<Predicate> BuildAtom(const MdObject& mo, const WhereAtom& atom,
-                            ExecContext* exec) {
-  Predicate leaf = Predicate::True();
-  switch (atom.kind) {
-    case WhereAtom::Kind::kNameEquals: {
-      MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, atom.level));
-      auto value = ResolveValueByName(mo, level, atom.text, exec);
-      leaf = value.ok() ? Predicate::CharacterizedBy(level.dim, *value)
-                        : False();
-      break;
-    }
-    case WhereAtom::Kind::kNumericCompare: {
-        MDDC_ASSIGN_OR_RETURN(std::size_t dim,
-                              mo.FindDimension(atom.dimension));
-        switch (atom.cmp) {
-          case WhereAtom::Cmp::kLt:
-            leaf = Predicate::NumericCompare(
-                dim, Predicate::Comparison::kLess, atom.number);
-            break;
-          case WhereAtom::Cmp::kLe:
-            leaf = Predicate::NumericCompare(
-                dim, Predicate::Comparison::kLessEq, atom.number);
-            break;
-          case WhereAtom::Cmp::kEq:
-            leaf = Predicate::NumericCompare(dim, Predicate::Comparison::kEq,
-                                             atom.number);
-            break;
-          case WhereAtom::Cmp::kGe:
-            leaf = Predicate::NumericCompare(
-                dim, Predicate::Comparison::kGreaterEq, atom.number);
-            break;
-          case WhereAtom::Cmp::kGt:
-            leaf = Predicate::NumericCompare(
-                dim, Predicate::Comparison::kGreater, atom.number);
-            break;
-          case WhereAtom::Cmp::kNe:
-            leaf = Predicate::NumericCompare(dim, Predicate::Comparison::kEq,
-                                             atom.number)
-                       .Not()
-                       .And(Predicate::HasValueInCategory(
-                           dim, mo.dimension(dim).type().bottom()));
-            break;
-        }
-        break;
-      }
-      case WhereAtom::Kind::kProbAtLeast: {
-        MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, atom.level));
-        auto value = ResolveValueByName(mo, level, atom.text, exec);
-        leaf = value.ok()
-                   ? Predicate::MinProbability(level.dim, *value, atom.number)
-                   : False();
-        break;
-      }
-  }
-  if (atom.negated) leaf = leaf.Not();
-  return leaf;
-}
-
-Result<Predicate> BuildWhere(const MdObject& mo, const WhereExpr& expr,
-                             ExecContext* exec) {
-  switch (expr.kind) {
-    case WhereExpr::Kind::kAtom:
-      return BuildAtom(mo, expr.atom, exec);
-    case WhereExpr::Kind::kAnd: {
-      MDDC_ASSIGN_OR_RETURN(Predicate left, BuildWhere(mo, *expr.left, exec));
-      MDDC_ASSIGN_OR_RETURN(Predicate right,
-                            BuildWhere(mo, *expr.right, exec));
-      return left.And(std::move(right));
-    }
-    case WhereExpr::Kind::kOr: {
-      MDDC_ASSIGN_OR_RETURN(Predicate left, BuildWhere(mo, *expr.left, exec));
-      MDDC_ASSIGN_OR_RETURN(Predicate right,
-                            BuildWhere(mo, *expr.right, exec));
-      return left.Or(std::move(right));
-    }
-  }
-  return Status::InvalidArgument("unknown WHERE node kind");
-}
-
-Result<AggFunction> BuildAggFunction(const MdObject& mo, const AggRef& agg) {
-  if (agg.fn == AggRef::Fn::kSetCount) return AggFunction::SetCount();
-  MDDC_ASSIGN_OR_RETURN(std::size_t dim, mo.FindDimension(agg.dimension));
-  switch (agg.fn) {
-    case AggRef::Fn::kCount:
-      return AggFunction::Count(dim);
-    case AggRef::Fn::kSum:
-      return AggFunction::Sum(dim);
-    case AggRef::Fn::kAvg:
-      return AggFunction::Avg(dim);
-    case AggRef::Fn::kMin:
-      return AggFunction::Min(dim);
-    case AggRef::Fn::kMax:
-      return AggFunction::Max(dim);
-    case AggRef::Fn::kSetCount:
-      break;
-  }
-  return AggFunction::SetCount();
-}
-
-Result<QueryResult> ExecuteSelect(const MdObject& source,
-                                  const SelectStatement& select,
-                                  ExecContext* exec) {
-  MdObject mo = source;
-  if (select.as_of.has_value()) {
-    // ASOF 'NOW' slices at the growing NOW sentinel: memberships and
-    // characterizations whose valid time runs to NOW survive, anything
-    // that ended at a concrete chronon is cut — the "current state" of
-    // the MO, deterministic because no clock is read.
-    Chronon day = kNowChronon;
-    if (*select.as_of != "NOW") {
-      MDDC_ASSIGN_OR_RETURN(day, ParseDate(*select.as_of));
-    }
-    MDDC_ASSIGN_OR_RETURN(mo, ValidTimeslice(mo, day, exec));
-  }
-
-  QueryResult result;
-  for (const GroupRef& group : select.group_by) {
-    result.columns.push_back(
-        StrCat(group.level.dimension, ".", group.level.category));
-  }
-  for (const AggRef& agg : select.aggregates) {
-    result.columns.push_back(agg.label);
-  }
-
-  if (select.where != nullptr) {
-    MDDC_ASSIGN_OR_RETURN(Predicate predicate,
-                          BuildWhere(mo, *select.where, exec));
-    MDDC_ASSIGN_OR_RETURN(mo, Select(mo, predicate));
-  }
-
-  // Resolve grouping columns once.
-  std::vector<SqlGroupBy> group_by;
-  for (const GroupRef& group : select.group_by) {
-    MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, group.level));
-    group_by.push_back(SqlGroupBy{
-        level.dim, level.category,
-        PickRepresentation(mo, level, group.representation)});
-  }
-
-  // Run each aggregate over the same grouping and merge by group key.
-  std::map<std::vector<std::string>, std::vector<std::string>> merged;
-  for (std::size_t a = 0; a < select.aggregates.size(); ++a) {
-    MDDC_ASSIGN_OR_RETURN(AggFunction function,
-                          BuildAggFunction(mo, select.aggregates[a]));
-    MDDC_ASSIGN_OR_RETURN(std::vector<SqlRow> rows,
-                          SqlAggregate(mo, group_by, function, kNowChronon,
-                                       exec));
-    for (SqlRow& row : rows) {
-      auto [it, inserted] = merged.try_emplace(
-          row.group,
-          std::vector<std::string>(select.aggregates.size(), "-"));
-      it->second[a] = FormatDouble(row.value);
-    }
-  }
-  for (const auto& [group, values] : merged) {
-    std::vector<std::string> row = group;
-    row.insert(row.end(), values.begin(), values.end());
-    result.rows.push_back(std::move(row));
-  }
-  return result;
-}
 
 Result<QueryResult> ExecuteShow(const MdObject& mo,
                                 const ShowStatement& show) {
@@ -250,7 +27,8 @@ Result<QueryResult> ExecuteShow(const MdObject& mo,
     }
     return result;
   }
-  MDDC_ASSIGN_OR_RETURN(std::size_t dim, mo.FindDimension(show.dimension));
+  MDDC_ASSIGN_OR_RETURN(std::size_t dim,
+                        mo.FindDimension(show.dimension.view()));
   const Dimension& dimension = mo.dimension(dim);
   const DimensionType& type = dimension.type();
   if (show.what == ShowStatement::What::kPaths) {
@@ -280,13 +58,13 @@ Result<QueryResult> ExecuteShow(const MdObject& mo,
 }  // namespace
 
 bool IsMutating(const Statement& statement) {
-  return statement.insert.has_value();
+  return statement.insert.has_value() && !statement.explain;
 }
 
-const std::string& StatementMoName(const Statement& statement) {
-  if (statement.select.has_value()) return statement.select->mo_name;
-  if (statement.insert.has_value()) return statement.insert->mo_name;
-  return statement.show->mo_name;
+std::string_view StatementMoName(const Statement& statement) {
+  if (statement.select.has_value()) return statement.select->mo_name.view();
+  if (statement.insert.has_value()) return statement.insert->mo_name.view();
+  return statement.show->mo_name.view();
 }
 
 Result<QueryResult> ApplyInsert(MdObject& mo, const InsertStatement& insert) {
@@ -376,14 +154,21 @@ Result<QueryResult> Session::Execute(const Statement& statement,
 
 Result<QueryResult> Session::ExecuteImpl(const Statement& statement,
                                          ExecContext* exec) {
-  const std::string& mo_name = StatementMoName(statement);
+  const std::string_view mo_name = StatementMoName(statement);
   auto it = catalog_.find(mo_name);
   if (it == catalog_.end()) {
     return Status::NotFound(StrCat("no MO named '", mo_name,
                                    "' is registered in this session"));
   }
+  if (statement.explain) {
+    return ExplainStatement(it->second, statement, compile_options_, exec);
+  }
   if (statement.select.has_value()) {
-    return ExecuteSelect(it->second, *statement.select, exec);
+    if (compile_options_.enable_compiler) {
+      return ExecuteCompiledSelect(it->second, *statement.select,
+                                   compile_options_, exec);
+    }
+    return ExecuteSelectTreeWalk(it->second, *statement.select, exec);
   }
   if (statement.insert.has_value()) {
     return ApplyInsert(it->second, *statement.insert);

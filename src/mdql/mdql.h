@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "core/md_object.h"
 #include "mdql/ast.h"
+#include "mdql/rewrite.h"
 
 namespace mddc {
 
@@ -52,13 +53,15 @@ struct QueryResult {
 };
 
 /// True when executing the statement mutates the target MO (today:
-/// INSERT). The serving tier (src/serve) routes mutating statements
-/// through the store's serialized writer and everything else through a
-/// pinned immutable snapshot.
+/// INSERT, unless EXPLAINed — EXPLAIN only renders the plan). The
+/// serving tier (src/serve) routes mutating statements through the
+/// store's serialized writer and everything else through a pinned
+/// immutable snapshot.
 bool IsMutating(const Statement& statement);
 
-/// The name of the MO the statement targets.
-const std::string& StatementMoName(const Statement& statement);
+/// The name of the MO the statement targets (a view of the interned
+/// identifier; valid for the life of the process).
+std::string_view StatementMoName(const Statement& statement);
 
 /// Applies an INSERT to an MO in place: interns the atomic fact for the
 /// statement's key in the MO's registry, adds it to the fact set,
@@ -94,6 +97,15 @@ class Session {
   Result<QueryResult> Execute(const Statement& statement,
                               ExecContext* exec = nullptr);
 
+  /// Compiler configuration for this session's SELECTs (rewrite.h). The
+  /// default compiles and fuses everything; the stress oracle's replay
+  /// session turns the compiler off to serve as the interpreted side of
+  /// a compiled-vs-interpreted differential.
+  void set_compile_options(const CompileOptions& options) {
+    compile_options_ = options;
+  }
+  const CompileOptions& compile_options() const { return compile_options_; }
+
  private:
   Result<QueryResult> ExecuteImpl(const Statement& statement,
                                   ExecContext* exec);
@@ -101,6 +113,7 @@ class Session {
   // Transparent comparator: name lookups probe with a string_view without
   // materializing a key string.
   std::map<std::string, MdObject, std::less<>> catalog_;
+  CompileOptions compile_options_;
 };
 
 }  // namespace mdql

@@ -1,0 +1,67 @@
+#include "mdql/names.h"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace mddc {
+namespace mdql {
+namespace {
+
+/// The process-wide identifier table. Texts live in a deque<std::string>
+/// (stable addresses across growth), the map keys are views into that
+/// storage, and by-id lookup is a plain vector of views. Leaked on
+/// purpose: Names may be consulted during static destruction.
+struct NameTable {
+  std::shared_mutex mu;
+  std::unordered_map<std::string_view, std::uint32_t> ids;
+  std::deque<std::string> storage;
+  std::vector<std::string_view> views;
+
+  NameTable() {
+    storage.emplace_back();  // id 0 = ""
+    views.push_back(storage.back());
+    ids.emplace(views.back(), 0);
+  }
+
+  std::uint32_t Intern(std::string_view text) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu);
+      auto it = ids.find(text);
+      if (it != ids.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu);
+    auto it = ids.find(text);
+    if (it != ids.end()) return it->second;
+    storage.emplace_back(text);
+    const auto id = static_cast<std::uint32_t>(views.size());
+    views.push_back(storage.back());
+    ids.emplace(views.back(), id);
+    return id;
+  }
+
+  std::string_view ViewOf(std::uint32_t id) {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    return views[id];
+  }
+};
+
+NameTable& Table() {
+  static NameTable& table = *new NameTable;
+  return table;
+}
+
+}  // namespace
+
+Name Name::Of(std::string_view text) { return Name(Table().Intern(text)); }
+
+std::string_view Name::view() const { return Table().ViewOf(id_); }
+
+std::ostream& operator<<(std::ostream& os, const Name& name) {
+  return os << name.view();
+}
+
+}  // namespace mdql
+}  // namespace mddc

@@ -1,0 +1,64 @@
+#ifndef MDDC_MDQL_NAMES_H_
+#define MDDC_MDQL_NAMES_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace mddc {
+namespace mdql {
+
+/// An MDQL identifier interned into the process-wide name table once at
+/// parse time (docs/mdql_compiler.md). A Name is a 4-byte handle; its
+/// text lives in stable storage for the life of the process, so parse
+/// trees, logical plans and session catalogs pass identifiers around
+/// without ever copying the string again. Two Names compare equal exactly
+/// when their texts are equal.
+///
+/// Unlike StringInterner (which is per-MO, single-writer), the table
+/// behind Name::Of is guarded by a shared_mutex: concurrent serving-tier
+/// sessions parse statements in parallel, and each distinct identifier
+/// takes the write lock only the first time it is ever seen.
+class Name {
+ public:
+  /// The empty name — id 0, view "".
+  Name() = default;
+
+  /// Interns `text` (first caller pays the copy, everyone after gets the
+  /// existing id).
+  static Name Of(std::string_view text);
+
+  /// The interned text; valid for the life of the process.
+  std::string_view view() const;
+
+  /// The interned text as an owned string, for APIs that demand one.
+  std::string str() const { return std::string(view()); }
+
+  bool empty() const { return id_ == 0; }
+  std::uint32_t id() const { return id_; }
+
+  friend bool operator==(const Name& a, const Name& b) {
+    return a.id_ == b.id_;
+  }
+  friend bool operator==(const Name& a, std::string_view b) {
+    return a.view() == b;
+  }
+  friend bool operator!=(const Name& a, const Name& b) { return !(a == b); }
+  friend bool operator!=(const Name& a, std::string_view b) {
+    return !(a == b);
+  }
+
+ private:
+  explicit Name(std::uint32_t id) : id_(id) {}
+
+  std::uint32_t id_ = 0;
+};
+
+/// Streams the interned text (diagnostics, StrCat, test failure output).
+std::ostream& operator<<(std::ostream& os, const Name& name);
+
+}  // namespace mdql
+}  // namespace mddc
+
+#endif  // MDDC_MDQL_NAMES_H_

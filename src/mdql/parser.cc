@@ -16,6 +16,7 @@ class Parser {
 
   Result<Statement> ParseStatement() {
     Statement statement;
+    statement.explain = Accept(TokenKind::kExplain);
     if (Peek().kind == TokenKind::kSelect) {
       MDDC_ASSIGN_OR_RETURN(statement.select, ParseSelect());
     } else if (Peek().kind == TokenKind::kShow) {
@@ -23,7 +24,8 @@ class Parser {
     } else if (Peek().kind == TokenKind::kInsert) {
       MDDC_ASSIGN_OR_RETURN(statement.insert, ParseInsert());
     } else {
-      return Unexpected("SELECT, SHOW or INSERT");
+      return Unexpected(statement.explain ? "SELECT, SHOW or INSERT"
+                                          : "EXPLAIN, SELECT, SHOW or INSERT");
     }
     if (Peek().kind != TokenKind::kEnd) {
       return Unexpected("end of query");
@@ -63,11 +65,20 @@ class Parser {
     return Advance().text;
   }
 
+  /// An identifier interned once, here at parse time — every later layer
+  /// (compiler, binder, catalog) passes the 4-byte handle around.
+  Result<Name> ExpectName() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      MDDC_RETURN_NOT_OK(Unexpected("an identifier"));
+    }
+    return Name::Of(Advance().text);
+  }
+
   Result<LevelRef> ParseLevelRef() {
     LevelRef level;
-    MDDC_ASSIGN_OR_RETURN(level.dimension, ExpectIdentifier());
+    MDDC_ASSIGN_OR_RETURN(level.dimension, ExpectName());
     MDDC_RETURN_NOT_OK(Expect(TokenKind::kDot));
-    MDDC_ASSIGN_OR_RETURN(level.category, ExpectIdentifier());
+    MDDC_ASSIGN_OR_RETURN(level.category, ExpectName());
     return level;
   }
 
@@ -76,7 +87,7 @@ class Parser {
     if (Accept(TokenKind::kCount)) {
       if (Accept(TokenKind::kLParen)) {
         agg.fn = AggRef::Fn::kCount;
-        MDDC_ASSIGN_OR_RETURN(agg.dimension, ExpectIdentifier());
+        MDDC_ASSIGN_OR_RETURN(agg.dimension, ExpectName());
         MDDC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
         agg.label = StrCat("COUNT(", agg.dimension, ")");
       } else {
@@ -101,7 +112,7 @@ class Parser {
           StrCat("unknown aggregate function '", fn, "'"));
     }
     MDDC_RETURN_NOT_OK(Expect(TokenKind::kLParen));
-    MDDC_ASSIGN_OR_RETURN(agg.dimension, ExpectIdentifier());
+    MDDC_ASSIGN_OR_RETURN(agg.dimension, ExpectName());
     MDDC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
     agg.label = StrCat(upper, "(", agg.dimension, ")");
     return agg;
@@ -127,11 +138,11 @@ class Parser {
       return atom;
     }
     atom.negated = Accept(TokenKind::kNot);
-    MDDC_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    MDDC_ASSIGN_OR_RETURN(Name first, ExpectName());
     if (Accept(TokenKind::kDot)) {
       atom.kind = WhereAtom::Kind::kNameEquals;
-      atom.level.dimension = std::move(first);
-      MDDC_ASSIGN_OR_RETURN(atom.level.category, ExpectIdentifier());
+      atom.level.dimension = first;
+      MDDC_ASSIGN_OR_RETURN(atom.level.category, ExpectName());
       MDDC_RETURN_NOT_OK(Expect(TokenKind::kEq));
       if (Peek().kind != TokenKind::kString) {
         MDDC_RETURN_NOT_OK(Unexpected("a string literal"));
@@ -140,7 +151,7 @@ class Parser {
       return atom;
     }
     atom.kind = WhereAtom::Kind::kNumericCompare;
-    atom.dimension = std::move(first);
+    atom.dimension = first;
     switch (Peek().kind) {
       case TokenKind::kEq:
         atom.cmp = WhereAtom::Cmp::kEq;
@@ -222,13 +233,13 @@ class Parser {
       select.aggregates.push_back(std::move(agg));
     } while (Accept(TokenKind::kComma));
     MDDC_RETURN_NOT_OK(Expect(TokenKind::kFrom));
-    MDDC_ASSIGN_OR_RETURN(select.mo_name, ExpectIdentifier());
+    MDDC_ASSIGN_OR_RETURN(select.mo_name, ExpectName());
     if (Accept(TokenKind::kBy)) {
       do {
         GroupRef group;
         MDDC_ASSIGN_OR_RETURN(group.level, ParseLevelRef());
         if (Accept(TokenKind::kAs)) {
-          MDDC_ASSIGN_OR_RETURN(group.representation, ExpectIdentifier());
+          MDDC_ASSIGN_OR_RETURN(group.representation, ExpectName());
         }
         select.group_by.push_back(std::move(group));
       } while (Accept(TokenKind::kComma));
@@ -249,7 +260,7 @@ class Parser {
     MDDC_RETURN_NOT_OK(Expect(TokenKind::kInsert));
     MDDC_RETURN_NOT_OK(Expect(TokenKind::kInto));
     InsertStatement insert;
-    MDDC_ASSIGN_OR_RETURN(insert.mo_name, ExpectIdentifier());
+    MDDC_ASSIGN_OR_RETURN(insert.mo_name, ExpectName());
     MDDC_RETURN_NOT_OK(Expect(TokenKind::kFact));
     if (Peek().kind != TokenKind::kNumber) {
       MDDC_RETURN_NOT_OK(Unexpected("a numeric fact key"));
@@ -288,15 +299,15 @@ class Parser {
       show.what = ShowStatement::What::kDimensions;
     } else if (Accept(TokenKind::kHierarchy)) {
       show.what = ShowStatement::What::kHierarchy;
-      MDDC_ASSIGN_OR_RETURN(show.dimension, ExpectIdentifier());
+      MDDC_ASSIGN_OR_RETURN(show.dimension, ExpectName());
     } else if (Accept(TokenKind::kPaths)) {
       show.what = ShowStatement::What::kPaths;
-      MDDC_ASSIGN_OR_RETURN(show.dimension, ExpectIdentifier());
+      MDDC_ASSIGN_OR_RETURN(show.dimension, ExpectName());
     } else {
       MDDC_RETURN_NOT_OK(Unexpected("DIMENSIONS, HIERARCHY or PATHS"));
     }
     MDDC_RETURN_NOT_OK(Expect(TokenKind::kFrom));
-    MDDC_ASSIGN_OR_RETURN(show.mo_name, ExpectIdentifier());
+    MDDC_ASSIGN_OR_RETURN(show.mo_name, ExpectName());
     return show;
   }
 

@@ -1,0 +1,52 @@
+#ifndef MDDC_MDQL_PHYSICAL_H_
+#define MDDC_MDQL_PHYSICAL_H_
+
+#include "common/result.h"
+#include "core/md_object.h"
+#include "mdql/ast.h"
+#include "mdql/mdql.h"
+#include "mdql/plan.h"
+#include "mdql/rewrite.h"
+
+namespace mddc {
+
+struct ExecContext;  // engine/executor.h
+
+namespace mdql {
+
+/// The physical layer of compiled MDQL (docs/mdql_compiler.md): lower
+/// the SELECT to the logical IR, run the rewrite rules, and — when the
+/// optimized plan is the single fused-aggregate shape — execute it as
+/// one streaming scan (AggregateStream) that never materializes an
+/// intermediate MO. Any other shape falls back to the tree-walk
+/// interpreter and counts stats.plan_fallbacks; a fused run counts
+/// stats.fused_pipelines. The rendered result is byte-identical to the
+/// interpreter either way, at any thread count.
+Result<QueryResult> ExecuteCompiledSelect(const MdObject& source,
+                                          const SelectStatement& select,
+                                          const CompileOptions& options,
+                                          ExecContext* exec = nullptr);
+
+/// EXPLAIN rendering: the logical plan before and after rewrites, the
+/// rules that fired, and the chosen physical operators (probing the
+/// stream's engine selection without scanning). Never executes the
+/// statement and never perturbs ExecStats. Non-SELECT statements render
+/// a single "direct execution" line.
+Result<QueryResult> ExplainStatement(const MdObject& source,
+                                     const Statement& statement,
+                                     const CompileOptions& options,
+                                     ExecContext* exec = nullptr);
+
+/// Reference executor for logical plans: runs every node by
+/// materializing its full MO result (formation per aggregate, real
+/// sigma, real join). Exists for the rewrite-rule differential tests,
+/// which compare a plan against its rewritten form at the MO level;
+/// multi-function aggregates and multi-branch merges (rendering
+/// concerns, not MO algebra) are rejected.
+Result<MdObject> ExecutePlanMaterialized(const PlanRef& plan,
+                                         ExecContext* exec = nullptr);
+
+}  // namespace mdql
+}  // namespace mddc
+
+#endif  // MDDC_MDQL_PHYSICAL_H_

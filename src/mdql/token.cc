@@ -28,7 +28,7 @@ const std::map<std::string, TokenKind>& Keywords() {
       {"HIERARCHY", TokenKind::kHierarchy},
       {"PATHS", TokenKind::kPaths},
       {"INSERT", TokenKind::kInsert},   {"INTO", TokenKind::kInto},
-      {"FACT", TokenKind::kFact},
+      {"FACT", TokenKind::kFact},       {"EXPLAIN", TokenKind::kExplain},
   };
   return keywords;
 }
@@ -99,6 +99,8 @@ std::string_view TokenKindName(TokenKind kind) {
       return "INTO";
     case TokenKind::kFact:
       return "FACT";
+    case TokenKind::kExplain:
+      return "EXPLAIN";
     case TokenKind::kEnd:
       return "end of query";
   }

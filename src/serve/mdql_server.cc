@@ -46,7 +46,7 @@ Result<mdql::QueryResult> ServerSession::ExecuteRead(
   const std::shared_ptr<const MoSnapshot> snapshot = store_->Pin();
   stats_.last_epoch = snapshot->epoch();
 
-  const std::string& name = mdql::StatementMoName(statement);
+  const std::string name(mdql::StatementMoName(statement));
   auto it = views_.find(name);
   if (it == views_.end() || it->second.epoch != snapshot->epoch()) {
     const PublishedMo* entry = snapshot->Find(name);
@@ -79,7 +79,7 @@ Result<mdql::QueryResult> ServerSession::ExecuteWrite(
   mdql::QueryResult ack;
   std::uint64_t published = 0;
   MDDC_RETURN_NOT_OK(store_->Mutate(
-      mdql::StatementMoName(statement),
+      std::string(mdql::StatementMoName(statement)),
       [&](MdObject& draft) -> Status {
         MDDC_ASSIGN_OR_RETURN(ack,
                               mdql::ApplyInsert(draft, *statement.insert));

@@ -74,7 +74,7 @@ class ServerSession {
 
   MoStore* store_;
   std::size_t threads_per_query_;
-  std::map<std::string, View> views_;
+  std::map<std::string, View, std::less<>> views_;
   SessionStats stats_;
 };
 

@@ -25,6 +25,12 @@ Result<OracleReport> VerifySequentialReplay(MdObject replica,
                                             std::uint64_t base_epoch,
                                             const StressReport& report) {
   mdql::Session session;
+  // Pin the replay to the tree-walk interpreter while the live serving
+  // tier compiles its SELECTs: every byte comparison below doubles as a
+  // compiled-vs-interpreted differential, not just a concurrency check.
+  mdql::CompileOptions interpreted;
+  interpreted.enable_compiler = false;
+  session.set_compile_options(interpreted);
   MDDC_RETURN_NOT_OK(session.Register(mo_name, std::move(replica)));
 
   std::vector<const StatementRecord*> writes;

@@ -38,6 +38,11 @@ std::string RandomQueryFromFragments(std::mt19937& rng) {
       "INSERT",      "INTO",       "FACT",        "99",
       "PROB",        "0.8",        "1.5",         "'NOW'",
       "Name.Name = 'Jane Doe' PROB 0.7",
+      // EXPLAIN drives the whole compiler (lower, rewrite, shape check,
+      // stream probe) without executing, so fragment storms now exercise
+      // the plan layer on every statement class too.
+      "EXPLAIN",     "EXPLAIN SELECT COUNT FROM patients",
+      "EXPLAIN SELECT COUNT FROM patients BY Diagnosis.Family",
   };
   std::uniform_int_distribution<std::size_t> pick(
       0, std::size(kFragments) - 1);
