@@ -1172,6 +1172,179 @@ Status RunGroupByKernel(
   return Status::OK();
 }
 
+/// Steps 4-6 of aggregate formation, shared with FoldAggregateAppend:
+/// restrict the argument dimensions, build the result dimension under the
+/// Section 4.1 typing rule, and populate facts/relations from the
+/// evaluated groups in canonical order. When spec.capture is set, the raw
+/// (pre-presentation) per-group state is recorded here — this is the only
+/// place every engine funnels through with both the accumulators and the
+/// evaluations in hand.
+Result<MdObject> AssembleAggregateResult(
+    const MdObject& mo, const AggregateSpec& spec,
+    const SummarizabilityReport& summarizability,
+    const std::vector<GroupKey>& keys, std::vector<GroupAccum>& accums,
+    const std::vector<GroupEval>& evals) {
+  const std::size_t n = mo.dimension_count();
+
+  // 4. Argument dimensions restricted to the categories at or above the
+  //    grouping categories.
+  std::vector<Dimension> dimensions;
+  dimensions.reserve(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    MDDC_ASSIGN_OR_RETURN(Dimension restricted,
+                          mo.dimension(i).RestrictAbove(spec.grouping[i]));
+    dimensions.push_back(std::move(restricted));
+  }
+
+  // 5. The result dimension.
+  AggregationType bottom_agg =
+      ResultBottomAggType(mo, spec, summarizability);
+  std::optional<Dimension> result_dimension;
+  CategoryTypeIndex result_bottom = 0;
+  if (spec.result.is_auto()) {
+    DimensionTypeBuilder builder(spec.result.auto_name());
+    builder.AddCategory("Value", bottom_agg);
+    MDDC_ASSIGN_OR_RETURN(auto type, builder.Build());
+    result_dimension.emplace(type);
+    result_bottom = type->bottom();
+  } else {
+    // Apply the typing rule to the prototype: bottom gets the rule's
+    // type; higher categories get min(existing, bottom).
+    const Dimension& prototype = spec.result.prototype();
+    auto type = prototype.type_ptr();
+    auto adjusted = type->WithAggType(type->bottom(), bottom_agg);
+    for (CategoryTypeIndex c = 0; c < adjusted->category_count(); ++c) {
+      if (c == adjusted->bottom()) continue;
+      adjusted = adjusted->WithAggType(
+          c, MinAggregationType(adjusted->AggType(c), bottom_agg));
+    }
+    // Rebuild the prototype's content under the adjusted type: the
+    // lattice is unchanged, so value/edge structure carries over.
+    Dimension rebuilt(adjusted);
+    for (ValueId value : prototype.AllValues()) {
+      if (value == prototype.top_value()) continue;
+      auto category = prototype.CategoryOf(value);
+      auto membership = prototype.MembershipOf(value);
+      MDDC_RETURN_NOT_OK(rebuilt.AddValue(*category, value, *membership));
+    }
+    for (const Dimension::Edge& edge : prototype.edges()) {
+      MDDC_RETURN_NOT_OK(
+          rebuilt.AddOrder(edge.child, edge.parent, edge.life, edge.prob));
+    }
+    for (const auto& [category, rep_name, rep] :
+         prototype.AllRepresentations()) {
+      Representation& target = rebuilt.RepresentationFor(category, rep_name);
+      for (ValueId value : prototype.ValuesIn(category)) {
+        for (const auto& [text, life] : rep->GetAll(value)) {
+          MDDC_RETURN_NOT_OK(target.Set(value, text, life));
+        }
+      }
+    }
+    result_bottom = adjusted->bottom();
+    result_dimension.emplace(std::move(rebuilt));
+  }
+  dimensions.push_back(*result_dimension);
+
+  MdObject result(StrCat("Set-of-", mo.schema().fact_type()),
+                  std::move(dimensions), mo.registry(), mo.temporal_type());
+
+  AggregateFoldState* capture = spec.capture;
+  if (capture != nullptr) {
+    capture->groups.clear();
+    capture->groups.reserve(keys.size());
+    capture->summarizability = summarizability;
+    capture->dim_versions.clear();
+    capture->dim_structural_versions.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      capture->dim_versions.push_back(mo.dimension(i).version());
+      capture->dim_structural_versions.push_back(
+          mo.dimension(i).structural_version());
+    }
+    // Explicit result specs route results through a caller mapper whose
+    // interning order a fold cannot reproduce; only auto captures resume.
+    capture->valid = spec.result.is_auto();
+  }
+
+  // 5. Populate facts and relations from the step-3 evaluations, in
+  //    canonical group order (members already canonically sorted) —
+  //    g(group) and the result lifespan are not recomputed here.
+  FactRegistry& registry = *mo.registry();
+  Dimension& out_result_dim = result.dimension_mutable(n);
+  // Result values are interned by the double's bit pattern, not its
+  //    formatted text: FormatDouble is injective for finite doubles but
+  //    collapses NaN payloads, and two distinct results must never share
+  //    a result value. The formatted text is display-only.
+  std::map<std::uint64_t, ValueId> auto_values;
+  for (std::size_t g = 0; g < keys.size(); ++g) {
+    const GroupKey& key = keys[g];
+    GroupAccum& group = accums[g];
+    const GroupEval& eval = evals[g];
+    FactId group_fact = registry.Set(
+        std::vector<FactId>(group.members.begin(), group.members.end()));
+    MDDC_RETURN_NOT_OK(result.AddFact(group_fact));
+    const double value = eval.value;
+
+    if (capture != nullptr && capture->valid) {
+      AggregateFoldState::Group snapshot;
+      snapshot.key = key;
+      snapshot.group_fact = group_fact;
+      snapshot.member_count = group.members.size();
+      snapshot.life_per_dim.assign(group.life_per_dim.begin(),
+                                   group.life_per_dim.end());
+      snapshot.prob_per_dim.assign(group.prob_per_dim.begin(),
+                                   group.prob_per_dim.end());
+      snapshot.result_life = eval.result_life;
+      snapshot.value = value;
+      capture->groups.push_back(std::move(snapshot));
+    }
+
+    // Argument-dimension relations: group fact -> grouping value.
+    for (std::size_t i = 0; i < n; ++i) {
+      Lifespan life = group.life_per_dim[i];
+      if (life.Empty()) {
+        // The members' spans do not overlap; the grouping still holds
+        // atemporally (each member was characterized at its own time), so
+        // record the link with the union-of-members semantics instead.
+        life = Lifespan::AlwaysSpan();
+      }
+      MDDC_RETURN_NOT_OK(result.relation_mutable(i).Add(
+          group_fact, key[i], life, group.prob_per_dim[i]));
+    }
+
+    // Result-dimension relation: group fact -> g(group), at the Section
+    // 4.2 result lifespan EvaluateGroup computed.
+    Lifespan result_life = eval.result_life;
+    ValueId result_value;
+    if (spec.result.is_auto()) {
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+      auto it = auto_values.find(bits);
+      if (it == auto_values.end()) {
+        MDDC_ASSIGN_OR_RETURN(result_value,
+                              out_result_dim.AddValueAuto(result_bottom));
+        Representation& rep =
+            out_result_dim.RepresentationFor(result_bottom, "Value");
+        MDDC_RETURN_NOT_OK(rep.Set(result_value, FormatDouble(value)));
+        auto_values.emplace(bits, result_value);
+      } else {
+        result_value = it->second;
+      }
+    } else {
+      MDDC_ASSIGN_OR_RETURN(result_value, spec.result.Map(value));
+      if (!out_result_dim.HasValue(result_value)) {
+        return Status::InvalidArgument(
+            StrCat("result mapper returned value ", result_value,
+                   " not present in the result dimension prototype"));
+      }
+    }
+    if (result_life.Empty()) result_life = Lifespan::AlwaysSpan();
+    MDDC_RETURN_NOT_OK(result.relation_mutable(n).Add(
+        group_fact, result_value, result_life));
+  }
+
+  MDDC_RETURN_NOT_OK(result.Validate());
+  return result;
+}
+
 }  // namespace
 
 Result<MdObject> AggregateFormation(const MdObject& mo,
@@ -1361,132 +1534,308 @@ Result<MdObject> AggregateFormation(const MdObject& mo,
                                         accums, evals));
   }
 
-  // 4. Argument dimensions restricted to the categories at or above the
-  //    grouping categories.
-  std::vector<Dimension> dimensions;
-  dimensions.reserve(n + 1);
+  // 4-6. Assemble the result (and, under spec.capture, record the raw
+  //      fold state) — shared with FoldAggregateAppend.
+  return AssembleAggregateResult(mo, spec, summarizability, keys, accums,
+                                 evals);
+}
+
+Result<MdObject> FoldAggregateAppend(const MdObject& mo,
+                                     const AggregateSpec& spec,
+                                     const AggregateFoldState& state,
+                                     const std::vector<FactId>& delta_facts,
+                                     ExecContext* exec) {
+  const std::size_t n = mo.dimension_count();
+  if (!state.valid) {
+    return Status::InvalidArgument("fold state is not resumable");
+  }
+  if (spec.grouping.size() != n || state.dim_versions.size() != n ||
+      state.dim_structural_versions.size() != n ||
+      state.summarizability.strict_path.size() != n ||
+      state.summarizability.partitioning.size() != n) {
+    return Status::InvalidArgument(
+        StrCat("fold state shape does not match the ", n,
+               "-dimensional MO"));
+  }
+  if (!spec.result.is_auto()) {
+    return Status::InvalidArgument(
+        "fold supports auto result dimensions only");
+  }
+  const AggregateFunctionKind kind = spec.function.kind();
+  const bool foldable =
+      kind == AggregateFunctionKind::kSum ||
+      kind == AggregateFunctionKind::kCount ||
+      kind == AggregateFunctionKind::kMin ||
+      kind == AggregateFunctionKind::kMax ||
+      (kind == AggregateFunctionKind::kSetCount && !spec.expected_counts);
+  if (!foldable) {
+    return Status::InvalidArgument(
+        StrCat(spec.function.name(),
+               " is not incrementally foldable (AVG re-divides and expected"
+               " counts re-weigh every member)"));
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    MDDC_ASSIGN_OR_RETURN(Dimension restricted,
-                          mo.dimension(i).RestrictAbove(spec.grouping[i]));
-    dimensions.push_back(std::move(restricted));
+    if (mo.dimension(i).structural_version() !=
+        state.dim_structural_versions[i]) {
+      return Status::InvalidArgument(
+          StrCat("dimension '", mo.dimension(i).name(),
+                 "' changed structurally since the fold state was captured"));
+    }
+  }
+  if (spec.enforce_aggregation_types) {
+    MDDC_RETURN_NOT_OK(spec.function.CheckApplicable(mo));
   }
 
-  // 5. The result dimension.
-  AggregationType bottom_agg =
-      ResultBottomAggType(mo, spec, summarizability);
-  std::optional<Dimension> result_dimension;
-  CategoryTypeIndex result_bottom = 0;
-  if (spec.result.is_auto()) {
-    DimensionTypeBuilder builder(spec.result.auto_name());
-    builder.AddCategory("Value", bottom_agg);
-    MDDC_ASSIGN_OR_RETURN(auto type, builder.Build());
-    result_dimension.emplace(type);
-    result_bottom = type->bottom();
-  } else {
-    // Apply the typing rule to the prototype: bottom gets the rule's
-    // type; higher categories get min(existing, bottom).
-    const Dimension& prototype = spec.result.prototype();
-    auto type = prototype.type_ptr();
-    auto adjusted = type->WithAggType(type->bottom(), bottom_agg);
-    for (CategoryTypeIndex c = 0; c < adjusted->category_count(); ++c) {
-      if (c == adjusted->bottom()) continue;
-      adjusted = adjusted->WithAggType(
-          c, MinAggregationType(adjusted->AggType(c), bottom_agg));
+  // Recompose the atemporal summarizability report. Strict-path is a
+  // per-fact universal, so it factorizes: the captured verdict covers the
+  // old facts (whose upward closures appends cannot change — appended
+  // edges only ever hang fresh children) and only the delta is scanned.
+  // Partitioning is dimension-local and CAN flip under a value/edge
+  // append, so it is recomputed whenever the dimension's version moved.
+  SummarizabilityReport summarizability;
+  summarizability.distributive = IsDistributive(kind);
+  summarizability.summarizable = summarizability.distributive;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (spec.grouping[i] == mo.dimension(i).type().top()) {
+      summarizability.strict_path.push_back(true);
+      summarizability.partitioning.push_back(true);
+      continue;
     }
-    // Rebuild the prototype's content under the adjusted type: the
-    // lattice is unchanged, so value/edge structure carries over.
-    Dimension rebuilt(adjusted);
-    for (ValueId value : prototype.AllValues()) {
-      if (value == prototype.top_value()) continue;
-      auto category = prototype.CategoryOf(value);
-      auto membership = prototype.MembershipOf(value);
-      MDDC_RETURN_NOT_OK(rebuilt.AddValue(*category, value, *membership));
-    }
-    for (const Dimension::Edge& edge : prototype.edges()) {
-      MDDC_RETURN_NOT_OK(
-          rebuilt.AddOrder(edge.child, edge.parent, edge.life, edge.prob));
-    }
-    for (const auto& [category, rep_name, rep] :
-         prototype.AllRepresentations()) {
-      Representation& target = rebuilt.RepresentationFor(category, rep_name);
-      for (ValueId value : prototype.ValuesIn(category)) {
-        for (const auto& [text, life] : rep->GetAll(value)) {
-          MDDC_RETURN_NOT_OK(target.Set(value, text, life));
-        }
-      }
-    }
-    result_bottom = adjusted->bottom();
-    result_dimension.emplace(std::move(rebuilt));
+    const bool strict =
+        state.summarizability.strict_path[i] &&
+        HasStrictPath(mo, i, spec.grouping[i], std::nullopt, &delta_facts);
+    const bool partitioning =
+        mo.dimension(i).version() == state.dim_versions[i]
+            ? state.summarizability.partitioning[i]
+            : IsPartitioningUpTo(mo.dimension(i), spec.grouping[i]);
+    summarizability.strict_path.push_back(strict);
+    summarizability.partitioning.push_back(partitioning);
+    summarizability.summarizable =
+        summarizability.summarizable && strict && partitioning;
   }
-  dimensions.push_back(*result_dimension);
 
-  MdObject result(StrCat("Set-of-", mo.schema().fact_type()),
-                  std::move(dimensions), mo.registry(), mo.temporal_type());
+  ArenaResetGuard arena_guard{exec};
 
-  // 5. Populate facts and relations from the step-3 evaluations, in
-  //    canonical group order (members already canonically sorted) —
-  //    g(group) and the result lifespan are not recomputed here.
-  FactRegistry& registry = *mo.registry();
-  Dimension& out_result_dim = result.dimension_mutable(n);
-  // Result values are interned by the double's bit pattern, not its
-  //    formatted text: FormatDouble is injective for finite doubles but
-  //    collapses NaN payloads, and two distinct results must never share
-  //    a result value. The formatted text is display-only.
-  std::map<std::uint64_t, ValueId> auto_values;
-  for (std::size_t g = 0; g < keys.size(); ++g) {
-    const GroupKey& key = keys[g];
-    GroupAccum& group = accums[g];
-    const GroupEval& eval = evals[g];
-    FactId group_fact = registry.Set(
-        std::vector<FactId>(group.members.begin(), group.members.end()));
-    MDDC_RETURN_NOT_OK(result.AddFact(group_fact));
-    const double value = eval.value;
+  // Seed one merged ordered map from the captured groups — std::map's
+  // iteration order IS the canonical lexicographic emission order — then
+  // resume the exact member-order left-folds over the delta facts. The
+  // registry read-back recovers each group's canonical member list (set
+  // terms stay resolvable through fork chains).
+  struct FoldGroup {
+    GroupAccum accum;
+    std::ptrdiff_t old_index = -1;
+    std::size_t old_members = 0;
+  };
+  std::map<GroupKey, FoldGroup> groups;
+  const FactRegistry& registry = *mo.registry();
+  FactId max_old_member;  // invalid = no captured members at all
+  for (std::size_t g = 0; g < state.groups.size(); ++g) {
+    const AggregateFoldState::Group& old_group = state.groups[g];
+    if (old_group.key.size() != n || old_group.life_per_dim.size() != n ||
+        old_group.prob_per_dim.size() != n) {
+      return Status::InvalidArgument("fold state group shape mismatch");
+    }
+    MDDC_ASSIGN_OR_RETURN(FactTerm term, registry.Get(old_group.group_fact));
+    if (term.kind != FactTerm::Kind::kSet ||
+        term.members.size() != old_group.member_count) {
+      return Status::InvalidArgument("fold state group members drifted");
+    }
+    FoldGroup seeded;
+    seeded.old_index = static_cast<std::ptrdiff_t>(g);
+    seeded.old_members = term.members.size();
+    seeded.accum.members.assign(term.members.begin(), term.members.end());
+    seeded.accum.life_per_dim = old_group.life_per_dim;
+    seeded.accum.prob_per_dim = old_group.prob_per_dim;
+    if (!term.members.empty() &&
+        (!max_old_member.valid() || max_old_member < term.members.back())) {
+      max_old_member = term.members.back();
+    }
+    auto [it, inserted] =
+        groups.emplace(old_group.key, std::move(seeded));
+    if (!inserted) {
+      return Status::InvalidArgument("fold state has duplicate group keys");
+    }
+    (void)it;
+  }
+  // The byte-identity argument needs every delta fact to sort after every
+  // captured member and the delta itself to ascend — the natural shape of
+  // registry appends. Anything else must take the full re-run.
+  for (std::size_t f = 0; f < delta_facts.size(); ++f) {
+    if (f > 0 && !(delta_facts[f - 1] < delta_facts[f])) {
+      return Status::InvalidArgument("delta facts are not ascending");
+    }
+    if (max_old_member.valid() && !(max_old_member < delta_facts[f])) {
+      return Status::InvalidArgument(
+          "delta facts do not all follow the captured members");
+    }
+  }
 
-    // Argument-dimension relations: group fact -> grouping value.
+  // Rollup snapshots for the delta coordinate scan, exactly as the
+  // formation's step 0 (the snapshots themselves patch incrementally on
+  // appends — see RollupIndex::For).
+  std::vector<std::shared_ptr<const RollupIndex>> indexes;
+  if (exec != nullptr) {
+    indexes.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      Lifespan life = group.life_per_dim[i];
-      if (life.Empty()) {
-        // The members' spans do not overlap; the grouping still holds
-        // atemporally (each member was characterized at its own time), so
-        // record the link with the union-of-members semantics instead.
-        life = Lifespan::AlwaysSpan();
-      }
-      MDDC_RETURN_NOT_OK(result.relation_mutable(i).Add(
-          group_fact, key[i], life, group.prob_per_dim[i]));
-    }
-
-    // Result-dimension relation: group fact -> g(group), at the Section
-    // 4.2 result lifespan EvaluateGroup computed.
-    Lifespan result_life = eval.result_life;
-    ValueId result_value;
-    if (spec.result.is_auto()) {
-      const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
-      auto it = auto_values.find(bits);
-      if (it == auto_values.end()) {
-        MDDC_ASSIGN_OR_RETURN(result_value,
-                              out_result_dim.AddValueAuto(result_bottom));
-        Representation& rep =
-            out_result_dim.RepresentationFor(result_bottom, "Value");
-        MDDC_RETURN_NOT_OK(rep.Set(result_value, FormatDouble(value)));
-        auto_values.emplace(bits, result_value);
+      if (spec.grouping[i] == mo.dimension(i).type().top()) continue;
+      std::shared_ptr<const RollupIndex> index =
+          RollupIndex::For(mo.dimension(i), &exec->stats);
+      if (index->has_flat_table()) {
+        indexes[i] = std::move(index);
+        ++exec->stats.index_hits;
       } else {
-        result_value = it->second;
-      }
-    } else {
-      MDDC_ASSIGN_OR_RETURN(result_value, spec.result.Map(value));
-      if (!out_result_dim.HasValue(result_value)) {
-        return Status::InvalidArgument(
-            StrCat("result mapper returned value ", result_value,
-                   " not present in the result dimension prototype"));
+        ++exec->stats.index_fallbacks;
       }
     }
-    if (result_life.Empty()) result_life = Lifespan::AlwaysSpan();
-    MDDC_RETURN_NOT_OK(result.relation_mutable(n).Add(
-        group_fact, result_value, result_life));
   }
 
-  MDDC_RETURN_NOT_OK(result.Validate());
-  return result;
+  // Delta accumulation: the AccumulateFact cross product, resumed on the
+  // seeded accumulators. The delta is small by construction, so the scan
+  // stays sequential.
+  Arena* arena = exec != nullptr ? &exec->arena : nullptr;
+  for (FactId fact : delta_facts) {
+    std::optional<CoordLists> coords =
+        GroupingCoordinates(mo, spec, fact, indexes, arena);
+    if (!coords.has_value()) continue;
+    std::vector<std::size_t> cursor(n, 0);
+    while (true) {
+      GroupKey key(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        key[i] = (*coords)[i][cursor[i]].value;
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      GroupAccum& group = it->second.accum;
+      if (inserted) {
+        group.life_per_dim.assign(n, Lifespan::AlwaysSpan());
+        group.prob_per_dim.assign(n, 1.0);
+      }
+      group.members.push_back(fact);
+      double member_prob = 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Coordinate& c = (*coords)[i][cursor[i]];
+        if (c.life.has_value()) {
+          group.life_per_dim[i] = group.life_per_dim[i].Intersect(*c.life);
+        }
+        group.prob_per_dim[i] *= c.prob;
+        member_prob *= c.prob;
+      }
+      group.member_probs.push_back(member_prob);
+      std::size_t i = 0;
+      while (i < n && ++cursor[i] == (*coords)[i].size()) {
+        cursor[i] = 0;
+        ++i;
+      }
+      if (i == n) break;
+    }
+  }
+
+  // Evaluate merged groups in canonical order: untouched groups replay
+  // their captured value verbatim, fresh groups evaluate from scratch
+  // (exactly what the full run would do for a group of only-new members),
+  // and mixed groups resume the accumulator from the captured value so
+  // the floating-point operation sequence matches a full old-then-new
+  // fold bit for bit.
+  std::vector<GroupKey> keys;
+  std::vector<GroupAccum> accums;
+  std::vector<GroupEval> evals;
+  keys.reserve(groups.size());
+  accums.reserve(groups.size());
+  evals.reserve(groups.size());
+  for (auto& [key, fold_group] : groups) {
+    GroupAccum& group = fold_group.accum;
+    GroupEval eval;
+    if (fold_group.old_index < 0) {
+      MDDC_ASSIGN_OR_RETURN(eval, EvaluateGroup(mo, spec, group));
+    } else {
+      const AggregateFoldState::Group& old_group =
+          state.groups[static_cast<std::size_t>(fold_group.old_index)];
+      const std::size_t fresh_count =
+          group.members.size() - fold_group.old_members;
+      if (fresh_count == 0) {
+        eval.value = old_group.value;
+        eval.result_life = old_group.result_life;
+      } else {
+        const std::span<const FactId> fresh(
+            group.members.data() + fold_group.old_members, fresh_count);
+        if (kind == AggregateFunctionKind::kSetCount) {
+          eval.value = static_cast<double>(group.members.size());
+        } else {
+          // Resume Evaluate's fold where the capture left off: the
+          // captured value IS the accumulator's settled statistic, and
+          // count only matters to Finish's empty-group error, which the
+          // capture already cleared.
+          AggFunction::Accumulator acc;
+          acc.count = 1;
+          switch (kind) {
+            case AggregateFunctionKind::kSum:
+              acc.sum = old_group.value;
+              break;
+            case AggregateFunctionKind::kCount:
+              acc.count = static_cast<std::size_t>(old_group.value);
+              break;
+            case AggregateFunctionKind::kMin:
+              acc.min_value = old_group.value;
+              break;
+            case AggregateFunctionKind::kMax:
+              acc.max_value = old_group.value;
+              break;
+            default:
+              return Status::InvalidArgument("unexpected fold kind");
+          }
+          const std::size_t dim = spec.function.args().front();
+          if (dim >= n) {
+            return Status::InvalidArgument(
+                StrCat(spec.function.name(), " references dimension ", dim,
+                       " of a ", n, "-dimensional MO"));
+          }
+          const Dimension& dimension = mo.dimension(dim);
+          for (FactId member : fresh) {
+            for (const FactDimRelation::Entry* entry :
+                 mo.relation(dim).ForFact(member)) {
+              if (entry->value == dimension.top_value()) continue;
+              if (kind == AggregateFunctionKind::kCount) {
+                acc.AddCounted(1);
+                continue;
+              }
+              MDDC_ASSIGN_OR_RETURN(
+                  double value,
+                  dimension.NumericValueOf(entry->value, spec.prob_at));
+              acc.Add(value);
+            }
+          }
+          MDDC_ASSIGN_OR_RETURN(eval.value, spec.function.Finish(acc));
+        }
+        // Resume the Section 4.2 result-lifespan fold over the fresh
+        // members (old members contributed first in the full run, and
+        // the capture holds exactly that prefix).
+        Lifespan result_life = old_group.result_life;
+        for (std::size_t dim : spec.function.args()) {
+          if (dim >= n) continue;
+          const FactDimRelation& relation = mo.relation(dim);
+          for (FactId member : fresh) {
+            TemporalElement member_valid;
+            TemporalElement member_transaction;
+            for (std::size_t e : relation.EntryIndexesForFact(member)) {
+              const FactDimRelation::Entry& entry = relation.entries()[e];
+              member_valid = member_valid.Union(entry.life.valid);
+              member_transaction =
+                  member_transaction.Union(entry.life.transaction);
+            }
+            result_life = result_life.Intersect(
+                Lifespan{member_valid, member_transaction});
+          }
+        }
+        eval.result_life = result_life;
+      }
+    }
+    keys.push_back(key);
+    accums.push_back(std::move(group));
+    evals.push_back(eval);
+  }
+
+  if (exec != nullptr) ++exec->stats.aggregate_folds;
+  return AssembleAggregateResult(mo, spec, summarizability, keys, accums,
+                                 evals);
 }
 
 // ---- Streaming multi-aggregate group-by ------------------------------------

@@ -10,6 +10,7 @@
 #include "algebra/predicate.h"
 #include "common/result.h"
 #include "core/md_object.h"
+#include "core/properties.h"
 
 namespace mddc {
 
@@ -112,6 +113,48 @@ class ResultDimensionSpec {
   std::function<Result<ValueId>(double)> mapper_;
 };
 
+/// Raw per-group accumulator state captured by one AggregateFormation run
+/// (via AggregateSpec::capture), enough for FoldAggregateAppend to resume
+/// the formation's exact left-folds over facts appended later — the
+/// delta-maintenance state behind incrementally refreshed pre-aggregates
+/// (docs/ingestion.md). Everything here is the *pre-presentation* state:
+/// lifespans before the assembly loop's Empty -> Always replacement,
+/// values as Finish settled them, so resuming replays the identical
+/// floating-point and temporal-element operation sequence a full re-run
+/// over old-then-new facts would perform.
+struct AggregateFoldState {
+  struct Group {
+    /// Canonical grouping key (one ValueId per argument dimension).
+    std::vector<ValueId> key;
+    /// The interned set-fact of the group's canonically sorted members;
+    /// the member list is read back through the registry at fold time
+    /// (fork chains keep old ids resolvable).
+    FactId group_fact;
+    std::size_t member_count = 0;
+    /// Raw left-fold of member coordinate lifespans per dimension, in
+    /// member (= ascending fact) order.
+    std::vector<Lifespan> life_per_dim;
+    std::vector<double> prob_per_dim;
+    /// Raw Section 4.2 result lifespan (pre Empty -> Always).
+    Lifespan result_life;
+    /// g(group) exactly as evaluated.
+    double value = 0.0;
+  };
+  /// Groups in canonical lexicographic key order — the emission order of
+  /// every engine.
+  std::vector<Group> groups;
+  /// The atemporal report the run was typed under; strict-path entries
+  /// factorize over fact partitions, so a fold re-checks only the delta.
+  SummarizabilityReport summarizability;
+  /// Per argument dimension: total and structural versions at capture.
+  /// A structural drift invalidates the state outright; a total drift
+  /// with equal structural version means value/edge appends only, and the
+  /// fold recomputes just the (dimension-local) partitioning bit.
+  std::vector<std::uint64_t> dim_versions;
+  std::vector<std::uint64_t> dim_structural_versions;
+  bool valid = false;
+};
+
 /// Parameters of the aggregate-formation operator
 /// alpha[D_{n+1}, g, C_1..C_n](M).
 struct AggregateSpec {
@@ -134,6 +177,11 @@ struct AggregateSpec {
   /// grouping dimensions) — instead of the crisp cardinality. Only
   /// affects SetCount.
   bool expected_counts = false;
+  /// When non-null, the formation records its raw per-group accumulator
+  /// state here (canonical group order) so FoldAggregateAppend can later
+  /// resume the run over appended facts. Auto result dimensions only;
+  /// captures under an explicit result spec are marked invalid.
+  AggregateFoldState* capture = nullptr;
 };
 
 /// alpha[D_{n+1}, g, C_1..C_n](M): groups facts by their characterizing
@@ -165,6 +213,30 @@ struct AggregateSpec {
 Result<MdObject> AggregateFormation(const MdObject& mo,
                                     const AggregateSpec& spec,
                                     ExecContext* exec = nullptr);
+
+/// Resumes a captured formation over `delta_facts` — the facts appended
+/// to the MO since `state` was recorded — and returns a result MO
+/// byte-identical to re-running AggregateFormation(mo, spec) from
+/// scratch, in O(delta) scan work instead of O(facts). The delta facts
+/// must be exactly mo.facts() minus the facts of the captured run, in
+/// ascending id order with every id above the captured members' (the
+/// natural shape of registry appends); violations, structural dimension
+/// drift, non-foldable functions (AVG, expected-count SetCount),
+/// explicit result specs, or an invalid state all return an error so
+/// the caller can fall back to a full re-run.
+///
+/// Foldability per Section 3.4: SUM/COUNT/MIN/MAX resume their exact
+/// accumulator from the captured per-group value; crisp SetCount resumes
+/// from the member count; strict-path checks factorize over the fact
+/// partition (only the delta is re-scanned) and partitioning — a
+/// dimension-local property appends can break — is recomputed when the
+/// dimension's version moved. When spec.capture is set, the fold records
+/// the merged state so the next append folds again.
+Result<MdObject> FoldAggregateAppend(const MdObject& mo,
+                                     const AggregateSpec& spec,
+                                     const AggregateFoldState& state,
+                                     const std::vector<FactId>& delta_facts,
+                                     ExecContext* exec = nullptr);
 
 /// Parameters of the streaming multi-aggregate group-by — the fused
 /// physical operator behind compiled MDQL plans (docs/mdql_compiler.md).

@@ -30,6 +30,8 @@ Dimension::Dimension(std::shared_ptr<const DimensionType> type)
   value_ids_.push_back(top_value_);
   value_infos_.push_back(ValueInfo{type_->top(), Lifespan::AlwaysSpan()});
   members_by_category_[type_->top()].push_back(top_value_);
+  // The implicit top value is never "fresh": it predates every append.
+  append_watermark_ = 1;
 }
 
 void Dimension::CopyMemos(const Dimension& other) {
@@ -62,6 +64,8 @@ Dimension::Dimension(const Dimension& other)
       representations_(other.representations_),
       next_auto_id_(other.next_auto_id_),
       version_(other.version_),
+      structural_version_(other.structural_version_),
+      append_watermark_(other.append_watermark_),
       memo_enabled_(other.memo_enabled_),
       compiled_snapshot_(other.compiled_snapshot_),
       publish_frozen_(other.publish_frozen_) {
@@ -122,6 +126,13 @@ Status Dimension::AddValue(CategoryTypeIndex category, ValueId id,
     return Status::InvalidArgument(
         StrCat("value ", id, " has an empty membership lifespan"));
   }
+  // A value whose id extends the ascending order (every AddValueAuto id
+  // does) is a pure append: snapshots may patch their dense remap instead
+  // of rebuilding. An explicit id below the high-water mark (or past the
+  // shared top id) would land *inside* the ascending dense order, so it
+  // counts as structural.
+  const bool is_append =
+      id.raw() >= next_auto_id_ && id.raw() < kTopValueRawId;
   bool inserted = false;
   value_index_.FindOrInsert(
       Fnv1a64Word(id.raw()), static_cast<std::uint32_t>(value_ids_.size()),
@@ -132,8 +143,13 @@ Status Dimension::AddValue(CategoryTypeIndex category, ValueId id,
   members_by_category_[category].push_back(id);
   next_auto_id_ = std::max(next_auto_id_, id.raw() + 1);
   // A fresh value has no edges, so memoized closures of other values stay
-  // valid — but compiled snapshots cover the value set and must rebuild.
+  // valid — but compiled snapshots cover the value set and must at least
+  // extend (append) or rebuild (structural).
   ++version_;
+  if (!is_append) {
+    ++structural_version_;
+    append_watermark_ = static_cast<std::uint32_t>(value_ids_.size());
+  }
   publish_frozen_ = false;
   return Status::OK();
 }
@@ -195,8 +211,17 @@ Status Dimension::AddOrder(ValueId child, ValueId parent,
   edges_by_child_[child_slot].push_back(edges_.size());
   edges_by_parent_[parent_slot].push_back(edges_.size());
   edges_.push_back(Edge{child, parent, life, prob});
-  // Reachability changed: drop the memoized closure.
-  InvalidateClosures();
+  if (child_slot >= append_watermark_) {
+    // A brand-new edge under a freshly appended child. No older value can
+    // reach the child upward (that would need an edge from an older child
+    // to a fresh parent, which AddOrder classifies as structural), so
+    // every older value's upward closure is unchanged: drop only the
+    // fresh slots' up/ancestor memos and the downward memos.
+    InvalidateForAppendedEdge();
+  } else {
+    // Reachability of pre-existing values changed: drop everything.
+    InvalidateClosures();
+  }
   return Status::OK();
 }
 
@@ -204,6 +229,26 @@ void Dimension::InvalidateClosures() {
   up_memo_.clear();
   down_memo_.clear();
   anc_memo_.clear();
+  ++version_;
+  ++structural_version_;
+  append_watermark_ = static_cast<std::uint32_t>(value_ids_.size());
+  publish_frozen_ = false;
+}
+
+void Dimension::InvalidateForAppendedEdge() {
+  // Downward closures of the new ancestors gained a descendant; which
+  // older slots those are is not tracked, so the downward memo drops
+  // wholesale (it is rebuilt lazily, and the append paths never read it).
+  down_memo_.clear();
+  // Fresh values may have memoized their (previously edge-less) closures
+  // between appends.
+  for (std::size_t slot = append_watermark_; slot < up_memo_.size(); ++slot) {
+    up_memo_[slot] = nullptr;
+  }
+  for (std::size_t slot = append_watermark_; slot < anc_memo_.size();
+       ++slot) {
+    anc_memo_[slot] = nullptr;
+  }
   ++version_;
   publish_frozen_ = false;
 }
@@ -620,8 +665,12 @@ Result<Dimension> Dimension::UnionWith(const Dimension& a,
       }
       existing.membership = existing.membership.Union(info.membership);
       // Direct membership mutation: compiled snapshots of `result` (shared
-      // with `a` by the copy above) must not survive it.
+      // with `a` by the copy above) must not survive it — structurally,
+      // since the mutated value already exists.
       ++result.version_;
+      ++result.structural_version_;
+      result.append_watermark_ =
+          static_cast<std::uint32_t>(result.value_ids_.size());
       result.publish_frozen_ = false;
     }
   }

@@ -197,13 +197,31 @@ class Dimension {
 
   // ---- Compiled snapshots -------------------------------------------------
 
-  /// Monotonically increasing structural version: bumped by every
-  /// mutation that can change the value set, a membership, or the partial
-  /// order (AddValue, AddOrder — including lifespan coalescing of a
-  /// repeated edge — and the membership unions of dimension union).
-  /// Compiled rollup snapshots (engine/rollup_index.h) record the version
-  /// they were built at and are rejected once it moves.
+  /// Monotonically increasing total version: bumped by every mutation
+  /// that can change the value set, a membership, or the partial order
+  /// (AddValue, AddOrder — including lifespan coalescing of a repeated
+  /// edge — and the membership unions of dimension union). Compiled
+  /// rollup snapshots (engine/rollup_index.h) record the version they
+  /// were built at and are rejected once it moves.
   std::uint64_t version() const { return version_; }
+
+  /// Monotonically increasing *structural* version (docs/ingestion.md):
+  /// bumped only by mutations that can change existing values' closures
+  /// or break the ascending-id append order — edge coalescing, edges
+  /// whose child predates the last structural change, out-of-order value
+  /// ids, membership unions. Pure appends (AddValueAuto, a new edge from
+  /// a freshly appended child) bump only version(). An artifact built at
+  /// (version v, structural s) seeing (v' > v, s) knows every change
+  /// since v was an append and may *patch* instead of rebuild; a moved
+  /// structural version demands the full rebuild.
+  std::uint64_t structural_version() const { return structural_version_; }
+
+  /// First dense slot appended since the last structural change; slots at
+  /// or past the watermark are "fresh". Fresh values carry ids greater
+  /// than every older non-top id (ascending with their slots), and no
+  /// edge points from an older child to a fresh parent — the invariants
+  /// the append patch paths rely on.
+  std::uint32_t append_watermark() const { return append_watermark_; }
 
   /// Opaque slot holding this dimension's compiled rollup snapshot. The
   /// core layer stores the pointer without knowing its concrete type (the
@@ -348,9 +366,15 @@ class Dimension {
   /// backing both Ancestors (by value) and AncestorsView (memo-backed).
   std::vector<Containment> ComputeAncestors(ValueId e, Chronon prob_at) const;
 
-  /// Drops every memoized closure and bumps the structural version; called
-  /// by mutations that change the partial order.
+  /// Drops every memoized closure and bumps both versions; called by
+  /// structural mutations of the partial order. Also resets the append
+  /// watermark: after a structural change nothing is "fresh".
   void InvalidateClosures();
+
+  /// Targeted invalidation for an appended edge (fresh child): older
+  /// values' upward closures are provably unchanged, so only the fresh
+  /// slots' up/ancestor memos and the (now stale) downward memos drop.
+  void InvalidateForAppendedEdge();
 
   /// Memo-backed reference form of ComputeReach: a memo hit (or fill)
   /// returns a reference into the memo instead of copying the closure
@@ -384,6 +408,10 @@ class Dimension {
       representations_;
   std::uint64_t next_auto_id_ = 0;
   std::uint64_t version_ = 0;
+  std::uint64_t structural_version_ = 0;
+  // Dense slot of the first value appended since the last structural
+  // change (see append_watermark()).
+  std::uint32_t append_watermark_ = 0;
 
   // Reachability memo (see set_memoization_enabled). Mutable: queries are
   // logically const. Not thread-safe; external synchronization required

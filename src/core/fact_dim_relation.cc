@@ -8,15 +8,37 @@
 namespace mddc {
 
 void FactDimRelation::CopyFrom(const FactDimRelation& other) {
-  entries_ = other.entries_;
+  // Copy with append headroom: vector copy-assignment allocates exactly
+  // size(), so a cloned draft's first Add would reallocate — and re-copy
+  // — the whole entry array. The clone is the one full copy the
+  // continuous-ingestion path pays per batch; the slack keeps it the
+  // only one (docs/ingestion.md).
+  const auto with_headroom = [](auto& dst, const auto& src) {
+    dst.clear();
+    dst.reserve(src.size() + src.size() / 8 + 1024);
+    dst.insert(dst.end(), src.begin(), src.end());
+  };
+  with_headroom(entries_, other.entries_);
   by_fact_ = other.by_fact_;
   by_value_ = other.by_value_;
-  // The CSR view is rebuilt on demand: copying it would need to
-  // synchronize with a concurrent lazy build in `other`, and copies are
-  // made by writers shaping new (unsealed) objects anyway.
-  spans_.clear();
-  span_entries_.clear();
-  csr_valid_.store(false, std::memory_order_release);
+  // A *valid* (sealed) CSR view is index-based, so it stays correct for
+  // the copied arrays and is carried over — this is what lets a writer's
+  // draft extend the published view's span tail after a batched append
+  // instead of re-sorting every entry (docs/ingestion.md). An in-flight
+  // lazy build in `other` (csr_valid_ false) is not copied: its arrays
+  // may be half-written by another thread, so the copy rebuilds on
+  // demand.
+  if (other.csr_valid_.load(std::memory_order_acquire)) {
+    with_headroom(spans_, other.spans_);
+    with_headroom(span_entries_, other.span_entries_);
+    sealed_entry_count_ = other.sealed_entry_count_;
+    csr_valid_.store(true, std::memory_order_release);
+  } else {
+    spans_.clear();
+    span_entries_.clear();
+    sealed_entry_count_ = 0;
+    csr_valid_.store(false, std::memory_order_release);
+  }
 }
 
 void FactDimRelation::MoveFrom(FactDimRelation&& other) {
@@ -25,6 +47,8 @@ void FactDimRelation::MoveFrom(FactDimRelation&& other) {
   by_value_ = std::move(other.by_value_);
   spans_ = std::move(other.spans_);
   span_entries_ = std::move(other.span_entries_);
+  sealed_entry_count_ = other.sealed_entry_count_;
+  other.sealed_entry_count_ = 0;
   csr_valid_.store(other.csr_valid_.load(std::memory_order_acquire),
                    std::memory_order_release);
   other.csr_valid_.store(false, std::memory_order_release);
@@ -66,7 +90,7 @@ Status FactDimRelation::Add(FactId fact, ValueId value, const Lifespan& life,
   }
   if (const std::uint32_t ordinal = by_fact_.FindOrdinal(fact);
       ordinal != FlatHashIndex::kNone) {
-    for (std::size_t index : by_fact_.lists[ordinal]) {
+    for (std::size_t index : by_fact_.ListAt(ordinal)) {
       Entry& entry = entries_[index];
       if (entry.value != value) continue;
       if (entry.prob != prob) {
@@ -105,6 +129,11 @@ void FactDimRelation::ReindexAll() {
     by_fact_.ListFor(entries_[i].fact).push_back(i);
     by_value_.ListFor(entries_[i].value).push_back(i);
   }
+  // Entry indexes were rewritten wholesale, so the kept CSR layout is
+  // meaningless: drop it and force the next seal to rebuild.
+  spans_.clear();
+  span_entries_.clear();
+  sealed_entry_count_ = 0;
   InvalidateCsr();
 }
 
@@ -125,7 +154,7 @@ std::vector<const FactDimRelation::Entry*> FactDimRelation::ForFact(
   std::vector<const Entry*> result;
   const std::uint32_t ordinal = by_fact_.FindOrdinal(fact);
   if (ordinal == FlatHashIndex::kNone) return result;
-  for (std::size_t index : by_fact_.lists[ordinal]) {
+  for (std::size_t index : by_fact_.ListAt(ordinal)) {
     result.push_back(&entries_[index]);
   }
   return result;
@@ -136,7 +165,7 @@ std::vector<const FactDimRelation::Entry*> FactDimRelation::ForValue(
   std::vector<const Entry*> result;
   const std::uint32_t ordinal = by_value_.FindOrdinal(value);
   if (ordinal == FlatHashIndex::kNone) return result;
-  for (std::size_t index : by_value_.lists[ordinal]) {
+  for (std::size_t index : by_value_.ListAt(ordinal)) {
     result.push_back(&entries_[index]);
   }
   return result;
@@ -158,20 +187,72 @@ const std::vector<std::size_t>& FactDimRelation::EntryIndexesForFact(
     FactId fact) const {
   const std::uint32_t ordinal = by_fact_.FindOrdinal(fact);
   return ordinal == FlatHashIndex::kNone ? kNoEntryIndexes
-                                         : by_fact_.lists[ordinal];
+                                         : by_fact_.ListAt(ordinal);
 }
 
 const std::vector<std::size_t>& FactDimRelation::EntryIndexesForValue(
     ValueId value) const {
   const std::uint32_t ordinal = by_value_.FindOrdinal(value);
   return ordinal == FlatHashIndex::kNone ? kNoEntryIndexes
-                                         : by_value_.lists[ordinal];
+                                         : by_value_.ListAt(ordinal);
 }
 
-void FactDimRelation::SealIndexes() const {
-  if (csr_valid_.load(std::memory_order_acquire)) return;
+void FactDimRelation::SealIndexes() const { (void)SealIndexesReporting(); }
+
+bool FactDimRelation::TryExtendCsrTailLocked() const {
+  // Nothing sealed yet (or the layout was dropped): only a rebuild can
+  // establish the view.
+  if (sealed_entry_count_ == 0) return false;
+  if (sealed_entry_count_ > entries_.size()) return false;
+  // Pure in-place coalesces since the last seal: the index structure is
+  // untouched, the view is still exact.
+  if (sealed_entry_count_ == entries_.size()) return true;
+  if (spans_.empty()) return false;
+  // Order the appended entries by fact (stably, preserving insertion
+  // order within a fact — the order the by-fact lists and the full
+  // rebuild both use). Extendable iff every appended fact sorts at or
+  // after the last sealed fact: then the delta only grows the final span
+  // and appends new ones, keeping every sealed row contiguous.
+  std::vector<std::size_t> tail;
+  tail.reserve(entries_.size() - sealed_entry_count_);
+  for (std::size_t i = sealed_entry_count_; i < entries_.size(); ++i) {
+    tail.push_back(i);
+  }
+  std::stable_sort(tail.begin(), tail.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return entries_[a].fact < entries_[b].fact;
+                   });
+  if (entries_[tail.front()].fact < spans_.back().fact) return false;
+  for (std::size_t index : tail) {
+    const FactId fact = entries_[index].fact;
+    if (spans_.back().fact == fact) {
+      span_entries_.push_back(index);
+      ++spans_.back().end;
+    } else {
+      FactSpan span;
+      span.fact = fact;
+      span.begin = static_cast<std::uint32_t>(span_entries_.size());
+      span_entries_.push_back(index);
+      span.end = static_cast<std::uint32_t>(span_entries_.size());
+      spans_.push_back(span);
+    }
+  }
+  sealed_entry_count_ = entries_.size();
+  return true;
+}
+
+FactDimRelation::SealOutcome FactDimRelation::SealIndexesReporting() const {
+  if (csr_valid_.load(std::memory_order_acquire)) {
+    return SealOutcome::kReused;
+  }
   std::lock_guard<std::mutex> lock(CsrMutex());
-  if (csr_valid_.load(std::memory_order_relaxed)) return;
+  if (csr_valid_.load(std::memory_order_relaxed)) {
+    return SealOutcome::kReused;
+  }
+  if (TryExtendCsrTailLocked()) {
+    csr_valid_.store(true, std::memory_order_release);
+    return SealOutcome::kExtended;
+  }
   spans_.clear();
   span_entries_.clear();
   std::vector<std::uint32_t> order(by_fact_.keys.size());
@@ -186,12 +267,14 @@ void FactDimRelation::SealIndexes() const {
     FactSpan span;
     span.fact = by_fact_.keys[ordinal];
     span.begin = static_cast<std::uint32_t>(span_entries_.size());
-    const std::vector<std::size_t>& list = by_fact_.lists[ordinal];
+    const std::vector<std::size_t>& list = by_fact_.ListAt(ordinal);
     span_entries_.insert(span_entries_.end(), list.begin(), list.end());
     span.end = static_cast<std::uint32_t>(span_entries_.size());
     spans_.push_back(span);
   }
+  sealed_entry_count_ = entries_.size();
   csr_valid_.store(true, std::memory_order_release);
+  return SealOutcome::kRebuilt;
 }
 
 bool FactDimRelation::HasFact(FactId fact) const {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -110,6 +111,23 @@ class FactDimRelation {
   /// this so published epochs never build indexes under readers).
   void SealIndexes() const;
 
+  /// What one SealIndexes call actually did — the serve layer's telemetry
+  /// hook for the incremental-ingestion path (docs/ingestion.md).
+  enum class SealOutcome {
+    /// The view was already valid (no changes since the last seal).
+    kReused,
+    /// Appended entries were spliced onto the span tail (appends whose
+    /// facts all sort at or after the last sealed fact — the shape of a
+    /// batched fact append); in-place coalesces revalidate this way too.
+    kExtended,
+    /// Full re-sort: first seal, restricted fact set, or out-of-order
+    /// appends.
+    kRebuilt,
+  };
+
+  /// SealIndexes, reporting the outcome.
+  SealOutcome SealIndexesReporting() const;
+
   /// True iff some pair references `fact`.
   bool HasFact(FactId fact) const;
 
@@ -124,16 +142,30 @@ class FactDimRelation {
  private:
   /// One side (by-fact or by-value) of the flat index: open-addressing
   /// table over dense parallel (key, entry-index-list) arrays.
+  ///
+  /// The per-key lists are copy-on-write: a copied relation (the MVCC
+  /// draft clone, or a reader's WithRegistry view) shares every list with
+  /// its source — |keys| refcount bumps instead of |keys| heap
+  /// allocations — and ListFor un-shares one list only when a writer
+  /// actually mutates it. Retired epochs then free only the lists they
+  /// uniquely own, which is what keeps continuous-ingestion clone and
+  /// teardown O(batch), not O(|F|) (docs/ingestion.md). Sharing is safe
+  /// because relation mutation is single-writer (the store's draft) while
+  /// concurrent readers only copy shared_ptrs: a list with use_count() 1
+  /// is provably private — no other thread holds a handle to copy from.
   template <typename Key>
   struct FlatListIndex {
     FlatHashIndex table;
     std::vector<Key> keys;
-    std::vector<std::vector<std::size_t>> lists;
+    std::vector<std::shared_ptr<std::vector<std::size_t>>> lists;
 
     std::uint32_t FindOrdinal(Key key) const {
       return table.Find(Fnv1a64Word(key.raw()), [&](std::uint32_t ordinal) {
         return keys[ordinal] == key;
       });
+    }
+    const std::vector<std::size_t>& ListAt(std::uint32_t ordinal) const {
+      return *lists[ordinal];
     }
     std::vector<std::size_t>& ListFor(Key key) {
       bool inserted = false;
@@ -142,9 +174,12 @@ class FactDimRelation {
           [&](std::uint32_t o) { return keys[o] == key; }, &inserted);
       if (inserted) {
         keys.push_back(key);
-        lists.emplace_back();
+        lists.push_back(std::make_shared<std::vector<std::size_t>>());
+      } else if (lists[ordinal].use_count() > 1) {
+        lists[ordinal] =
+            std::make_shared<std::vector<std::size_t>>(*lists[ordinal]);
       }
-      return lists[ordinal];
+      return *lists[ordinal];
     }
     void Clear() {
       table.Clear();
@@ -164,13 +199,22 @@ class FactDimRelation {
   FlatListIndex<FactId> by_fact_;
   FlatListIndex<ValueId> by_value_;
 
+  /// Splices the entries appended since the last seal onto the span tail;
+  /// false when the delta is not a pure in-order append and a full
+  /// rebuild is needed. Caller holds CsrMutex.
+  bool TryExtendCsrTailLocked() const;
+
   // Lazily-built CSR by-fact view. `csr_valid_` is the publication flag:
   // set with release after the arrays are final, read with acquire before
   // touching them (the RollupIndex slot idiom), so sealed snapshots serve
-  // concurrent readers lock-free.
+  // concurrent readers lock-free. A stale-but-kept view (`csr_valid_`
+  // false, `sealed_entry_count_` > 0) is the append-patch state: entries
+  // [0, sealed_entry_count_) are still laid out in the arrays, and a
+  // reseal extends the tail instead of re-sorting when the delta allows.
   mutable std::atomic<bool> csr_valid_{false};
   mutable std::vector<FactSpan> spans_;
   mutable std::vector<std::size_t> span_entries_;
+  mutable std::size_t sealed_entry_count_ = 0;
 };
 
 }  // namespace mddc

@@ -56,6 +56,22 @@ Status MdObject::AddFact(FactId fact) {
   return Status::OK();
 }
 
+Status MdObject::RemoveFact(FactId fact) {
+  auto it = std::lower_bound(facts_.begin(), facts_.end(), fact);
+  if (it == facts_.end() || *it != fact) {
+    return Status::NotFound(
+        StrCat("fact ", fact, " is not in the fact set of this MO"));
+  }
+  facts_.erase(it);
+  // RestrictToFacts reindexes the relation wholesale, dropping any sealed
+  // CSR layout — a removal is a structural change no append patch covers
+  // (docs/ingestion.md), so the next seal re-sorts from scratch.
+  for (FactDimRelation& relation : relations_) {
+    relation.RestrictToFacts(facts_);
+  }
+  return Status::OK();
+}
+
 Status MdObject::Relate(std::size_t dim, FactId fact, ValueId value,
                         const Lifespan& life, double prob) {
   if (dim >= dimensions_.size()) {
@@ -76,6 +92,18 @@ Status MdObject::Relate(std::size_t dim, FactId fact, ValueId value,
 Status MdObject::CoverWithTop() {
   for (std::size_t i = 0; i < dimensions_.size(); ++i) {
     for (FactId fact : facts_) {
+      if (!relations_[i].HasFact(fact)) {
+        MDDC_RETURN_NOT_OK(
+            relations_[i].Add(fact, dimensions_[i].top_value()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MdObject::CoverWithTop(const std::vector<FactId>& facts) {
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    for (FactId fact : facts) {
       if (!relations_[i].HasFact(fact)) {
         MDDC_RETURN_NOT_OK(
             relations_[i].Add(fact, dimensions_[i].top_value()));

@@ -89,6 +89,12 @@ class MdObject {
   /// Adds a fact to F (idempotent).
   Status AddFact(FactId fact);
 
+  /// Removes `fact` from F and every pair referencing it from every R_i.
+  /// NotFound when the fact is not in F. Removal is never an append: it
+  /// rebuilds the relations' indexes, so incremental seal state is
+  /// dropped and the next publication re-sorts.
+  Status RemoveFact(FactId fact);
+
   /// Adds the pair (fact, value) to R_i for dimension `dim` during `life`
   /// with probability `prob`. The fact must be in F and the value in the
   /// dimension.
@@ -100,6 +106,12 @@ class MdObject {
   /// the paper's convention for unknown characterizations ("we add the
   /// pair (f, top) to R").
   Status CoverWithTop();
+
+  /// CoverWithTop restricted to `facts` (each must be in F). Incremental
+  /// writers cover only the facts they just added — O(batch) instead of
+  /// the full-scan O(|F| * dims) — relying on the invariant that every
+  /// previously published fact is already covered.
+  Status CoverWithTop(const std::vector<FactId>& facts);
 
   // ---- Snapshot views (the MVCC serving tier, src/serve) -------------------
 

@@ -179,8 +179,14 @@ bool IsPartitioning(const Dimension& dimension) {
   return true;
 }
 
+bool IsPartitioningUpTo(const Dimension& dimension, CategoryTypeIndex upper,
+                        std::optional<Chronon> at) {
+  return PartitioningUpTo(dimension, upper, at);
+}
+
 bool HasStrictPath(const MdObject& mo, std::size_t dim,
-                   CategoryTypeIndex category, std::optional<Chronon> at) {
+                   CategoryTypeIndex category, std::optional<Chronon> at,
+                   const std::vector<FactId>* facts) {
   // An in-place scan of the characterization, equivalent to counting the
   // alive values of `category` in CharacterizedBy(fact, dim) per fact but
   // without materializing a characterization map for every fact: the
@@ -213,7 +219,7 @@ bool HasStrictPath(const MdObject& mo, std::size_t dim,
   const auto top_category = dimension.CategoryOf(top);
   const bool top_counts = top_category.ok() && *top_category == category;
   std::vector<ValueId> witnesses;  // distinct alive values, reused per fact
-  for (FactId fact : mo.facts()) {
+  for (FactId fact : facts != nullptr ? *facts : mo.facts()) {
     witnesses.clear();
     const std::vector<std::size_t>& entry_indexes =
         relation.EntryIndexesForFact(fact);

@@ -47,6 +47,14 @@ bool IsSnapshotPartitioning(const Dimension& dimension);
 /// Partitioning ignoring time.
 bool IsPartitioning(const Dimension& dimension);
 
+/// Partitioning restricted to the part of the hierarchy at or below
+/// `upper` — the per-dimension bit CheckSummarizability computes, exposed
+/// so incremental folds can re-check one dimension in isolation after a
+/// value/edge append (docs/ingestion.md). `at` selects instant versus
+/// atemporal checking as for HasStrictPath.
+bool IsPartitioningUpTo(const Dimension& dimension, CategoryTypeIndex upper,
+                        std::optional<Chronon> at = std::nullopt);
+
 /// True iff there is a strict path from the fact set of `mo` to category
 /// `category` of dimension `dim`: no fact is characterized by two
 /// distinct values of that category (Definition 2, second part). This is
@@ -59,9 +67,15 @@ bool IsPartitioning(const Dimension& dimension);
 /// — a fact characterized by two category values at *any* (possibly
 /// different) times breaks strictness, which is the right notion for
 /// aggregate formation's across-all-time grouping.
+///
+/// The property is a per-fact universal, so it factorizes over any fact
+/// partition: with `facts` set, only those facts are scanned. Incremental
+/// ingestion (docs/ingestion.md) uses this to re-check just an appended
+/// delta and AND the result with the verdict captured for the old facts.
 bool HasStrictPath(const MdObject& mo, std::size_t dim,
                    CategoryTypeIndex category,
-                   std::optional<Chronon> at = std::nullopt);
+                   std::optional<Chronon> at = std::nullopt,
+                   const std::vector<FactId>* facts = nullptr);
 
 /// The chronons at which the temporal configuration of the dimension's
 /// edges/memberships can change (all interval endpoints, NOW bound to the

@@ -170,6 +170,26 @@ struct ExecStats {
   /// pipeline, falling back to the tree-walk interpreter (results are
   /// byte-identical either way).
   std::size_t plan_fallbacks = 0;
+  /// Statements answered by a session's compiled-plan cache (keyed on
+  /// statement text + MO version), skipping parse-tree lowering and the
+  /// rewrite loop entirely.
+  std::size_t plan_cache_hits = 0;
+  /// Aggregate results produced by FoldAggregateAppend — a captured
+  /// formation resumed over appended facts instead of re-scanned.
+  std::size_t aggregate_folds = 0;
+  /// Compiled rollup snapshots produced by patching the previous snapshot
+  /// (dense-remap extension + CSR rebuild over the appended values)
+  /// instead of a full recompile; each also counts an index_builds.
+  std::size_t rollup_patches = 0;
+  /// Sealed CSR by-fact span views revalidated by extending the span
+  /// tail over appended entries instead of a full re-sort.
+  std::size_t csr_tail_extends = 0;
+  /// Warm pre-aggregate entries delta-folded across an append batch.
+  std::size_t preagg_folds = 0;
+  /// Warm pre-aggregate entries that could not fold (gate drift,
+  /// non-foldable function, rollup-derived entry) and were re-materialized
+  /// from scratch instead.
+  std::size_t preagg_fold_invalidations = 0;
 
   /// Adds every counter of `other` into this one. Server sessions use it
   /// to accumulate per-query contexts into per-session totals.

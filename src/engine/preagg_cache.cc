@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "common/strings.h"
@@ -32,7 +33,11 @@ double Merge(AggregateFunctionKind kind, double a, double b) {
 
 }  // namespace
 
-PreAggregateCache::PreAggregateCache(MdObject base) : base_(std::move(base)) {}
+PreAggregateCache::PreAggregateCache(MdObject base)
+    : base_(std::make_shared<const MdObject>(std::move(base))) {}
+
+PreAggregateCache::PreAggregateCache(std::shared_ptr<const MdObject> base)
+    : base_(std::move(base)) {}
 
 const MdObject* PreAggregateCache::Peek(
     const AggFunction& function,
@@ -56,7 +61,8 @@ Result<MdObject> PreAggregateCache::Query(
     auto rolled = RollUpCached(*reusable, function, grouping, exec);
     if (rolled.ok()) {
       ++stats_.rollup_hits;
-      Entry entry{grouping, *rolled, AggregationType::kConstant};
+      Entry entry{grouping, *rolled, AggregationType::kConstant, function,
+                  AggregateFoldState{}};
       const DimensionType& result_type =
           rolled->dimension(rolled->dimension_count() - 1).type();
       entry.result_agg_type = result_type.AggType(result_type.bottom());
@@ -70,12 +76,14 @@ Result<MdObject> PreAggregateCache::Query(
     ++stats_.reuse_refusals;
   }
 
+  AggregateFoldState fold;
   AggregateSpec spec{function, grouping, ResultDimensionSpec::Auto(),
-                     kNowChronon, true};
+                     kNowChronon, true, false, &fold};
   MDDC_ASSIGN_OR_RETURN(MdObject result,
-                        AggregateFormation(base_, spec, exec));
+                        AggregateFormation(*base_, spec, exec));
   ++stats_.base_scans;
-  Entry entry{grouping, result, AggregationType::kConstant};
+  Entry entry{grouping, result, AggregationType::kConstant, function,
+              std::move(fold)};
   const DimensionType& result_type =
       result.dimension(result.dimension_count() - 1).type();
   entry.result_agg_type = result_type.AggType(result_type.bottom());
@@ -91,6 +99,66 @@ Status PreAggregateCache::Materialize(
   return Status::OK();
 }
 
+Status PreAggregateCache::MaterializeResumable(
+    const AggFunction& function,
+    const std::vector<CategoryTypeIndex>& grouping, ExecContext* exec) {
+  Key key{function.name(), grouping};
+  if (entries_.find(key) != entries_.end()) return Status::OK();
+  AggregateFoldState fold;
+  AggregateSpec spec{function, grouping, ResultDimensionSpec::Auto(),
+                     kNowChronon, true, false, &fold};
+  MDDC_ASSIGN_OR_RETURN(MdObject result,
+                        AggregateFormation(*base_, spec, exec));
+  ++stats_.base_scans;
+  Entry entry{grouping, std::move(result), AggregationType::kConstant,
+              function, std::move(fold)};
+  const DimensionType& result_type =
+      entry.result.dimension(entry.result.dimension_count() - 1).type();
+  entry.result_agg_type = result_type.AggType(result_type.bottom());
+  entries_.emplace(std::move(key), std::move(entry));
+  return Status::OK();
+}
+
+Result<PreAggregateCache> PreAggregateCache::FoldAppend(
+    std::shared_ptr<const MdObject> new_base,
+    const std::vector<FactId>& delta_facts, ExecContext* exec) const {
+  PreAggregateCache next(std::move(new_base));
+  for (const auto& [key, entry] : entries_) {
+    AggregateFoldState refreshed;
+    AggregateSpec spec{entry.function, entry.grouping,
+                       ResultDimensionSpec::Auto(), kNowChronon, true, false,
+                       &refreshed};
+    std::optional<MdObject> folded;
+    if (entry.fold.valid) {
+      Result<MdObject> attempt = FoldAggregateAppend(*next.base_, spec,
+                                                     entry.fold, delta_facts,
+                                                     exec);
+      if (attempt.ok()) folded = std::move(*attempt);
+      // A failed fold (non-foldable function, structural drift, member
+      // order surprises) is not an error: the entry takes the rescan
+      // path below, exactly today's invalidate-and-recompute.
+    }
+    if (folded.has_value()) {
+      if (exec != nullptr) ++exec->stats.preagg_folds;
+    } else {
+      if (exec != nullptr) ++exec->stats.preagg_fold_invalidations;
+      refreshed = AggregateFoldState{};  // drop any partial capture
+      MDDC_ASSIGN_OR_RETURN(MdObject rescanned,
+                            AggregateFormation(*next.base_, spec, exec));
+      ++next.stats_.base_scans;
+      folded = std::move(rescanned);
+    }
+    Entry fresh{entry.grouping, std::move(*folded),
+                AggregationType::kConstant, entry.function,
+                std::move(refreshed)};
+    const DimensionType& result_type =
+        fresh.result.dimension(fresh.result.dimension_count() - 1).type();
+    fresh.result_agg_type = result_type.AggType(result_type.bottom());
+    next.entries_.emplace(key, std::move(fresh));
+  }
+  return next;
+}
+
 const PreAggregateCache::Entry* PreAggregateCache::FindReusable(
     const AggFunction& function,
     const std::vector<CategoryTypeIndex>& grouping,
@@ -102,8 +170,8 @@ const PreAggregateCache::Entry* PreAggregateCache::FindReusable(
     if (entry.grouping.size() != grouping.size()) continue;
     bool finer_or_equal = true;
     for (std::size_t i = 0; i < grouping.size(); ++i) {
-      if (!base_.dimension(i).type().LessEq(entry.grouping[i],
-                                            grouping[i])) {
+      if (!base_->dimension(i).type().LessEq(entry.grouping[i],
+                                             grouping[i])) {
         finer_or_equal = false;
         break;
       }
@@ -135,7 +203,7 @@ Result<MdObject> PreAggregateCache::RollUpCached(
   std::vector<CategoryTypeIndex> cached_categories(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::string& name =
-        base_.dimension(i).type().category(grouping[i]).name;
+        base_->dimension(i).type().category(grouping[i]).name;
     MDDC_ASSIGN_OR_RETURN(cached_categories[i],
                           cached.dimension(i).type().Find(name));
   }

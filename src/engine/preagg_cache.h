@@ -32,7 +32,12 @@ class PreAggregateCache {
  public:
   explicit PreAggregateCache(MdObject base);
 
-  const MdObject& base() const { return base_; }
+  /// Shares an already-sealed base instead of copying it — the serving
+  /// tier's constructor: each published epoch bundles the cache and the
+  /// MO, and they hold the very same object (docs/ingestion.md).
+  explicit PreAggregateCache(std::shared_ptr<const MdObject> base);
+
+  const MdObject& base() const { return *base_; }
 
   /// Returns the aggregate for `grouping` (one category per base
   /// dimension) under `function`. The result dimension is always
@@ -51,6 +56,32 @@ class PreAggregateCache {
   Status Materialize(const AggFunction& function,
                      const std::vector<CategoryTypeIndex>& grouping,
                      ExecContext* exec = nullptr);
+
+  /// Materialize variant for the serving tier's seal step: always a base
+  /// scan (never rollup reuse), capturing the raw accumulator state that
+  /// makes the entry incrementally resumable by FoldAppend. Rollup reuse
+  /// would be cheaper here but produces no capture — and its partial-sum
+  /// merge order differs from a base scan's, so entries materialized this
+  /// way are also byte-reproducible by a full replay (the differential
+  /// oracle's invariant, docs/ingestion.md). An existing exact entry is
+  /// kept as-is.
+  Status MaterializeResumable(const AggFunction& function,
+                              const std::vector<CategoryTypeIndex>& grouping,
+                              ExecContext* exec = nullptr);
+
+  /// Builds the successor cache for `new_base` — this cache's base plus
+  /// `delta_facts` appended (ascending, all above every published fact).
+  /// Entries with a valid capture and a foldable function resume via
+  /// FoldAggregateAppend, touching only the delta facts
+  /// (exec->stats.preagg_folds); entries whose fold gate fails — AVG,
+  /// expected counts, rollup-derived entries without capture, structural
+  /// drift — rematerialize from the new base with a full scan
+  /// (exec->stats.preagg_fold_invalidations), so every entry stays warm
+  /// either way. Both paths produce bytes identical to materializing the
+  /// entry against `new_base` from scratch.
+  Result<PreAggregateCache> FoldAppend(std::shared_ptr<const MdObject> new_base,
+                                       const std::vector<FactId>& delta_facts,
+                                       ExecContext* exec = nullptr) const;
 
   /// Const exact-hit probe: the cached MO for exactly this
   /// (function, grouping), or nullptr when never materialized. Unlike
@@ -77,6 +108,13 @@ class PreAggregateCache {
     std::vector<CategoryTypeIndex> grouping;
     MdObject result;
     AggregationType result_agg_type;
+    /// The materializing function, kept whole (the map key only has its
+    /// name) so FoldAppend can re-run it.
+    AggFunction function;
+    /// Raw per-group accumulator capture from the materializing base scan.
+    /// Rollup-hit entries carry none (fold.valid == false) and
+    /// rematerialize on FoldAppend.
+    AggregateFoldState fold;
   };
 
   using Key = std::pair<std::string, std::vector<CategoryTypeIndex>>;
@@ -99,7 +137,9 @@ class PreAggregateCache {
       const std::vector<CategoryTypeIndex>& grouping,
       ExecContext* exec) const;
 
-  MdObject base_;
+  /// Never null. Shared with the epoch bundle on the serving path; a
+  /// privately-owned copy for direct construction from an MdObject.
+  std::shared_ptr<const MdObject> base_;
   std::map<Key, Entry> entries_;
   Stats stats_;
 };

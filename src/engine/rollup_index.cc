@@ -47,15 +47,35 @@ std::shared_ptr<const RollupIndex> RollupIndex::For(const Dimension& dimension,
   // empty or stale slot (a publisher that forgot to pre-compile), build a
   // one-off snapshot WITHOUT caching it: writing the slot of a frozen
   // dimension would race against other lock-free readers.
+  // A stale snapshot whose structural version still matches was outdated
+  // by appends only and is patched — O(V+E) plus closure walks for just
+  // the fresh values — instead of recompiled from scratch.
+  auto compile = [&](const std::shared_ptr<const RollupIndex>& cached)
+      -> std::shared_ptr<const RollupIndex> {
+    if (cached != nullptr &&
+        cached->structural_version() == dimension.structural_version()) {
+      std::shared_ptr<const RollupIndex> patched =
+          Patch(dimension, *cached);
+      if (patched != nullptr) {
+        if (stats != nullptr) {
+          ++stats->index_builds;
+          ++stats->rollup_patches;
+        }
+        return patched;
+      }
+    }
+    std::shared_ptr<const RollupIndex> built = Build(dimension);
+    if (stats != nullptr) ++stats->index_builds;
+    return built;
+  };
+
   if (dimension.publish_frozen()) {
     auto cached = std::static_pointer_cast<const RollupIndex>(
         dimension.compiled_snapshot_slot());
     if (cached != nullptr && !cached->StaleFor(dimension)) {
       return cached;
     }
-    std::shared_ptr<const RollupIndex> built = Build(dimension);
-    if (stats != nullptr) ++stats->index_builds;
-    return built;
+    return compile(cached);
   }
 
   std::lock_guard<std::mutex> lock(SlotMutex());
@@ -64,16 +84,69 @@ std::shared_ptr<const RollupIndex> RollupIndex::For(const Dimension& dimension,
   if (cached != nullptr && !cached->StaleFor(dimension)) {
     return cached;
   }
-  std::shared_ptr<const RollupIndex> built = Build(dimension);
+  std::shared_ptr<const RollupIndex> built = compile(cached);
   dimension.set_compiled_snapshot_slot(built);
-  if (stats != nullptr) ++stats->index_builds;
   return built;
+}
+
+void RollupIndex::FillCategoryRanges() {
+  // Per-category ranges, sorted by ValueId (= by dense id).
+  const std::uint32_t n = value_count();
+  category_begin_.assign(category_count_ + 1, 0);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    ++category_begin_[category_of_[d] + 1];
+  }
+  for (std::size_t c = 0; c < category_count_; ++c) {
+    category_begin_[c + 1] += category_begin_[c];
+  }
+  category_values_.resize(n);
+  std::vector<std::uint32_t> category_cursor(category_begin_.begin(),
+                                             category_begin_.end() - 1);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    category_values_[category_cursor[category_of_[d]]++] = d;
+  }
+}
+
+void RollupIndex::FillCsrArrays(const Dimension& dimension) {
+  // CSR edge arrays, both directions, in the dimension's per-value edge
+  // order (insertion order, like EdgeIndexesFromChild/ToParent).
+  const std::uint32_t n = value_count();
+  const std::vector<Dimension::Edge>& edges = dimension.edges();
+  auto fill_csr = [&](bool upward, std::vector<std::uint32_t>& begin,
+                      std::vector<std::uint32_t>& target,
+                      std::vector<Lifespan>& life, std::vector<double>& prob) {
+    begin.assign(n + 1, 0);
+    target.clear();
+    life.clear();
+    prob.clear();
+    target.reserve(edges.size());
+    life.reserve(edges.size());
+    prob.reserve(edges.size());
+    for (std::uint32_t d = 0; d < n; ++d) {
+      begin[d] = static_cast<std::uint32_t>(target.size());
+      const std::vector<std::size_t>& indexes =
+          upward ? dimension.EdgeIndexesFromChild(value_of_[d])
+                 : dimension.EdgeIndexesToParent(value_of_[d]);
+      for (std::size_t e : indexes) {
+        const Dimension::Edge& edge = edges[e];
+        target.push_back(DenseOf(upward ? edge.parent : edge.child));
+        life.push_back(edge.life);
+        prob.push_back(edge.prob);
+      }
+    }
+    begin[n] = static_cast<std::uint32_t>(target.size());
+  };
+  fill_csr(/*upward=*/true, up_begin_, up_target_, up_life_, up_prob_);
+  fill_csr(/*upward=*/false, down_begin_, down_target_, down_life_,
+           down_prob_);
+  edge_count_ = edges.size();
 }
 
 std::shared_ptr<const RollupIndex> RollupIndex::Build(
     const Dimension& dimension) {
   auto index = std::shared_ptr<RollupIndex>(new RollupIndex());
   index->version_ = dimension.version();
+  index->structural_version_ = dimension.structural_version();
   index->category_count_ = dimension.type().category_count();
 
   // Dense remapping: AllValues() iterates the dimension's value map in
@@ -92,50 +165,10 @@ std::shared_ptr<const RollupIndex> RollupIndex::Build(
     if (membership.ok()) index->membership_of_[d] = *membership;
   }
 
-  // Per-category ranges, sorted by ValueId (= by dense id).
-  index->category_begin_.assign(index->category_count_ + 1, 0);
-  for (std::uint32_t d = 0; d < n; ++d) {
-    ++index->category_begin_[index->category_of_[d] + 1];
-  }
-  for (std::size_t c = 0; c < index->category_count_; ++c) {
-    index->category_begin_[c + 1] += index->category_begin_[c];
-  }
-  index->category_values_.resize(n);
-  std::vector<std::uint32_t> category_cursor(
-      index->category_begin_.begin(), index->category_begin_.end() - 1);
-  for (std::uint32_t d = 0; d < n; ++d) {
-    index->category_values_[category_cursor[index->category_of_[d]]++] = d;
-  }
-
-  // CSR edge arrays, both directions, in the dimension's per-value edge
-  // order (insertion order, like EdgeIndexesFromChild/ToParent).
+  index->FillCategoryRanges();
+  index->FillCsrArrays(dimension);
   const std::vector<Dimension::Edge>& edges = dimension.edges();
   bool all_edges_always = true;
-  auto fill_csr = [&](bool upward, std::vector<std::uint32_t>& begin,
-                      std::vector<std::uint32_t>& target,
-                      std::vector<Lifespan>& life, std::vector<double>& prob) {
-    begin.assign(n + 1, 0);
-    target.reserve(edges.size());
-    life.reserve(edges.size());
-    prob.reserve(edges.size());
-    for (std::uint32_t d = 0; d < n; ++d) {
-      begin[d] = static_cast<std::uint32_t>(target.size());
-      const std::vector<std::size_t>& indexes =
-          upward ? dimension.EdgeIndexesFromChild(values[d])
-                 : dimension.EdgeIndexesToParent(values[d]);
-      for (std::size_t e : indexes) {
-        const Dimension::Edge& edge = edges[e];
-        target.push_back(index->DenseOf(upward ? edge.parent : edge.child));
-        life.push_back(edge.life);
-        prob.push_back(edge.prob);
-      }
-    }
-    begin[n] = static_cast<std::uint32_t>(target.size());
-  };
-  fill_csr(/*upward=*/true, index->up_begin_, index->up_target_,
-           index->up_life_, index->up_prob_);
-  fill_csr(/*upward=*/false, index->down_begin_, index->down_target_,
-           index->down_life_, index->down_prob_);
   for (const Dimension::Edge& edge : edges) {
     if (!(edge.life == Lifespan::AlwaysSpan())) {
       all_edges_always = false;
@@ -167,6 +200,120 @@ std::shared_ptr<const RollupIndex> RollupIndex::Build(
         const std::uint32_t ancestor = index->DenseOf(c.value);
         if (ancestor == kNone) continue;
         set(index->category_of_[ancestor], ancestor, c.prob);
+      }
+    }
+  }
+  return index;
+}
+
+std::shared_ptr<const RollupIndex> RollupIndex::Patch(
+    const Dimension& dimension, const RollupIndex& old) {
+  // The patch gate: the dimension must be `old` plus appends. Appends
+  // insert fresh values (auto ids above every old non-top id, below the
+  // top sentinel) and hang edges under them only, so in ascending ValueId
+  // order the old non-top values keep their dense ids, fresh values slot
+  // in before top, and top — the maximal raw id — shifts to stay last.
+  // Anything else (values vanished, top not last, category schema moved)
+  // means structural drift the caller must Build through.
+  const std::vector<ValueId> values = dimension.AllValues();
+  const std::uint32_t n = static_cast<std::uint32_t>(values.size());
+  const std::uint32_t old_n = old.value_count();
+  if (old_n == 0 || n < old_n) return nullptr;
+  if (old.top_dense_ != old_n - 1) return nullptr;
+  if (values[n - 1] != dimension.top_value()) return nullptr;
+  if (old.value_of_[old_n - 1] != values[n - 1]) return nullptr;
+  for (std::uint32_t d = 0; d + 1 < old_n; ++d) {
+    if (values[d] != old.value_of_[d]) return nullptr;
+  }
+  const std::vector<Dimension::Edge>& edges = dimension.edges();
+  if (edges.size() < old.edge_count_) return nullptr;
+  if (dimension.type().category_count() != old.category_count_) {
+    return nullptr;
+  }
+
+  auto index = std::shared_ptr<RollupIndex>(new RollupIndex());
+  index->version_ = dimension.version();
+  index->structural_version_ = dimension.structural_version();
+  index->category_count_ = old.category_count_;
+  index->value_of_ = values;
+  index->top_dense_ = n - 1;
+  // The O(V)/O(V+E) arrays are refilled outright — they are the cheap
+  // part; what the patch saves is the closure walk per value below.
+  index->category_of_.resize(n);
+  index->membership_of_.assign(n, Lifespan());
+  for (std::uint32_t d = 0; d < n; ++d) {
+    auto category = dimension.CategoryOf(values[d]);
+    auto membership = dimension.MembershipOf(values[d]);
+    index->category_of_[d] = category.ok() ? *category : 0;
+    if (membership.ok()) index->membership_of_[d] = *membership;
+  }
+  index->FillCategoryRanges();
+  index->FillCsrArrays(dimension);
+
+  // Flat table: old rows are copied verbatim (appended edges never alter
+  // an old value's upward closure — they only hang fresh children), with
+  // references to the old top dense id remapped to the shifted one. Only
+  // fresh values pay a closure walk. The patch re-applies Build's gate
+  // incrementally: a non-Always appended edge breaks the non-temporal
+  // half, and a fresh value with two ancestors in one category breaks
+  // strictness — either drops the table, exactly as Build would conclude.
+  index->has_flat_table_ = false;
+  if (old.has_flat_table_) {
+    bool appended_always = true;
+    for (std::size_t e = old.edge_count_; e < edges.size(); ++e) {
+      if (!(edges[e].life == Lifespan::AlwaysSpan())) {
+        appended_always = false;
+        break;
+      }
+    }
+    if (appended_always) {
+      index->has_flat_table_ = true;
+      index->flat_ancestor_.assign(n * index->category_count_, kNone);
+      index->flat_prob_.assign(n * index->category_count_, 0.0);
+      const std::uint32_t old_top = old_n - 1;
+      const std::uint32_t new_top = n - 1;
+      for (std::uint32_t d = 0; d + 1 < old_n; ++d) {
+        for (std::size_t c = 0; c < index->category_count_; ++c) {
+          std::uint32_t ancestor =
+              old.flat_ancestor_[d * old.category_count_ + c];
+          if (ancestor == old_top) ancestor = new_top;
+          index->flat_ancestor_[d * index->category_count_ + c] = ancestor;
+          index->flat_prob_[d * index->category_count_ + c] =
+              old.flat_prob_[d * old.category_count_ + c];
+        }
+      }
+      index->flat_ancestor_[new_top * index->category_count_ +
+                            index->category_of_[new_top]] = new_top;
+      index->flat_prob_[new_top * index->category_count_ +
+                        index->category_of_[new_top]] = 1.0;
+      for (std::uint32_t d = old_n - 1;
+           d + 1 < n && index->has_flat_table_; ++d) {
+        auto set = [&](CategoryTypeIndex category, std::uint32_t ancestor,
+                       double p) -> bool {
+          std::uint32_t& slot =
+              index->flat_ancestor_[d * index->category_count_ + category];
+          if (slot != kNone && slot != ancestor) return false;
+          slot = ancestor;
+          index->flat_prob_[d * index->category_count_ + category] = p;
+          return true;
+        };
+        if (!set(index->category_of_[d], d, 1.0)) {
+          index->has_flat_table_ = false;
+          break;
+        }
+        for (const Dimension::Containment& c :
+             dimension.AncestorsView(values[d])) {
+          const std::uint32_t ancestor = index->DenseOf(c.value);
+          if (ancestor == kNone) continue;
+          if (!set(index->category_of_[ancestor], ancestor, c.prob)) {
+            index->has_flat_table_ = false;
+            break;
+          }
+        }
+      }
+      if (!index->has_flat_table_) {
+        index->flat_ancestor_.clear();
+        index->flat_prob_.clear();
       }
     }
   }

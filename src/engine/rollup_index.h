@@ -61,6 +61,13 @@ class RollupIndex {
   /// The dimension version this snapshot was compiled at.
   std::uint64_t version() const { return version_; }
 
+  /// The dimension's *structural* version at compile time. A stale
+  /// snapshot whose structural version still matches the dimension was
+  /// outdated by appends only (new values under existing categories, new
+  /// edges hanging fresh children) and can be patched instead of rebuilt
+  /// (docs/ingestion.md).
+  std::uint64_t structural_version() const { return structural_version_; }
+
   /// True when `dimension` has been mutated since this snapshot was
   /// compiled (the snapshot must then not be consulted for it).
   bool StaleFor(const Dimension& dimension) const {
@@ -148,7 +155,30 @@ class RollupIndex {
   /// Compiles a snapshot of `dimension` at its current version.
   static std::shared_ptr<const RollupIndex> Build(const Dimension& dimension);
 
+  /// Compiles a snapshot by patching `old` — valid only when the
+  /// dimension drifted from `old` by appends (equal structural versions):
+  /// the dense remap is extended (fresh values slot in before top, which
+  /// shifts to stay last), the cheap O(V+E) arrays are refilled, and only
+  /// the fresh values' flat-table rows are computed via closure walks —
+  /// old rows are copied with the top id remapped, since appended edges
+  /// never change an old value's upward closure. Returns null when the
+  /// patch gate fails (structural drift, reordered values) and the caller
+  /// must Build. Byte-equivalent to Build in every consumable way: a
+  /// fresh value with two ancestors in one category, or a non-Always
+  /// appended edge, drops the flat table exactly as Build's gate would.
+  static std::shared_ptr<const RollupIndex> Patch(const Dimension& dimension,
+                                                  const RollupIndex& old);
+
+  /// Shared O(V) / O(V+E) array fills of Build and Patch; `value_of_` and
+  /// `category_of_` must already be final.
+  void FillCategoryRanges();
+  void FillCsrArrays(const Dimension& dimension);
+
   std::uint64_t version_ = 0;
+  std::uint64_t structural_version_ = 0;
+  /// dimension.edges().size() at compile time; a patch classifies
+  /// edges beyond this as appended.
+  std::size_t edge_count_ = 0;
   std::size_t category_count_ = 0;
   std::uint32_t top_dense_ = kNone;
   bool has_flat_table_ = false;

@@ -86,15 +86,34 @@ struct InsertAssignment {
   double prob = 1.0;
 };
 
-/// INSERT INTO <mo> FACT <key> (<level> = '<text>' [PROB <p>], ...) —
-/// the mutating statement of the serving tier. Adds (or extends) the
-/// atomic fact with external key <key> and relates it to the named
-/// values; dimensions left out are covered with top per the paper's
-/// convention for unknown characterizations.
-struct InsertStatement {
-  Name mo_name;
+/// One fact of a (possibly bulk) INSERT: the external key plus the
+/// characterizations to relate it to.
+struct InsertFact {
   std::uint64_t key = 0;
   std::vector<InsertAssignment> assignments;
+};
+
+/// INSERT INTO <mo> FACT <key> (<level> = '<text>' [PROB <p>], ...)
+///   [, FACT <key> (...)]*
+/// — the appending statement of the serving tier. Adds each atomic fact
+/// with its external key and relates it to the named values; dimensions
+/// left out are covered with top per the paper's convention for unknown
+/// characterizations. All facts of one statement resolve before any
+/// mutation and publish as ONE epoch, which is what makes the store's
+/// batched-append fast path (docs/ingestion.md) pay off.
+struct InsertStatement {
+  Name mo_name;
+  std::vector<InsertFact> facts;
+};
+
+/// DELETE FROM <mo> FACT <key> — removes the fact and every
+/// characterization referencing it. Deletes are structural
+/// invalidations, not appends: the serving tier routes them through the
+/// full-rebuild sealing path (docs/ingestion.md), never the incremental
+/// one, and the acknowledgment says so.
+struct DeleteStatement {
+  Name mo_name;
+  std::uint64_t key = 0;
 };
 
 /// SHOW DIMENSIONS FROM <mo> — lists the dimension types.
@@ -108,15 +127,21 @@ struct ShowStatement {
   Name mo_name;
 };
 
-/// A parsed statement: exactly one of select/show/insert is set. With
-/// `explain` the session does not execute the statement; it renders the
-/// compiler's logical plan before/after rewrites and the chosen physical
-/// operators instead (docs/mdql_compiler.md).
+/// A parsed statement: exactly one of select/show/insert/del is set.
+/// With `explain` the session does not execute the statement; it renders
+/// the compiler's logical plan before/after rewrites and the chosen
+/// physical operators instead (docs/mdql_compiler.md).
 struct Statement {
   std::optional<SelectStatement> select;
   std::optional<ShowStatement> show;
   std::optional<InsertStatement> insert;
+  std::optional<DeleteStatement> del;
   bool explain = false;
+
+  /// The raw source text, filled by Parse(). The session's plan cache
+  /// keys on it (together with the target MO's version); statements
+  /// constructed by hand carry no text and simply bypass the cache.
+  std::string text;
 };
 
 }  // namespace mdql

@@ -58,52 +58,80 @@ Result<QueryResult> ExecuteShow(const MdObject& mo,
 }  // namespace
 
 bool IsMutating(const Statement& statement) {
-  return statement.insert.has_value() && !statement.explain;
+  return (statement.insert.has_value() || statement.del.has_value()) &&
+         !statement.explain;
 }
 
 std::string_view StatementMoName(const Statement& statement) {
   if (statement.select.has_value()) return statement.select->mo_name.view();
   if (statement.insert.has_value()) return statement.insert->mo_name.view();
+  if (statement.del.has_value()) return statement.del->mo_name.view();
   return statement.show->mo_name.view();
 }
 
 Result<QueryResult> ApplyInsert(MdObject& mo, const InsertStatement& insert) {
-  if (insert.assignments.empty()) {
-    return Status::InvalidArgument(
-        "INSERT needs at least one level assignment");
+  if (insert.facts.empty()) {
+    return Status::InvalidArgument("INSERT needs at least one FACT group");
   }
-  // Resolve every assignment before mutating anything, so a bad name
-  // leaves the MO untouched.
+  // Resolve every assignment of every fact before mutating anything, so
+  // a bad name anywhere in the batch leaves the MO untouched.
   struct Resolved {
     std::size_t dim;
     ValueId value;
     double prob;
   };
-  std::vector<Resolved> resolved;
-  resolved.reserve(insert.assignments.size());
-  for (const InsertAssignment& assign : insert.assignments) {
-    MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, assign.level));
-    MDDC_ASSIGN_OR_RETURN(ValueId value,
-                          ResolveValueByName(mo, level, assign.text,
-                                             /*exec=*/nullptr));
-    if (assign.prob < 0.0 || assign.prob > 1.0) {
+  std::vector<std::vector<Resolved>> resolved;
+  resolved.reserve(insert.facts.size());
+  for (const InsertFact& fact : insert.facts) {
+    if (fact.assignments.empty()) {
       return Status::InvalidArgument(
-          StrCat("probability out of [0,1]: ", assign.prob));
+          "INSERT needs at least one level assignment per fact");
     }
-    resolved.push_back(Resolved{level.dim, value, assign.prob});
+    std::vector<Resolved> per_fact;
+    per_fact.reserve(fact.assignments.size());
+    for (const InsertAssignment& assign : fact.assignments) {
+      MDDC_ASSIGN_OR_RETURN(ResolvedLevel level, Resolve(mo, assign.level));
+      MDDC_ASSIGN_OR_RETURN(ValueId value,
+                            ResolveValueByName(mo, level, assign.text,
+                                               /*exec=*/nullptr));
+      if (assign.prob < 0.0 || assign.prob > 1.0) {
+        return Status::InvalidArgument(
+            StrCat("probability out of [0,1]: ", assign.prob));
+      }
+      per_fact.push_back(Resolved{level.dim, value, assign.prob});
+    }
+    resolved.push_back(std::move(per_fact));
   }
-
-  const FactId fact = mo.registry()->Atom(insert.key);
-  MDDC_RETURN_NOT_OK(mo.AddFact(fact));
-  for (const Resolved& r : resolved) {
-    MDDC_RETURN_NOT_OK(
-        mo.Relate(r.dim, fact, r.value, Lifespan::AlwaysSpan(), r.prob));
-  }
-  MDDC_RETURN_NOT_OK(mo.CoverWithTop());
 
   QueryResult ack;
   ack.columns = {"inserted", "fact"};
-  ack.rows.push_back({"1", mo.registry()->ToString(fact)});
+  std::vector<FactId> inserted;
+  inserted.reserve(insert.facts.size());
+  for (std::size_t i = 0; i < insert.facts.size(); ++i) {
+    const FactId fact = mo.registry()->Atom(insert.facts[i].key);
+    MDDC_RETURN_NOT_OK(mo.AddFact(fact));
+    for (const Resolved& r : resolved[i]) {
+      MDDC_RETURN_NOT_OK(
+          mo.Relate(r.dim, fact, r.value, Lifespan::AlwaysSpan(), r.prob));
+    }
+    inserted.push_back(fact);
+    ack.rows.push_back({"1", mo.registry()->ToString(fact)});
+  }
+  // Cover only the inserted facts: statements land on MOs whose existing
+  // facts are already covered, and the continuous-ingestion path cannot
+  // afford a full O(|F| * dims) rescan per batch (docs/ingestion.md).
+  MDDC_RETURN_NOT_OK(mo.CoverWithTop(inserted));
+  return ack;
+}
+
+Result<QueryResult> ApplyDelete(MdObject& mo, const DeleteStatement& del) {
+  const FactId fact = mo.registry()->Atom(del.key);
+  MDDC_RETURN_NOT_OK(mo.RemoveFact(fact));
+  QueryResult ack;
+  ack.columns = {"deleted", "fact", "path"};
+  ack.rows.push_back(
+      {"1", mo.registry()->ToString(fact),
+       "full-rebuild (deletes are not maintained incrementally)"});
   return ack;
 }
 
@@ -165,13 +193,44 @@ Result<QueryResult> Session::ExecuteImpl(const Statement& statement,
   }
   if (statement.select.has_value()) {
     if (compile_options_.enable_compiler) {
-      return ExecuteCompiledSelect(it->second, *statement.select,
-                                   compile_options_, exec);
+      // Plan cache: same text against the same MO version re-uses the
+      // compiler's fuse-or-fallback decision and skips lower+rewrite.
+      std::uint64_t version = 0;
+      if (auto vit = catalog_versions_.find(mo_name);
+          vit != catalog_versions_.end()) {
+        version = vit->second;
+      }
+      const bool* hint = nullptr;
+      bool cached_fused = false;
+      if (!statement.text.empty()) {
+        if (auto hit = plan_cache_.find(statement.text);
+            hit != plan_cache_.end() && hit->second.version == version) {
+          cached_fused = hit->second.fused;
+          hint = &cached_fused;
+          if (exec != nullptr) ++exec->stats.plan_cache_hits;
+        }
+      }
+      bool decision = false;
+      Result<QueryResult> result =
+          ExecuteCompiledSelect(it->second, *statement.select,
+                                compile_options_, exec, hint, &decision);
+      if (hint == nullptr && !statement.text.empty()) {
+        static constexpr std::size_t kPlanCacheCapacity = 256;
+        if (plan_cache_.size() >= kPlanCacheCapacity) plan_cache_.clear();
+        plan_cache_[statement.text] = PlanCacheEntry{version, decision};
+      }
+      return result;
     }
     return ExecuteSelectTreeWalk(it->second, *statement.select, exec);
   }
-  if (statement.insert.has_value()) {
-    return ApplyInsert(it->second, *statement.insert);
+  if (statement.insert.has_value() || statement.del.has_value()) {
+    Result<QueryResult> ack =
+        statement.insert.has_value()
+            ? ApplyInsert(it->second, *statement.insert)
+            : ApplyDelete(it->second, *statement.del);
+    // The MO changed shape: cached plan decisions against it are stale.
+    if (ack.ok()) ++catalog_versions_[std::string(mo_name)];
+    return ack;
   }
   return ExecuteShow(it->second, *statement.show);
 }

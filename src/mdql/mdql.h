@@ -52,24 +52,34 @@ struct QueryResult {
   std::string ToString() const;
 };
 
-/// True when executing the statement mutates the target MO (today:
-/// INSERT, unless EXPLAINed — EXPLAIN only renders the plan). The
+/// True when executing the statement mutates the target MO (INSERT and
+/// DELETE, unless EXPLAINed — EXPLAIN only renders the plan). The
 /// serving tier (src/serve) routes mutating statements through the
-/// store's serialized writer and everything else through a pinned
-/// immutable snapshot.
+/// store's serialized writer — INSERTs through the batched-append fast
+/// path, DELETEs through the full-rebuild path — and everything else
+/// through a pinned immutable snapshot.
 bool IsMutating(const Statement& statement);
 
 /// The name of the MO the statement targets (a view of the interned
 /// identifier; valid for the life of the process).
 std::string_view StatementMoName(const Statement& statement);
 
-/// Applies an INSERT to an MO in place: interns the atomic fact for the
-/// statement's key in the MO's registry, adds it to the fact set,
+/// Applies an INSERT to an MO in place: interns the atomic fact for each
+/// FACT group's key in the MO's registry, adds it to the fact set,
 /// relates it to each named value (resolved through the category's
 /// representations) with the given probability, and covers untouched
-/// dimensions with top. Returns a one-row acknowledgment. Exposed as a
-/// free function so the serving tier's writer can reuse it on drafts.
+/// dimensions with top. The whole batch resolves before any mutation, so
+/// one bad name leaves the MO untouched. Returns one acknowledgment row
+/// per fact. Exposed as a free function so the serving tier's writer can
+/// reuse it on drafts.
 Result<QueryResult> ApplyInsert(MdObject& mo, const InsertStatement& insert);
+
+/// Applies a DELETE to an MO in place: removes the fact with the
+/// statement's key from the fact set and every relation. Deletes are
+/// never maintained incrementally — the acknowledgment's "path" column
+/// says "full-rebuild" and the serving tier seals the draft from
+/// scratch (docs/ingestion.md). NotFound when no such fact exists.
+Result<QueryResult> ApplyDelete(MdObject& mo, const DeleteStatement& del);
 
 /// A catalog of named MOs plus the query entry point.
 class Session {
@@ -100,13 +110,25 @@ class Session {
   /// Compiler configuration for this session's SELECTs (rewrite.h). The
   /// default compiles and fuses everything; the stress oracle's replay
   /// session turns the compiler off to serve as the interpreted side of
-  /// a compiled-vs-interpreted differential.
+  /// a compiled-vs-interpreted differential. Changing the options drops
+  /// the plan cache — cached decisions were made under the old rules.
   void set_compile_options(const CompileOptions& options) {
     compile_options_ = options;
+    plan_cache_.clear();
   }
   const CompileOptions& compile_options() const { return compile_options_; }
 
  private:
+  /// One plan-cache entry: the compiler's fuse-or-fallback decision for
+  /// a statement text, valid while the target MO is at `version`. The
+  /// decision is the whole compiled artifact — the fused stream executes
+  /// straight off the AST — so a hit skips lowering, the rewrite
+  /// fixpoint and the shape check entirely (stats.plan_cache_hits).
+  struct PlanCacheEntry {
+    std::uint64_t version = 0;
+    bool fused = false;
+  };
+
   Result<QueryResult> ExecuteImpl(const Statement& statement,
                                   ExecContext* exec);
 
@@ -114,6 +136,13 @@ class Session {
   // materializing a key string.
   std::map<std::string, MdObject, std::less<>> catalog_;
   CompileOptions compile_options_;
+  /// Keyed on raw statement text (which names the MO, so one key never
+  /// spans MOs). Bounded: wholesale-cleared at capacity.
+  std::map<std::string, PlanCacheEntry, std::less<>> plan_cache_;
+  /// Per-MO mutation counters: bumped on Register and on every
+  /// successful INSERT/DELETE, so cached plan decisions made against an
+  /// older shape of the MO self-invalidate.
+  std::map<std::string, std::uint64_t, std::less<>> catalog_versions_;
 };
 
 }  // namespace mdql

@@ -23,9 +23,12 @@ class Parser {
       MDDC_ASSIGN_OR_RETURN(statement.show, ParseShow());
     } else if (Peek().kind == TokenKind::kInsert) {
       MDDC_ASSIGN_OR_RETURN(statement.insert, ParseInsert());
+    } else if (Peek().kind == TokenKind::kDelete) {
+      MDDC_ASSIGN_OR_RETURN(statement.del, ParseDelete());
     } else {
-      return Unexpected(statement.explain ? "SELECT, SHOW or INSERT"
-                                          : "EXPLAIN, SELECT, SHOW or INSERT");
+      return Unexpected(statement.explain
+                            ? "SELECT, SHOW, INSERT or DELETE"
+                            : "EXPLAIN, SELECT, SHOW, INSERT or DELETE");
     }
     if (Peek().kind != TokenKind::kEnd) {
       return Unexpected("end of query");
@@ -256,11 +259,7 @@ class Parser {
     return select;
   }
 
-  Result<InsertStatement> ParseInsert() {
-    MDDC_RETURN_NOT_OK(Expect(TokenKind::kInsert));
-    MDDC_RETURN_NOT_OK(Expect(TokenKind::kInto));
-    InsertStatement insert;
-    MDDC_ASSIGN_OR_RETURN(insert.mo_name, ExpectName());
+  Result<std::uint64_t> ParseFactKey() {
     MDDC_RETURN_NOT_OK(Expect(TokenKind::kFact));
     if (Peek().kind != TokenKind::kNumber) {
       MDDC_RETURN_NOT_OK(Unexpected("a numeric fact key"));
@@ -270,26 +269,51 @@ class Parser {
       return Status::InvalidArgument(
           StrCat("fact key must be a non-negative integer, got ", key));
     }
-    insert.key = static_cast<std::uint64_t>(key);
-    MDDC_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    return static_cast<std::uint64_t>(key);
+  }
+
+  // insert := INSERT INTO mo fact (',' fact)* ;
+  // fact   := FACT key '(' assignment (',' assignment)* ')'.
+  // The comma both separates assignments (inside the parentheses) and
+  // FACT groups (outside) — the closing ')' disambiguates.
+  Result<InsertStatement> ParseInsert() {
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kInsert));
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kInto));
+    InsertStatement insert;
+    MDDC_ASSIGN_OR_RETURN(insert.mo_name, ExpectName());
     do {
-      InsertAssignment assign;
-      MDDC_ASSIGN_OR_RETURN(assign.level, ParseLevelRef());
-      MDDC_RETURN_NOT_OK(Expect(TokenKind::kEq));
-      if (Peek().kind != TokenKind::kString) {
-        MDDC_RETURN_NOT_OK(Unexpected("a quoted value name"));
-      }
-      assign.text = Advance().text;
-      if (Accept(TokenKind::kProb)) {
-        if (Peek().kind != TokenKind::kNumber) {
-          MDDC_RETURN_NOT_OK(Unexpected("a probability"));
+      InsertFact fact;
+      MDDC_ASSIGN_OR_RETURN(fact.key, ParseFactKey());
+      MDDC_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      do {
+        InsertAssignment assign;
+        MDDC_ASSIGN_OR_RETURN(assign.level, ParseLevelRef());
+        MDDC_RETURN_NOT_OK(Expect(TokenKind::kEq));
+        if (Peek().kind != TokenKind::kString) {
+          MDDC_RETURN_NOT_OK(Unexpected("a quoted value name"));
         }
-        assign.prob = Advance().number;
-      }
-      insert.assignments.push_back(std::move(assign));
+        assign.text = Advance().text;
+        if (Accept(TokenKind::kProb)) {
+          if (Peek().kind != TokenKind::kNumber) {
+            MDDC_RETURN_NOT_OK(Unexpected("a probability"));
+          }
+          assign.prob = Advance().number;
+        }
+        fact.assignments.push_back(std::move(assign));
+      } while (Accept(TokenKind::kComma));
+      MDDC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      insert.facts.push_back(std::move(fact));
     } while (Accept(TokenKind::kComma));
-    MDDC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
     return insert;
+  }
+
+  Result<DeleteStatement> ParseDelete() {
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kDelete));
+    MDDC_RETURN_NOT_OK(Expect(TokenKind::kFrom));
+    DeleteStatement del;
+    MDDC_ASSIGN_OR_RETURN(del.mo_name, ExpectName());
+    MDDC_ASSIGN_OR_RETURN(del.key, ParseFactKey());
+    return del;
   }
 
   Result<ShowStatement> ParseShow() {
@@ -320,7 +344,9 @@ class Parser {
 Result<Statement> Parse(const std::string& source) {
   MDDC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   Parser parser(std::move(tokens));
-  return parser.ParseStatement();
+  MDDC_ASSIGN_OR_RETURN(Statement statement, parser.ParseStatement());
+  statement.text = source;
+  return statement;
 }
 
 }  // namespace mdql

@@ -28,7 +28,8 @@ const std::map<std::string, TokenKind>& Keywords() {
       {"HIERARCHY", TokenKind::kHierarchy},
       {"PATHS", TokenKind::kPaths},
       {"INSERT", TokenKind::kInsert},   {"INTO", TokenKind::kInto},
-      {"FACT", TokenKind::kFact},       {"EXPLAIN", TokenKind::kExplain},
+      {"FACT", TokenKind::kFact},       {"DELETE", TokenKind::kDelete},
+      {"EXPLAIN", TokenKind::kExplain},
   };
   return keywords;
 }
@@ -99,6 +100,8 @@ std::string_view TokenKindName(TokenKind kind) {
       return "INTO";
     case TokenKind::kFact:
       return "FACT";
+    case TokenKind::kDelete:
+      return "DELETE";
     case TokenKind::kExplain:
       return "EXPLAIN";
     case TokenKind::kEnd:

@@ -44,6 +44,7 @@ enum class TokenKind {
   kInsert,
   kInto,
   kFact,
+  kDelete,
   kExplain,
   kEnd,
 };

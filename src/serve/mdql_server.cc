@@ -3,8 +3,12 @@
 #include <cstdio>
 #include <utility>
 
+#include <algorithm>
+
 #include "common/strings.h"
 #include "core/fact.h"
+#include "engine/advisor.h"
+#include "mdql/bind.h"
 #include "mdql/parser.h"
 
 namespace mddc {
@@ -62,7 +66,7 @@ Result<mdql::QueryResult> ServerSession::ExecuteRead(
     view.epoch = snapshot->epoch();
     MDDC_RETURN_NOT_OK(view.session.Register(
         name,
-        entry->mo.WithRegistry(FactRegistry::ForkOf(entry->mo.registry()))));
+        entry->mo().WithRegistry(FactRegistry::ForkOf(entry->mo().registry()))));
     it = views_.insert_or_assign(name, std::move(view)).first;
     ++stats_.view_rebuilds;
   }
@@ -70,7 +74,95 @@ Result<mdql::QueryResult> ServerSession::ExecuteRead(
   ExecContext exec(threads_per_query_, /*min_facts=*/4096);
   auto result = it->second.session.Execute(statement, &exec);
   stats_.exec.MergeFrom(exec.stats);
+  if (result.ok() && statement.select.has_value()) {
+    if (auto mo = it->second.session.Get(name); mo.ok()) {
+      LogSelect(**mo, name, *statement.select);
+    }
+  }
   return result;
+}
+
+void ServerSession::LogSelect(const MdObject& mo, const std::string& name,
+                              const mdql::SelectStatement& select) {
+  std::vector<CategoryTypeIndex> grouping(mo.dimension_count());
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    grouping[i] = mo.dimension(i).type().top();
+  }
+  for (const mdql::GroupRef& group : select.group_by) {
+    auto level = mdql::Resolve(mo, group.level);
+    if (!level.ok()) return;
+    grouping[level->dim] = level->category;
+  }
+  std::vector<LoggedQuery>& log = query_log_[name];
+  for (const mdql::AggRef& agg : select.aggregates) {
+    auto function = mdql::BuildAggFunction(mo, agg);
+    if (!function.ok()) continue;
+    auto match = std::find_if(log.begin(), log.end(), [&](LoggedQuery& q) {
+      return q.function.kind() == function->kind() &&
+             q.function.args() == function->args() && q.grouping == grouping;
+    });
+    if (match != log.end()) {
+      ++match->count;
+    } else {
+      log.push_back(LoggedQuery{*function, grouping, 1});
+    }
+  }
+}
+
+Status ServerSession::AdviseWarmAggregates(const std::string& name,
+                                           std::size_t max_materializations) {
+  auto it = query_log_.find(name);
+  if (it == query_log_.end() || it->second.empty()) return Status::OK();
+
+  // The advisor needs the published MO (cost model sizes); advising
+  // against a view copy would be equivalent but keeps the pin explicit.
+  const std::shared_ptr<const MoSnapshot> snapshot = store_->Pin();
+  const PublishedMo* entry = snapshot->Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound(
+        StrCat("no MO named '", name, "' is published"));
+  }
+
+  // One advisor run per distinct function, highest total frequency
+  // first, sharing the materialization budget.
+  struct FnWorkload {
+    const AggFunction* function;
+    std::vector<AdvisorQuery> queries;
+    double total = 0.0;
+  };
+  std::vector<FnWorkload> workloads;
+  for (const LoggedQuery& logged : it->second) {
+    auto match = std::find_if(
+        workloads.begin(), workloads.end(), [&](const FnWorkload& w) {
+          return w.function->kind() == logged.function.kind() &&
+                 w.function->args() == logged.function.args();
+        });
+    if (match == workloads.end()) {
+      workloads.push_back(FnWorkload{&logged.function, {}, 0.0});
+      match = std::prev(workloads.end());
+    }
+    match->queries.push_back(
+        AdvisorQuery{logged.grouping, static_cast<double>(logged.count)});
+    match->total += static_cast<double>(logged.count);
+  }
+  std::stable_sort(workloads.begin(), workloads.end(),
+                   [](const FnWorkload& a, const FnWorkload& b) {
+                     return a.total > b.total;
+                   });
+
+  std::size_t budget = max_materializations;
+  for (const FnWorkload& workload : workloads) {
+    if (budget == 0) break;
+    MaterializationAdvisor advisor(entry->mo(), *workload.function);
+    MDDC_ASSIGN_OR_RETURN(AdvisorPlan plan,
+                          advisor.Advise(workload.queries, budget));
+    for (const AdvisorChoice& choice : plan.materialize) {
+      MDDC_RETURN_NOT_OK(
+          store_->WarmAggregate(name, *workload.function, choice.grouping));
+      --budget;
+    }
+  }
+  return Status::OK();
 }
 
 Result<mdql::QueryResult> ServerSession::ExecuteWrite(
@@ -78,14 +170,30 @@ Result<mdql::QueryResult> ServerSession::ExecuteWrite(
   ++stats_.writes;
   mdql::QueryResult ack;
   std::uint64_t published = 0;
-  MDDC_RETURN_NOT_OK(store_->Mutate(
-      std::string(mdql::StatementMoName(statement)),
-      [&](MdObject& draft) -> Status {
-        MDDC_ASSIGN_OR_RETURN(ack,
-                              mdql::ApplyInsert(draft, *statement.insert));
-        return Status::OK();
-      },
-      &published));
+  const std::string name(mdql::StatementMoName(statement));
+  if (statement.insert.has_value()) {
+    // INSERTs take the batched-append fast path: a pure-append draft is
+    // sealed by patching the published bundle (docs/ingestion.md); the
+    // store falls back to a full seal when the gate fails.
+    MDDC_RETURN_NOT_OK(store_->AppendBatch(
+        name,
+        [&](MdObject& draft) -> Status {
+          MDDC_ASSIGN_OR_RETURN(ack,
+                                mdql::ApplyInsert(draft, *statement.insert));
+          return Status::OK();
+        },
+        &published, &stats_.exec));
+  } else {
+    // DELETEs are structural invalidations: always the full-rebuild
+    // sealing path.
+    MDDC_RETURN_NOT_OK(store_->Mutate(
+        name,
+        [&](MdObject& draft) -> Status {
+          MDDC_ASSIGN_OR_RETURN(ack, mdql::ApplyDelete(draft, *statement.del));
+          return Status::OK();
+        },
+        &published));
+  }
   // The exact epoch this write produced — not store_->epoch(), which may
   // already reflect a concurrent session's later write.
   stats_.last_epoch = published;

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "algebra/agg_function.h"
 #include "common/result.h"
 #include "engine/executor.h"
 #include "mdql/mdql.h"
@@ -19,7 +21,7 @@ namespace serve {
 struct SessionStats {
   std::uint64_t queries = 0;        ///< statements executed (incl. failures)
   std::uint64_t reads = 0;          ///< SELECT / SHOW
-  std::uint64_t writes = 0;         ///< INSERT (routed through the writer)
+  std::uint64_t writes = 0;         ///< INSERT/DELETE (through the writer)
   std::uint64_t errors = 0;         ///< statements that returned a Status
   std::uint64_t view_rebuilds = 0;  ///< snapshot views (re)built on epoch moves
   std::uint64_t last_epoch = 0;     ///< epoch of the last executed statement
@@ -59,6 +61,21 @@ class ServerSession {
   const SessionStats& stats() const { return stats_; }
   std::string StatsJson() const { return stats_.ToJson(); }
 
+  /// Runs the materialization advisor (engine/advisor.h) over this
+  /// session's query log for `name` and registers its choices as warm
+  /// pre-aggregates on the store — so every later sealed epoch keeps the
+  /// session's hottest groupings pre-computed. The log records every
+  /// successful SELECT's (function, grouping) with its frequency;
+  /// groupings the advisor rejects (non-summarizable roll-ups stay
+  /// beneficial only to their exact query) are weighed by the same HRU
+  /// greedy the advisor always applied offline. Registration is
+  /// idempotent, so calling this periodically as the log grows is safe.
+  /// At most `max_materializations` specs are registered per call,
+  /// spent on the highest-total-frequency functions first. A no-op when
+  /// the session has not logged any SELECT against `name`.
+  Status AdviseWarmAggregates(const std::string& name,
+                              std::size_t max_materializations = 4);
+
  private:
   friend class MdqlServer;
   ServerSession(MoStore* store, std::size_t threads_per_query)
@@ -69,12 +86,27 @@ class ServerSession {
     mdql::Session session;
   };
 
+  /// One query-log line: a SELECT-list function over a resolved grouping
+  /// (one category per dimension, top for ungrouped), and how often the
+  /// session executed it.
+  struct LoggedQuery {
+    AggFunction function;
+    std::vector<CategoryTypeIndex> grouping;
+    std::uint64_t count = 0;
+  };
+
   Result<mdql::QueryResult> ExecuteRead(const mdql::Statement& statement);
   Result<mdql::QueryResult> ExecuteWrite(const mdql::Statement& statement);
+
+  /// Records a successful SELECT in the query log (advisor fuel). Best
+  /// effort: unresolvable levels or unbindable functions are skipped.
+  void LogSelect(const MdObject& mo, const std::string& name,
+                 const mdql::SelectStatement& select);
 
   MoStore* store_;
   std::size_t threads_per_query_;
   std::map<std::string, View, std::less<>> views_;
+  std::map<std::string, std::vector<LoggedQuery>, std::less<>> query_log_;
   SessionStats stats_;
 };
 

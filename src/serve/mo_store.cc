@@ -17,6 +17,41 @@ namespace {
 /// flatten over eight batches.
 constexpr std::size_t kMaxForkDepth = 8;
 
+/// The pure-append gate of AppendBatch: true iff `draft` is `published`
+/// plus appended facts only. The published fact list must be a prefix of
+/// the draft's (facts are sorted, so the tail is then both ascending and
+/// above every published id), every relation entry beyond the published
+/// count must reference a tail fact, and no dimension may have changed
+/// structurally — new leaf values and edges under them only bump the
+/// append version. On success `delta` receives the appended tail.
+bool IsPureAppend(const MdObject& published, const MdObject& draft,
+                  std::vector<FactId>* delta) {
+  const std::vector<FactId>& old_facts = published.facts();
+  const std::vector<FactId>& new_facts = draft.facts();
+  if (new_facts.size() < old_facts.size()) return false;
+  if (!std::equal(old_facts.begin(), old_facts.end(), new_facts.begin())) {
+    return false;
+  }
+  if (published.dimension_count() != draft.dimension_count()) return false;
+  for (std::size_t i = 0; i < draft.dimension_count(); ++i) {
+    if (draft.dimension(i).structural_version() !=
+        published.dimension(i).structural_version()) {
+      return false;
+    }
+    const FactDimRelation& old_rel = published.relation(i);
+    const FactDimRelation& new_rel = draft.relation(i);
+    if (new_rel.size() < old_rel.size()) return false;
+    for (std::size_t e = old_rel.size(); e < new_rel.size(); ++e) {
+      const FactDimRelation::Entry& entry = new_rel.entries()[e];
+      if (old_facts.empty() || !(old_facts.back() < entry.fact)) return false;
+    }
+  }
+  delta->assign(new_facts.begin() +
+                    static_cast<std::ptrdiff_t>(old_facts.size()),
+                new_facts.end());
+  return true;
+}
+
 }  // namespace
 
 const PublishedMo* MoSnapshot::Find(const std::string& name) const {
@@ -36,7 +71,14 @@ MoStore::MoStore() {
 }
 
 Result<std::shared_ptr<const PublishedMo>> MoStore::Seal(
-    MdObject mo, const std::vector<WarmSpec>& specs) {
+    MdObject draft, const std::vector<WarmSpec>& specs) {
+  // The sealed MO is shared between the epoch bundle and the warm cache
+  // below (its base), so the seal step itself never copies the draft.
+  // Every remaining step — memo warming, rollup compilation, CSR seals,
+  // the publish freeze — is publication metadata and works on const.
+  auto shared = std::make_shared<const MdObject>(std::move(draft));
+  const MdObject& mo = *shared;
+
   // Warm the closure memos first: compilation and every later read then
   // find the reachability of each value precomputed, making concurrent
   // queries pure reads.
@@ -56,9 +98,13 @@ Result<std::shared_ptr<const PublishedMo>> MoStore::Seal(
 
   std::shared_ptr<const PreAggregateCache> preagg;
   if (!specs.empty()) {
-    auto cache = std::make_shared<PreAggregateCache>(mo);
+    auto cache = std::make_shared<PreAggregateCache>(shared);
     for (const WarmSpec& spec : specs) {
-      MDDC_RETURN_NOT_OK(cache->Materialize(spec.function, spec.grouping));
+      // Resumable (base-scan) materialization: the captured accumulator
+      // state is what lets a later AppendBatch delta-fold the entry
+      // instead of rescanning (docs/ingestion.md).
+      MDDC_RETURN_NOT_OK(
+          cache->MaterializeResumable(spec.function, spec.grouping));
     }
     // The cached result MOs are published too (readers Peek them), so
     // they get the same treatment as the base MO.
@@ -72,7 +118,74 @@ Result<std::shared_ptr<const PublishedMo>> MoStore::Seal(
 
   mo.WarmAndFreezeForPublish();
   return std::shared_ptr<const PublishedMo>(std::make_shared<PublishedMo>(
-      PublishedMo{std::move(mo), std::move(rollups), std::move(preagg)}));
+      PublishedMo{std::move(shared), std::move(rollups), std::move(preagg)}));
+}
+
+Result<std::shared_ptr<const PublishedMo>> MoStore::SealAppend(
+    MdObject draft, const PublishedMo& prev, const std::vector<FactId>& delta,
+    const std::vector<WarmSpec>& specs, ExecStats* stats) {
+  ExecContext exec;
+  // As in Seal: the bundle and the folded cache share one MO, so the
+  // append seal's cost is the delta work below, not an MO copy.
+  auto shared = std::make_shared<const MdObject>(std::move(draft));
+  const MdObject& mo = *shared;
+
+  // Closure memos: the draft's dimensions carried the published memos
+  // over, so warming only fills the freshly appended values' entries.
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    mo.dimension(i).set_memoization_enabled(true);
+    mo.dimension(i).WarmClosureMemo();
+  }
+
+  // Rollup snapshots: each dimension's slot still holds the published
+  // snapshot. Untouched dimensions (version unchanged) reuse it outright;
+  // appended-to dimensions patch it — dense remap extended, fresh-value
+  // closure rows computed, old rows copied (exec.stats.rollup_patches).
+  std::vector<std::shared_ptr<const RollupIndex>> rollups;
+  rollups.reserve(mo.dimension_count());
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    rollups.push_back(RollupIndex::For(mo.dimension(i), &exec.stats));
+  }
+
+  // Reseal the by-fact CSR span views: a batched fact append lands at the
+  // entry tail with fresh (maximal) fact ids, so the sealed layout is
+  // extended in place rather than re-sorted.
+  for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
+    if (mo.relation(i).SealIndexesReporting() ==
+        FactDimRelation::SealOutcome::kExtended) {
+      ++exec.stats.csr_tail_extends;
+    }
+  }
+
+  std::shared_ptr<const PreAggregateCache> preagg;
+  if (!specs.empty()) {
+    std::shared_ptr<PreAggregateCache> cache;
+    if (prev.preagg != nullptr) {
+      // Delta-fold the published entries: only the appended facts'
+      // contributions are accumulated onto the captured state; entries
+      // whose fold gate fails rematerialize with a full scan.
+      MDDC_ASSIGN_OR_RETURN(PreAggregateCache folded,
+                            prev.preagg->FoldAppend(shared, delta, &exec));
+      cache = std::make_shared<PreAggregateCache>(std::move(folded));
+    } else {
+      cache = std::make_shared<PreAggregateCache>(shared);
+    }
+    for (const WarmSpec& spec : specs) {
+      MDDC_RETURN_NOT_OK(
+          cache->MaterializeResumable(spec.function, spec.grouping));
+    }
+    for (const WarmSpec& spec : specs) {
+      if (const MdObject* cached = cache->Peek(spec.function, spec.grouping)) {
+        cached->WarmAndFreezeForPublish();
+      }
+    }
+    preagg = std::move(cache);
+  }
+
+  mo.WarmAndFreezeForPublish();
+  if (stats != nullptr) stats->MergeFrom(exec.stats);
+  return std::shared_ptr<const PublishedMo>(std::make_shared<PublishedMo>(
+      PublishedMo{std::move(shared), std::move(rollups), std::move(preagg)}));
 }
 
 Status MoStore::SwapLocked(const std::string& name,
@@ -129,6 +242,43 @@ Status MoStore::Mutate(const std::string& name,
   return Status::OK();
 }
 
+Status MoStore::AppendBatch(const std::string& name,
+                            const std::function<Status(MdObject&)>& appender,
+                            std::uint64_t* published_epoch,
+                            ExecStats* stats) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const std::shared_ptr<const MoSnapshot> current = Pin();
+  const PublishedMo* entry = current->Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound(StrCat("no MO named '", name, "' is published"));
+  }
+  std::shared_ptr<FactRegistry> registry;
+  if (entry->mo().registry()->fork_depth() >= kMaxForkDepth) {
+    registry = entry->mo().registry()->Flatten();
+    ++registry_flattens_;
+  } else {
+    registry = FactRegistry::ForkOf(entry->mo().registry());
+  }
+  MdObject draft = entry->mo().WithRegistry(std::move(registry));
+  MDDC_RETURN_NOT_OK(appender(draft));
+
+  std::vector<FactId> delta;
+  std::shared_ptr<const PublishedMo> sealed;
+  if (IsPureAppend(entry->mo(), draft, &delta)) {
+    MDDC_ASSIGN_OR_RETURN(
+        sealed,
+        SealAppend(std::move(draft), *entry, delta, warm_specs_[name], stats));
+    ++append_batches_;
+  } else {
+    MDDC_ASSIGN_OR_RETURN(sealed,
+                          Seal(std::move(draft), warm_specs_[name]));
+    ++append_fallbacks_;
+  }
+  MDDC_RETURN_NOT_OK(SwapLocked(name, std::move(sealed)));
+  if (published_epoch != nullptr) *published_epoch = Pin()->epoch();
+  return Status::OK();
+}
+
 Status MoStore::MutateLocked(const std::string& name,
                              const std::function<Status(MdObject&)>& mutator) {
   const std::shared_ptr<const MoSnapshot> current = Pin();
@@ -141,13 +291,13 @@ Status MoStore::MutateLocked(const std::string& name,
   // readers pinned on any epoch. Fork chains are collapsed every
   // kMaxForkDepth batches.
   std::shared_ptr<FactRegistry> registry;
-  if (entry->mo.registry()->fork_depth() >= kMaxForkDepth) {
-    registry = entry->mo.registry()->Flatten();
+  if (entry->mo().registry()->fork_depth() >= kMaxForkDepth) {
+    registry = entry->mo().registry()->Flatten();
     ++registry_flattens_;
   } else {
-    registry = FactRegistry::ForkOf(entry->mo.registry());
+    registry = FactRegistry::ForkOf(entry->mo().registry());
   }
-  MdObject draft = entry->mo.WithRegistry(std::move(registry));
+  MdObject draft = entry->mo().WithRegistry(std::move(registry));
   MDDC_RETURN_NOT_OK(mutator(draft));
   MDDC_ASSIGN_OR_RETURN(std::shared_ptr<const PublishedMo> sealed,
                         Seal(std::move(draft), warm_specs_[name]));
@@ -158,6 +308,16 @@ Status MoStore::WarmAggregate(const std::string& name,
                               const AggFunction& function,
                               std::vector<CategoryTypeIndex> grouping) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  // Idempotent: the warm-aggregate advisor re-runs as the query log
+  // grows, and re-registering an already-warm spec must not republish
+  // (or duplicate the materialization work on every later seal).
+  for (const WarmSpec& spec : warm_specs_[name]) {
+    if (spec.function.kind() == function.kind() &&
+        spec.function.args() == function.args() &&
+        spec.grouping == grouping) {
+      return Status::OK();
+    }
+  }
   warm_specs_[name].push_back(WarmSpec{function, std::move(grouping)});
   // Republish so the new spec is materialized into a fresh epoch. A
   // failing Materialize (e.g. an inapplicable function) surfaces here;
@@ -187,6 +347,8 @@ MoStore::Stats MoStore::CollectStats() const {
   stats.registry_flattens = registry_flattens_;
   stats.reclaimed_snapshots = reclaimed_;
   stats.live_snapshots = live + 1;  // retired-but-pinned + current
+  stats.append_batches = append_batches_;
+  stats.append_fallbacks = append_fallbacks_;
   return stats;
 }
 

@@ -33,9 +33,13 @@ struct WarmSpec {
 /// an optional pre-aggregate cache holding the warm specs. All of it is
 /// immutable after publication; readers share it by shared_ptr.
 struct PublishedMo {
-  MdObject mo;
+  /// The sealed MO, shared with the epoch's PreAggregateCache (its base
+  /// is this very object), so sealing an epoch never duplicates the MO.
+  std::shared_ptr<const MdObject> shared_mo;
   std::vector<std::shared_ptr<const RollupIndex>> rollups;  // per dimension
   std::shared_ptr<const PreAggregateCache> preagg;  // null when no warm specs
+
+  const MdObject& mo() const { return *shared_mo; }
 };
 
 /// An immutable, epoch-stamped catalog of published MOs. Obtained from
@@ -113,6 +117,33 @@ class MoStore {
                 const std::function<Status(MdObject&)>& mutator,
                 std::uint64_t* published_epoch = nullptr);
 
+  /// The batched-append fast path of continuous ingestion
+  /// (docs/ingestion.md). Like Mutate, but when the applied draft turns
+  /// out to be the published MO *plus appended facts only* — the fact
+  /// list grew at the tail, every new relation entry references a new
+  /// fact, and no dimension changed structurally (new leaf values under
+  /// existing categories are fine) — the new epoch is sealed by patching:
+  /// rollup snapshots extend in place, the relations' CSR span views
+  /// splice the appended tail, and the warm pre-aggregates delta-fold
+  /// only the new facts' contributions instead of rescanning. A draft
+  /// that fails the gate (structural edits, deletes, touched old facts)
+  /// silently takes the full Seal path, so AppendBatch is always safe to
+  /// call. The gate itself demotes an appender that adds relation
+  /// entries for already-published facts (every appended entry must
+  /// reference a fact past the old tail); the one thing it cannot see is
+  /// an in-place coalesce — re-adding an existing (fact, value) pair
+  /// with a different lifespan. MDQL INSERT only ever relates with the
+  /// always-lifespan, for which the coalesce is an idempotent no-op;
+  /// direct-API appenders must avoid re-characterizing published facts.
+  ///
+  /// `stats` (optional) accumulates the engine counters of the seal —
+  /// rollup_patches, csr_tail_extends, preagg_folds,
+  /// preagg_fold_invalidations — for telemetry and tests.
+  Status AppendBatch(const std::string& name,
+                     const std::function<Status(MdObject&)>& appender,
+                     std::uint64_t* published_epoch = nullptr,
+                     ExecStats* stats = nullptr);
+
   /// Registers a warm pre-aggregate for `name` and republishes it (new
   /// epoch) with the spec materialized into the snapshot's cache; all
   /// later epochs of the MO keep it warm too.
@@ -124,6 +155,8 @@ class MoStore {
     std::uint64_t registry_flattens = 0;  ///< fork chains collapsed
     std::uint64_t reclaimed_snapshots = 0;  ///< retired epochs fully released
     std::size_t live_snapshots = 0;  ///< current + retired-but-still-pinned
+    std::uint64_t append_batches = 0;    ///< AppendBatch fast-path seals
+    std::uint64_t append_fallbacks = 0;  ///< AppendBatch full-Seal fallbacks
   };
 
   /// Current stats; prunes the retired-epoch observers as a side effect
@@ -146,6 +179,14 @@ class MoStore {
   Result<std::shared_ptr<const PublishedMo>> Seal(
       MdObject mo, const std::vector<WarmSpec>& specs);
 
+  /// Seal variant for a draft that passed the pure-append gate: patches
+  /// the published bundle (`prev`) forward instead of recompiling it.
+  /// `delta` is the appended fact tail, ascending. Caller holds
+  /// writer_mu_.
+  Result<std::shared_ptr<const PublishedMo>> SealAppend(
+      MdObject mo, const PublishedMo& prev, const std::vector<FactId>& delta,
+      const std::vector<WarmSpec>& specs, ExecStats* stats);
+
   mutable std::mutex writer_mu_;
   std::atomic<std::shared_ptr<const MoSnapshot>> current_;
   std::map<std::string, std::vector<WarmSpec>> warm_specs_;  // writer_mu_
@@ -153,6 +194,8 @@ class MoStore {
   mutable std::uint64_t reclaimed_ = 0;        // writer_mu_
   std::uint64_t epochs_published_ = 0;         // writer_mu_
   std::uint64_t registry_flattens_ = 0;        // writer_mu_
+  std::uint64_t append_batches_ = 0;           // writer_mu_
+  std::uint64_t append_fallbacks_ = 0;         // writer_mu_
 };
 
 }  // namespace serve

@@ -35,7 +35,8 @@ void RunSession(serve::MdqlServer& server, const StressOptions& options,
     ClassTally& tally =
         outcome.per_class[static_cast<std::size_t>(query_class)];
     for (const std::string& statement : generator.Generate(query_class)) {
-      const bool is_write = query_class == QueryClass::kInsert;
+      const bool is_write = query_class == QueryClass::kInsert ||
+                            query_class == QueryClass::kAppendBatch;
       const auto start = std::chrono::steady_clock::now();
       auto result = session.Execute(statement);
       const auto end = std::chrono::steady_clock::now();

@@ -9,7 +9,7 @@ namespace stress {
 namespace {
 
 constexpr const char* kClassNames[kQueryClassCount] = {
-    "rollup", "temporal", "prob", "star", "insert"};
+    "rollup", "temporal", "prob", "star", "insert", "append"};
 
 /// The fixed ASOF dates of the temporal class: before the 1980
 /// reclassification epoch, at it, and after it, so slices land on both
@@ -199,6 +199,30 @@ std::vector<std::string> StatementGenerator::Generate(
       statements.push_back(StrCat(
           "INSERT INTO ", mo, " FACT ", key, " (", assignment,
           ", Residence.Area = 'A", area, "')"));
+      break;
+    }
+    case QueryClass::kAppendBatch: {
+      // Continuous ingestion: 2-4 new facts in ONE bulk INSERT, so the
+      // whole batch publishes as a single epoch through the store's
+      // batched-append fast path. Key space and characterization shapes
+      // match kInsert (same counter, so replays stay deterministic).
+      const std::size_t batch = 2 + Pick(3);
+      std::string statement = StrCat("INSERT INTO ", mo);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::uint64_t key =
+            profile_.insert_key_base +
+            static_cast<std::uint64_t>(session_index_) * 1000000 +
+            insert_counter_++;
+        const std::size_t low = Pick(profile_.lows);
+        const std::size_t area = Pick(profile_.areas);
+        std::string assignment = StrCat(
+            "Diagnosis.\"Low-level Diagnosis\" = 'L", low, "'");
+        if (Pick(2) == 1) assignment += " PROB 0.8";
+        statement += StrCat(b == 0 ? " " : ", ", "FACT ", key, " (",
+                            assignment, ", Residence.Area = 'A", area,
+                            "')");
+      }
+      statements.push_back(std::move(statement));
       break;
     }
   }

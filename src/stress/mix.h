@@ -29,24 +29,28 @@ namespace stress {
 ///    star schema would answer with a fact-dimension join.
 ///  * kInsert — MDQL INSERT of a new patient fact with an uncertain
 ///    diagnosis and a residence, routed through the store's writer.
+///  * kAppendBatch — the continuous-ingestion shape: one bulk INSERT of
+///    several new patient facts, published as ONE epoch through the
+///    store's batched-append fast path (docs/ingestion.md).
 enum class QueryClass {
   kRollupDrilldown = 0,
   kTemporalSlice = 1,
   kProbabilistic = 2,
   kStarJoin = 3,
   kInsert = 4,
+  kAppendBatch = 5,
 };
 
-inline constexpr std::size_t kQueryClassCount = 5;
+inline constexpr std::size_t kQueryClassCount = 6;
 
 /// Short stable name, also the key of MixSpec::Parse ("rollup",
-/// "temporal", "prob", "star", "insert").
+/// "temporal", "prob", "star", "insert", "append").
 const char* QueryClassName(QueryClass query_class);
 
 /// Relative weights of the query classes, YCSB-style. The default mix is
-/// read-heavy with a trickle of writes.
+/// read-heavy with a trickle of writes (single-fact and batched).
 struct MixSpec {
-  std::array<std::uint32_t, kQueryClassCount> weights{4, 2, 1, 1, 1};
+  std::array<std::uint32_t, kQueryClassCount> weights{4, 2, 1, 1, 1, 1};
 
   /// Parses "rollup=4,temporal=2,prob=1,star=1,insert=1". Omitted
   /// classes keep weight 0; at least one weight must be positive.

@@ -1,14 +1,27 @@
 #include "temporal/temporal_element.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/strings.h"
 
 namespace mddc {
 
-TemporalElement::TemporalElement(std::initializer_list<Interval> intervals)
-    : intervals_(intervals) {
-  Coalesce();
+TemporalElement::TemporalElement(std::initializer_list<Interval> intervals) {
+  std::vector<Interval> list(intervals);
+  Coalesce(list);
+  Assign(std::move(list));
+}
+
+void TemporalElement::Assign(std::vector<Interval> coalesced) {
+  if (coalesced.size() <= 1) {
+    overflow_.clear();
+    inline_size_ = static_cast<std::uint32_t>(coalesced.size());
+    if (!coalesced.empty()) inline_ = coalesced.front();
+  } else {
+    overflow_ = std::move(coalesced);
+    inline_size_ = 0;
+  }
 }
 
 Result<TemporalElement> TemporalElement::Parse(const std::string& text) {
@@ -29,16 +42,18 @@ Result<TemporalElement> TemporalElement::Parse(const std::string& text) {
 
 std::int64_t TemporalElement::Cardinality() const {
   std::int64_t total = 0;
-  for (const Interval& i : intervals_) total += i.Length();
+  for (const Interval& i : intervals()) total += i.Length();
   return total;
 }
 
 bool TemporalElement::Contains(Chronon c) const {
   // Binary search over sorted disjoint intervals.
+  const Interval* first = data();
+  const Interval* last = first + size();
   auto it = std::upper_bound(
-      intervals_.begin(), intervals_.end(), c,
+      first, last, c,
       [](Chronon value, const Interval& i) { return value < i.begin(); });
-  if (it == intervals_.begin()) return false;
+  if (it == first) return false;
   return std::prev(it)->Contains(c);
 }
 
@@ -49,9 +64,11 @@ bool TemporalElement::Covers(const TemporalElement& other) const {
 bool TemporalElement::Overlaps(const TemporalElement& other) const {
   // Allocation-free two-pointer sweep over the sorted coalesced interval
   // lists (the same walk Intersect does, stopping at the first hit).
-  auto a = intervals_.begin();
-  auto b = other.intervals_.begin();
-  while (a != intervals_.end() && b != other.intervals_.end()) {
+  const View mine = intervals();
+  const View theirs = other.intervals();
+  auto a = mine.begin();
+  auto b = theirs.begin();
+  while (a != mine.end() && b != theirs.end()) {
     if (std::max(a->begin(), b->begin()) <= std::min(a->end(), b->end())) {
       return true;
     }
@@ -65,23 +82,47 @@ bool TemporalElement::Overlaps(const TemporalElement& other) const {
 }
 
 TemporalElement TemporalElement::Union(const TemporalElement& other) const {
+  // Identity and single-interval fast paths stay allocation-free; they
+  // cover the bulk of lifespan unions on the hot relate/coalesce paths.
+  if (Empty()) return other;
+  if (other.Empty()) return *this;
+  if (size() == 1 && other.size() == 1) {
+    const Interval& a = data()[0];
+    const Interval& b = other.data()[0];
+    if (a.Meets(b)) {
+      return TemporalElement(Interval(std::min(a.begin(), b.begin()),
+                                      std::max(a.end(), b.end())));
+    }
+  }
+  std::vector<Interval> merged(intervals().begin(), intervals().end());
+  merged.insert(merged.end(), other.intervals().begin(),
+                other.intervals().end());
+  Coalesce(merged);
   TemporalElement result;
-  result.intervals_ = intervals_;
-  result.intervals_.insert(result.intervals_.end(), other.intervals_.begin(),
-                           other.intervals_.end());
-  result.Coalesce();
+  result.Assign(std::move(merged));
   return result;
 }
 
 TemporalElement TemporalElement::Intersect(
     const TemporalElement& other) const {
-  TemporalElement result;
-  auto a = intervals_.begin();
-  auto b = other.intervals_.begin();
-  while (a != intervals_.end() && b != other.intervals_.end()) {
+  // Absorbing/identity fast paths (Always is by far the most common
+  // lifespan) and the single∩single case avoid the scratch vector.
+  if (Empty() || other.IsAlways()) return *this;
+  if (other.Empty() || IsAlways()) return other;
+  if (size() == 1 && other.size() == 1) {
+    const Chronon lo = std::max(data()[0].begin(), other.data()[0].begin());
+    const Chronon hi = std::min(data()[0].end(), other.data()[0].end());
+    return lo <= hi ? TemporalElement(Interval(lo, hi)) : TemporalElement();
+  }
+  const View mine = intervals();
+  const View theirs = other.intervals();
+  std::vector<Interval> out;
+  auto a = mine.begin();
+  auto b = theirs.begin();
+  while (a != mine.end() && b != theirs.end()) {
     Chronon lo = std::max(a->begin(), b->begin());
     Chronon hi = std::min(a->end(), b->end());
-    if (lo <= hi) result.intervals_.emplace_back(lo, hi);
+    if (lo <= hi) out.emplace_back(lo, hi);
     if (a->end() < b->end()) {
       ++a;
     } else {
@@ -91,30 +132,37 @@ TemporalElement TemporalElement::Intersect(
   // Inputs are coalesced and we emit in order, so the result is coalesced
   // except possibly for adjacency introduced by distinct input intervals;
   // normalize to be safe.
-  result.Coalesce();
+  Coalesce(out);
+  TemporalElement result;
+  result.Assign(std::move(out));
   return result;
 }
 
 TemporalElement TemporalElement::Subtract(const TemporalElement& other) const {
-  TemporalElement result;
-  auto b = other.intervals_.begin();
-  for (const Interval& interval : intervals_) {
+  if (Empty() || other.Empty()) return *this;
+  const View mine = intervals();
+  const View theirs = other.intervals();
+  std::vector<Interval> out;
+  auto b = theirs.begin();
+  for (const Interval& interval : mine) {
     Chronon cursor = interval.begin();
-    while (b != other.intervals_.end() && b->end() < cursor) ++b;
+    while (b != theirs.end() && b->end() < cursor) ++b;
     auto cut = b;
     while (cursor <= interval.end()) {
-      if (cut == other.intervals_.end() || cut->begin() > interval.end()) {
-        result.intervals_.emplace_back(cursor, interval.end());
+      if (cut == theirs.end() || cut->begin() > interval.end()) {
+        out.emplace_back(cursor, interval.end());
         break;
       }
       if (cut->begin() > cursor) {
-        result.intervals_.emplace_back(cursor, cut->begin() - 1);
+        out.emplace_back(cursor, cut->begin() - 1);
       }
       cursor = cut->end() + 1;
       ++cut;
     }
   }
-  result.Coalesce();
+  Coalesce(out);
+  TemporalElement result;
+  result.Assign(std::move(out));
   return result;
 }
 
@@ -123,35 +171,62 @@ TemporalElement TemporalElement::Complement() const {
 }
 
 void TemporalElement::Add(const Interval& interval) {
-  intervals_.push_back(interval);
-  Coalesce();
+  // The in-place analogues of Union's fast paths: an empty element and
+  // the mergeable single-interval case never touch the heap.
+  if (Empty()) {
+    inline_ = interval;
+    inline_size_ = 1;
+    return;
+  }
+  if (size() == 1) {
+    const Interval& current = data()[0];
+    if (current.Meets(interval)) {
+      inline_ = Interval(std::min(current.begin(), interval.begin()),
+                         std::max(current.end(), interval.end()));
+      inline_size_ = 1;
+      overflow_.clear();
+      return;
+    }
+  }
+  std::vector<Interval> merged(intervals().begin(), intervals().end());
+  merged.push_back(interval);
+  Coalesce(merged);
+  Assign(std::move(merged));
 }
 
 TemporalElement TemporalElement::Bind(Chronon reference) const {
-  TemporalElement result;
-  for (const Interval& interval : intervals_) {
-    Interval bound = interval.Bind(reference);
-    if (bound.begin() <= bound.end()) result.intervals_.push_back(bound);
+  if (size() <= 1) {
+    if (Empty()) return TemporalElement();
+    Interval bound = data()[0].Bind(reference);
+    return bound.begin() <= bound.end() ? TemporalElement(bound)
+                                        : TemporalElement();
   }
-  result.Coalesce();
+  std::vector<Interval> out;
+  for (const Interval& interval : intervals()) {
+    Interval bound = interval.Bind(reference);
+    if (bound.begin() <= bound.end()) out.push_back(bound);
+  }
+  Coalesce(out);
+  TemporalElement result;
+  result.Assign(std::move(out));
   return result;
 }
 
 std::string TemporalElement::ToString() const {
-  if (intervals_.empty()) return "{}";
-  if (*this == Always()) return "[ALWAYS]";
+  if (Empty()) return "{}";
+  if (IsAlways()) return "[ALWAYS]";
   std::vector<std::string> parts;
-  parts.reserve(intervals_.size());
-  for (const Interval& i : intervals_) parts.push_back(i.ToString());
+  parts.reserve(size());
+  for (const Interval& i : intervals()) parts.push_back(i.ToString());
   return Join(parts, ",");
 }
 
-void TemporalElement::Coalesce() {
-  if (intervals_.size() <= 1) return;
-  std::sort(intervals_.begin(), intervals_.end());
+void TemporalElement::Coalesce(std::vector<Interval>& intervals) {
+  if (intervals.size() <= 1) return;
+  std::sort(intervals.begin(), intervals.end());
   std::vector<Interval> merged;
-  merged.reserve(intervals_.size());
-  for (const Interval& interval : intervals_) {
+  merged.reserve(intervals.size());
+  for (const Interval& interval : intervals) {
     if (!merged.empty() && merged.back().Meets(interval)) {
       Interval& last = merged.back();
       last = Interval(last.begin(), std::max(last.end(), interval.end()));
@@ -159,7 +234,7 @@ void TemporalElement::Coalesce() {
       merged.push_back(interval);
     }
   }
-  intervals_ = std::move(merged);
+  intervals = std::move(merged);
 }
 
 }  // namespace mddc

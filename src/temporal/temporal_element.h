@@ -1,6 +1,7 @@
 #ifndef MDDC_TEMPORAL_TEMPORAL_ELEMENT_H_
 #define MDDC_TEMPORAL_TEMPORAL_ELEMENT_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <ostream>
 #include <string>
@@ -22,10 +23,9 @@ class TemporalElement {
   /// The empty set of chronons.
   TemporalElement() = default;
 
-  /// A single interval.
-  explicit TemporalElement(const Interval& interval) {
-    intervals_.push_back(interval);
-  }
+  /// A single interval (inline, allocation-free).
+  explicit TemporalElement(const Interval& interval)
+      : inline_(interval), inline_size_(1) {}
 
   /// Coalesces an arbitrary list of intervals.
   TemporalElement(std::initializer_list<Interval> intervals);
@@ -48,16 +48,35 @@ class TemporalElement {
   /// e.g. "[01/01/70-31/12/79],[01/01/85-NOW]".
   static Result<TemporalElement> Parse(const std::string& text);
 
-  bool Empty() const { return intervals_.empty(); }
+  bool Empty() const { return size() == 0; }
   /// True iff the element is the whole time domain — O(1) thanks to the
   /// coalesced canonical form, and worth testing before Union/Intersect
   /// since Always is absorbing/identity there.
   bool IsAlways() const {
-    return intervals_.size() == 1 &&
-           intervals_.front().begin() == kMinChronon &&
-           intervals_.front().end() == kForeverChronon;
+    return size() == 1 && data()[0].begin() == kMinChronon &&
+           data()[0].end() == kForeverChronon;
   }
-  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Lightweight random-access view of the coalesced intervals; valid
+  /// while the element is alive and unmodified.
+  class View {
+   public:
+    View(const Interval* data, std::size_t size)
+        : data_(data), size_(size) {}
+    const Interval* begin() const { return data_; }
+    const Interval* end() const { return data_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const Interval& front() const { return data_[0]; }
+    const Interval& back() const { return data_[size_ - 1]; }
+    const Interval& operator[](std::size_t i) const { return data_[i]; }
+
+   private:
+    const Interval* data_;
+    std::size_t size_;
+  };
+
+  View intervals() const { return View(data(), size()); }
 
   /// Total number of chronons in the element.
   std::int64_t Cardinality() const;
@@ -91,7 +110,11 @@ class TemporalElement {
   std::string ToString() const;
 
   friend bool operator==(const TemporalElement& a, const TemporalElement& b) {
-    return a.intervals_ == b.intervals_;
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a.data()[i] == b.data()[i])) return false;
+    }
+    return true;
   }
   friend std::ostream& operator<<(std::ostream& os,
                                   const TemporalElement& element) {
@@ -99,10 +122,30 @@ class TemporalElement {
   }
 
  private:
-  /// Sorts and merges intervals_ into canonical coalesced form.
-  void Coalesce();
+  const Interval* data() const {
+    return overflow_.empty() ? &inline_ : overflow_.data();
+  }
+  std::size_t size() const {
+    return overflow_.empty() ? inline_size_ : overflow_.size();
+  }
 
-  std::vector<Interval> intervals_;
+  /// Installs an already-coalesced interval list, choosing the inline or
+  /// overflow representation.
+  void Assign(std::vector<Interval> coalesced);
+
+  /// Sorts and merges `intervals` into canonical coalesced form.
+  static void Coalesce(std::vector<Interval>& intervals);
+
+  // Small-buffer representation. Lifespans attached to facts and
+  // dimension edges are overwhelmingly a single interval (AlwaysSpan or
+  // one era), and MVCC drafts clone millions of them per batch: keeping
+  // the single-interval case inline makes those copies — and the retired
+  // epoch's teardown — allocation-free. Invariant: size() <= 1 lives in
+  // inline_/inline_size_ with overflow_ empty; size() >= 2 lives wholly
+  // in overflow_.
+  Interval inline_ = Interval(kMinChronon, kMinChronon);
+  std::uint32_t inline_size_ = 0;
+  std::vector<Interval> overflow_;
 };
 
 }  // namespace mddc

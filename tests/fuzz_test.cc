@@ -43,6 +43,12 @@ std::string RandomQueryFromFragments(std::mt19937& rng) {
       // the plan layer on every statement class too.
       "EXPLAIN",     "EXPLAIN SELECT COUNT FROM patients",
       "EXPLAIN SELECT COUNT FROM patients BY Diagnosis.Family",
+      // Bulk INSERT and DELETE fragments: the comma-separated FACT
+      // groups and the delete path must survive arbitrary recombination.
+      "DELETE",      "DELETE FROM patients FACT 99",
+      "FACT 7 (Name.Name = 'Jane Doe')",
+      "INSERT INTO patients FACT 90 (Name.Name = 'Jane Doe'), FACT 91"
+      " (Name.Name = 'John Doe' PROB 0.5)",
   };
   std::uniform_int_distribution<std::size_t> pick(
       0, std::size(kFragments) - 1);
@@ -95,6 +101,13 @@ TEST_P(FuzzTest, InsertMutationsNeverBreakAtomicity) {
       "INSERT INTO patients FACT 501 (Name.Name = 'Jane Doe' PROB 0.8)",
       "INSERT INTO patients FACT 502 "
       "(Name.Name = 'Jane Doe' PROB 0.6, Name.Name = 'John Doe')",
+      // Bulk INSERT: the resolve-before-mutate contract spans the whole
+      // batch — a bad name in the LAST fact must leave the first
+      // untouched too.
+      "INSERT INTO patients FACT 503 (Name.Name = 'Jane Doe'), "
+      "FACT 504 (Name.Name = 'John Doe' PROB 0.9)",
+      "DELETE FROM patients FACT 500",
+      "DELETE FROM patients FACT 987654",
   };
   std::mt19937 rng(GetParam() * 2179 + 7);
   std::uniform_int_distribution<std::size_t> which(

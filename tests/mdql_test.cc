@@ -119,14 +119,35 @@ TEST(MdqlParserTest, InsertStatement) {
   ASSERT_TRUE(statement->insert.has_value());
   const InsertStatement& insert = *statement->insert;
   EXPECT_EQ(insert.mo_name, "patients");
-  EXPECT_EQ(insert.key, 42u);
-  ASSERT_EQ(insert.assignments.size(), 2u);
-  EXPECT_EQ(insert.assignments[0].level.dimension, "Residence");
-  EXPECT_EQ(insert.assignments[0].level.category, "City");
-  EXPECT_EQ(insert.assignments[0].text, "Aalborg");
-  EXPECT_DOUBLE_EQ(insert.assignments[0].prob, 1.0);
-  EXPECT_EQ(insert.assignments[1].text, "E10");
-  EXPECT_DOUBLE_EQ(insert.assignments[1].prob, 0.8);
+  ASSERT_EQ(insert.facts.size(), 1u);
+  EXPECT_EQ(insert.facts[0].key, 42u);
+  const auto& assignments = insert.facts[0].assignments;
+  ASSERT_EQ(assignments.size(), 2u);
+  EXPECT_EQ(assignments[0].level.dimension, "Residence");
+  EXPECT_EQ(assignments[0].level.category, "City");
+  EXPECT_EQ(assignments[0].text, "Aalborg");
+  EXPECT_DOUBLE_EQ(assignments[0].prob, 1.0);
+  EXPECT_EQ(assignments[1].text, "E10");
+  EXPECT_DOUBLE_EQ(assignments[1].prob, 0.8);
+
+  auto bulk = Parse(
+      "INSERT INTO patients FACT 43 (Residence.City = 'Aalborg'), "
+      "FACT 44 (Diagnosis.Family = 'E10' PROB 0.5)");
+  ASSERT_TRUE(bulk.ok()) << bulk.status();
+  ASSERT_TRUE(bulk->insert.has_value());
+  ASSERT_EQ(bulk->insert->facts.size(), 2u);
+  EXPECT_EQ(bulk->insert->facts[0].key, 43u);
+  EXPECT_EQ(bulk->insert->facts[1].key, 44u);
+  ASSERT_EQ(bulk->insert->facts[1].assignments.size(), 1u);
+  EXPECT_DOUBLE_EQ(bulk->insert->facts[1].assignments[0].prob, 0.5);
+
+  auto del = Parse("DELETE FROM patients FACT 42");
+  ASSERT_TRUE(del.ok()) << del.status();
+  ASSERT_TRUE(del->del.has_value());
+  EXPECT_EQ(del->del->mo_name, "patients");
+  EXPECT_EQ(del->del->key, 42u);
+  EXPECT_TRUE(IsMutating(*del));
+  EXPECT_EQ(StatementMoName(*del), "patients");
 
   EXPECT_TRUE(IsMutating(*statement));
   EXPECT_EQ(StatementMoName(*statement), "patients");

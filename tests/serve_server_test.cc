@@ -83,7 +83,7 @@ TEST_F(MdqlServerTest, ReadsNeverGrowThePublishedRegistry) {
   const std::shared_ptr<const MoSnapshot> pinned = store_.Pin();
   const PublishedMo* entry = pinned->Find("sales");
   ASSERT_NE(entry, nullptr);
-  const std::size_t size_before = entry->mo.registry()->size();
+  const std::size_t size_before = entry->mo().registry()->size();
   ServerSession session = server_.Connect();
   // A BY aggregate derives set facts; they must intern into the
   // session's fork, never into the published sealed registry.
@@ -91,7 +91,7 @@ TEST_F(MdqlServerTest, ReadsNeverGrowThePublishedRegistry) {
       "SELECT SUM(Amount) FROM sales BY Product.Category");
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_GT(result->rows.size(), 0u);
-  EXPECT_EQ(entry->mo.registry()->size(), size_before);
+  EXPECT_EQ(entry->mo().registry()->size(), size_before);
 }
 
 TEST_F(MdqlServerTest, InsertPublishesANewEpochAndRebuildsViews) {

@@ -85,10 +85,10 @@ TEST(MoStoreTest, PublicationSealsTheCallerRegistry) {
   ASSERT_NE(entry, nullptr);
   // The published registry is a private flat copy: the caller may keep
   // interning without becoming visible to (or racing) readers.
-  EXPECT_NE(entry->mo.registry().get(), caller_registry.get());
-  const std::size_t published_size = entry->mo.registry()->size();
+  EXPECT_NE(entry->mo().registry().get(), caller_registry.get());
+  const std::size_t published_size = entry->mo().registry()->size();
   caller_registry->Atom(99999999);
-  EXPECT_EQ(entry->mo.registry()->size(), published_size);
+  EXPECT_EQ(entry->mo().registry()->size(), published_size);
 }
 
 TEST(MoStoreTest, PublishedDimensionsAreFrozenAndCompiled) {
@@ -96,9 +96,9 @@ TEST(MoStoreTest, PublishedDimensionsAreFrozenAndCompiled) {
   ASSERT_TRUE(store.Publish("sales", BuildSales()).ok());
   const PublishedMo* entry = store.Pin()->Find("sales");
   ASSERT_NE(entry, nullptr);
-  ASSERT_EQ(entry->rollups.size(), entry->mo.dimension_count());
-  for (std::size_t i = 0; i < entry->mo.dimension_count(); ++i) {
-    const Dimension& dimension = entry->mo.dimension(i);
+  ASSERT_EQ(entry->rollups.size(), entry->mo().dimension_count());
+  for (std::size_t i = 0; i < entry->mo().dimension_count(); ++i) {
+    const Dimension& dimension = entry->mo().dimension(i);
     EXPECT_TRUE(dimension.publish_frozen()) << dimension.name();
     ASSERT_NE(entry->rollups[i], nullptr);
     EXPECT_FALSE(entry->rollups[i]->StaleFor(dimension));
@@ -114,8 +114,8 @@ TEST(MoStoreTest, PinnedEpochIsImmutableUnderMutation) {
   MoStore store;
   ASSERT_TRUE(store.Publish("sales", BuildSales()).ok());
   auto pinned = store.Pin();
-  const std::string before = Bytes(pinned->Find("sales")->mo);
-  const std::size_t facts_before = pinned->Find("sales")->mo.fact_count();
+  const std::string before = Bytes(pinned->Find("sales")->mo());
+  const std::size_t facts_before = pinned->Find("sales")->mo().fact_count();
 
   ASSERT_TRUE(
       store.Mutate("sales", [](MdObject& draft) { return ApplyBatch(draft, 0); })
@@ -124,9 +124,9 @@ TEST(MoStoreTest, PinnedEpochIsImmutableUnderMutation) {
 
   // The new epoch has the facts; the pinned epoch is bit-for-bit what it
   // was.
-  EXPECT_EQ(store.Pin()->Find("sales")->mo.fact_count(), facts_before + 3);
-  EXPECT_EQ(pinned->Find("sales")->mo.fact_count(), facts_before);
-  EXPECT_EQ(Bytes(pinned->Find("sales")->mo), before);
+  EXPECT_EQ(store.Pin()->Find("sales")->mo().fact_count(), facts_before + 3);
+  EXPECT_EQ(pinned->Find("sales")->mo().fact_count(), facts_before);
+  EXPECT_EQ(Bytes(pinned->Find("sales")->mo()), before);
 }
 
 TEST(MoStoreTest, FailedMutationPublishesNothing) {
@@ -153,7 +153,7 @@ TEST(MoStoreTest, MutationForksAndPeriodicallyFlattensTheRegistry) {
                             })
                     .ok());
     // Fork chains never exceed the collapse threshold.
-    EXPECT_LE(store.Pin()->Find("sales")->mo.registry()->fork_depth(), 8u);
+    EXPECT_LE(store.Pin()->Find("sales")->mo().registry()->fork_depth(), 8u);
   }
   const MoStore::Stats stats = store.CollectStats();
   EXPECT_EQ(stats.epochs_published, 13u);  // publish + 12 batches
@@ -192,7 +192,7 @@ TEST(MoStoreTest, WarmAggregateFailureIsWithdrawn) {
   // SUM over dimension 0 (Product) is an illegal aggregation; the spec
   // must not poison later mutations.
   std::vector<CategoryTypeIndex> grouping;
-  const MdObject& mo = store.Pin()->Find("sales")->mo;
+  const MdObject& mo = store.Pin()->Find("sales")->mo();
   for (std::size_t i = 0; i < mo.dimension_count(); ++i) {
     grouping.push_back(mo.dimension(i).type().top());
   }
@@ -231,7 +231,7 @@ TEST(MoStoreConcurrencyTest, ReadersSeeSingleConsistentEpochs) {
   }
   // Sanity: the published baseline (sealed, flattened registry) renders
   // the same bytes as the plain replica.
-  ASSERT_EQ(Bytes(store.Pin()->Find("sales")->mo), expected[0]);
+  ASSERT_EQ(Bytes(store.Pin()->Find("sales")->mo()), expected[0]);
 
   std::vector<std::thread> readers;
   std::vector<int> failures(kReaders, 0);
@@ -250,7 +250,7 @@ TEST(MoStoreConcurrencyTest, ReadersSeeSingleConsistentEpochs) {
           ++failures[r];
           continue;
         }
-        auto bytes = io::WriteMo(entry->mo);
+        auto bytes = io::WriteMo(entry->mo());
         if (!bytes.ok() || *bytes != expected[k]) ++failures[r];
       }
     });
